@@ -1,0 +1,129 @@
+//! Figure/table regeneration harness (`harness = false`).
+//!
+//! This target is deliberately *not* a timing benchmark: running
+//! `cargo bench --workspace` executes it and prints the reproduced data for
+//! every figure and table of the paper's evaluation, so the benchmark log
+//! doubles as the reproduction record. By default it runs at quick scale
+//! (seconds); set `ATP_BENCH_FULL=1` for the paper-scale parameters used in
+//! EXPERIMENTS.md.
+
+use atp_sim::experiments::{
+    ablation, drops, failure, fairness, fig10, fig9, geo, latency, messages, throughput,
+    worstcase,
+};
+
+fn main() {
+    // Under `cargo bench -- <filter>` Criterion-style args may be passed;
+    // honour `--help` minimally and otherwise run everything.
+    if std::env::args().any(|a| a == "--help" || a == "-h") {
+        println!("figure/table regeneration harness; set ATP_BENCH_FULL=1 for paper scale");
+        return;
+    }
+    let full = atp_bench::full_scale();
+    let scale = if full { "paper" } else { "quick" };
+    println!("=== reproducing the paper's evaluation ({scale} scale) ===\n");
+
+    let t0 = std::time::Instant::now();
+
+    println!(
+        "{}",
+        if full {
+            fig9::run(&fig9::Config::paper())
+        } else {
+            fig9::run(&fig9::Config::quick())
+        }
+        .render()
+    );
+    println!(
+        "{}",
+        if full {
+            fig10::run(&fig10::Config::paper())
+        } else {
+            fig10::run(&fig10::Config::quick())
+        }
+        .render()
+    );
+    println!(
+        "{}",
+        if full {
+            messages::run(&messages::Config::paper())
+        } else {
+            messages::run(&messages::Config::quick())
+        }
+        .render()
+    );
+    println!(
+        "{}",
+        if full {
+            worstcase::run(&worstcase::Config::paper())
+        } else {
+            worstcase::run(&worstcase::Config::quick())
+        }
+        .render()
+    );
+    println!(
+        "{}",
+        if full {
+            fairness::run(&fairness::Config::paper())
+        } else {
+            fairness::run(&fairness::Config::quick())
+        }
+        .render()
+    );
+    println!(
+        "{}",
+        if full {
+            ablation::run(&ablation::Config::paper())
+        } else {
+            ablation::run(&ablation::Config::quick())
+        }
+        .render()
+    );
+    println!(
+        "{}",
+        if full {
+            failure::run(&failure::Config::paper())
+        } else {
+            failure::run(&failure::Config::quick())
+        }
+        .render()
+    );
+    println!(
+        "{}",
+        if full {
+            drops::run(&drops::Config::paper())
+        } else {
+            drops::run(&drops::Config::quick())
+        }
+        .render()
+    );
+    println!(
+        "{}",
+        if full {
+            throughput::run(&throughput::Config::paper())
+        } else {
+            throughput::run(&throughput::Config::quick())
+        }
+        .render()
+    );
+    println!(
+        "{}",
+        if full {
+            latency::run(&latency::Config::paper())
+        } else {
+            latency::run(&latency::Config::quick())
+        }
+        .render()
+    );
+    println!(
+        "{}",
+        if full {
+            geo::run(&geo::Config::paper())
+        } else {
+            geo::run(&geo::Config::quick())
+        }
+        .render()
+    );
+
+    println!("=== evaluation reproduced in {:?} ===", t0.elapsed());
+}

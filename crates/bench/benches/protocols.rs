@@ -1,0 +1,123 @@
+//! Criterion benchmarks of the executable protocol plane.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use atp_core::{
+    decode_binary_msg, encode_binary_msg, BinaryMsg, BinaryNode, ProtocolConfig, RingNode,
+    TokenFrame, TokenMode, Want,
+};
+use atp_net::{NodeId, SimTime, World, WorldConfig};
+use atp_sim::runner::{run_experiment, ExperimentSpec, Protocol};
+use atp_sim::workload::{GlobalPoisson, SingleShot};
+
+/// Latency (wall-clock) of simulating one request-to-grant cycle.
+fn bench_single_grant(c: &mut Criterion) {
+    let mut group = c.benchmark_group("single_grant");
+    for n in [16usize, 64, 256] {
+        group.bench_with_input(BenchmarkId::new("binary", n), &n, |b, &n| {
+            b.iter(|| {
+                let spec = ExperimentSpec::new(Protocol::Binary, n, 10 + 8 * n as u64);
+                let mut wl = SingleShot::new(SimTime::from_ticks(5), NodeId::new(n as u32 / 2));
+                let s = run_experiment(&spec, &mut wl);
+                assert_eq!(s.metrics.grants, 1);
+                s.duration_ticks
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("ring", n), &n, |b, &n| {
+            b.iter(|| {
+                let spec = ExperimentSpec::new(Protocol::Ring, n, 10 + 8 * n as u64);
+                let mut wl = SingleShot::new(SimTime::from_ticks(5), NodeId::new(n as u32 / 2));
+                let s = run_experiment(&spec, &mut wl);
+                assert_eq!(s.metrics.grants, 1);
+                s.duration_ticks
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Simulation throughput: events per wall-clock second under steady load.
+fn bench_simulation_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_throughput");
+    let horizon = 20_000u64;
+    group.throughput(Throughput::Elements(horizon));
+    for protocol in Protocol::ALL {
+        group.bench_function(protocol.label(), |b| {
+            b.iter(|| {
+                let spec = ExperimentSpec::new(protocol, 64, horizon);
+                let mut wl = GlobalPoisson::new(10.0);
+                run_experiment(&spec, &mut wl).net.events
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Raw world stepping cost: an idle rotating ring (pure engine overhead).
+fn bench_idle_rotation(c: &mut Criterion) {
+    c.bench_function("idle_rotation_100k_ticks", |b| {
+        b.iter(|| {
+            let cfg = ProtocolConfig::default().with_record_log(false);
+            let mut w: World<RingNode> = World::from_nodes(
+                (0..32).map(|_| RingNode::new(cfg)).collect(),
+                WorldConfig::default(),
+            );
+            w.run_until(SimTime::from_ticks(100_000));
+            w.stats().total_sent()
+        })
+    });
+}
+
+/// Wire codec throughput on a realistic token frame.
+fn bench_codec(c: &mut Criterion) {
+    let mut frame = TokenFrame::new(64);
+    for i in 0..32u32 {
+        frame.on_possess(NodeId::new(i % 8), true);
+        frame.append(NodeId::new(i % 8), i as u64);
+    }
+    let msg = BinaryMsg::Token {
+        frame,
+        mode: TokenMode::Rotate,
+    };
+    let bytes = encode_binary_msg(&msg);
+    let mut group = c.benchmark_group("codec");
+    group.throughput(Throughput::Bytes(bytes.len() as u64));
+    group.bench_function("encode_token_frame", |b| b.iter(|| encode_binary_msg(&msg)));
+    group.bench_function("decode_token_frame", |b| {
+        b.iter(|| decode_binary_msg(&bytes).expect("valid frame"))
+    });
+    group.finish();
+}
+
+/// Cost of the external-request path (on_external through search issue).
+fn bench_request_injection(c: &mut Criterion) {
+    c.bench_function("request_injection_1k", |b| {
+        b.iter(|| {
+            let cfg = ProtocolConfig::default().with_record_log(false);
+            let mut w: World<BinaryNode> = World::from_nodes(
+                (0..64).map(|_| BinaryNode::new(cfg)).collect(),
+                WorldConfig::default(),
+            );
+            for k in 0..1_000u64 {
+                w.schedule_external(
+                    SimTime::from_ticks(1 + k),
+                    NodeId::new((k % 64) as u32),
+                    Want::new(k),
+                );
+            }
+            w.run_until(SimTime::from_ticks(2_000));
+            w.stats().total_sent()
+        })
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_single_grant,
+        bench_simulation_throughput,
+        bench_idle_rotation,
+        bench_codec,
+        bench_request_injection
+);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Criterion benchmarks of the formal (TRS) plane.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use atp_spec::systems::{mp, s1};
+use atp_trs::{matches, Explorer, Pat, Term};
+
+/// Multiset pattern matching on a realistic protocol state.
+fn bench_bag_matching(c: &mut Criterion) {
+    // A bag of 8 pairs, pattern picking two distinct entries: 56 solutions.
+    let bag = Term::bag(
+        (0..8)
+            .map(|i| Term::tuple(vec![Term::int(i), Term::int(100 + i)]))
+            .collect(),
+    );
+    let pat = Pat::bag(
+        vec![
+            Pat::tuple(vec![Pat::var("x"), Pat::var("a")]),
+            Pat::tuple(vec![Pat::var("y"), Pat::var("b")]),
+        ],
+        "rest",
+    );
+    c.bench_function("bag_match_2_of_8", |b| {
+        b.iter(|| {
+            let m = matches(&pat, &bag);
+            assert_eq!(m.len(), 56);
+            m.len()
+        })
+    });
+}
+
+/// Successor enumeration on System Message-Passing's initial state.
+fn bench_successors(c: &mut Criterion) {
+    let trs = mp::system(3, 1);
+    let init = mp::initial(3);
+    c.bench_function("mp_successors", |b| {
+        b.iter(|| trs.successors(&init).len())
+    });
+}
+
+/// Bounded exploration of System S1 (the Lemma 1 check).
+fn bench_exploration(c: &mut Criterion) {
+    c.bench_function("explore_s1_n3_b1", |b| {
+        b.iter(|| {
+            let g = Explorer::with_max_states(100_000).explore(&s1::system(3, 1), s1::initial(3));
+            assert!(!g.is_truncated());
+            g.states().len()
+        })
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_bag_matching, bench_successors, bench_exploration
+);
+criterion_main!(benches);

@@ -1,0 +1,1602 @@
+//! System BinarySearch: circular token rotation **plus** a binary search for
+//! the token (Section 4.2) — the paper's primary contribution.
+//!
+//! The token flows around the ring as usual. When a node wants it, it sends a
+//! "gimme" to the node directly across the logical ring. Each receiver lays a
+//! local trap and relays the gimme halfway again — clockwise or
+//! counter-clockwise depending on whether the token visited it before or
+//! after visiting the requester (rule 6's history-prefix comparison `⊂_C`,
+//! realized here as a comparison of last-visit stamps; see
+//! [`VisitStamp`]). The jump distance halves every hop, so a request is
+//! forwarded O(log N) times (Lemma 6). The moving token hits one of the traps
+//! within O(log N) further steps, is dispatched straight to the requester
+//! (rule 7, the decorated `ŷ`), is used once, and returns to the interception
+//! point where rotation resumes (rule 8) — the interceptor acting as a
+//! temporary "virtual root of a token-distribution tree".
+//!
+//! Responsiveness is O(log N) under all loads (Theorem 2, given FIFO trap
+//! queues) and the protocol is log N-fair (Theorem 3).
+//!
+//! The Section 4.4 refinements are all implemented and selectable through
+//! [`ProtocolConfig`]: delegated vs *directed* search, rotation vs *inverse*
+//! trap cleanup, single-outstanding-request throttling, adaptive token speed,
+//! and the push-pull *probe* dual; Section 5 failure handling is shared with
+//! the other protocols via [`RegenEngine`](crate::RegenEngine).
+
+use std::collections::{BTreeSet, VecDeque};
+
+use atp_net::{Context, MsgClass, Node, NodeId, SimTime};
+
+use crate::config::{ProtocolConfig, SearchMode, TrapCleanup};
+use crate::event::{EventBuf, EventSource, TokenEvent, Want, WantKind};
+use crate::order::OrderState;
+use crate::regen::{RegenEngine, RegenMsg, RegenReply, RegenVerdict};
+use crate::token::TokenFrame;
+use crate::types::{RequestId, VisitStamp};
+
+/// How a token frame is travelling.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenMode {
+    /// Normal rotation hop `x → x⁺¹` (rule 4).
+    Rotate,
+    /// Out-of-band dispatch to a trapped requester (rule 7): serve `for_req`,
+    /// then send the token back to `return_to` (the decorated `ŷ`).
+    Grant {
+        /// The request being satisfied.
+        for_req: RequestId,
+        /// The interceptor awaiting the token's return.
+        return_to: NodeId,
+    },
+    /// Inverse-cleanup relay hop: the token retraces the search trail toward
+    /// the requester, clearing traps en route (Section 4.4).
+    CleanupHop {
+        /// The request being satisfied.
+        for_req: RequestId,
+        /// The interceptor awaiting the token's return.
+        return_to: NodeId,
+        /// Remaining reverse path; the requester sits at index 0.
+        trail: Vec<NodeId>,
+    },
+    /// Return to the interception point after use (rule 8); rotation resumes
+    /// there.
+    Return,
+}
+
+/// A migrating search request (rules 5/6).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Gimme {
+    /// The ready node.
+    pub origin: NodeId,
+    /// Its request.
+    pub req: RequestId,
+    /// The origin's visit stamp at request time (its history `H_z` projected
+    /// onto circulation events).
+    pub origin_stamp: VisitStamp,
+    /// The jump distance just taken; the next hop jumps `span / 2`.
+    pub span: u32,
+    /// Nodes visited so far (origin first), for inverse cleanup.
+    pub trail: Vec<NodeId>,
+}
+
+/// Messages of System BinarySearch.
+#[derive(Debug, Clone)]
+pub enum BinaryMsg {
+    /// A token frame in some travel mode (always `MsgClass::Token`).
+    Token {
+        /// The frame.
+        frame: TokenFrame,
+        /// Travel mode.
+        mode: TokenMode,
+    },
+    /// A migrating search request (delegated search).
+    Gimme(Gimme),
+    /// Directed-search probe: examine one node, reply to the requester.
+    DirectedProbe {
+        /// The requester running the search.
+        origin: NodeId,
+        /// Its request.
+        req: RequestId,
+        /// Jump distance just taken.
+        span: u32,
+    },
+    /// Directed-search answer carrying the probed node's stamp.
+    DirectedReply {
+        /// The node that was probed.
+        probed: NodeId,
+        /// Its last-visit stamp.
+        stamp: VisitStamp,
+        /// The request the search serves.
+        req: RequestId,
+        /// Jump distance of the probe being answered.
+        span: u32,
+    },
+    /// Push-pull dual: the idle token holder probes for silent ready nodes.
+    ProbeReq {
+        /// Where the token is (replies go here).
+        holder: NodeId,
+        /// Fan-out jump distance.
+        span: u32,
+    },
+    /// A ready node answering a probe: "I want the token".
+    ProbeHit {
+        /// The ready node.
+        origin: NodeId,
+        /// Its request.
+        req: RequestId,
+    },
+    /// Failure-handling traffic (Section 5).
+    Regen(RegenMsg),
+}
+
+const TIMER_SERVICE: u64 = 1;
+const TIMER_PASS: u64 = 2;
+const TIMER_REGEN: u64 = 3;
+const TIMER_INQUIRY: u64 = 4;
+const INQUIRY_WINDOW: u64 = 8;
+
+#[derive(Debug)]
+struct Outstanding {
+    req: RequestId,
+    payload: u64,
+    made_at: SimTime,
+    stamp_at_request: VisitStamp,
+    search_started: bool,
+}
+
+#[derive(Debug, Clone)]
+struct Trap {
+    origin: NodeId,
+    req: RequestId,
+    trail: Vec<NodeId>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ServiceKind {
+    /// Serving a local request during a rotational possession.
+    Local,
+    /// Serving a request granted out-of-band; the token must go back.
+    OutOfBand { return_to: NodeId },
+}
+
+#[derive(Debug)]
+enum HoldState {
+    Idle,
+    PassArmed,
+    Serving {
+        req: RequestId,
+        payload: u64,
+        kind: ServiceKind,
+    },
+}
+
+#[derive(Debug)]
+struct Holding {
+    token: TokenFrame,
+    state: HoldState,
+}
+
+/// One node of System BinarySearch.
+///
+/// See the crate-level documentation for the protocol walk-through and a
+/// usage example.
+#[derive(Debug)]
+pub struct BinaryNode {
+    cfg: ProtocolConfig,
+    events: EventBuf,
+    order: OrderState,
+    outstanding: VecDeque<Outstanding>,
+    traps: VecDeque<Trap>,
+    next_req_seq: u64,
+    last_visit: VisitStamp,
+    last_pass: Option<NodeId>,
+    holding: Option<Holding>,
+    /// Local requests this possession may still serve before yielding to
+    /// traps (fairness: locals arriving mid-possession wait a round).
+    quota: usize,
+    regen: RegenEngine,
+    rejoining: BTreeSet<NodeId>,
+    leaving: BTreeSet<NodeId>,
+    departed: bool,
+    /// Gap count already covered by an outstanding sync request.
+    synced_gaps: u64,
+    grants: u64,
+    token_sends: u64,
+    gimme_sends: u64,
+    probe_sends: u64,
+}
+
+impl BinaryNode {
+    /// Creates a node with the given configuration.
+    pub fn new(cfg: ProtocolConfig) -> Self {
+        BinaryNode {
+            order: OrderState::new(cfg.record_log),
+            cfg,
+            events: EventBuf::default(),
+            outstanding: VecDeque::new(),
+            traps: VecDeque::new(),
+            next_req_seq: 0,
+            last_visit: VisitStamp::NEVER,
+            last_pass: None,
+            holding: None,
+            quota: 0,
+            regen: RegenEngine::new(),
+            rejoining: BTreeSet::new(),
+            leaving: BTreeSet::new(),
+            departed: false,
+            synced_gaps: 0,
+            grants: 0,
+            token_sends: 0,
+            gimme_sends: 0,
+            probe_sends: 0,
+        }
+    }
+
+    /// The node's applied history (its local prefix of `H`).
+    pub fn order(&self) -> &OrderState {
+        &self.order
+    }
+
+    /// Total grants this node has received.
+    pub fn grants(&self) -> u64 {
+        self.grants
+    }
+
+    /// Requests currently queued locally.
+    pub fn outstanding_len(&self) -> usize {
+        self.outstanding.len()
+    }
+
+    /// Traps currently set at this node.
+    pub fn trap_count(&self) -> usize {
+        self.traps.len()
+    }
+
+    /// Whether this node currently possesses the token.
+    pub fn holds_token(&self) -> bool {
+        self.holding.is_some()
+    }
+
+    /// The node's last visit stamp.
+    pub fn last_visit(&self) -> VisitStamp {
+        self.last_visit
+    }
+
+    /// Token-bearing messages sent.
+    pub fn token_sends(&self) -> u64 {
+        self.token_sends
+    }
+
+    /// Search messages sent or relayed.
+    pub fn gimme_sends(&self) -> u64 {
+        self.gimme_sends
+    }
+
+    /// Probe messages sent or relayed (push-pull dual).
+    pub fn probe_sends(&self) -> u64 {
+        self.probe_sends
+    }
+
+    /// Current token generation this node believes in.
+    pub fn generation(&self) -> u32 {
+        self.regen.generation
+    }
+
+    /// Whether this node has gracefully left the group.
+    pub fn is_departed(&self) -> bool {
+        self.departed
+    }
+
+    fn witness_generation(&mut self, generation: u32, at: SimTime) {
+        if self.regen.witness(generation) {
+            if let Some(h) = &self.holding {
+                if h.token.generation < generation {
+                    self.holding = None;
+                    self.events.push(TokenEvent::StaleTokenDiscarded {
+                        generation: generation - 1,
+                        at,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Common possession bookkeeping; returns `false` if the frame was stale
+    /// and dropped.
+    fn possess(
+        &mut self,
+        mut token: TokenFrame,
+        rotational: bool,
+        ctx: &mut Context<'_, BinaryMsg>,
+    ) -> bool {
+        if token.generation < self.regen.generation {
+            self.events.push(TokenEvent::StaleTokenDiscarded {
+                generation: token.generation,
+                at: ctx.now(),
+            });
+            return false;
+        }
+        self.witness_generation(token.generation, ctx.now());
+        if self.holding.is_some() {
+            debug_assert!(false, "duplicate token at {}", ctx.id());
+            return false;
+        }
+        self.last_visit = token.on_possess(ctx.id(), rotational);
+        self.order.apply(token.carried(), ctx.now(), &mut self.events);
+        self.maybe_request_sync(ctx);
+        for node in std::mem::take(&mut self.rejoining) {
+            token.readmit(node);
+        }
+        for node in std::mem::take(&mut self.leaving) {
+            token.exclude(node);
+        }
+        // Rotation cleanup: drop traps for already-satisfied requests.
+        let frame_ref = &token;
+        self.traps.retain(|t| !frame_ref.is_satisfied(&t.req));
+        self.holding = Some(Holding {
+            token,
+            state: HoldState::Idle,
+        });
+        true
+    }
+
+    fn finish_service(&mut self, req: RequestId, payload: u64, ctx: &mut Context<'_, BinaryMsg>) {
+        let holding = self.holding.as_mut().expect("finishing without token");
+        let entry = holding.token.append(ctx.id(), payload);
+        holding.token.mark_satisfied(req);
+        self.order.apply(&[entry], ctx.now(), &mut self.events);
+        self.events.push(TokenEvent::Released { req, at: ctx.now() });
+    }
+
+    /// Serve local quota, then traps, then pass the rotation onward.
+    fn progress(&mut self, ctx: &mut Context<'_, BinaryMsg>) {
+        self.progress_with(ctx, true);
+    }
+
+    /// `serve_traps = false` is used when the token just *returned* from an
+    /// out-of-band grant: the paper has rotation resume at the interception
+    /// point ("the token continues to flow around the ring again from where
+    /// it was first intercepted"), so at most one trap is served per
+    /// possession — without this, a trap-rich interceptor ping-pongs the
+    /// token inside one neighbourhood and starves the rest of the ring under
+    /// sustained load.
+    fn progress_with(&mut self, ctx: &mut Context<'_, BinaryMsg>, serve_traps: bool) {
+        loop {
+            let Some(holding) = self.holding.as_mut() else {
+                return;
+            };
+            match holding.state {
+                HoldState::Serving { .. } => return,
+                HoldState::Idle | HoldState::PassArmed => {
+                    if self.quota > 0 {
+                        if let Some(out) = self.outstanding.pop_front() {
+                            self.quota -= 1;
+                            self.grants += 1;
+                            self.events.push(TokenEvent::Granted {
+                                req: out.req,
+                                at: ctx.now(),
+                            });
+                            if self.cfg.service_ticks == 0 {
+                                self.finish_service(out.req, out.payload, ctx);
+                                continue;
+                            }
+                            holding.state = HoldState::Serving {
+                                req: out.req,
+                                payload: out.payload,
+                                kind: ServiceKind::Local,
+                            };
+                            ctx.set_timer(self.cfg.service_ticks, TIMER_SERVICE);
+                            return;
+                        }
+                        self.quota = 0;
+                    }
+                    // FIFO trap service (required for Theorem 2), skipping
+                    // traps whose request the token already satisfied.
+                    if serve_traps {
+                        while let Some(trap) = self.traps.front() {
+                            if holding.token.is_satisfied(&trap.req) {
+                                self.traps.pop_front();
+                            } else {
+                                break;
+                            }
+                        }
+                        if let Some(trap) = self.traps.pop_front() {
+                            self.dispatch_grant(trap, ctx);
+                            return;
+                        }
+                    }
+                    // Push-pull dual: once per idle round (launched at node
+                    // 0), ask around whether anyone silently wants the token.
+                    if self.cfg.probe_on_idle
+                        && ctx.id().index() == 0
+                        && holding.token.idle_rounds() >= 1
+                    {
+                        let span = (ctx.topology().len() as u64).div_ceil(2) as u32;
+                        let across = ctx.topology().across(ctx.id());
+                        self.probe_sends += 1;
+                        ctx.send(
+                            across,
+                            BinaryMsg::ProbeReq {
+                                holder: ctx.id(),
+                                span,
+                            },
+                            MsgClass::Control,
+                        );
+                    }
+                    // Pass the rotation onward (rule 4), possibly after an
+                    // adaptive idle hold.
+                    let delay = self.cfg.idle_delay(holding.token.idle_rounds());
+                    if delay == 0 {
+                        self.send_rotation(ctx);
+                    } else if !matches!(holding.state, HoldState::PassArmed) {
+                        holding.state = HoldState::PassArmed;
+                        ctx.set_timer(delay, TIMER_PASS);
+                    }
+                    return;
+                }
+            }
+        }
+    }
+
+    fn send_rotation(&mut self, ctx: &mut Context<'_, BinaryMsg>) {
+        let Some(holding) = self.holding.take() else {
+            return;
+        };
+        let succ = holding.token.next_live_successor(ctx.topology(), ctx.id());
+        self.last_pass = Some(succ);
+        self.token_sends += 1;
+        ctx.send(
+            succ,
+            BinaryMsg::Token {
+                frame: holding.token,
+                mode: TokenMode::Rotate,
+            },
+            MsgClass::Token,
+        );
+        self.maybe_restart_search(ctx);
+    }
+
+    /// Under single-outstanding throttling, queued requests never searched;
+    /// once the token leaves and a request is still waiting, launch its
+    /// search now.
+    fn maybe_restart_search(&mut self, ctx: &mut Context<'_, BinaryMsg>) {
+        if self.holding.is_none() {
+            let needs_search = self
+                .outstanding
+                .front()
+                .is_some_and(|o| !o.search_started);
+            if needs_search {
+                self.start_search(0, ctx);
+            }
+        }
+    }
+
+    /// Rule 7: send the token to the trapped requester (optionally retracing
+    /// the search trail to clean traps en route).
+    fn dispatch_grant(&mut self, trap: Trap, ctx: &mut Context<'_, BinaryMsg>) {
+        let Some(holding) = self.holding.take() else {
+            return;
+        };
+        let me = ctx.id();
+        let use_inverse =
+            self.cfg.trap_cleanup == TrapCleanup::Inverse && trap.trail.len() > 1;
+        self.token_sends += 1;
+        if use_inverse {
+            // trail = [origin, a, b, …]; reverse route: last → … → origin.
+            let mut trail = trap.trail;
+            let next = trail.pop().expect("trail.len() > 1");
+            let mode = if trail.is_empty() {
+                TokenMode::Grant {
+                    for_req: trap.req,
+                    return_to: me,
+                }
+            } else {
+                TokenMode::CleanupHop {
+                    for_req: trap.req,
+                    return_to: me,
+                    trail,
+                }
+            };
+            self.last_pass = Some(next);
+            ctx.send(
+                next,
+                BinaryMsg::Token {
+                    frame: holding.token,
+                    mode,
+                },
+                MsgClass::Token,
+            );
+        } else {
+            self.last_pass = Some(trap.origin);
+            ctx.send(
+                trap.origin,
+                BinaryMsg::Token {
+                    frame: holding.token,
+                    mode: TokenMode::Grant {
+                        for_req: trap.req,
+                        return_to: me,
+                    },
+                },
+                MsgClass::Token,
+            );
+        }
+        self.maybe_restart_search(ctx);
+    }
+
+    /// After an out-of-band service completes: serve more locals if allowed,
+    /// otherwise return the token to the interceptor (rule 8).
+    fn after_out_of_band(&mut self, return_to: NodeId, ctx: &mut Context<'_, BinaryMsg>) {
+        loop {
+            if self.cfg.serve_all_on_grant {
+                if let Some(out) = self.outstanding.pop_front() {
+                    self.grants += 1;
+                    self.events.push(TokenEvent::Granted {
+                        req: out.req,
+                        at: ctx.now(),
+                    });
+                    if self.cfg.service_ticks == 0 {
+                        self.finish_service(out.req, out.payload, ctx);
+                        continue;
+                    }
+                    let holding = self.holding.as_mut().expect("serving without token");
+                    holding.state = HoldState::Serving {
+                        req: out.req,
+                        payload: out.payload,
+                        kind: ServiceKind::OutOfBand { return_to },
+                    };
+                    ctx.set_timer(self.cfg.service_ticks, TIMER_SERVICE);
+                    return;
+                }
+            }
+            break;
+        }
+        let Some(holding) = self.holding.take() else {
+            return;
+        };
+        if return_to == ctx.id() {
+            // Degenerate single-node ring: resume rotation locally.
+            self.holding = Some(holding);
+            self.quota = self.outstanding.len();
+            self.progress(ctx);
+            return;
+        }
+        self.last_pass = Some(return_to);
+        self.token_sends += 1;
+        ctx.send(
+            return_to,
+            BinaryMsg::Token {
+                frame: holding.token,
+                mode: TokenMode::Return,
+            },
+            MsgClass::Token,
+        );
+        self.maybe_restart_search(ctx);
+    }
+
+    fn handle_token(
+        &mut self,
+        frame: TokenFrame,
+        mode: TokenMode,
+        ctx: &mut Context<'_, BinaryMsg>,
+    ) {
+        match mode {
+            TokenMode::Rotate => {
+                if !self.possess(frame, true, ctx) {
+                    return;
+                }
+                if self.departed {
+                    self.exclude_self_and_pass(ctx);
+                    return;
+                }
+                self.quota = self.outstanding.len();
+                self.progress(ctx);
+            }
+            TokenMode::Return => {
+                if !self.possess(frame, false, ctx) {
+                    return;
+                }
+                if self.departed {
+                    self.exclude_self_and_pass(ctx);
+                    return;
+                }
+                self.quota = self.outstanding.len();
+                self.progress_with(ctx, false);
+            }
+            TokenMode::Grant { for_req, return_to } => {
+                if !self.possess(frame, false, ctx) {
+                    return;
+                }
+                if let Some(pos) = self.outstanding.iter().position(|o| o.req == for_req) {
+                    let out = self.outstanding.remove(pos).expect("position exists");
+                    self.grants += 1;
+                    self.events.push(TokenEvent::Granted {
+                        req: out.req,
+                        at: ctx.now(),
+                    });
+                    if self.cfg.service_ticks == 0 {
+                        self.finish_service(out.req, out.payload, ctx);
+                        self.after_out_of_band(return_to, ctx);
+                    } else {
+                        let holding = self.holding.as_mut().expect("just possessed");
+                        holding.state = HoldState::Serving {
+                            req: out.req,
+                            payload: out.payload,
+                            kind: ServiceKind::OutOfBand { return_to },
+                        };
+                        ctx.set_timer(self.cfg.service_ticks, TIMER_SERVICE);
+                    }
+                } else {
+                    // Already served by rotation in the meantime: rule 8
+                    // degenerates to an immediate return.
+                    self.after_out_of_band(return_to, ctx);
+                }
+            }
+            TokenMode::CleanupHop {
+                for_req,
+                return_to,
+                mut trail,
+            } => {
+                if !self.possess(frame, false, ctx) {
+                    return;
+                }
+                // Remove the trap this relay hop is meant to clean.
+                self.traps.retain(|t| t.req != for_req);
+                let holding = self.holding.take().expect("just possessed");
+                let next = trail.pop().unwrap_or(return_to);
+                let mode = if trail.is_empty() {
+                    TokenMode::Grant { for_req, return_to }
+                } else {
+                    TokenMode::CleanupHop {
+                        for_req,
+                        return_to,
+                        trail,
+                    }
+                };
+                self.last_pass = Some(next);
+                self.token_sends += 1;
+                ctx.send(
+                    next,
+                    BinaryMsg::Token {
+                        frame: holding.token,
+                        mode,
+                    },
+                    MsgClass::Token,
+                );
+            }
+        }
+    }
+
+    /// Rule 6's direction choice: clockwise if the requester's circulation
+    /// history is a *proper* prefix of ours (the token passed us after
+    /// passing the requester, so it lies ahead of us clockwise);
+    /// counter-clockwise otherwise — including ties, which is the paper's
+    /// `H ⊂_C H_z` branch read with a non-strict prefix (ties only occur
+    /// before the first rotation completes, when both histories are empty).
+    fn search_direction_cw(&self, origin_stamp: VisitStamp) -> bool {
+        self.last_visit.is_fresher_than(origin_stamp)
+    }
+
+    fn handle_gimme(&mut self, g: Gimme, ctx: &mut Context<'_, BinaryMsg>) {
+        if g.origin == ctx.id() {
+            return; // a search message found its way home
+        }
+        if self.departed {
+            // Relay without trapping: a departed node never intercepts.
+            let next_span = g.span / 2;
+            if next_span >= 1 {
+                let me = ctx.id();
+                let next = if self.search_direction_cw(g.origin_stamp) {
+                    ctx.topology().plus(me, next_span as u64)
+                } else {
+                    ctx.topology().minus(me, next_span as u64)
+                };
+                let mut trail = g.trail;
+                trail.push(me);
+                self.gimme_sends += 1;
+                ctx.send(
+                    next,
+                    BinaryMsg::Gimme(Gimme {
+                        origin: g.origin,
+                        req: g.req,
+                        origin_stamp: g.origin_stamp,
+                        span: next_span,
+                        trail,
+                    }),
+                    MsgClass::Control,
+                );
+            }
+            return;
+        }
+        if let Some(h) = &self.holding {
+            if h.token.is_satisfied(&g.req) {
+                return;
+            }
+        }
+        let mut trail = g.trail.clone();
+        if !self.traps.iter().any(|t| t.req == g.req) {
+            self.traps.push_back(Trap {
+                origin: g.origin,
+                req: g.req,
+                trail: g.trail,
+            });
+        }
+        if self.holding.is_some() {
+            // The search found the token: serve (FIFO order preserved).
+            self.progress(ctx);
+            return;
+        }
+        let next_span = g.span / 2;
+        if next_span >= 1 {
+            let me = ctx.id();
+            let next = if self.search_direction_cw(g.origin_stamp) {
+                ctx.topology().plus(me, next_span as u64)
+            } else {
+                ctx.topology().minus(me, next_span as u64)
+            };
+            trail.push(me);
+            self.gimme_sends += 1;
+            ctx.send(
+                next,
+                BinaryMsg::Gimme(Gimme {
+                    origin: g.origin,
+                    req: g.req,
+                    origin_stamp: g.origin_stamp,
+                    span: next_span,
+                    trail,
+                }),
+                MsgClass::Control,
+            );
+        }
+    }
+
+    fn handle_directed_probe(
+        &mut self,
+        origin: NodeId,
+        req: RequestId,
+        span: u32,
+        ctx: &mut Context<'_, BinaryMsg>,
+    ) {
+        if origin == ctx.id() {
+            return;
+        }
+        if !self.traps.iter().any(|t| t.req == req) {
+            let satisfied = self
+                .holding
+                .as_ref()
+                .is_some_and(|h| h.token.is_satisfied(&req));
+            if !satisfied {
+                self.traps.push_back(Trap {
+                    origin,
+                    req,
+                    trail: vec![origin],
+                });
+            }
+        }
+        if self.holding.is_some() {
+            self.progress(ctx);
+            return;
+        }
+        let stamp = self.last_visit;
+        self.gimme_sends += 1;
+        ctx.send(
+            origin,
+            BinaryMsg::DirectedReply {
+                probed: ctx.id(),
+                stamp,
+                req,
+                span,
+            },
+            MsgClass::Control,
+        );
+    }
+
+    fn handle_directed_reply(
+        &mut self,
+        probed: NodeId,
+        stamp: VisitStamp,
+        req: RequestId,
+        span: u32,
+        ctx: &mut Context<'_, BinaryMsg>,
+    ) {
+        // Stop if the request was satisfied meanwhile (the saving the paper
+        // credits directed search with).
+        let Some(out) = self.outstanding.iter().find(|o| o.req == req) else {
+            return;
+        };
+        let next_span = span / 2;
+        if next_span == 0 {
+            return;
+        }
+        let cw = stamp.is_fresher_than(out.stamp_at_request);
+        let next = if cw {
+            ctx.topology().plus(probed, next_span as u64)
+        } else {
+            ctx.topology().minus(probed, next_span as u64)
+        };
+        self.gimme_sends += 1;
+        ctx.send(
+            next,
+            BinaryMsg::DirectedProbe {
+                origin: ctx.id(),
+                req,
+                span: next_span,
+            },
+            MsgClass::Control,
+        );
+    }
+
+    fn handle_probe_req(&mut self, holder: NodeId, span: u32, ctx: &mut Context<'_, BinaryMsg>) {
+        if let Some(front) = self.outstanding.front() {
+            let req = front.req;
+            ctx.send(
+                holder,
+                BinaryMsg::ProbeHit {
+                    origin: ctx.id(),
+                    req,
+                },
+                MsgClass::Control,
+            );
+            return;
+        }
+        let next_span = span / 2;
+        if next_span >= 1 {
+            let me = ctx.id();
+            for next in [
+                ctx.topology().plus(me, next_span as u64),
+                ctx.topology().minus(me, next_span as u64),
+            ] {
+                if next != me && next != holder {
+                    self.probe_sends += 1;
+                    ctx.send(
+                        next,
+                        BinaryMsg::ProbeReq {
+                            holder,
+                            span: next_span,
+                        },
+                        MsgClass::Control,
+                    );
+                }
+            }
+        }
+    }
+
+    fn handle_probe_hit(&mut self, origin: NodeId, req: RequestId, ctx: &mut Context<'_, BinaryMsg>) {
+        if self.traps.iter().any(|t| t.req == req) {
+            return;
+        }
+        if let Some(h) = &self.holding {
+            if h.token.is_satisfied(&req) {
+                return;
+            }
+        }
+        self.traps.push_back(Trap {
+            origin,
+            req,
+            trail: vec![origin],
+        });
+        if self.holding.is_some() {
+            self.progress(ctx);
+        }
+    }
+
+    fn start_search(&mut self, req_index: usize, ctx: &mut Context<'_, BinaryMsg>) {
+        let n = ctx.topology().len();
+        if n <= 1 {
+            return;
+        }
+        let me = ctx.id();
+        let out = &mut self.outstanding[req_index];
+        out.search_started = true;
+        let span = (n as u64).div_ceil(2) as u32;
+        let target = ctx.topology().across(me);
+        let req = out.req;
+        let stamp = out.stamp_at_request;
+        self.gimme_sends += 1;
+        match self.cfg.search_mode {
+            SearchMode::Delegated => {
+                ctx.send(
+                    target,
+                    BinaryMsg::Gimme(Gimme {
+                        origin: me,
+                        req,
+                        origin_stamp: stamp,
+                        span,
+                        trail: vec![me],
+                    }),
+                    MsgClass::Control,
+                );
+            }
+            SearchMode::Directed => {
+                ctx.send(
+                    target,
+                    BinaryMsg::DirectedProbe {
+                        origin: me,
+                        req,
+                        span,
+                    },
+                    MsgClass::Control,
+                );
+            }
+        }
+    }
+
+    fn my_regen_view(&self) -> RegenReply {
+        RegenReply {
+            generation: self.regen.generation,
+            stamp: self.last_visit,
+            holder: self.holding.is_some(),
+            passed_to: self.last_pass,
+            applied_seq: self.order.applied_seq(),
+        }
+    }
+
+    fn arm_regen_timer(&mut self, ctx: &mut Context<'_, BinaryMsg>) {
+        if self.cfg.regeneration {
+            let timeout = self.cfg.effective_regen_timeout(ctx.topology().len());
+            ctx.set_timer(timeout, TIMER_REGEN);
+        }
+    }
+
+    fn broadcast_inquiry(&mut self, ctx: &mut Context<'_, BinaryMsg>) {
+        self.regen.start_inquiry();
+        let me = ctx.id();
+        let generation = self.regen.generation;
+        for peer in ctx.topology().iter() {
+            if peer != me {
+                ctx.send(
+                    peer,
+                    BinaryMsg::Regen(RegenMsg::Inquiry { generation }),
+                    MsgClass::Token,
+                );
+            }
+        }
+        ctx.set_timer(INQUIRY_WINDOW, TIMER_INQUIRY);
+    }
+
+    fn handle_regen(&mut self, from: NodeId, msg: RegenMsg, ctx: &mut Context<'_, BinaryMsg>) {
+        match msg {
+            RegenMsg::Inquiry { generation } => {
+                self.witness_generation(generation, ctx.now());
+                let view = self.my_regen_view();
+                ctx.send(from, BinaryMsg::Regen(RegenMsg::Reply(view)), MsgClass::Token);
+            }
+            RegenMsg::Reply(reply) => {
+                self.regen.record_reply(from, reply);
+            }
+            RegenMsg::Please {
+                new_gen,
+                known_seq,
+                dead,
+            } => {
+                let window = self.cfg.effective_window(ctx.topology().len());
+                if let Some(token) = self.regen.mint(new_gen, known_seq, window, dead) {
+                    self.events.push(TokenEvent::Regenerated {
+                        by: ctx.id(),
+                        generation: new_gen,
+                        at: ctx.now(),
+                    });
+                    self.handle_token(token, TokenMode::Rotate, ctx);
+                }
+            }
+            RegenMsg::SyncRequest { from_seq } => {
+                let entries = self
+                    .order
+                    .suffix_from(from_seq, crate::regen::SYNC_REPLY_MAX);
+                if !entries.is_empty() {
+                    ctx.send(
+                        from,
+                        BinaryMsg::Regen(RegenMsg::SyncReply { entries }),
+                        MsgClass::Token,
+                    );
+                }
+            }
+            RegenMsg::SyncReply { entries } => {
+                self.order.apply(&entries, ctx.now(), &mut self.events);
+            }
+            RegenMsg::Rejoin => {
+                self.leaving.remove(&from);
+                self.rejoining.insert(from);
+                if let Some(h) = self.holding.as_mut() {
+                    h.token.readmit(from);
+                    self.rejoining.remove(&from);
+                }
+            }
+            RegenMsg::Leave => {
+                self.rejoining.remove(&from);
+                self.leaving.insert(from);
+                if let Some(h) = self.holding.as_mut() {
+                    h.token.exclude(from);
+                    self.leaving.remove(&from);
+                }
+            }
+        }
+    }
+
+
+    /// Requests a state transfer from the cyclic successor when this node
+    /// has fallen behind the token's carried window (detected via gap
+    /// accounting). The reply fills the local prefix in order, so the
+    /// prefix property is never at risk.
+    fn maybe_request_sync(&mut self, ctx: &mut Context<'_, BinaryMsg>) {
+        let gaps = self.order.gap_events();
+        if gaps > self.synced_gaps {
+            self.synced_gaps = gaps;
+            let succ = ctx.topology().successor(ctx.id());
+            ctx.send(
+                succ,
+                BinaryMsg::Regen(RegenMsg::SyncRequest {
+                    from_seq: self.order.applied_seq() + 1,
+                }),
+                MsgClass::Token,
+            );
+        }
+    }
+
+    fn announce(&mut self, msg: RegenMsg, ctx: &mut Context<'_, BinaryMsg>) {
+        let me = ctx.id();
+        for peer in ctx.topology().iter() {
+            if peer != me {
+                ctx.send(peer, BinaryMsg::Regen(msg.clone()), MsgClass::Token);
+            }
+        }
+    }
+
+    /// A departed node that ends up possessing the token passes it straight
+    /// to its live successor, excluding itself first.
+    fn exclude_self_and_pass(&mut self, ctx: &mut Context<'_, BinaryMsg>) {
+        if let Some(h) = self.holding.as_mut() {
+            h.token.exclude(ctx.id());
+            h.state = HoldState::Idle;
+        }
+        self.send_rotation(ctx);
+    }
+}
+
+impl Node for BinaryNode {
+    type Msg = BinaryMsg;
+    type Ext = Want;
+
+    fn on_init(&mut self, ctx: &mut Context<'_, BinaryMsg>) {
+        if ctx.id().index() == 0 {
+            let token = TokenFrame::new(self.cfg.effective_window(ctx.topology().len()));
+            self.handle_token(token, TokenMode::Rotate, ctx);
+        }
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: BinaryMsg, ctx: &mut Context<'_, BinaryMsg>) {
+        match msg {
+            BinaryMsg::Token { frame, mode } => self.handle_token(frame, mode, ctx),
+            BinaryMsg::Gimme(g) => self.handle_gimme(g, ctx),
+            BinaryMsg::DirectedProbe { origin, req, span } => {
+                self.handle_directed_probe(origin, req, span, ctx)
+            }
+            BinaryMsg::DirectedReply {
+                probed,
+                stamp,
+                req,
+                span,
+            } => self.handle_directed_reply(probed, stamp, req, span, ctx),
+            BinaryMsg::ProbeReq { holder, span } => self.handle_probe_req(holder, span, ctx),
+            BinaryMsg::ProbeHit { origin, req } => self.handle_probe_hit(origin, req, ctx),
+            BinaryMsg::Regen(m) => self.handle_regen(from, m, ctx),
+        }
+    }
+
+    fn on_external(&mut self, ev: Want, ctx: &mut Context<'_, BinaryMsg>) {
+        match ev.kind {
+            WantKind::Acquire => {}
+            WantKind::Leave => {
+                self.departed = true;
+                self.outstanding.clear();
+                self.traps.clear();
+                self.announce(RegenMsg::Leave, ctx);
+                if self.holding.is_some() {
+                    self.exclude_self_and_pass(ctx);
+                }
+                return;
+            }
+            WantKind::Rejoin => {
+                self.departed = false;
+                self.announce(RegenMsg::Rejoin, ctx);
+                return;
+            }
+        }
+        if self.departed {
+            return; // departed nodes do not request
+        }
+        self.next_req_seq += 1;
+        let req = RequestId::new(ctx.id(), self.next_req_seq);
+        self.events.push(TokenEvent::Requested { req, at: ctx.now() });
+        self.outstanding.push_back(Outstanding {
+            req,
+            payload: ev.payload,
+            made_at: ctx.now(),
+            stamp_at_request: self.last_visit,
+            search_started: false,
+        });
+        if let Some(h) = &self.holding {
+            // Serve immediately if the token is parked here (idle hold).
+            if !matches!(h.state, HoldState::Serving { .. }) {
+                self.quota += 1;
+                self.progress(ctx);
+                return;
+            }
+            return;
+        }
+        let may_search = !self.cfg.single_outstanding || self.outstanding.len() == 1;
+        if may_search {
+            let idx = self.outstanding.len() - 1;
+            self.start_search(idx, ctx);
+        }
+        if self.outstanding.len() == 1 {
+            self.arm_regen_timer(ctx);
+        }
+    }
+
+    fn on_timer(&mut self, kind: u64, ctx: &mut Context<'_, BinaryMsg>) {
+        match kind {
+            TIMER_SERVICE => {
+                let Some(holding) = self.holding.as_mut() else {
+                    return;
+                };
+                if let HoldState::Serving { req, payload, kind } = holding.state {
+                    holding.state = HoldState::Idle;
+                    self.finish_service(req, payload, ctx);
+                    match kind {
+                        ServiceKind::Local => self.progress(ctx),
+                        ServiceKind::OutOfBand { return_to } => {
+                            self.after_out_of_band(return_to, ctx)
+                        }
+                    }
+                }
+            }
+            TIMER_PASS => {
+                if let Some(h) = self.holding.as_mut() {
+                    if matches!(h.state, HoldState::PassArmed) {
+                        h.state = HoldState::Idle;
+                        if self.outstanding.is_empty() && self.traps.is_empty() {
+                            self.send_rotation(ctx);
+                        } else {
+                            self.progress(ctx);
+                        }
+                    }
+                }
+            }
+            TIMER_REGEN => {
+                if self.holding.is_some() || !self.cfg.regeneration {
+                    return;
+                }
+                let Some(front) = self.outstanding.front() else {
+                    return;
+                };
+                let timeout = self.cfg.effective_regen_timeout(ctx.topology().len());
+                let waited = ctx.now().since(front.made_at);
+                if waited >= timeout {
+                    if !self.regen.is_inquiring() {
+                        self.broadcast_inquiry(ctx);
+                    }
+                } else {
+                    ctx.set_timer(timeout - waited, TIMER_REGEN);
+                }
+            }
+            TIMER_INQUIRY => {
+                if !self.cfg.regeneration {
+                    return;
+                }
+                let view = self.my_regen_view();
+                match self.regen.conclude(ctx.topology(), ctx.id(), view) {
+                    RegenVerdict::Wait { .. } => {
+                        if !self.outstanding.is_empty() && self.holding.is_none() {
+                            // Re-issue the search: the original gimme may have
+                            // been lost on the cheap channel.
+                            if let Some(front) = self.outstanding.front_mut() {
+                                front.search_started = false;
+                            }
+                            self.maybe_restart_search(ctx);
+                            self.arm_regen_timer(ctx);
+                        }
+                    }
+                    RegenVerdict::Regenerate {
+                        target,
+                        new_gen,
+                        known_seq,
+                        dead,
+                    } => {
+                        if target == ctx.id() {
+                            let window = self.cfg.effective_window(ctx.topology().len());
+                            if let Some(token) = self.regen.mint(new_gen, known_seq, window, dead)
+                            {
+                                self.events.push(TokenEvent::Regenerated {
+                                    by: ctx.id(),
+                                    generation: new_gen,
+                                    at: ctx.now(),
+                                });
+                                self.handle_token(token, TokenMode::Rotate, ctx);
+                            }
+                        } else {
+                            ctx.send(
+                                target,
+                                BinaryMsg::Regen(RegenMsg::Please {
+                                    new_gen,
+                                    known_seq,
+                                    dead,
+                                }),
+                                MsgClass::Token,
+                            );
+                            if let Some(front) = self.outstanding.front_mut() {
+                                front.search_started = false;
+                            }
+                            self.maybe_restart_search(ctx);
+                            self.arm_regen_timer(ctx);
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_recover(&mut self, ctx: &mut Context<'_, BinaryMsg>) {
+        if self.holding.take().is_some() {
+            self.events.push(TokenEvent::StaleTokenDiscarded {
+                generation: self.regen.generation,
+                at: ctx.now(),
+            });
+        }
+        self.traps.clear();
+        if self.cfg.regeneration {
+            let me = ctx.id();
+            for peer in ctx.topology().iter() {
+                if peer != me {
+                    ctx.send(peer, BinaryMsg::Regen(RegenMsg::Rejoin), MsgClass::Token);
+                }
+            }
+        }
+        if !self.outstanding.is_empty() {
+            self.arm_regen_timer(ctx);
+        }
+    }
+}
+
+impl EventSource for BinaryNode {
+    fn take_events(&mut self) -> Vec<TokenEvent> {
+        self.events.take()
+    }
+
+    fn has_events(&self) -> bool {
+        !self.events.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atp_net::{ControlDrops, MsgClass, World, WorldConfig};
+
+    fn world(n: usize, cfg: ProtocolConfig) -> World<BinaryNode> {
+        World::from_nodes(
+            (0..n).map(|_| BinaryNode::new(cfg)).collect(),
+            WorldConfig::default(),
+        )
+    }
+
+    fn drain_all(w: &mut World<BinaryNode>) -> Vec<TokenEvent> {
+        let mut out = Vec::new();
+        for i in 0..w.len() {
+            out.extend(w.node_mut(NodeId::new(i as u32)).take_events());
+        }
+        out.sort_by_key(|e| e.at());
+        out
+    }
+
+    fn total_grants(w: &World<BinaryNode>) -> u64 {
+        (0..w.len())
+            .map(|i| w.node(NodeId::new(i as u32)).grants())
+            .sum()
+    }
+
+    #[test]
+    fn token_rotates_when_idle() {
+        let mut w = world(8, ProtocolConfig::default());
+        w.run_until(SimTime::from_ticks(100));
+        let sends: u64 = (0..8).map(|i| w.node(NodeId::new(i)).token_sends()).sum();
+        assert!((95..=101).contains(&sends), "sends = {sends}");
+    }
+
+    #[test]
+    fn single_request_served_quickly() {
+        // N = 64: rotation alone would take up to 64 delays; the binary
+        // search must beat that decisively from the far side of the ring.
+        let mut w = world(64, ProtocolConfig::default());
+        // Token starts at 0 rotating; at t=10 it's around node 10. Node 40
+        // requests: distance ~30 ahead — rotation alone would take ~30.
+        w.schedule_external(SimTime::from_ticks(10), NodeId::new(40), Want::new(1));
+        w.run_until(SimTime::from_ticks(40));
+        let events = drain_all(&mut w);
+        let granted_at = events
+            .iter()
+            .find_map(|e| match e {
+                TokenEvent::Granted { at, .. } => Some(*at),
+                _ => None,
+            })
+            .expect("granted");
+        let delay = granted_at.since(SimTime::from_ticks(10));
+        assert!(
+            delay <= 16,
+            "binary search should grant in O(log N) ≈ 6–12 delays, got {delay}"
+        );
+    }
+
+    #[test]
+    fn request_forwarded_o_log_n_times() {
+        // Lemma 6: each request is forwarded O(log N) times.
+        let mut w = world(128, ProtocolConfig::default());
+        w.schedule_external(SimTime::from_ticks(5), NodeId::new(70), Want::new(1));
+        w.run_until(SimTime::from_ticks(60));
+        let search_msgs = w.stats().sent(MsgClass::Control);
+        assert!(
+            search_msgs <= 9,
+            "log2(128) = 7 forwards expected, got {search_msgs}"
+        );
+        assert_eq!(total_grants(&w), 1);
+    }
+
+    #[test]
+    fn token_returns_to_interceptor_after_grant() {
+        let mut w = world(16, ProtocolConfig::default());
+        w.schedule_external(SimTime::from_ticks(3), NodeId::new(9), Want::new(1));
+        w.run_until(SimTime::from_ticks(200));
+        // After the grant the token must keep rotating (everyone keeps
+        // seeing it). All 16 nodes have fresh-ish stamps.
+        let stamps: Vec<u64> = (0..16)
+            .map(|i| w.node(NodeId::new(i)).last_visit().value())
+            .collect();
+        let max = *stamps.iter().max().unwrap();
+        for (i, s) in stamps.iter().enumerate() {
+            assert!(
+                max - s <= 20,
+                "node {i} starved of rotation: stamp {s} vs max {max}"
+            );
+        }
+    }
+
+    #[test]
+    fn prefix_property_under_load() {
+        let mut w = world(12, ProtocolConfig::default());
+        for t in 0..60 {
+            w.schedule_external(
+                SimTime::from_ticks(t * 2),
+                NodeId::new((7 * t % 12) as u32),
+                Want::new(t),
+            );
+        }
+        w.run_until(SimTime::from_ticks(600));
+        assert_eq!(total_grants(&w), 60);
+        let nodes: Vec<_> = (0..12).map(|i| w.node(NodeId::new(i))).collect();
+        for a in &nodes {
+            for b in &nodes {
+                assert!(
+                    a.order().is_prefix_of(b.order()) || b.order().is_prefix_of(a.order()),
+                    "prefix property violated"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn saturated_load_serves_everyone_each_round() {
+        // All nodes request simultaneously; the token should sweep the ring
+        // granting each in turn (throughput of the plain ring is preserved).
+        let mut w = world(10, ProtocolConfig::default());
+        for i in 0..10 {
+            w.schedule_external(SimTime::ZERO, NodeId::new(i), Want::new(i as u64));
+        }
+        w.run_until(SimTime::from_ticks(100));
+        for i in 0..10 {
+            assert_eq!(w.node(NodeId::new(i)).grants(), 1, "node {i}");
+        }
+    }
+
+    #[test]
+    fn dropped_search_messages_cost_performance_not_safety() {
+        let cfg = ProtocolConfig::default();
+        let mut w: World<BinaryNode> = World::from_nodes(
+            (0..8).map(|_| BinaryNode::new(cfg)).collect(),
+            WorldConfig::default().drops(ControlDrops::new(1.0)),
+        );
+        w.schedule_external(SimTime::from_ticks(1), NodeId::new(5), Want::new(9));
+        w.run_until(SimTime::from_ticks(40));
+        // All gimmes lost: the rotating token still reaches node 5 within N.
+        assert_eq!(total_grants(&w), 1);
+        let events = drain_all(&mut w);
+        let granted_at = events
+            .iter()
+            .find_map(|e| match e {
+                TokenEvent::Granted { at, .. } => Some(*at),
+                _ => None,
+            })
+            .unwrap();
+        assert!(granted_at.since(SimTime::from_ticks(1)) <= 8);
+    }
+
+    #[test]
+    fn directed_search_also_grants_in_log_time() {
+        let cfg = ProtocolConfig::default().with_search_mode(SearchMode::Directed);
+        let mut w = world(64, cfg);
+        w.schedule_external(SimTime::from_ticks(10), NodeId::new(40), Want::new(1));
+        w.run_until(SimTime::from_ticks(60));
+        assert_eq!(total_grants(&w), 1);
+    }
+
+    #[test]
+    fn inverse_cleanup_clears_traps_en_route() {
+        let cfg = ProtocolConfig::default().with_trap_cleanup(TrapCleanup::Inverse);
+        let mut w = world(32, cfg);
+        w.schedule_external(SimTime::from_ticks(4), NodeId::new(20), Want::new(1));
+        w.run_until(SimTime::from_ticks(200));
+        assert_eq!(total_grants(&w), 1);
+        // All traps for the satisfied request are gone.
+        let traps: usize = (0..32)
+            .map(|i| w.node(NodeId::new(i)).trap_count())
+            .sum();
+        assert_eq!(traps, 0, "inverse cleanup should leave no stale traps");
+    }
+
+    #[test]
+    fn rotation_cleanup_eventually_clears_stale_traps() {
+        let cfg = ProtocolConfig::default(); // rotation cleanup
+        let mut w = world(16, cfg);
+        w.schedule_external(SimTime::from_ticks(2), NodeId::new(9), Want::new(1));
+        // Give the token two full rounds to sweep traps away.
+        w.run_until(SimTime::from_ticks(100));
+        let traps: usize = (0..16)
+            .map(|i| w.node(NodeId::new(i)).trap_count())
+            .sum();
+        assert_eq!(traps, 0);
+    }
+
+    #[test]
+    fn single_outstanding_throttles_searches() {
+        let cfg = ProtocolConfig::default().with_single_outstanding(true);
+        let mut w = world(32, cfg);
+        for k in 0..6 {
+            w.schedule_external(SimTime::from_ticks(k), NodeId::new(20), Want::new(k));
+        }
+        w.run_until(SimTime::from_ticks(400));
+        assert_eq!(w.node(NodeId::new(20)).grants(), 6);
+        // The paper's claim: gimme messages never exceed token messages.
+        let control = w.stats().sent(MsgClass::Control);
+        let token = w.stats().sent(MsgClass::Token);
+        assert!(
+            control <= token,
+            "searches ({control}) must not outnumber token passes ({token})"
+        );
+        // And the throttle really bites: an unthrottled run sends more.
+        let mut w2 = world(32, ProtocolConfig::default());
+        for k in 0..6 {
+            w2.schedule_external(SimTime::from_ticks(k), NodeId::new(20), Want::new(k));
+        }
+        w2.run_until(SimTime::from_ticks(400));
+        assert!(w2.stats().sent(MsgClass::Control) >= control);
+    }
+
+    #[test]
+    fn probe_on_idle_discovers_silent_requester() {
+        // Disable searching by making every request silent? There is no such
+        // switch; instead verify probes flow and nothing breaks.
+        let cfg = ProtocolConfig::default()
+            .with_probe_on_idle(true)
+            .with_adaptive_speed(true);
+        let mut w = world(16, cfg);
+        w.run_until(SimTime::from_ticks(300));
+        let probes: u64 = (0..16).map(|i| w.node(NodeId::new(i)).probe_sends()).sum();
+        assert!(probes > 0, "idle holder should probe");
+        w.schedule_external(w.now(), NodeId::new(11), Want::new(5));
+        w.run_for(200);
+        assert_eq!(total_grants(&w), 1);
+    }
+
+    #[test]
+    fn crash_of_holder_regenerates_and_liveness_returns() {
+        let cfg = ProtocolConfig::default()
+            .with_service_ticks(6)
+            .with_regeneration(30);
+        let mut w = world(6, cfg);
+        w.schedule_external(SimTime::ZERO, NodeId::new(3), Want::new(1));
+        w.run_until(SimTime::from_ticks(5));
+        assert!(w.node(NodeId::new(3)).holds_token());
+        let t = w.now();
+        w.schedule_crash(t, NodeId::new(3));
+        w.schedule_external(t + 2, NodeId::new(1), Want::new(2));
+        w.run_until(SimTime::from_ticks(600));
+        assert_eq!(w.node(NodeId::new(1)).grants(), 1);
+        let events = drain_all(&mut w);
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, TokenEvent::Regenerated { .. })));
+    }
+
+    #[test]
+    fn adaptive_speed_parks_token_and_request_wakes_it() {
+        let cfg = ProtocolConfig::default()
+            .with_adaptive_speed(true)
+            .with_max_idle_pass_ticks(64);
+        let mut w = world(8, cfg);
+        w.run_until(SimTime::from_ticks(500));
+        let slow_sends: u64 = (0..8).map(|i| w.node(NodeId::new(i)).token_sends()).sum();
+        assert!(slow_sends < 400, "token should have slowed: {slow_sends}");
+        // A request still gets served promptly (trap intercepts the parked
+        // token or the search finds the holder).
+        let t = w.now();
+        w.schedule_external(t, NodeId::new(4), Want::new(1));
+        w.run_for(100);
+        assert_eq!(total_grants(&w), 1);
+    }
+
+    #[test]
+    fn fairness_no_node_monopolizes_while_another_waits() {
+        // Theorem 3 flavor: node 2 hogs (requests continuously), node 6
+        // requests once; node 6 must be served within a bounded number of
+        // node-2 grants.
+        let cfg = ProtocolConfig::default().with_service_ticks(1);
+        let mut w = world(8, cfg);
+        for k in 0..40 {
+            w.schedule_external(SimTime::from_ticks(k * 2), NodeId::new(2), Want::new(k));
+        }
+        w.schedule_external(SimTime::from_ticks(11), NodeId::new(6), Want::new(99));
+        w.run_until(SimTime::from_ticks(400));
+        let events = drain_all(&mut w);
+        let six_granted = events
+            .iter()
+            .find_map(|e| match e {
+                TokenEvent::Granted { req, at } if req.origin == NodeId::new(6) => Some(*at),
+                _ => None,
+            })
+            .expect("node 6 served");
+        let hog_grants_before: usize = events
+            .iter()
+            .filter(|e| {
+                matches!(e, TokenEvent::Granted { req, at }
+                    if req.origin == NodeId::new(2)
+                        && *at >= SimTime::from_ticks(11)
+                        && *at <= six_granted)
+            })
+            .count();
+        assert!(
+            hog_grants_before <= 8,
+            "hog served {hog_grants_before} times while node 6 waited"
+        );
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let run = || {
+            let mut w = world(9, ProtocolConfig::default());
+            for t in 0..30 {
+                w.schedule_external(
+                    SimTime::from_ticks(t * 3),
+                    NodeId::new((5 * t % 9) as u32),
+                    Want::new(t),
+                );
+            }
+            w.run_until(SimTime::from_ticks(300));
+            drain_all(&mut w)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn two_node_ring_works() {
+        let mut w = world(2, ProtocolConfig::default());
+        w.schedule_external(SimTime::from_ticks(1), NodeId::new(1), Want::new(1));
+        w.run_until(SimTime::from_ticks(20));
+        assert_eq!(total_grants(&w), 1);
+    }
+
+    #[test]
+    fn single_node_ring_degenerates_gracefully() {
+        let mut w = world(1, ProtocolConfig::default());
+        w.schedule_external(SimTime::from_ticks(1), NodeId::new(0), Want::new(1));
+        w.run_until(SimTime::from_ticks(10));
+        assert_eq!(total_grants(&w), 1);
+    }
+}

@@ -1,0 +1,535 @@
+//! Wire encoding for [`BinaryMsg`], so the protocol can cross a real network.
+//!
+//! The simulated transports move Rust values; a deployment moves bytes. This
+//! module defines a compact little-endian framing for every System
+//! BinarySearch message. Round-tripping is exact:
+//! `decode_binary_msg(encode_binary_msg(m)) == m` for every message.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use atp_net::NodeId;
+
+use crate::binary::{BinaryMsg, Gimme, TokenMode};
+use crate::regen::{RegenMsg, RegenReply};
+use crate::token::TokenFrame;
+use crate::types::{RequestId, VisitStamp};
+
+/// Why decoding failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CodecError {
+    /// The buffer ended before the message did.
+    Truncated,
+    /// An unknown message/mode tag was encountered.
+    BadTag(u8),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "message truncated"),
+            CodecError::BadTag(t) => write!(f, "unknown tag {t:#x}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+const TAG_TOKEN_ROTATE: u8 = 0x01;
+const TAG_TOKEN_GRANT: u8 = 0x02;
+const TAG_TOKEN_CLEANUP: u8 = 0x03;
+const TAG_TOKEN_RETURN: u8 = 0x04;
+const TAG_GIMME: u8 = 0x10;
+const TAG_DIRECTED_PROBE: u8 = 0x11;
+const TAG_DIRECTED_REPLY: u8 = 0x12;
+const TAG_PROBE_REQ: u8 = 0x13;
+const TAG_PROBE_HIT: u8 = 0x14;
+const TAG_REGEN_INQUIRY: u8 = 0x20;
+const TAG_REGEN_REPLY: u8 = 0x21;
+const TAG_REGEN_PLEASE: u8 = 0x22;
+const TAG_REGEN_REJOIN: u8 = 0x23;
+const TAG_REGEN_LEAVE: u8 = 0x24;
+const TAG_REGEN_SYNC_REQ: u8 = 0x25;
+const TAG_REGEN_SYNC_REPLY: u8 = 0x26;
+
+fn put_req(buf: &mut BytesMut, req: RequestId) {
+    buf.put_u32_le(req.origin.raw());
+    buf.put_u64_le(req.seq);
+}
+
+fn get_req(buf: &mut impl Buf) -> Result<RequestId, CodecError> {
+    if buf.remaining() < 12 {
+        return Err(CodecError::Truncated);
+    }
+    Ok(RequestId::new(NodeId::new(buf.get_u32_le()), buf.get_u64_le()))
+}
+
+fn put_trail(buf: &mut BytesMut, trail: &[NodeId]) {
+    buf.put_u32_le(trail.len() as u32);
+    for n in trail {
+        buf.put_u32_le(n.raw());
+    }
+}
+
+fn get_trail(buf: &mut impl Buf) -> Result<Vec<NodeId>, CodecError> {
+    if buf.remaining() < 4 {
+        return Err(CodecError::Truncated);
+    }
+    let n = buf.get_u32_le() as usize;
+    if buf.remaining() < n * 4 {
+        return Err(CodecError::Truncated);
+    }
+    Ok((0..n).map(|_| NodeId::new(buf.get_u32_le())).collect())
+}
+
+fn get_u32(buf: &mut impl Buf) -> Result<u32, CodecError> {
+    if buf.remaining() < 4 {
+        return Err(CodecError::Truncated);
+    }
+    Ok(buf.get_u32_le())
+}
+
+fn get_u64(buf: &mut impl Buf) -> Result<u64, CodecError> {
+    if buf.remaining() < 8 {
+        return Err(CodecError::Truncated);
+    }
+    Ok(buf.get_u64_le())
+}
+
+fn get_u8(buf: &mut impl Buf) -> Result<u8, CodecError> {
+    if buf.remaining() < 1 {
+        return Err(CodecError::Truncated);
+    }
+    Ok(buf.get_u8())
+}
+
+/// Encodes a [`BinaryMsg`] into a standalone byte frame.
+///
+/// # Examples
+///
+/// ```rust
+/// use atp_core::{encode_binary_msg, decode_binary_msg, BinaryMsg, RequestId};
+/// use atp_net::NodeId;
+///
+/// let msg = BinaryMsg::ProbeHit {
+///     origin: NodeId::new(3),
+///     req: RequestId::new(NodeId::new(3), 7),
+/// };
+/// let bytes = encode_binary_msg(&msg);
+/// let back = decode_binary_msg(&bytes)?;
+/// assert!(matches!(back, BinaryMsg::ProbeHit { .. }));
+/// # Ok::<(), atp_core::CodecError>(())
+/// ```
+pub fn encode_binary_msg(msg: &BinaryMsg) -> Bytes {
+    let mut buf = BytesMut::with_capacity(64);
+    match msg {
+        BinaryMsg::Token { frame, mode } => {
+            match mode {
+                TokenMode::Rotate => buf.put_u8(TAG_TOKEN_ROTATE),
+                TokenMode::Grant { for_req, return_to } => {
+                    buf.put_u8(TAG_TOKEN_GRANT);
+                    put_req(&mut buf, *for_req);
+                    buf.put_u32_le(return_to.raw());
+                }
+                TokenMode::CleanupHop {
+                    for_req,
+                    return_to,
+                    trail,
+                } => {
+                    buf.put_u8(TAG_TOKEN_CLEANUP);
+                    put_req(&mut buf, *for_req);
+                    buf.put_u32_le(return_to.raw());
+                    put_trail(&mut buf, trail);
+                }
+                TokenMode::Return => buf.put_u8(TAG_TOKEN_RETURN),
+            }
+            frame.encode(&mut buf);
+        }
+        BinaryMsg::Gimme(g) => {
+            buf.put_u8(TAG_GIMME);
+            buf.put_u32_le(g.origin.raw());
+            put_req(&mut buf, g.req);
+            buf.put_u64_le(g.origin_stamp.value());
+            buf.put_u32_le(g.span);
+            put_trail(&mut buf, &g.trail);
+        }
+        BinaryMsg::DirectedProbe { origin, req, span } => {
+            buf.put_u8(TAG_DIRECTED_PROBE);
+            buf.put_u32_le(origin.raw());
+            put_req(&mut buf, *req);
+            buf.put_u32_le(*span);
+        }
+        BinaryMsg::DirectedReply {
+            probed,
+            stamp,
+            req,
+            span,
+        } => {
+            buf.put_u8(TAG_DIRECTED_REPLY);
+            buf.put_u32_le(probed.raw());
+            buf.put_u64_le(stamp.value());
+            put_req(&mut buf, *req);
+            buf.put_u32_le(*span);
+        }
+        BinaryMsg::ProbeReq { holder, span } => {
+            buf.put_u8(TAG_PROBE_REQ);
+            buf.put_u32_le(holder.raw());
+            buf.put_u32_le(*span);
+        }
+        BinaryMsg::ProbeHit { origin, req } => {
+            buf.put_u8(TAG_PROBE_HIT);
+            buf.put_u32_le(origin.raw());
+            put_req(&mut buf, *req);
+        }
+        BinaryMsg::Regen(r) => match r {
+            RegenMsg::Inquiry { generation } => {
+                buf.put_u8(TAG_REGEN_INQUIRY);
+                buf.put_u32_le(*generation);
+            }
+            RegenMsg::Reply(reply) => {
+                buf.put_u8(TAG_REGEN_REPLY);
+                buf.put_u32_le(reply.generation);
+                buf.put_u64_le(reply.stamp.value());
+                buf.put_u8(reply.holder as u8);
+                match reply.passed_to {
+                    Some(n) => {
+                        buf.put_u8(1);
+                        buf.put_u32_le(n.raw());
+                    }
+                    None => buf.put_u8(0),
+                }
+                buf.put_u64_le(reply.applied_seq);
+            }
+            RegenMsg::Please {
+                new_gen,
+                known_seq,
+                dead,
+            } => {
+                buf.put_u8(TAG_REGEN_PLEASE);
+                buf.put_u32_le(*new_gen);
+                buf.put_u64_le(*known_seq);
+                put_trail(&mut buf, dead);
+            }
+            RegenMsg::Rejoin => {
+                buf.put_u8(TAG_REGEN_REJOIN);
+            }
+            RegenMsg::Leave => {
+                buf.put_u8(TAG_REGEN_LEAVE);
+            }
+            RegenMsg::SyncRequest { from_seq } => {
+                buf.put_u8(TAG_REGEN_SYNC_REQ);
+                buf.put_u64_le(*from_seq);
+            }
+            RegenMsg::SyncReply { entries } => {
+                buf.put_u8(TAG_REGEN_SYNC_REPLY);
+                buf.put_u32_le(entries.len() as u32);
+                for e in entries {
+                    buf.put_u64_le(e.seq);
+                    buf.put_u32_le(e.origin.raw());
+                    buf.put_u64_le(e.payload);
+                    buf.put_u64_le(e.round);
+                }
+            }
+        },
+    }
+    buf.freeze()
+}
+
+/// Decodes a frame previously produced by [`encode_binary_msg`].
+///
+/// # Errors
+///
+/// Returns [`CodecError::Truncated`] if the buffer is too short and
+/// [`CodecError::BadTag`] on an unrecognized tag byte.
+pub fn decode_binary_msg(bytes: &[u8]) -> Result<BinaryMsg, CodecError> {
+    let mut buf = bytes;
+    let tag = get_u8(&mut buf)?;
+    match tag {
+        TAG_TOKEN_ROTATE | TAG_TOKEN_RETURN => {
+            let mode = if tag == TAG_TOKEN_ROTATE {
+                TokenMode::Rotate
+            } else {
+                TokenMode::Return
+            };
+            let frame = TokenFrame::decode(&mut buf).ok_or(CodecError::Truncated)?;
+            Ok(BinaryMsg::Token { frame, mode })
+        }
+        TAG_TOKEN_GRANT => {
+            let for_req = get_req(&mut buf)?;
+            let return_to = NodeId::new(get_u32(&mut buf)?);
+            let frame = TokenFrame::decode(&mut buf).ok_or(CodecError::Truncated)?;
+            Ok(BinaryMsg::Token {
+                frame,
+                mode: TokenMode::Grant { for_req, return_to },
+            })
+        }
+        TAG_TOKEN_CLEANUP => {
+            let for_req = get_req(&mut buf)?;
+            let return_to = NodeId::new(get_u32(&mut buf)?);
+            let trail = get_trail(&mut buf)?;
+            let frame = TokenFrame::decode(&mut buf).ok_or(CodecError::Truncated)?;
+            Ok(BinaryMsg::Token {
+                frame,
+                mode: TokenMode::CleanupHop {
+                    for_req,
+                    return_to,
+                    trail,
+                },
+            })
+        }
+        TAG_GIMME => {
+            let origin = NodeId::new(get_u32(&mut buf)?);
+            let req = get_req(&mut buf)?;
+            let origin_stamp = VisitStamp(get_u64(&mut buf)?);
+            let span = get_u32(&mut buf)?;
+            let trail = get_trail(&mut buf)?;
+            Ok(BinaryMsg::Gimme(Gimme {
+                origin,
+                req,
+                origin_stamp,
+                span,
+                trail,
+            }))
+        }
+        TAG_DIRECTED_PROBE => {
+            let origin = NodeId::new(get_u32(&mut buf)?);
+            let req = get_req(&mut buf)?;
+            let span = get_u32(&mut buf)?;
+            Ok(BinaryMsg::DirectedProbe { origin, req, span })
+        }
+        TAG_DIRECTED_REPLY => {
+            let probed = NodeId::new(get_u32(&mut buf)?);
+            let stamp = VisitStamp(get_u64(&mut buf)?);
+            let req = get_req(&mut buf)?;
+            let span = get_u32(&mut buf)?;
+            Ok(BinaryMsg::DirectedReply {
+                probed,
+                stamp,
+                req,
+                span,
+            })
+        }
+        TAG_PROBE_REQ => {
+            let holder = NodeId::new(get_u32(&mut buf)?);
+            let span = get_u32(&mut buf)?;
+            Ok(BinaryMsg::ProbeReq { holder, span })
+        }
+        TAG_PROBE_HIT => {
+            let origin = NodeId::new(get_u32(&mut buf)?);
+            let req = get_req(&mut buf)?;
+            Ok(BinaryMsg::ProbeHit { origin, req })
+        }
+        TAG_REGEN_INQUIRY => Ok(BinaryMsg::Regen(RegenMsg::Inquiry {
+            generation: get_u32(&mut buf)?,
+        })),
+        TAG_REGEN_REPLY => {
+            let generation = get_u32(&mut buf)?;
+            let stamp = VisitStamp(get_u64(&mut buf)?);
+            let holder = get_u8(&mut buf)? != 0;
+            let passed_to = if get_u8(&mut buf)? != 0 {
+                Some(NodeId::new(get_u32(&mut buf)?))
+            } else {
+                None
+            };
+            let applied_seq = get_u64(&mut buf)?;
+            Ok(BinaryMsg::Regen(RegenMsg::Reply(RegenReply {
+                generation,
+                stamp,
+                holder,
+                passed_to,
+                applied_seq,
+            })))
+        }
+        TAG_REGEN_PLEASE => {
+            let new_gen = get_u32(&mut buf)?;
+            let known_seq = get_u64(&mut buf)?;
+            let dead = get_trail(&mut buf)?;
+            Ok(BinaryMsg::Regen(RegenMsg::Please {
+                new_gen,
+                known_seq,
+                dead,
+            }))
+        }
+        TAG_REGEN_REJOIN => Ok(BinaryMsg::Regen(RegenMsg::Rejoin)),
+        TAG_REGEN_LEAVE => Ok(BinaryMsg::Regen(RegenMsg::Leave)),
+        TAG_REGEN_SYNC_REQ => Ok(BinaryMsg::Regen(RegenMsg::SyncRequest {
+            from_seq: get_u64(&mut buf)?,
+        })),
+        TAG_REGEN_SYNC_REPLY => {
+            let n = get_u32(&mut buf)? as usize;
+            let mut entries = Vec::with_capacity(n.min(1 << 16));
+            for _ in 0..n {
+                entries.push(crate::types::LogEntry {
+                    seq: get_u64(&mut buf)?,
+                    origin: NodeId::new(get_u32(&mut buf)?),
+                    payload: get_u64(&mut buf)?,
+                    round: get_u64(&mut buf)?,
+                });
+            }
+            Ok(BinaryMsg::Regen(RegenMsg::SyncReply { entries }))
+        }
+        other => Err(CodecError::BadTag(other)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(msg: BinaryMsg) -> BinaryMsg {
+        decode_binary_msg(&encode_binary_msg(&msg)).expect("roundtrip")
+    }
+
+    fn sample_frame() -> TokenFrame {
+        let mut t = TokenFrame::new(4);
+        t.on_possess(NodeId::new(0), true);
+        t.append(NodeId::new(0), 11);
+        t.on_possess(NodeId::new(1), true);
+        t.append(NodeId::new(1), 22);
+        t.mark_satisfied(RequestId::new(NodeId::new(1), 1));
+        t
+    }
+
+    #[test]
+    fn token_modes_roundtrip() {
+        let frame = sample_frame();
+        let modes = [
+            TokenMode::Rotate,
+            TokenMode::Return,
+            TokenMode::Grant {
+                for_req: RequestId::new(NodeId::new(2), 9),
+                return_to: NodeId::new(4),
+            },
+            TokenMode::CleanupHop {
+                for_req: RequestId::new(NodeId::new(2), 9),
+                return_to: NodeId::new(4),
+                trail: vec![NodeId::new(1), NodeId::new(5)],
+            },
+        ];
+        for mode in modes {
+            let msg = BinaryMsg::Token {
+                frame: frame.clone(),
+                mode: mode.clone(),
+            };
+            match roundtrip(msg) {
+                BinaryMsg::Token { frame: f2, mode: m2 } => {
+                    assert_eq!(f2, frame);
+                    assert_eq!(m2, mode);
+                }
+                other => panic!("wrong variant: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn gimme_roundtrips() {
+        let g = Gimme {
+            origin: NodeId::new(7),
+            req: RequestId::new(NodeId::new(7), 3),
+            origin_stamp: VisitStamp(99),
+            span: 16,
+            trail: vec![NodeId::new(7), NodeId::new(15)],
+        };
+        match roundtrip(BinaryMsg::Gimme(g.clone())) {
+            BinaryMsg::Gimme(g2) => assert_eq!(g2, g),
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn control_messages_roundtrip() {
+        let msgs = [
+            BinaryMsg::DirectedProbe {
+                origin: NodeId::new(1),
+                req: RequestId::new(NodeId::new(1), 2),
+                span: 8,
+            },
+            BinaryMsg::DirectedReply {
+                probed: NodeId::new(9),
+                stamp: VisitStamp(5),
+                req: RequestId::new(NodeId::new(1), 2),
+                span: 8,
+            },
+            BinaryMsg::ProbeReq {
+                holder: NodeId::new(0),
+                span: 32,
+            },
+            BinaryMsg::ProbeHit {
+                origin: NodeId::new(6),
+                req: RequestId::new(NodeId::new(6), 1),
+            },
+        ];
+        for m in msgs {
+            let d = format!("{:?}", m);
+            let back = roundtrip(m);
+            assert_eq!(format!("{back:?}"), d);
+        }
+    }
+
+    #[test]
+    fn regen_messages_roundtrip() {
+        let msgs = [
+            BinaryMsg::Regen(RegenMsg::Inquiry { generation: 3 }),
+            BinaryMsg::Regen(RegenMsg::Reply(RegenReply {
+                generation: 3,
+                stamp: VisitStamp(77),
+                holder: true,
+                passed_to: Some(NodeId::new(2)),
+                applied_seq: 42,
+            })),
+            BinaryMsg::Regen(RegenMsg::Reply(RegenReply {
+                generation: 0,
+                stamp: VisitStamp::NEVER,
+                holder: false,
+                passed_to: None,
+                applied_seq: 0,
+            })),
+            BinaryMsg::Regen(RegenMsg::Please {
+                new_gen: 4,
+                known_seq: 100,
+                dead: vec![NodeId::new(3), NodeId::new(9)],
+            }),
+            BinaryMsg::Regen(RegenMsg::Rejoin),
+            BinaryMsg::Regen(RegenMsg::Leave),
+            BinaryMsg::Regen(RegenMsg::SyncRequest { from_seq: 41 }),
+            BinaryMsg::Regen(RegenMsg::SyncReply {
+                entries: vec![crate::types::LogEntry {
+                    seq: 41,
+                    origin: NodeId::new(2),
+                    payload: 9,
+                    round: 11,
+                }],
+            }),
+        ];
+        for m in msgs {
+            let d = format!("{:?}", m);
+            let back = roundtrip(m);
+            assert_eq!(format!("{back:?}"), d);
+        }
+    }
+
+    #[test]
+    fn truncated_input_is_rejected() {
+        let msg = BinaryMsg::Token {
+            frame: sample_frame(),
+            mode: TokenMode::Rotate,
+        };
+        let bytes = encode_binary_msg(&msg);
+        for cut in [0, 1, 5, bytes.len() - 1] {
+            assert!(decode_binary_msg(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn unknown_tag_is_rejected() {
+        match decode_binary_msg(&[0xff]) {
+            Err(CodecError::BadTag(0xff)) => {}
+            other => panic!("expected BadTag, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors_display() {
+        assert_eq!(CodecError::Truncated.to_string(), "message truncated");
+        assert!(CodecError::BadTag(7).to_string().contains("0x7"));
+    }
+}

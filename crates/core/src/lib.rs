@@ -1,0 +1,69 @@
+//! # atp-core — executable adaptive token-passing protocols
+//!
+//! Executable realizations of the protocol family from *"Developing and
+//! Refining an Adaptive Token-Passing Strategy"* (Englert, Rudolph,
+//! Shvartsman, 2001). Where the sibling crate `atp-spec` keeps the paper's
+//! Term-Rewriting-System specifications verbatim for machine-checked safety,
+//! this crate provides the deployable protocols — bounded state, explicit
+//! messages, failure handling — that the experiments in `atp-sim` measure.
+//!
+//! ## Protocols
+//!
+//! | Type | Paper system | Responsiveness |
+//! |---|---|---|
+//! | [`RingNode`] | Message-Passing + rule 3′ | O(N) (Lemma 4) |
+//! | [`SearchNode`] | Search, cyclic restriction | O(N) (Lemma 5) |
+//! | [`BinaryNode`] | BinarySearch | O(log N) (Theorem 2) |
+//!
+//! All three expose the same interface: they implement
+//! [`atp_net::Node`] (message-driven state machines), accept [`Want`]
+//! stimuli ("this node now requires the token"), and report observable
+//! behaviour through [`EventSource`].
+//!
+//! ## Quickstart
+//!
+//! ```rust
+//! use atp_core::{BinaryNode, ProtocolConfig, Want, EventSource, TokenEvent};
+//! use atp_net::{NodeId, SimTime, World, WorldConfig};
+//!
+//! // 16 nodes running System BinarySearch.
+//! let cfg = ProtocolConfig::default();
+//! let mut world = World::from_nodes(
+//!     (0..16).map(|_| BinaryNode::new(cfg)).collect(),
+//!     WorldConfig::default(),
+//! );
+//! // Node 11 wants the token at t=5.
+//! world.schedule_external(SimTime::from_ticks(5), NodeId::new(11), Want::new(42));
+//! world.run_until(SimTime::from_ticks(64));
+//! let events = world.node_mut(NodeId::new(11)).take_events();
+//! assert!(events.iter().any(|e| matches!(e, TokenEvent::Granted { .. })));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod binary;
+mod codec;
+mod config;
+mod event;
+mod order;
+mod regen;
+mod ring;
+mod runtime;
+mod search;
+mod service;
+mod token;
+mod types;
+
+pub use binary::{BinaryMsg, BinaryNode, Gimme, TokenMode};
+pub use codec::{decode_binary_msg, encode_binary_msg, CodecError};
+pub use config::{ProtocolConfig, SearchMode, TrapCleanup};
+pub use event::{EventSource, TokenEvent, Want};
+pub use order::{HistoryDigest, OrderState};
+pub use regen::{RegenEngine, RegenMsg, RegenReply, RegenVerdict};
+pub use ring::{RingMsg, RingNode};
+pub use runtime::{Cluster, ClusterConfig, ClusterHandle};
+pub use search::{SearchMsg, SearchNode};
+pub use service::{Delivery, Lease, ServiceError, TokenService};
+pub use token::TokenFrame;
+pub use types::{Grant, LogEntry, RequestId, VisitStamp};

@@ -1,0 +1,261 @@
+//! Per-node ordered-delivery state: the local prefix history `P|(x, H_x)`.
+//!
+//! System S1 introduced per-node prefix copies of the global history; the
+//! **prefix property** (Definition 2) demands every node's applied history is
+//! a prefix of `H`. This module maintains that local prefix: entries are
+//! applied strictly in `seq` order with no gaps, so the applied sequence is a
+//! prefix of `H` *by construction*; a chained digest lets tests compare two
+//! nodes' prefixes in O(1) without retaining the entries.
+
+use crate::event::{EventBuf, TokenEvent};
+use crate::types::LogEntry;
+use atp_net::SimTime;
+
+/// Chained digest over a history prefix (FNV-1a over entry fields).
+///
+/// Two nodes whose `(applied_seq, digest)` pairs agree have byte-identical
+/// prefixes with overwhelming probability; a node with smaller `applied_seq`
+/// can be checked against another's digest history when full logs are kept.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct HistoryDigest(pub u64);
+
+impl HistoryDigest {
+    /// Digest of the empty history.
+    pub const EMPTY: HistoryDigest = HistoryDigest(0xcbf2_9ce4_8422_2325);
+
+    /// Extends the digest with one entry.
+    pub fn chain(self, entry: &LogEntry) -> HistoryDigest {
+        const PRIME: u64 = 0x0000_0100_0000_01B3;
+        let mut h = self.0;
+        for word in [entry.seq, entry.origin.raw() as u64, entry.payload] {
+            for byte in word.to_le_bytes() {
+                h ^= byte as u64;
+                h = h.wrapping_mul(PRIME);
+            }
+        }
+        HistoryDigest(h)
+    }
+}
+
+/// The local ordered log of one node.
+#[derive(Debug, Clone)]
+pub struct OrderState {
+    applied_seq: u64,
+    digest: HistoryDigest,
+    /// Digest after each applied entry (index `i` = digest of prefix of
+    /// length `i+1`); kept only when `record_log` is on.
+    digests: Vec<HistoryDigest>,
+    log: Vec<LogEntry>,
+    record_log: bool,
+    /// Entries that arrived with `seq > applied_seq + 1` and had to be
+    /// skipped (the node was down long enough to miss the carried window).
+    gap_events: u64,
+}
+
+impl OrderState {
+    /// Creates an empty local history.
+    pub fn new(record_log: bool) -> Self {
+        OrderState {
+            applied_seq: 0,
+            digest: HistoryDigest::EMPTY,
+            digests: Vec::new(),
+            log: Vec::new(),
+            record_log,
+            gap_events: 0,
+        }
+    }
+
+    /// Applies every entry in `entries` that directly extends the local
+    /// prefix, emitting [`TokenEvent::Delivered`] into `events`.
+    ///
+    /// `entries` must be sorted by `seq` (the token keeps them so). Entries
+    /// at or below `applied_seq` are duplicates and skipped silently; an
+    /// entry beyond `applied_seq + 1` indicates the node missed the carried
+    /// window (crash recovery) and increments the gap counter instead of
+    /// violating the prefix invariant.
+    pub(crate) fn apply(&mut self, entries: &[LogEntry], at: SimTime, events: &mut EventBuf) {
+        // `entries` is sorted by seq: skip the already-applied prefix in
+        // O(log n) instead of scanning it (the lazy-search token carries its
+        // full history, so a linear skip would make possessions quadratic).
+        let start = entries.partition_point(|e| e.seq <= self.applied_seq);
+        for entry in &entries[start..] {
+            debug_assert!(entry.seq > self.applied_seq || entry.seq <= self.applied_seq + 1);
+            if entry.seq > self.applied_seq + 1 {
+                self.gap_events += 1;
+                continue;
+            }
+            self.applied_seq = entry.seq;
+            self.digest = self.digest.chain(entry);
+            if self.record_log {
+                self.log.push(*entry);
+                self.digests.push(self.digest);
+                events.push(TokenEvent::Delivered { entry: *entry, at });
+            }
+        }
+    }
+
+    /// Length of the applied prefix.
+    pub fn applied_seq(&self) -> u64 {
+        self.applied_seq
+    }
+
+    /// Digest of the applied prefix.
+    pub fn digest(&self) -> HistoryDigest {
+        self.digest
+    }
+
+    /// Digest of the prefix of length `len` (requires `record_log`).
+    ///
+    /// Returns `None` if `len` exceeds the applied prefix or logs are off
+    /// (except `len == 0`, which is always the empty digest).
+    pub fn digest_at(&self, len: u64) -> Option<HistoryDigest> {
+        if len == 0 {
+            return Some(HistoryDigest::EMPTY);
+        }
+        if len == self.applied_seq {
+            return Some(self.digest);
+        }
+        self.digests.get(len as usize - 1).copied()
+    }
+
+    /// The applied entries (empty when `record_log` is off).
+    pub fn log(&self) -> &[LogEntry] {
+        &self.log
+    }
+
+    /// The applied entries from position `from_seq` on, capped at `max`.
+    /// Empty when logs are off or `from_seq` is beyond the applied prefix.
+    pub fn suffix_from(&self, from_seq: u64, max: usize) -> Vec<LogEntry> {
+        if from_seq == 0 || from_seq > self.applied_seq || self.log.is_empty() {
+            return Vec::new();
+        }
+        let start = (from_seq - 1) as usize;
+        self.log
+            .get(start..)
+            .map(|s| s.iter().take(max).copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Number of entries that could not be applied due to gaps.
+    pub fn gap_events(&self) -> u64 {
+        self.gap_events
+    }
+
+    /// Returns `true` when `self`'s applied history is a prefix of
+    /// `other`'s (both with `record_log` on, or equal lengths).
+    pub fn is_prefix_of(&self, other: &OrderState) -> bool {
+        if self.applied_seq > other.applied_seq {
+            return false;
+        }
+        match other.digest_at(self.applied_seq) {
+            Some(d) => d == self.digest,
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atp_net::NodeId;
+
+    fn entry(seq: u64, payload: u64) -> LogEntry {
+        LogEntry {
+            seq,
+            origin: NodeId::new(0),
+            payload,
+            round: 0,
+        }
+    }
+
+    fn apply(state: &mut OrderState, entries: &[LogEntry]) -> usize {
+        let mut events = EventBuf::default();
+        state.apply(entries, SimTime::ZERO, &mut events);
+        events.take().len()
+    }
+
+    #[test]
+    fn applies_in_order_and_dedups() {
+        let mut s = OrderState::new(true);
+        let n = apply(&mut s, &[entry(1, 10), entry(2, 20)]);
+        assert_eq!(n, 2);
+        // Redelivery of the same window is idempotent.
+        let n = apply(&mut s, &[entry(1, 10), entry(2, 20), entry(3, 30)]);
+        assert_eq!(n, 1);
+        assert_eq!(s.applied_seq(), 3);
+        assert_eq!(s.log().len(), 3);
+        assert_eq!(s.gap_events(), 0);
+    }
+
+    #[test]
+    fn gaps_are_counted_not_applied() {
+        let mut s = OrderState::new(true);
+        let n = apply(&mut s, &[entry(5, 50)]);
+        assert_eq!(n, 0);
+        assert_eq!(s.applied_seq(), 0);
+        assert_eq!(s.gap_events(), 1);
+    }
+
+    #[test]
+    fn prefix_relation_via_digests() {
+        let mut a = OrderState::new(true);
+        let mut b = OrderState::new(true);
+        let entries = [entry(1, 1), entry(2, 2), entry(3, 3)];
+        apply(&mut a, &entries[..2]);
+        apply(&mut b, &entries);
+        assert!(a.is_prefix_of(&b));
+        assert!(!b.is_prefix_of(&a));
+        assert!(a.is_prefix_of(&a));
+    }
+
+    #[test]
+    fn diverged_histories_are_not_prefixes() {
+        let mut a = OrderState::new(true);
+        let mut b = OrderState::new(true);
+        apply(&mut a, &[entry(1, 1)]);
+        apply(&mut b, &[entry(1, 999)]);
+        assert!(!a.is_prefix_of(&b));
+        assert!(!b.is_prefix_of(&a));
+    }
+
+    #[test]
+    fn empty_history_is_prefix_of_everything() {
+        let a = OrderState::new(true);
+        let mut b = OrderState::new(true);
+        apply(&mut b, &[entry(1, 1)]);
+        assert!(a.is_prefix_of(&b));
+    }
+
+    #[test]
+    fn record_log_off_keeps_counters_only() {
+        let mut s = OrderState::new(false);
+        // No Delivered events are emitted in counters-only mode.
+        assert_eq!(apply(&mut s, &[entry(1, 1), entry(2, 2)]), 0);
+        assert_eq!(s.applied_seq(), 2);
+        assert!(s.log().is_empty());
+        assert!(s.digest_at(1).is_none());
+        assert_eq!(s.digest_at(2), Some(s.digest()));
+        assert_eq!(s.digest_at(0), Some(HistoryDigest::EMPTY));
+    }
+
+    #[test]
+    fn suffix_from_returns_requested_run() {
+        let mut s = OrderState::new(true);
+        apply(&mut s, &[entry(1, 10), entry(2, 20), entry(3, 30)]);
+        let suffix = s.suffix_from(2, 10);
+        assert_eq!(suffix.len(), 2);
+        assert_eq!(suffix[0].seq, 2);
+        assert_eq!(s.suffix_from(2, 1).len(), 1);
+        assert!(s.suffix_from(4, 10).is_empty());
+        assert!(s.suffix_from(0, 10).is_empty());
+        let off = OrderState::new(false);
+        assert!(off.suffix_from(1, 10).is_empty());
+    }
+
+    #[test]
+    fn digest_chain_is_order_sensitive() {
+        let d1 = HistoryDigest::EMPTY.chain(&entry(1, 1)).chain(&entry(2, 2));
+        let d2 = HistoryDigest::EMPTY.chain(&entry(2, 2)).chain(&entry(1, 1));
+        assert_ne!(d1, d2);
+    }
+}

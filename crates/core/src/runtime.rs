@@ -1,0 +1,448 @@
+//! A real multi-threaded deployment of System BinarySearch.
+//!
+//! Each node runs on its own OS thread, hosted by [`atp_net::Harness`];
+//! messages travel as **encoded byte frames** (see [`crate::codec`]) over
+//! crossbeam channels, so the exact on-the-wire protocol is exercised.
+//! Ticks are mapped to wall-clock time through
+//! [`ClusterConfig::tick`].
+//!
+//! This is the deployment path for applications that want a distributed
+//! mutex or totally-ordered broadcast inside one process (e.g. sharded
+//! services coordinating over an in-process bus); swapping the channel layer
+//! for sockets requires no protocol changes because framing is already
+//! byte-exact.
+//!
+//! ```rust
+//! use atp_core::{Cluster, ClusterConfig, TokenEvent};
+//! use atp_net::NodeId;
+//! use std::time::Duration;
+//!
+//! let cluster = Cluster::start(ClusterConfig::new(4));
+//! cluster.request(NodeId::new(2), 42);
+//! let granted = cluster.await_grant(NodeId::new(2), Duration::from_secs(5));
+//! assert!(granted);
+//! cluster.shutdown();
+//! ```
+
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
+
+use atp_net::{Harness, MsgClass, NodeId, SimTime, Topology};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::binary::BinaryNode;
+use crate::codec::{decode_binary_msg, encode_binary_msg};
+use crate::config::ProtocolConfig;
+use crate::event::{EventSource, TokenEvent, Want};
+
+/// Configuration for a threaded [`Cluster`].
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of nodes (threads).
+    pub n: usize,
+    /// Protocol tunables. The default enables adaptive token speed so an
+    /// idle cluster does not spin the token at channel speed.
+    pub protocol: ProtocolConfig,
+    /// Wall-clock duration of one simulated tick.
+    pub tick: Duration,
+    /// RNG seed base (node `i` uses `seed + i`).
+    pub seed: u64,
+    /// Probability of dropping each cheap (control-class) frame before it
+    /// leaves the sender — models an unreliable datagram path for the
+    /// paper's "cheap" messages while token frames stay reliable.
+    pub control_drop_p: f64,
+}
+
+impl ClusterConfig {
+    /// Sensible defaults for `n` nodes: 1 ms ticks, adaptive token speed.
+    pub fn new(n: usize) -> Self {
+        ClusterConfig {
+            n,
+            protocol: ProtocolConfig::default()
+                .with_adaptive_speed(true)
+                .with_max_idle_pass_ticks(64),
+            tick: Duration::from_millis(1),
+            seed: 0,
+            control_drop_p: 0.0,
+        }
+    }
+
+    /// Overrides the protocol configuration.
+    pub fn with_protocol(mut self, protocol: ProtocolConfig) -> Self {
+        self.protocol = protocol;
+        self
+    }
+
+    /// Overrides the tick duration.
+    pub fn with_tick(mut self, tick: Duration) -> Self {
+        self.tick = tick;
+        self
+    }
+
+    /// Overrides the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the cheap-channel loss probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn with_control_drop(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1]");
+        self.control_drop_p = p;
+        self
+    }
+}
+
+enum Envelope {
+    Net { from: NodeId, frame: bytes::Bytes },
+    External(Want),
+    Shutdown,
+}
+
+enum Due {
+    Timer { kind: u64 },
+    Send { to: NodeId, frame: bytes::Bytes },
+}
+
+struct DueEntry {
+    at: Instant,
+    seq: u64,
+    what: Due,
+}
+
+impl PartialEq for DueEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for DueEntry {}
+impl PartialOrd for DueEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for DueEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Min-heap by (at, seq).
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// A handle for injecting requests into one node of a running [`Cluster`].
+#[derive(Debug, Clone)]
+pub struct ClusterHandle {
+    node: NodeId,
+    tx: Sender<Envelope>,
+}
+
+impl ClusterHandle {
+    /// The node this handle addresses.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Makes the node ready: it will acquire the token and broadcast
+    /// `payload`. Watch the cluster's event stream for the grant.
+    pub fn want(&self, payload: u64) {
+        let _ = self.tx.send(Envelope::External(Want::new(payload)));
+    }
+}
+
+/// A running multi-threaded token-passing cluster.
+pub struct Cluster {
+    senders: Vec<Sender<Envelope>>,
+    events_rx: Receiver<(NodeId, TokenEvent)>,
+    threads: Vec<JoinHandle<()>>,
+    grants: Arc<Mutex<Vec<u64>>>,
+}
+
+impl std::fmt::Debug for Cluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cluster")
+            .field("n", &self.senders.len())
+            .field("grants", &*self.grants.lock())
+            .finish()
+    }
+}
+
+impl Cluster {
+    /// Starts `config.n` node threads and mints the token at node 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.n == 0`.
+    pub fn start(config: ClusterConfig) -> Self {
+        assert!(config.n > 0, "cluster needs at least one node");
+        let topology = Topology::ring(config.n);
+        let (events_tx, events_rx) = unbounded();
+        let mut senders = Vec::with_capacity(config.n);
+        let mut receivers = Vec::with_capacity(config.n);
+        for _ in 0..config.n {
+            let (tx, rx) = unbounded::<Envelope>();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        let senders = senders;
+        let all_senders = Arc::new(senders.clone());
+        let grants = Arc::new(Mutex::new(vec![0u64; config.n]));
+        let mut threads = Vec::with_capacity(config.n);
+        for (i, rx) in receivers.into_iter().enumerate() {
+            let id = NodeId::new(i as u32);
+            let cfg = config.protocol;
+            let tick = config.tick;
+            let seed = config.seed.wrapping_add(i as u64);
+            let drop_p = config.control_drop_p;
+            let peers = Arc::clone(&all_senders);
+            let events_tx = events_tx.clone();
+            let grants = Arc::clone(&grants);
+            threads.push(std::thread::spawn(move || {
+                node_main(
+                    id, topology, cfg, tick, seed, drop_p, rx, peers, events_tx, grants,
+                );
+            }));
+        }
+        Cluster {
+            senders,
+            events_rx,
+            threads,
+            grants,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Always `false`: clusters have at least one node.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// A cloneable handle to one node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn handle(&self, node: NodeId) -> ClusterHandle {
+        ClusterHandle {
+            node,
+            tx: self.senders[node.index()].clone(),
+        }
+    }
+
+    /// Makes `node` ready with `payload` (shorthand for
+    /// [`Cluster::handle`] + [`ClusterHandle::want`]).
+    pub fn request(&self, node: NodeId, payload: u64) {
+        self.handle(node).want(payload);
+    }
+
+    /// The merged event stream of all nodes.
+    pub fn events(&self) -> &Receiver<(NodeId, TokenEvent)> {
+        &self.events_rx
+    }
+
+    /// Blocks until `node` reports a grant, or `timeout` elapses.
+    /// Other events arriving in between are discarded.
+    pub fn await_grant(&self, node: NodeId, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            match self.events_rx.recv_timeout(deadline - now) {
+                Ok((who, TokenEvent::Granted { .. })) if who == node => return true,
+                Ok(_) => continue,
+                Err(_) => return false,
+            }
+        }
+    }
+
+    /// Per-node grant counters observed so far.
+    pub fn grants(&self) -> Vec<u64> {
+        self.grants.lock().clone()
+    }
+
+    /// Stops every node thread and waits for them to exit.
+    pub fn shutdown(mut self) {
+        for tx in &self.senders {
+            let _ = tx.send(Envelope::Shutdown);
+        }
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Cluster {
+    fn drop(&mut self) {
+        for tx in &self.senders {
+            let _ = tx.send(Envelope::Shutdown);
+        }
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn node_main(
+    id: NodeId,
+    topology: Topology,
+    cfg: ProtocolConfig,
+    tick: Duration,
+    seed: u64,
+    control_drop_p: f64,
+    rx: Receiver<Envelope>,
+    peers: Arc<Vec<Sender<Envelope>>>,
+    events_tx: Sender<(NodeId, TokenEvent)>,
+    grants: Arc<Mutex<Vec<u64>>>,
+) {
+    let mut drop_rng = StdRng::seed_from_u64(seed ^ 0xD0D0_CACA);
+    let start = Instant::now();
+    let ticks_now = |start: Instant| -> SimTime {
+        let t = start.elapsed().as_nanos() / tick.as_nanos().max(1);
+        SimTime::from_ticks(t as u64)
+    };
+    let mut harness = Harness::new(id, topology, BinaryNode::new(cfg), seed);
+    let mut heap: BinaryHeap<DueEntry> = BinaryHeap::new();
+    let mut seq = 0u64;
+    harness.init(ticks_now(start));
+
+    loop {
+        // Flush effects of the last dispatch.
+        for ob in harness.take_outbound() {
+            if control_drop_p > 0.0
+                && ob.class == MsgClass::Control
+                && drop_rng.gen_bool(control_drop_p)
+            {
+                continue; // the cheap channel lost it
+            }
+            let frame = encode_binary_msg(&ob.msg);
+            if ob.hold == 0 {
+                let _ = peers[ob.to.index()].send(Envelope::Net { from: id, frame });
+            } else {
+                seq += 1;
+                heap.push(DueEntry {
+                    at: Instant::now() + tick * ob.hold as u32,
+                    seq,
+                    what: Due::Send { to: ob.to, frame },
+                });
+            }
+        }
+        for t in harness.take_timers() {
+            seq += 1;
+            heap.push(DueEntry {
+                at: Instant::now() + tick * t.delay as u32,
+                seq,
+                what: Due::Timer { kind: t.kind },
+            });
+        }
+        for ev in harness.node_mut().take_events() {
+            if matches!(ev, TokenEvent::Granted { .. }) {
+                grants.lock()[id.index()] += 1;
+            }
+            let _ = events_tx.send((id, ev));
+        }
+
+        // Fire overdue entries.
+        let now = Instant::now();
+        if let Some(head) = heap.peek() {
+            if head.at <= now {
+                let entry = heap.pop().expect("peeked");
+                match entry.what {
+                    Due::Timer { kind } => harness.fire_timer(ticks_now(start), kind),
+                    Due::Send { to, frame } => {
+                        let _ = peers[to.index()].send(Envelope::Net { from: id, frame });
+                    }
+                }
+                continue;
+            }
+        }
+
+        // Wait for the next message or the next due entry.
+        let wait = heap
+            .peek()
+            .map(|e| e.at.saturating_duration_since(now))
+            .unwrap_or(Duration::from_millis(50));
+        match rx.recv_timeout(wait) {
+            Ok(Envelope::Net { from, frame }) => match decode_binary_msg(&frame) {
+                Ok(msg) => harness.deliver(ticks_now(start), from, msg),
+                Err(err) => debug_assert!(false, "undecodable frame: {err}"),
+            },
+            Ok(Envelope::External(want)) => harness.external(ticks_now(start), want),
+            Ok(Envelope::Shutdown) => break,
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cluster_grants_a_request() {
+        let cluster = Cluster::start(ClusterConfig::new(3).with_tick(Duration::from_micros(200)));
+        cluster.request(NodeId::new(1), 7);
+        assert!(cluster.await_grant(NodeId::new(1), Duration::from_secs(10)));
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn cluster_serves_concurrent_requesters() {
+        let cluster = Cluster::start(ClusterConfig::new(4).with_tick(Duration::from_micros(200)));
+        for i in 0..4 {
+            cluster.request(NodeId::new(i), i as u64);
+        }
+        let deadline = Instant::now() + Duration::from_secs(20);
+        let mut granted = [false; 4];
+        while granted.iter().any(|g| !g) && Instant::now() < deadline {
+            if let Ok((who, TokenEvent::Granted { .. })) =
+                cluster.events().recv_timeout(Duration::from_millis(500))
+            {
+                granted[who.index()] = true;
+            }
+        }
+        assert_eq!(granted, [true; 4]);
+        let grants = cluster.grants();
+        assert_eq!(grants.iter().sum::<u64>(), 4);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn cluster_survives_total_cheap_loss() {
+        // All search traffic lost: the rotating token still serves.
+        let cluster = Cluster::start(
+            ClusterConfig::new(3)
+                .with_tick(Duration::from_micros(200))
+                .with_control_drop(1.0),
+        );
+        cluster.request(NodeId::new(2), 9);
+        assert!(cluster.await_grant(NodeId::new(2), Duration::from_secs(15)));
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn handles_are_cloneable_and_attributed() {
+        let cluster = Cluster::start(ClusterConfig::new(2).with_tick(Duration::from_micros(200)));
+        let h = cluster.handle(NodeId::new(1));
+        let h2 = h.clone();
+        assert_eq!(h2.node(), NodeId::new(1));
+        h2.want(5);
+        assert!(cluster.await_grant(NodeId::new(1), Duration::from_secs(10)));
+        cluster.shutdown();
+    }
+}

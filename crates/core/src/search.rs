@@ -1,0 +1,850 @@
+//! System Search with the Lemma 5 cyclic restriction: lazy token + linear
+//! delegated search.
+//!
+//! Unlike the rotating ring, the token here *stays where it was last used*.
+//! A ready node emits a "gimme" message that walks the ring node-by-node
+//! (rules 5 and 6 restricted to cyclic neighbours), leaving a trap `τ` at
+//! every node it visits. When the gimme reaches the holder — or when the
+//! token later lands on a trapped node — the token is sent *directly* to the
+//! requester (rule 7).
+//!
+//! Responsiveness is O(N) (Lemma 5): the gimme needs at most `N` message
+//! delays to find the holder, plus one direct token hop. Message cost per
+//! request is O(distance to holder) cheap messages and exactly one token
+//! message — the regime where lazy tokens beat perpetual rotation is bursty,
+//! *localized* demand.
+
+use std::collections::{BTreeSet, VecDeque};
+
+use atp_net::{Context, MsgClass, Node, NodeId, SimTime};
+
+use crate::config::ProtocolConfig;
+use crate::event::{EventBuf, EventSource, TokenEvent, Want, WantKind};
+use crate::order::OrderState;
+use crate::regen::{RegenEngine, RegenMsg, RegenReply, RegenVerdict};
+use crate::token::TokenFrame;
+use crate::types::{RequestId, VisitStamp};
+
+/// Messages of the lazy-token search protocol.
+#[derive(Debug, Clone)]
+pub enum SearchMsg {
+    /// The token, sent directly to a requester or minted at start.
+    Token {
+        /// The frame itself.
+        frame: TokenFrame,
+        /// The request this transfer satisfies (`None` for the initial
+        /// placement / regeneration).
+        grant_for: Option<RequestId>,
+    },
+    /// A "gimme" walking the ring (rule 5/6 with `y = x⁺¹`).
+    Gimme {
+        /// The ready node.
+        origin: NodeId,
+        /// Its request.
+        req: RequestId,
+        /// Hops taken so far (stops after a full cycle).
+        hops: u32,
+    },
+    /// Failure-handling traffic (Section 5).
+    Regen(RegenMsg),
+}
+
+const TIMER_SERVICE: u64 = 1;
+const TIMER_REGEN: u64 = 3;
+const TIMER_INQUIRY: u64 = 4;
+const INQUIRY_WINDOW: u64 = 8;
+
+#[derive(Debug)]
+struct Outstanding {
+    req: RequestId,
+    payload: u64,
+    made_at: SimTime,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Trap {
+    origin: NodeId,
+    req: RequestId,
+}
+
+#[derive(Debug)]
+enum HoldState {
+    Idle,
+    Serving { req: RequestId, payload: u64 },
+}
+
+#[derive(Debug)]
+struct Holding {
+    token: TokenFrame,
+    state: HoldState,
+}
+
+/// One node of the lazy-token linear-search protocol.
+#[derive(Debug)]
+pub struct SearchNode {
+    cfg: ProtocolConfig,
+    events: EventBuf,
+    order: OrderState,
+    outstanding: VecDeque<Outstanding>,
+    traps: VecDeque<Trap>,
+    next_req_seq: u64,
+    last_visit: VisitStamp,
+    last_pass: Option<NodeId>,
+    holding: Option<Holding>,
+    regen: RegenEngine,
+    rejoining: BTreeSet<NodeId>,
+    leaving: BTreeSet<NodeId>,
+    departed: bool,
+    /// Gap count already covered by an outstanding sync request.
+    synced_gaps: u64,
+    grants: u64,
+    token_sends: u64,
+    gimme_sends: u64,
+}
+
+impl SearchNode {
+    /// Creates a node with the given configuration.
+    pub fn new(cfg: ProtocolConfig) -> Self {
+        SearchNode {
+            order: OrderState::new(cfg.record_log),
+            cfg,
+            events: EventBuf::default(),
+            outstanding: VecDeque::new(),
+            traps: VecDeque::new(),
+            next_req_seq: 0,
+            last_visit: VisitStamp::NEVER,
+            last_pass: None,
+            holding: None,
+            regen: RegenEngine::new(),
+            rejoining: BTreeSet::new(),
+            leaving: BTreeSet::new(),
+            departed: false,
+            synced_gaps: 0,
+            grants: 0,
+            token_sends: 0,
+            gimme_sends: 0,
+        }
+    }
+
+    /// The node's applied history.
+    pub fn order(&self) -> &OrderState {
+        &self.order
+    }
+
+    /// Total grants received.
+    pub fn grants(&self) -> u64 {
+        self.grants
+    }
+
+    /// Whether this node holds the (idle or in-service) token.
+    pub fn holds_token(&self) -> bool {
+        self.holding.is_some()
+    }
+
+    /// Requests queued locally.
+    pub fn outstanding_len(&self) -> usize {
+        self.outstanding.len()
+    }
+
+    /// Traps currently set at this node.
+    pub fn trap_count(&self) -> usize {
+        self.traps.len()
+    }
+
+    /// Token messages sent by this node.
+    pub fn token_sends(&self) -> u64 {
+        self.token_sends
+    }
+
+    /// Gimme messages sent or forwarded by this node.
+    pub fn gimme_sends(&self) -> u64 {
+        self.gimme_sends
+    }
+
+    /// Whether this node has gracefully left the group.
+    pub fn is_departed(&self) -> bool {
+        self.departed
+    }
+
+    fn witness_generation(&mut self, generation: u32, at: SimTime) {
+        if self.regen.witness(generation) {
+            if let Some(h) = &self.holding {
+                if h.token.generation < generation {
+                    self.holding = None;
+                    self.events.push(TokenEvent::StaleTokenDiscarded {
+                        generation: generation - 1,
+                        at,
+                    });
+                }
+            }
+        }
+    }
+
+    fn handle_token(&mut self, mut token: TokenFrame, ctx: &mut Context<'_, SearchMsg>) {
+        if token.generation < self.regen.generation {
+            self.events.push(TokenEvent::StaleTokenDiscarded {
+                generation: token.generation,
+                at: ctx.now(),
+            });
+            return;
+        }
+        self.witness_generation(token.generation, ctx.now());
+        if self.holding.is_some() {
+            debug_assert!(false, "duplicate token at {}", ctx.id());
+            return;
+        }
+        self.last_visit = token.on_possess(ctx.id(), false);
+        self.order.apply(token.carried(), ctx.now(), &mut self.events);
+        self.maybe_request_sync(ctx);
+        // Purge traps whose requests were satisfied elsewhere; without this
+        // the lingering copies left along every gimme walk accumulate
+        // forever under sustained load.
+        let frame_ref = &token;
+        self.traps.retain(|t| !frame_ref.is_satisfied(&t.req));
+        for node in std::mem::take(&mut self.rejoining) {
+            token.readmit(node);
+        }
+        for node in std::mem::take(&mut self.leaving) {
+            token.exclude(node);
+        }
+        if self.departed {
+            // Hand the lazy token to someone still in the group.
+            token.exclude(ctx.id());
+            self.holding = Some(Holding {
+                token,
+                state: HoldState::Idle,
+            });
+            self.hand_off(ctx);
+            return;
+        }
+        self.holding = Some(Holding {
+            token,
+            state: HoldState::Idle,
+        });
+        self.progress(ctx);
+    }
+
+    /// Sends the held token to a trapped requester if any, otherwise to the
+    /// next live successor (used by departing holders).
+    fn hand_off(&mut self, ctx: &mut Context<'_, SearchMsg>) {
+        while let Some(trap) = self.traps.front() {
+            let stale = self
+                .holding
+                .as_ref()
+                .is_none_or(|h| h.token.is_satisfied(&trap.req));
+            if stale {
+                self.traps.pop_front();
+            } else {
+                break;
+            }
+        }
+        if let Some(trap) = self.traps.pop_front() {
+            self.dispatch_token(trap, ctx);
+            return;
+        }
+        let Some(holding) = self.holding.take() else {
+            return;
+        };
+        let succ = holding.token.next_live_successor(ctx.topology(), ctx.id());
+        self.last_pass = Some(succ);
+        self.token_sends += 1;
+        ctx.send(
+            succ,
+            SearchMsg::Token {
+                frame: holding.token,
+                grant_for: None,
+            },
+            MsgClass::Token,
+        );
+    }
+
+    fn finish_service(&mut self, req: RequestId, payload: u64, ctx: &mut Context<'_, SearchMsg>) {
+        let holding = self.holding.as_mut().expect("finishing without token");
+        let entry = holding.token.append(ctx.id(), payload);
+        holding.token.mark_satisfied(req);
+        // The lazy token has no rounds to GC by, and a node may go
+        // arbitrarily long between possessions — so, exactly as in the
+        // paper's Figure 6 where the token message carries the complete
+        // history H, the carried window is left unbounded here. (The
+        // rotating protocols bound it by round counters instead.)
+        self.order.apply(&[entry], ctx.now(), &mut self.events);
+        self.events.push(TokenEvent::Released { req, at: ctx.now() });
+    }
+
+    fn progress(&mut self, ctx: &mut Context<'_, SearchMsg>) {
+        loop {
+            let Some(holding) = self.holding.as_mut() else {
+                return;
+            };
+            match holding.state {
+                HoldState::Serving { .. } => return,
+                HoldState::Idle => {
+                    if let Some(out) = self.outstanding.pop_front() {
+                        self.grants += 1;
+                        self.events.push(TokenEvent::Granted {
+                            req: out.req,
+                            at: ctx.now(),
+                        });
+                        if self.cfg.service_ticks == 0 {
+                            self.finish_service(out.req, out.payload, ctx);
+                            continue;
+                        }
+                        holding.state = HoldState::Serving {
+                            req: out.req,
+                            payload: out.payload,
+                        };
+                        ctx.set_timer(self.cfg.service_ticks, TIMER_SERVICE);
+                        return;
+                    }
+                    // Serve trapped requesters, skipping satisfied traps.
+                    while let Some(trap) = self.traps.front() {
+                        if holding.token.is_satisfied(&trap.req) {
+                            self.traps.pop_front();
+                            continue;
+                        }
+                        break;
+                    }
+                    if let Some(trap) = self.traps.pop_front() {
+                        self.dispatch_token(trap, ctx);
+                    }
+                    // Otherwise: lazy — keep holding silently.
+                    return;
+                }
+            }
+        }
+    }
+
+    fn dispatch_token(&mut self, trap: Trap, ctx: &mut Context<'_, SearchMsg>) {
+        let Some(holding) = self.holding.take() else {
+            return;
+        };
+        self.last_pass = Some(trap.origin);
+        self.token_sends += 1;
+        ctx.send(
+            trap.origin,
+            SearchMsg::Token {
+                frame: holding.token,
+                grant_for: Some(trap.req),
+            },
+            MsgClass::Token,
+        );
+    }
+
+    fn handle_gimme(
+        &mut self,
+        origin: NodeId,
+        req: RequestId,
+        hops: u32,
+        ctx: &mut Context<'_, SearchMsg>,
+    ) {
+        if origin == ctx.id() {
+            return; // own gimme came full circle
+        }
+        if let Some(h) = &self.holding {
+            if h.token.is_satisfied(&req) {
+                return;
+            }
+        }
+        if self.departed {
+            // Relay without trapping.
+            let next_hops = hops + 1;
+            if (next_hops as usize) < ctx.topology().len() {
+                let next = ctx.topology().successor(ctx.id());
+                self.gimme_sends += 1;
+                ctx.send(
+                    next,
+                    SearchMsg::Gimme {
+                        origin,
+                        req,
+                        hops: next_hops,
+                    },
+                    MsgClass::Control,
+                );
+            }
+            return;
+        }
+        if !self.traps.iter().any(|t| t.req == req) {
+            self.traps.push_back(Trap { origin, req });
+        }
+        if self.holding.is_some() {
+            self.progress(ctx);
+            return;
+        }
+        // Forward to the cyclic neighbour (rule 6 restricted).
+        let next_hops = hops + 1;
+        if (next_hops as usize) < ctx.topology().len() {
+            let next = ctx.topology().successor(ctx.id());
+            self.gimme_sends += 1;
+            ctx.send(
+                next,
+                SearchMsg::Gimme {
+                    origin,
+                    req,
+                    hops: next_hops,
+                },
+                MsgClass::Control,
+            );
+        }
+    }
+
+    fn my_regen_view(&self) -> RegenReply {
+        RegenReply {
+            generation: self.regen.generation,
+            stamp: self.last_visit,
+            holder: self.holding.is_some(),
+            passed_to: self.last_pass,
+            applied_seq: self.order.applied_seq(),
+        }
+    }
+
+    fn arm_regen_timer(&mut self, ctx: &mut Context<'_, SearchMsg>) {
+        if self.cfg.regeneration {
+            let timeout = self.cfg.effective_regen_timeout(ctx.topology().len());
+            ctx.set_timer(timeout, TIMER_REGEN);
+        }
+    }
+
+    fn broadcast_inquiry(&mut self, ctx: &mut Context<'_, SearchMsg>) {
+        self.regen.start_inquiry();
+        let me = ctx.id();
+        let generation = self.regen.generation;
+        for peer in ctx.topology().iter() {
+            if peer != me {
+                ctx.send(
+                    peer,
+                    SearchMsg::Regen(RegenMsg::Inquiry { generation }),
+                    MsgClass::Token,
+                );
+            }
+        }
+        ctx.set_timer(INQUIRY_WINDOW, TIMER_INQUIRY);
+    }
+
+    fn handle_regen(&mut self, from: NodeId, msg: RegenMsg, ctx: &mut Context<'_, SearchMsg>) {
+        match msg {
+            RegenMsg::Inquiry { generation } => {
+                self.witness_generation(generation, ctx.now());
+                let view = self.my_regen_view();
+                ctx.send(from, SearchMsg::Regen(RegenMsg::Reply(view)), MsgClass::Token);
+            }
+            RegenMsg::Reply(reply) => {
+                self.regen.record_reply(from, reply);
+            }
+            RegenMsg::Please {
+                new_gen,
+                known_seq,
+                dead,
+            } => {
+                let window = self.cfg.effective_window(ctx.topology().len());
+                if let Some(token) = self.regen.mint(new_gen, known_seq, window, dead) {
+                    self.events.push(TokenEvent::Regenerated {
+                        by: ctx.id(),
+                        generation: new_gen,
+                        at: ctx.now(),
+                    });
+                    self.handle_token(token, ctx);
+                }
+            }
+            RegenMsg::SyncRequest { from_seq } => {
+                let entries = self
+                    .order
+                    .suffix_from(from_seq, crate::regen::SYNC_REPLY_MAX);
+                if !entries.is_empty() {
+                    ctx.send(
+                        from,
+                        SearchMsg::Regen(RegenMsg::SyncReply { entries }),
+                        MsgClass::Token,
+                    );
+                }
+            }
+            RegenMsg::SyncReply { entries } => {
+                self.order.apply(&entries, ctx.now(), &mut self.events);
+            }
+            RegenMsg::Rejoin => {
+                self.leaving.remove(&from);
+                self.rejoining.insert(from);
+                if let Some(h) = self.holding.as_mut() {
+                    h.token.readmit(from);
+                    self.rejoining.remove(&from);
+                }
+            }
+            RegenMsg::Leave => {
+                self.rejoining.remove(&from);
+                self.leaving.insert(from);
+                self.traps.retain(|t| t.origin != from);
+                if let Some(h) = self.holding.as_mut() {
+                    h.token.exclude(from);
+                    self.leaving.remove(&from);
+                }
+            }
+        }
+    }
+
+
+    /// Requests a state transfer from the cyclic successor when this node
+    /// has fallen behind the token's carried window (detected via gap
+    /// accounting). The reply fills the local prefix in order, so the
+    /// prefix property is never at risk.
+    fn maybe_request_sync(&mut self, ctx: &mut Context<'_, SearchMsg>) {
+        let gaps = self.order.gap_events();
+        if gaps > self.synced_gaps {
+            self.synced_gaps = gaps;
+            let succ = ctx.topology().successor(ctx.id());
+            ctx.send(
+                succ,
+                SearchMsg::Regen(RegenMsg::SyncRequest {
+                    from_seq: self.order.applied_seq() + 1,
+                }),
+                MsgClass::Token,
+            );
+        }
+    }
+
+    fn announce(&mut self, msg: RegenMsg, ctx: &mut Context<'_, SearchMsg>) {
+        let me = ctx.id();
+        for peer in ctx.topology().iter() {
+            if peer != me {
+                ctx.send(peer, SearchMsg::Regen(msg.clone()), MsgClass::Token);
+            }
+        }
+    }
+
+    /// Re-issues the front request's gimme — either straight at a known
+    /// holder (inquiry hint) or as a fresh walk. Doubles as retransmission
+    /// for gimmes lost on the cheap channel.
+    fn resend_gimme(&mut self, holder_hint: Option<NodeId>, ctx: &mut Context<'_, SearchMsg>) {
+        if self.holding.is_some() {
+            return;
+        }
+        let Some(front) = self.outstanding.front() else {
+            return;
+        };
+        let req = front.req;
+        let me = ctx.id();
+        let to = holder_hint.unwrap_or_else(|| ctx.topology().successor(me));
+        self.gimme_sends += 1;
+        ctx.send(
+            to,
+            SearchMsg::Gimme {
+                origin: me,
+                req,
+                hops: 1,
+            },
+            MsgClass::Control,
+        );
+    }
+}
+
+impl Node for SearchNode {
+    type Msg = SearchMsg;
+    type Ext = Want;
+
+    fn on_init(&mut self, ctx: &mut Context<'_, SearchMsg>) {
+        if ctx.id().index() == 0 {
+            let token = TokenFrame::new(self.cfg.effective_window(ctx.topology().len()));
+            self.handle_token(token, ctx);
+        }
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: SearchMsg, ctx: &mut Context<'_, SearchMsg>) {
+        match msg {
+            SearchMsg::Token { frame, .. } => self.handle_token(frame, ctx),
+            SearchMsg::Gimme { origin, req, hops } => self.handle_gimme(origin, req, hops, ctx),
+            SearchMsg::Regen(m) => self.handle_regen(from, m, ctx),
+        }
+    }
+
+    fn on_external(&mut self, ev: Want, ctx: &mut Context<'_, SearchMsg>) {
+        match ev.kind {
+            WantKind::Acquire => {}
+            WantKind::Leave => {
+                self.departed = true;
+                self.outstanding.clear();
+                self.announce(RegenMsg::Leave, ctx);
+                if let Some(h) = self.holding.as_mut() {
+                    h.token.exclude(ctx.id());
+                    if matches!(h.state, HoldState::Idle) {
+                        self.hand_off(ctx);
+                    }
+                }
+                return;
+            }
+            WantKind::Rejoin => {
+                self.departed = false;
+                self.announce(RegenMsg::Rejoin, ctx);
+                return;
+            }
+        }
+        if self.departed {
+            return;
+        }
+        self.next_req_seq += 1;
+        let req = RequestId::new(ctx.id(), self.next_req_seq);
+        self.events.push(TokenEvent::Requested { req, at: ctx.now() });
+        self.outstanding.push_back(Outstanding {
+            req,
+            payload: ev.payload,
+            made_at: ctx.now(),
+        });
+        if self.holding.is_some() {
+            self.progress(ctx);
+            return;
+        }
+        if !self.cfg.single_outstanding || self.outstanding.len() == 1 {
+            let next = ctx.topology().successor(ctx.id());
+            self.gimme_sends += 1;
+            ctx.send(
+                next,
+                SearchMsg::Gimme {
+                    origin: ctx.id(),
+                    req,
+                    hops: 1,
+                },
+                MsgClass::Control,
+            );
+        }
+        if self.outstanding.len() == 1 {
+            self.arm_regen_timer(ctx);
+        }
+    }
+
+    fn on_timer(&mut self, kind: u64, ctx: &mut Context<'_, SearchMsg>) {
+        match kind {
+            TIMER_SERVICE => {
+                let Some(holding) = self.holding.as_mut() else {
+                    return;
+                };
+                if let HoldState::Serving { req, payload } = holding.state {
+                    holding.state = HoldState::Idle;
+                    self.finish_service(req, payload, ctx);
+                    self.progress(ctx);
+                }
+            }
+            TIMER_REGEN => {
+                if self.holding.is_some() || !self.cfg.regeneration {
+                    return;
+                }
+                let Some(front) = self.outstanding.front() else {
+                    return;
+                };
+                let timeout = self.cfg.effective_regen_timeout(ctx.topology().len());
+                let waited = ctx.now().since(front.made_at);
+                if waited >= timeout {
+                    if !self.regen.is_inquiring() {
+                        self.broadcast_inquiry(ctx);
+                    }
+                } else {
+                    ctx.set_timer(timeout - waited, TIMER_REGEN);
+                }
+            }
+            TIMER_INQUIRY => {
+                if !self.cfg.regeneration {
+                    return;
+                }
+                let view = self.my_regen_view();
+                match self.regen.conclude(ctx.topology(), ctx.id(), view) {
+                    RegenVerdict::Wait { holder } => {
+                        if !self.outstanding.is_empty() && self.holding.is_none() {
+                            self.resend_gimme(holder, ctx);
+                            self.arm_regen_timer(ctx);
+                        }
+                    }
+                    RegenVerdict::Regenerate {
+                        target,
+                        new_gen,
+                        known_seq,
+                        dead,
+                    } => {
+                        if target == ctx.id() {
+                            let window = self.cfg.effective_window(ctx.topology().len());
+                            if let Some(token) = self.regen.mint(new_gen, known_seq, window, dead)
+                            {
+                                self.events.push(TokenEvent::Regenerated {
+                                    by: ctx.id(),
+                                    generation: new_gen,
+                                    at: ctx.now(),
+                                });
+                                self.handle_token(token, ctx);
+                            }
+                        } else {
+                            ctx.send(
+                                target,
+                                SearchMsg::Regen(RegenMsg::Please {
+                                    new_gen,
+                                    known_seq,
+                                    dead,
+                                }),
+                                MsgClass::Token,
+                            );
+                            self.resend_gimme(Some(target), ctx);
+                            self.arm_regen_timer(ctx);
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_recover(&mut self, ctx: &mut Context<'_, SearchMsg>) {
+        if self.holding.take().is_some() {
+            self.events.push(TokenEvent::StaleTokenDiscarded {
+                generation: self.regen.generation,
+                at: ctx.now(),
+            });
+        }
+        self.traps.clear();
+        if self.cfg.regeneration {
+            let me = ctx.id();
+            for peer in ctx.topology().iter() {
+                if peer != me {
+                    ctx.send(peer, SearchMsg::Regen(RegenMsg::Rejoin), MsgClass::Token);
+                }
+            }
+        }
+        if !self.outstanding.is_empty() {
+            self.arm_regen_timer(ctx);
+        }
+    }
+}
+
+impl EventSource for SearchNode {
+    fn take_events(&mut self) -> Vec<TokenEvent> {
+        self.events.take()
+    }
+
+    fn has_events(&self) -> bool {
+        !self.events.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atp_net::{ControlDrops, World, WorldConfig};
+
+    fn world(n: usize, cfg: ProtocolConfig) -> World<SearchNode> {
+        World::from_nodes(
+            (0..n).map(|_| SearchNode::new(cfg)).collect(),
+            WorldConfig::default(),
+        )
+    }
+
+    #[test]
+    fn idle_system_is_quiescent() {
+        let mut w = world(8, ProtocolConfig::default());
+        let events = w.run_to_quiescence();
+        // No demand: the lazy token never moves, no messages at all.
+        assert_eq!(events, 0);
+        assert!(w.node(NodeId::new(0)).holds_token());
+        assert_eq!(w.stats().total_sent(), 0);
+    }
+
+    #[test]
+    fn gimme_walks_to_holder_and_token_returns_directly() {
+        let mut w = world(8, ProtocolConfig::default());
+        w.schedule_external(SimTime::ZERO, NodeId::new(3), Want::new(1));
+        w.run_to_quiescence();
+        assert_eq!(w.node(NodeId::new(3)).grants(), 1);
+        assert!(w.node(NodeId::new(3)).holds_token(), "token stays lazily");
+        // Gimme walks 3 → 4 → … → 0? No: walks clockwise 4,5,6,7,0 — the
+        // holder is node 0, at clockwise distance 5.
+        assert_eq!(w.stats().sent(MsgClass::Control), 5);
+        assert_eq!(w.stats().sent(MsgClass::Token), 1);
+    }
+
+    #[test]
+    fn repeated_bursts_from_same_neighbourhood_are_cheap() {
+        let mut w = world(64, ProtocolConfig::default());
+        w.schedule_external(SimTime::ZERO, NodeId::new(10), Want::new(1));
+        w.run_to_quiescence();
+        let after_first = w.stats().sent(MsgClass::Control);
+        let t = w.now();
+        w.schedule_external(t + 1, NodeId::new(11), Want::new(2));
+        w.run_to_quiescence();
+        let second_cost = w.stats().sent(MsgClass::Control) - after_first;
+        // Token sits at node 10; node 11's gimme walks 64-1 = … no: 11 → 12
+        // → … wraps to 10: distance 63. That's the pathology of clockwise
+        // walk; the neighbour *behind* is cheap:
+        let t = w.now();
+        w.schedule_external(t + 1, NodeId::new(10), Want::new(3));
+        w.run_to_quiescence();
+        assert_eq!(w.node(NodeId::new(10)).grants(), 2);
+        assert!(second_cost >= 1);
+    }
+
+    #[test]
+    fn traps_catch_token_on_later_use() {
+        let mut w = world(8, ProtocolConfig::default());
+        // Token at 0. Two requesters: node 2 and node 5. Node 2's gimme
+        // reaches 0 first (walks 3,4,…,0? no — clockwise from 2: 3..7,0 is
+        // distance 6; node 5's walk is 6,7,0: distance 3).
+        w.schedule_external(SimTime::ZERO, NodeId::new(2), Want::new(1));
+        w.schedule_external(SimTime::ZERO, NodeId::new(5), Want::new(2));
+        w.run_to_quiescence();
+        assert_eq!(w.node(NodeId::new(2)).grants(), 1);
+        assert_eq!(w.node(NodeId::new(5)).grants(), 1);
+    }
+
+    #[test]
+    fn all_requests_served_under_load() {
+        let mut w = world(10, ProtocolConfig::default());
+        for t in 0..50 {
+            w.schedule_external(
+                SimTime::from_ticks(t * 2),
+                NodeId::new((t % 10) as u32),
+                Want::new(t),
+            );
+        }
+        w.run_until(SimTime::from_ticks(2000));
+        let grants: u64 = (0..10).map(|i| w.node(NodeId::new(i)).grants()).sum();
+        assert_eq!(grants, 50);
+        // Prefix property across all nodes.
+        let nodes: Vec<_> = (0..10).map(|i| w.node(NodeId::new(i))).collect();
+        for a in &nodes {
+            for b in &nodes {
+                assert!(a.order().is_prefix_of(b.order()) || b.order().is_prefix_of(a.order()));
+            }
+        }
+    }
+
+    #[test]
+    fn single_outstanding_throttles_gimmes() {
+        let cfg = ProtocolConfig::default().with_single_outstanding(true);
+        let mut w = world(16, cfg);
+        // Node 8 wants 5 times in a burst; only one gimme walk should start.
+        for k in 0..5 {
+            w.schedule_external(SimTime::from_ticks(k), NodeId::new(8), Want::new(k));
+        }
+        w.run_to_quiescence();
+        assert_eq!(w.node(NodeId::new(8)).grants(), 5);
+        // One walk of ≤ 8 hops (8 → … → 0), not five.
+        assert!(w.stats().sent(MsgClass::Control) <= 8);
+    }
+
+    #[test]
+    fn lost_gimme_stalls_but_regeneration_is_not_needed() {
+        // Drop ALL control messages: requests can never find the token.
+        // Safety must hold (nobody gets a phantom grant).
+        let cfg = ProtocolConfig::default();
+        let mut w: World<SearchNode> = World::from_nodes(
+            (0..4).map(|_| SearchNode::new(cfg)).collect(),
+            WorldConfig::default().drops(ControlDrops::new(1.0)),
+        );
+        w.schedule_external(SimTime::ZERO, NodeId::new(2), Want::new(1));
+        w.run_to_quiescence();
+        assert_eq!(w.node(NodeId::new(2)).grants(), 0);
+        assert!(w.node(NodeId::new(0)).holds_token());
+    }
+
+    #[test]
+    fn holder_crash_recovers_via_regeneration() {
+        let cfg = ProtocolConfig::default().with_regeneration(20);
+        let mut w = world(4, cfg);
+        // Token starts at node 0; crash it immediately.
+        w.schedule_crash(SimTime::from_ticks(1), NodeId::new(0));
+        w.schedule_external(SimTime::from_ticks(2), NodeId::new(2), Want::new(7));
+        w.run_until(SimTime::from_ticks(500));
+        assert_eq!(w.node(NodeId::new(2)).grants(), 1);
+    }
+}

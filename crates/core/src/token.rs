@@ -1,0 +1,393 @@
+//! The token frame: the single "expensive" artifact that circulates.
+//!
+//! In System Message-Passing the global history `H` stops existing as state
+//! and travels inside token messages. [`TokenFrame`] is the bounded-size
+//! realization: instead of the full history it carries
+//!
+//! * the *committed length* of `H` (`next_seq`), which is all a holder needs
+//!   to append;
+//! * a **carried window** of recent [`LogEntry`]s — every entry appended
+//!   during the current and previous round. A rotation takes exactly one
+//!   round to show an entry to every node, so older entries are garbage
+//!   (Section 4.4's round-counter bounding);
+//! * a **satisfied window** of recently granted [`RequestId`]s used by the
+//!   token-rotation trap cleanup;
+//! * the rotation bookkeeping (visit counter, round counter, idle rounds)
+//!   that drives visit stamps and the adaptive-speed optimization.
+
+use std::collections::VecDeque;
+
+use atp_net::NodeId;
+
+use crate::types::{LogEntry, RequestId, VisitStamp};
+
+/// The circulating token and its bounded payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TokenFrame {
+    /// Token generation; bumped on regeneration after a loss (Section 5).
+    /// Frames from superseded generations are discarded on receipt.
+    pub generation: u32,
+    /// Global possession counter: incremented every time a node takes the
+    /// token. Doubles as the visit-stamp source for rule 6's comparison.
+    visit_seq: u64,
+    /// Completed rotations (increments when the rotating token re-enters
+    /// node 0).
+    round: u64,
+    /// Next position of the global history `H` to be assigned (1-based).
+    next_seq: u64,
+    /// Entries appended during the current and previous round.
+    carried: Vec<LogEntry>,
+    /// Recently satisfied requests, newest at the back.
+    satisfied: VecDeque<RequestId>,
+    satisfied_cap: usize,
+    /// Consecutive full rounds in which nobody used the token.
+    idle_rounds: u32,
+    demand_this_round: bool,
+    /// Nodes believed crashed: rotation skips them (Section 5 / future-work
+    /// membership sketch). Populated at regeneration time from inquiry
+    /// non-repliers; drained by `readmit` when a node announces recovery.
+    excluded: Vec<NodeId>,
+}
+
+impl TokenFrame {
+    /// Mints a fresh token (generation 0, empty history).
+    ///
+    /// `satisfied_cap` bounds the satisfied window (use
+    /// [`ProtocolConfig::effective_window`](crate::ProtocolConfig::effective_window)).
+    pub fn new(satisfied_cap: usize) -> Self {
+        TokenFrame {
+            generation: 0,
+            visit_seq: 0,
+            round: 0,
+            next_seq: 1,
+            carried: Vec::new(),
+            satisfied: VecDeque::new(),
+            satisfied_cap: satisfied_cap.max(1),
+            idle_rounds: 0,
+            demand_this_round: false,
+            excluded: Vec::new(),
+        }
+    }
+
+    /// Mints a replacement token after a loss: it inherits the best-known
+    /// history length, continues with `generation + 1`, and excludes the
+    /// nodes believed dead so rotation routes around them.
+    pub fn regenerate(
+        generation: u32,
+        known_seq: u64,
+        satisfied_cap: usize,
+        excluded: Vec<NodeId>,
+    ) -> Self {
+        let mut t = TokenFrame::new(satisfied_cap);
+        t.generation = generation;
+        t.next_seq = known_seq + 1;
+        t.excluded = excluded;
+        t
+    }
+
+    /// Marks `node` as crashed: rotation will skip it.
+    pub fn exclude(&mut self, node: NodeId) {
+        if !self.excluded.contains(&node) {
+            self.excluded.push(node);
+        }
+    }
+
+    /// Readmits a recovered node into the rotation.
+    pub fn readmit(&mut self, node: NodeId) {
+        self.excluded.retain(|n| *n != node);
+    }
+
+    /// Whether `node` is currently excluded from the rotation.
+    pub fn is_excluded(&self, node: NodeId) -> bool {
+        self.excluded.contains(&node)
+    }
+
+    /// The nodes currently excluded from the rotation.
+    pub fn excluded(&self) -> &[NodeId] {
+        &self.excluded
+    }
+
+    /// The next rotation destination from `me`: the first successor not
+    /// excluded as crashed. Falls back to `me` if everyone else is excluded.
+    pub fn next_live_successor(&self, topology: atp_net::Topology, me: NodeId) -> NodeId {
+        let mut next = topology.successor(me);
+        for _ in 0..topology.len() {
+            if !self.is_excluded(next) {
+                return next;
+            }
+            next = topology.successor(next);
+        }
+        me
+    }
+
+    /// Records a possession by `node`; returns the node's new visit stamp.
+    ///
+    /// `rotational` is true for ring-rotation arrivals (rule 3), false for
+    /// out-of-band grants (rules 7/8); only rotational arrivals at node 0
+    /// advance the round counter.
+    pub fn on_possess(&mut self, node: NodeId, rotational: bool) -> VisitStamp {
+        self.visit_seq += 1;
+        if rotational && node.index() == 0 && self.visit_seq > 1 {
+            self.round += 1;
+            if self.demand_this_round {
+                self.idle_rounds = 0;
+            } else {
+                self.idle_rounds = self.idle_rounds.saturating_add(1);
+            }
+            self.demand_this_round = false;
+            self.gc();
+        }
+        VisitStamp(self.visit_seq)
+    }
+
+    /// Appends one datum to the global history on behalf of `origin`.
+    pub fn append(&mut self, origin: NodeId, payload: u64) -> LogEntry {
+        let entry = LogEntry {
+            seq: self.next_seq,
+            origin,
+            payload,
+            round: self.round,
+        };
+        self.next_seq += 1;
+        self.carried.push(entry);
+        self.demand_this_round = true;
+        self.idle_rounds = 0;
+        entry
+    }
+
+    /// Records that `req` has been granted (for rotation trap cleanup).
+    pub fn mark_satisfied(&mut self, req: RequestId) {
+        if self.satisfied.len() == self.satisfied_cap {
+            self.satisfied.pop_front();
+        }
+        self.satisfied.push_back(req);
+        self.demand_this_round = true;
+    }
+
+    /// Whether `req` appears in the satisfied window.
+    pub fn is_satisfied(&self, req: &RequestId) -> bool {
+        self.satisfied.contains(req)
+    }
+
+    /// Entries the token still carries (current and previous round).
+    pub fn carried(&self) -> &[LogEntry] {
+        &self.carried
+    }
+
+    /// Number of entries committed to `H` so far.
+    pub fn committed(&self) -> u64 {
+        self.next_seq - 1
+    }
+
+    /// Completed rotation count.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Global possession counter value.
+    pub fn visits(&self) -> u64 {
+        self.visit_seq
+    }
+
+    /// Consecutive demand-free rounds (drives adaptive token speed).
+    pub fn idle_rounds(&self) -> u32 {
+        self.idle_rounds
+    }
+
+    /// Drops carried entries older than the previous round.
+    fn gc(&mut self) {
+        let keep_from = self.round.saturating_sub(1);
+        self.carried.retain(|e| e.round >= keep_from);
+    }
+
+    /// Keeps only the `keep` most recent carried entries.
+    ///
+    /// Used by the lazy-token search protocol, whose token has no rounds to
+    /// GC by: recipients that fell further behind than `keep` entries record
+    /// gaps instead of stalling the window.
+    pub fn gc_keep_last(&mut self, keep: usize) {
+        if self.carried.len() > keep {
+            self.carried.drain(..self.carried.len() - keep);
+        }
+    }
+
+    /// Serializes the frame into `buf` (little-endian, length-prefixed
+    /// collections). The inverse of [`TokenFrame::decode`].
+    pub fn encode(&self, buf: &mut impl bytes::BufMut) {
+        buf.put_u32_le(self.generation);
+        buf.put_u64_le(self.visit_seq);
+        buf.put_u64_le(self.round);
+        buf.put_u64_le(self.next_seq);
+        buf.put_u32_le(self.idle_rounds);
+        buf.put_u8(self.demand_this_round as u8);
+        buf.put_u32_le(self.satisfied_cap as u32);
+        buf.put_u32_le(self.carried.len() as u32);
+        for e in &self.carried {
+            buf.put_u64_le(e.seq);
+            buf.put_u32_le(e.origin.raw());
+            buf.put_u64_le(e.payload);
+            buf.put_u64_le(e.round);
+        }
+        buf.put_u32_le(self.satisfied.len() as u32);
+        for r in &self.satisfied {
+            buf.put_u32_le(r.origin.raw());
+            buf.put_u64_le(r.seq);
+        }
+        buf.put_u32_le(self.excluded.len() as u32);
+        for n in &self.excluded {
+            buf.put_u32_le(n.raw());
+        }
+    }
+
+    /// Deserializes a frame previously written by [`TokenFrame::encode`].
+    ///
+    /// Returns `None` if `buf` is truncated.
+    pub fn decode(buf: &mut impl bytes::Buf) -> Option<Self> {
+        fn need(buf: &impl bytes::Buf, n: usize) -> Option<()> {
+            (buf.remaining() >= n).then_some(())
+        }
+        need(buf, 4 + 8 + 8 + 8 + 4 + 1 + 4 + 4)?;
+        let generation = buf.get_u32_le();
+        let visit_seq = buf.get_u64_le();
+        let round = buf.get_u64_le();
+        let next_seq = buf.get_u64_le();
+        let idle_rounds = buf.get_u32_le();
+        let demand_this_round = buf.get_u8() != 0;
+        let satisfied_cap = buf.get_u32_le() as usize;
+        let n_carried = buf.get_u32_le() as usize;
+        let mut carried = Vec::with_capacity(n_carried.min(1 << 16));
+        for _ in 0..n_carried {
+            need(buf, 8 + 4 + 8 + 8)?;
+            carried.push(LogEntry {
+                seq: buf.get_u64_le(),
+                origin: NodeId::new(buf.get_u32_le()),
+                payload: buf.get_u64_le(),
+                round: buf.get_u64_le(),
+            });
+        }
+        need(buf, 4)?;
+        let n_satisfied = buf.get_u32_le() as usize;
+        let mut satisfied = VecDeque::with_capacity(n_satisfied.min(1 << 16));
+        for _ in 0..n_satisfied {
+            need(buf, 4 + 8)?;
+            satisfied.push_back(RequestId::new(
+                NodeId::new(buf.get_u32_le()),
+                buf.get_u64_le(),
+            ));
+        }
+        need(buf, 4)?;
+        let n_excluded = buf.get_u32_le() as usize;
+        let mut excluded = Vec::with_capacity(n_excluded.min(1 << 16));
+        for _ in 0..n_excluded {
+            need(buf, 4)?;
+            excluded.push(NodeId::new(buf.get_u32_le()));
+        }
+        Some(TokenFrame {
+            generation,
+            visit_seq,
+            round,
+            next_seq,
+            carried,
+            satisfied,
+            satisfied_cap: satisfied_cap.max(1),
+            idle_rounds,
+            demand_this_round,
+            excluded,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn append_assigns_contiguous_seqs() {
+        let mut t = TokenFrame::new(8);
+        let a = t.append(NodeId::new(1), 10);
+        let b = t.append(NodeId::new(2), 20);
+        assert_eq!(a.seq, 1);
+        assert_eq!(b.seq, 2);
+        assert_eq!(t.committed(), 2);
+        assert_eq!(t.carried().len(), 2);
+    }
+
+    #[test]
+    fn possession_stamps_are_monotone() {
+        let mut t = TokenFrame::new(8);
+        let s1 = t.on_possess(NodeId::new(0), true);
+        let s2 = t.on_possess(NodeId::new(1), true);
+        assert!(s2.is_fresher_than(s1));
+    }
+
+    #[test]
+    fn rounds_advance_only_on_rotational_reentry_at_origin() {
+        let mut t = TokenFrame::new(8);
+        t.on_possess(NodeId::new(0), true); // initial possession, no round yet
+        t.on_possess(NodeId::new(1), true);
+        assert_eq!(t.round(), 0);
+        t.on_possess(NodeId::new(0), true); // completed a lap
+        assert_eq!(t.round(), 1);
+        t.on_possess(NodeId::new(0), false); // out-of-band possession: no lap
+        assert_eq!(t.round(), 1);
+    }
+
+    #[test]
+    fn idle_rounds_count_and_reset_on_demand() {
+        let mut t = TokenFrame::new(8);
+        t.on_possess(NodeId::new(0), true);
+        t.on_possess(NodeId::new(0), true);
+        t.on_possess(NodeId::new(0), true);
+        assert_eq!(t.idle_rounds(), 2);
+        t.append(NodeId::new(0), 1);
+        assert_eq!(t.idle_rounds(), 0);
+        t.on_possess(NodeId::new(0), true);
+        // demand flag was consumed by the lap: round was busy.
+        assert_eq!(t.idle_rounds(), 0);
+        t.on_possess(NodeId::new(0), true);
+        assert_eq!(t.idle_rounds(), 1);
+    }
+
+    #[test]
+    fn gc_drops_entries_two_rounds_old() {
+        let mut t = TokenFrame::new(8);
+        t.on_possess(NodeId::new(0), true);
+        t.append(NodeId::new(0), 1); // round 0
+        t.on_possess(NodeId::new(0), true); // round 1
+        t.append(NodeId::new(0), 2); // round 1
+        assert_eq!(t.carried().len(), 2);
+        t.on_possess(NodeId::new(0), true); // round 2: round-0 entry dropped
+        assert_eq!(t.carried().len(), 1);
+        assert_eq!(t.carried()[0].seq, 2);
+        assert_eq!(t.committed(), 2);
+    }
+
+    #[test]
+    fn satisfied_window_is_bounded_fifo() {
+        let mut t = TokenFrame::new(2);
+        let r = |i| RequestId::new(NodeId::new(i), 1);
+        t.mark_satisfied(r(0));
+        t.mark_satisfied(r(1));
+        t.mark_satisfied(r(2));
+        assert!(!t.is_satisfied(&r(0)));
+        assert!(t.is_satisfied(&r(1)));
+        assert!(t.is_satisfied(&r(2)));
+    }
+
+    #[test]
+    fn regeneration_preserves_history_length() {
+        let mut t = TokenFrame::new(8);
+        t.append(NodeId::new(0), 5);
+        t.append(NodeId::new(0), 6);
+        let t2 = TokenFrame::regenerate(3, t.committed(), 8, vec![NodeId::new(5)]);
+        assert_eq!(t2.generation, 3);
+        assert_eq!(t2.committed(), 2);
+        assert!(t2.carried().is_empty());
+        assert!(t2.is_excluded(NodeId::new(5)));
+        let mut t2 = t2;
+        t2.exclude(NodeId::new(5));
+        assert_eq!(t2.excluded().len(), 1);
+        t2.readmit(NodeId::new(5));
+        assert!(!t2.is_excluded(NodeId::new(5)));
+    }
+}

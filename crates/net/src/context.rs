@@ -1,0 +1,114 @@
+//! The per-callback effect interface handed to nodes.
+
+use rand::rngs::StdRng;
+
+use crate::event::MsgClass;
+use crate::id::{NodeId, Topology};
+use crate::time::SimTime;
+
+/// An effect requested by a node during one callback.
+#[derive(Debug, Clone)]
+pub(crate) enum Effect<M> {
+    Send {
+        to: NodeId,
+        msg: M,
+        class: MsgClass,
+        extra_delay: u64,
+    },
+    Timer {
+        delay: u64,
+        kind: u64,
+    },
+}
+
+/// Capability object through which a [`Node`](crate::Node) interacts with the
+/// world during a single callback.
+///
+/// Effects (sends, timers) are buffered and applied by the engine after the
+/// callback returns, so a callback observes a consistent snapshot: nothing it
+/// sends can be delivered back to it re-entrantly.
+#[derive(Debug)]
+pub struct Context<'a, M> {
+    node: NodeId,
+    now: SimTime,
+    topology: Topology,
+    effects: &'a mut Vec<Effect<M>>,
+    rng: &'a mut StdRng,
+}
+
+impl<'a, M> Context<'a, M> {
+    pub(crate) fn new(
+        node: NodeId,
+        now: SimTime,
+        topology: Topology,
+        effects: &'a mut Vec<Effect<M>>,
+        rng: &'a mut StdRng,
+    ) -> Self {
+        Context {
+            node,
+            now,
+            topology,
+            effects,
+            rng,
+        }
+    }
+
+    /// The identifier of the node executing this callback.
+    pub fn id(&self) -> NodeId {
+        self.node
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The logical ring this node lives on.
+    pub fn topology(&self) -> Topology {
+        self.topology
+    }
+
+    /// Sends `msg` to `to`; the latency model decides the in-flight delay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `to` is not a node of this world.
+    pub fn send(&mut self, to: NodeId, msg: M, class: MsgClass) {
+        self.send_after(0, to, msg, class);
+    }
+
+    /// Sends `msg` to `to` after holding it locally for `hold` ticks first.
+    ///
+    /// This is how the *adaptive token speed* optimization (Section 4.4,
+    /// "the speed of token passing around the cycle can be varied according
+    /// to the demand") is realized: an idle holder delays the pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `to` is not a node of this world.
+    pub fn send_after(&mut self, hold: u64, to: NodeId, msg: M, class: MsgClass) {
+        assert!(
+            self.topology.contains(to),
+            "send target {to} outside the ring of {} nodes",
+            self.topology.len()
+        );
+        self.effects.push(Effect::Send {
+            to,
+            msg,
+            class,
+            extra_delay: hold,
+        });
+    }
+
+    /// Schedules [`Node::on_timer`](crate::Node::on_timer) with `kind` after
+    /// `delay` ticks. Timers do not survive crashes.
+    pub fn set_timer(&mut self, delay: u64, kind: u64) {
+        self.effects.push(Effect::Timer { delay, kind });
+    }
+
+    /// Deterministic per-world random source, for randomized protocol
+    /// decisions (e.g. random search directions in tests).
+    pub fn rng(&mut self) -> &mut StdRng {
+        self.rng
+    }
+}

@@ -1,0 +1,201 @@
+//! Message drop models.
+//!
+//! The correctness story of the paper hinges on cheap messages being
+//! dispensable: *"the system remains correct even if no 'cheap' message is
+//! ever sent."* These models let the test-suite and the experiments exercise
+//! exactly that — dropping control traffic with any probability up to 1.0
+//! while token-bearing messages stay reliable.
+
+use rand::Rng;
+use rand::RngCore;
+use std::fmt;
+
+use crate::event::MsgClass;
+use crate::id::NodeId;
+
+/// Decides whether a message is lost in transit.
+pub trait DropModel: fmt::Debug + Send {
+    /// Returns `true` if the message `from → to` of class `class` should be
+    /// silently dropped.
+    fn should_drop(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        class: MsgClass,
+        rng: &mut dyn RngCore,
+    ) -> bool;
+}
+
+/// Perfect network: nothing is ever lost.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoDrops;
+
+impl DropModel for NoDrops {
+    fn should_drop(&mut self, _: NodeId, _: NodeId, _: MsgClass, _: &mut dyn RngCore) -> bool {
+        false
+    }
+}
+
+/// Drops *control* (cheap) messages with probability `p`; token messages are
+/// always delivered.
+///
+/// With `p = 1.0` no cheap message is ever delivered — the degenerate regime
+/// under which the paper still guarantees safety and ring-level liveness.
+///
+/// ```rust
+/// use atp_net::{ControlDrops, DropModel, MsgClass, NodeId};
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let mut d = ControlDrops::new(1.0);
+/// assert!(d.should_drop(NodeId::new(0), NodeId::new(1), MsgClass::Control, &mut rng));
+/// assert!(!d.should_drop(NodeId::new(0), NodeId::new(1), MsgClass::Token, &mut rng));
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct ControlDrops {
+    p: f64,
+}
+
+impl ControlDrops {
+    /// Creates the model with drop probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    pub fn new(p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1]");
+        ControlDrops { p }
+    }
+}
+
+impl DropModel for ControlDrops {
+    fn should_drop(
+        &mut self,
+        _: NodeId,
+        _: NodeId,
+        class: MsgClass,
+        rng: &mut dyn RngCore,
+    ) -> bool {
+        match class {
+            MsgClass::Token => false,
+            MsgClass::Control => rng.gen_bool(self.p),
+        }
+    }
+}
+
+/// Drops every message, of either class, with probability `p`.
+///
+/// Token messages are part of the "expensive" plane which the paper assumes
+/// arrives correctly (or is resent); this model is used to *falsify* that
+/// assumption in failure-injection tests.
+#[derive(Debug, Clone, Copy)]
+pub struct UniformDrops {
+    p: f64,
+}
+
+impl UniformDrops {
+    /// Creates the model with drop probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    pub fn new(p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1]");
+        UniformDrops { p }
+    }
+}
+
+impl DropModel for UniformDrops {
+    fn should_drop(&mut self, _: NodeId, _: NodeId, _: MsgClass, rng: &mut dyn RngCore) -> bool {
+        rng.gen_bool(self.p)
+    }
+}
+
+/// Severs specific directed links entirely (partition-style faults).
+#[derive(Debug, Clone, Default)]
+pub struct LinkDrops {
+    severed: Vec<(NodeId, NodeId)>,
+}
+
+impl LinkDrops {
+    /// Creates a model with no severed links.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Severs the directed link `from → to`.
+    pub fn sever(mut self, from: NodeId, to: NodeId) -> Self {
+        self.severed.push((from, to));
+        self
+    }
+
+    /// Severs both directions between `a` and `b`.
+    pub fn sever_both(self, a: NodeId, b: NodeId) -> Self {
+        self.sever(a, b).sever(b, a)
+    }
+}
+
+impl DropModel for LinkDrops {
+    fn should_drop(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        _: MsgClass,
+        _: &mut dyn RngCore,
+    ) -> bool {
+        self.severed.contains(&(from, to))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(11)
+    }
+
+    #[test]
+    fn no_drops_never_drops() {
+        let mut d = NoDrops;
+        let mut r = rng();
+        for class in MsgClass::ALL {
+            assert!(!d.should_drop(NodeId::new(0), NodeId::new(1), class, &mut r));
+        }
+    }
+
+    #[test]
+    fn control_drops_spare_tokens() {
+        let mut d = ControlDrops::new(1.0);
+        let mut r = rng();
+        for _ in 0..50 {
+            assert!(!d.should_drop(NodeId::new(0), NodeId::new(1), MsgClass::Token, &mut r));
+            assert!(d.should_drop(NodeId::new(0), NodeId::new(1), MsgClass::Control, &mut r));
+        }
+    }
+
+    #[test]
+    fn uniform_drop_rate_roughly_matches() {
+        let mut d = UniformDrops::new(0.5);
+        let mut r = rng();
+        let dropped = (0..2000)
+            .filter(|_| d.should_drop(NodeId::new(0), NodeId::new(1), MsgClass::Token, &mut r))
+            .count();
+        assert!((800..1200).contains(&dropped), "dropped = {dropped}");
+    }
+
+    #[test]
+    fn severed_links_block_both_classes() {
+        let mut d = LinkDrops::new().sever_both(NodeId::new(0), NodeId::new(1));
+        let mut r = rng();
+        assert!(d.should_drop(NodeId::new(0), NodeId::new(1), MsgClass::Token, &mut r));
+        assert!(d.should_drop(NodeId::new(1), NodeId::new(0), MsgClass::Control, &mut r));
+        assert!(!d.should_drop(NodeId::new(0), NodeId::new(2), MsgClass::Token, &mut r));
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn rejects_invalid_probability() {
+        let _ = ControlDrops::new(1.5);
+    }
+}

@@ -1,0 +1,127 @@
+//! Internal event-queue machinery and the message-class distinction.
+
+use std::cmp::Ordering;
+
+use crate::id::NodeId;
+use crate::time::SimTime;
+
+/// The two qualitatively different communication modes of the paper.
+///
+/// Section 1 distinguishes *expensive* messages, whose delivery guarantees
+/// carry the safety argument (the token and the history it bears), from
+/// *cheap* messages used only to "shepherd the overall system" toward good
+/// performance (search requests, traps, probes, cleanup hints). The system
+/// must remain safe even if **no** cheap message is ever delivered.
+///
+/// [`DropModel`](crate::DropModel) implementations may key loss behaviour on
+/// this class; the stock [`ControlDrops`](crate::ControlDrops) model drops
+/// only [`MsgClass::Control`] traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MsgClass {
+    /// Expensive, reliable: carries the token (and ordering state).
+    Token,
+    /// Cheap, lossy-allowed: search/probe/hint traffic that only affects
+    /// performance, never safety.
+    Control,
+}
+
+impl MsgClass {
+    /// All classes, for table-driven statistics.
+    pub const ALL: [MsgClass; 2] = [MsgClass::Token, MsgClass::Control];
+
+    /// A short label used in statistics tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            MsgClass::Token => "token",
+            MsgClass::Control => "control",
+        }
+    }
+}
+
+/// What a queued event does when it fires.
+#[derive(Debug, Clone)]
+pub(crate) enum EventKind<M, E> {
+    /// Deliver a message to `to`.
+    Deliver {
+        from: NodeId,
+        to: NodeId,
+        msg: M,
+        class: MsgClass,
+    },
+    /// Fire a protocol timer at `node`. `epoch` guards against timers that
+    /// straddle a crash: a timer set before a crash must not fire after the
+    /// node recovered into a fresh incarnation.
+    Timer { node: NodeId, kind: u64, epoch: u32 },
+    /// Deliver an external stimulus (workload-injected) to `node`.
+    External { node: NodeId, ev: E },
+    /// Crash `node`.
+    Crash { node: NodeId },
+    /// Recover `node`.
+    Recover { node: NodeId },
+}
+
+/// A scheduled event. Ordered by `(time, seq)`; `seq` is a global monotone
+/// counter so simultaneous events fire in scheduling order, which makes runs
+/// fully deterministic.
+#[derive(Debug)]
+pub(crate) struct QueuedEvent<M, E> {
+    pub time: SimTime,
+    pub seq: u64,
+    pub kind: EventKind<M, E>,
+}
+
+impl<M, E> PartialEq for QueuedEvent<M, E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<M, E> Eq for QueuedEvent<M, E> {}
+
+impl<M, E> PartialOrd for QueuedEvent<M, E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<M, E> Ord for QueuedEvent<M, E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest event.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(time: u64, seq: u64) -> QueuedEvent<(), ()> {
+        QueuedEvent {
+            time: SimTime::from_ticks(time),
+            seq,
+            kind: EventKind::Crash {
+                node: NodeId::new(0),
+            },
+        }
+    }
+
+    #[test]
+    fn heap_pops_earliest_first() {
+        let mut heap = std::collections::BinaryHeap::new();
+        heap.push(ev(5, 0));
+        heap.push(ev(1, 1));
+        heap.push(ev(5, 2));
+        heap.push(ev(0, 3));
+        let order: Vec<_> = std::iter::from_fn(|| heap.pop())
+            .map(|e| (e.time.ticks(), e.seq))
+            .collect();
+        assert_eq!(order, vec![(0, 3), (1, 1), (5, 0), (5, 2)]);
+    }
+
+    #[test]
+    fn class_labels() {
+        assert_eq!(MsgClass::Token.label(), "token");
+        assert_eq!(MsgClass::Control.label(), "control");
+        assert_eq!(MsgClass::ALL.len(), 2);
+    }
+}

@@ -1,0 +1,116 @@
+//! Declarative crash/recovery schedules.
+//!
+//! Section 5 of the paper sketches fail-stop handling: *"If a node x with the
+//! token fails, then nothing will happen until some other node y needs the
+//! token, at which point it will quickly discover that the token holder has
+//! failed … they can generate a new token."* [`FailurePlan`] lets tests and
+//! experiments script exactly such scenarios.
+
+use crate::id::NodeId;
+use crate::time::SimTime;
+
+/// One scheduled failure-model action.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureEvent {
+    /// Fail-stop the node: it stops sending, receiving and firing timers.
+    Crash {
+        /// When the crash occurs.
+        at: SimTime,
+        /// The victim.
+        node: NodeId,
+    },
+    /// Bring the node back; its volatile state is whatever it was at crash
+    /// time (the protocol's `on_recover` hook resynchronizes).
+    Recover {
+        /// When the recovery occurs.
+        at: SimTime,
+        /// The recovering node.
+        node: NodeId,
+    },
+}
+
+impl FailureEvent {
+    /// When the event fires.
+    pub fn at(&self) -> SimTime {
+        match *self {
+            FailureEvent::Crash { at, .. } | FailureEvent::Recover { at, .. } => at,
+        }
+    }
+
+    /// Which node the event affects.
+    pub fn node(&self) -> NodeId {
+        match *self {
+            FailureEvent::Crash { node, .. } | FailureEvent::Recover { node, .. } => node,
+        }
+    }
+}
+
+/// A scripted sequence of crashes and recoveries, applied to a
+/// [`World`](crate::World) at construction or later.
+///
+/// ```rust
+/// use atp_net::{FailurePlan, NodeId, SimTime};
+/// let plan = FailurePlan::new()
+///     .crash_at(SimTime::from_ticks(100), NodeId::new(3))
+///     .recover_at(SimTime::from_ticks(500), NodeId::new(3));
+/// assert_eq!(plan.events().len(), 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FailurePlan {
+    events: Vec<FailureEvent>,
+}
+
+impl FailurePlan {
+    /// An empty plan (no failures).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules a crash of `node` at time `at`.
+    pub fn crash_at(mut self, at: SimTime, node: NodeId) -> Self {
+        self.events.push(FailureEvent::Crash { at, node });
+        self
+    }
+
+    /// Schedules a recovery of `node` at time `at`.
+    pub fn recover_at(mut self, at: SimTime, node: NodeId) -> Self {
+        self.events.push(FailureEvent::Recover { at, node });
+        self
+    }
+
+    /// The scheduled events, in insertion order.
+    pub fn events(&self) -> &[FailureEvent] {
+        &self.events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let c = FailureEvent::Crash {
+            at: SimTime::from_ticks(7),
+            node: NodeId::new(2),
+        };
+        assert_eq!(c.at(), SimTime::from_ticks(7));
+        assert_eq!(c.node(), NodeId::new(2));
+        let r = FailureEvent::Recover {
+            at: SimTime::from_ticks(9),
+            node: NodeId::new(3),
+        };
+        assert_eq!(r.at(), SimTime::from_ticks(9));
+        assert_eq!(r.node(), NodeId::new(3));
+    }
+
+    #[test]
+    fn builder_preserves_order() {
+        let plan = FailurePlan::new()
+            .crash_at(SimTime::from_ticks(5), NodeId::new(0))
+            .recover_at(SimTime::from_ticks(10), NodeId::new(0))
+            .crash_at(SimTime::from_ticks(3), NodeId::new(1));
+        let at: Vec<u64> = plan.events().iter().map(|e| e.at().ticks()).collect();
+        assert_eq!(at, vec![5, 10, 3]);
+    }
+}

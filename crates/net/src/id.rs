@@ -1,0 +1,221 @@
+//! Node identifiers and logical-ring topology arithmetic.
+//!
+//! The paper's protocols operate on a *logical ring* laid over a complete
+//! communication graph: any node can message any other node directly, but the
+//! token normally travels from `x` to its cyclic successor `x⁺¹`, and the
+//! binary search jumps by `±n/2` positions ("the node directly across the
+//! (logical) ring"). [`Topology`] provides this cyclic arithmetic.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a processor, drawn from the finite set `P` of the paper.
+///
+/// Identifiers are dense indices `0..N`; the logical ring orders them by
+/// index, wrapping at `N`.
+///
+/// ```rust
+/// use atp_net::NodeId;
+/// let id = NodeId::new(3);
+/// assert_eq!(id.index(), 3);
+/// assert_eq!(format!("{id}"), "n3");
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Creates a node identifier from a dense index.
+    pub fn new(index: u32) -> Self {
+        NodeId(index)
+    }
+
+    /// Returns the dense index of this identifier (`usize` for indexing).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the raw `u32` value.
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+/// Cyclic arithmetic on the logical ring of `N` nodes.
+///
+/// Implements the paper's successor notation: `x⁺¹` is [`Topology::successor`],
+/// `x⁺ⁿ` is [`Topology::plus`], `x⁻ⁿ` is [`Topology::minus`], and "the node
+/// directly across the ring" is [`Topology::across`].
+///
+/// ```rust
+/// use atp_net::{NodeId, Topology};
+/// let ring = Topology::ring(8);
+/// let x = NodeId::new(6);
+/// assert_eq!(ring.successor(x), NodeId::new(7));
+/// assert_eq!(ring.plus(x, 3), NodeId::new(1));
+/// assert_eq!(ring.minus(x, 7), NodeId::new(7));
+/// assert_eq!(ring.across(x), NodeId::new(2));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Topology {
+    n: u32,
+}
+
+impl Topology {
+    /// Creates a ring topology over `n` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn ring(n: usize) -> Self {
+        assert!(n > 0, "a ring needs at least one node");
+        Topology { n: n as u32 }
+    }
+
+    /// Number of nodes on the ring (`N = |P|`).
+    pub fn len(self) -> usize {
+        self.n as usize
+    }
+
+    /// Returns `true` if the ring has exactly one node.
+    ///
+    /// (Rings are never empty; see [`Topology::ring`].)
+    pub fn is_empty(self) -> bool {
+        false
+    }
+
+    /// The cyclic successor `x⁺¹`.
+    pub fn successor(self, x: NodeId) -> NodeId {
+        self.plus(x, 1)
+    }
+
+    /// The cyclic predecessor `x⁻¹`.
+    pub fn predecessor(self, x: NodeId) -> NodeId {
+        self.minus(x, 1)
+    }
+
+    /// The `k`-th successor `x⁺ᵏ` (clockwise by `k` positions).
+    pub fn plus(self, x: NodeId, k: u64) -> NodeId {
+        let k = (k % self.n as u64) as u32;
+        NodeId((x.0 + k) % self.n)
+    }
+
+    /// The `k`-th predecessor `x⁻ᵏ` (counter-clockwise by `k` positions).
+    pub fn minus(self, x: NodeId, k: u64) -> NodeId {
+        let k = (k % self.n as u64) as u32;
+        NodeId((x.0 + self.n - k) % self.n)
+    }
+
+    /// The node directly across the ring: `x⁺⌈N/2⌉`.
+    ///
+    /// This is where a ready node sends its first "gimme" message in System
+    /// BinarySearch (Section 4.2).
+    pub fn across(self, x: NodeId) -> NodeId {
+        self.plus(x, (self.n as u64).div_ceil(2))
+    }
+
+    /// Clockwise distance from `a` to `b`: the smallest `k ≥ 0` with
+    /// `a⁺ᵏ = b`.
+    pub fn distance_cw(self, a: NodeId, b: NodeId) -> u64 {
+        ((b.0 + self.n - a.0) % self.n) as u64
+    }
+
+    /// Minimum of the clockwise and counter-clockwise distances.
+    pub fn distance(self, a: NodeId, b: NodeId) -> u64 {
+        let cw = self.distance_cw(a, b);
+        cw.min(self.n as u64 - cw)
+    }
+
+    /// Returns `true` if `x` is a valid identifier on this ring.
+    pub fn contains(self, x: NodeId) -> bool {
+        x.0 < self.n
+    }
+
+    /// Iterates over all node identifiers in ring order starting at `n0`.
+    pub fn iter_from(self, start: NodeId) -> impl Iterator<Item = NodeId> {
+        let n = self.n;
+        (0..n).map(move |k| NodeId((start.0 + k) % n))
+    }
+
+    /// Iterates over all node identifiers `n0, n1, …`.
+    pub fn iter(self) -> impl Iterator<Item = NodeId> {
+        (0..self.n).map(NodeId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn successor_wraps() {
+        let t = Topology::ring(4);
+        assert_eq!(t.successor(NodeId::new(3)), NodeId::new(0));
+        assert_eq!(t.predecessor(NodeId::new(0)), NodeId::new(3));
+    }
+
+    #[test]
+    fn plus_minus_are_inverses() {
+        let t = Topology::ring(7);
+        for i in 0..7 {
+            let x = NodeId::new(i);
+            for k in 0..20 {
+                assert_eq!(t.minus(t.plus(x, k), k), x);
+                assert_eq!(t.plus(t.minus(x, k), k), x);
+            }
+        }
+    }
+
+    #[test]
+    fn across_is_half_way() {
+        let t = Topology::ring(8);
+        assert_eq!(t.across(NodeId::new(0)), NodeId::new(4));
+        let t9 = Topology::ring(9);
+        // ceil(9/2) = 5
+        assert_eq!(t9.across(NodeId::new(0)), NodeId::new(5));
+    }
+
+    #[test]
+    fn distances() {
+        let t = Topology::ring(10);
+        assert_eq!(t.distance_cw(NodeId::new(2), NodeId::new(7)), 5);
+        assert_eq!(t.distance_cw(NodeId::new(7), NodeId::new(2)), 5);
+        assert_eq!(t.distance(NodeId::new(0), NodeId::new(9)), 1);
+        assert_eq!(t.distance(NodeId::new(0), NodeId::new(0)), 0);
+    }
+
+    #[test]
+    fn iter_from_visits_everyone_once() {
+        let t = Topology::ring(5);
+        let order: Vec<_> = t.iter_from(NodeId::new(3)).map(|x| x.index()).collect();
+        assert_eq!(order, vec![3, 4, 0, 1, 2]);
+    }
+
+    #[test]
+    fn single_node_ring() {
+        let t = Topology::ring(1);
+        let x = NodeId::new(0);
+        assert_eq!(t.successor(x), x);
+        assert_eq!(t.across(x), x);
+        assert_eq!(t.distance_cw(x, x), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_ring_panics() {
+        let _ = Topology::ring(0);
+    }
+}

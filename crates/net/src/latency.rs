@@ -1,0 +1,214 @@
+//! Message latency models.
+//!
+//! The paper's performance lemmas assume messages are delivered "within
+//! bounded delays"; one *message delay* is the unit in which responsiveness
+//! is counted. [`ConstantLatency`] with delay 1 is therefore the canonical
+//! model for reproducing Figures 9 and 10; the other models stress the
+//! protocols under jitter and heterogeneous links.
+
+use rand::Rng;
+use rand::RngCore;
+use std::fmt;
+
+use crate::event::MsgClass;
+use crate::id::NodeId;
+
+/// Samples the in-flight delay, in ticks, for one message.
+///
+/// Implementations may be stateful (e.g. per-link congestion) and may use the
+/// world's deterministic RNG. The world adds the sampled delay to the send
+/// time to obtain the delivery time.
+pub trait LatencyModel: fmt::Debug + Send {
+    /// Returns the delay in ticks for a message `from → to` of class `class`.
+    fn sample(&mut self, from: NodeId, to: NodeId, class: MsgClass, rng: &mut dyn RngCore)
+        -> u64;
+}
+
+/// Every message takes exactly `delay` ticks — the paper's unit-delay model
+/// when `delay == 1`.
+///
+/// ```rust
+/// use atp_net::{ConstantLatency, LatencyModel, MsgClass, NodeId};
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let mut m = ConstantLatency::new(1);
+/// let d = m.sample(NodeId::new(0), NodeId::new(1), MsgClass::Token, &mut rng);
+/// assert_eq!(d, 1);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct ConstantLatency {
+    delay: u64,
+}
+
+impl ConstantLatency {
+    /// Creates the model with the given fixed delay.
+    pub fn new(delay: u64) -> Self {
+        ConstantLatency { delay }
+    }
+}
+
+impl Default for ConstantLatency {
+    fn default() -> Self {
+        ConstantLatency::new(1)
+    }
+}
+
+impl LatencyModel for ConstantLatency {
+    fn sample(&mut self, _: NodeId, _: NodeId, _: MsgClass, _: &mut dyn RngCore) -> u64 {
+        self.delay
+    }
+}
+
+/// Delay drawn uniformly from `lo..=hi` per message (bounded asynchrony).
+#[derive(Debug, Clone, Copy)]
+pub struct UniformLatency {
+    lo: u64,
+    hi: u64,
+}
+
+impl UniformLatency {
+    /// Creates the model with inclusive bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn new(lo: u64, hi: u64) -> Self {
+        assert!(lo <= hi, "uniform latency bounds must satisfy lo <= hi");
+        UniformLatency { lo, hi }
+    }
+}
+
+impl LatencyModel for UniformLatency {
+    fn sample(&mut self, _: NodeId, _: NodeId, _: MsgClass, rng: &mut dyn RngCore) -> u64 {
+        rng.gen_range(self.lo..=self.hi)
+    }
+}
+
+/// Different fixed delays for token-bearing and control traffic.
+///
+/// Models deployments where the reliable ("expensive") channel is slower than
+/// the unreliable ("cheap") one — the regime in which the paper's adaptive
+/// search pays off most.
+#[derive(Debug, Clone, Copy)]
+pub struct ClassLatency {
+    token: u64,
+    control: u64,
+}
+
+impl ClassLatency {
+    /// Creates the model from per-class delays.
+    pub fn new(token: u64, control: u64) -> Self {
+        ClassLatency { token, control }
+    }
+}
+
+impl LatencyModel for ClassLatency {
+    fn sample(&mut self, _: NodeId, _: NodeId, class: MsgClass, _: &mut dyn RngCore) -> u64 {
+        match class {
+            MsgClass::Token => self.token,
+            MsgClass::Control => self.control,
+        }
+    }
+}
+
+/// A full `N×N` matrix of per-link delays.
+///
+/// Useful for modelling a physical embedding of the logical ring where ring
+/// neighbours are close but "across the ring" jumps are long.
+#[derive(Debug, Clone)]
+pub struct PerLinkLatency {
+    n: usize,
+    matrix: Vec<u64>,
+}
+
+impl PerLinkLatency {
+    /// Builds the matrix by evaluating `f(from, to)` for every ordered pair.
+    pub fn from_fn(n: usize, mut f: impl FnMut(NodeId, NodeId) -> u64) -> Self {
+        let mut matrix = Vec::with_capacity(n * n);
+        for from in 0..n {
+            for to in 0..n {
+                matrix.push(f(NodeId::new(from as u32), NodeId::new(to as u32)));
+            }
+        }
+        PerLinkLatency { n, matrix }
+    }
+
+    /// Delay for the ordered pair `(from, to)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id is out of range.
+    pub fn link(&self, from: NodeId, to: NodeId) -> u64 {
+        self.matrix[from.index() * self.n + to.index()]
+    }
+}
+
+impl LatencyModel for PerLinkLatency {
+    fn sample(&mut self, from: NodeId, to: NodeId, _: MsgClass, _: &mut dyn RngCore) -> u64 {
+        self.link(from, to)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn constant_is_constant() {
+        let mut m = ConstantLatency::new(3);
+        let mut r = rng();
+        for _ in 0..10 {
+            assert_eq!(
+                m.sample(NodeId::new(0), NodeId::new(1), MsgClass::Token, &mut r),
+                3
+            );
+        }
+    }
+
+    #[test]
+    fn uniform_stays_in_bounds() {
+        let mut m = UniformLatency::new(2, 5);
+        let mut r = rng();
+        for _ in 0..100 {
+            let d = m.sample(NodeId::new(0), NodeId::new(1), MsgClass::Control, &mut r);
+            assert!((2..=5).contains(&d));
+        }
+    }
+
+    #[test]
+    fn class_latency_distinguishes() {
+        let mut m = ClassLatency::new(10, 1);
+        let mut r = rng();
+        assert_eq!(
+            m.sample(NodeId::new(0), NodeId::new(1), MsgClass::Token, &mut r),
+            10
+        );
+        assert_eq!(
+            m.sample(NodeId::new(0), NodeId::new(1), MsgClass::Control, &mut r),
+            1
+        );
+    }
+
+    #[test]
+    fn per_link_matrix() {
+        let m = PerLinkLatency::from_fn(4, |a, b| (a.index() + 10 * b.index()) as u64);
+        assert_eq!(m.link(NodeId::new(2), NodeId::new(3)), 32);
+        let mut m = m;
+        let mut r = rng();
+        assert_eq!(
+            m.sample(NodeId::new(1), NodeId::new(0), MsgClass::Token, &mut r),
+            1
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "lo <= hi")]
+    fn uniform_rejects_inverted_bounds() {
+        let _ = UniformLatency::new(5, 2);
+    }
+}

@@ -1,0 +1,52 @@
+//! The node behaviour trait.
+
+use std::fmt;
+
+use crate::context::Context;
+use crate::id::NodeId;
+
+/// Behaviour of one processor in the simulated system.
+///
+/// A node is a purely reactive state machine: it owns local state, receives
+/// messages / timers / external stimuli, and emits sends and timer requests
+/// through the [`Context`]. It can neither read other nodes' state nor the
+/// global clock beyond [`Context::now`] — faithfully mirroring the paper's
+/// share-nothing, message-passing model.
+///
+/// All callbacks execute in zero simulated time (the paper's cost model for
+/// local rules); only messages advance the clock.
+pub trait Node: Sized {
+    /// Message payload exchanged between nodes.
+    type Msg: Clone + fmt::Debug;
+
+    /// External stimulus type (injected by a workload/test harness), e.g.
+    /// "this node now wants the token".
+    type Ext: Clone + fmt::Debug;
+
+    /// Invoked once, at time zero, before any message flows.
+    fn on_init(&mut self, _ctx: &mut Context<'_, Self::Msg>) {}
+
+    /// Invoked when a message from `from` is delivered.
+    fn on_message(&mut self, from: NodeId, msg: Self::Msg, ctx: &mut Context<'_, Self::Msg>);
+
+    /// Invoked when an external stimulus fires.
+    fn on_external(&mut self, _ev: Self::Ext, _ctx: &mut Context<'_, Self::Msg>) {}
+
+    /// Invoked when a timer previously set via [`Context::set_timer`] fires.
+    ///
+    /// `kind` is the opaque discriminator passed at `set_timer` time. Timers
+    /// set before a crash never fire after recovery.
+    fn on_timer(&mut self, _kind: u64, _ctx: &mut Context<'_, Self::Msg>) {}
+
+    /// Invoked at the instant the node crashes (before its state is frozen).
+    ///
+    /// Implementations typically do nothing: a crash is fail-stop and the
+    /// node loses the right to send. This hook exists for bookkeeping only —
+    /// anything "sent" here is discarded.
+    fn on_crash(&mut self) {}
+
+    /// Invoked when the node recovers. The node's volatile protocol state is
+    /// whatever it was at crash time; implementations should re-synchronize
+    /// (e.g. clear a held token, restart failure detectors).
+    fn on_recover(&mut self, _ctx: &mut Context<'_, Self::Msg>) {}
+}

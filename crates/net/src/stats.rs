@@ -1,0 +1,129 @@
+//! Network-level statistics.
+
+use std::fmt;
+
+use crate::event::MsgClass;
+
+/// Counters kept by the [`World`](crate::World) across a run.
+///
+/// The experiments use these to report *message complexity* — the paper
+/// distinguishes the cost of token-bearing traffic from the cheap search
+/// traffic, so every counter is kept per [`MsgClass`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetStats {
+    sent: [u64; 2],
+    delivered: [u64; 2],
+    dropped: [u64; 2],
+    dead_letter: [u64; 2],
+    /// Total events dispatched (messages + timers + external + failures).
+    pub events_processed: u64,
+    /// Timer callbacks fired.
+    pub timers_fired: u64,
+    /// Timer events suppressed because their node crashed in between.
+    pub timers_suppressed: u64,
+}
+
+impl NetStats {
+    fn idx(class: MsgClass) -> usize {
+        match class {
+            MsgClass::Token => 0,
+            MsgClass::Control => 1,
+        }
+    }
+
+    pub(crate) fn record_sent(&mut self, class: MsgClass) {
+        self.sent[Self::idx(class)] += 1;
+    }
+
+    pub(crate) fn record_delivered(&mut self, class: MsgClass) {
+        self.delivered[Self::idx(class)] += 1;
+    }
+
+    pub(crate) fn record_dropped(&mut self, class: MsgClass) {
+        self.dropped[Self::idx(class)] += 1;
+    }
+
+    pub(crate) fn record_dead_letter(&mut self, class: MsgClass) {
+        self.dead_letter[Self::idx(class)] += 1;
+    }
+
+    /// Messages handed to the network, by class.
+    pub fn sent(&self, class: MsgClass) -> u64 {
+        self.sent[Self::idx(class)]
+    }
+
+    /// Messages delivered to a live node, by class.
+    pub fn delivered(&self, class: MsgClass) -> u64 {
+        self.delivered[Self::idx(class)]
+    }
+
+    /// Messages lost by the drop model, by class.
+    pub fn dropped(&self, class: MsgClass) -> u64 {
+        self.dropped[Self::idx(class)]
+    }
+
+    /// Messages that arrived at a crashed node, by class.
+    pub fn dead_letter(&self, class: MsgClass) -> u64 {
+        self.dead_letter[Self::idx(class)]
+    }
+
+    /// Total messages sent across both classes.
+    pub fn total_sent(&self) -> u64 {
+        self.sent.iter().sum()
+    }
+
+    /// Total messages delivered across both classes.
+    pub fn total_delivered(&self) -> u64 {
+        self.delivered.iter().sum()
+    }
+}
+
+impl fmt::Display for NetStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for class in MsgClass::ALL {
+            writeln!(
+                f,
+                "{:<8} sent={:<10} delivered={:<10} dropped={:<8} dead={:<8}",
+                class.label(),
+                self.sent(class),
+                self.delivered(class),
+                self.dropped(class),
+                self.dead_letter(class),
+            )?;
+        }
+        write!(
+            f,
+            "events={} timers={} suppressed={}",
+            self.events_processed, self.timers_fired, self.timers_suppressed
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_per_class() {
+        let mut s = NetStats::default();
+        s.record_sent(MsgClass::Token);
+        s.record_sent(MsgClass::Token);
+        s.record_sent(MsgClass::Control);
+        s.record_delivered(MsgClass::Token);
+        s.record_dropped(MsgClass::Control);
+        s.record_dead_letter(MsgClass::Token);
+        assert_eq!(s.sent(MsgClass::Token), 2);
+        assert_eq!(s.sent(MsgClass::Control), 1);
+        assert_eq!(s.total_sent(), 3);
+        assert_eq!(s.delivered(MsgClass::Token), 1);
+        assert_eq!(s.total_delivered(), 1);
+        assert_eq!(s.dropped(MsgClass::Control), 1);
+        assert_eq!(s.dead_letter(MsgClass::Token), 1);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let s = NetStats::default();
+        assert!(!s.to_string().is_empty());
+    }
+}

@@ -1,0 +1,110 @@
+//! Simulated time.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time, measured in abstract *ticks*.
+///
+/// The paper's performance analysis charges one "message delay" per message
+/// and zero time for local steps; the default latency model makes one tick
+/// equal one message delay, so responsiveness numbers read directly in the
+/// paper's units.
+///
+/// ```rust
+/// use atp_net::SimTime;
+/// let t = SimTime::ZERO + 5;
+/// assert_eq!(t.ticks(), 5);
+/// assert_eq!(t - SimTime::ZERO, 5);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The origin of simulated time.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// The greatest representable instant.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Creates a time from a raw tick count.
+    pub fn from_ticks(ticks: u64) -> Self {
+        SimTime(ticks)
+    }
+
+    /// Raw tick count since the origin.
+    pub fn ticks(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating addition of a duration in ticks.
+    pub fn saturating_add(self, d: u64) -> Self {
+        SimTime(self.0.saturating_add(d))
+    }
+
+    /// Elapsed ticks since `earlier`, saturating at zero.
+    pub fn since(self, earlier: SimTime) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+}
+
+impl Add<u64> for SimTime {
+    type Output = SimTime;
+
+    fn add(self, rhs: u64) -> SimTime {
+        SimTime(self.0 + rhs)
+    }
+}
+
+impl AddAssign<u64> for SimTime {
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 += rhs;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = u64;
+
+    fn sub(self, rhs: SimTime) -> u64 {
+        self.0 - rhs.0
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl From<u64> for SimTime {
+    fn from(v: u64) -> Self {
+        SimTime(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::from_ticks(10);
+        assert_eq!((t + 5).ticks(), 15);
+        assert_eq!(t.since(SimTime::from_ticks(4)), 6);
+        assert_eq!(t.since(SimTime::from_ticks(40)), 0);
+        assert_eq!(SimTime::MAX.saturating_add(10), SimTime::MAX);
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(SimTime::ZERO < SimTime::from_ticks(1));
+        assert_eq!(SimTime::default(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(SimTime::from_ticks(42).to_string(), "t42");
+    }
+}

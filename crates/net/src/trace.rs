@@ -1,0 +1,227 @@
+//! Bounded execution tracing for debugging protocol runs.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use crate::event::MsgClass;
+use crate::id::NodeId;
+use crate::time::SimTime;
+
+/// What happened at one traced instant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceKind {
+    /// A message was handed to the network.
+    Sent {
+        /// Sender.
+        from: NodeId,
+        /// Receiver.
+        to: NodeId,
+        /// Traffic class.
+        class: MsgClass,
+    },
+    /// A message was delivered to a live node.
+    Delivered {
+        /// Sender.
+        from: NodeId,
+        /// Receiver.
+        to: NodeId,
+        /// Traffic class.
+        class: MsgClass,
+    },
+    /// A message was lost (drop model or dead receiver).
+    Lost {
+        /// Sender.
+        from: NodeId,
+        /// Receiver.
+        to: NodeId,
+        /// Traffic class.
+        class: MsgClass,
+    },
+    /// A timer fired at `node`.
+    Timer {
+        /// Owner of the timer.
+        node: NodeId,
+        /// Discriminator given at `set_timer`.
+        kind: u64,
+    },
+    /// An external stimulus was delivered to `node`.
+    External {
+        /// Target node.
+        node: NodeId,
+    },
+    /// `node` crashed.
+    Crashed {
+        /// The crashed node.
+        node: NodeId,
+    },
+    /// `node` recovered.
+    Recovered {
+        /// The recovered node.
+        node: NodeId,
+    },
+}
+
+/// One entry of the trace log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// When it happened.
+    pub at: SimTime,
+    /// What happened.
+    pub kind: TraceKind,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            TraceKind::Sent { from, to, class } => {
+                write!(f, "{} send {} -> {} [{}]", self.at, from, to, class.label())
+            }
+            TraceKind::Delivered { from, to, class } => {
+                write!(f, "{} dlvr {} -> {} [{}]", self.at, from, to, class.label())
+            }
+            TraceKind::Lost { from, to, class } => {
+                write!(f, "{} lost {} -> {} [{}]", self.at, from, to, class.label())
+            }
+            TraceKind::Timer { node, kind } => {
+                write!(f, "{} timer {} kind={}", self.at, node, kind)
+            }
+            TraceKind::External { node } => write!(f, "{} ext   {}", self.at, node),
+            TraceKind::Crashed { node } => write!(f, "{} CRASH {}", self.at, node),
+            TraceKind::Recovered { node } => write!(f, "{} RECOV {}", self.at, node),
+        }
+    }
+}
+
+/// A bounded ring buffer of the most recent [`TraceEvent`]s.
+///
+/// Tracing is off by default (capacity 0) because the figure-scale
+/// experiments dispatch hundreds of millions of events.
+#[derive(Debug, Clone, Default)]
+pub struct TraceLog {
+    capacity: usize,
+    events: VecDeque<TraceEvent>,
+}
+
+impl TraceLog {
+    /// Creates a log that retains the last `capacity` events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        TraceLog {
+            capacity,
+            events: VecDeque::with_capacity(capacity.min(4096)),
+        }
+    }
+
+    /// Whether tracing is enabled at all.
+    pub fn is_enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    pub(crate) fn push(&mut self, at: SimTime, kind: TraceKind) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+        }
+        self.events.push_back(TraceEvent { at, kind });
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the log holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+impl fmt::Display for TraceLog {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for e in &self.events {
+            writeln!(f, "{e}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounded_retention() {
+        let mut log = TraceLog::with_capacity(3);
+        for i in 0..5 {
+            log.push(
+                SimTime::from_ticks(i),
+                TraceKind::Crashed {
+                    node: NodeId::new(0),
+                },
+            );
+        }
+        assert_eq!(log.len(), 3);
+        let first = log.events().next().unwrap();
+        assert_eq!(first.at, SimTime::from_ticks(2));
+    }
+
+    #[test]
+    fn disabled_log_ignores_pushes() {
+        let mut log = TraceLog::default();
+        assert!(!log.is_enabled());
+        log.push(
+            SimTime::ZERO,
+            TraceKind::External {
+                node: NodeId::new(1),
+            },
+        );
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn display_formats_every_kind() {
+        let kinds = [
+            TraceKind::Sent {
+                from: NodeId::new(0),
+                to: NodeId::new(1),
+                class: MsgClass::Token,
+            },
+            TraceKind::Delivered {
+                from: NodeId::new(0),
+                to: NodeId::new(1),
+                class: MsgClass::Control,
+            },
+            TraceKind::Lost {
+                from: NodeId::new(0),
+                to: NodeId::new(1),
+                class: MsgClass::Control,
+            },
+            TraceKind::Timer {
+                node: NodeId::new(2),
+                kind: 9,
+            },
+            TraceKind::External {
+                node: NodeId::new(2),
+            },
+            TraceKind::Crashed {
+                node: NodeId::new(2),
+            },
+            TraceKind::Recovered {
+                node: NodeId::new(2),
+            },
+        ];
+        for kind in kinds {
+            let ev = TraceEvent {
+                at: SimTime::from_ticks(1),
+                kind,
+            };
+            assert!(!ev.to_string().is_empty());
+        }
+    }
+}

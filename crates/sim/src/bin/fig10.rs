@@ -1,0 +1,11 @@
+//! Regenerates the paper's Figure 10 data series.
+//!
+//! Usage: `cargo run --release --bin fig10 [-- --quick]`
+
+use atp_sim::experiments::fig10;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let config = if quick { fig10::Config::quick() } else { fig10::Config::paper() };
+    println!("{}", fig10::run(&config).render());
+}

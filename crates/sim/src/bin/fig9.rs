@@ -1,0 +1,11 @@
+//! Regenerates the paper's Figure 9 data series.
+//!
+//! Usage: `cargo run --release --bin fig9 [-- --quick]`
+
+use atp_sim::experiments::fig9;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let config = if quick { fig9::Config::quick() } else { fig9::Config::paper() };
+    println!("{}", fig9::run(&config).render());
+}

@@ -1,0 +1,11 @@
+//! Regenerates the `ablation` experiment table.
+//!
+//! Usage: `cargo run --release --bin table_ablation [-- --quick]`
+
+use atp_sim::experiments::ablation;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let config = if quick { ablation::Config::quick() } else { ablation::Config::paper() };
+    println!("{}", ablation::run(&config).render());
+}

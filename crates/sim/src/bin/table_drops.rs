@@ -1,0 +1,11 @@
+//! Regenerates the `drops` experiment table.
+//!
+//! Usage: `cargo run --release --bin table_drops [-- --quick]`
+
+use atp_sim::experiments::drops;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let config = if quick { drops::Config::quick() } else { drops::Config::paper() };
+    println!("{}", drops::run(&config).render());
+}

@@ -1,0 +1,11 @@
+//! Regenerates the `failure` experiment table.
+//!
+//! Usage: `cargo run --release --bin table_failure [-- --quick]`
+
+use atp_sim::experiments::failure;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let config = if quick { failure::Config::quick() } else { failure::Config::paper() };
+    println!("{}", failure::run(&config).render());
+}

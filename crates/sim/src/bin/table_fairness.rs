@@ -1,0 +1,11 @@
+//! Regenerates the `fairness` experiment table.
+//!
+//! Usage: `cargo run --release --bin table_fairness [-- --quick]`
+
+use atp_sim::experiments::fairness;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let config = if quick { fairness::Config::quick() } else { fairness::Config::paper() };
+    println!("{}", fairness::run(&config).render());
+}

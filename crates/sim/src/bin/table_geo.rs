@@ -1,0 +1,11 @@
+//! Regenerates the `geo` experiment table.
+//!
+//! Usage: `cargo run --release --bin table_geo [-- --quick]`
+
+use atp_sim::experiments::geo;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let config = if quick { geo::Config::quick() } else { geo::Config::paper() };
+    println!("{}", geo::run(&config).render());
+}

@@ -1,0 +1,11 @@
+//! Regenerates the `latency` experiment table.
+//!
+//! Usage: `cargo run --release --bin table_latency [-- --quick]`
+
+use atp_sim::experiments::latency;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let config = if quick { latency::Config::quick() } else { latency::Config::paper() };
+    println!("{}", latency::run(&config).render());
+}

@@ -1,0 +1,11 @@
+//! Regenerates the `messages` experiment table.
+//!
+//! Usage: `cargo run --release --bin table_messages [-- --quick]`
+
+use atp_sim::experiments::messages;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let config = if quick { messages::Config::quick() } else { messages::Config::paper() };
+    println!("{}", messages::run(&config).render());
+}

@@ -1,0 +1,11 @@
+//! Regenerates the `throughput` experiment table.
+//!
+//! Usage: `cargo run --release --bin table_throughput [-- --quick]`
+
+use atp_sim::experiments::throughput;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let config = if quick { throughput::Config::quick() } else { throughput::Config::paper() };
+    println!("{}", throughput::run(&config).render());
+}

@@ -1,0 +1,11 @@
+//! Regenerates the `worstcase` experiment table.
+//!
+//! Usage: `cargo run --release --bin table_worstcase [-- --quick]`
+
+use atp_sim::experiments::worstcase;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let config = if quick { worstcase::Config::quick() } else { worstcase::Config::paper() };
+    println!("{}", worstcase::run(&config).render());
+}

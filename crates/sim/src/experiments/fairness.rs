@@ -1,0 +1,196 @@
+//! Theorem 3: *"System Binary Search is log N fair … no one node gets the
+//! token more than log N times [while another waits], and there are no more
+//! than N possessions of the token by other nodes."*
+//!
+//! Scenario: a *hog* node requests continuously; a *waiter* requests once in
+//! the middle of the run. We report the number of grants other nodes
+//! received while the waiter waited (the paper's fairness quantity) and the
+//! Jain index of grants under a symmetric all-nodes load.
+
+use atp_net::{NodeId, SimTime};
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+
+use crate::report::{f2, Table};
+use crate::runner::{run_experiment, ExperimentSpec, Protocol};
+use crate::stats::log2;
+use crate::workload::{Arrival, PerNodePoisson, Workload};
+
+/// Parameters of the fairness experiment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Config {
+    /// Ring size.
+    pub n: usize,
+    /// Ticks between the hog's consecutive requests.
+    pub hog_gap: u64,
+    /// Simulated horizon in ticks.
+    pub horizon: u64,
+    /// Determinism seed.
+    pub seed: u64,
+}
+
+impl Config {
+    /// Full scale.
+    pub fn paper() -> Self {
+        Config {
+            n: 64,
+            hog_gap: 2,
+            horizon: 20_000,
+            seed: 12,
+        }
+    }
+
+    /// A seconds-scale preset for tests.
+    pub fn quick() -> Self {
+        Config {
+            n: 16,
+            hog_gap: 2,
+            horizon: 2_000,
+            seed: 12,
+        }
+    }
+}
+
+/// Hog-and-waiter workload: `hog` requests every `gap` ticks; `waiter`
+/// requests once at `waiter_at`.
+#[derive(Debug, Clone)]
+struct HogAndWaiter {
+    hog: NodeId,
+    gap: u64,
+    waiter: NodeId,
+    waiter_at: SimTime,
+}
+
+impl Workload for HogAndWaiter {
+    fn arrivals(&mut self, _n: usize, horizon: SimTime, _rng: &mut StdRng) -> Vec<Arrival> {
+        let mut out = Vec::new();
+        let mut t = 1;
+        let mut payload = 0;
+        while t <= horizon.ticks() {
+            payload += 1;
+            out.push(Arrival {
+                at: SimTime::from_ticks(t),
+                node: self.hog,
+                payload,
+            });
+            t += self.gap.max(1);
+        }
+        out.push(Arrival {
+            at: self.waiter_at,
+            node: self.waiter,
+            payload: payload + 1,
+        });
+        out.sort_by_key(|a| a.at);
+        out
+    }
+
+    fn label(&self) -> String {
+        format!("hog({})+waiter({})", self.hog, self.waiter)
+    }
+}
+
+/// One row of the fairness table.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Point {
+    /// Protocol measured.
+    pub protocol: Protocol,
+    /// Maximum grants to other nodes while some request waited.
+    pub max_other_grants: u64,
+    /// The paper's bound for the binary protocol: `N + log₂ N`.
+    pub bound: f64,
+    /// Jain index under a symmetric per-node load.
+    pub jain_symmetric: f64,
+}
+
+/// Computes the fairness table rows.
+pub fn series(config: &Config) -> Vec<Point> {
+    let bound = config.n as f64 + log2(config.n);
+    Protocol::ALL
+        .iter()
+        .map(|&protocol| {
+            // Adversarial: hog at 2, waiter across the ring.
+            let mut wl = HogAndWaiter {
+                hog: NodeId::new(2),
+                gap: config.hog_gap,
+                waiter: NodeId::new((config.n as u32) / 2 + 2),
+                waiter_at: SimTime::from_ticks(config.horizon / 2),
+            };
+            let spec = ExperimentSpec::new(protocol, config.n, config.horizon)
+                .with_seed(config.seed);
+            let s = run_experiment(&spec, &mut wl);
+            let max_other_grants = s.metrics.other_grants_while_waiting.max;
+
+            // Symmetric load for the Jain index.
+            let mut sym = PerNodePoisson::new(config.n as f64 * 4.0);
+            let spec = ExperimentSpec::new(protocol, config.n, config.horizon)
+                .with_seed(config.seed + 1);
+            let s2 = run_experiment(&spec, &mut sym);
+            Point {
+                protocol,
+                max_other_grants,
+                bound,
+                jain_symmetric: s2.metrics.jain,
+            }
+        })
+        .collect()
+}
+
+/// Runs the experiment and renders the table.
+pub fn run(config: &Config) -> Table {
+    let mut table = Table::new(vec![
+        "protocol",
+        "max-other-grants-while-waiting",
+        "bound n+log2(n)",
+        "jain(symmetric)",
+    ])
+    .title(format!(
+        "Theorem 3 — fairness under a hog, n = {}",
+        config.n
+    ));
+    for p in series(config) {
+        table.row(vec![
+            p.protocol.label().to_string(),
+            p.max_other_grants.to_string(),
+            f2(p.bound),
+            f2(p.jain_symmetric),
+        ]);
+    }
+    table.note("paper: while a node waits, others possess the token at most N + log2 N times");
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binary_respects_the_fairness_bound() {
+        let cfg = Config::quick();
+        let points = series(&cfg);
+        let binary = points
+            .iter()
+            .find(|p| p.protocol == Protocol::Binary)
+            .unwrap();
+        assert!(
+            (binary.max_other_grants as f64) <= binary.bound,
+            "binary hog grants {} exceed bound {}",
+            binary.max_other_grants,
+            binary.bound
+        );
+        // Symmetric load is served near-evenly by all protocols.
+        for p in &points {
+            assert!(
+                p.jain_symmetric > 0.85,
+                "{}: jain {}",
+                p.protocol.label(),
+                p.jain_symmetric
+            );
+        }
+    }
+
+    #[test]
+    fn table_renders() {
+        let t = run(&Config::quick());
+        assert_eq!(t.len(), 3);
+    }
+}

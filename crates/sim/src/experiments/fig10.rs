@@ -1,0 +1,134 @@
+//! Figure 10: average responsiveness under **decreasing load**, fixed N.
+//!
+//! The paper: *"Here we decrease the load and fix the number of processors
+//! (n = 100). Using System Binary Search, the average responsiveness
+//! approaches log n from below. For the regular ring algorithm the average
+//! responsiveness approaches n/2 (= 50)."*
+
+use serde::{Deserialize, Serialize};
+
+use crate::report::{f2, Table};
+use crate::runner::{run_experiment, ExperimentSpec, Protocol};
+use crate::stats::log2;
+use crate::workload::GlobalPoisson;
+
+/// Parameters of the Figure 10 sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Config {
+    /// Fixed ring size (the paper uses 100).
+    pub n: usize,
+    /// Mean inter-request gaps to sweep, smallest (heaviest load) first.
+    pub gaps: Vec<f64>,
+    /// Token rounds to simulate per point.
+    pub rounds: u64,
+    /// Determinism seed.
+    pub seed: u64,
+}
+
+impl Config {
+    /// The paper's scale: N = 100, load decreasing to near-idle.
+    pub fn paper() -> Self {
+        Config {
+            n: 100,
+            gaps: vec![1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0],
+            rounds: 1000,
+            seed: 10,
+        }
+    }
+
+    /// A seconds-scale preset for tests.
+    pub fn quick() -> Self {
+        Config {
+            n: 48,
+            gaps: vec![2.0, 20.0, 200.0],
+            rounds: 80,
+            seed: 10,
+        }
+    }
+}
+
+/// One point of the Figure 10 series.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Point {
+    /// Mean inter-request gap (inverse load).
+    pub gap: f64,
+    /// Mean responsiveness of the plain ring.
+    pub ring: f64,
+    /// Mean responsiveness of System BinarySearch.
+    pub binary: f64,
+}
+
+/// Computes the Figure 10 series.
+pub fn series(config: &Config) -> Vec<Point> {
+    let horizon = config.rounds * config.n as u64;
+    config
+        .gaps
+        .iter()
+        .map(|&gap| {
+            let measure = |protocol: Protocol| {
+                let spec =
+                    ExperimentSpec::new(protocol, config.n, horizon).with_seed(config.seed);
+                let mut wl = GlobalPoisson::new(gap);
+                run_experiment(&spec, &mut wl).metrics.responsiveness.mean
+            };
+            Point {
+                gap,
+                ring: measure(Protocol::Ring),
+                binary: measure(Protocol::Binary),
+            }
+        })
+        .collect()
+}
+
+/// Runs the sweep and renders the figure's data as a table.
+pub fn run(config: &Config) -> Table {
+    let mut table = Table::new(vec!["gap", "ring", "binary"]).title(format!(
+        "Figure 10 — avg responsiveness vs load, n = {} ({} rounds); log2(n) = {}, n/2 = {}",
+        config.n,
+        config.rounds,
+        f2(log2(config.n)),
+        config.n / 2
+    ));
+    for p in series(config) {
+        table.row(vec![f2(p.gap), f2(p.ring), f2(p.binary)]);
+    }
+    table.note("paper: as load decreases, ring → n/2; binary → log2(n) from below");
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_paper() {
+        let cfg = Config::quick();
+        let points = series(&cfg);
+        // Heaviest load first, lightest last.
+        let lightest = points.last().unwrap();
+        let heaviest = points.first().unwrap();
+        // At light load, a lone request waits ~n/2 on the ring but only
+        // ~log n with binary search.
+        assert!(
+            lightest.ring > cfg.n as f64 / 4.0,
+            "ring at light load should approach n/2, got {}",
+            lightest.ring
+        );
+        assert!(
+            lightest.binary < lightest.ring / 2.0,
+            "binary {} should decisively beat ring {}",
+            lightest.binary,
+            lightest.ring
+        );
+        // At saturation both protocols are busy and grants are frequent, so
+        // responsiveness is far below the light-load ring value.
+        assert!(heaviest.ring < lightest.ring);
+    }
+
+    #[test]
+    fn table_renders() {
+        let t = run(&Config::quick());
+        assert_eq!(t.len(), 3);
+        assert!(t.render().contains("Figure 10"));
+    }
+}

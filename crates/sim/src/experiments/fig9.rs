@@ -1,0 +1,146 @@
+//! Figure 9: average responsiveness under **fixed load**, varying N.
+//!
+//! The paper: *"the load is fixed so that on average, every 10 time units,
+//! one of the nodes in the system makes a request. The curves show, that
+//! using a regular ring algorithm, the average responsiveness approaches 10
+//! … Using System Binary Search, the average responsiveness is bounded by
+//! log n."* Each simulation ran 1000 token rounds.
+
+use serde::{Deserialize, Serialize};
+
+use crate::report::{f2, Table};
+use crate::runner::{run_experiment, ExperimentSpec, Protocol};
+use crate::stats::log2;
+use crate::workload::GlobalPoisson;
+
+/// Parameters of the Figure 9 sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Config {
+    /// Ring sizes to sweep.
+    pub ns: Vec<usize>,
+    /// Mean system-wide inter-request gap (the paper uses 10).
+    pub mean_gap: f64,
+    /// Token rounds to simulate per point (the paper uses ≥ 1000).
+    pub rounds: u64,
+    /// Determinism seed.
+    pub seed: u64,
+}
+
+impl Config {
+    /// The paper's scale: N up to 256, gap 10, 1000 rounds.
+    pub fn paper() -> Self {
+        Config {
+            ns: vec![8, 16, 32, 64, 128, 256],
+            mean_gap: 10.0,
+            rounds: 1000,
+            seed: 9,
+        }
+    }
+
+    /// A seconds-scale preset for tests.
+    pub fn quick() -> Self {
+        Config {
+            ns: vec![8, 16, 32],
+            mean_gap: 10.0,
+            rounds: 60,
+            seed: 9,
+        }
+    }
+}
+
+/// One point of the Figure 9 series.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Point {
+    /// Ring size.
+    pub n: usize,
+    /// Mean responsiveness of the plain ring.
+    pub ring: f64,
+    /// Mean responsiveness of System BinarySearch.
+    pub binary: f64,
+    /// The `log₂ n` reference the paper's curve is bounded by.
+    pub log2n: f64,
+}
+
+/// Computes the Figure 9 series.
+pub fn series(config: &Config) -> Vec<Point> {
+    config
+        .ns
+        .iter()
+        .map(|&n| {
+            let horizon = config.rounds * n as u64;
+            let measure = |protocol: Protocol| {
+                let spec = ExperimentSpec::new(protocol, n, horizon).with_seed(config.seed);
+                let mut wl = GlobalPoisson::new(config.mean_gap);
+                run_experiment(&spec, &mut wl).metrics.responsiveness.mean
+            };
+            Point {
+                n,
+                ring: measure(Protocol::Ring),
+                binary: measure(Protocol::Binary),
+                log2n: log2(n),
+            }
+        })
+        .collect()
+}
+
+/// Runs the sweep and renders the figure's data as a table.
+pub fn run(config: &Config) -> Table {
+    let mut table = Table::new(vec!["n", "ring", "binary", "log2(n)", "gap"]).title(format!(
+        "Figure 9 — avg responsiveness, fixed load (one request per ~{} ticks, {} rounds)",
+        config.mean_gap, config.rounds
+    ));
+    for p in series(config) {
+        table.row(vec![
+            p.n.to_string(),
+            f2(p.ring),
+            f2(p.binary),
+            f2(p.log2n),
+            f2(config.mean_gap),
+        ]);
+    }
+    table.note("paper: ring → gap (≈10); binary bounded by log2(n)");
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_paper() {
+        let points = series(&Config::quick());
+        assert_eq!(points.len(), 3);
+        for p in &points {
+            // Binary stays within a small factor of log2(n)…
+            assert!(
+                p.binary <= 2.5 * p.log2n + 2.0,
+                "n={}: binary {} vs log2 {}",
+                p.n,
+                p.binary,
+                p.log2n
+            );
+        }
+        // …and the ring approaches the request gap while binary beats it at
+        // larger n (the crossover the paper plots).
+        let last = points.last().unwrap();
+        assert!(
+            last.binary < last.ring,
+            "binary {} should beat ring {} at n={}",
+            last.binary,
+            last.ring,
+            last.n
+        );
+        assert!(
+            (4.0..18.0).contains(&last.ring),
+            "ring should hover near the gap, got {}",
+            last.ring
+        );
+    }
+
+    #[test]
+    fn table_renders_all_rows() {
+        let t = run(&Config::quick());
+        assert_eq!(t.len(), 3);
+        assert!(t.render().contains("Figure 9"));
+    }
+}

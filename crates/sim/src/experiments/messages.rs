@@ -1,0 +1,161 @@
+//! Lemma 6: *"In System BinarySearch each token request is forwarded
+//! O(log N) times for N nodes."*
+//!
+//! A single requester probes an otherwise idle system; we count the cheap
+//! search messages it costs until the grant, averaged over requester
+//! positions. Delegated search should track `log₂ N`; directed search
+//! doubles it (Section 4.4); the linear search of System Search pays O(N).
+
+use atp_core::{ProtocolConfig, SearchMode};
+use atp_net::{NodeId, SimTime};
+use serde::{Deserialize, Serialize};
+
+use crate::report::{f2, Table};
+use crate::runner::{run_experiment, ExperimentSpec, Protocol};
+use crate::stats::log2;
+use crate::workload::SingleShot;
+
+/// Parameters of the message-complexity sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Config {
+    /// Ring sizes to sweep.
+    pub ns: Vec<usize>,
+    /// Requester positions sampled per ring size.
+    pub trials: usize,
+    /// Determinism seed.
+    pub seed: u64,
+}
+
+impl Config {
+    /// Full scale: N up to 512.
+    pub fn paper() -> Self {
+        Config {
+            ns: vec![8, 16, 32, 64, 128, 256, 512],
+            trials: 8,
+            seed: 11,
+        }
+    }
+
+    /// A seconds-scale preset for tests.
+    pub fn quick() -> Self {
+        Config {
+            ns: vec![16, 64],
+            trials: 4,
+            seed: 11,
+        }
+    }
+}
+
+/// One row of the message-complexity table.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Point {
+    /// Ring size.
+    pub n: usize,
+    /// Mean search messages per request, delegated search.
+    pub delegated: f64,
+    /// Mean search messages per request, directed search.
+    pub directed: f64,
+    /// Mean search messages per request, linear search (System Search).
+    pub linear: f64,
+    /// `log₂ n` reference.
+    pub log2n: f64,
+}
+
+fn mean_search_msgs(
+    protocol: Protocol,
+    cfg: ProtocolConfig,
+    n: usize,
+    trials: usize,
+    seed: u64,
+) -> f64 {
+    let mut total = 0u64;
+    for t in 0..trials {
+        // Spread requesters and request times around the ring.
+        let node = NodeId::new(((t * n) / trials) as u32);
+        let at = SimTime::from_ticks(3 + 2 * t as u64);
+        let spec = ExperimentSpec::new(protocol, n, at.ticks() + 8 * n as u64)
+            .with_cfg(cfg)
+            .with_seed(seed + t as u64);
+        let mut wl = SingleShot::new(at, node);
+        let s = run_experiment(&spec, &mut wl);
+        assert_eq!(s.metrics.grants, 1, "single shot must be served");
+        total += s.net.control_sent;
+    }
+    total as f64 / trials as f64
+}
+
+/// Computes the message-complexity series.
+pub fn series(config: &Config) -> Vec<Point> {
+    let base = ProtocolConfig::default().with_record_log(false);
+    config
+        .ns
+        .iter()
+        .map(|&n| Point {
+            n,
+            delegated: mean_search_msgs(Protocol::Binary, base, n, config.trials, config.seed),
+            directed: mean_search_msgs(
+                Protocol::Binary,
+                base.with_search_mode(SearchMode::Directed),
+                n,
+                config.trials,
+                config.seed,
+            ),
+            linear: mean_search_msgs(Protocol::Search, base, n, config.trials, config.seed),
+            log2n: log2(n),
+        })
+        .collect()
+}
+
+/// Runs the sweep and renders the table.
+pub fn run(config: &Config) -> Table {
+    let mut table = Table::new(vec!["n", "delegated", "directed", "linear", "log2(n)"])
+        .title("Lemma 6 — search messages per request (single requester, idle system)");
+    for p in series(config) {
+        table.row(vec![
+            p.n.to_string(),
+            f2(p.delegated),
+            f2(p.directed),
+            f2(p.linear),
+            f2(p.log2n),
+        ]);
+    }
+    table.note("paper: delegated ≈ log2 N forwards; directed ≤ 2·log2 N; linear is Θ(N)");
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delegated_search_is_logarithmic_linear_is_not() {
+        let points = series(&Config::quick());
+        for p in &points {
+            assert!(
+                p.delegated <= p.log2n + 2.0,
+                "n={}: delegated {} vs log2 {}",
+                p.n,
+                p.delegated,
+                p.log2n
+            );
+            assert!(
+                p.directed <= 2.0 * p.log2n + 3.0,
+                "n={}: directed {} vs 2·log2 {}",
+                p.n,
+                p.directed,
+                2.0 * p.log2n
+            );
+        }
+        // Linear grows with n; delegated barely moves.
+        let small = &points[0];
+        let large = &points[1];
+        assert!(large.linear > 2.0 * small.linear);
+        assert!(large.delegated < small.delegated + 2.5);
+    }
+
+    #[test]
+    fn table_renders() {
+        let t = run(&Config::quick());
+        assert_eq!(t.len(), 2);
+    }
+}

@@ -1,0 +1,42 @@
+//! # atp-sim — workloads, metrics and the experiment harness
+//!
+//! The empirical side of the reproduction: everything needed to regenerate
+//! the evaluation of *"Developing and Refining an Adaptive Token-Passing
+//! Strategy"* (Section 4.3, Figures 9 and 10) plus the quantitative claims
+//! of its lemmas and theorems.
+//!
+//! * [`workload`] — request-arrival processes: global/per-node Poisson,
+//!   bursty on/off, hotspot (skewed), saturated closed-loop, single-shot.
+//! * [`metrics`] — implements the paper's **responsiveness** metric
+//!   (Definition 3) exactly, plus waiting times, per-node fairness, message
+//!   complexity and failure counters.
+//! * [`runner`] — drives a protocol inside an [`atp_net::World`], feeding
+//!   arrivals in and streaming [`atp_core::TokenEvent`]s out to the metrics.
+//! * [`experiments`] — one module per paper artifact (`fig9`, `fig10`,
+//!   message complexity, fairness, worst case, optimization ablation,
+//!   failure recovery), each able to render the same rows/series the paper
+//!   reports.
+//!
+//! ## Regenerating Figure 9
+//!
+//! ```rust,no_run
+//! use atp_sim::experiments::fig9;
+//! let table = fig9::run(&fig9::Config::quick());
+//! println!("{}", table.render());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod metrics;
+pub mod report;
+pub mod runner;
+pub mod stats;
+pub mod workload;
+
+pub use metrics::Metrics;
+pub use runner::{run_experiment, run_experiment_with_latency, ExperimentSpec, Protocol, RunSummary};
+pub use workload::{
+    Arrival, Bursty, GlobalPoisson, Hotspot, PerNodePoisson, Saturated, SingleShot, Workload,
+};

@@ -1,0 +1,370 @@
+//! Drives a protocol run: world construction, arrival injection, event
+//! collection, metric accumulation.
+
+use atp_core::{
+    BinaryNode, EventSource, ProtocolConfig, RingNode, SearchNode, TokenEvent, Want,
+};
+use atp_net::{
+    ControlDrops, FailurePlan, LatencyModel, MsgClass, Node, NodeId, SimTime, StepOutcome,
+    UniformLatency, World, WorldConfig,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::metrics::{Metrics, MetricsSummary};
+use crate::workload::Workload;
+
+/// Which protocol an experiment runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Protocol {
+    /// Plain rotating ring (System Message-Passing + rule 3′) — the paper's
+    /// "regular token rotation protocol" baseline.
+    Ring,
+    /// Lazy token + linear search (System Search, cyclic restriction).
+    Search,
+    /// System BinarySearch — the paper's contribution.
+    Binary,
+}
+
+impl Protocol {
+    /// All protocols, for sweep tables.
+    pub const ALL: [Protocol; 3] = [Protocol::Ring, Protocol::Search, Protocol::Binary];
+
+    /// Short label for report rows.
+    pub fn label(self) -> &'static str {
+        match self {
+            Protocol::Ring => "ring",
+            Protocol::Search => "search",
+            Protocol::Binary => "binary",
+        }
+    }
+}
+
+/// A protocol node the experiment runner can host.
+///
+/// Implemented for the three node types of `atp-core`; the runner is generic
+/// over this so new protocol variants plug in without touching experiments.
+pub trait ProtocolNode: Node<Ext = Want> + EventSource {
+    /// Constructs a node with the given configuration.
+    fn build(cfg: ProtocolConfig) -> Self;
+    /// Grants received so far (cross-checks the metrics stream).
+    fn grants_count(&self) -> u64;
+    /// Length of the node's applied history prefix.
+    fn applied_len(&self) -> u64;
+}
+
+impl ProtocolNode for RingNode {
+    fn build(cfg: ProtocolConfig) -> Self {
+        RingNode::new(cfg)
+    }
+    fn grants_count(&self) -> u64 {
+        self.grants()
+    }
+    fn applied_len(&self) -> u64 {
+        self.order().applied_seq()
+    }
+}
+
+impl ProtocolNode for SearchNode {
+    fn build(cfg: ProtocolConfig) -> Self {
+        SearchNode::new(cfg)
+    }
+    fn grants_count(&self) -> u64 {
+        self.grants()
+    }
+    fn applied_len(&self) -> u64 {
+        self.order().applied_seq()
+    }
+}
+
+impl ProtocolNode for BinaryNode {
+    fn build(cfg: ProtocolConfig) -> Self {
+        BinaryNode::new(cfg)
+    }
+    fn grants_count(&self) -> u64 {
+        self.grants()
+    }
+    fn applied_len(&self) -> u64 {
+        self.order().applied_seq()
+    }
+}
+
+/// Everything one experiment run needs.
+#[derive(Debug, Clone)]
+pub struct ExperimentSpec {
+    /// Which protocol to run.
+    pub protocol: Protocol,
+    /// Ring size.
+    pub n: usize,
+    /// Protocol tunables.
+    pub cfg: ProtocolConfig,
+    /// Open-loop arrival horizon, in ticks.
+    pub horizon_ticks: u64,
+    /// Extra ticks after the horizon to let stragglers finish.
+    pub grace_ticks: u64,
+    /// Determinism seed (world and workload).
+    pub seed: u64,
+    /// Probability of dropping each cheap (control) message.
+    pub control_drop_p: f64,
+    /// Message latency bounds `(lo, hi)`; `(1, 1)` is the paper's unit-delay
+    /// model.
+    pub latency: (u64, u64),
+    /// Scripted crashes/recoveries.
+    pub failures: FailurePlan,
+}
+
+impl ExperimentSpec {
+    /// A spec in the paper's canonical regime: unit delays, no drops, no
+    /// failures, grace of `10 * n`.
+    pub fn new(protocol: Protocol, n: usize, horizon_ticks: u64) -> Self {
+        ExperimentSpec {
+            protocol,
+            n,
+            cfg: ProtocolConfig::default().with_record_log(false),
+            horizon_ticks,
+            grace_ticks: 10 * n as u64 + 100,
+            seed: 0,
+            control_drop_p: 0.0,
+            latency: (1, 1),
+            failures: FailurePlan::new(),
+        }
+    }
+
+    /// Overrides the protocol configuration.
+    pub fn with_cfg(mut self, cfg: ProtocolConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Overrides the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the control-message drop probability.
+    pub fn with_control_drop(mut self, p: f64) -> Self {
+        self.control_drop_p = p;
+        self
+    }
+
+    /// Sets the latency bounds.
+    pub fn with_latency(mut self, lo: u64, hi: u64) -> Self {
+        self.latency = (lo, hi);
+        self
+    }
+
+    /// Sets the failure plan.
+    pub fn with_failures(mut self, failures: FailurePlan) -> Self {
+        self.failures = failures;
+        self
+    }
+}
+
+/// Network-side counters of a finished run.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct NetSummary {
+    /// Token-class messages sent.
+    pub token_sent: u64,
+    /// Control-class messages sent.
+    pub control_sent: u64,
+    /// Control-class messages dropped by the loss model.
+    pub control_dropped: u64,
+    /// Total events dispatched.
+    pub events: u64,
+}
+
+/// The result of one experiment run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunSummary {
+    /// Protocol that ran.
+    pub protocol: Protocol,
+    /// Workload label.
+    pub workload: String,
+    /// Protocol metrics (responsiveness, waiting, fairness, …).
+    pub metrics: MetricsSummary,
+    /// Network counters.
+    pub net: NetSummary,
+    /// Ticks simulated.
+    pub duration_ticks: u64,
+}
+
+/// Runs `spec` under `workload` and returns the summary.
+///
+/// Fully deterministic for a given `(spec, workload)` pair.
+pub fn run_experiment(spec: &ExperimentSpec, workload: &mut dyn Workload) -> RunSummary {
+    match spec.protocol {
+        Protocol::Ring => drive::<RingNode>(spec, workload, None),
+        Protocol::Search => drive::<SearchNode>(spec, workload, None),
+        Protocol::Binary => drive::<BinaryNode>(spec, workload, None),
+    }
+}
+
+/// Like [`run_experiment`] but with an explicit latency model (e.g. a
+/// per-link geographic matrix) overriding the spec's uniform bounds.
+pub fn run_experiment_with_latency(
+    spec: &ExperimentSpec,
+    workload: &mut dyn Workload,
+    latency: impl LatencyModel + 'static,
+) -> RunSummary {
+    let boxed: Box<dyn LatencyModel> = Box::new(latency);
+    match spec.protocol {
+        Protocol::Ring => drive::<RingNode>(spec, workload, Some(boxed)),
+        Protocol::Search => drive::<SearchNode>(spec, workload, Some(boxed)),
+        Protocol::Binary => drive::<BinaryNode>(spec, workload, Some(boxed)),
+    }
+}
+
+fn drive<N: ProtocolNode>(
+    spec: &ExperimentSpec,
+    workload: &mut dyn Workload,
+    latency_override: Option<Box<dyn LatencyModel>>,
+) -> RunSummary {
+    let mut world_cfg = WorldConfig::default().seed(spec.seed);
+    if let Some(model) = latency_override {
+        world_cfg = world_cfg.latency_boxed(model);
+    } else if spec.latency != (1, 1) {
+        world_cfg = world_cfg.latency(UniformLatency::new(spec.latency.0, spec.latency.1));
+    }
+    if spec.control_drop_p > 0.0 {
+        world_cfg = world_cfg.drops(ControlDrops::new(spec.control_drop_p));
+    }
+    let nodes = (0..spec.n).map(|_| N::build(spec.cfg)).collect();
+    let mut world: World<N> = World::from_nodes(nodes, world_cfg);
+    world.apply_failure_plan(&spec.failures);
+
+    let horizon = SimTime::from_ticks(spec.horizon_ticks);
+    let deadline = horizon.saturating_add(spec.grace_ticks);
+    let mut rng = StdRng::seed_from_u64(spec.seed ^ 0x9e37_79b9_7f4a_7c15);
+    for a in workload.arrivals(spec.n, horizon, &mut rng) {
+        world.schedule_external(a.at, a.node, Want::new(a.payload));
+    }
+
+    let mut metrics = Metrics::new(spec.n);
+    loop {
+        match world.step() {
+            StepOutcome::Quiescent => break,
+            StepOutcome::Consumed { at } => {
+                if at >= deadline {
+                    break;
+                }
+            }
+            StepOutcome::Dispatched { node, at } => {
+                let events = world.node_mut(node).take_events();
+                for ev in &events {
+                    metrics.on_event(node, ev);
+                    if let TokenEvent::Released { .. } = ev {
+                        if let Some(arr) = workload.on_release(node, at, &mut rng) {
+                            if arr.at <= horizon {
+                                world.schedule_external(arr.at, arr.node, Want::new(arr.payload));
+                            }
+                        }
+                    }
+                }
+                if at >= horizon && metrics.unserved() == 0 {
+                    break;
+                }
+                if at >= deadline {
+                    break;
+                }
+            }
+        }
+    }
+    // Collect any events buffered at nodes that did not dispatch again.
+    for i in 0..world.len() {
+        let node = NodeId::new(i as u32);
+        for ev in world.node_mut(node).take_events() {
+            metrics.on_event(node, &ev);
+        }
+    }
+
+    let stats = world.stats();
+    RunSummary {
+        protocol: spec.protocol,
+        workload: workload.label(),
+        metrics: metrics.summarize(),
+        net: NetSummary {
+            token_sent: stats.sent(MsgClass::Token),
+            control_sent: stats.sent(MsgClass::Control),
+            control_dropped: stats.dropped(MsgClass::Control),
+            events: stats.events_processed,
+        },
+        duration_ticks: world.now().ticks(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{GlobalPoisson, SingleShot};
+
+    #[test]
+    fn ring_run_produces_consistent_summary() {
+        let spec = ExperimentSpec::new(Protocol::Ring, 8, 2_000);
+        let mut wl = GlobalPoisson::new(20.0);
+        let s = run_experiment(&spec, &mut wl);
+        assert!(s.metrics.requests > 50, "requests = {}", s.metrics.requests);
+        assert_eq!(s.metrics.grants + s.metrics.unserved as u64, s.metrics.requests);
+        assert!(s.net.token_sent > 0);
+        assert!(s.duration_ticks >= 2_000);
+    }
+
+    #[test]
+    fn binary_beats_ring_on_light_load() {
+        let n = 64;
+        let mut ring_wl = GlobalPoisson::new(200.0);
+        let ring = run_experiment(&ExperimentSpec::new(Protocol::Ring, n, 50_000), &mut ring_wl);
+        let mut bin_wl = GlobalPoisson::new(200.0);
+        let binary =
+            run_experiment(&ExperimentSpec::new(Protocol::Binary, n, 50_000), &mut bin_wl);
+        assert!(
+            binary.metrics.responsiveness.mean < ring.metrics.responsiveness.mean / 2.0,
+            "binary {} vs ring {}",
+            binary.metrics.responsiveness.mean,
+            ring.metrics.responsiveness.mean
+        );
+    }
+
+    #[test]
+    fn search_serves_single_shot() {
+        let spec = ExperimentSpec::new(Protocol::Search, 16, 100);
+        let mut wl = SingleShot::new(SimTime::from_ticks(5), NodeId::new(9));
+        let s = run_experiment(&spec, &mut wl);
+        assert_eq!(s.metrics.grants, 1);
+        assert_eq!(s.metrics.unserved, 0);
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        let run = || {
+            let spec = ExperimentSpec::new(Protocol::Binary, 12, 3_000).with_seed(7);
+            let mut wl = GlobalPoisson::new(15.0);
+            let s = run_experiment(&spec, &mut wl);
+            (
+                s.metrics.grants,
+                s.metrics.responsiveness.mean.to_bits(),
+                s.net.token_sent,
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn control_drops_degrade_but_do_not_break_binary() {
+        let spec = ExperimentSpec::new(Protocol::Binary, 16, 5_000).with_control_drop(1.0);
+        let mut wl = GlobalPoisson::new(50.0);
+        let s = run_experiment(&spec, &mut wl);
+        // All searches lost: rotation still serves every request.
+        assert_eq!(s.metrics.unserved, 0);
+        assert!(s.metrics.grants > 0);
+    }
+
+    #[test]
+    fn protocol_labels() {
+        assert_eq!(Protocol::Ring.label(), "ring");
+        assert_eq!(Protocol::Search.label(), "search");
+        assert_eq!(Protocol::Binary.label(), "binary");
+        assert_eq!(Protocol::ALL.len(), 3);
+    }
+}

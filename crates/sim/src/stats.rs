@@ -1,0 +1,126 @@
+//! Small descriptive-statistics helpers used by the metrics and reports.
+
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of a sample of durations (in ticks).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct SampleStats {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean (0 if empty).
+    pub mean: f64,
+    /// Minimum (0 if empty).
+    pub min: u64,
+    /// Maximum (0 if empty).
+    pub max: u64,
+    /// Median.
+    pub p50: u64,
+    /// 95th percentile.
+    pub p95: u64,
+    /// 99th percentile.
+    pub p99: u64,
+}
+
+impl SampleStats {
+    /// Computes the summary of `samples` (which it sorts in place).
+    pub fn from_samples(samples: &mut [u64]) -> SampleStats {
+        if samples.is_empty() {
+            return SampleStats::default();
+        }
+        samples.sort_unstable();
+        let count = samples.len();
+        let sum: u128 = samples.iter().map(|&v| v as u128).sum();
+        SampleStats {
+            count,
+            mean: sum as f64 / count as f64,
+            min: samples[0],
+            max: samples[count - 1],
+            p50: percentile_sorted(samples, 0.50),
+            p95: percentile_sorted(samples, 0.95),
+            p99: percentile_sorted(samples, 0.99),
+        }
+    }
+}
+
+/// The `q`-th percentile (nearest-rank) of an already sorted slice.
+///
+/// # Panics
+///
+/// Panics if `sorted` is empty or `q` outside `[0, 1]`.
+pub fn percentile_sorted(sorted: &[u64], q: f64) -> u64 {
+    assert!(!sorted.is_empty(), "percentile of empty sample");
+    assert!((0.0..=1.0).contains(&q), "q must be in [0, 1]");
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Jain's fairness index over per-node counts: `(Σx)² / (n·Σx²)`.
+///
+/// 1.0 = perfectly even; `1/n` = one node gets everything. Returns 1.0 for
+/// empty or all-zero inputs (vacuously fair).
+pub fn jain_index(counts: &[u64]) -> f64 {
+    if counts.is_empty() {
+        return 1.0;
+    }
+    let sum: f64 = counts.iter().map(|&c| c as f64).sum();
+    if sum == 0.0 {
+        return 1.0;
+    }
+    let sum_sq: f64 = counts.iter().map(|&c| (c as f64) * (c as f64)).sum();
+    (sum * sum) / (counts.len() as f64 * sum_sq)
+}
+
+/// Base-2 logarithm of `n`, as the paper's `log N` bounds use it.
+pub fn log2(n: usize) -> f64 {
+    (n.max(1) as f64).log2()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_of_known_sample() {
+        let mut s = vec![4, 1, 3, 2, 5];
+        let st = SampleStats::from_samples(&mut s);
+        assert_eq!(st.count, 5);
+        assert!((st.mean - 3.0).abs() < 1e-9);
+        assert_eq!(st.min, 1);
+        assert_eq!(st.max, 5);
+        assert_eq!(st.p50, 3);
+        assert_eq!(st.p95, 5);
+    }
+
+    #[test]
+    fn stats_of_empty_sample_are_zero() {
+        let mut s = Vec::new();
+        let st = SampleStats::from_samples(&mut s);
+        assert_eq!(st.count, 0);
+        assert_eq!(st.mean, 0.0);
+        assert_eq!(st.max, 0);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let s = vec![10, 20, 30, 40];
+        assert_eq!(percentile_sorted(&s, 0.0), 10);
+        assert_eq!(percentile_sorted(&s, 0.25), 10);
+        assert_eq!(percentile_sorted(&s, 0.5), 20);
+        assert_eq!(percentile_sorted(&s, 1.0), 40);
+    }
+
+    #[test]
+    fn jain_extremes() {
+        assert!((jain_index(&[5, 5, 5, 5]) - 1.0).abs() < 1e-9);
+        assert!((jain_index(&[10, 0, 0, 0]) - 0.25).abs() < 1e-9);
+        assert_eq!(jain_index(&[]), 1.0);
+        assert_eq!(jain_index(&[0, 0]), 1.0);
+    }
+
+    #[test]
+    fn log2_values() {
+        assert_eq!(log2(8), 3.0);
+        assert_eq!(log2(1), 0.0);
+        assert_eq!(log2(0), 0.0);
+    }
+}

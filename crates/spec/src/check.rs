@@ -1,0 +1,80 @@
+//! Exhaustive invariant checking over reachable state graphs.
+
+use atp_trs::{Explorer, Graph, Term, Trs};
+
+/// Result of an exhaustive invariant check.
+#[derive(Debug)]
+pub struct CheckReport {
+    /// The explored graph.
+    pub graph: Graph,
+    /// The first violating state, if any.
+    pub violation: Option<Term>,
+}
+
+impl CheckReport {
+    /// `true` when the invariant held on every reachable state *and* the
+    /// exploration was complete (not truncated).
+    pub fn holds(&self) -> bool {
+        self.violation.is_none() && !self.graph.is_truncated()
+    }
+
+    /// `true` when no explored state violated the invariant — *bounded*
+    /// model checking: meaningful even if the exploration was truncated.
+    pub fn violation_free(&self) -> bool {
+        self.violation.is_none()
+    }
+
+    /// Number of states explored.
+    pub fn states(&self) -> usize {
+        self.graph.states().len()
+    }
+}
+
+/// Explores `trs` from `init` (up to `max_states`) and checks `invariant`
+/// on every reachable state.
+pub fn check_prefix_everywhere(
+    trs: &Trs,
+    init: Term,
+    invariant: impl Fn(&Term) -> bool,
+    max_states: usize,
+) -> CheckReport {
+    let graph = Explorer::with_max_states(max_states).explore(trs, init);
+    let violation = graph.find_violation(&invariant).cloned();
+    CheckReport { graph, violation }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atp_trs::{Pat, Rhs, Rule};
+
+    #[test]
+    fn report_reflects_violations_and_truncation() {
+        let trs = Trs::new(vec![Rule::new(
+            "inc",
+            Pat::tuple(vec![Pat::var("k")]),
+            Rhs::tuple(vec![Rhs::apply("k+1", |s| {
+                Term::int(s["k"].as_int().unwrap() + 1)
+            })]),
+        )
+        .with_guard(|s| s["k"].as_int().unwrap() < 5)]);
+        let init = Term::tuple(vec![Term::int(0)]);
+
+        let ok = check_prefix_everywhere(&trs, init.clone(), |_| true, 100);
+        assert!(ok.holds());
+        assert_eq!(ok.states(), 6);
+
+        let bad = check_prefix_everywhere(
+            &trs,
+            init.clone(),
+            |s| s.as_tuple().unwrap()[0].as_int().unwrap() < 3,
+            100,
+        );
+        assert!(!bad.holds());
+        assert!(bad.violation.is_some());
+
+        let truncated = check_prefix_everywhere(&trs, init, |_| true, 2);
+        assert!(!truncated.holds());
+        assert!(truncated.violation.is_none());
+    }
+}

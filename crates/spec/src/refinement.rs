@@ -1,0 +1,182 @@
+//! Simulation-relation checking between refinement levels.
+//!
+//! The paper's refinement arguments all have the same shape: map each
+//! concrete state to an abstract state and show every concrete transition
+//! corresponds to an abstract transition (or to no transition at all — a
+//! *stutter*, e.g. the message-transfer rule whose effect is invisible
+//! abstractly). Rule 8 of System BinarySearch corresponds to *two* abstract
+//! steps (receive-then-broadcast), so the checker accepts abstract paths up
+//! to a configurable length.
+
+use std::collections::{HashMap, HashSet};
+
+use atp_trs::{Graph, Term, Trs};
+
+/// A failed simulation check.
+#[derive(Debug, Clone)]
+pub struct RefinementViolation {
+    /// The concrete source state.
+    pub concrete_from: Term,
+    /// The concrete target state.
+    pub concrete_to: Term,
+    /// Its abstraction, from which no short path reached `abstract_to`.
+    pub abstract_from: Term,
+    /// The abstraction of the target.
+    pub abstract_to: Term,
+}
+
+impl std::fmt::Display for RefinementViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "no abstract path {} →* {} (witnessing {} → {})",
+            self.abstract_from, self.abstract_to, self.concrete_from, self.concrete_to
+        )
+    }
+}
+
+/// Checks that `map` is a (stuttering) simulation from the explored concrete
+/// graph into `abstract_trs`: for every concrete edge `s → s'`, either
+/// `map(s) == map(s')` or `map(s')` is reachable from `map(s)` in at most
+/// `max_path` abstract steps.
+///
+/// # Errors
+///
+/// Returns the first violating edge.
+pub fn check_refinement(
+    concrete: &Graph,
+    abstract_trs: &Trs,
+    map: impl Fn(&Term) -> Term,
+    max_path: usize,
+) -> Result<(), Box<RefinementViolation>> {
+    // Many concrete edges map to the same abstract pair: memoize.
+    let mut memo: HashMap<(Term, Term), bool> = HashMap::new();
+    for &(from, _, to) in concrete.edges() {
+        let c_from = &concrete.states()[from];
+        let c_to = &concrete.states()[to];
+        let a_from = map(c_from);
+        let a_to = map(c_to);
+        if a_from == a_to {
+            continue; // stutter
+        }
+        let ok = *memo
+            .entry((a_from.clone(), a_to.clone()))
+            .or_insert_with(|| reachable_within(abstract_trs, &a_from, &a_to, max_path));
+        if !ok {
+            return Err(Box::new(RefinementViolation {
+                concrete_from: c_from.clone(),
+                concrete_to: c_to.clone(),
+                abstract_from: a_from,
+                abstract_to: a_to,
+            }));
+        }
+    }
+    Ok(())
+}
+
+/// Bounded-depth reachability in the abstract system.
+fn reachable_within(trs: &Trs, from: &Term, to: &Term, max_path: usize) -> bool {
+    let mut frontier = vec![from.clone()];
+    let mut seen: HashSet<Term> = frontier.iter().cloned().collect();
+    for _ in 0..max_path {
+        let mut next = Vec::new();
+        for state in frontier {
+            for (_, succ) in trs.successors(&state) {
+                if succ == *to {
+                    return true;
+                }
+                if seen.insert(succ.clone()) {
+                    next.push(succ);
+                }
+            }
+        }
+        if next.is_empty() {
+            return false;
+        }
+        frontier = next;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atp_trs::{Explorer, Pat, Rhs, Rule};
+
+    /// Concrete: (k, noise) — inc increments k, flip toggles noise.
+    /// Abstract: (k) — inc only. Map drops the noise bit.
+    fn concrete_trs() -> Trs {
+        let inc = Rule::new(
+            "inc",
+            Pat::tuple(vec![Pat::var("k"), Pat::var("b")]),
+            Rhs::tuple(vec![
+                Rhs::apply("k+1", |s| Term::int(s["k"].as_int().unwrap() + 1)),
+                Rhs::var("b"),
+            ]),
+        )
+        .with_guard(|s| s["k"].as_int().unwrap() < 3);
+        let flip = Rule::new(
+            "flip",
+            Pat::tuple(vec![Pat::var("k"), Pat::var("b")]),
+            Rhs::tuple(vec![
+                Rhs::var("k"),
+                Rhs::apply("!b", |s| Term::int(1 - s["b"].as_int().unwrap())),
+            ]),
+        );
+        Trs::new(vec![inc, flip])
+    }
+
+    fn abstract_trs(step: i64) -> Trs {
+        Trs::new(vec![Rule::new(
+            "inc",
+            Pat::tuple(vec![Pat::var("k")]),
+            Rhs::tuple(vec![Rhs::apply("k+step", move |s| {
+                Term::int(s["k"].as_int().unwrap() + step)
+            })]),
+        )
+        .with_guard(|s| s["k"].as_int().unwrap() < 3)])
+    }
+
+    fn project(state: &Term) -> Term {
+        Term::tuple(vec![state.as_tuple().unwrap()[0].clone()])
+    }
+
+    #[test]
+    fn valid_refinement_passes() {
+        let concrete = Explorer::default().explore(
+            &concrete_trs(),
+            Term::tuple(vec![Term::int(0), Term::int(0)]),
+        );
+        assert!(check_refinement(&concrete, &abstract_trs(1), project, 1).is_ok());
+    }
+
+    #[test]
+    fn mismatched_abstraction_is_caught() {
+        let concrete = Explorer::default().explore(
+            &concrete_trs(),
+            Term::tuple(vec![Term::int(0), Term::int(0)]),
+        );
+        // Abstract steps by 2: the concrete inc-by-1 has no counterpart.
+        let err = check_refinement(&concrete, &abstract_trs(2), project, 1).unwrap_err();
+        assert!(err.to_string().contains("no abstract path"));
+    }
+
+    #[test]
+    fn longer_paths_can_be_required() {
+        // Abstract inc-by-1 reaches k+2 in two steps: a concrete system that
+        // jumps by 2 refines it only with max_path >= 2.
+        let jump = Trs::new(vec![Rule::new(
+            "jump",
+            Pat::tuple(vec![Pat::var("k"), Pat::var("b")]),
+            Rhs::tuple(vec![
+                Rhs::apply("k+2", |s| Term::int(s["k"].as_int().unwrap() + 2)),
+                Rhs::var("b"),
+            ]),
+        )
+        .with_guard(|s| s["k"].as_int().unwrap() < 2)]);
+        let concrete =
+            Explorer::default().explore(&jump, Term::tuple(vec![Term::int(0), Term::int(0)]));
+        assert!(check_refinement(&concrete, &abstract_trs(1), project, 1).is_err());
+        assert!(check_refinement(&concrete, &abstract_trs(1), project, 2).is_ok());
+    }
+}

@@ -1,0 +1,577 @@
+//! System BinarySearch (Figure 7): circular rotation + binary search.
+//!
+//! State `(Q, P, T, I, O, W)` as in System Search, but:
+//!
+//! * rule 4 rotates the token strictly to `x⁺¹` (the ring restriction);
+//! * search messages carry the requester's history and a range: rule 5
+//!   mails `(N, H_x, τ_x)` directly across the ring; rule 6 compares the
+//!   carried history with the local one (`⊂_C`) to pick clockwise or
+//!   counter-clockwise and halves the range — a range-exhausted search is
+//!   absorbed (its traps remain);
+//! * rule 7 dispatches the token to a trapped requester *decorated* (`ŷ`),
+//!   and rule 8 has the requester append its datum and return the token to
+//!   the interception point, where rotation resumes.
+//!
+//! Theorem 1 (the prefix property) is machine-checked here on small
+//! instances, along with token uniqueness and the simulation into System
+//! Search.
+
+use atp_trs::{Pat, Rhs, Rule, Subst, Term, Trs};
+
+use super::common::{q_entry_pat, q_entry_reset, rule_request};
+use super::mp::{rule_transfer, I, O, P, Q, T};
+use super::search;
+use crate::terms::{
+    bot, field, minus, msg, p_histories, p_init, plus, prefix_chain_ok, q_init, state_pat,
+    state_rhs,
+};
+
+/// State arity: `(Q, P, T, I, O, W)`.
+pub const ARITY: usize = 6;
+
+/// `W` field index.
+pub const W: usize = 5;
+
+/// An undecorated token message carrying history `h`.
+pub fn tok(h: Term) -> Term {
+    Term::tuple(vec![Term::sym("tok"), h])
+}
+
+/// A decorated (`ŷ`) token message: the receiver must return it after use.
+pub fn hat(h: Term) -> Term {
+    Term::tuple(vec![Term::sym("hat"), h])
+}
+
+/// A search message `(n, H_z, τ_z)` with remaining range `n`.
+pub fn gim(n: i64, hz: Term, z: Term) -> Term {
+    Term::tuple(vec![Term::sym("gim"), Term::int(n), hz, z])
+}
+
+fn is_gim_for(m: &Term, z: &Term) -> bool {
+    m.as_tuple()
+        .map(|t| t.len() == 4 && t[0] == Term::sym("gim") && &t[3] == z)
+        .unwrap_or(false)
+}
+
+fn msgs_contain_gim(bag: &Term, z: &Term) -> bool {
+    bag.as_bag().expect("msgs").iter().any(|entry| {
+        is_gim_for(
+            &entry.as_tuple().expect("msg")[1].as_tuple().expect("msg")[1],
+            z,
+        )
+    })
+}
+
+fn traps_contain(w: &Term, z: &Term) -> bool {
+    w.as_bag()
+        .expect("W")
+        .iter()
+        .any(|entry| &entry.as_tuple().expect("trap")[1] == z)
+}
+
+fn trap_insert(s: &Subst, x: &str, z: &str) -> Term {
+    let entry = Term::tuple(vec![s[x].clone(), s[z].clone()]);
+    if s["W"].as_bag().expect("W").contains(&entry) {
+        s["W"].clone()
+    } else {
+        s["W"].bag_insert(entry)
+    }
+}
+
+/// Rule 3 (receive an undecorated token).
+fn rule_receive() -> Rule {
+    let lhs = state_pat(
+        ARITY,
+        vec![
+            (
+                P,
+                Pat::bag(vec![Pat::tuple(vec![Pat::var("x"), Pat::Wild])], "P"),
+            ),
+            (T, Pat::sym("bot")),
+            (
+                I,
+                Pat::bag(
+                    vec![Pat::tuple(vec![
+                        Pat::var("x"),
+                        Pat::tuple(vec![
+                            Pat::Wild,
+                            Pat::tuple(vec![Pat::sym("tok"), Pat::var("Hm")]),
+                        ]),
+                    ])],
+                    "I",
+                ),
+            ),
+        ],
+    );
+    let rhs = state_rhs(
+        ARITY,
+        vec![
+            (
+                P,
+                Rhs::bag(vec![Rhs::tuple(vec![Rhs::var("x"), Rhs::var("Hm")])], "P"),
+            ),
+            (T, Rhs::var("x")),
+            (I, Rhs::var("I")),
+        ],
+    );
+    Rule::new("3:receive", lhs, rhs)
+}
+
+/// Rule 4 (broadcast + rotate): the holder appends its (possibly empty)
+/// pending data and sends the token to `x⁺¹`.
+fn rule_rotate(n: usize) -> Rule {
+    let lhs = state_pat(
+        ARITY,
+        vec![
+            (Q, q_entry_pat()),
+            (
+                P,
+                Pat::bag(vec![Pat::tuple(vec![Pat::var("x"), Pat::var("Hx")])], "P"),
+            ),
+            (T, Pat::var("x")),
+            (O, Pat::var("O")),
+        ],
+    );
+    let new_h = |s: &Subst| s["Hx"].append(&s["d"]);
+    let rhs = state_rhs(
+        ARITY,
+        vec![
+            (Q, q_entry_reset()),
+            (
+                P,
+                Rhs::bag(
+                    vec![Rhs::tuple(vec![Rhs::var("x"), Rhs::apply("H⊕d", new_h)])],
+                    "P",
+                ),
+            ),
+            (T, Rhs::sym("bot")),
+            (
+                O,
+                Rhs::apply("O|(x,(x+1,tok))", move |s| {
+                    s["O"].bag_insert(msg(s["x"].clone(), plus(&s["x"], 1, n), tok(new_h(s))))
+                }),
+            ),
+        ],
+    );
+    Rule::new("4:rotate", lhs, rhs)
+}
+
+/// Rule 5 (issue a search): mail `(N, H_x, τ_x)` directly across the ring
+/// and trap locally; one search outstanding per node.
+fn rule_gimme(n: usize) -> Rule {
+    let lhs = state_pat(
+        ARITY,
+        vec![
+            (Q, q_entry_pat()),
+            (
+                P,
+                Pat::bag(vec![Pat::tuple(vec![Pat::var("x"), Pat::var("Hx")])], "P"),
+            ),
+            (I, Pat::var("I")),
+            (O, Pat::var("O")),
+            (W, Pat::var("W")),
+        ],
+    );
+    let across = (n as i64).div_euclid(2) + (n as i64 % 2);
+    let rhs = state_rhs(
+        ARITY,
+        vec![
+            (
+                Q,
+                Rhs::bag(
+                    vec![Rhs::tuple(vec![Rhs::var("x"), Rhs::var("d"), Rhs::var("g")])],
+                    "Q",
+                ),
+            ),
+            (
+                P,
+                Rhs::bag(vec![Rhs::tuple(vec![Rhs::var("x"), Rhs::var("Hx")])], "P"),
+            ),
+            (I, Rhs::var("I")),
+            (
+                O,
+                Rhs::apply("O|(x,(across,gim))", move |s| {
+                    s["O"].bag_insert(msg(
+                        s["x"].clone(),
+                        plus(&s["x"], across, n),
+                        gim(n as i64, s["Hx"].clone(), s["x"].clone()),
+                    ))
+                }),
+            ),
+            (W, Rhs::apply("W|(x,x)", |s| trap_insert(s, "x", "x"))),
+        ],
+    );
+    Rule::new("5:gimme", lhs, rhs).with_guard(|s| {
+        !s["d"].as_seq().expect("pending").is_empty()
+            && !traps_contain(&s["W"], &s["x"])
+            && !msgs_contain_gim(&s["I"], &s["x"])
+            && !msgs_contain_gim(&s["O"], &s["x"])
+    })
+}
+
+fn gim_lhs() -> Pat {
+    Pat::bag(
+        vec![Pat::tuple(vec![
+            Pat::var("x"),
+            Pat::tuple(vec![
+                Pat::Wild,
+                Pat::tuple(vec![
+                    Pat::sym("gim"),
+                    Pat::var("n"),
+                    Pat::var("Hz"),
+                    Pat::var("z"),
+                ]),
+            ]),
+        ])],
+        "I",
+    )
+}
+
+/// Rule 6 (migrate a search): trap locally and forward `(n/2, H_z, τ_z)` to
+/// `x⁻ⁿ/²` if `H_x ⊂_C H_z`, else `x⁺ⁿ/²`; a range-exhausted search is
+/// absorbed.
+fn rule_forward(n: usize, forward: bool) -> Rule {
+    let lhs = state_pat(
+        ARITY,
+        vec![
+            (
+                P,
+                Pat::bag(vec![Pat::tuple(vec![Pat::var("x"), Pat::var("Hx")])], "P"),
+            ),
+            (I, gim_lhs()),
+            (O, Pat::var("O")),
+            (W, Pat::var("W")),
+        ],
+    );
+    let mut overrides = vec![
+        (
+            P,
+            Rhs::bag(vec![Rhs::tuple(vec![Rhs::var("x"), Rhs::var("Hx")])], "P"),
+        ),
+        (I, Rhs::var("I")),
+        (W, Rhs::apply("W|(x,z)", |s| trap_insert(s, "x", "z"))),
+    ];
+    if !forward {
+        overrides.push((O, Rhs::var("O")));
+    }
+    if forward {
+        overrides.push((
+            O,
+            Rhs::apply("O|(x,(u,gim/2))", move |s| {
+                let half = s["n"].as_int().expect("range") / 2;
+                let u = if s["Hx"].is_prefix_of(&s["Hz"]) {
+                    minus(&s["x"], half, n)
+                } else {
+                    plus(&s["x"], half, n)
+                };
+                s["O"].bag_insert(msg(
+                    s["x"].clone(),
+                    u,
+                    gim(half, s["Hz"].clone(), s["z"].clone()),
+                ))
+            }),
+        ));
+    }
+    let rhs = state_rhs(ARITY, overrides);
+    let rule = Rule::new(if forward { "6:forward" } else { "6:absorb" }, lhs, rhs);
+    if forward {
+        rule.with_guard(|s| s["n"].as_int().expect("range") / 2 >= 1)
+    } else {
+        rule.with_guard(|s| s["n"].as_int().expect("range") / 2 < 1)
+    }
+}
+
+/// Rule 7 (grant, decorated): a holder with no pending datum sends the token
+/// to a trapped requester, marked to be returned.
+fn rule_grant() -> Rule {
+    let lhs = state_pat(
+        ARITY,
+        vec![
+            (Q, q_entry_pat()),
+            (
+                P,
+                Pat::bag(vec![Pat::tuple(vec![Pat::var("x"), Pat::var("Hx")])], "P"),
+            ),
+            (T, Pat::var("x")),
+            (O, Pat::var("O")),
+            (
+                W,
+                Pat::bag(vec![Pat::tuple(vec![Pat::var("x"), Pat::var("z")])], "W"),
+            ),
+        ],
+    );
+    let rhs = state_rhs(
+        ARITY,
+        vec![
+            (
+                Q,
+                Rhs::bag(
+                    vec![Rhs::tuple(vec![Rhs::var("x"), Rhs::var("d"), Rhs::var("g")])],
+                    "Q",
+                ),
+            ),
+            (
+                P,
+                Rhs::bag(vec![Rhs::tuple(vec![Rhs::var("x"), Rhs::var("Hx")])], "P"),
+            ),
+            (T, Rhs::sym("bot")),
+            (
+                O,
+                Rhs::apply("O|(x,(ẑ,H))", |s| {
+                    s["O"].bag_insert(msg(s["x"].clone(), s["z"].clone(), hat(s["Hx"].clone())))
+                }),
+            ),
+            (W, Rhs::var("W")),
+        ],
+    );
+    Rule::new("7:grant", lhs, rhs)
+        .with_guard(|s| s["d"].as_seq().expect("pending").is_empty())
+}
+
+/// Rule 8 (use and return): the requester receives the decorated token,
+/// appends its datum, and immediately returns the token to the sender.
+fn rule_use_and_return() -> Rule {
+    let lhs = state_pat(
+        ARITY,
+        vec![
+            (Q, q_entry_pat()),
+            (
+                P,
+                Pat::bag(vec![Pat::tuple(vec![Pat::var("x"), Pat::Wild])], "P"),
+            ),
+            (T, Pat::sym("bot")),
+            (
+                I,
+                Pat::bag(
+                    vec![Pat::tuple(vec![
+                        Pat::var("x"),
+                        Pat::tuple(vec![
+                            Pat::var("y"),
+                            Pat::tuple(vec![Pat::sym("hat"), Pat::var("Hm")]),
+                        ]),
+                    ])],
+                    "I",
+                ),
+            ),
+            (O, Pat::var("O")),
+        ],
+    );
+    let new_h = |s: &Subst| s["Hm"].append(&s["d"]);
+    let rhs = state_rhs(
+        ARITY,
+        vec![
+            (Q, q_entry_reset()),
+            (
+                P,
+                Rhs::bag(
+                    vec![Rhs::tuple(vec![Rhs::var("x"), Rhs::apply("H⊕d", new_h)])],
+                    "P",
+                ),
+            ),
+            (T, Rhs::sym("bot")),
+            (I, Rhs::var("I")),
+            (
+                O,
+                Rhs::apply("O|(x,(y,tok))", move |s| {
+                    s["O"].bag_insert(msg(s["x"].clone(), s["y"].clone(), tok(new_h(s))))
+                }),
+            ),
+        ],
+    );
+    Rule::new("8:use-and-return", lhs, rhs)
+}
+
+/// The 8 rules of System BinarySearch for a ring of `n` nodes.
+pub fn system(n: usize, b: i64) -> Trs {
+    Trs::new(vec![
+        rule_request(ARITY, b),
+        rule_transfer(ARITY),
+        rule_receive(),
+        rule_rotate(n),
+        rule_gimme(n),
+        rule_forward(n, true),
+        rule_forward(n, false),
+        rule_grant(),
+        rule_use_and_return(),
+    ])
+}
+
+/// Initial state: node 0 holds the token.
+pub fn initial(n: usize) -> Term {
+    Term::tuple(vec![
+        q_init(n),
+        p_init(n),
+        Term::int(0),
+        Term::bag(vec![]),
+        Term::bag(vec![]),
+        Term::bag(vec![]),
+    ])
+}
+
+/// Histories in the system: local prefixes, token messages (tok/hat) and
+/// the snapshots inside search messages.
+fn all_histories(state: &Term) -> Vec<&Term> {
+    let mut out = p_histories(field(state, P));
+    for fi in [I, O] {
+        for entry in field(state, fi).as_bag().expect("msgs") {
+            let m = &entry.as_tuple().expect("msg")[1].as_tuple().expect("msg")[1];
+            if let Some(t) = m.as_tuple() {
+                match t[0].as_sym() {
+                    Some("tok") | Some("hat") => out.push(&t[1]),
+                    Some("gim") => out.push(&t[2]),
+                    _ => {}
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Theorem 1: the distributed prefix property.
+pub fn prefix_ok(state: &Term) -> bool {
+    prefix_chain_ok(all_histories(state))
+}
+
+/// Token uniqueness (counting decorated and undecorated frames).
+pub fn token_unique(state: &Term) -> bool {
+    let held = usize::from(field(state, T) != &bot());
+    let mut in_flight = 0;
+    for fi in [I, O] {
+        for entry in field(state, fi).as_bag().expect("msgs") {
+            let m = &entry.as_tuple().expect("msg")[1].as_tuple().expect("msg")[1];
+            if let Some(t) = m.as_tuple() {
+                if matches!(t[0].as_sym(), Some("tok") | Some("hat")) {
+                    in_flight += 1;
+                }
+            }
+        }
+    }
+    held + in_flight == 1
+}
+
+/// Search ranges never go below 1 (rule 6's halving bottoms out).
+pub fn ranges_positive(state: &Term) -> bool {
+    for fi in [I, O] {
+        for entry in field(state, fi).as_bag().expect("msgs") {
+            let m = &entry.as_tuple().expect("msg")[1].as_tuple().expect("msg")[1];
+            if let Some(t) = m.as_tuple() {
+                if t.len() == 4 && t[0] == Term::sym("gim") && t[1].as_int().unwrap_or(0) < 1 {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Refinement map into System Search: strip the range and carried history
+/// from search messages, erase token decorations, flatten traps.
+pub fn to_search(state: &Term) -> Term {
+    let strip_msgs = |fi: usize| {
+        Term::bag(
+            field(state, fi)
+                .as_bag()
+                .expect("msgs")
+                .iter()
+                .map(|entry| {
+                    let parts = entry.as_tuple().expect("msg");
+                    let inner = parts[1].as_tuple().expect("msg");
+                    let m = inner[1].as_tuple().expect("typed message");
+                    let mapped = match m[0].as_sym() {
+                        Some("tok") | Some("hat") => m[1].clone(),
+                        Some("gim") => search::tau(&m[3]),
+                        other => panic!("unknown message kind {other:?}"),
+                    };
+                    msg(parts[0].clone(), inner[0].clone(), mapped)
+                })
+                .collect(),
+        )
+    };
+    let w = Term::bag(
+        field(state, W)
+            .as_bag()
+            .expect("W")
+            .iter()
+            .map(|entry| {
+                let t = entry.as_tuple().expect("trap");
+                Term::tuple(vec![t[0].clone(), search::tau(&t[1])])
+            })
+            .collect(),
+    );
+    Term::tuple(vec![
+        field(state, Q).clone(),
+        field(state, P).clone(),
+        field(state, T).clone(),
+        strip_msgs(I),
+        strip_msgs(O),
+        w,
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check::check_prefix_everywhere;
+    use crate::refinement::check_refinement;
+    use atp_trs::Explorer;
+
+    /// N = 2 is exhaustible (≈15k states); N = 3 exceeds memory-friendly
+    /// bounds (>500k), so it gets *bounded* model checking.
+    const EXHAUSTIVE_CAP: usize = 100_000;
+    const BOUNDED_CAP: usize = 120_000;
+
+    #[test]
+    fn theorem_1_prefix_property_holds_everywhere_n2() {
+        let report =
+            check_prefix_everywhere(&system(2, 1), initial(2), prefix_ok, EXHAUSTIVE_CAP);
+        assert!(report.holds(), "violation: {:?}", report.violation);
+        assert!(report.states() > 500);
+    }
+
+    #[test]
+    fn token_uniqueness_holds_everywhere_n2() {
+        let report =
+            check_prefix_everywhere(&system(2, 1), initial(2), token_unique, EXHAUSTIVE_CAP);
+        assert!(report.holds(), "violation: {:?}", report.violation);
+    }
+
+    #[test]
+    fn bounded_check_n3() {
+        let inv = |s: &Term| prefix_ok(s) && token_unique(s) && ranges_positive(s);
+        let report = check_prefix_everywhere(&system(3, 1), initial(3), inv, BOUNDED_CAP);
+        assert!(report.violation_free(), "violation: {:?}", report.violation);
+        assert!(report.states() >= BOUNDED_CAP, "bounded check should fill the cap");
+    }
+
+    #[test]
+    fn search_ranges_stay_positive_n2() {
+        let report =
+            check_prefix_everywhere(&system(2, 1), initial(2), ranges_positive, EXHAUSTIVE_CAP);
+        assert!(report.holds(), "violation: {:?}", report.violation);
+    }
+
+    #[test]
+    fn refines_system_search() {
+        let graph = Explorer::with_max_states(EXHAUSTIVE_CAP).explore(&system(2, 1), initial(2));
+        assert!(!graph.is_truncated());
+        // Rule 8 = Search receive + send: abstract paths up to length 2.
+        check_refinement(&graph, &search::system(2, 1), to_search, 2)
+            .expect("BinarySearch must refine Search");
+    }
+
+    #[test]
+    fn decorated_grants_occur_and_return() {
+        let graph = Explorer::with_max_states(EXHAUSTIVE_CAP).explore(&system(2, 1), initial(2));
+        let has_hat = graph.states().iter().any(|s| {
+            [I, O].iter().any(|&fi| {
+                field(s, fi).as_bag().unwrap().iter().any(|entry| {
+                    entry.as_tuple().unwrap()[1].as_tuple().unwrap()[1]
+                        .as_tuple()
+                        .map(|t| t[0] == Term::sym("hat"))
+                        .unwrap_or(false)
+                })
+            })
+        });
+        assert!(has_hat, "rule 7 should fire somewhere in the state space");
+    }
+}

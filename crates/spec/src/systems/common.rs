@@ -1,0 +1,78 @@
+//! Rule fragments shared by several systems.
+
+use atp_trs::{Pat, Rhs, Rule, Term};
+
+use crate::terms::{datum, state_pat, state_rhs};
+
+/// The paper's rule 1 — *"a node wishes to broadcast"* — parameterized by
+/// the state arity (every system carries it unchanged, with extra fields).
+///
+/// `(Q | (x, d_x, g_x), …) → (Q | (x, d_x ⊕ new_x, g_x + 1), …)` if
+/// `g_x < b`. The generation counter `g_x` realizes the Section 4.4
+/// round-counter bounding so exploration terminates.
+pub fn rule_request(arity: usize, b: i64) -> Rule {
+    let lhs = state_pat(
+        arity,
+        vec![(
+            0,
+            Pat::bag(
+                vec![Pat::tuple(vec![
+                    Pat::var("x"),
+                    Pat::var("d"),
+                    Pat::var("g"),
+                ])],
+                "Q",
+            ),
+        )],
+    );
+    let rhs = state_rhs(
+        arity,
+        vec![(
+            0,
+            Rhs::bag(
+                vec![Rhs::tuple(vec![
+                    Rhs::var("x"),
+                    Rhs::apply("d⊕new", |s| {
+                        let x = s["x"].as_int().expect("node id");
+                        let g = s["g"].as_int().expect("generation");
+                        s["d"].append(&datum(x, g + 1))
+                    }),
+                    Rhs::apply("g+1", |s| Term::int(s["g"].as_int().expect("gen") + 1)),
+                ])],
+                "Q",
+            ),
+        )],
+    );
+    Rule::new("1:request", lhs, rhs)
+        .with_guard(move |s| s["g"].as_int().expect("generation") < b)
+}
+
+/// A pattern for one `Q` entry `(x, d, g)` inside `Q`.
+pub fn q_entry_pat() -> Pat {
+    Pat::bag(
+        vec![Pat::tuple(vec![
+            Pat::var("x"),
+            Pat::var("d"),
+            Pat::var("g"),
+        ])],
+        "Q",
+    )
+}
+
+/// The reconstruction of that entry with its pending data cleared
+/// (`d_x := φ_x`), as every broadcast rule does.
+pub fn q_entry_reset() -> Rhs {
+    Rhs::bag(
+        vec![Rhs::tuple(vec![
+            Rhs::var("x"),
+            Rhs::Seq(vec![]),
+            Rhs::var("g"),
+        ])],
+        "Q",
+    )
+}
+
+/// Computed `H ⊕ d_x` over the bound variables `hvar` and `"d"`.
+pub fn append_d(hvar: &'static str) -> Rhs {
+    Rhs::apply("H⊕d", move |s| s[hvar].append(&s["d"]))
+}

@@ -1,0 +1,11 @@
+//! The six refinement levels, transcribed rule-for-rule from the paper.
+
+pub mod binary;
+mod common;
+pub mod mp;
+pub mod s;
+pub mod s1;
+pub mod search;
+pub mod token;
+
+pub use common::rule_request;

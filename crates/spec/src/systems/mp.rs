@@ -1,0 +1,300 @@
+//! System Message-Passing (Figure 5): no global state, explicit messages.
+//!
+//! State `(Q, P, T, I, O)`: the global history disappears as state and
+//! travels inside token messages. `T` is either the holder's id or the
+//! distinguished `⊥` while the token is in transit. The instantaneous
+//! holder-to-holder handoff becomes a send rule (3) and a receive rule (4),
+//! glued by the transfer rule (2) that models the network.
+//!
+//! Lemma 3: the prefix property — here, that all local histories and every
+//! in-flight history are totally ordered by the prefix relation — holds in
+//! every reachable state; we also machine-check **token uniqueness**
+//! (exactly one token exists, held or in flight).
+
+use atp_trs::{Pat, Rhs, Rule, Term, Trs};
+
+use super::common::{q_entry_pat, q_entry_reset, rule_request};
+use crate::terms::{bot, field, msg, p_histories, p_init, prefix_chain_ok, q_init, state_pat, state_rhs};
+
+/// State arity: `(Q, P, T, I, O)`.
+pub const ARITY: usize = 5;
+
+/// Positions of the state fields.
+pub const Q: usize = 0;
+/// `P` field index.
+pub const P: usize = 1;
+/// `T` field index.
+pub const T: usize = 2;
+/// `I` field index.
+pub const I: usize = 3;
+/// `O` field index.
+pub const O: usize = 4;
+
+/// Rule 2 (transfer): `(…, I, O|(a,(b,m))) → (…, I|(b,(a,m)), O)`.
+pub(crate) fn rule_transfer(arity: usize) -> Rule {
+    let lhs = state_pat(
+        arity,
+        vec![
+            (I, Pat::var("I")),
+            (
+                O,
+                Pat::bag(
+                    vec![Pat::tuple(vec![
+                        Pat::var("a"),
+                        Pat::tuple(vec![Pat::var("b"), Pat::var("m")]),
+                    ])],
+                    "O",
+                ),
+            ),
+        ],
+    );
+    let rhs = state_rhs(
+        arity,
+        vec![
+            (
+                I,
+                Rhs::apply("I|(b,(a,m))", |s| {
+                    s["I"].bag_insert(msg(s["b"].clone(), s["a"].clone(), s["m"].clone()))
+                }),
+            ),
+            (O, Rhs::var("O")),
+        ],
+    );
+    Rule::new("2:transfer", lhs, rhs)
+}
+
+/// Rule 3 (send to another node `y`): the holder appends its data, updates
+/// its prefix, and mails the new history.
+fn rule_send_other() -> Rule {
+    let lhs = state_pat(
+        ARITY,
+        vec![
+            (Q, q_entry_pat()),
+            (
+                P,
+                Pat::bag(
+                    vec![
+                        Pat::tuple(vec![Pat::var("x"), Pat::var("Hx")]),
+                        Pat::tuple(vec![Pat::var("y"), Pat::var("Hy")]),
+                    ],
+                    "P",
+                ),
+            ),
+            (T, Pat::var("x")),
+            (O, Pat::var("O")),
+        ],
+    );
+    let new_h = |s: &atp_trs::Subst| s["Hx"].append(&s["d"]);
+    let rhs = state_rhs(
+        ARITY,
+        vec![
+            (Q, q_entry_reset()),
+            (
+                P,
+                Rhs::bag(
+                    vec![
+                        Rhs::tuple(vec![Rhs::var("x"), Rhs::apply("H⊕d", new_h)]),
+                        Rhs::tuple(vec![Rhs::var("y"), Rhs::var("Hy")]),
+                    ],
+                    "P",
+                ),
+            ),
+            (T, Rhs::sym("bot")),
+            (
+                O,
+                Rhs::apply("O|(x,(y,H⊕d))", move |s| {
+                    s["O"].bag_insert(msg(s["x"].clone(), s["y"].clone(), new_h(s)))
+                }),
+            ),
+        ],
+    );
+    Rule::new("3:send", lhs, rhs)
+}
+
+/// Rule 3 with `y = x` (mail the token to oneself).
+fn rule_send_self() -> Rule {
+    let lhs = state_pat(
+        ARITY,
+        vec![
+            (Q, q_entry_pat()),
+            (
+                P,
+                Pat::bag(vec![Pat::tuple(vec![Pat::var("x"), Pat::var("Hx")])], "P"),
+            ),
+            (T, Pat::var("x")),
+            (O, Pat::var("O")),
+        ],
+    );
+    let new_h = |s: &atp_trs::Subst| s["Hx"].append(&s["d"]);
+    let rhs = state_rhs(
+        ARITY,
+        vec![
+            (Q, q_entry_reset()),
+            (
+                P,
+                Rhs::bag(
+                    vec![Rhs::tuple(vec![Rhs::var("x"), Rhs::apply("H⊕d", new_h)])],
+                    "P",
+                ),
+            ),
+            (T, Rhs::sym("bot")),
+            (
+                O,
+                Rhs::apply("O|(x,(x,H⊕d))", move |s| {
+                    s["O"].bag_insert(msg(s["x"].clone(), s["x"].clone(), new_h(s)))
+                }),
+            ),
+        ],
+    );
+    Rule::new("3:send-self", lhs, rhs)
+}
+
+/// Rule 4 (receive): `(−, P|(x,−), ⊥, I|(x,(y,H)), −) → (−, P|(x,H), x, I, −)`.
+fn rule_receive() -> Rule {
+    let lhs = state_pat(
+        ARITY,
+        vec![
+            (
+                P,
+                Pat::bag(vec![Pat::tuple(vec![Pat::var("x"), Pat::Wild])], "P"),
+            ),
+            (T, Pat::sym("bot")),
+            (
+                I,
+                Pat::bag(
+                    vec![Pat::tuple(vec![
+                        Pat::var("x"),
+                        Pat::tuple(vec![Pat::var("y"), Pat::var("Hm")]),
+                    ])],
+                    "I",
+                ),
+            ),
+        ],
+    );
+    let rhs = state_rhs(
+        ARITY,
+        vec![
+            (
+                P,
+                Rhs::bag(vec![Rhs::tuple(vec![Rhs::var("x"), Rhs::var("Hm")])], "P"),
+            ),
+            (T, Rhs::var("x")),
+            (I, Rhs::var("I")),
+        ],
+    );
+    Rule::new("4:receive", lhs, rhs)
+}
+
+/// The rules of System Message-Passing.
+pub fn system(_n: usize, b: i64) -> Trs {
+    Trs::new(vec![
+        rule_request(ARITY, b),
+        rule_transfer(ARITY),
+        rule_send_other(),
+        rule_send_self(),
+        rule_receive(),
+    ])
+}
+
+/// Initial state: node 0 holds the token, no messages in flight.
+pub fn initial(n: usize) -> Term {
+    Term::tuple(vec![
+        q_init(n),
+        p_init(n),
+        Term::int(0),
+        Term::bag(vec![]),
+        Term::bag(vec![]),
+    ])
+}
+
+/// Histories carried by the messages of `I` and `O` (all MP messages carry
+/// one).
+fn message_histories(state: &Term) -> Vec<&Term> {
+    let mut out = Vec::new();
+    for fi in [I, O] {
+        for entry in field(state, fi).as_bag().expect("message bag") {
+            let m = &entry.as_tuple().expect("msg")[1].as_tuple().expect("msg")[1];
+            out.push(m);
+        }
+    }
+    out
+}
+
+/// The distributed prefix property for MP: all local histories and all
+/// in-flight histories are pairwise prefix-comparable.
+pub fn prefix_ok(state: &Term) -> bool {
+    let mut hs = p_histories(field(state, P));
+    hs.extend(message_histories(state));
+    prefix_chain_ok(hs)
+}
+
+/// Token uniqueness: exactly one token, either held (`T = x`) or in flight
+/// (one message).
+pub fn token_unique(state: &Term) -> bool {
+    let held = usize::from(field(state, T) != &bot());
+    let in_flight = field(state, I).as_bag().expect("I").len()
+        + field(state, O).as_bag().expect("O").len();
+    held + in_flight == 1
+}
+
+/// Refinement map into System S1: the global `H` is the longest history
+/// anywhere in the system (local or in flight).
+pub fn to_s1(state: &Term) -> Term {
+    let mut hs = p_histories(field(state, P));
+    hs.extend(message_histories(state));
+    let h_glob = hs
+        .into_iter()
+        .max_by_key(|h| h.as_seq().expect("history").len())
+        .cloned()
+        .unwrap_or_else(Term::empty_seq);
+    Term::tuple(vec![
+        field(state, Q).clone(),
+        h_glob,
+        field(state, P).clone(),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check::check_prefix_everywhere;
+    use crate::refinement::check_refinement;
+    use crate::systems::s1;
+    use atp_trs::Explorer;
+
+    #[test]
+    fn lemma_3_prefix_property_holds_everywhere() {
+        let report = check_prefix_everywhere(&system(3, 1), initial(3), prefix_ok, 200_000);
+        assert!(report.holds(), "violation: {:?}", report.violation);
+        assert!(report.states() > 100);
+    }
+
+    #[test]
+    fn token_uniqueness_holds_everywhere() {
+        let report = check_prefix_everywhere(&system(3, 1), initial(3), token_unique, 200_000);
+        assert!(report.holds(), "violation: {:?}", report.violation);
+    }
+
+    #[test]
+    fn refines_s1() {
+        let graph = Explorer::with_max_states(200_000).explore(&system(2, 1), initial(2));
+        assert!(!graph.is_truncated());
+        // Send = S1 broadcast (+ the holder's self-copy): 2 abstract steps;
+        // receive = S1 copy: 1 step; transfer = stutter.
+        check_refinement(&graph, &s1::system(2, 1), to_s1, 2).expect("MP must refine S1");
+    }
+
+    #[test]
+    fn token_can_visit_every_node() {
+        let graph = Explorer::with_max_states(200_000).explore(&system(3, 1), initial(3));
+        for node in 0..3 {
+            assert!(
+                graph
+                    .states()
+                    .iter()
+                    .any(|s| field(s, T) == &Term::int(node)),
+                "node {node} never holds the token"
+            );
+        }
+    }
+}

@@ -1,0 +1,469 @@
+//! System Search (Figure 6): non-deterministic token search.
+//!
+//! State `(Q, P, T, I, O, W)`: a ready node emits a search message (`τ_x`,
+//! rule 5) that migrates through the nodes, each of which sets a local trap
+//! (rule 6); a holder with a trap sends the token straight to the trapped
+//! requester (rule 7).
+//!
+//! Two bounding/realism refinements are applied, both *restrictions* of the
+//! paper's rules (and both matching `atp-core`'s executable plane):
+//!
+//! * rule 5 keeps one search outstanding per node (Section 4.4's
+//!   single-outstanding-request refinement);
+//! * rule 7 fires only when the holder has no pending datum of its own —
+//!   holders serve themselves before delegating, which is also what makes
+//!   rule 7 map onto Message-Passing's send rule (whose append must be a
+//!   no-op for the histories to agree);
+//! * an absorb variant of rule 6 lets a search message end instead of
+//!   migrating forever (required as the image of System BinarySearch's
+//!   range-exhausted search, and harmless: traps are the only effect either
+//!   way).
+
+use atp_trs::{Pat, Rhs, Rule, Subst, Term, Trs};
+
+use super::common::{q_entry_pat, q_entry_reset, rule_request};
+use super::mp::{rule_transfer, I, O, P, Q, T};
+use crate::terms::{bot, field, msg, p_histories, p_init, prefix_chain_ok, q_init, state_pat, state_rhs};
+
+/// State arity: `(Q, P, T, I, O, W)`.
+pub const ARITY: usize = 6;
+
+/// `W` field index.
+pub const W: usize = 5;
+
+/// The trap symbol `τ_z` as a term.
+pub fn tau(z: &Term) -> Term {
+    Term::tuple(vec![Term::sym("tau"), z.clone()])
+}
+
+/// Whether a message bag contains a `τ_z` message.
+fn msgs_contain_tau(bag: &Term, z: &Term) -> bool {
+    bag.as_bag().expect("message bag").iter().any(|entry| {
+        entry.as_tuple().expect("msg")[1].as_tuple().expect("msg")[1] == tau(z)
+    })
+}
+
+/// Whether any node has a trap `(·, τ_z)` set.
+fn traps_contain(w: &Term, z: &Term) -> bool {
+    w.as_bag()
+        .expect("W bag")
+        .iter()
+        .any(|entry| entry.as_tuple().expect("trap")[1] == tau(z))
+}
+
+/// Inserts `(x, τ_z)` into `W` unless already present (trap dedup).
+fn trap_insert(s: &Subst, x: &str, z: &str) -> Term {
+    let entry = Term::tuple(vec![s[x].clone(), tau(&s[z])]);
+    if s["W"].as_bag().expect("W").contains(&entry) {
+        s["W"].clone()
+    } else {
+        s["W"].bag_insert(entry)
+    }
+}
+
+/// Rule 3 (receive the token): identical to MP's rule 4 but guarded to token
+/// (history-bearing) messages only.
+fn rule_receive() -> Rule {
+    let lhs = state_pat(
+        ARITY,
+        vec![
+            (
+                P,
+                Pat::bag(vec![Pat::tuple(vec![Pat::var("x"), Pat::Wild])], "P"),
+            ),
+            (T, Pat::sym("bot")),
+            (
+                I,
+                Pat::bag(
+                    vec![Pat::tuple(vec![
+                        Pat::var("x"),
+                        Pat::tuple(vec![Pat::var("y"), Pat::var("Hm")]),
+                    ])],
+                    "I",
+                ),
+            ),
+        ],
+    );
+    let rhs = state_rhs(
+        ARITY,
+        vec![
+            (
+                P,
+                Rhs::bag(vec![Rhs::tuple(vec![Rhs::var("x"), Rhs::var("Hm")])], "P"),
+            ),
+            (T, Rhs::var("x")),
+            (I, Rhs::var("I")),
+        ],
+    );
+    Rule::new("3:receive", lhs, rhs).with_guard(|s| matches!(s["Hm"], Term::Seq(_)))
+}
+
+/// Rule 4 (holder broadcasts and sends the token to `y`).
+fn rule_send(self_send: bool) -> Rule {
+    let p_pat = if self_send {
+        Pat::bag(vec![Pat::tuple(vec![Pat::var("x"), Pat::var("Hx")])], "P")
+    } else {
+        Pat::bag(
+            vec![
+                Pat::tuple(vec![Pat::var("x"), Pat::var("Hx")]),
+                Pat::tuple(vec![Pat::var("y"), Pat::var("Hy")]),
+            ],
+            "P",
+        )
+    };
+    let lhs = state_pat(
+        ARITY,
+        vec![(Q, q_entry_pat()), (P, p_pat), (T, Pat::var("x")), (O, Pat::var("O"))],
+    );
+    let new_h = |s: &Subst| s["Hx"].append(&s["d"]);
+    let dest = if self_send { "x" } else { "y" };
+    let p_rhs = if self_send {
+        Rhs::bag(
+            vec![Rhs::tuple(vec![Rhs::var("x"), Rhs::apply("H⊕d", new_h)])],
+            "P",
+        )
+    } else {
+        Rhs::bag(
+            vec![
+                Rhs::tuple(vec![Rhs::var("x"), Rhs::apply("H⊕d", new_h)]),
+                Rhs::tuple(vec![Rhs::var("y"), Rhs::var("Hy")]),
+            ],
+            "P",
+        )
+    };
+    let rhs = state_rhs(
+        ARITY,
+        vec![
+            (Q, q_entry_reset()),
+            (P, p_rhs),
+            (T, Rhs::sym("bot")),
+            (
+                O,
+                Rhs::apply("O|(x,(y,H⊕d))", move |s| {
+                    s["O"].bag_insert(msg(s["x"].clone(), s[dest].clone(), new_h(s)))
+                }),
+            ),
+        ],
+    );
+    Rule::new(if self_send { "4:send-self" } else { "4:send" }, lhs, rhs)
+}
+
+/// Rule 5 (issue a search): a ready node traps itself and mails `τ_x` to
+/// some other node, provided it has no search already outstanding.
+fn rule_gimme() -> Rule {
+    let lhs = state_pat(
+        ARITY,
+        vec![
+            (Q, q_entry_pat()),
+            (
+                P,
+                Pat::bag(
+                    vec![
+                        Pat::tuple(vec![Pat::var("x"), Pat::var("Hx")]),
+                        Pat::tuple(vec![Pat::var("y"), Pat::var("Hy")]),
+                    ],
+                    "P",
+                ),
+            ),
+            (I, Pat::var("I")),
+            (O, Pat::var("O")),
+            (W, Pat::var("W")),
+        ],
+    );
+    let rhs = state_rhs(
+        ARITY,
+        vec![
+            (
+                Q,
+                Rhs::bag(
+                    vec![Rhs::tuple(vec![Rhs::var("x"), Rhs::var("d"), Rhs::var("g")])],
+                    "Q",
+                ),
+            ),
+            (
+                P,
+                Rhs::bag(
+                    vec![
+                        Rhs::tuple(vec![Rhs::var("x"), Rhs::var("Hx")]),
+                        Rhs::tuple(vec![Rhs::var("y"), Rhs::var("Hy")]),
+                    ],
+                    "P",
+                ),
+            ),
+            (I, Rhs::var("I")),
+            (
+                O,
+                Rhs::apply("O|(x,(y,τx))", |s| {
+                    s["O"].bag_insert(msg(s["x"].clone(), s["y"].clone(), tau(&s["x"])))
+                }),
+            ),
+            (W, Rhs::apply("W|(x,τx)", |s| trap_insert(s, "x", "x"))),
+        ],
+    );
+    Rule::new("5:gimme", lhs, rhs).with_guard(|s| {
+        !s["d"].as_seq().expect("pending").is_empty()
+            && !traps_contain(&s["W"], &s["x"])
+            && !msgs_contain_tau(&s["I"], &s["x"])
+            && !msgs_contain_tau(&s["O"], &s["x"])
+    })
+}
+
+/// Rule 6 (migrate a search): consume `τ_z`, set the local trap, and either
+/// forward to another node (`forward = true`) or absorb the message.
+fn rule_forward(forward: bool) -> Rule {
+    let p_pat = if forward {
+        Pat::bag(
+            vec![
+                Pat::tuple(vec![Pat::var("x"), Pat::var("Hx")]),
+                Pat::tuple(vec![Pat::var("u"), Pat::var("Hu")]),
+            ],
+            "P",
+        )
+    } else {
+        Pat::bag(vec![Pat::tuple(vec![Pat::var("x"), Pat::var("Hx")])], "P")
+    };
+    let lhs = state_pat(
+        ARITY,
+        vec![
+            (P, p_pat),
+            (
+                I,
+                Pat::bag(
+                    vec![Pat::tuple(vec![
+                        Pat::var("x"),
+                        Pat::tuple(vec![
+                            Pat::Wild,
+                            Pat::tuple(vec![Pat::sym("tau"), Pat::var("z")]),
+                        ]),
+                    ])],
+                    "I",
+                ),
+            ),
+            (O, Pat::var("O")),
+            (W, Pat::var("W")),
+        ],
+    );
+    let p_rhs = if forward {
+        Rhs::bag(
+            vec![
+                Rhs::tuple(vec![Rhs::var("x"), Rhs::var("Hx")]),
+                Rhs::tuple(vec![Rhs::var("u"), Rhs::var("Hu")]),
+            ],
+            "P",
+        )
+    } else {
+        Rhs::bag(vec![Rhs::tuple(vec![Rhs::var("x"), Rhs::var("Hx")])], "P")
+    };
+    let mut overrides = vec![
+        (P, p_rhs),
+        (I, Rhs::var("I")),
+        (W, Rhs::apply("W|(x,τz)", |s| trap_insert(s, "x", "z"))),
+    ];
+    overrides.push(if forward {
+        (
+            O,
+            Rhs::apply("O|(x,(u,τz))", |s| {
+                s["O"].bag_insert(msg(s["x"].clone(), s["u"].clone(), tau(&s["z"])))
+            }),
+        )
+    } else {
+        (O, Rhs::var("O"))
+    });
+    let rhs = state_rhs(ARITY, overrides);
+    Rule::new(if forward { "6:forward" } else { "6:absorb" }, lhs, rhs)
+}
+
+/// Rule 7 (grant): a holder with no pending datum of its own serves a
+/// trapped requester directly.
+fn rule_grant() -> Rule {
+    let lhs = state_pat(
+        ARITY,
+        vec![
+            (Q, q_entry_pat()),
+            (
+                P,
+                Pat::bag(vec![Pat::tuple(vec![Pat::var("x"), Pat::var("Hx")])], "P"),
+            ),
+            (T, Pat::var("x")),
+            (O, Pat::var("O")),
+            (
+                W,
+                Pat::bag(
+                    vec![Pat::tuple(vec![
+                        Pat::var("x"),
+                        Pat::tuple(vec![Pat::sym("tau"), Pat::var("z")]),
+                    ])],
+                    "W",
+                ),
+            ),
+        ],
+    );
+    let rhs = state_rhs(
+        ARITY,
+        vec![
+            (
+                Q,
+                Rhs::bag(
+                    vec![Rhs::tuple(vec![Rhs::var("x"), Rhs::var("d"), Rhs::var("g")])],
+                    "Q",
+                ),
+            ),
+            (
+                P,
+                Rhs::bag(vec![Rhs::tuple(vec![Rhs::var("x"), Rhs::var("Hx")])], "P"),
+            ),
+            (T, Rhs::sym("bot")),
+            (
+                O,
+                Rhs::apply("O|(x,(z,H))", |s| {
+                    s["O"].bag_insert(msg(s["x"].clone(), s["z"].clone(), s["Hx"].clone()))
+                }),
+            ),
+            (W, Rhs::var("W")),
+        ],
+    );
+    Rule::new("7:grant", lhs, rhs)
+        .with_guard(|s| s["d"].as_seq().expect("pending").is_empty())
+}
+
+/// The rules of System Search.
+pub fn system(_n: usize, b: i64) -> Trs {
+    Trs::new(vec![
+        rule_request(ARITY, b),
+        rule_transfer(ARITY),
+        rule_receive(),
+        rule_send(false),
+        rule_send(true),
+        rule_gimme(),
+        rule_forward(true),
+        rule_forward(false),
+        rule_grant(),
+    ])
+}
+
+/// Initial state: node 0 holds the token; no messages, no traps.
+pub fn initial(n: usize) -> Term {
+    Term::tuple(vec![
+        q_init(n),
+        p_init(n),
+        Term::int(0),
+        Term::bag(vec![]),
+        Term::bag(vec![]),
+        Term::bag(vec![]),
+    ])
+}
+
+/// Histories carried by *token* messages (search messages carry none).
+fn token_histories(state: &Term) -> Vec<&Term> {
+    let mut out = Vec::new();
+    for fi in [I, O] {
+        for entry in field(state, fi).as_bag().expect("msgs") {
+            let m = &entry.as_tuple().expect("msg")[1].as_tuple().expect("msg")[1];
+            if matches!(m, Term::Seq(_)) {
+                out.push(m);
+            }
+        }
+    }
+    out
+}
+
+/// Distributed prefix property (local histories + in-flight token).
+pub fn prefix_ok(state: &Term) -> bool {
+    let mut hs = p_histories(field(state, P));
+    hs.extend(token_histories(state));
+    prefix_chain_ok(hs)
+}
+
+/// Token uniqueness: held or exactly one token message in flight.
+pub fn token_unique(state: &Term) -> bool {
+    let held = usize::from(field(state, T) != &bot());
+    held + token_histories(state).len() == 1
+}
+
+/// Refinement map into Message-Passing: forget `W` and erase search
+/// messages.
+pub fn to_mp(state: &Term) -> Term {
+    let strip = |fi: usize| {
+        Term::bag(
+            field(state, fi)
+                .as_bag()
+                .expect("msgs")
+                .iter()
+                .filter(|entry| {
+                    matches!(
+                        entry.as_tuple().expect("msg")[1].as_tuple().expect("msg")[1],
+                        Term::Seq(_)
+                    )
+                })
+                .cloned()
+                .collect(),
+        )
+    };
+    Term::tuple(vec![
+        field(state, Q).clone(),
+        field(state, P).clone(),
+        field(state, T).clone(),
+        strip(I),
+        strip(O),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check::check_prefix_everywhere;
+    use crate::refinement::check_refinement;
+    use crate::systems::mp;
+    use atp_trs::Explorer;
+
+    /// N = 2 is exhaustible (≈19k states); N = 3 exceeds memory-friendly
+    /// bounds (>500k), so it gets *bounded* model checking.
+    const EXHAUSTIVE_CAP: usize = 100_000;
+    const BOUNDED_CAP: usize = 120_000;
+
+    #[test]
+    fn prefix_property_holds_everywhere_n2() {
+        let report =
+            check_prefix_everywhere(&system(2, 1), initial(2), prefix_ok, EXHAUSTIVE_CAP);
+        assert!(report.holds(), "violation: {:?}", report.violation);
+    }
+
+    #[test]
+    fn token_uniqueness_holds_everywhere_n2() {
+        let report =
+            check_prefix_everywhere(&system(2, 1), initial(2), token_unique, EXHAUSTIVE_CAP);
+        assert!(report.holds(), "violation: {:?}", report.violation);
+    }
+
+    #[test]
+    fn bounded_check_n3() {
+        let inv = |s: &Term| prefix_ok(s) && token_unique(s);
+        let report = check_prefix_everywhere(&system(3, 1), initial(3), inv, BOUNDED_CAP);
+        assert!(report.violation_free(), "violation: {:?}", report.violation);
+        assert!(report.states() >= BOUNDED_CAP, "bounded check should fill the cap");
+    }
+
+    #[test]
+    fn refines_message_passing() {
+        let graph = Explorer::with_max_states(EXHAUSTIVE_CAP).explore(&system(2, 1), initial(2));
+        assert!(!graph.is_truncated());
+        check_refinement(&graph, &mp::system(2, 1), to_mp, 1).expect("Search must refine MP");
+    }
+
+    #[test]
+    fn grants_happen_through_traps() {
+        // Some reachable state has the token at a node that got it via a
+        // grant while traps existed: witness that rule 7 fires.
+        let graph = Explorer::with_max_states(EXHAUSTIVE_CAP).explore(&system(2, 1), initial(2));
+        let trapped = graph
+            .states()
+            .iter()
+            .any(|s| !field(s, W).as_bag().unwrap().is_empty());
+        assert!(trapped, "traps are set");
+        // And node 1 (never the initial holder) can end up holding.
+        assert!(graph
+            .states()
+            .iter()
+            .any(|s| field(s, T) == &Term::int(1)));
+    }
+}

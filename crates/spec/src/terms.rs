@@ -1,0 +1,168 @@
+//! Shared term encodings for the protocol specifications.
+//!
+//! Conventions (mirroring Figure 1 of the paper):
+//!
+//! * node identifiers are `Int(0..n)`; `x⁺¹` wraps at `n`;
+//! * a datum `new_x` is `("d", x, k)` — node `x`'s `k`-th broadcast. Data
+//!   are unique, so histories can be compared syntactically;
+//! * a `Q` entry is `(x, d_x, g_x)` where `d_x` is the pending-data sequence
+//!   (`φ_x` = empty `Seq`) and `g_x` counts lifetime broadcasts — the
+//!   round-counter bounding instrument (Section 4.4);
+//! * a `P` entry is `(x, H_x)` with `H_x` the local prefix history;
+//! * `T` is `Int(holder)` or the distinguished symbol `⊥` (`"bot"`);
+//! * an `I`/`O` entry is `(a, (b, m))` — in `O`: `a` sends `m` to `b`; in
+//!   `I`: `a` received `m` from `b` (the paper's convention, maintained by
+//!   the transfer rule).
+
+use atp_trs::{Pat, Rhs, Term};
+
+/// The `k`-th datum of node `x`.
+pub fn datum(x: i64, k: i64) -> Term {
+    Term::tuple(vec![Term::sym("d"), Term::int(x), Term::int(k)])
+}
+
+/// A `Q` entry `(x, d_x, g_x)`.
+pub fn qpair(x: i64, pending: Term, generated: i64) -> Term {
+    Term::tuple(vec![Term::int(x), pending, Term::int(generated)])
+}
+
+/// The initial `Q`: every node idle with nothing generated.
+pub fn q_init(n: usize) -> Term {
+    Term::bag(
+        (0..n as i64)
+            .map(|x| qpair(x, Term::empty_seq(), 0))
+            .collect(),
+    )
+}
+
+/// A `P` entry `(x, H_x)`.
+pub fn ppair(x: i64, history: Term) -> Term {
+    Term::tuple(vec![Term::int(x), history])
+}
+
+/// The initial `P`: every local history empty.
+pub fn p_init(n: usize) -> Term {
+    Term::bag((0..n as i64).map(|x| ppair(x, Term::empty_seq())).collect())
+}
+
+/// The distinguished symbol `⊥` (token in transit).
+pub fn bot() -> Term {
+    Term::sym("bot")
+}
+
+/// A message record `(a, (b, m))`.
+pub fn msg(a: Term, b: Term, m: Term) -> Term {
+    Term::tuple(vec![a, Term::tuple(vec![b, m])])
+}
+
+/// Cyclic successor arithmetic on `Int` node terms.
+pub fn plus(x: &Term, k: i64, n: usize) -> Term {
+    let n = n as i64;
+    let x = x.as_int().expect("node id");
+    Term::int((x + k.rem_euclid(n)) % n)
+}
+
+/// Cyclic predecessor arithmetic on `Int` node terms.
+pub fn minus(x: &Term, k: i64, n: usize) -> Term {
+    plus(x, -k, n)
+}
+
+/// Builds the whole-state tuple pattern of arity `arity`, binding every
+/// field to the hidden variable `_f{i}` except the given overrides.
+pub fn state_pat(arity: usize, overrides: Vec<(usize, Pat)>) -> Pat {
+    let mut fields: Vec<Pat> = (0..arity).map(|i| Pat::var(format!("_f{i}"))).collect();
+    for (i, p) in overrides {
+        fields[i] = p;
+    }
+    Pat::tuple(fields)
+}
+
+/// Builds the whole-state tuple template of arity `arity`, passing every
+/// field through (`_f{i}`) except the given overrides.
+pub fn state_rhs(arity: usize, overrides: Vec<(usize, Rhs)>) -> Rhs {
+    let mut fields: Vec<Rhs> = (0..arity).map(|i| Rhs::var(format!("_f{i}"))).collect();
+    for (i, r) in overrides {
+        fields[i] = r;
+    }
+    Rhs::tuple(fields)
+}
+
+/// Returns field `i` of a state tuple.
+///
+/// # Panics
+///
+/// Panics if the state is not a tuple or the index is out of range.
+pub fn field(state: &Term, i: usize) -> &Term {
+    &state.as_tuple().expect("state tuple")[i]
+}
+
+/// Whether all the given histories are pairwise prefix-comparable (i.e.
+/// totally ordered by the prefix relation — the distributed analogue of the
+/// prefix property when no single global `H` exists).
+pub fn prefix_chain_ok<'a>(histories: impl IntoIterator<Item = &'a Term>) -> bool {
+    let hs: Vec<&Term> = histories.into_iter().collect();
+    for (i, a) in hs.iter().enumerate() {
+        for b in &hs[i + 1..] {
+            if !a.is_prefix_of(b) && !b.is_prefix_of(a) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Extracts every `H_x` from a `P` bag.
+pub fn p_histories(p: &Term) -> Vec<&Term> {
+    p.as_bag()
+        .expect("P bag")
+        .iter()
+        .map(|entry| &entry.as_tuple().expect("P entry")[1])
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atp_trs::matches;
+
+    #[test]
+    fn ring_arithmetic_wraps() {
+        assert_eq!(plus(&Term::int(2), 1, 3), Term::int(0));
+        assert_eq!(minus(&Term::int(0), 1, 3), Term::int(2));
+        assert_eq!(plus(&Term::int(1), 5, 3), Term::int(0));
+    }
+
+    #[test]
+    fn state_pat_binds_unmentioned_fields() {
+        let state = Term::tuple(vec![Term::int(1), Term::int(2), Term::int(3)]);
+        let pat = state_pat(3, vec![(1, Pat::var("middle"))]);
+        let m = matches(&pat, &state);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0]["middle"], Term::int(2));
+        assert_eq!(m[0]["_f0"], Term::int(1));
+        // Round trip through state_rhs is the identity.
+        let rhs = state_rhs(3, vec![(1, Rhs::var("middle"))]);
+        assert_eq!(rhs.instantiate(&m[0]), state);
+    }
+
+    #[test]
+    fn prefix_chain_detects_divergence() {
+        let a = Term::seq(vec![datum(0, 1)]);
+        let b = Term::seq(vec![datum(0, 1), datum(1, 1)]);
+        let c = Term::seq(vec![datum(1, 1)]);
+        assert!(prefix_chain_ok([&a, &b]));
+        assert!(prefix_chain_ok([&a, &a, &b]));
+        assert!(!prefix_chain_ok([&a, &b, &c]));
+        assert!(prefix_chain_ok(Vec::<&Term>::new()));
+    }
+
+    #[test]
+    fn initial_structures() {
+        let q = q_init(2);
+        assert_eq!(q.as_bag().unwrap().len(), 2);
+        let p = p_init(2);
+        let hs = p_histories(&p);
+        assert_eq!(hs.len(), 2);
+        assert!(hs.iter().all(|h| h.as_seq().unwrap().is_empty()));
+    }
+}

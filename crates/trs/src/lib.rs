@@ -1,0 +1,55 @@
+//! # atp-trs — an executable Term Rewriting System engine
+//!
+//! The paper develops its protocols inside a Term Rewriting System: *"A TRS
+//! `T = (Σ, R)` consists of a set of terms `Σ` and a set of rewriting rules
+//! `R`. The terms represent system states and the rules specify state
+//! transitions."* This crate makes that framework executable so the paper's
+//! safety arguments become machine-checked facts instead of proof sketches:
+//!
+//! * [`Term`] — symbols, integers, tuples, ordered sequences (histories with
+//!   the `⊕` append), and **multisets** (the paper's associative-commutative
+//!   `|` catenation).
+//! * [`Pat`] / [`matches()`](fn@matches) — pattern matching with variables, wildcards
+//!   (`−`), and multiset patterns with rest-capture; multiset matching
+//!   enumerates *all* injective assignments, as rule applicability demands.
+//! * [`Rule`] / [`Trs`] — guarded rewrite rules over whole states, with
+//!   computed right-hand sides for operations like `H ⊕ d_x`.
+//! * [`Explorer`] — bounded breadth-first exploration of the reachable state
+//!   graph, for exhaustively checking invariants (the prefix property) and
+//!   simulation relations (each refinement step) on small instances.
+//! * [`random_reduction`] / [`Strategy`] — seeded random walks and
+//!   pluggable rewriting strategies for probabilistic checking of larger
+//!   instances.
+//!
+//! ```rust
+//! use atp_trs::{Term, Pat, Rhs, Rule, Trs, Explorer};
+//!
+//! // A one-rule counter: (k) → (k+1) while k < 3.
+//! let rule = Rule::new(
+//!     "inc",
+//!     Pat::tuple(vec![Pat::var("k")]),
+//!     Rhs::tuple(vec![Rhs::apply("k+1", |s| {
+//!         Term::int(s["k"].as_int().unwrap() + 1)
+//!     })]),
+//! )
+//! .with_guard(|s| s["k"].as_int().unwrap() < 3);
+//!
+//! let trs = Trs::new(vec![rule]);
+//! let graph = Explorer::default().explore(&trs, Term::tuple(vec![Term::int(0)]));
+//! assert_eq!(graph.states().len(), 4); // k = 0, 1, 2, 3
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod explore;
+mod pattern;
+mod rule;
+mod strategy;
+mod term;
+
+pub use explore::{random_reduction, Explorer, Graph, WalkOutcome};
+pub use pattern::{matches, Pat, Subst};
+pub use rule::{Rhs, Rule, Trs};
+pub use strategy::{reduce, PriorityStrategy, RandomStrategy, RoundRobinStrategy, Strategy};
+pub use term::Term;

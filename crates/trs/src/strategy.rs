@@ -1,0 +1,211 @@
+//! Rewriting strategies.
+//!
+//! The paper: *"If several rules are applicable, then any one of them may be
+//! applied. A rewriting strategy can be used to specify which rule among the
+//! applicable rules should be applied at each rewriting step."* This module
+//! makes strategies first-class: a [`Strategy`] picks among the applicable
+//! `(rule, successor)` candidates and [`reduce`] drives a reduction under
+//! it, checking an invariant at every step.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+use crate::explore::WalkOutcome;
+use crate::rule::Trs;
+use crate::term::Term;
+
+/// Picks which applicable rewrite to take.
+pub trait Strategy {
+    /// Chooses an index into `candidates` (pairs of rule index and successor
+    /// state), or `None` to halt the reduction.
+    ///
+    /// `candidates` is never empty when called.
+    fn choose(&mut self, state: &Term, candidates: &[(usize, Term)]) -> Option<usize>;
+}
+
+/// Uniformly random choice (the strategy behind
+/// [`random_reduction`](crate::random_reduction)).
+#[derive(Debug)]
+pub struct RandomStrategy {
+    rng: StdRng,
+}
+
+impl RandomStrategy {
+    /// Creates the strategy with a deterministic seed.
+    pub fn new(seed: u64) -> Self {
+        RandomStrategy {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Strategy for RandomStrategy {
+    fn choose(&mut self, _state: &Term, candidates: &[(usize, Term)]) -> Option<usize> {
+        Some(self.rng.gen_range(0..candidates.len()))
+    }
+}
+
+/// Always applies the applicable rule with the lowest index — the textual
+/// rule order becomes a priority. With the paper's systems this yields an
+/// "eager" schedule (e.g. requests before broadcasts before transfers).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct PriorityStrategy;
+
+impl Strategy for PriorityStrategy {
+    fn choose(&mut self, _state: &Term, candidates: &[(usize, Term)]) -> Option<usize> {
+        candidates
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, (rule, _))| *rule)
+            .map(|(i, _)| i)
+    }
+}
+
+/// Round-robin over rule indices: repeatedly cycles through the rules,
+/// taking the next applicable one — a crude fairness schedule that prevents
+/// any single rule from firing forever while others are enabled.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RoundRobinStrategy {
+    cursor: usize,
+}
+
+impl Strategy for RoundRobinStrategy {
+    fn choose(&mut self, _state: &Term, candidates: &[(usize, Term)]) -> Option<usize> {
+        let pick = candidates
+            .iter()
+            .enumerate()
+            .filter(|(_, (rule, _))| *rule >= self.cursor)
+            .min_by_key(|(_, (rule, _))| *rule)
+            .or_else(|| {
+                candidates
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, (rule, _))| *rule)
+            })
+            .map(|(i, _)| i)?;
+        self.cursor = candidates[pick].0 + 1;
+        Some(pick)
+    }
+}
+
+/// Drives a reduction of up to `steps` rewrites under `strategy`, checking
+/// `invariant` after every step (and on the initial state).
+pub fn reduce(
+    trs: &Trs,
+    init: Term,
+    steps: usize,
+    strategy: &mut dyn Strategy,
+    invariant: impl Fn(&Term) -> bool,
+) -> WalkOutcome {
+    let mut state = init;
+    if !invariant(&state) {
+        return WalkOutcome::Violated(state);
+    }
+    for step in 0..steps {
+        let candidates = trs.successors(&state);
+        if candidates.is_empty() {
+            return WalkOutcome::Stuck(step);
+        }
+        let Some(pick) = strategy.choose(&state, &candidates) else {
+            return WalkOutcome::Stuck(step);
+        };
+        state = candidates
+            .into_iter()
+            .nth(pick)
+            .expect("strategy picked a valid index")
+            .1;
+        if !invariant(&state) {
+            return WalkOutcome::Violated(state);
+        }
+    }
+    WalkOutcome::Completed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::Pat;
+    use crate::rule::{Rhs, Rule};
+
+    /// Two rules: inc-a bumps field 0, inc-b bumps field 1; both capped.
+    fn two_counters(cap: i64) -> Trs {
+        let mk = |name: &str, field: usize| {
+            Rule::new(
+                name.to_string(),
+                Pat::tuple(vec![Pat::var("a"), Pat::var("b")]),
+                Rhs::tuple(vec![
+                    if field == 0 {
+                        Rhs::apply("a+1", |s| Term::int(s["a"].as_int().unwrap() + 1))
+                    } else {
+                        Rhs::var("a")
+                    },
+                    if field == 1 {
+                        Rhs::apply("b+1", |s| Term::int(s["b"].as_int().unwrap() + 1))
+                    } else {
+                        Rhs::var("b")
+                    },
+                ]),
+            )
+            .with_guard(move |s| {
+                let v = if field == 0 { &s["a"] } else { &s["b"] };
+                v.as_int().unwrap() < cap
+            })
+        };
+        Trs::new(vec![mk("inc-a", 0), mk("inc-b", 1)])
+    }
+
+    fn start() -> Term {
+        Term::tuple(vec![Term::int(0), Term::int(0)])
+    }
+
+    #[test]
+    fn priority_strategy_starves_lower_priority_rules() {
+        // inc-a always wins until its guard fails, only then inc-b runs.
+        let mut strat = PriorityStrategy;
+        let outcome = reduce(&two_counters(3), start(), 100, &mut strat, |_| true);
+        assert_eq!(outcome, WalkOutcome::Stuck(6)); // 3 + 3 steps then stuck
+    }
+
+    #[test]
+    fn round_robin_interleaves_rules() {
+        let mut strat = RoundRobinStrategy::default();
+        // After two steps both counters should have advanced once.
+        let trs = two_counters(10);
+        let mut state = start();
+        for _ in 0..2 {
+            let cands = trs.successors(&state);
+            let pick = strat.choose(&state, &cands).unwrap();
+            state = cands.into_iter().nth(pick).unwrap().1;
+        }
+        assert_eq!(state, Term::tuple(vec![Term::int(1), Term::int(1)]));
+    }
+
+    #[test]
+    fn random_strategy_is_seed_deterministic() {
+        let run = |seed| {
+            let mut strat = RandomStrategy::new(seed);
+            let trs = two_counters(5);
+            let mut state = start();
+            for _ in 0..6 {
+                let cands = trs.successors(&state);
+                if cands.is_empty() {
+                    break;
+                }
+                let pick = strat.choose(&state, &cands).unwrap();
+                state = cands.into_iter().nth(pick).unwrap().1;
+            }
+            state
+        };
+        assert_eq!(run(9), run(9));
+    }
+
+    #[test]
+    fn reduce_reports_violations() {
+        let mut strat = PriorityStrategy;
+        let outcome = reduce(&two_counters(5), start(), 100, &mut strat, |s| {
+            s.as_tuple().unwrap()[0].as_int().unwrap() < 2
+        });
+        assert!(matches!(outcome, WalkOutcome::Violated(_)));
+    }
+}

@@ -1,0 +1,256 @@
+//! Terms: the state language of the rewriting systems.
+
+use std::fmt;
+
+/// A term of the rewriting system.
+///
+/// The constructors mirror the paper's notation:
+///
+/// * [`Term::Sym`] — constants (the Greek-letter identifiers: `φ_x`, `τ_x`,
+///   `⊥`, …);
+/// * [`Term::Int`] — node identifiers and counters;
+/// * [`Term::Tuple`] — ordered grouping, e.g. the whole state `(Q, H, P, T)`
+///   or a pair `(x, d_x)`;
+/// * [`Term::Seq`] — ordered sequences: histories under the append operator
+///   `⊕` (the empty `Seq` is the left identity, like `φ_x`);
+/// * [`Term::Bag`] — multisets under the associative-commutative catenation
+///   `|`. Bags are kept in canonical (sorted) form so structurally equal
+///   states compare equal regardless of construction order.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Term {
+    /// A constant symbol.
+    Sym(String),
+    /// An integer (node ids, counters).
+    Int(i64),
+    /// An ordered fixed-arity grouping.
+    Tuple(Vec<Term>),
+    /// An ordered, growable sequence (history).
+    Seq(Vec<Term>),
+    /// A multiset in canonical sorted order.
+    Bag(Vec<Term>),
+}
+
+impl Term {
+    /// A constant symbol.
+    pub fn sym(name: impl Into<String>) -> Term {
+        Term::Sym(name.into())
+    }
+
+    /// An integer.
+    pub fn int(v: i64) -> Term {
+        Term::Int(v)
+    }
+
+    /// An ordered tuple.
+    pub fn tuple(items: Vec<Term>) -> Term {
+        Term::Tuple(items)
+    }
+
+    /// An ordered sequence.
+    pub fn seq(items: Vec<Term>) -> Term {
+        Term::Seq(items)
+    }
+
+    /// The empty sequence (the paper's `∅` / `φ_x` left identity).
+    pub fn empty_seq() -> Term {
+        Term::Seq(Vec::new())
+    }
+
+    /// A multiset; the elements are canonicalized by sorting.
+    pub fn bag(mut items: Vec<Term>) -> Term {
+        items.sort();
+        Term::Bag(items)
+    }
+
+    /// Reads an integer out of the term.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Term::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Reads a symbol name out of the term.
+    pub fn as_sym(&self) -> Option<&str> {
+        match self {
+            Term::Sym(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The elements of a sequence.
+    pub fn as_seq(&self) -> Option<&[Term]> {
+        match self {
+            Term::Seq(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The elements of a bag (canonical order).
+    pub fn as_bag(&self) -> Option<&[Term]> {
+        match self {
+            Term::Bag(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The fields of a tuple.
+    pub fn as_tuple(&self) -> Option<&[Term]> {
+        match self {
+            Term::Tuple(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The paper's append `⊕`: `self ⊕ other` where both are sequences;
+    /// appending a whole sequence concatenates (so the empty sequence is the
+    /// left and right identity), and appending a non-sequence pushes one
+    /// element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not a sequence.
+    pub fn append(&self, other: &Term) -> Term {
+        let Term::Seq(items) = self else {
+            panic!("append on a non-sequence term: {self}");
+        };
+        let mut items = items.clone();
+        match other {
+            Term::Seq(tail) => items.extend(tail.iter().cloned()),
+            one => items.push(one.clone()),
+        }
+        Term::Seq(items)
+    }
+
+    /// Whether `self` is a prefix of `other` (both sequences).
+    pub fn is_prefix_of(&self, other: &Term) -> bool {
+        match (self, other) {
+            (Term::Seq(a), Term::Seq(b)) => a.len() <= b.len() && a[..] == b[..a.len()],
+            _ => false,
+        }
+    }
+
+    /// Inserts an element into a bag, preserving canonical order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not a bag.
+    pub fn bag_insert(&self, element: Term) -> Term {
+        let Term::Bag(items) = self else {
+            panic!("bag_insert on a non-bag term: {self}");
+        };
+        let mut items = items.clone();
+        let pos = items.partition_point(|e| *e <= element);
+        items.insert(pos, element);
+        Term::Bag(items)
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn list(f: &mut fmt::Formatter<'_>, items: &[Term], sep: &str) -> fmt::Result {
+            for (i, t) in items.iter().enumerate() {
+                if i > 0 {
+                    write!(f, "{sep}")?;
+                }
+                write!(f, "{t}")?;
+            }
+            Ok(())
+        }
+        match self {
+            Term::Sym(s) => write!(f, "{s}"),
+            Term::Int(v) => write!(f, "{v}"),
+            Term::Tuple(items) => {
+                write!(f, "(")?;
+                list(f, items, ", ")?;
+                write!(f, ")")
+            }
+            Term::Seq(items) => {
+                write!(f, "[")?;
+                list(f, items, "⊕")?;
+                write!(f, "]")
+            }
+            Term::Bag(items) => {
+                write!(f, "{{")?;
+                list(f, items, "|")?;
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bags_are_canonical() {
+        let a = Term::bag(vec![Term::int(2), Term::int(1)]);
+        let b = Term::bag(vec![Term::int(1), Term::int(2)]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn append_semantics() {
+        let h = Term::seq(vec![Term::int(1)]);
+        let extended = h.append(&Term::int(2));
+        assert_eq!(extended, Term::seq(vec![Term::int(1), Term::int(2)]));
+        // Appending a sequence concatenates; empty is identity.
+        let concat = h.append(&Term::seq(vec![Term::int(3), Term::int(4)]));
+        assert_eq!(
+            concat,
+            Term::seq(vec![Term::int(1), Term::int(3), Term::int(4)])
+        );
+        assert_eq!(h.append(&Term::empty_seq()), h);
+    }
+
+    #[test]
+    fn prefix_relation() {
+        let a = Term::seq(vec![Term::int(1), Term::int(2)]);
+        let b = Term::seq(vec![Term::int(1), Term::int(2), Term::int(3)]);
+        let c = Term::seq(vec![Term::int(9)]);
+        assert!(a.is_prefix_of(&b));
+        assert!(a.is_prefix_of(&a));
+        assert!(!b.is_prefix_of(&a));
+        assert!(!c.is_prefix_of(&b));
+        assert!(Term::empty_seq().is_prefix_of(&a));
+        assert!(!Term::int(1).is_prefix_of(&a));
+    }
+
+    #[test]
+    fn bag_insert_keeps_order() {
+        let b = Term::bag(vec![Term::int(1), Term::int(3)]);
+        let b2 = b.bag_insert(Term::int(2));
+        assert_eq!(
+            b2,
+            Term::bag(vec![Term::int(1), Term::int(2), Term::int(3)])
+        );
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Term::int(7).as_int(), Some(7));
+        assert_eq!(Term::sym("tau").as_sym(), Some("tau"));
+        assert!(Term::int(7).as_sym().is_none());
+        assert_eq!(Term::seq(vec![Term::int(1)]).as_seq().unwrap().len(), 1);
+        assert_eq!(Term::bag(vec![Term::int(1)]).as_bag().unwrap().len(), 1);
+        assert_eq!(Term::tuple(vec![Term::int(1)]).as_tuple().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn display_forms() {
+        let t = Term::tuple(vec![
+            Term::bag(vec![Term::int(1), Term::sym("tau")]),
+            Term::seq(vec![Term::int(2), Term::int(3)]),
+        ]);
+        // Bags display in canonical order (symbols sort before ints per the
+        // derived Ord on the enum).
+        assert_eq!(t.to_string(), "({tau|1}, [2⊕3])");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-sequence")]
+    fn append_on_non_seq_panics() {
+        let _ = Term::int(1).append(&Term::int(2));
+    }
+}

@@ -1,0 +1,23 @@
+//! # adaptive-token-passing — umbrella crate
+//!
+//! Re-exports the whole Adaptive Token-Passing (ATP) stack, a reproduction of
+//! *"Developing and Refining an Adaptive Token-Passing Strategy"* (Englert,
+//! Rudolph, Shvartsman, 2001):
+//!
+//! * [`trs`] — executable term-rewriting engine used for the formal plane.
+//! * [`spec`] — the six refinement systems (S → S1 → Token → Message-Passing
+//!   → Search → BinarySearch) with machine-checked safety.
+//! * [`net`] — deterministic discrete-event message-passing substrate.
+//! * [`core`] — executable protocols: plain ring, linear search, and the
+//!   adaptive binary-search protocol, plus mutual-exclusion and totally
+//!   ordered broadcast services.
+//! * [`sim`] — workloads, metrics and the experiment harness that regenerates
+//!   the paper's figures and tables.
+//!
+//! See `examples/quickstart.rs` for a five-minute tour.
+
+pub use atp_core as core;
+pub use atp_net as net;
+pub use atp_sim as sim;
+pub use atp_spec as spec;
+pub use atp_trs as trs;

@@ -1,0 +1,157 @@
+//! Chaos test: a long mixed scenario throwing everything at System
+//! BinarySearch at once — crashes, recoveries, graceful leaves, rejoins,
+//! lossy cheap messages, latency jitter, and a steady request stream —
+//! asserting the core invariants at the end.
+
+use adaptive_token_passing::core::{
+    BinaryNode, EventSource, ProtocolConfig, TokenEvent, Want,
+};
+use adaptive_token_passing::net::{
+    ControlDrops, NodeId, SimTime, UniformLatency, World, WorldConfig,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+#[derive(Debug, Default)]
+struct Ledger {
+    requested: u64,
+    granted: u64,
+    released: u64,
+    regenerations: u64,
+}
+
+fn drain(world: &mut World<BinaryNode>, ledger: &mut Ledger) {
+    for i in 0..world.len() {
+        for ev in world.node_mut(NodeId::new(i as u32)).take_events() {
+            match ev {
+                TokenEvent::Requested { .. } => ledger.requested += 1,
+                TokenEvent::Granted { .. } => ledger.granted += 1,
+                TokenEvent::Released { .. } => ledger.released += 1,
+                TokenEvent::Regenerated { .. } => ledger.regenerations += 1,
+                _ => {}
+            }
+        }
+    }
+}
+
+#[test]
+fn chaos_run_preserves_safety() {
+    let n = 12usize;
+    let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+    let cfg = ProtocolConfig::default()
+        .with_service_ticks(1)
+        .with_regeneration(60)
+        .with_adaptive_speed(true);
+    let mut world: World<BinaryNode> = World::from_nodes(
+        (0..n).map(|_| BinaryNode::new(cfg)).collect(),
+        WorldConfig::default()
+            .seed(999)
+            .latency(UniformLatency::new(1, 3))
+            .drops(ControlDrops::new(0.3)),
+    );
+
+    // Fault schedule: nodes 9, 10, 11 cycle through crash/recover; nodes 7, 8
+    // leave gracefully and later rejoin. Nodes 0–6 stay healthy and request.
+    for (k, victim) in [(0u64, 9u32), (1, 10), (2, 11)] {
+        world.schedule_crash(SimTime::from_ticks(150 + 400 * k), NodeId::new(victim));
+        world.schedule_recover(SimTime::from_ticks(350 + 400 * k), NodeId::new(victim));
+    }
+    world.schedule_external(SimTime::from_ticks(100), NodeId::new(7), Want::leave());
+    world.schedule_external(SimTime::from_ticks(120), NodeId::new(8), Want::leave());
+    world.schedule_external(SimTime::from_ticks(900), NodeId::new(7), Want::rejoin());
+    world.schedule_external(SimTime::from_ticks(1100), NodeId::new(8), Want::rejoin());
+
+    // Healthy nodes request throughout.
+    let mut healthy_requests = 0u64;
+    for t in (5..1_600).step_by(9) {
+        let node = NodeId::new(rng.gen_range(0..7));
+        world.schedule_external(SimTime::from_ticks(t), node, Want::new(t));
+        healthy_requests += 1;
+    }
+
+    let mut ledger = Ledger::default();
+    world.run_until(SimTime::from_ticks(1_700));
+    drain(&mut world, &mut ledger);
+    // Quiet tail: let stragglers, syncs and regenerations settle.
+    world.run_for(1_500);
+    drain(&mut world, &mut ledger);
+
+    // 1. Every grant has a matching release; grants never exceed requests.
+    assert_eq!(ledger.granted, ledger.released);
+    assert!(ledger.granted <= ledger.requested);
+
+    // 2. All healthy-node requests are served (nodes 0–6 never fault).
+    let healthy_grants: u64 = (0..7)
+        .map(|i| world.node(NodeId::new(i)).grants())
+        .sum();
+    assert_eq!(
+        healthy_grants, healthy_requests,
+        "healthy nodes must not lose requests"
+    );
+
+    // 3. Prefix property holds pairwise across ALL nodes, including the
+    //    recovered and rejoined ones.
+    for a in 0..n {
+        for b in 0..n {
+            let oa = world.node(NodeId::new(a as u32)).order();
+            let ob = world.node(NodeId::new(b as u32)).order();
+            assert!(
+                oa.is_prefix_of(ob) || ob.is_prefix_of(oa),
+                "prefix property violated between n{a} and n{b}"
+            );
+        }
+    }
+
+    // 4. At most one current-generation token exists: count holders.
+    let holders = (0..n)
+        .filter(|&i| world.node(NodeId::new(i as u32)).holds_token())
+        .count();
+    assert!(holders <= 1, "split brain: {holders} holders");
+
+    // 5. The fault schedule actually exercised regeneration.
+    assert!(
+        ledger.regenerations >= 1,
+        "chaos schedule should have killed at least one token"
+    );
+
+    // 6. Rejoined nodes are being visited again.
+    let before = world.node(NodeId::new(7)).last_visit().value();
+    world.run_for(200);
+    assert!(
+        world.node(NodeId::new(7)).last_visit().value() > before,
+        "rejoined node 7 is still excluded"
+    );
+}
+
+#[test]
+fn chaos_is_deterministic() {
+    let run = || {
+        let cfg = ProtocolConfig::default()
+            .with_service_ticks(1)
+            .with_regeneration(50);
+        let mut world: World<BinaryNode> = World::from_nodes(
+            (0..8).map(|_| BinaryNode::new(cfg)).collect(),
+            WorldConfig::default()
+                .seed(4242)
+                .latency(UniformLatency::new(1, 4))
+                .drops(ControlDrops::new(0.5)),
+        );
+        world.schedule_crash(SimTime::from_ticks(30), NodeId::new(0));
+        world.schedule_recover(SimTime::from_ticks(200), NodeId::new(0));
+        for t in (2..400).step_by(7) {
+            world.schedule_external(
+                SimTime::from_ticks(t),
+                NodeId::new((t % 8) as u32),
+                Want::new(t),
+            );
+        }
+        world.run_until(SimTime::from_ticks(900));
+        let mut all = Vec::new();
+        for i in 0..8 {
+            all.extend(world.node_mut(NodeId::new(i)).take_events());
+        }
+        all.sort_by_key(|e| e.at());
+        format!("{all:?}")
+    };
+    assert_eq!(run(), run());
+}

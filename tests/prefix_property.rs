@@ -1,0 +1,179 @@
+//! Cross-crate integration: the executable protocols uphold the paper's
+//! safety properties under randomized workloads, jittery latency, and lossy
+//! cheap messages.
+
+use adaptive_token_passing::core::{
+    BinaryNode, EventSource, ProtocolConfig, RingNode, SearchNode, TokenEvent, Want,
+};
+use adaptive_token_passing::net::{
+    ControlDrops, Node, NodeId, SimTime, UniformLatency, World, WorldConfig,
+};
+use proptest::prelude::*;
+
+/// A plan of requests to throw at a ring.
+#[derive(Debug, Clone)]
+struct Plan {
+    n: usize,
+    requests: Vec<(u64, u32, u64)>, // (time, node, payload)
+    seed: u64,
+    jitter: bool,
+    drop_p: f64,
+}
+
+fn plan_strategy() -> impl Strategy<Value = Plan> {
+    (2usize..10, 0u64..u64::MAX, any::<bool>(), 0..3u8).prop_flat_map(
+        |(n, seed, jitter, drop_sel)| {
+            let req = (1u64..400, 0..n as u32, 0u64..1000);
+            proptest::collection::vec(req, 1..25).prop_map(move |requests| Plan {
+                n,
+                requests,
+                seed,
+                jitter,
+                drop_p: match drop_sel {
+                    0 => 0.0,
+                    1 => 0.3,
+                    _ => 1.0,
+                },
+            })
+        },
+    )
+}
+
+fn world_config(plan: &Plan) -> WorldConfig {
+    let mut cfg = WorldConfig::default().seed(plan.seed);
+    if plan.jitter {
+        cfg = cfg.latency(UniformLatency::new(1, 3));
+    }
+    if plan.drop_p > 0.0 {
+        cfg = cfg.drops(ControlDrops::new(plan.drop_p));
+    }
+    cfg
+}
+
+/// Runs a plan against any protocol node type and checks the shared safety
+/// properties; returns (grants, requests).
+fn run_plan<N>(plan: &Plan, build: impl Fn() -> N, order: impl Fn(&N) -> &adaptive_token_passing::core::OrderState) -> (u64, u64)
+where
+    N: Node<Ext = Want> + EventSource,
+{
+    let mut world: World<N> =
+        World::from_nodes((0..plan.n).map(|_| build()).collect(), world_config(plan));
+    for (t, node, payload) in &plan.requests {
+        world.schedule_external(
+            SimTime::from_ticks(*t),
+            NodeId::new(node % plan.n as u32),
+            Want::new(*payload),
+        );
+    }
+    // Long enough for every protocol to serve everything (rotation covers
+    // the ring many times over).
+    world.run_until(SimTime::from_ticks(400 + 50 * plan.n as u64));
+
+    let mut grants = 0u64;
+    let mut requests = 0u64;
+    let mut granted_now: Vec<(SimTime, SimTime)> = Vec::new(); // (grant, release)
+    for i in 0..plan.n {
+        for ev in world.node_mut(NodeId::new(i as u32)).take_events() {
+            match ev {
+                TokenEvent::Requested { .. } => requests += 1,
+                TokenEvent::Granted { at, .. } => {
+                    grants += 1;
+                    granted_now.push((at, SimTime::MAX));
+                }
+                TokenEvent::Released { at, .. } => {
+                    if let Some(open) = granted_now.iter_mut().rev().find(|g| g.1 == SimTime::MAX)
+                    {
+                        open.1 = at;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    // Prefix property across every pair of nodes.
+    for a in 0..plan.n {
+        for b in 0..plan.n {
+            let oa = order(world.node(NodeId::new(a as u32)));
+            let ob = order(world.node(NodeId::new(b as u32)));
+            assert!(
+                oa.is_prefix_of(ob) || ob.is_prefix_of(oa),
+                "prefix property violated between n{a} and n{b}"
+            );
+            assert_eq!(oa.gap_events(), 0, "no gaps without crashes");
+        }
+    }
+    (grants, requests)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn binary_serves_everything_safely(plan in plan_strategy()) {
+        let cfg = ProtocolConfig::default();
+        let (grants, requests) = run_plan(&plan, || BinaryNode::new(cfg), |n| n.order());
+        prop_assert_eq!(grants, requests, "every request granted exactly once");
+    }
+
+    #[test]
+    fn ring_serves_everything_safely(plan in plan_strategy()) {
+        let cfg = ProtocolConfig::default();
+        let (grants, requests) = run_plan(&plan, || RingNode::new(cfg), |n| n.order());
+        prop_assert_eq!(grants, requests);
+    }
+
+    #[test]
+    fn search_is_safe_and_live_when_control_plane_works(plan in plan_strategy()) {
+        // The lazy-search protocol *depends* on gimmes for liveness, so only
+        // assert full service when nothing is dropped; safety must hold
+        // regardless.
+        let cfg = ProtocolConfig::default();
+        let (grants, requests) = run_plan(&plan, || SearchNode::new(cfg), |n| n.order());
+        if plan.drop_p == 0.0 {
+            prop_assert_eq!(grants, requests);
+        } else {
+            prop_assert!(grants <= requests);
+        }
+    }
+
+    #[test]
+    fn binary_with_all_optimizations_is_still_safe(plan in plan_strategy()) {
+        let cfg = ProtocolConfig::default()
+            .with_single_outstanding(true)
+            .with_adaptive_speed(true)
+            .with_serve_all_on_grant(true)
+            .with_probe_on_idle(true);
+        let (grants, requests) = run_plan(&plan, || BinaryNode::new(cfg), |n| n.order());
+        prop_assert_eq!(grants, requests);
+    }
+}
+
+#[test]
+fn deterministic_across_identical_runs() {
+    let plan = Plan {
+        n: 7,
+        requests: vec![(3, 1, 10), (9, 4, 20), (9, 6, 30), (40, 2, 40)],
+        seed: 123,
+        jitter: true,
+        drop_p: 0.3,
+    };
+    let run = || {
+        let cfg = ProtocolConfig::default();
+        let mut world: World<BinaryNode> = World::from_nodes(
+            (0..plan.n).map(|_| BinaryNode::new(cfg)).collect(),
+            world_config(&plan),
+        );
+        for (t, node, payload) in &plan.requests {
+            world.schedule_external(SimTime::from_ticks(*t), NodeId::new(*node), Want::new(*payload));
+        }
+        world.run_until(SimTime::from_ticks(600));
+        let mut all = Vec::new();
+        for i in 0..plan.n {
+            all.extend(world.node_mut(NodeId::new(i as u32)).take_events());
+        }
+        all.sort_by_key(|e| e.at());
+        format!("{all:?}")
+    };
+    assert_eq!(run(), run());
+}

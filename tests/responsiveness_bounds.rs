@@ -1,0 +1,120 @@
+//! Integration tests for the paper's quantitative claims, run through the
+//! full experiment stack (protocols + simulator + workloads + metrics).
+
+use adaptive_token_passing::net::{NodeId, SimTime};
+use adaptive_token_passing::sim::runner::{run_experiment, ExperimentSpec, Protocol};
+use adaptive_token_passing::sim::stats::log2;
+use adaptive_token_passing::sim::workload::{GlobalPoisson, Saturated, SingleShot};
+
+/// Lemma 4: the ring's responsiveness is O(N) — and indeed ≤ N for a single
+/// request at unit delay.
+#[test]
+fn lemma4_ring_single_request_within_n() {
+    for n in [8, 16, 32, 64] {
+        for pos in [1, n / 3, n / 2, n - 1] {
+            let spec = ExperimentSpec::new(Protocol::Ring, n, 10 + 8 * n as u64);
+            let mut wl = SingleShot::new(SimTime::from_ticks(7), NodeId::new(pos as u32));
+            let s = run_experiment(&spec, &mut wl);
+            assert_eq!(s.metrics.grants, 1);
+            assert!(
+                s.metrics.waiting.max <= n as u64 + 2,
+                "n={n} pos={pos}: waited {} > N",
+                s.metrics.waiting.max
+            );
+        }
+    }
+}
+
+/// Theorem 2: BinarySearch's responsiveness is O(log N) — within a small
+/// constant of log₂ N for a single request, at every position.
+#[test]
+fn theorem2_binary_single_request_logarithmic() {
+    for n in [16, 64, 256] {
+        let bound = (4.0 * log2(n) + 4.0) as u64;
+        for pos in [1, n / 3, n / 2, n - 1] {
+            // Fire after one full rotation: rule 6's history comparison is
+            // only informative once every node has been visited (the paper's
+            // analysis is for the steady state).
+            let warm = 2 * n as u64 + 7;
+            let spec = ExperimentSpec::new(Protocol::Binary, n, warm + 8 * n as u64);
+            let mut wl = SingleShot::new(SimTime::from_ticks(warm), NodeId::new(pos as u32));
+            let s = run_experiment(&spec, &mut wl);
+            assert_eq!(s.metrics.grants, 1);
+            assert!(
+                s.metrics.waiting.max <= bound,
+                "n={n} pos={pos}: waited {} > {bound}",
+                s.metrics.waiting.max
+            );
+        }
+    }
+}
+
+/// Responsiveness under simultaneous demand is O(1)-ish per grant — the
+/// paper's note that all-nodes-ready gives O(1) responsiveness even though
+/// average waiting is O(N).
+#[test]
+fn saturated_responsiveness_is_constant_waiting_is_linear() {
+    let n = 32;
+    let spec = ExperimentSpec::new(Protocol::Ring, n, 5_000);
+    let mut wl = Saturated::new(1);
+    let s = run_experiment(&spec, &mut wl);
+    assert!(
+        s.metrics.responsiveness.mean < 4.0,
+        "responsiveness {} should be O(1)",
+        s.metrics.responsiveness.mean
+    );
+    assert!(
+        s.metrics.waiting.mean > n as f64 / 4.0,
+        "waiting {} should be O(N)",
+        s.metrics.waiting.mean
+    );
+}
+
+/// The headline crossover: binary ≈ ring under saturation, binary ≫ ring
+/// under light load.
+#[test]
+fn binary_matches_ring_busy_and_beats_it_idle() {
+    let n = 64;
+    let measure = |protocol: Protocol, gap: f64| {
+        let spec = ExperimentSpec::new(protocol, n, 40_000).with_seed(3);
+        let mut wl = GlobalPoisson::new(gap);
+        run_experiment(&spec, &mut wl).metrics.responsiveness.mean
+    };
+    // Busy: within 2x of each other.
+    let ring_busy = measure(Protocol::Ring, 2.0);
+    let binary_busy = measure(Protocol::Binary, 2.0);
+    assert!(
+        binary_busy < 2.0 * ring_busy + 2.0,
+        "busy: binary {binary_busy} vs ring {ring_busy}"
+    );
+    // Idle: at least 3x better.
+    let ring_idle = measure(Protocol::Ring, 500.0);
+    let binary_idle = measure(Protocol::Binary, 500.0);
+    assert!(
+        binary_idle * 3.0 < ring_idle,
+        "idle: binary {binary_idle} vs ring {ring_idle}"
+    );
+}
+
+/// Lemma 6 at integration level: search cost per request grows
+/// logarithmically while the linear search grows linearly.
+#[test]
+fn lemma6_message_scaling() {
+    let cost = |protocol: Protocol, n: usize| {
+        let spec = ExperimentSpec::new(protocol, n, 10 + 8 * n as u64);
+        let mut wl = SingleShot::new(SimTime::from_ticks(5), NodeId::new(n as u32 / 2));
+        run_experiment(&spec, &mut wl).net.control_sent
+    };
+    let b64 = cost(Protocol::Binary, 64);
+    let b512 = cost(Protocol::Binary, 512);
+    assert!(
+        b512 <= b64 + 4,
+        "binary search cost should grow ~log: {b64} → {b512}"
+    );
+    let s64 = cost(Protocol::Search, 64);
+    let s512 = cost(Protocol::Search, 512);
+    assert!(
+        s512 >= 4 * s64,
+        "linear search cost should grow ~linearly: {s64} → {s512}"
+    );
+}
