@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Canonical offline gate for the workspace.
+#
+#   ./ci.sh
+#
+# Everything runs with the network forced off: the workspace has zero
+# external dependencies, and this script proves it stays that way.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+export CARGO_NET_OFFLINE=true
+
+echo "== build (release) =="
+cargo build --release
+
+echo "== tests =="
+cargo test -q
+
+echo "== bench smoke =="
+cargo bench -q -p atp-bench --benches -- --smoke
+
+echo "== dependency closure =="
+# Every line of `cargo tree` must be a workspace crate: atp-* or the
+# umbrella package. Anything else means a registry dependency crept in.
+BAD=$(cargo tree --workspace --edges normal,build,dev --prefix none \
+  | sed 's/ (\*)$//' \
+  | awk 'NF { print $1 }' \
+  | sort -u \
+  | grep -v -E '^(atp-(util|trs|spec|net|core|sim|bench)|adaptive-token-passing)$' || true)
+if [ -n "$BAD" ]; then
+  echo "non-workspace dependencies found:" >&2
+  echo "$BAD" >&2
+  exit 1
+fi
+echo "dependency closure is workspace-local"
+
+echo "== ci green =="

@@ -1,6 +1,6 @@
-//! Criterion benchmarks of the executable protocol plane.
-
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+//! Micro-benchmarks of the executable protocol plane, on the in-repo
+//! `atp_util::bench` harness. Run `-- --smoke` for a single-iteration
+//! sanity pass (what `ci.sh` does).
 
 use atp_core::{
     decode_binary_msg, encode_binary_msg, BinaryMsg, BinaryNode, ProtocolConfig, RingNode,
@@ -9,67 +9,51 @@ use atp_core::{
 use atp_net::{NodeId, SimTime, World, WorldConfig};
 use atp_sim::runner::{run_experiment, ExperimentSpec, Protocol};
 use atp_sim::workload::{GlobalPoisson, SingleShot};
+use atp_util::bench::Runner;
 
-/// Latency (wall-clock) of simulating one request-to-grant cycle.
-fn bench_single_grant(c: &mut Criterion) {
-    let mut group = c.benchmark_group("single_grant");
+fn main() {
+    let mut r = Runner::from_args("protocols");
+
+    // Latency (wall-clock) of simulating one request-to-grant cycle.
     for n in [16usize, 64, 256] {
-        group.bench_with_input(BenchmarkId::new("binary", n), &n, |b, &n| {
-            b.iter(|| {
-                let spec = ExperimentSpec::new(Protocol::Binary, n, 10 + 8 * n as u64);
-                let mut wl = SingleShot::new(SimTime::from_ticks(5), NodeId::new(n as u32 / 2));
-                let s = run_experiment(&spec, &mut wl);
-                assert_eq!(s.metrics.grants, 1);
-                s.duration_ticks
-            })
+        r.bench(&format!("single_grant/binary/{n}"), || {
+            let spec = ExperimentSpec::new(Protocol::Binary, n, 10 + 8 * n as u64);
+            let mut wl = SingleShot::new(SimTime::from_ticks(5), NodeId::new(n as u32 / 2));
+            let s = run_experiment(&spec, &mut wl);
+            assert_eq!(s.metrics.grants, 1);
+            s.duration_ticks
         });
-        group.bench_with_input(BenchmarkId::new("ring", n), &n, |b, &n| {
-            b.iter(|| {
-                let spec = ExperimentSpec::new(Protocol::Ring, n, 10 + 8 * n as u64);
-                let mut wl = SingleShot::new(SimTime::from_ticks(5), NodeId::new(n as u32 / 2));
-                let s = run_experiment(&spec, &mut wl);
-                assert_eq!(s.metrics.grants, 1);
-                s.duration_ticks
-            })
+        r.bench(&format!("single_grant/ring/{n}"), || {
+            let spec = ExperimentSpec::new(Protocol::Ring, n, 10 + 8 * n as u64);
+            let mut wl = SingleShot::new(SimTime::from_ticks(5), NodeId::new(n as u32 / 2));
+            let s = run_experiment(&spec, &mut wl);
+            assert_eq!(s.metrics.grants, 1);
+            s.duration_ticks
         });
     }
-    group.finish();
-}
 
-/// Simulation throughput: events per wall-clock second under steady load.
-fn bench_simulation_throughput(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sim_throughput");
+    // Simulation throughput: events per wall-clock second under steady load.
     let horizon = 20_000u64;
-    group.throughput(Throughput::Elements(horizon));
     for protocol in Protocol::ALL {
-        group.bench_function(protocol.label(), |b| {
-            b.iter(|| {
-                let spec = ExperimentSpec::new(protocol, 64, horizon);
-                let mut wl = GlobalPoisson::new(10.0);
-                run_experiment(&spec, &mut wl).net.events
-            })
+        r.bench(&format!("sim_throughput/{}", protocol.label()), || {
+            let spec = ExperimentSpec::new(protocol, 64, horizon);
+            let mut wl = GlobalPoisson::new(10.0);
+            run_experiment(&spec, &mut wl).net.events
         });
     }
-    group.finish();
-}
 
-/// Raw world stepping cost: an idle rotating ring (pure engine overhead).
-fn bench_idle_rotation(c: &mut Criterion) {
-    c.bench_function("idle_rotation_100k_ticks", |b| {
-        b.iter(|| {
-            let cfg = ProtocolConfig::default().with_record_log(false);
-            let mut w: World<RingNode> = World::from_nodes(
-                (0..32).map(|_| RingNode::new(cfg)).collect(),
-                WorldConfig::default(),
-            );
-            w.run_until(SimTime::from_ticks(100_000));
-            w.stats().total_sent()
-        })
+    // Raw world stepping cost: an idle rotating ring (pure engine overhead).
+    r.bench("idle_rotation_100k_ticks", || {
+        let cfg = ProtocolConfig::default().with_record_log(false);
+        let mut w: World<RingNode> = World::from_nodes(
+            (0..32).map(|_| RingNode::new(cfg)).collect(),
+            WorldConfig::default(),
+        );
+        w.run_until(SimTime::from_ticks(100_000));
+        w.stats().total_sent()
     });
-}
 
-/// Wire codec throughput on a realistic token frame.
-fn bench_codec(c: &mut Criterion) {
+    // Wire codec throughput on a realistic token frame.
     let mut frame = TokenFrame::new(64);
     for i in 0..32u32 {
         frame.on_possess(NodeId::new(i % 8), true);
@@ -80,44 +64,28 @@ fn bench_codec(c: &mut Criterion) {
         mode: TokenMode::Rotate,
     };
     let bytes = encode_binary_msg(&msg);
-    let mut group = c.benchmark_group("codec");
-    group.throughput(Throughput::Bytes(bytes.len() as u64));
-    group.bench_function("encode_token_frame", |b| b.iter(|| encode_binary_msg(&msg)));
-    group.bench_function("decode_token_frame", |b| {
-        b.iter(|| decode_binary_msg(&bytes).expect("valid frame"))
+    r.bench("codec/encode_token_frame", || encode_binary_msg(&msg));
+    r.bench("codec/decode_token_frame", || {
+        decode_binary_msg(&bytes).expect("valid frame")
     });
-    group.finish();
-}
 
-/// Cost of the external-request path (on_external through search issue).
-fn bench_request_injection(c: &mut Criterion) {
-    c.bench_function("request_injection_1k", |b| {
-        b.iter(|| {
-            let cfg = ProtocolConfig::default().with_record_log(false);
-            let mut w: World<BinaryNode> = World::from_nodes(
-                (0..64).map(|_| BinaryNode::new(cfg)).collect(),
-                WorldConfig::default(),
+    // Cost of the external-request path (on_external through search issue).
+    r.bench("request_injection_1k", || {
+        let cfg = ProtocolConfig::default().with_record_log(false);
+        let mut w: World<BinaryNode> = World::from_nodes(
+            (0..64).map(|_| BinaryNode::new(cfg)).collect(),
+            WorldConfig::default(),
+        );
+        for k in 0..1_000u64 {
+            w.schedule_external(
+                SimTime::from_ticks(1 + k),
+                NodeId::new((k % 64) as u32),
+                Want::new(k),
             );
-            for k in 0..1_000u64 {
-                w.schedule_external(
-                    SimTime::from_ticks(1 + k),
-                    NodeId::new((k % 64) as u32),
-                    Want::new(k),
-                );
-            }
-            w.run_until(SimTime::from_ticks(2_000));
-            w.stats().total_sent()
-        })
+        }
+        w.run_until(SimTime::from_ticks(2_000));
+        w.stats().total_sent()
     });
-}
 
-criterion_group!(
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_single_grant,
-        bench_simulation_throughput,
-        bench_idle_rotation,
-        bench_codec,
-        bench_request_injection
-);
-criterion_main!(benches);
+    r.finish();
+}

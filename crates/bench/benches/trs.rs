@@ -1,13 +1,16 @@
-//! Criterion benchmarks of the formal (TRS) plane.
-
-use criterion::{criterion_group, criterion_main, Criterion};
+//! Micro-benchmarks of the formal (TRS) plane, on the in-repo
+//! `atp_util::bench` harness. Run `-- --smoke` for a single-iteration
+//! sanity pass (what `ci.sh` does).
 
 use atp_spec::systems::{mp, s1};
 use atp_trs::{matches, Explorer, Pat, Term};
+use atp_util::bench::Runner;
 
-/// Multiset pattern matching on a realistic protocol state.
-fn bench_bag_matching(c: &mut Criterion) {
-    // A bag of 8 pairs, pattern picking two distinct entries: 56 solutions.
+fn main() {
+    let mut r = Runner::from_args("trs");
+
+    // Multiset pattern matching on a realistic protocol state:
+    // a bag of 8 pairs, pattern picking two distinct entries → 56 solutions.
     let bag = Term::bag(
         (0..8)
             .map(|i| Term::tuple(vec![Term::int(i), Term::int(100 + i)]))
@@ -20,38 +23,23 @@ fn bench_bag_matching(c: &mut Criterion) {
         ],
         "rest",
     );
-    c.bench_function("bag_match_2_of_8", |b| {
-        b.iter(|| {
-            let m = matches(&pat, &bag);
-            assert_eq!(m.len(), 56);
-            m.len()
-        })
+    r.bench("bag_match_2_of_8", || {
+        let m = matches(&pat, &bag);
+        assert_eq!(m.len(), 56);
+        m.len()
     });
-}
 
-/// Successor enumeration on System Message-Passing's initial state.
-fn bench_successors(c: &mut Criterion) {
+    // Successor enumeration on System Message-Passing's initial state.
     let trs = mp::system(3, 1);
     let init = mp::initial(3);
-    c.bench_function("mp_successors", |b| {
-        b.iter(|| trs.successors(&init).len())
-    });
-}
+    r.bench("mp_successors", || trs.successors(&init).len());
 
-/// Bounded exploration of System S1 (the Lemma 1 check).
-fn bench_exploration(c: &mut Criterion) {
-    c.bench_function("explore_s1_n3_b1", |b| {
-        b.iter(|| {
-            let g = Explorer::with_max_states(100_000).explore(&s1::system(3, 1), s1::initial(3));
-            assert!(!g.is_truncated());
-            g.states().len()
-        })
+    // Bounded exploration of System S1 (the Lemma 1 check).
+    r.bench("explore_s1_n3_b1", || {
+        let g = Explorer::with_max_states(100_000).explore(&s1::system(3, 1), s1::initial(3));
+        assert!(!g.is_truncated());
+        g.states().len()
     });
-}
 
-criterion_group!(
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_bag_matching, bench_successors, bench_exploration
-);
-criterion_main!(benches);
+    r.finish();
+}

@@ -5,7 +5,7 @@
 //! BinarySearch message. Round-tripping is exact:
 //! `decode_binary_msg(encode_binary_msg(m)) == m` for every message.
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use atp_util::buf::{Buf, BufMut};
 
 use atp_net::NodeId;
 
@@ -51,7 +51,7 @@ const TAG_REGEN_LEAVE: u8 = 0x24;
 const TAG_REGEN_SYNC_REQ: u8 = 0x25;
 const TAG_REGEN_SYNC_REPLY: u8 = 0x26;
 
-fn put_req(buf: &mut BytesMut, req: RequestId) {
+fn put_req(buf: &mut Vec<u8>, req: RequestId) {
     buf.put_u32_le(req.origin.raw());
     buf.put_u64_le(req.seq);
 }
@@ -63,7 +63,7 @@ fn get_req(buf: &mut impl Buf) -> Result<RequestId, CodecError> {
     Ok(RequestId::new(NodeId::new(buf.get_u32_le()), buf.get_u64_le()))
 }
 
-fn put_trail(buf: &mut BytesMut, trail: &[NodeId]) {
+fn put_trail(buf: &mut Vec<u8>, trail: &[NodeId]) {
     buf.put_u32_le(trail.len() as u32);
     for n in trail {
         buf.put_u32_le(n.raw());
@@ -119,8 +119,8 @@ fn get_u8(buf: &mut impl Buf) -> Result<u8, CodecError> {
 /// assert!(matches!(back, BinaryMsg::ProbeHit { .. }));
 /// # Ok::<(), atp_core::CodecError>(())
 /// ```
-pub fn encode_binary_msg(msg: &BinaryMsg) -> Bytes {
-    let mut buf = BytesMut::with_capacity(64);
+pub fn encode_binary_msg(msg: &BinaryMsg) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(64);
     match msg {
         BinaryMsg::Token { frame, mode } => {
             match mode {
@@ -231,7 +231,7 @@ pub fn encode_binary_msg(msg: &BinaryMsg) -> Bytes {
             }
         },
     }
-    buf.freeze()
+    buf
 }
 
 /// Decodes a frame previously produced by [`encode_binary_msg`].
@@ -241,7 +241,7 @@ pub fn encode_binary_msg(msg: &BinaryMsg) -> Bytes {
 /// Returns [`CodecError::Truncated`] if the buffer is too short and
 /// [`CodecError::BadTag`] on an unrecognized tag byte.
 pub fn decode_binary_msg(bytes: &[u8]) -> Result<BinaryMsg, CodecError> {
-    let mut buf = bytes;
+    let mut buf: &[u8] = bytes;
     let tag = get_u8(&mut buf)?;
     match tag {
         TAG_TOKEN_ROTATE | TAG_TOKEN_RETURN => {

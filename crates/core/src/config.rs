@@ -1,9 +1,7 @@
 //! Protocol configuration.
 
-use serde::{Deserialize, Serialize};
-
 /// Which search-message routing discipline System BinarySearch uses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum SearchMode {
     /// *Delegated search* (the paper's default, Section 4.4): the "gimme"
     /// message migrates node-to-node, each hop halving the jump, leaving a
@@ -18,7 +16,7 @@ pub enum SearchMode {
 }
 
 /// Which trap garbage-collection algorithm runs (Section 4.4).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum TrapCleanup {
     /// *Token-rotation clean up*: the token carries a bounded window of
     /// recently satisfied requests; nodes drop matching traps as it passes.
@@ -44,7 +42,7 @@ pub enum TrapCleanup {
 ///     .with_single_outstanding(true);
 /// assert_eq!(cfg.service_ticks, 2);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ProtocolConfig {
     /// Ticks a node holds the token while servicing one request (critical
     /// section length). `0` = the pure broadcast model: appending the datum

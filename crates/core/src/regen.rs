@@ -31,13 +31,12 @@
 use std::collections::BTreeMap;
 
 use atp_net::{NodeId, Topology};
-use serde::{Deserialize, Serialize};
 
 use crate::token::TokenFrame;
 use crate::types::{LogEntry, VisitStamp};
 
 /// Failure-handling wire messages, embedded in each protocol's message enum.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RegenMsg {
     /// "What do you know about the token?" (broadcast by a suspecting node).
     Inquiry {
@@ -82,7 +81,7 @@ pub enum RegenMsg {
 pub const SYNC_REPLY_MAX: usize = 4096;
 
 /// One node's view of the token, reported during an inquiry.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RegenReply {
     /// The replier's current generation.
     pub generation: u32,

@@ -2,7 +2,8 @@
 //!
 //! Each node runs on its own OS thread, hosted by [`atp_net::Harness`];
 //! messages travel as **encoded byte frames** (see [`crate::codec`]) over
-//! crossbeam channels, so the exact on-the-wire protocol is exercised.
+//! `std::sync::mpsc` channels, so the exact on-the-wire protocol is
+//! exercised.
 //! Ticks are mapped to wall-clock time through
 //! [`ClusterConfig::tick`].
 //!
@@ -25,16 +26,13 @@
 //! ```
 
 use std::collections::BinaryHeap;
-use std::sync::Arc;
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
-use parking_lot::Mutex;
-
 use atp_net::{Harness, MsgClass, NodeId, SimTime, Topology};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use atp_util::rng::{Rng, SeedableRng, StdRng};
 
 use crate::binary::BinaryNode;
 use crate::codec::{decode_binary_msg, encode_binary_msg};
@@ -104,14 +102,14 @@ impl ClusterConfig {
 }
 
 enum Envelope {
-    Net { from: NodeId, frame: bytes::Bytes },
+    Net { from: NodeId, frame: Vec<u8> },
     External(Want),
     Shutdown,
 }
 
 enum Due {
     Timer { kind: u64 },
-    Send { to: NodeId, frame: bytes::Bytes },
+    Send { to: NodeId, frame: Vec<u8> },
 }
 
 struct DueEntry {
@@ -170,7 +168,7 @@ impl std::fmt::Debug for Cluster {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Cluster")
             .field("n", &self.senders.len())
-            .field("grants", &*self.grants.lock())
+            .field("grants", &*self.grants.lock().unwrap())
             .finish()
     }
 }
@@ -184,16 +182,15 @@ impl Cluster {
     pub fn start(config: ClusterConfig) -> Self {
         assert!(config.n > 0, "cluster needs at least one node");
         let topology = Topology::ring(config.n);
-        let (events_tx, events_rx) = unbounded();
+        let (events_tx, events_rx) = channel();
         let mut senders = Vec::with_capacity(config.n);
         let mut receivers = Vec::with_capacity(config.n);
         for _ in 0..config.n {
-            let (tx, rx) = unbounded::<Envelope>();
+            let (tx, rx) = channel::<Envelope>();
             senders.push(tx);
             receivers.push(rx);
         }
         let senders = senders;
-        let all_senders = Arc::new(senders.clone());
         let grants = Arc::new(Mutex::new(vec![0u64; config.n]));
         let mut threads = Vec::with_capacity(config.n);
         for (i, rx) in receivers.into_iter().enumerate() {
@@ -202,7 +199,7 @@ impl Cluster {
             let tick = config.tick;
             let seed = config.seed.wrapping_add(i as u64);
             let drop_p = config.control_drop_p;
-            let peers = Arc::clone(&all_senders);
+            let peers = senders.clone();
             let events_tx = events_tx.clone();
             let grants = Arc::clone(&grants);
             threads.push(std::thread::spawn(move || {
@@ -271,7 +268,7 @@ impl Cluster {
 
     /// Per-node grant counters observed so far.
     pub fn grants(&self) -> Vec<u64> {
-        self.grants.lock().clone()
+        self.grants.lock().unwrap().clone()
     }
 
     /// Stops every node thread and waits for them to exit.
@@ -305,7 +302,7 @@ fn node_main(
     seed: u64,
     control_drop_p: f64,
     rx: Receiver<Envelope>,
-    peers: Arc<Vec<Sender<Envelope>>>,
+    peers: Vec<Sender<Envelope>>,
     events_tx: Sender<(NodeId, TokenEvent)>,
     grants: Arc<Mutex<Vec<u64>>>,
 ) {
@@ -321,7 +318,17 @@ fn node_main(
     harness.init(ticks_now(start));
 
     loop {
-        // Flush effects of the last dispatch.
+        // Flush effects of the last dispatch. Events go out *before* any
+        // outbound frames: once the token frame is on a peer's channel, that
+        // peer can grant and publish its event, so publishing our own events
+        // first is what keeps the merged event stream causally ordered
+        // (Released always observed before the next Granted).
+        for ev in harness.node_mut().take_events() {
+            if matches!(ev, TokenEvent::Granted { .. }) {
+                grants.lock().unwrap()[id.index()] += 1;
+            }
+            let _ = events_tx.send((id, ev));
+        }
         for ob in harness.take_outbound() {
             if control_drop_p > 0.0
                 && ob.class == MsgClass::Control
@@ -349,13 +356,6 @@ fn node_main(
                 what: Due::Timer { kind: t.kind },
             });
         }
-        for ev in harness.node_mut().take_events() {
-            if matches!(ev, TokenEvent::Granted { .. }) {
-                grants.lock()[id.index()] += 1;
-            }
-            let _ = events_tx.send((id, ev));
-        }
-
         // Fire overdue entries.
         let now = Instant::now();
         if let Some(head) = heap.peek() {

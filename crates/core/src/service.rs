@@ -173,10 +173,10 @@ impl TokenService {
                     }
                 }
                 Ok(_) => continue,
-                Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
                     return Err(ServiceError::TimedOut)
                 }
-                Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
+                Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => {
                     return Err(ServiceError::Disconnected)
                 }
             }
@@ -223,10 +223,10 @@ impl TokenService {
                         return Ok(out);
                     }
                 }
-                Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
                     return Err(ServiceError::TimedOut)
                 }
-                Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
+                Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => {
                     return Err(ServiceError::Disconnected)
                 }
             }

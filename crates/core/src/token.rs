@@ -213,7 +213,7 @@ impl TokenFrame {
 
     /// Serializes the frame into `buf` (little-endian, length-prefixed
     /// collections). The inverse of [`TokenFrame::decode`].
-    pub fn encode(&self, buf: &mut impl bytes::BufMut) {
+    pub fn encode(&self, buf: &mut impl atp_util::buf::BufMut) {
         buf.put_u32_le(self.generation);
         buf.put_u64_le(self.visit_seq);
         buf.put_u64_le(self.round);
@@ -242,8 +242,8 @@ impl TokenFrame {
     /// Deserializes a frame previously written by [`TokenFrame::encode`].
     ///
     /// Returns `None` if `buf` is truncated.
-    pub fn decode(buf: &mut impl bytes::Buf) -> Option<Self> {
-        fn need(buf: &impl bytes::Buf, n: usize) -> Option<()> {
+    pub fn decode(buf: &mut impl atp_util::buf::Buf) -> Option<Self> {
+        fn need(buf: &impl atp_util::buf::Buf, n: usize) -> Option<()> {
             (buf.remaining() >= n).then_some(())
         }
         need(buf, 4 + 8 + 8 + 8 + 4 + 1 + 4 + 4)?;

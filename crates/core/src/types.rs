@@ -3,16 +3,13 @@
 use std::fmt;
 
 use atp_net::{NodeId, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// A single token request, unique system-wide.
 ///
 /// Corresponds to one firing of the paper's rule 1 ("a node wishes to
 /// broadcast [or enter the critical section]"). `origin` is the requesting
 /// node, `seq` its local request counter.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct RequestId {
     /// The requesting node.
     pub origin: NodeId,
@@ -45,9 +42,7 @@ impl fmt::Display for RequestId {
 ///
 /// `VisitStamp::NEVER` (`0`) means the node has never seen the token — the
 /// empty history, a prefix of everything.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct VisitStamp(pub u64);
 
 impl VisitStamp {
@@ -83,7 +78,7 @@ impl fmt::Display for VisitStamp {
 /// committed by successive token holders; `seq` is the position in `H`
 /// (starting at 1), `round` the token round in which it was appended (used
 /// for the round-counter garbage collection of Section 4.4).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct LogEntry {
     /// Position in the global history (1-based, contiguous).
     pub seq: u64,

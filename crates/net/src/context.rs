@@ -1,6 +1,6 @@
 //! The per-callback effect interface handed to nodes.
 
-use rand::rngs::StdRng;
+use atp_util::rng::StdRng;
 
 use crate::event::MsgClass;
 use crate::id::{NodeId, Topology};

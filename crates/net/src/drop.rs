@@ -6,8 +6,7 @@
 //! exactly that — dropping control traffic with any probability up to 1.0
 //! while token-bearing messages stay reliable.
 
-use rand::Rng;
-use rand::RngCore;
+use atp_util::rng::{Rng, RngCore};
 use std::fmt;
 
 use crate::event::MsgClass;
@@ -44,8 +43,8 @@ impl DropModel for NoDrops {
 ///
 /// ```rust
 /// use atp_net::{ControlDrops, DropModel, MsgClass, NodeId};
-/// use rand::SeedableRng;
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// use atp_util::rng::{SeedableRng, StdRng};
+/// let mut rng = StdRng::seed_from_u64(1);
 /// let mut d = ControlDrops::new(1.0);
 /// assert!(d.should_drop(NodeId::new(0), NodeId::new(1), MsgClass::Control, &mut rng));
 /// assert!(!d.should_drop(NodeId::new(0), NodeId::new(1), MsgClass::Token, &mut rng));
@@ -149,10 +148,10 @@ impl DropModel for LinkDrops {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use atp_util::rng::{SeedableRng, StdRng};
 
-    fn rng() -> rand::rngs::StdRng {
-        rand::rngs::StdRng::seed_from_u64(11)
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(11)
     }
 
     #[test]

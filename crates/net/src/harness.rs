@@ -6,8 +6,7 @@
 //! one node and turns its callback effects into plain data ([`Outbound`] and
 //! [`TimerRequest`] values) the host can route however it likes.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use atp_util::rng::{SeedableRng, StdRng};
 
 use crate::context::{Context, Effect};
 use crate::event::MsgClass;

@@ -6,7 +6,6 @@
 //! binary search jumps by `±n/2` positions ("the node directly across the
 //! (logical) ring"). [`Topology`] provides this cyclic arithmetic.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of a processor, drawn from the finite set `P` of the paper.
@@ -20,9 +19,7 @@ use std::fmt;
 /// assert_eq!(id.index(), 3);
 /// assert_eq!(format!("{id}"), "n3");
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct NodeId(u32);
 
 impl NodeId {

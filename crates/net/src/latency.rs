@@ -6,8 +6,7 @@
 //! model for reproducing Figures 9 and 10; the other models stress the
 //! protocols under jitter and heterogeneous links.
 
-use rand::Rng;
-use rand::RngCore;
+use atp_util::rng::{Rng, RngCore};
 use std::fmt;
 
 use crate::event::MsgClass;
@@ -29,8 +28,8 @@ pub trait LatencyModel: fmt::Debug + Send {
 ///
 /// ```rust
 /// use atp_net::{ConstantLatency, LatencyModel, MsgClass, NodeId};
-/// use rand::SeedableRng;
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// use atp_util::rng::{SeedableRng, StdRng};
+/// let mut rng = StdRng::seed_from_u64(0);
 /// let mut m = ConstantLatency::new(1);
 /// let d = m.sample(NodeId::new(0), NodeId::new(1), MsgClass::Token, &mut rng);
 /// assert_eq!(d, 1);
@@ -152,10 +151,10 @@ impl LatencyModel for PerLinkLatency {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use atp_util::rng::{SeedableRng, StdRng};
 
-    fn rng() -> rand::rngs::StdRng {
-        rand::rngs::StdRng::seed_from_u64(7)
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
     }
 
     #[test]

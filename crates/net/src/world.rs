@@ -2,8 +2,7 @@
 
 use std::collections::BinaryHeap;
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use atp_util::rng::{SeedableRng, StdRng};
 
 use crate::context::{Context, Effect};
 use crate::drop::{DropModel, NoDrops};

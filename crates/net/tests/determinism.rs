@@ -1,10 +1,12 @@
 //! Property-based tests of the discrete-event engine: determinism, causal
-//! ordering, and loss accounting.
+//! ordering, and loss accounting. Runs on the in-repo `atp_util::check`
+//! harness.
 
 use atp_net::{
     Context, ControlDrops, MsgClass, Node, NodeId, SimTime, UniformLatency, World, WorldConfig,
 };
-use proptest::prelude::*;
+use atp_util::check::{Check, Gen};
+use atp_util::rng::Rng;
 
 /// A node that forwards every message to a pseudo-random neighbour a fixed
 /// number of times and records everything it sees.
@@ -44,21 +46,26 @@ struct Scenario {
     drop_p: f64,
 }
 
-fn scenario() -> impl Strategy<Value = Scenario> {
-    (
-        2usize..12,
-        any::<u64>(),
-        proptest::collection::vec((0u64..100, 0u32..12, 1u64..8), 1..20),
-        (1u64..4).prop_flat_map(|lo| (Just(lo), lo..lo + 6)),
-        0.0f64..0.9,
-    )
-        .prop_map(|(n, seed, injections, jitter, drop_p)| Scenario {
-            n,
-            seed,
-            injections,
-            jitter,
-            drop_p,
-        })
+fn scenario(g: &mut Gen) -> Scenario {
+    let n = g.gen_range(2usize..12);
+    let seed = g.gen_range(0..=u64::MAX);
+    let injections = g.vec(1..20, |g| {
+        (
+            g.gen_range(0u64..100),
+            g.gen_range(0u32..12),
+            g.gen_range(1u64..8),
+        )
+    });
+    let lo = g.gen_range(1u64..4);
+    let hi = g.gen_range(lo..lo + 6);
+    let drop_p = g.gen_range(0.0f64..0.9);
+    Scenario {
+        n,
+        seed,
+        injections,
+        jitter: (lo, hi),
+        drop_p,
+    }
 }
 
 type SeenLog = Vec<Vec<(u64, NodeId, u64)>>;
@@ -87,19 +94,19 @@ fn run(s: &Scenario) -> (SeenLog, u64, u64) {
     )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// Identical scenarios replay identically, bit for bit.
+#[test]
+fn same_seed_same_trace() {
+    Check::new("same_seed_same_trace")
+        .cases(64)
+        .run(scenario, |s| assert_eq!(run(s), run(s)));
+}
 
-    /// Identical scenarios replay identically, bit for bit.
-    #[test]
-    fn same_seed_same_trace(s in scenario()) {
-        prop_assert_eq!(run(&s), run(&s));
-    }
-
-    /// Message conservation: sent = delivered + dropped (+ in-flight = 0 at
-    /// quiescence, and nothing dead-letters without crashes).
-    #[test]
-    fn message_conservation(s in scenario()) {
+/// Message conservation: sent = delivered + dropped (+ in-flight = 0 at
+/// quiescence, and nothing dead-letters without crashes).
+#[test]
+fn message_conservation() {
+    Check::new("message_conservation").cases(64).run(scenario, |s| {
         let cfg = WorldConfig::default()
             .seed(s.seed)
             .latency(UniformLatency::new(s.jitter.0, s.jitter.1))
@@ -112,42 +119,58 @@ proptest! {
         let sent = w.stats().sent(MsgClass::Control);
         let delivered = w.stats().delivered(MsgClass::Control);
         let dropped = w.stats().dropped(MsgClass::Control);
-        prop_assert_eq!(sent, delivered + dropped);
-        prop_assert_eq!(w.stats().dead_letter(MsgClass::Control), 0);
-    }
+        assert_eq!(sent, delivered + dropped);
+        assert_eq!(w.stats().dead_letter(MsgClass::Control), 0);
+    });
+}
 
-    /// Delivery respects latency bounds: every receive happens within
-    /// `[lo, hi]` ticks of some possible send time (weak causal sanity:
-    /// receive times are never before the first injection).
-    #[test]
-    fn no_delivery_before_first_injection(s in scenario()) {
-        let first = s.injections.iter().map(|(t, _, _)| *t).min().unwrap();
-        let (seen, _, _) = run(&s);
-        for per_node in &seen {
-            for (at, _, _) in per_node {
-                prop_assert!(*at >= first + s.jitter.0);
+/// Delivery respects latency bounds: every receive happens within
+/// `[lo, hi]` ticks of some possible send time (weak causal sanity:
+/// receive times are never before the first injection).
+#[test]
+fn no_delivery_before_first_injection() {
+    Check::new("no_delivery_before_first_injection")
+        .cases(64)
+        .run(scenario, |s| {
+            let first = s.injections.iter().map(|(t, _, _)| *t).min().unwrap();
+            let (seen, _, _) = run(s);
+            for per_node in &seen {
+                for (at, _, _) in per_node {
+                    assert!(*at >= first + s.jitter.0);
+                }
             }
-        }
-    }
+        });
+}
 
-    /// Observed per-node event times are monotone (the engine dispatches in
-    /// global time order).
-    #[test]
-    fn per_node_times_are_monotone(s in scenario()) {
-        let (seen, _, _) = run(&s);
-        for per_node in &seen {
-            for w in per_node.windows(2) {
-                prop_assert!(w[0].0 <= w[1].0);
+/// Observed per-node event times are monotone (the engine dispatches in
+/// global time order).
+#[test]
+fn per_node_times_are_monotone() {
+    Check::new("per_node_times_are_monotone")
+        .cases(64)
+        .run(scenario, |s| {
+            let (seen, _, _) = run(s);
+            for per_node in &seen {
+                for w in per_node.windows(2) {
+                    assert!(w[0].0 <= w[1].0);
+                }
             }
-        }
-    }
+        });
+}
 
-    /// With no drop model, nothing is ever dropped regardless of jitter.
-    #[test]
-    fn lossless_when_drop_zero(mut s in scenario()) {
-        s.drop_p = 0.0;
-        let (_, sent, dropped) = run(&s);
-        prop_assert!(sent > 0);
-        prop_assert_eq!(dropped, 0);
-    }
+/// With no drop model, nothing is ever dropped regardless of jitter.
+#[test]
+fn lossless_when_drop_zero() {
+    Check::new("lossless_when_drop_zero").cases(64).run(
+        |g| {
+            let mut s = scenario(g);
+            s.drop_p = 0.0;
+            s
+        },
+        |s| {
+            let (_, sent, dropped) = run(s);
+            assert!(sent > 0);
+            assert_eq!(dropped, 0);
+        },
+    );
 }

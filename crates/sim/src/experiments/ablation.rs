@@ -5,14 +5,13 @@
 //! them: mean responsiveness, cheap-message cost, and token traffic.
 
 use atp_core::{ProtocolConfig, SearchMode, TrapCleanup};
-use serde::{Deserialize, Serialize};
 
 use crate::report::{f2, Table};
 use crate::runner::{run_experiment, ExperimentSpec, Protocol, RunSummary};
 use crate::workload::GlobalPoisson;
 
 /// Parameters of the ablation run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Config {
     /// Ring size.
     pub n: usize,
@@ -47,7 +46,7 @@ impl Config {
 }
 
 /// One ablation variant's outcome.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Variant {
     /// Variant name.
     pub name: String,

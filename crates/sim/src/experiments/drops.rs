@@ -7,14 +7,13 @@
 //! served (safety/liveness via the reliable rotation); responsiveness should
 //! degrade from ≈log N toward the plain ring's value as searches vanish.
 
-use serde::{Deserialize, Serialize};
 
 use crate::report::{f2, Table};
 use crate::runner::{run_experiment, ExperimentSpec, Protocol};
 use crate::workload::GlobalPoisson;
 
 /// Parameters of the loss sweep.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Config {
     /// Ring size.
     pub n: usize,
@@ -53,7 +52,7 @@ impl Config {
 }
 
 /// One point of the loss sweep.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Point {
     /// Control-message drop probability.
     pub drop_p: f64,

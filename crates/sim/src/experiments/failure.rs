@@ -8,14 +8,13 @@
 
 use atp_core::ProtocolConfig;
 use atp_net::{FailurePlan, NodeId, SimTime};
-use serde::{Deserialize, Serialize};
 
 use crate::report::Table;
 use crate::runner::{run_experiment, ExperimentSpec, Protocol};
 use crate::workload::SingleShot;
 
 /// Parameters of the failure experiment.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Config {
     /// Ring size.
     pub n: usize,
@@ -46,7 +45,7 @@ impl Config {
 }
 
 /// Outcome of one failure scenario.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Scenario {
     /// Scenario name.
     pub name: String,

@@ -8,8 +8,7 @@
 //! Jain index of grants under a symmetric all-nodes load.
 
 use atp_net::{NodeId, SimTime};
-use rand::rngs::StdRng;
-use serde::{Deserialize, Serialize};
+use atp_util::rng::StdRng;
 
 use crate::report::{f2, Table};
 use crate::runner::{run_experiment, ExperimentSpec, Protocol};
@@ -17,7 +16,7 @@ use crate::stats::log2;
 use crate::workload::{Arrival, PerNodePoisson, Workload};
 
 /// Parameters of the fairness experiment.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Config {
     /// Ring size.
     pub n: usize,
@@ -90,7 +89,7 @@ impl Workload for HogAndWaiter {
 }
 
 /// One row of the fairness table.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Point {
     /// Protocol measured.
     pub protocol: Protocol,

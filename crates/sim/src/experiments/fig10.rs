@@ -5,7 +5,6 @@
 //! approaches log n from below. For the regular ring algorithm the average
 //! responsiveness approaches n/2 (= 50)."*
 
-use serde::{Deserialize, Serialize};
 
 use crate::report::{f2, Table};
 use crate::runner::{run_experiment, ExperimentSpec, Protocol};
@@ -13,7 +12,7 @@ use crate::stats::log2;
 use crate::workload::GlobalPoisson;
 
 /// Parameters of the Figure 10 sweep.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Config {
     /// Fixed ring size (the paper uses 100).
     pub n: usize,
@@ -48,7 +47,7 @@ impl Config {
 }
 
 /// One point of the Figure 10 series.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Point {
     /// Mean inter-request gap (inverse load).
     pub gap: f64,

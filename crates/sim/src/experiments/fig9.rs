@@ -6,7 +6,6 @@
 //! … Using System Binary Search, the average responsiveness is bounded by
 //! log n."* Each simulation ran 1000 token rounds.
 
-use serde::{Deserialize, Serialize};
 
 use crate::report::{f2, Table};
 use crate::runner::{run_experiment, ExperimentSpec, Protocol};
@@ -14,7 +13,7 @@ use crate::stats::log2;
 use crate::workload::GlobalPoisson;
 
 /// Parameters of the Figure 9 sweep.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Config {
     /// Ring sizes to sweep.
     pub ns: Vec<usize>,
@@ -49,7 +48,7 @@ impl Config {
 }
 
 /// One point of the Figure 9 series.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Point {
     /// Ring size.
     pub n: usize,

@@ -11,7 +11,6 @@
 //! rotation hops) the ring catches up, showing the paper's unit-cost
 //! assumption is load-bearing for the time bound.
 
-use serde::{Deserialize, Serialize};
 
 use crate::report::{f2, Table};
 use crate::runner::{run_experiment_with_latency, ExperimentSpec, Protocol};
@@ -19,7 +18,7 @@ use crate::workload::GlobalPoisson;
 use atp_net::{NodeId, PerLinkLatency, Topology};
 
 /// Parameters of the geographic sweep.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Config {
     /// Ring size.
     pub n: usize,
@@ -72,7 +71,7 @@ pub fn geo_latency(n: usize, divisor: u64) -> PerLinkLatency {
 }
 
 /// One row of the geographic table.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Point {
     /// Distance divisor (0 = flat).
     pub divisor: u64,

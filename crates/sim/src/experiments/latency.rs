@@ -3,14 +3,13 @@
 //! survives when message delays are drawn from wider and wider uniform
 //! distributions instead of the unit-delay idealization.
 
-use serde::{Deserialize, Serialize};
 
 use crate::report::{f2, Table};
 use crate::runner::{run_experiment, ExperimentSpec, Protocol};
 use crate::workload::GlobalPoisson;
 
 /// Parameters of the jitter sweep.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Config {
     /// Ring size.
     pub n: usize,
@@ -49,7 +48,7 @@ impl Config {
 }
 
 /// One row of the jitter table.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Point {
     /// Latency bounds.
     pub latency: (u64, u64),

@@ -8,7 +8,6 @@
 
 use atp_core::{ProtocolConfig, SearchMode};
 use atp_net::{NodeId, SimTime};
-use serde::{Deserialize, Serialize};
 
 use crate::report::{f2, Table};
 use crate::runner::{run_experiment, ExperimentSpec, Protocol};
@@ -16,7 +15,7 @@ use crate::stats::log2;
 use crate::workload::SingleShot;
 
 /// Parameters of the message-complexity sweep.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Config {
     /// Ring sizes to sweep.
     pub ns: Vec<usize>,
@@ -47,7 +46,7 @@ impl Config {
 }
 
 /// One row of the message-complexity table.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Point {
     /// Ring size.
     pub n: usize,

@@ -6,14 +6,13 @@
 //! Throughput is grants per tick; with zero service time and unit delays the
 //! ideal is one grant per message delay (the token is never idle).
 
-use serde::{Deserialize, Serialize};
 
 use crate::report::{f2, Table};
 use crate::runner::{run_experiment, ExperimentSpec, Protocol};
 use crate::workload::Saturated;
 
 /// Parameters of the throughput sweep.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Config {
     /// Ring sizes to sweep.
     pub ns: Vec<usize>,
@@ -48,7 +47,7 @@ impl Config {
 }
 
 /// One row of the throughput table.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Point {
     /// Ring size.
     pub n: usize,

@@ -5,7 +5,6 @@
 //! request and record the waiting time; the per-N maximum is the worst case.
 
 use atp_net::{NodeId, SimTime};
-use serde::{Deserialize, Serialize};
 
 use crate::report::{f2, Table};
 use crate::runner::{run_experiment, ExperimentSpec, Protocol};
@@ -13,7 +12,7 @@ use crate::stats::log2;
 use crate::workload::SingleShot;
 
 /// Parameters of the worst-case sweep.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Config {
     /// Ring sizes to sweep.
     pub ns: Vec<usize>,
@@ -44,7 +43,7 @@ impl Config {
 }
 
 /// One row of the worst-case table.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Point {
     /// Ring size.
     pub n: usize,

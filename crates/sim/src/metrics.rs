@@ -16,7 +16,7 @@ use std::collections::BTreeMap;
 
 use atp_core::{RequestId, TokenEvent};
 use atp_net::{NodeId, SimTime};
-use serde::{Deserialize, Serialize};
+use atp_util::json::JsonWriter;
 
 use crate::stats::{jain_index, SampleStats};
 
@@ -47,7 +47,7 @@ struct WaitState {
 }
 
 /// Serializable summary of a [`Metrics`] accumulation.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct MetricsSummary {
     /// Ring size.
     pub n: usize,
@@ -73,6 +73,38 @@ pub struct MetricsSummary {
     pub stale_discards: u64,
     /// Requests still unserved at the end of the run.
     pub unserved: usize,
+}
+
+impl MetricsSummary {
+    /// Writes this summary as a JSON object value into `w`.
+    pub fn write_json(&self, w: &mut JsonWriter) {
+        w.begin_obj();
+        w.key("n");
+        w.u64(self.n as u64);
+        w.key("responsiveness");
+        self.responsiveness.write_json(w);
+        w.key("waiting");
+        self.waiting.write_json(w);
+        w.key("other_grants_while_waiting");
+        self.other_grants_while_waiting.write_json(w);
+        w.key("jain");
+        w.f64(self.jain);
+        w.key("requests");
+        w.u64(self.requests);
+        w.key("grants");
+        w.u64(self.grants);
+        w.key("releases");
+        w.u64(self.releases);
+        w.key("deliveries");
+        w.u64(self.deliveries);
+        w.key("regenerations");
+        w.u64(self.regenerations);
+        w.key("stale_discards");
+        w.u64(self.stale_discards);
+        w.key("unserved");
+        w.u64(self.unserved as u64);
+        w.end_obj();
+    }
 }
 
 impl Metrics {

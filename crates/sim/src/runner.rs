@@ -8,15 +8,14 @@ use atp_net::{
     ControlDrops, FailurePlan, LatencyModel, MsgClass, Node, NodeId, SimTime, StepOutcome,
     UniformLatency, World, WorldConfig,
 };
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
+use atp_util::json::JsonWriter;
+use atp_util::rng::{SeedableRng, StdRng};
 
 use crate::metrics::{Metrics, MetricsSummary};
 use crate::workload::Workload;
 
 /// Which protocol an experiment runs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Protocol {
     /// Plain rotating ring (System Message-Passing + rule 3′) — the paper's
     /// "regular token rotation protocol" baseline.
@@ -163,7 +162,7 @@ impl ExperimentSpec {
 }
 
 /// Network-side counters of a finished run.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct NetSummary {
     /// Token-class messages sent.
     pub token_sent: u64,
@@ -175,8 +174,24 @@ pub struct NetSummary {
     pub events: u64,
 }
 
+impl NetSummary {
+    /// Writes this summary as a JSON object value into `w`.
+    pub fn write_json(&self, w: &mut JsonWriter) {
+        w.begin_obj();
+        w.key("token_sent");
+        w.u64(self.token_sent);
+        w.key("control_sent");
+        w.u64(self.control_sent);
+        w.key("control_dropped");
+        w.u64(self.control_dropped);
+        w.key("events");
+        w.u64(self.events);
+        w.end_obj();
+    }
+}
+
 /// The result of one experiment run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RunSummary {
     /// Protocol that ran.
     pub protocol: Protocol,
@@ -188,6 +203,29 @@ pub struct RunSummary {
     pub net: NetSummary,
     /// Ticks simulated.
     pub duration_ticks: u64,
+}
+
+impl RunSummary {
+    /// Renders the full summary as a deterministic JSON document.
+    ///
+    /// Field order is fixed, so two identical runs produce byte-identical
+    /// strings — the determinism end-to-end tests compare these directly.
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_obj();
+        w.key("protocol");
+        w.str(self.protocol.label());
+        w.key("workload");
+        w.str(&self.workload);
+        w.key("metrics");
+        self.metrics.write_json(&mut w);
+        w.key("net");
+        self.net.write_json(&mut w);
+        w.key("duration_ticks");
+        w.u64(self.duration_ticks);
+        w.end_obj();
+        w.finish()
+    }
 }
 
 /// Runs `spec` under `workload` and returns the summary.

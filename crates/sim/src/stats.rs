@@ -1,9 +1,9 @@
 //! Small descriptive-statistics helpers used by the metrics and reports.
 
-use serde::{Deserialize, Serialize};
+use atp_util::json::JsonWriter;
 
 /// Summary statistics of a sample of durations (in ticks).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct SampleStats {
     /// Number of samples.
     pub count: usize,
@@ -39,6 +39,26 @@ impl SampleStats {
             p95: percentile_sorted(samples, 0.95),
             p99: percentile_sorted(samples, 0.99),
         }
+    }
+
+    /// Writes this summary as a JSON object value into `w`.
+    pub fn write_json(&self, w: &mut JsonWriter) {
+        w.begin_obj();
+        w.key("count");
+        w.u64(self.count as u64);
+        w.key("mean");
+        w.f64(self.mean);
+        w.key("min");
+        w.u64(self.min);
+        w.key("max");
+        w.u64(self.max);
+        w.key("p50");
+        w.u64(self.p50);
+        w.key("p95");
+        w.u64(self.p95);
+        w.key("p99");
+        w.u64(self.p99);
+        w.end_obj();
     }
 }
 

@@ -2,9 +2,7 @@
 
 use std::collections::HashMap;
 
-use rand::rngs::StdRng;
-use rand::Rng;
-use rand::SeedableRng;
+use atp_util::rng::{Rng, SeedableRng, StdRng};
 
 use crate::rule::Trs;
 use crate::term::Term;

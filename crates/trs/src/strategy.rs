@@ -7,9 +7,7 @@
 //! `(rule, successor)` candidates and [`reduce`] drives a reduction under
 //! it, checking an invariant at every step.
 
-use rand::rngs::StdRng;
-use rand::Rng;
-use rand::SeedableRng;
+use atp_util::rng::{Rng, SeedableRng, StdRng};
 
 use crate::explore::WalkOutcome;
 use crate::rule::Trs;

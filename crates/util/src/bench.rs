@@ -1,0 +1,285 @@
+//! Micro-benchmark harness replacing `criterion`.
+//!
+//! Each benchmark is a closure; the harness warms it up, auto-calibrates
+//! a batch size so one timed sample lasts long enough for the clock to
+//! resolve, collects per-iteration timings, and reports robust
+//! statistics (median and MAD, which ignore scheduler outliers that
+//! would wreck a mean/stddev). Results print as a human table followed
+//! by one JSON line per benchmark for machine consumption.
+//!
+//! `--smoke` (or `ATP_BENCH_SMOKE=1`) runs every benchmark exactly once
+//! with no warmup — CI uses it to prove the benches still *run* without
+//! paying for statistics.
+//!
+//! ```no_run
+//! use atp_util::bench::{black_box, Runner};
+//!
+//! let mut r = Runner::from_args("my_suite");
+//! r.bench("sum_1k", || black_box((0..1000u64).sum::<u64>()));
+//! r.finish();
+//! ```
+
+use std::time::Instant;
+
+use crate::json::JsonWriter;
+
+pub use std::hint::black_box;
+
+/// Statistics for one benchmark, all times in nanoseconds per iteration.
+#[derive(Debug, Clone)]
+pub struct Summary {
+    /// Benchmark name.
+    pub name: String,
+    /// Median time per iteration.
+    pub median_ns: f64,
+    /// Median absolute deviation of the per-iteration times.
+    pub mad_ns: f64,
+    /// Mean time per iteration.
+    pub mean_ns: f64,
+    /// Fastest sample.
+    pub min_ns: f64,
+    /// Slowest sample.
+    pub max_ns: f64,
+    /// Number of timed samples taken.
+    pub samples: u32,
+    /// Iterations per sample (calibrated).
+    pub batch: u64,
+}
+
+impl Summary {
+    /// The JSON line emitted for this result.
+    pub fn to_json(&self, suite: &str) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_obj();
+        w.key("suite");
+        w.str(suite);
+        w.key("name");
+        w.str(&self.name);
+        w.key("median_ns");
+        w.f64(self.median_ns);
+        w.key("mad_ns");
+        w.f64(self.mad_ns);
+        w.key("mean_ns");
+        w.f64(self.mean_ns);
+        w.key("min_ns");
+        w.f64(self.min_ns);
+        w.key("max_ns");
+        w.f64(self.max_ns);
+        w.key("samples");
+        w.u64(self.samples as u64);
+        w.key("batch");
+        w.u64(self.batch);
+        w.end_obj();
+        w.finish()
+    }
+}
+
+/// Render nanoseconds with an adaptive unit.
+pub fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1}ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2}µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2}ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3}s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Runs a suite of benchmarks and prints the report.
+pub struct Runner {
+    suite: String,
+    smoke: bool,
+    /// Target wall time for one timed sample, used for calibration.
+    target_sample_ns: u64,
+    samples: u32,
+    results: Vec<Summary>,
+}
+
+impl Runner {
+    /// Build a runner for `suite`, honouring `--smoke` in `argv` and the
+    /// `ATP_BENCH_SMOKE` environment variable. Unknown arguments are
+    /// ignored (cargo passes filters through).
+    pub fn from_args(suite: &str) -> Self {
+        let smoke = std::env::args().any(|a| a == "--smoke")
+            || std::env::var("ATP_BENCH_SMOKE").is_ok_and(|v| v != "0" && !v.is_empty());
+        Self::new(suite, smoke)
+    }
+
+    /// Build a runner with smoke mode chosen explicitly.
+    pub fn new(suite: &str, smoke: bool) -> Self {
+        Self {
+            suite: suite.to_string(),
+            smoke,
+            target_sample_ns: 5_000_000, // 5ms per timed sample
+            samples: 25,
+            results: Vec::new(),
+        }
+    }
+
+    /// True when running in smoke mode (single iteration, no stats).
+    pub fn smoke(&self) -> bool {
+        self.smoke
+    }
+
+    /// Time `f` and record the result under `name`. The closure's return
+    /// value is passed through [`black_box`] so the work is not
+    /// optimized away.
+    pub fn bench<T>(&mut self, name: &str, mut f: impl FnMut() -> T) {
+        if self.smoke {
+            let start = Instant::now();
+            black_box(f());
+            let ns = start.elapsed().as_nanos() as f64;
+            self.results.push(Summary {
+                name: name.to_string(),
+                median_ns: ns,
+                mad_ns: 0.0,
+                mean_ns: ns,
+                min_ns: ns,
+                max_ns: ns,
+                samples: 1,
+                batch: 1,
+            });
+            return;
+        }
+
+        // Calibrate: how many iterations make one sample last
+        // ~target_sample_ns? Also serves as warmup.
+        let once = {
+            let start = Instant::now();
+            black_box(f());
+            start.elapsed().as_nanos().max(1) as u64
+        };
+        let batch = (self.target_sample_ns / once).clamp(1, 1_000_000);
+        // Warm up for roughly two samples' worth of work.
+        for _ in 0..(2 * batch).min(1000) {
+            black_box(f());
+        }
+
+        let mut per_iter: Vec<f64> = Vec::with_capacity(self.samples as usize);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            per_iter.push(start.elapsed().as_nanos() as f64 / batch as f64);
+        }
+
+        per_iter.sort_by(|a, b| a.total_cmp(b));
+        let median = median_sorted(&per_iter);
+        let mut devs: Vec<f64> = per_iter.iter().map(|x| (x - median).abs()).collect();
+        devs.sort_by(|a, b| a.total_cmp(b));
+        let mad = median_sorted(&devs);
+        let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+
+        self.results.push(Summary {
+            name: name.to_string(),
+            median_ns: median,
+            mad_ns: mad,
+            mean_ns: mean,
+            min_ns: per_iter[0],
+            max_ns: per_iter[per_iter.len() - 1],
+            samples: self.samples,
+            batch,
+        });
+    }
+
+    /// The results collected so far.
+    pub fn results(&self) -> &[Summary] {
+        &self.results
+    }
+
+    /// Print the human-readable table plus one JSON line per result.
+    pub fn finish(self) {
+        let mode = if self.smoke { " [smoke]" } else { "" };
+        println!("\n== bench suite: {}{mode} ==", self.suite);
+        let name_w = self
+            .results
+            .iter()
+            .map(|r| r.name.len())
+            .max()
+            .unwrap_or(4)
+            .max(4);
+        println!(
+            "{:<name_w$}  {:>10}  {:>10}  {:>10}  {:>10}  {:>7}",
+            "name", "median", "MAD", "min", "max", "samples"
+        );
+        for r in &self.results {
+            println!(
+                "{:<name_w$}  {:>10}  {:>10}  {:>10}  {:>10}  {:>7}",
+                r.name,
+                fmt_ns(r.median_ns),
+                fmt_ns(r.mad_ns),
+                fmt_ns(r.min_ns),
+                fmt_ns(r.max_ns),
+                r.samples
+            );
+        }
+        for r in &self.results {
+            println!("{}", r.to_json(&self.suite));
+        }
+    }
+}
+
+fn median_sorted(xs: &[f64]) -> f64 {
+    let n = xs.len();
+    if n == 0 {
+        return 0.0;
+    }
+    if n % 2 == 1 {
+        xs[n / 2]
+    } else {
+        (xs[n / 2 - 1] + xs[n / 2]) / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_each_bench_once() {
+        let mut calls = 0u32;
+        let mut r = Runner::new("t", true);
+        r.bench("counted", || calls += 1);
+        assert_eq!(calls, 1);
+        assert_eq!(r.results()[0].samples, 1);
+    }
+
+    #[test]
+    fn timed_mode_produces_ordered_stats() {
+        let mut r = Runner::new("t", false);
+        r.bench("spin", || black_box((0..512u64).sum::<u64>()));
+        let s = &r.results()[0];
+        assert!(s.min_ns <= s.median_ns && s.median_ns <= s.max_ns);
+        assert!(s.median_ns > 0.0);
+        assert!(s.batch >= 1);
+    }
+
+    #[test]
+    fn json_line_is_wellformed() {
+        let s = Summary {
+            name: "x".into(),
+            median_ns: 1.5,
+            mad_ns: 0.25,
+            mean_ns: 1.6,
+            min_ns: 1.0,
+            max_ns: 2.0,
+            samples: 9,
+            batch: 3,
+        };
+        let j = s.to_json("suite");
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"median_ns\":1.5"));
+        assert!(j.contains("\"samples\":9"));
+    }
+
+    #[test]
+    fn fmt_ns_units() {
+        assert_eq!(fmt_ns(12.0), "12.0ns");
+        assert!(fmt_ns(1_500.0).ends_with("µs"));
+        assert!(fmt_ns(2_000_000.0).ends_with("ms"));
+        assert!(fmt_ns(3_000_000_000.0).ends_with('s'));
+    }
+}

@@ -1,0 +1,145 @@
+//! Minimal little-endian byte-buffer traits, replacing the `bytes` crate.
+//!
+//! The wire codec writes into a `Vec<u8>` and reads from a `&[u8]`
+//! cursor; those are the only two shapes the workspace needs, so that is
+//! all this module implements. Method names match the `bytes` crate so
+//! the codec reads the same as before the hermetic sweep.
+//!
+//! ```
+//! use atp_util::buf::{Buf, BufMut};
+//!
+//! let mut out = Vec::new();
+//! out.put_u8(0x01);
+//! out.put_u32_le(7);
+//! out.put_u64_le(99);
+//!
+//! let mut cur: &[u8] = &out;
+//! assert_eq!(cur.get_u8(), 0x01);
+//! assert_eq!(cur.get_u32_le(), 7);
+//! assert_eq!(cur.get_u64_le(), 99);
+//! assert_eq!(cur.remaining(), 0);
+//! ```
+
+/// Write side: append little-endian integers to a growable buffer.
+pub trait BufMut {
+    /// Append raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Append a `u32`, little-endian.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Append a `u64`, little-endian.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+impl<B: BufMut + ?Sized> BufMut for &mut B {
+    fn put_slice(&mut self, src: &[u8]) {
+        (**self).put_slice(src)
+    }
+}
+
+/// Read side: a cursor that consumes little-endian integers.
+///
+/// Callers must check [`Buf::remaining`] before each `get_*`; reading
+/// past the end panics (as with the `bytes` crate).
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// Consume `n` bytes and return them as a fixed-size view.
+    fn take(&mut self, n: usize) -> &[u8];
+
+    /// Consume one byte.
+    fn get_u8(&mut self) -> u8 {
+        self.take(1)[0]
+    }
+
+    /// Consume a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32 {
+        u32::from_le_bytes(self.take(4).try_into().expect("4 bytes"))
+    }
+
+    /// Consume a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64 {
+        u64::from_le_bytes(self.take(8).try_into().expect("8 bytes"))
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn take(&mut self, n: usize) -> &[u8] {
+        let (head, tail) = self.split_at(n);
+        *self = tail;
+        head
+    }
+}
+
+impl<B: Buf + ?Sized> Buf for &mut B {
+    fn remaining(&self) -> usize {
+        (**self).remaining()
+    }
+    fn take(&mut self, n: usize) -> &[u8] {
+        (**self).take(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_widths() {
+        let mut v = Vec::new();
+        v.put_u8(0xAB);
+        v.put_u32_le(0xDEAD_BEEF);
+        v.put_u64_le(0x0123_4567_89AB_CDEF);
+        v.put_slice(b"xy");
+        assert_eq!(v.len(), 1 + 4 + 8 + 2);
+
+        let mut cur: &[u8] = &v;
+        assert_eq!(cur.get_u8(), 0xAB);
+        assert_eq!(cur.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(cur.get_u64_le(), 0x0123_4567_89AB_CDEF);
+        assert_eq!(cur.take(2), b"xy");
+        assert_eq!(cur.remaining(), 0);
+    }
+
+    #[test]
+    fn works_through_mut_references() {
+        fn write_into(buf: &mut impl BufMut) {
+            buf.put_u32_le(5);
+        }
+        fn read_from(buf: &mut impl Buf) -> u32 {
+            buf.get_u32_le()
+        }
+        let mut v = Vec::new();
+        write_into(&mut v);
+        let mut cur: &[u8] = &v;
+        assert_eq!(read_from(&mut cur), 5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn reading_past_end_panics() {
+        let mut cur: &[u8] = &[1, 2];
+        let _ = cur.get_u32_le();
+    }
+}

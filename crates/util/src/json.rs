@@ -1,0 +1,202 @@
+//! A tiny hand-rolled JSON writer.
+//!
+//! The workspace emits JSON in exactly two places — run summaries and
+//! bench reports — and never parses it, so a push-style writer is all
+//! that is needed. Output is deterministic: fields appear in the order
+//! they are written, `f64`s use Rust's shortest round-trip formatting,
+//! and non-finite floats serialize as `null` (JSON has no NaN).
+//!
+//! ```
+//! use atp_util::json::JsonWriter;
+//!
+//! let mut w = JsonWriter::new();
+//! w.begin_obj();
+//! w.key("name");
+//! w.str("ring");
+//! w.key("grants");
+//! w.u64(3);
+//! w.key("latencies");
+//! w.begin_arr();
+//! w.f64(1.5);
+//! w.f64(2.0);
+//! w.end_arr();
+//! w.end_obj();
+//! assert_eq!(w.finish(), r#"{"name":"ring","grants":3,"latencies":[1.5,2]}"#);
+//! ```
+
+/// Escape a string for inclusion in a JSON document (without the
+/// surrounding quotes).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Push-style JSON writer with automatic comma placement.
+///
+/// Call sequence is the caller's responsibility (a `key` must be
+/// followed by exactly one value; containers must be balanced); the
+/// writer only tracks where commas go.
+#[derive(Debug, Default)]
+pub struct JsonWriter {
+    buf: String,
+    /// One entry per open container: how many items written so far.
+    stack: Vec<usize>,
+    /// True immediately after `key()` — the next value completes the pair.
+    pending_key: bool,
+}
+
+impl JsonWriter {
+    /// Fresh writer with an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn before_item(&mut self) {
+        if self.pending_key {
+            self.pending_key = false;
+            return;
+        }
+        if let Some(count) = self.stack.last_mut() {
+            if *count > 0 {
+                self.buf.push(',');
+            }
+            *count += 1;
+        }
+    }
+
+    /// Open an object (`{`).
+    pub fn begin_obj(&mut self) {
+        self.before_item();
+        self.buf.push('{');
+        self.stack.push(0);
+    }
+
+    /// Close the innermost object (`}`).
+    pub fn end_obj(&mut self) {
+        self.stack.pop();
+        self.buf.push('}');
+    }
+
+    /// Open an array (`[`).
+    pub fn begin_arr(&mut self) {
+        self.before_item();
+        self.buf.push('[');
+        self.stack.push(0);
+    }
+
+    /// Close the innermost array (`]`).
+    pub fn end_arr(&mut self) {
+        self.stack.pop();
+        self.buf.push(']');
+    }
+
+    /// Write an object key; the next value call completes the pair.
+    pub fn key(&mut self, k: &str) {
+        self.before_item();
+        self.buf.push('"');
+        self.buf.push_str(&escape(k));
+        self.buf.push_str("\":");
+        self.pending_key = true;
+    }
+
+    /// Write a string value.
+    pub fn str(&mut self, s: &str) {
+        self.before_item();
+        self.buf.push('"');
+        self.buf.push_str(&escape(s));
+        self.buf.push('"');
+    }
+
+    /// Write an unsigned integer value.
+    pub fn u64(&mut self, v: u64) {
+        self.before_item();
+        self.buf.push_str(&v.to_string());
+    }
+
+    /// Write a signed integer value.
+    pub fn i64(&mut self, v: i64) {
+        self.before_item();
+        self.buf.push_str(&v.to_string());
+    }
+
+    /// Write a float value (`null` if not finite).
+    pub fn f64(&mut self, v: f64) {
+        self.before_item();
+        if v.is_finite() {
+            self.buf.push_str(&format!("{v}"));
+        } else {
+            self.buf.push_str("null");
+        }
+    }
+
+    /// Write a boolean value.
+    pub fn bool(&mut self, v: bool) {
+        self.before_item();
+        self.buf.push_str(if v { "true" } else { "false" });
+    }
+
+    /// Write a `null`.
+    pub fn null(&mut self) {
+        self.before_item();
+        self.buf.push_str("null");
+    }
+
+    /// Consume the writer and return the document.
+    pub fn finish(self) -> String {
+        self.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nested_structures_and_commas() {
+        let mut w = JsonWriter::new();
+        w.begin_obj();
+        w.key("a");
+        w.begin_obj();
+        w.key("x");
+        w.u64(1);
+        w.key("y");
+        w.i64(-2);
+        w.end_obj();
+        w.key("b");
+        w.begin_arr();
+        w.bool(true);
+        w.null();
+        w.str("z");
+        w.end_arr();
+        w.end_obj();
+        assert_eq!(w.finish(), r#"{"a":{"x":1,"y":-2},"b":[true,null,"z"]}"#);
+    }
+
+    #[test]
+    fn escaping() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let mut w = JsonWriter::new();
+        w.begin_arr();
+        w.f64(f64::NAN);
+        w.f64(f64::INFINITY);
+        w.f64(0.5);
+        w.end_arr();
+        assert_eq!(w.finish(), "[null,null,0.5]");
+    }
+}

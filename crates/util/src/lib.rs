@@ -1,0 +1,36 @@
+//! # atp-util — hermetic support library for the adaptive token-passing workspace
+//!
+//! Every other crate in this workspace depends only on `std` and this
+//! crate. `atp-util` provides, with zero external dependencies:
+//!
+//! * [`rng`] — a deterministic seeded PRNG (SplitMix64 for seeding,
+//!   xoshiro256\*\* for the stream) behind a `rand`-0.8-shaped trait
+//!   surface ([`rng::RngCore`], [`rng::Rng`], [`rng::SeedableRng`]) so
+//!   simulation call sites read idiomatically.
+//! * [`dist`] — the distributions the simulator draws from: uniform
+//!   ranges, Bernoulli, exponential and Poisson inter-arrival gaps.
+//! * [`buf`] — minimal little-endian byte-buffer traits ([`buf::Buf`],
+//!   [`buf::BufMut`]) over `Vec<u8>` / `&[u8]`, replacing the `bytes`
+//!   crate in the wire codec.
+//! * [`json`] — a tiny hand-rolled JSON writer for run summaries and
+//!   bench reports.
+//! * [`check`] — a seeded property-testing harness with regression-seed
+//!   replay and tape-based shrinking, API-close enough to `proptest`
+//!   that the safety suites (prefix property, codec round-trips, TRS
+//!   laws) ported over mechanically.
+//! * [`bench`] — a micro-benchmark harness (warmup, timed iterations,
+//!   median/MAD, JSON output, `--smoke` mode) replacing `criterion`.
+//!
+//! The point of the crate is hermeticity: `CARGO_NET_OFFLINE=true
+//! cargo build --release && cargo test -q` must pass on a machine with
+//! no registry access at all.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bench;
+pub mod buf;
+pub mod check;
+pub mod dist;
+pub mod json;
+pub mod rng;

@@ -1,0 +1,278 @@
+//! Deterministic seeded pseudo-random number generation.
+//!
+//! The generator is xoshiro256\*\* (Blackman & Vigna), seeded through
+//! SplitMix64 so that *any* `u64` seed — including 0 — yields a
+//! well-mixed initial state. The trait surface deliberately mirrors the
+//! small slice of `rand` 0.8 this workspace used (`RngCore`, `Rng`,
+//! `SeedableRng`, `gen_range`, `gen_bool`), so porting a call site is
+//! an import swap, not a rewrite.
+//!
+//! ```
+//! use atp_util::rng::{Rng, SeedableRng, StdRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(42);
+//! let a = rng.gen_range(0..10u32);
+//! assert!(a < 10);
+//! let again = StdRng::seed_from_u64(42).gen_range(0..10u32);
+//! assert_eq!(a, again);
+//! ```
+
+use std::ops::{Range, RangeInclusive};
+
+/// Low-level uniform random source: a stream of `u64`s.
+///
+/// Object-safe; simulation models take `&mut dyn RngCore` so latency
+/// and drop models stay trait objects.
+pub trait RngCore {
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 uniformly random bits (upper half of [`Self::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// Construction of a generator from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Build a generator whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Convenience methods over any [`RngCore`].
+///
+/// Blanket-implemented; `&mut dyn RngCore` gets the methods too via the
+/// reference impl of `RngCore`.
+pub trait Rng: RngCore {
+    /// Uniform sample from `range` (`lo..hi` or `lo..=hi`).
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample_from(self)
+    }
+
+    /// `true` with probability `p`.
+    ///
+    /// Panics unless `0.0 <= p <= 1.0`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p={p} out of [0,1]");
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Map 64 random bits to a `f64` uniform in `[0, 1)` (53-bit mantissa).
+#[inline]
+pub fn unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// A range that can be sampled uniformly. Implemented for `Range` and
+/// `RangeInclusive` over the integer widths and `f64` the workspace uses.
+pub trait SampleRange<T> {
+    /// Draw one uniform sample from `rng`.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_sample_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start.wrapping_add((rng.next_u64() % span) as $t)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range: empty range");
+                let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                if span == 0 {
+                    // Full-width inclusive range: every u64 is a valid sample.
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add((rng.next_u64() % span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_int!(u8, u16, u32, u64, usize, i32, i64);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "gen_range: empty range");
+        self.start + unit_f64(rng.next_u64()) * (self.end - self.start)
+    }
+}
+
+/// SplitMix64: used to expand a single `u64` seed into generator state.
+///
+/// Also a perfectly serviceable (if statistically weaker) generator in
+/// its own right; the property harness uses it to derive per-case seeds.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// New stream starting from `seed`.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+}
+
+impl SeedableRng for SplitMix64 {
+    fn seed_from_u64(seed: u64) -> Self {
+        Self::new(seed)
+    }
+}
+
+impl RngCore for SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// xoshiro256\*\* — the workspace's standard generator.
+///
+/// 256 bits of state, period 2^256 − 1, passes BigCrush; more than
+/// adequate for simulation workloads, and (unlike `rand`'s `StdRng`)
+/// guaranteed stable across releases of this repository, which is what
+/// makes checked-in regression seeds and byte-identical reruns durable.
+#[derive(Debug, Clone)]
+pub struct Xoshiro256StarStar {
+    s: [u64; 4],
+}
+
+impl SeedableRng for Xoshiro256StarStar {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        Self {
+            s: [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()],
+        }
+    }
+}
+
+impl RngCore for Xoshiro256StarStar {
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[1]
+            .wrapping_mul(5)
+            .rotate_left(7)
+            .wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+/// The workspace's default generator. Code should name `StdRng` so a
+/// future algorithm swap is one line here.
+pub type StdRng = Xoshiro256StarStar;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_reference_vector() {
+        // Reference sequence for seed 1234567 from the SplitMix64 paper code.
+        let mut sm = SplitMix64::new(1234567);
+        let got: Vec<u64> = (0..3).map(|_| sm.next_u64()).collect();
+        assert_eq!(got, vec![6457827717110365317, 3203168211198807973, 9817491932198370423]);
+    }
+
+    #[test]
+    fn xoshiro_is_deterministic_and_seed_sensitive() {
+        let a: Vec<u64> = {
+            let mut r = StdRng::seed_from_u64(7);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = StdRng::seed_from_u64(7);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let c: Vec<u64> = {
+            let mut r = StdRng::seed_from_u64(8);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn gen_range_bounds_hold() {
+        let mut r = StdRng::seed_from_u64(99);
+        for _ in 0..10_000 {
+            let v = r.gen_range(10..20u32);
+            assert!((10..20).contains(&v));
+            let w = r.gen_range(5..=5u64);
+            assert_eq!(w, 5);
+            let f = r.gen_range(0.25..0.75f64);
+            assert!((0.25..0.75).contains(&f));
+            let i = r.gen_range(-4..=4i64);
+            assert!((-4..=4).contains(&i));
+        }
+    }
+
+    #[test]
+    fn gen_bool_probabilities_are_sane() {
+        let mut r = StdRng::seed_from_u64(3);
+        assert!(!(0..1000).any(|_| r.gen_bool(0.0)));
+        assert!((0..1000).all(|_| r.gen_bool(1.0)));
+        let hits = (0..20_000).filter(|_| r.gen_bool(0.3)).count();
+        assert!((5000..7000).contains(&hits), "hits={hits}");
+    }
+
+    #[test]
+    fn dyn_rng_core_supports_convenience_methods() {
+        let mut r = StdRng::seed_from_u64(1);
+        let dynr: &mut dyn RngCore = &mut r;
+        let v = dynr.gen_range(0..100u64);
+        assert!(v < 100);
+        let _ = dynr.gen_bool(0.5);
+    }
+
+    #[test]
+    fn fill_bytes_covers_partial_chunks() {
+        let mut r = StdRng::seed_from_u64(5);
+        let mut buf = [0u8; 13];
+        r.fill_bytes(&mut buf);
+        // 13 bytes from a seeded stream: overwhelmingly unlikely to be all zero.
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}

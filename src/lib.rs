@@ -13,6 +13,8 @@
 //!   ordered broadcast services.
 //! * [`sim`] — workloads, metrics and the experiment harness that regenerates
 //!   the paper's figures and tables.
+//! * [`util`] — the zero-dependency foundation: seeded RNG, property-test
+//!   and micro-bench harnesses, byte buffers, JSON output.
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
 
@@ -21,3 +23,4 @@ pub use atp_net as net;
 pub use atp_sim as sim;
 pub use atp_spec as spec;
 pub use atp_trs as trs;
+pub use atp_util as util;

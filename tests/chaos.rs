@@ -9,8 +9,7 @@ use adaptive_token_passing::core::{
 use adaptive_token_passing::net::{
     ControlDrops, NodeId, SimTime, UniformLatency, World, WorldConfig,
 };
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use adaptive_token_passing::util::rng::{Rng, SeedableRng, StdRng};
 
 #[derive(Debug, Default)]
 struct Ledger {

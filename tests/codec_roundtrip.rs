@@ -1,155 +1,150 @@
 //! Property-based tests for the wire codec: every representable message
 //! round-trips exactly, and arbitrary byte soup never panics the decoder.
+//! Runs on the in-repo `atp_util::check` harness.
 
 use adaptive_token_passing::core::{
     decode_binary_msg, encode_binary_msg, BinaryMsg, Gimme, RegenMsg, RegenReply, RequestId,
     TokenFrame, TokenMode, VisitStamp,
 };
 use adaptive_token_passing::net::NodeId;
-use proptest::prelude::*;
+use adaptive_token_passing::util::check::{Check, Gen};
+use adaptive_token_passing::util::rng::Rng;
 
-fn arb_node() -> impl Strategy<Value = NodeId> {
-    (0u32..1024).prop_map(NodeId::new)
+fn arb_node(g: &mut Gen) -> NodeId {
+    NodeId::new(g.gen_range(0u32..1024))
 }
 
-fn arb_req() -> impl Strategy<Value = RequestId> {
-    (arb_node(), 0u64..u64::MAX).prop_map(|(n, s)| RequestId::new(n, s))
+fn arb_req(g: &mut Gen) -> RequestId {
+    let n = arb_node(g);
+    RequestId::new(n, g.gen_range(0..u64::MAX))
 }
 
-fn arb_stamp() -> impl Strategy<Value = VisitStamp> {
-    (0u64..u64::MAX).prop_map(VisitStamp)
+fn arb_stamp(g: &mut Gen) -> VisitStamp {
+    VisitStamp(g.gen_range(0..u64::MAX))
 }
 
-fn arb_frame() -> impl Strategy<Value = TokenFrame> {
-    (
-        1usize..6,
-        proptest::collection::vec((arb_node(), 0u64..100), 0..8),
-        proptest::collection::vec((arb_node(), 0u64..50), 0..6),
-        proptest::collection::vec(arb_node(), 0..4),
-    )
-        .prop_map(|(cap, appends, satisfied, excluded)| {
-            let mut frame = TokenFrame::new(cap);
-            for (origin, payload) in appends {
-                frame.on_possess(origin, true);
-                frame.append(origin, payload);
-            }
-            for (origin, seq) in satisfied {
-                frame.mark_satisfied(RequestId::new(origin, seq));
-            }
-            for node in excluded {
-                frame.exclude(node);
-            }
-            frame
-        })
+fn arb_frame(g: &mut Gen) -> TokenFrame {
+    let cap = g.gen_range(1usize..6);
+    let appends = g.vec(0..8, |g| (arb_node(g), g.gen_range(0u64..100)));
+    let satisfied = g.vec(0..6, |g| (arb_node(g), g.gen_range(0u64..50)));
+    let excluded = g.vec(0..4, arb_node);
+    let mut frame = TokenFrame::new(cap);
+    for (origin, payload) in appends {
+        frame.on_possess(origin, true);
+        frame.append(origin, payload);
+    }
+    for (origin, seq) in satisfied {
+        frame.mark_satisfied(RequestId::new(origin, seq));
+    }
+    for node in excluded {
+        frame.exclude(node);
+    }
+    frame
 }
 
-fn arb_mode() -> impl Strategy<Value = TokenMode> {
-    prop_oneof![
-        Just(TokenMode::Rotate),
-        Just(TokenMode::Return),
-        (arb_req(), arb_node()).prop_map(|(for_req, return_to)| TokenMode::Grant {
-            for_req,
-            return_to
+fn arb_mode(g: &mut Gen) -> TokenMode {
+    match g.gen_range(0u8..4) {
+        0 => TokenMode::Rotate,
+        1 => TokenMode::Return,
+        2 => TokenMode::Grant {
+            for_req: arb_req(g),
+            return_to: arb_node(g),
+        },
+        _ => TokenMode::CleanupHop {
+            for_req: arb_req(g),
+            return_to: arb_node(g),
+            trail: g.vec(0..6, arb_node),
+        },
+    }
+}
+
+fn arb_msg(g: &mut Gen) -> BinaryMsg {
+    match g.gen_range(0u8..10) {
+        0 => BinaryMsg::Token {
+            frame: arb_frame(g),
+            mode: arb_mode(g),
+        },
+        1 => BinaryMsg::Gimme(Gimme {
+            origin: arb_node(g),
+            req: arb_req(g),
+            origin_stamp: arb_stamp(g),
+            span: g.gen_range(0u32..4096),
+            trail: g.vec(0..8, arb_node),
         }),
-        (
-            arb_req(),
-            arb_node(),
-            proptest::collection::vec(arb_node(), 0..6)
-        )
-            .prop_map(|(for_req, return_to, trail)| TokenMode::CleanupHop {
-                for_req,
-                return_to,
-                trail
-            }),
-    ]
-}
-
-fn arb_msg() -> impl Strategy<Value = BinaryMsg> {
-    prop_oneof![
-        (arb_frame(), arb_mode()).prop_map(|(frame, mode)| BinaryMsg::Token { frame, mode }),
-        (
-            arb_node(),
-            arb_req(),
-            arb_stamp(),
-            0u32..4096,
-            proptest::collection::vec(arb_node(), 0..8)
-        )
-            .prop_map(|(origin, req, origin_stamp, span, trail)| BinaryMsg::Gimme(Gimme {
-                origin,
-                req,
-                origin_stamp,
-                span,
-                trail
-            })),
-        (arb_node(), arb_req(), 0u32..4096).prop_map(|(origin, req, span)| {
-            BinaryMsg::DirectedProbe { origin, req, span }
+        2 => BinaryMsg::DirectedProbe {
+            origin: arb_node(g),
+            req: arb_req(g),
+            span: g.gen_range(0u32..4096),
+        },
+        3 => BinaryMsg::DirectedReply {
+            probed: arb_node(g),
+            stamp: arb_stamp(g),
+            req: arb_req(g),
+            span: g.gen_range(0u32..4096),
+        },
+        4 => BinaryMsg::ProbeReq {
+            holder: arb_node(g),
+            span: g.gen_range(0u32..4096),
+        },
+        5 => BinaryMsg::ProbeHit {
+            origin: arb_node(g),
+            req: arb_req(g),
+        },
+        6 => BinaryMsg::Regen(RegenMsg::Inquiry {
+            generation: g.gen_range(0u32..100),
         }),
-        (arb_node(), arb_stamp(), arb_req(), 0u32..4096).prop_map(
-            |(probed, stamp, req, span)| BinaryMsg::DirectedReply {
-                probed,
-                stamp,
-                req,
-                span
-            }
-        ),
-        (arb_node(), 0u32..4096).prop_map(|(holder, span)| BinaryMsg::ProbeReq { holder, span }),
-        (arb_node(), arb_req()).prop_map(|(origin, req)| BinaryMsg::ProbeHit { origin, req }),
-        (0u32..100).prop_map(|generation| BinaryMsg::Regen(RegenMsg::Inquiry { generation })),
-        (
-            0u32..100,
-            arb_stamp(),
-            any::<bool>(),
-            proptest::option::of(arb_node()),
-            0u64..10_000
-        )
-            .prop_map(|(generation, stamp, holder, passed_to, applied_seq)| {
-                BinaryMsg::Regen(RegenMsg::Reply(RegenReply {
-                    generation,
-                    stamp,
-                    holder,
-                    passed_to,
-                    applied_seq,
-                }))
-            }),
-        (
-            0u32..100,
-            0u64..10_000,
-            proptest::collection::vec(arb_node(), 0..5)
-        )
-            .prop_map(|(new_gen, known_seq, dead)| BinaryMsg::Regen(RegenMsg::Please {
-                new_gen,
-                known_seq,
-                dead
-            })),
-        Just(BinaryMsg::Regen(RegenMsg::Rejoin)),
-    ]
+        7 => BinaryMsg::Regen(RegenMsg::Reply(RegenReply {
+            generation: g.gen_range(0u32..100),
+            stamp: arb_stamp(g),
+            holder: g.gen_bool(0.5),
+            passed_to: if g.gen_bool(0.5) {
+                Some(arb_node(g))
+            } else {
+                None
+            },
+            applied_seq: g.gen_range(0u64..10_000),
+        })),
+        8 => BinaryMsg::Regen(RegenMsg::Please {
+            new_gen: g.gen_range(0u32..100),
+            known_seq: g.gen_range(0u64..10_000),
+            dead: g.vec(0..5, arb_node),
+        }),
+        _ => BinaryMsg::Regen(RegenMsg::Rejoin),
+    }
 }
 
-proptest! {
-    #[test]
-    fn every_message_roundtrips(msg in arb_msg()) {
-        let bytes = encode_binary_msg(&msg);
+#[test]
+fn every_message_roundtrips() {
+    Check::new("every_message_roundtrips").run(arb_msg, |msg| {
+        let bytes = encode_binary_msg(msg);
         let back = decode_binary_msg(&bytes).expect("decode");
         // BinaryMsg lacks PartialEq on purpose (Apply closures elsewhere);
         // Debug equality is exact for these data-only messages.
-        prop_assert_eq!(format!("{msg:?}"), format!("{back:?}"));
-    }
+        assert_eq!(format!("{msg:?}"), format!("{back:?}"));
+    });
+}
 
-    #[test]
-    fn decoder_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
-        let _ = decode_binary_msg(&bytes);
-    }
+#[test]
+fn decoder_never_panics_on_garbage() {
+    Check::new("decoder_never_panics_on_garbage").run(
+        |g| g.vec(0..256, |g| g.gen_range(0u8..=u8::MAX)),
+        |bytes| {
+            let _ = decode_binary_msg(bytes);
+        },
+    );
+}
 
-    #[test]
-    fn truncation_always_errors_or_decodes_prefix_free(msg in arb_msg()) {
+#[test]
+fn truncation_always_errors_or_decodes_prefix_free() {
+    Check::new("truncation_always_errors_or_decodes_prefix_free").run(arb_msg, |msg| {
         // A strict prefix of a valid frame must not decode into the same
         // message (framing is unambiguous).
-        let bytes = encode_binary_msg(&msg);
+        let bytes = encode_binary_msg(msg);
         if bytes.len() > 1 {
             let cut = &bytes[..bytes.len() - 1];
             if let Ok(other) = decode_binary_msg(cut) {
-                prop_assert_ne!(format!("{msg:?}"), format!("{other:?}"));
+                assert_ne!(format!("{msg:?}"), format!("{other:?}"));
             }
         }
-    }
+    });
 }

@@ -1,6 +1,6 @@
 //! Cross-crate integration: the executable protocols uphold the paper's
 //! safety properties under randomized workloads, jittery latency, and lossy
-//! cheap messages.
+//! cheap messages. Runs on the in-repo `atp_util::check` harness.
 
 use adaptive_token_passing::core::{
     BinaryNode, EventSource, ProtocolConfig, RingNode, SearchNode, TokenEvent, Want,
@@ -8,7 +8,8 @@ use adaptive_token_passing::core::{
 use adaptive_token_passing::net::{
     ControlDrops, Node, NodeId, SimTime, UniformLatency, World, WorldConfig,
 };
-use proptest::prelude::*;
+use adaptive_token_passing::util::check::{Check, Gen};
+use adaptive_token_passing::util::rng::Rng;
 
 /// A plan of requests to throw at a ring.
 #[derive(Debug, Clone)]
@@ -20,23 +21,45 @@ struct Plan {
     drop_p: f64,
 }
 
-fn plan_strategy() -> impl Strategy<Value = Plan> {
-    (2usize..10, 0u64..u64::MAX, any::<bool>(), 0..3u8).prop_flat_map(
-        |(n, seed, jitter, drop_sel)| {
-            let req = (1u64..400, 0..n as u32, 0u64..1000);
-            proptest::collection::vec(req, 1..25).prop_map(move |requests| Plan {
-                n,
-                requests,
-                seed,
-                jitter,
-                drop_p: match drop_sel {
-                    0 => 0.0,
-                    1 => 0.3,
-                    _ => 1.0,
-                },
-            })
-        },
-    )
+fn plan(g: &mut Gen) -> Plan {
+    let n = g.gen_range(2usize..10);
+    let seed = g.gen_range(0..=u64::MAX);
+    let jitter = g.gen_bool(0.5);
+    let drop_p = match g.gen_range(0u8..3) {
+        0 => 0.0,
+        1 => 0.3,
+        _ => 1.0,
+    };
+    let requests = g.vec(1..25, |g| {
+        (
+            g.gen_range(1u64..400),
+            g.gen_range(0..n as u32),
+            g.gen_range(0u64..1000),
+        )
+    });
+    Plan {
+        n,
+        requests,
+        seed,
+        jitter,
+        drop_p,
+    }
+}
+
+/// The shrunk counterexample a previous proptest run checked in
+/// (`.proptest-regressions`): a burst of identical requests at tick 1 with
+/// two stragglers, under jitter. Replayed verbatim against every property.
+fn regression_plan() -> Plan {
+    let mut requests = vec![(1u64, 1u32, 0u64); 8];
+    requests.push((87, 0, 279));
+    requests.push((63, 1, 299));
+    Plan {
+        n: 3,
+        requests,
+        seed: 17181601655841544024,
+        jitter: true,
+        drop_p: 0.0,
+    }
 }
 
 fn world_config(plan: &Plan) -> WorldConfig {
@@ -52,7 +75,11 @@ fn world_config(plan: &Plan) -> WorldConfig {
 
 /// Runs a plan against any protocol node type and checks the shared safety
 /// properties; returns (grants, requests).
-fn run_plan<N>(plan: &Plan, build: impl Fn() -> N, order: impl Fn(&N) -> &adaptive_token_passing::core::OrderState) -> (u64, u64)
+fn run_plan<N>(
+    plan: &Plan,
+    build: impl Fn() -> N,
+    order: impl Fn(&N) -> &adaptive_token_passing::core::OrderState,
+) -> (u64, u64)
 where
     N: Node<Ext = Want> + EventSource,
 {
@@ -106,47 +133,77 @@ where
     (grants, requests)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+fn binary_body(plan: &Plan) {
+    let cfg = ProtocolConfig::default();
+    let (grants, requests) = run_plan(plan, || BinaryNode::new(cfg), |n| n.order());
+    assert_eq!(grants, requests, "every request granted exactly once");
+}
 
-    #[test]
-    fn binary_serves_everything_safely(plan in plan_strategy()) {
-        let cfg = ProtocolConfig::default();
-        let (grants, requests) = run_plan(&plan, || BinaryNode::new(cfg), |n| n.order());
-        prop_assert_eq!(grants, requests, "every request granted exactly once");
-    }
+fn ring_body(plan: &Plan) {
+    let cfg = ProtocolConfig::default();
+    let (grants, requests) = run_plan(plan, || RingNode::new(cfg), |n| n.order());
+    assert_eq!(grants, requests);
+}
 
-    #[test]
-    fn ring_serves_everything_safely(plan in plan_strategy()) {
-        let cfg = ProtocolConfig::default();
-        let (grants, requests) = run_plan(&plan, || RingNode::new(cfg), |n| n.order());
-        prop_assert_eq!(grants, requests);
+fn search_body(plan: &Plan) {
+    // The lazy-search protocol *depends* on gimmes for liveness, so only
+    // assert full service when nothing is dropped; safety must hold
+    // regardless.
+    let cfg = ProtocolConfig::default();
+    let (grants, requests) = run_plan(plan, || SearchNode::new(cfg), |n| n.order());
+    if plan.drop_p == 0.0 {
+        assert_eq!(grants, requests);
+    } else {
+        assert!(grants <= requests);
     }
+}
 
-    #[test]
-    fn search_is_safe_and_live_when_control_plane_works(plan in plan_strategy()) {
-        // The lazy-search protocol *depends* on gimmes for liveness, so only
-        // assert full service when nothing is dropped; safety must hold
-        // regardless.
-        let cfg = ProtocolConfig::default();
-        let (grants, requests) = run_plan(&plan, || SearchNode::new(cfg), |n| n.order());
-        if plan.drop_p == 0.0 {
-            prop_assert_eq!(grants, requests);
-        } else {
-            prop_assert!(grants <= requests);
-        }
-    }
+fn binary_all_optimizations_body(plan: &Plan) {
+    let cfg = ProtocolConfig::default()
+        .with_single_outstanding(true)
+        .with_adaptive_speed(true)
+        .with_serve_all_on_grant(true)
+        .with_probe_on_idle(true);
+    let (grants, requests) = run_plan(plan, || BinaryNode::new(cfg), |n| n.order());
+    assert_eq!(grants, requests);
+}
 
-    #[test]
-    fn binary_with_all_optimizations_is_still_safe(plan in plan_strategy()) {
-        let cfg = ProtocolConfig::default()
-            .with_single_outstanding(true)
-            .with_adaptive_speed(true)
-            .with_serve_all_on_grant(true)
-            .with_probe_on_idle(true);
-        let (grants, requests) = run_plan(&plan, || BinaryNode::new(cfg), |n| n.order());
-        prop_assert_eq!(grants, requests);
-    }
+#[test]
+fn binary_serves_everything_safely() {
+    Check::new("binary_serves_everything_safely")
+        .cases(48)
+        .run(plan, binary_body);
+}
+
+#[test]
+fn ring_serves_everything_safely() {
+    Check::new("ring_serves_everything_safely")
+        .cases(48)
+        .run(plan, ring_body);
+}
+
+#[test]
+fn search_is_safe_and_live_when_control_plane_works() {
+    Check::new("search_is_safe_and_live_when_control_plane_works")
+        .cases(48)
+        .run(plan, search_body);
+}
+
+#[test]
+fn binary_with_all_optimizations_is_still_safe() {
+    Check::new("binary_with_all_optimizations_is_still_safe")
+        .cases(48)
+        .run(plan, binary_all_optimizations_body);
+}
+
+/// Replays the checked-in shrunk counterexample through every property body.
+#[test]
+fn shrunk_burst_plan_regression() {
+    let plan = regression_plan();
+    binary_body(&plan);
+    ring_body(&plan);
+    search_body(&plan);
+    binary_all_optimizations_body(&plan);
 }
 
 #[test]
