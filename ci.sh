@@ -17,7 +17,28 @@ echo "== tests =="
 cargo test -q
 
 echo "== bench smoke =="
-cargo bench -q -p atp-bench --benches -- --smoke
+BENCH_LOG=$(mktemp)
+cargo bench -q -p atp-bench --benches -- --smoke | tee "$BENCH_LOG"
+
+echo "== sweep bench artifact =="
+# The sweep suite's JSON lines become the gate artifact for the parallel
+# executor's perf numbers.
+grep '^{"suite":"sweep"' "$BENCH_LOG" > BENCH_sweep.json
+rm -f "$BENCH_LOG"
+test -s BENCH_sweep.json
+echo "wrote BENCH_sweep.json ($(wc -l < BENCH_sweep.json) entries)"
+
+echo "== parallel determinism smoke =="
+# The same quick sweep at 1 and 4 workers must print byte-identical tables.
+OUT1=$(mktemp) OUT4=$(mktemp)
+ATP_THREADS=1 cargo run -q --release -p atp-sim --bin fig9 -- --quick 2>/dev/null > "$OUT1"
+ATP_THREADS=4 cargo run -q --release -p atp-sim --bin fig9 -- --quick 2>/dev/null > "$OUT4"
+cmp "$OUT1" "$OUT4"
+ATP_THREADS=1 cargo run -q --release -p atp-sim --bin table_fairness -- --quick 2>/dev/null > "$OUT1"
+ATP_THREADS=4 cargo run -q --release -p atp-sim --bin table_fairness -- --quick 2>/dev/null > "$OUT4"
+cmp "$OUT1" "$OUT4"
+rm -f "$OUT1" "$OUT4"
+echo "ATP_THREADS=1 and ATP_THREADS=4 outputs are byte-identical"
 
 echo "== dependency closure =="
 # Every line of `cargo tree` must be a workspace crate: atp-* or the

@@ -1,0 +1,63 @@
+//! Sweep-executor benchmarks (`harness = false`, suite `sweep`).
+//!
+//! Measures the two performance claims of the parallel executor work:
+//!
+//! 1. **Fan-out**: `fig9`/`fig10` quick-scale series pinned to 1 worker vs
+//!    the machine's full worker count (`atp_util::pool::worker_count`). On a
+//!    multi-core host the parallel variant should approach `1/cores` of the
+//!    serial time; on a single-core host the two are within noise, which the
+//!    JSON records honestly (`workers` is part of the benchmark name).
+//! 2. **Event-loop allocation cuts**: one full `run_experiment` drive at a
+//!    moderate size, dominated by the dispatch/drain hot path that now
+//!    reuses a single event buffer and a pre-sized queue.
+//!
+//! CI greps the `{"suite":"sweep",...}` lines from this target's output into
+//! `BENCH_sweep.json`; run with `--smoke` for a single untimed pass.
+
+use atp_sim::experiments::{fig10, fig9};
+use atp_sim::{run_experiment, ExperimentSpec, GlobalPoisson, Protocol};
+use atp_util::bench::{black_box, Runner};
+use atp_util::pool;
+
+fn main() {
+    let workers = pool::worker_count();
+    let mut r = Runner::from_args("sweep");
+
+    // Raw fan-out overhead: the pool itself must be far cheaper than one
+    // simulation point.
+    r.bench("par_map_noop_64", || {
+        let items: Vec<u64> = (0..64).collect();
+        black_box(pool::par_map(&items, |x| x.wrapping_mul(2654435761)))
+    });
+
+    r.bench("fig9_quick_serial", || {
+        pool::with_threads(1, || black_box(fig9::series(&fig9::Config::quick())))
+    });
+    r.bench(&format!("fig9_quick_parallel_{workers}w"), || {
+        pool::with_threads(workers, || black_box(fig9::series(&fig9::Config::quick())))
+    });
+
+    r.bench("fig10_quick_serial", || {
+        pool::with_threads(1, || black_box(fig10::series(&fig10::Config::quick())))
+    });
+    r.bench(&format!("fig10_quick_parallel_{workers}w"), || {
+        pool::with_threads(workers, || {
+            black_box(fig10::series(&fig10::Config::quick()))
+        })
+    });
+
+    // The drive loop itself: dominated by event dispatch + drain, i.e. the
+    // reusable-buffer and pre-sized-queue hot path.
+    r.bench("drive_binary_n64", || {
+        let spec = ExperimentSpec::new(Protocol::Binary, 64, 4_000).with_seed(21);
+        let mut wl = GlobalPoisson::new(10.0);
+        black_box(run_experiment(&spec, &mut wl).metrics.grants)
+    });
+    r.bench("drive_ring_n64", || {
+        let spec = ExperimentSpec::new(Protocol::Ring, 64, 4_000).with_seed(21);
+        let mut wl = GlobalPoisson::new(10.0);
+        black_box(run_experiment(&spec, &mut wl).metrics.grants)
+    });
+
+    r.finish();
+}

@@ -1262,6 +1262,10 @@ impl EventSource for BinaryNode {
         self.events.take()
     }
 
+    fn take_events_into(&mut self, out: &mut Vec<TokenEvent>) {
+        self.events.take_into(out);
+    }
+
     fn has_events(&self) -> bool {
         !self.events.is_empty()
     }

@@ -132,6 +132,18 @@ pub trait EventSource {
     /// Removes and returns all buffered events, oldest first.
     fn take_events(&mut self) -> Vec<TokenEvent>;
 
+    /// Drains all buffered events into `out`, oldest first, preserving
+    /// `out`'s existing contents and capacity.
+    ///
+    /// This is the hot-path variant: a driver dispatching millions of
+    /// events reuses one buffer instead of materializing a fresh `Vec`
+    /// per callback. Implementations backed by an internal buffer should
+    /// override the default (which round-trips through [`take_events`])
+    /// to move elements directly.
+    fn take_events_into(&mut self, out: &mut Vec<TokenEvent>) {
+        out.append(&mut self.take_events());
+    }
+
     /// Returns `true` if events are waiting.
     fn has_events(&self) -> bool;
 }
@@ -149,6 +161,12 @@ impl EventBuf {
 
     pub fn take(&mut self) -> Vec<TokenEvent> {
         std::mem::take(&mut self.events)
+    }
+
+    /// Moves all buffered events into `out`, retaining this buffer's
+    /// capacity for the next callback.
+    pub fn take_into(&mut self, out: &mut Vec<TokenEvent>) {
+        out.append(&mut self.events);
     }
 
     pub fn is_empty(&self) -> bool {
@@ -197,5 +215,31 @@ mod tests {
         assert_eq!(drained.len(), 2);
         assert!(buf.is_empty());
         assert!(matches!(drained[0], TokenEvent::Requested { .. }));
+    }
+
+    #[test]
+    fn take_into_appends_and_keeps_capacity() {
+        let mut buf = EventBuf::default();
+        let req = RequestId::new(NodeId::new(0), 1);
+        for t in 0..3 {
+            buf.push(TokenEvent::Requested {
+                req,
+                at: SimTime::from_ticks(t),
+            });
+        }
+        let cap_before = buf.events.capacity();
+        let mut out = vec![TokenEvent::StaleTokenDiscarded {
+            generation: 0,
+            at: SimTime::ZERO,
+        }];
+        buf.take_into(&mut out);
+        assert_eq!(out.len(), 4, "existing contents are preserved");
+        assert!(buf.is_empty());
+        assert_eq!(buf.events.capacity(), cap_before, "buffer keeps its capacity");
+        buf.push(TokenEvent::Requested {
+            req,
+            at: SimTime::from_ticks(9),
+        });
+        assert!(!buf.is_empty(), "buffer is reusable after draining");
     }
 }

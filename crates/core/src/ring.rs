@@ -568,6 +568,10 @@ impl EventSource for RingNode {
         self.events.take()
     }
 
+    fn take_events_into(&mut self, out: &mut Vec<TokenEvent>) {
+        self.events.take_into(out);
+    }
+
     fn has_events(&self) -> bool {
         !self.events.is_empty()
     }

@@ -35,6 +35,7 @@ pub struct WorldConfig {
     latency: Box<dyn LatencyModel>,
     drops: Box<dyn DropModel>,
     trace_capacity: usize,
+    queue_capacity: usize,
 }
 
 impl Default for WorldConfig {
@@ -44,6 +45,7 @@ impl Default for WorldConfig {
             latency: Box::new(ConstantLatency::default()),
             drops: Box::new(NoDrops),
             trace_capacity: 0,
+            queue_capacity: 0,
         }
     }
 }
@@ -81,6 +83,16 @@ impl WorldConfig {
     /// Retains the last `capacity` trace events (0 disables tracing).
     pub fn trace_capacity(mut self, capacity: usize) -> Self {
         self.trace_capacity = capacity;
+        self
+    }
+
+    /// Pre-sizes the event queue (0 = a small default based on ring size).
+    ///
+    /// Open-loop drivers that schedule every arrival up front should set
+    /// this (or call [`World::reserve_events`]) so the queue's backing heap
+    /// is allocated once instead of doubling its way up mid-run.
+    pub fn queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity;
         self
     }
 }
@@ -164,6 +176,13 @@ impl<N: Node> World<N> {
     pub fn from_nodes(nodes: Vec<N>, config: WorldConfig) -> Self {
         assert!(!nodes.is_empty(), "a world needs at least one node");
         let topology = Topology::ring(nodes.len());
+        // Steady state holds a handful of in-flight events per node (token,
+        // searches, timers); pre-size for that unless told otherwise.
+        let queue_capacity = if config.queue_capacity > 0 {
+            config.queue_capacity
+        } else {
+            4 * nodes.len() + 16
+        };
         World {
             slots: nodes
                 .into_iter()
@@ -174,7 +193,7 @@ impl<N: Node> World<N> {
                 })
                 .collect(),
             topology,
-            queue: BinaryHeap::new(),
+            queue: BinaryHeap::with_capacity(queue_capacity),
             now: SimTime::ZERO,
             seq: 0,
             latency: config.latency,
@@ -251,6 +270,19 @@ impl<N: Node> World<N> {
     /// Number of events currently queued.
     pub fn pending_events(&self) -> usize {
         self.queue.len()
+    }
+
+    /// Reserves queue capacity for at least `additional` more events.
+    ///
+    /// Drivers that know their stimulus count (e.g. a pre-generated
+    /// arrival schedule) call this once before the scheduling loop.
+    pub fn reserve_events(&mut self, additional: usize) {
+        self.queue.reserve(additional);
+    }
+
+    /// Current allocated capacity of the event queue.
+    pub fn event_capacity(&self) -> usize {
+        self.queue.capacity()
     }
 
     fn push(&mut self, time: SimTime, kind: EventKind<N::Msg, N::Ext>) {
@@ -660,6 +692,21 @@ mod tests {
     #[should_panic(expected = "at least one node")]
     fn empty_world_panics() {
         let _: World<Echo> = World::from_nodes(Vec::new(), WorldConfig::default());
+    }
+
+    #[test]
+    fn event_queue_is_presized_and_reservable() {
+        let w = world(8);
+        assert!(
+            w.event_capacity() >= 4 * 8 + 16,
+            "default pre-size missing: {}",
+            w.event_capacity()
+        );
+        let cfg = WorldConfig::default().queue_capacity(1024);
+        let mut w: World<Echo> = World::new(2, cfg);
+        assert!(w.event_capacity() >= 1024);
+        w.reserve_events(5000);
+        assert!(w.event_capacity() >= 5000);
     }
 
     #[test]

@@ -1,11 +1,22 @@
 //! Regenerates the paper's Figure 10 data series.
 //!
 //! Usage: `cargo run --release --bin fig10 [-- --quick]`
+//!
+//! The sweep fans out over `ATP_THREADS` workers (default: all cores); the
+//! table on stdout is byte-identical at any thread count. Timing goes to
+//! stderr so stdout stays comparable across runs.
 
 use atp_sim::experiments::fig10;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let config = if quick { fig10::Config::quick() } else { fig10::Config::paper() };
-    println!("{}", fig10::run(&config).render());
+    let start = std::time::Instant::now();
+    let table = fig10::run(&config);
+    eprintln!(
+        "fig10: {:.3}s on {} worker(s)",
+        start.elapsed().as_secs_f64(),
+        atp_util::pool::worker_count()
+    );
+    println!("{}", table.render());
 }

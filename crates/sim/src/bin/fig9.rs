@@ -1,11 +1,22 @@
 //! Regenerates the paper's Figure 9 data series.
 //!
 //! Usage: `cargo run --release --bin fig9 [-- --quick]`
+//!
+//! The sweep fans out over `ATP_THREADS` workers (default: all cores); the
+//! table on stdout is byte-identical at any thread count. Timing goes to
+//! stderr so stdout stays comparable across runs.
 
 use atp_sim::experiments::fig9;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let config = if quick { fig9::Config::quick() } else { fig9::Config::paper() };
-    println!("{}", fig9::run(&config).render());
+    let start = std::time::Instant::now();
+    let table = fig9::run(&config);
+    eprintln!(
+        "fig9: {:.3}s on {} worker(s)",
+        start.elapsed().as_secs_f64(),
+        atp_util::pool::worker_count()
+    );
+    println!("{}", table.render());
 }

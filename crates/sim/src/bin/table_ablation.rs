@@ -1,11 +1,22 @@
 //! Regenerates the `ablation` experiment table.
 //!
 //! Usage: `cargo run --release --bin table_ablation [-- --quick]`
+//!
+//! The sweep fans out over `ATP_THREADS` workers (default: all cores); the
+//! table on stdout is byte-identical at any thread count. Timing goes to
+//! stderr so stdout stays comparable across runs.
 
 use atp_sim::experiments::ablation;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let config = if quick { ablation::Config::quick() } else { ablation::Config::paper() };
-    println!("{}", ablation::run(&config).render());
+    let start = std::time::Instant::now();
+    let table = ablation::run(&config);
+    eprintln!(
+        "table_ablation: {:.3}s on {} worker(s)",
+        start.elapsed().as_secs_f64(),
+        atp_util::pool::worker_count()
+    );
+    println!("{}", table.render());
 }

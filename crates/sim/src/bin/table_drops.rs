@@ -1,11 +1,22 @@
 //! Regenerates the `drops` experiment table.
 //!
 //! Usage: `cargo run --release --bin table_drops [-- --quick]`
+//!
+//! The sweep fans out over `ATP_THREADS` workers (default: all cores); the
+//! table on stdout is byte-identical at any thread count. Timing goes to
+//! stderr so stdout stays comparable across runs.
 
 use atp_sim::experiments::drops;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let config = if quick { drops::Config::quick() } else { drops::Config::paper() };
-    println!("{}", drops::run(&config).render());
+    let start = std::time::Instant::now();
+    let table = drops::run(&config);
+    eprintln!(
+        "table_drops: {:.3}s on {} worker(s)",
+        start.elapsed().as_secs_f64(),
+        atp_util::pool::worker_count()
+    );
+    println!("{}", table.render());
 }

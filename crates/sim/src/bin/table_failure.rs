@@ -1,11 +1,22 @@
 //! Regenerates the `failure` experiment table.
 //!
 //! Usage: `cargo run --release --bin table_failure [-- --quick]`
+//!
+//! The sweep fans out over `ATP_THREADS` workers (default: all cores); the
+//! table on stdout is byte-identical at any thread count. Timing goes to
+//! stderr so stdout stays comparable across runs.
 
 use atp_sim::experiments::failure;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let config = if quick { failure::Config::quick() } else { failure::Config::paper() };
-    println!("{}", failure::run(&config).render());
+    let start = std::time::Instant::now();
+    let table = failure::run(&config);
+    eprintln!(
+        "table_failure: {:.3}s on {} worker(s)",
+        start.elapsed().as_secs_f64(),
+        atp_util::pool::worker_count()
+    );
+    println!("{}", table.render());
 }

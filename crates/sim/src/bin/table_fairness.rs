@@ -1,11 +1,22 @@
 //! Regenerates the `fairness` experiment table.
 //!
 //! Usage: `cargo run --release --bin table_fairness [-- --quick]`
+//!
+//! The sweep fans out over `ATP_THREADS` workers (default: all cores); the
+//! table on stdout is byte-identical at any thread count. Timing goes to
+//! stderr so stdout stays comparable across runs.
 
 use atp_sim::experiments::fairness;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let config = if quick { fairness::Config::quick() } else { fairness::Config::paper() };
-    println!("{}", fairness::run(&config).render());
+    let start = std::time::Instant::now();
+    let table = fairness::run(&config);
+    eprintln!(
+        "table_fairness: {:.3}s on {} worker(s)",
+        start.elapsed().as_secs_f64(),
+        atp_util::pool::worker_count()
+    );
+    println!("{}", table.render());
 }

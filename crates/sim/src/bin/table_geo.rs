@@ -1,11 +1,22 @@
 //! Regenerates the `geo` experiment table.
 //!
 //! Usage: `cargo run --release --bin table_geo [-- --quick]`
+//!
+//! The sweep fans out over `ATP_THREADS` workers (default: all cores); the
+//! table on stdout is byte-identical at any thread count. Timing goes to
+//! stderr so stdout stays comparable across runs.
 
 use atp_sim::experiments::geo;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let config = if quick { geo::Config::quick() } else { geo::Config::paper() };
-    println!("{}", geo::run(&config).render());
+    let start = std::time::Instant::now();
+    let table = geo::run(&config);
+    eprintln!(
+        "table_geo: {:.3}s on {} worker(s)",
+        start.elapsed().as_secs_f64(),
+        atp_util::pool::worker_count()
+    );
+    println!("{}", table.render());
 }

@@ -1,11 +1,22 @@
 //! Regenerates the `latency` experiment table.
 //!
 //! Usage: `cargo run --release --bin table_latency [-- --quick]`
+//!
+//! The sweep fans out over `ATP_THREADS` workers (default: all cores); the
+//! table on stdout is byte-identical at any thread count. Timing goes to
+//! stderr so stdout stays comparable across runs.
 
 use atp_sim::experiments::latency;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let config = if quick { latency::Config::quick() } else { latency::Config::paper() };
-    println!("{}", latency::run(&config).render());
+    let start = std::time::Instant::now();
+    let table = latency::run(&config);
+    eprintln!(
+        "table_latency: {:.3}s on {} worker(s)",
+        start.elapsed().as_secs_f64(),
+        atp_util::pool::worker_count()
+    );
+    println!("{}", table.render());
 }

@@ -1,11 +1,22 @@
 //! Regenerates the `messages` experiment table.
 //!
 //! Usage: `cargo run --release --bin table_messages [-- --quick]`
+//!
+//! The sweep fans out over `ATP_THREADS` workers (default: all cores); the
+//! table on stdout is byte-identical at any thread count. Timing goes to
+//! stderr so stdout stays comparable across runs.
 
 use atp_sim::experiments::messages;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let config = if quick { messages::Config::quick() } else { messages::Config::paper() };
-    println!("{}", messages::run(&config).render());
+    let start = std::time::Instant::now();
+    let table = messages::run(&config);
+    eprintln!(
+        "table_messages: {:.3}s on {} worker(s)",
+        start.elapsed().as_secs_f64(),
+        atp_util::pool::worker_count()
+    );
+    println!("{}", table.render());
 }

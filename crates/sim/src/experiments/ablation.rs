@@ -7,8 +7,8 @@
 use atp_core::{ProtocolConfig, SearchMode, TrapCleanup};
 
 use crate::report::{f2, Table};
-use crate::runner::{run_experiment, ExperimentSpec, Protocol, RunSummary};
-use crate::workload::GlobalPoisson;
+use crate::runner::{ExperimentSpec, Protocol};
+use crate::sweep::{run_points, PointSpec, WorkloadSpec};
 
 /// Parameters of the ablation run.
 #[derive(Debug, Clone)]
@@ -77,27 +77,31 @@ pub fn variants() -> Vec<(&'static str, ProtocolConfig)> {
     ]
 }
 
-fn measure(name: &str, cfg: ProtocolConfig, config: &Config) -> Variant {
-    let horizon = config.rounds * config.n as u64;
-    let spec = ExperimentSpec::new(Protocol::Binary, config.n, horizon)
-        .with_cfg(cfg)
-        .with_seed(config.seed);
-    let mut wl = GlobalPoisson::new(config.mean_gap);
-    let s: RunSummary = run_experiment(&spec, &mut wl);
-    Variant {
-        name: name.to_string(),
-        responsiveness: s.metrics.responsiveness.mean,
-        control_sent: s.net.control_sent,
-        token_sent: s.net.token_sent,
-        grants: s.metrics.grants,
-    }
-}
-
-/// Computes all ablation variants.
+/// Computes all ablation variants — one sweep point per variant.
 pub fn series(config: &Config) -> Vec<Variant> {
-    variants()
-        .into_iter()
-        .map(|(name, cfg)| measure(name, cfg, config))
+    let horizon = config.rounds * config.n as u64;
+    let variants = variants();
+    let points: Vec<PointSpec> = variants
+        .iter()
+        .map(|&(_, cfg)| {
+            PointSpec::new(
+                ExperimentSpec::new(Protocol::Binary, config.n, horizon)
+                    .with_cfg(cfg)
+                    .with_seed(config.seed),
+                WorkloadSpec::global_poisson(config.mean_gap),
+            )
+        })
+        .collect();
+    variants
+        .iter()
+        .zip(run_points(&points))
+        .map(|(&(name, _), s)| Variant {
+            name: name.to_string(),
+            responsiveness: s.metrics.responsiveness.mean,
+            control_sent: s.net.control_sent,
+            token_sent: s.net.token_sent,
+            grants: s.metrics.grants,
+        })
         .collect()
 }
 

@@ -9,8 +9,8 @@
 
 
 use crate::report::{f2, Table};
-use crate::runner::{run_experiment, ExperimentSpec, Protocol};
-use crate::workload::GlobalPoisson;
+use crate::runner::{ExperimentSpec, Protocol};
+use crate::sweep::{run_points, PointSpec, WorkloadSpec};
 
 /// Parameters of the loss sweep.
 #[derive(Debug, Clone)]
@@ -64,24 +64,30 @@ pub struct Point {
     pub dropped: u64,
 }
 
-/// Computes the loss-sweep series.
+/// Computes the loss-sweep series — one sweep point per drop probability.
 pub fn series(config: &Config) -> Vec<Point> {
     let horizon = config.rounds * config.n as u64;
-    config
+    let points: Vec<PointSpec> = config
         .drop_ps
         .iter()
         .map(|&p| {
-            let spec = ExperimentSpec::new(Protocol::Binary, config.n, horizon)
-                .with_seed(config.seed)
-                .with_control_drop(p);
-            let mut wl = GlobalPoisson::new(config.mean_gap);
-            let s = run_experiment(&spec, &mut wl);
-            Point {
-                drop_p: p,
-                binary: s.metrics.responsiveness.mean,
-                unserved: s.metrics.unserved,
-                dropped: s.net.control_dropped,
-            }
+            PointSpec::new(
+                ExperimentSpec::new(Protocol::Binary, config.n, horizon)
+                    .with_seed(config.seed)
+                    .with_control_drop(p),
+                WorkloadSpec::global_poisson(config.mean_gap),
+            )
+        })
+        .collect();
+    config
+        .drop_ps
+        .iter()
+        .zip(run_points(&points))
+        .map(|(&p, s)| Point {
+            drop_p: p,
+            binary: s.metrics.responsiveness.mean,
+            unserved: s.metrics.unserved,
+            dropped: s.net.control_dropped,
         })
         .collect()
 }

@@ -10,8 +10,8 @@ use atp_core::ProtocolConfig;
 use atp_net::{FailurePlan, NodeId, SimTime};
 
 use crate::report::Table;
-use crate::runner::{run_experiment, ExperimentSpec, Protocol};
-use crate::workload::SingleShot;
+use crate::runner::{ExperimentSpec, Protocol};
+use crate::sweep::{run_points, PointSpec, WorkloadSpec};
 
 /// Parameters of the failure experiment.
 #[derive(Debug, Clone)]
@@ -61,13 +61,12 @@ pub struct Scenario {
     pub stale_discards: u64,
 }
 
-fn scenario(
-    name: &str,
+fn scenario_spec(
     protocol: Protocol,
     config: &Config,
     failures: FailurePlan,
     request_at: u64,
-) -> Scenario {
+) -> PointSpec {
     let mut cfg = ProtocolConfig::default().with_record_log(false);
     cfg = if config.regen_timeout > 0 {
         cfg.with_regeneration(config.regen_timeout)
@@ -76,25 +75,20 @@ fn scenario(
     };
     let horizon = request_at + 200 * config.n as u64;
     let requester = NodeId::new(config.n as u32 / 2);
-    let spec = ExperimentSpec::new(protocol, config.n, horizon)
-        .with_cfg(cfg)
-        .with_seed(config.seed)
-        .with_failures(failures);
-    let mut wl = SingleShot::new(SimTime::from_ticks(request_at), requester);
-    let s = run_experiment(&spec, &mut wl);
-    Scenario {
-        name: name.to_string(),
-        protocol,
-        served: s.metrics.grants == 1,
-        wait_ticks: s.metrics.waiting.max,
-        regenerations: s.metrics.regenerations,
-        stale_discards: s.metrics.stale_discards,
-    }
+    PointSpec::new(
+        ExperimentSpec::new(protocol, config.n, horizon)
+            .with_cfg(cfg)
+            .with_seed(config.seed)
+            .with_failures(failures),
+        WorkloadSpec::single_shot(SimTime::from_ticks(request_at), requester),
+    )
 }
 
-/// Computes every failure scenario.
+/// Computes every failure scenario — one sweep point per (protocol,
+/// scenario) pair.
 pub fn series(config: &Config) -> Vec<Scenario> {
-    let mut out = Vec::new();
+    let mut points = Vec::new();
+    let mut names = Vec::new();
     // The token starts at node 0 in every protocol; crashing node 0 at t=1
     // kills the holder (ring/binary may have passed to node 1 by then, so we
     // also crash node 1 — the token dies either way).
@@ -114,23 +108,27 @@ pub fn series(config: &Config) -> Vec<Scenario> {
         .recover_at(SimTime::from_ticks(400), NodeId::new(1));
 
     for protocol in [Protocol::Ring, Protocol::Binary, Protocol::Search] {
-        out.push(scenario("crash-holder", protocol, config, crash_holder.clone(), 5));
-        out.push(scenario(
-            "crash-bystander",
-            protocol,
-            config,
-            crash_bystander.clone(),
-            5,
-        ));
-        out.push(scenario(
-            "crash-then-recover",
-            protocol,
-            config,
-            crash_recover.clone(),
-            5,
-        ));
+        for (name, plan) in [
+            ("crash-holder", &crash_holder),
+            ("crash-bystander", &crash_bystander),
+            ("crash-then-recover", &crash_recover),
+        ] {
+            names.push((name, protocol));
+            points.push(scenario_spec(protocol, config, plan.clone(), 5));
+        }
     }
-    out
+    names
+        .into_iter()
+        .zip(run_points(&points))
+        .map(|((name, protocol), s)| Scenario {
+            name: name.to_string(),
+            protocol,
+            served: s.metrics.grants == 1,
+            wait_ticks: s.metrics.waiting.max,
+            regenerations: s.metrics.regenerations,
+            stale_discards: s.metrics.stale_discards,
+        })
+        .collect()
 }
 
 /// Runs the experiment and renders the table.

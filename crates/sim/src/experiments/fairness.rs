@@ -8,12 +8,11 @@
 //! Jain index of grants under a symmetric all-nodes load.
 
 use atp_net::{NodeId, SimTime};
-use atp_util::rng::StdRng;
 
 use crate::report::{f2, Table};
-use crate::runner::{run_experiment, ExperimentSpec, Protocol};
+use crate::runner::{ExperimentSpec, Protocol};
 use crate::stats::log2;
-use crate::workload::{Arrival, PerNodePoisson, Workload};
+use crate::sweep::{run_points, PointSpec, WorkloadSpec};
 
 /// Parameters of the fairness experiment.
 #[derive(Debug, Clone)]
@@ -50,44 +49,6 @@ impl Config {
     }
 }
 
-/// Hog-and-waiter workload: `hog` requests every `gap` ticks; `waiter`
-/// requests once at `waiter_at`.
-#[derive(Debug, Clone)]
-struct HogAndWaiter {
-    hog: NodeId,
-    gap: u64,
-    waiter: NodeId,
-    waiter_at: SimTime,
-}
-
-impl Workload for HogAndWaiter {
-    fn arrivals(&mut self, _n: usize, horizon: SimTime, _rng: &mut StdRng) -> Vec<Arrival> {
-        let mut out = Vec::new();
-        let mut t = 1;
-        let mut payload = 0;
-        while t <= horizon.ticks() {
-            payload += 1;
-            out.push(Arrival {
-                at: SimTime::from_ticks(t),
-                node: self.hog,
-                payload,
-            });
-            t += self.gap.max(1);
-        }
-        out.push(Arrival {
-            at: self.waiter_at,
-            node: self.waiter,
-            payload: payload + 1,
-        });
-        out.sort_by_key(|a| a.at);
-        out
-    }
-
-    fn label(&self) -> String {
-        format!("hog({})+waiter({})", self.hog, self.waiter)
-    }
-}
-
 /// One row of the fairness table.
 #[derive(Debug, Clone)]
 pub struct Point {
@@ -102,34 +63,40 @@ pub struct Point {
 }
 
 /// Computes the fairness table rows.
+///
+/// Two points per protocol — the adversarial hog-and-waiter run and a
+/// symmetric load for the Jain index — all fanned out in one sweep.
 pub fn series(config: &Config) -> Vec<Point> {
     let bound = config.n as f64 + log2(config.n);
-    Protocol::ALL
-        .iter()
-        .map(|&protocol| {
-            // Adversarial: hog at 2, waiter across the ring.
-            let mut wl = HogAndWaiter {
+    let mut points = Vec::with_capacity(2 * Protocol::ALL.len());
+    for protocol in Protocol::ALL {
+        // Adversarial: hog at 2, waiter across the ring.
+        points.push(PointSpec::new(
+            ExperimentSpec::new(protocol, config.n, config.horizon).with_seed(config.seed),
+            WorkloadSpec::HogAndWaiter {
                 hog: NodeId::new(2),
                 gap: config.hog_gap,
                 waiter: NodeId::new((config.n as u32) / 2 + 2),
                 waiter_at: SimTime::from_ticks(config.horizon / 2),
-            };
-            let spec = ExperimentSpec::new(protocol, config.n, config.horizon)
-                .with_seed(config.seed);
-            let s = run_experiment(&spec, &mut wl);
-            let max_other_grants = s.metrics.other_grants_while_waiting.max;
-
-            // Symmetric load for the Jain index.
-            let mut sym = PerNodePoisson::new(config.n as f64 * 4.0);
-            let spec = ExperimentSpec::new(protocol, config.n, config.horizon)
-                .with_seed(config.seed + 1);
-            let s2 = run_experiment(&spec, &mut sym);
-            Point {
-                protocol,
-                max_other_grants,
-                bound,
-                jain_symmetric: s2.metrics.jain,
-            }
+            },
+        ));
+        // Symmetric load for the Jain index.
+        points.push(PointSpec::new(
+            ExperimentSpec::new(protocol, config.n, config.horizon).with_seed(config.seed + 1),
+            WorkloadSpec::PerNodePoisson {
+                mean_gap: config.n as f64 * 4.0,
+            },
+        ));
+    }
+    let summaries = run_points(&points);
+    Protocol::ALL
+        .iter()
+        .zip(summaries.chunks_exact(2))
+        .map(|(&protocol, pair)| Point {
+            protocol,
+            max_other_grants: pair[0].metrics.other_grants_while_waiting.max,
+            bound,
+            jain_symmetric: pair[1].metrics.jain,
         })
         .collect()
 }

@@ -7,9 +7,9 @@
 
 
 use crate::report::{f2, Table};
-use crate::runner::{run_experiment, ExperimentSpec, Protocol};
+use crate::runner::{ExperimentSpec, Protocol};
 use crate::stats::log2;
-use crate::workload::GlobalPoisson;
+use crate::sweep::{run_points, PointSpec, WorkloadSpec};
 
 /// Parameters of the Figure 10 sweep.
 #[derive(Debug, Clone)]
@@ -58,23 +58,28 @@ pub struct Point {
 }
 
 /// Computes the Figure 10 series.
+///
+/// Two points (ring, binary) per load level, fanned out in one sweep.
 pub fn series(config: &Config) -> Vec<Point> {
     let horizon = config.rounds * config.n as u64;
+    let mut points = Vec::with_capacity(2 * config.gaps.len());
+    for &gap in &config.gaps {
+        for protocol in [Protocol::Ring, Protocol::Binary] {
+            points.push(PointSpec::new(
+                ExperimentSpec::new(protocol, config.n, horizon).with_seed(config.seed),
+                WorkloadSpec::global_poisson(gap),
+            ));
+        }
+    }
+    let summaries = run_points(&points);
     config
         .gaps
         .iter()
-        .map(|&gap| {
-            let measure = |protocol: Protocol| {
-                let spec =
-                    ExperimentSpec::new(protocol, config.n, horizon).with_seed(config.seed);
-                let mut wl = GlobalPoisson::new(gap);
-                run_experiment(&spec, &mut wl).metrics.responsiveness.mean
-            };
-            Point {
-                gap,
-                ring: measure(Protocol::Ring),
-                binary: measure(Protocol::Binary),
-            }
+        .zip(summaries.chunks_exact(2))
+        .map(|(&gap, pair)| Point {
+            gap,
+            ring: pair[0].metrics.responsiveness.mean,
+            binary: pair[1].metrics.responsiveness.mean,
         })
         .collect()
 }

@@ -8,9 +8,9 @@
 
 
 use crate::report::{f2, Table};
-use crate::runner::{run_experiment, ExperimentSpec, Protocol};
+use crate::runner::{ExperimentSpec, Protocol};
 use crate::stats::log2;
-use crate::workload::GlobalPoisson;
+use crate::sweep::{run_points, PointSpec, WorkloadSpec};
 
 /// Parameters of the Figure 9 sweep.
 #[derive(Debug, Clone)]
@@ -61,23 +61,29 @@ pub struct Point {
 }
 
 /// Computes the Figure 9 series.
+///
+/// Two points (ring, binary) per ring size, fanned out in one sweep.
 pub fn series(config: &Config) -> Vec<Point> {
+    let mut points = Vec::with_capacity(2 * config.ns.len());
+    for &n in &config.ns {
+        let horizon = config.rounds * n as u64;
+        for protocol in [Protocol::Ring, Protocol::Binary] {
+            points.push(PointSpec::new(
+                ExperimentSpec::new(protocol, n, horizon).with_seed(config.seed),
+                WorkloadSpec::global_poisson(config.mean_gap),
+            ));
+        }
+    }
+    let summaries = run_points(&points);
     config
         .ns
         .iter()
-        .map(|&n| {
-            let horizon = config.rounds * n as u64;
-            let measure = |protocol: Protocol| {
-                let spec = ExperimentSpec::new(protocol, n, horizon).with_seed(config.seed);
-                let mut wl = GlobalPoisson::new(config.mean_gap);
-                run_experiment(&spec, &mut wl).metrics.responsiveness.mean
-            };
-            Point {
-                n,
-                ring: measure(Protocol::Ring),
-                binary: measure(Protocol::Binary),
-                log2n: log2(n),
-            }
+        .zip(summaries.chunks_exact(2))
+        .map(|(&n, pair)| Point {
+            n,
+            ring: pair[0].metrics.responsiveness.mean,
+            binary: pair[1].metrics.responsiveness.mean,
+            log2n: log2(n),
         })
         .collect()
 }

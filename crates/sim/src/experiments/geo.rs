@@ -13,8 +13,8 @@
 
 
 use crate::report::{f2, Table};
-use crate::runner::{run_experiment_with_latency, ExperimentSpec, Protocol};
-use crate::workload::GlobalPoisson;
+use crate::runner::{ExperimentSpec, Protocol};
+use crate::sweep::{run_points, PointSpec, WorkloadSpec};
 use atp_net::{NodeId, PerLinkLatency, Topology};
 
 /// Parameters of the geographic sweep.
@@ -81,31 +81,31 @@ pub struct Point {
     pub binary: f64,
 }
 
-/// Computes the geographic series.
+/// Computes the geographic series — two sweep points (ring, binary) per
+/// distance divisor, each carrying its own latency matrix.
 pub fn series(config: &Config) -> Vec<Point> {
     let horizon = config.rounds * config.n as u64;
+    let mut points = Vec::with_capacity(2 * config.distance_divisors.len());
+    for &divisor in &config.distance_divisors {
+        for protocol in [Protocol::Ring, Protocol::Binary] {
+            points.push(
+                PointSpec::new(
+                    ExperimentSpec::new(protocol, config.n, horizon).with_seed(config.seed),
+                    WorkloadSpec::global_poisson(config.mean_gap),
+                )
+                .with_latency_matrix(geo_latency(config.n, divisor)),
+            );
+        }
+    }
+    let summaries = run_points(&points);
     config
         .distance_divisors
         .iter()
-        .map(|&divisor| {
-            let measure = |protocol: Protocol| {
-                let spec =
-                    ExperimentSpec::new(protocol, config.n, horizon).with_seed(config.seed);
-                let mut wl = GlobalPoisson::new(config.mean_gap);
-                run_experiment_with_latency(
-                    &spec,
-                    &mut wl,
-                    geo_latency(config.n, divisor),
-                )
-                .metrics
-                .responsiveness
-                .mean
-            };
-            Point {
-                divisor,
-                ring: measure(Protocol::Ring),
-                binary: measure(Protocol::Binary),
-            }
+        .zip(summaries.chunks_exact(2))
+        .map(|(&divisor, pair)| Point {
+            divisor,
+            ring: pair[0].metrics.responsiveness.mean,
+            binary: pair[1].metrics.responsiveness.mean,
         })
         .collect()
 }

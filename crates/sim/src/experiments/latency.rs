@@ -5,8 +5,8 @@
 
 
 use crate::report::{f2, Table};
-use crate::runner::{run_experiment, ExperimentSpec, Protocol};
-use crate::workload::GlobalPoisson;
+use crate::runner::{ExperimentSpec, Protocol};
+use crate::sweep::{run_points, PointSpec, WorkloadSpec};
 
 /// Parameters of the jitter sweep.
 #[derive(Debug, Clone)]
@@ -60,29 +60,37 @@ pub struct Point {
     pub binary_normalized: f64,
 }
 
-/// Computes the jitter series.
+/// Computes the jitter series — two sweep points (ring, binary) per
+/// latency distribution.
 pub fn series(config: &Config) -> Vec<Point> {
+    let mut points = Vec::with_capacity(2 * config.latencies.len());
+    for &(lo, hi) in &config.latencies {
+        let mean_delay = (lo + hi) as f64 / 2.0;
+        // Scale the horizon and the request gap with the mean delay so
+        // the *relative* load stays constant across points.
+        let horizon = (config.rounds as f64 * config.n as f64 * mean_delay) as u64;
+        let gap = config.mean_gap * mean_delay;
+        for protocol in [Protocol::Ring, Protocol::Binary] {
+            points.push(PointSpec::new(
+                ExperimentSpec::new(protocol, config.n, horizon)
+                    .with_seed(config.seed)
+                    .with_latency(lo, hi),
+                WorkloadSpec::global_poisson(gap),
+            ));
+        }
+    }
+    let summaries = run_points(&points);
     config
         .latencies
         .iter()
-        .map(|&(lo, hi)| {
+        .zip(summaries.chunks_exact(2))
+        .map(|(&(lo, hi), pair)| {
             let mean_delay = (lo + hi) as f64 / 2.0;
-            // Scale the horizon and the request gap with the mean delay so
-            // the *relative* load stays constant across points.
-            let horizon = (config.rounds as f64 * config.n as f64 * mean_delay) as u64;
-            let gap = config.mean_gap * mean_delay;
-            let measure = |protocol: Protocol| {
-                let spec = ExperimentSpec::new(protocol, config.n, horizon)
-                    .with_seed(config.seed)
-                    .with_latency(lo, hi);
-                let mut wl = GlobalPoisson::new(gap);
-                run_experiment(&spec, &mut wl).metrics.responsiveness.mean / mean_delay
-            };
             Point {
                 latency: (lo, hi),
                 mean_delay,
-                ring_normalized: measure(Protocol::Ring),
-                binary_normalized: measure(Protocol::Binary),
+                ring_normalized: pair[0].metrics.responsiveness.mean / mean_delay,
+                binary_normalized: pair[1].metrics.responsiveness.mean / mean_delay,
             }
         })
         .collect()

@@ -10,9 +10,9 @@ use atp_core::{ProtocolConfig, SearchMode};
 use atp_net::{NodeId, SimTime};
 
 use crate::report::{f2, Table};
-use crate::runner::{run_experiment, ExperimentSpec, Protocol};
+use crate::runner::{ExperimentSpec, Protocol};
 use crate::stats::log2;
-use crate::workload::SingleShot;
+use crate::sweep::{run_points, PointSpec, WorkloadSpec};
 
 /// Parameters of the message-complexity sweep.
 #[derive(Debug, Clone)]
@@ -60,47 +60,71 @@ pub struct Point {
     pub log2n: f64,
 }
 
-fn mean_search_msgs(
+/// One probe of `trials` for a given protocol variant: single shot from a
+/// requester spread around the ring.
+fn probe_specs(
     protocol: Protocol,
     cfg: ProtocolConfig,
     n: usize,
     trials: usize,
     seed: u64,
-) -> f64 {
-    let mut total = 0u64;
+    out: &mut Vec<PointSpec>,
+) {
     for t in 0..trials {
         // Spread requesters and request times around the ring.
         let node = NodeId::new(((t * n) / trials) as u32);
         let at = SimTime::from_ticks(3 + 2 * t as u64);
-        let spec = ExperimentSpec::new(protocol, n, at.ticks() + 8 * n as u64)
-            .with_cfg(cfg)
-            .with_seed(seed + t as u64);
-        let mut wl = SingleShot::new(at, node);
-        let s = run_experiment(&spec, &mut wl);
-        assert_eq!(s.metrics.grants, 1, "single shot must be served");
-        total += s.net.control_sent;
+        out.push(PointSpec::new(
+            ExperimentSpec::new(protocol, n, at.ticks() + 8 * n as u64)
+                .with_cfg(cfg)
+                .with_seed(seed + t as u64),
+            WorkloadSpec::single_shot(at, node),
+        ));
     }
-    total as f64 / trials as f64
 }
 
 /// Computes the message-complexity series.
+///
+/// Three variants × `trials` probes per ring size, all fanned out in one
+/// sweep; the mean over each variant's probes becomes the table cell.
 pub fn series(config: &Config) -> Vec<Point> {
     let base = ProtocolConfig::default().with_record_log(false);
+    let variants = [
+        (Protocol::Binary, base),
+        (Protocol::Binary, base.with_search_mode(SearchMode::Directed)),
+        (Protocol::Search, base),
+    ];
+    let mut points = Vec::with_capacity(config.ns.len() * variants.len() * config.trials);
+    for &n in &config.ns {
+        for &(protocol, cfg) in &variants {
+            probe_specs(protocol, cfg, n, config.trials, config.seed, &mut points);
+        }
+    }
+    let summaries = run_points(&points);
+    let mean_msgs = |chunk: &[crate::runner::RunSummary]| {
+        let total: u64 = chunk
+            .iter()
+            .map(|s| {
+                assert_eq!(s.metrics.grants, 1, "single shot must be served");
+                s.net.control_sent
+            })
+            .sum();
+        total as f64 / chunk.len() as f64
+    };
     config
         .ns
         .iter()
-        .map(|&n| Point {
-            n,
-            delegated: mean_search_msgs(Protocol::Binary, base, n, config.trials, config.seed),
-            directed: mean_search_msgs(
-                Protocol::Binary,
-                base.with_search_mode(SearchMode::Directed),
+        .zip(summaries.chunks_exact(variants.len() * config.trials))
+        .map(|(&n, per_n)| {
+            let (delegated, rest) = per_n.split_at(config.trials);
+            let (directed, linear) = rest.split_at(config.trials);
+            Point {
                 n,
-                config.trials,
-                config.seed,
-            ),
-            linear: mean_search_msgs(Protocol::Search, base, n, config.trials, config.seed),
-            log2n: log2(n),
+                delegated: mean_msgs(delegated),
+                directed: mean_msgs(directed),
+                linear: mean_msgs(linear),
+                log2n: log2(n),
+            }
         })
         .collect()
 }

@@ -8,8 +8,8 @@
 
 
 use crate::report::{f2, Table};
-use crate::runner::{run_experiment, ExperimentSpec, Protocol};
-use crate::workload::Saturated;
+use crate::runner::{ExperimentSpec, Protocol};
+use crate::sweep::{run_points, PointSpec, WorkloadSpec};
 
 /// Parameters of the throughput sweep.
 #[derive(Debug, Clone)]
@@ -61,25 +61,34 @@ pub struct Point {
     pub control_msgs_per_grant: f64,
 }
 
-/// Computes the throughput table.
+/// Computes the throughput table — one sweep point per (n, protocol).
 pub fn series(config: &Config) -> Vec<Point> {
-    let mut out = Vec::new();
+    let mut points = Vec::with_capacity(config.ns.len() * Protocol::ALL.len());
+    let mut keys = Vec::with_capacity(points.capacity());
     for &n in &config.ns {
         for protocol in Protocol::ALL {
-            let spec = ExperimentSpec::new(protocol, n, config.horizon).with_seed(config.seed);
-            let mut wl = Saturated::new(config.think);
-            let s = run_experiment(&spec, &mut wl);
+            keys.push((n, protocol));
+            points.push(PointSpec::new(
+                ExperimentSpec::new(protocol, n, config.horizon).with_seed(config.seed),
+                WorkloadSpec::Saturated {
+                    think: config.think,
+                },
+            ));
+        }
+    }
+    keys.into_iter()
+        .zip(run_points(&points))
+        .map(|((n, protocol), s)| {
             let grants = s.metrics.grants.max(1) as f64;
-            out.push(Point {
+            Point {
                 n,
                 protocol,
                 grants_per_kilotick: 1000.0 * grants / s.duration_ticks.max(1) as f64,
                 token_msgs_per_grant: s.net.token_sent as f64 / grants,
                 control_msgs_per_grant: s.net.control_sent as f64 / grants,
-            });
-        }
-    }
-    out
+            }
+        })
+        .collect()
 }
 
 /// Runs the sweep and renders the table.

@@ -7,9 +7,9 @@
 use atp_net::{NodeId, SimTime};
 
 use crate::report::{f2, Table};
-use crate::runner::{run_experiment, ExperimentSpec, Protocol};
+use crate::runner::{ExperimentSpec, Protocol};
 use crate::stats::log2;
-use crate::workload::SingleShot;
+use crate::sweep::{run_points, PointSpec, WorkloadSpec};
 
 /// Parameters of the worst-case sweep.
 #[derive(Debug, Clone)]
@@ -57,9 +57,8 @@ pub struct Point {
     pub log2n: f64,
 }
 
-fn worst_wait(protocol: Protocol, n: usize, positions: usize, seed: u64) -> u64 {
+fn probe_specs(protocol: Protocol, n: usize, positions: usize, seed: u64, out: &mut Vec<PointSpec>) {
     let probes = if positions == 0 { n } else { positions.min(n) };
-    let mut worst = 0;
     for k in 0..probes {
         let node = NodeId::new(((k * n) / probes) as u32);
         // Measure the steady state: wait one full rotation so every node
@@ -67,27 +66,56 @@ fn worst_wait(protocol: Protocol, n: usize, positions: usize, seed: u64) -> u64 
         // the rotating token.
         let warm = 2 * n as u64;
         let at = SimTime::from_ticks(warm + 2 + (k as u64 * 7) % (n as u64));
-        let spec = ExperimentSpec::new(protocol, n, at.ticks() + 8 * n as u64)
-            .with_seed(seed + k as u64);
-        let mut wl = SingleShot::new(at, node);
-        let s = run_experiment(&spec, &mut wl);
-        assert_eq!(s.metrics.grants, 1);
-        worst = worst.max(s.metrics.waiting.max);
+        out.push(PointSpec::new(
+            ExperimentSpec::new(protocol, n, at.ticks() + 8 * n as u64).with_seed(seed + k as u64),
+            WorkloadSpec::single_shot(at, node),
+        ));
     }
-    worst
 }
 
 /// Computes the worst-case series.
+///
+/// Every (protocol, position) probe is one sweep point; the per-protocol
+/// maximum over its probes is the worst case.
 pub fn series(config: &Config) -> Vec<Point> {
+    let mut points = Vec::new();
+    for &n in &config.ns {
+        for protocol in Protocol::ALL {
+            probe_specs(protocol, n, config.positions, config.seed, &mut points);
+        }
+    }
+    let summaries = run_points(&points);
+    let worst = |chunk: &[crate::runner::RunSummary]| {
+        chunk
+            .iter()
+            .map(|s| {
+                assert_eq!(s.metrics.grants, 1);
+                s.metrics.waiting.max
+            })
+            .max()
+            .unwrap_or(0)
+    };
+    let mut offset = 0;
     config
         .ns
         .iter()
-        .map(|&n| Point {
-            n,
-            ring_worst: worst_wait(Protocol::Ring, n, config.positions, config.seed),
-            search_worst: worst_wait(Protocol::Search, n, config.positions, config.seed),
-            binary_worst: worst_wait(Protocol::Binary, n, config.positions, config.seed),
-            log2n: log2(n),
+        .map(|&n| {
+            let probes = if config.positions == 0 {
+                n
+            } else {
+                config.positions.min(n)
+            };
+            let per_protocol: Vec<_> = (0..Protocol::ALL.len())
+                .map(|i| worst(&summaries[offset + i * probes..offset + (i + 1) * probes]))
+                .collect();
+            offset += Protocol::ALL.len() * probes;
+            Point {
+                n,
+                ring_worst: per_protocol[0],
+                search_worst: per_protocol[1],
+                binary_worst: per_protocol[2],
+                log2n: log2(n),
+            }
         })
         .collect()
 }

@@ -12,6 +12,9 @@
 //!   complexity and failure counters.
 //! * [`runner`] — drives a protocol inside an [`atp_net::World`], feeding
 //!   arrivals in and streaming [`atp_core::TokenEvent`]s out to the metrics.
+//! * [`sweep`] — the deterministic parallel executor: experiments express a
+//!   sweep as a flat `Vec<PointSpec>` and fan it out over
+//!   [`atp_util::pool`]; serial and parallel runs are byte-identical.
 //! * [`experiments`] — one module per paper artifact (`fig9`, `fig10`,
 //!   message complexity, fairness, worst case, optimization ablation,
 //!   failure recovery), each able to render the same rows/series the paper
@@ -33,10 +36,13 @@ pub mod metrics;
 pub mod report;
 pub mod runner;
 pub mod stats;
+pub mod sweep;
 pub mod workload;
 
 pub use metrics::Metrics;
 pub use runner::{run_experiment, run_experiment_with_latency, ExperimentSpec, Protocol, RunSummary};
+pub use sweep::{run_points, PointSpec, WorkloadSpec};
 pub use workload::{
-    Arrival, Bursty, GlobalPoisson, Hotspot, PerNodePoisson, Saturated, SingleShot, Workload,
+    Arrival, Bursty, GlobalPoisson, HogAndWaiter, Hotspot, PerNodePoisson, Saturated, SingleShot,
+    Workload,
 };

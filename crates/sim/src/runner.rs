@@ -275,11 +275,16 @@ fn drive<N: ProtocolNode>(
     let horizon = SimTime::from_ticks(spec.horizon_ticks);
     let deadline = horizon.saturating_add(spec.grace_ticks);
     let mut rng = StdRng::seed_from_u64(spec.seed ^ 0x9e37_79b9_7f4a_7c15);
-    for a in workload.arrivals(spec.n, horizon, &mut rng) {
+    let arrivals = workload.arrivals(spec.n, horizon, &mut rng);
+    world.reserve_events(arrivals.len());
+    for a in arrivals {
         world.schedule_external(a.at, a.node, Want::new(a.payload));
     }
 
     let mut metrics = Metrics::new(spec.n);
+    // One drain buffer for the whole run: each dispatch moves the node's
+    // buffered events here instead of allocating a fresh Vec per step.
+    let mut drained: Vec<TokenEvent> = Vec::new();
     loop {
         match world.step() {
             StepOutcome::Quiescent => break,
@@ -289,8 +294,9 @@ fn drive<N: ProtocolNode>(
                 }
             }
             StepOutcome::Dispatched { node, at } => {
-                let events = world.node_mut(node).take_events();
-                for ev in &events {
+                drained.clear();
+                world.node_mut(node).take_events_into(&mut drained);
+                for ev in &drained {
                     metrics.on_event(node, ev);
                     if let TokenEvent::Released { .. } = ev {
                         if let Some(arr) = workload.on_release(node, at, &mut rng) {
@@ -309,11 +315,17 @@ fn drive<N: ProtocolNode>(
             }
         }
     }
-    // Collect any events buffered at nodes that did not dispatch again.
+    // Collect events buffered at nodes that did not dispatch again; most
+    // nodes have none, so check before touching them mutably.
     for i in 0..world.len() {
         let node = NodeId::new(i as u32);
-        for ev in world.node_mut(node).take_events() {
-            metrics.on_event(node, &ev);
+        if !world.node(node).has_events() {
+            continue;
+        }
+        drained.clear();
+        world.node_mut(node).take_events_into(&mut drained);
+        for ev in &drained {
+            metrics.on_event(node, ev);
         }
     }
 

@@ -20,6 +20,9 @@
 //!   laws) ported over mechanically.
 //! * [`bench`] — a micro-benchmark harness (warmup, timed iterations,
 //!   median/MAD, JSON output, `--smoke` mode) replacing `criterion`.
+//! * [`pool`] — a scoped thread pool with an index-ordered, panic-
+//!   propagating [`pool::par_map`] (worker count from `ATP_THREADS`),
+//!   the fan-out layer under the simulator's parallel sweep executor.
 //!
 //! The point of the crate is hermeticity: `CARGO_NET_OFFLINE=true
 //! cargo build --release && cargo test -q` must pass on a machine with
@@ -33,4 +36,5 @@ pub mod buf;
 pub mod check;
 pub mod dist;
 pub mod json;
+pub mod pool;
 pub mod rng;

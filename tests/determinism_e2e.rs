@@ -3,8 +3,11 @@
 //! order) must be byte-identical across reruns with the same seed, and the
 //! seed must actually matter — different seeds give different traces.
 
+use adaptive_token_passing::sim::experiments::{fairness, fig9};
 use adaptive_token_passing::sim::runner::{run_experiment, ExperimentSpec, Protocol};
+use adaptive_token_passing::sim::sweep::{run_points, PointSpec, WorkloadSpec};
 use adaptive_token_passing::sim::workload::GlobalPoisson;
+use adaptive_token_passing::util::pool;
 
 fn summary_json(protocol: Protocol, seed: u64) -> String {
     let spec = ExperimentSpec::new(protocol, 24, 4_000)
@@ -48,4 +51,71 @@ fn protocols_produce_distinct_summaries()
     assert_ne!(ring, search);
     assert_ne!(search, binary);
     assert_ne!(ring, binary);
+}
+
+/// The parallel sweep executor must not change results: the Figure 9 series
+/// and its rendered table are byte-identical whether the sweep runs on one
+/// worker or eight (the in-process equivalent of `ATP_THREADS=1` vs
+/// `ATP_THREADS=8`).
+#[test]
+fn fig9_series_is_identical_serial_vs_parallel() {
+    let cfg = fig9::Config::quick();
+    let serial_table = pool::with_threads(1, || fig9::run(&cfg).render());
+    let parallel_table = pool::with_threads(8, || fig9::run(&cfg).render());
+    assert_eq!(serial_table, parallel_table, "rendered Figure 9 diverged");
+
+    let serial: Vec<(usize, u64, u64)> = pool::with_threads(1, || {
+        fig9::series(&cfg)
+            .iter()
+            .map(|p| (p.n, p.ring.to_bits(), p.binary.to_bits()))
+            .collect()
+    });
+    let parallel = pool::with_threads(8, || {
+        fig9::series(&cfg)
+            .iter()
+            .map(|p| (p.n, p.ring.to_bits(), p.binary.to_bits()))
+            .collect::<Vec<_>>()
+    });
+    assert_eq!(serial, parallel, "Figure 9 series values diverged (bitwise)");
+}
+
+/// Same check for a table experiment that mixes workload kinds (the
+/// fairness table runs hog-and-waiter and per-node-Poisson points).
+#[test]
+fn fairness_table_is_identical_serial_vs_parallel() {
+    let cfg = fairness::Config::quick();
+    let serial = pool::with_threads(1, || fairness::run(&cfg).render());
+    let parallel = pool::with_threads(8, || fairness::run(&cfg).render());
+    assert_eq!(serial, parallel, "rendered fairness table diverged");
+}
+
+/// At the `run_points` layer: the full `RunSummary::to_json` strings — every
+/// metric, counter and duration — are byte-identical at any worker count.
+#[test]
+fn run_points_json_is_identical_serial_vs_parallel() {
+    let points: Vec<PointSpec> = Protocol::ALL
+        .iter()
+        .flat_map(|&protocol| {
+            (0..4).map(move |k| {
+                PointSpec::new(
+                    ExperimentSpec::new(protocol, 16, 2_000)
+                        .with_seed(100 + k)
+                        .with_latency(1, 3),
+                    WorkloadSpec::global_poisson(6.0 + k as f64),
+                )
+            })
+        })
+        .collect();
+    let json = |threads: usize| {
+        pool::with_threads(threads, || {
+            run_points(&points)
+                .iter()
+                .map(|s| s.to_json())
+                .collect::<Vec<String>>()
+        })
+    };
+    let serial = json(1);
+    let parallel = json(8);
+    assert_eq!(serial.len(), points.len());
+    assert_eq!(serial, parallel, "RunSummary JSON diverged across thread counts");
 }
