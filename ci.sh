@@ -40,6 +40,14 @@ cmp "$OUT1" "$OUT4"
 rm -f "$OUT1" "$OUT4"
 echo "ATP_THREADS=1 and ATP_THREADS=4 outputs are byte-identical"
 
+echo "== dst smoke =="
+# Deterministic simulation testing: replay every checked-in counterexample
+# tape (failing on tape rot or oracle regressions), fuzz 210 fresh
+# (seed, strategy) cases per protocol under adversarial delivery orders,
+# and prove the detector still catches a planted prefix-comparison bug.
+cargo run -q --release -p atp-sim --bin dst -- \
+  --budget 210 --tapes tests/tapes --demo-mutation
+
 echo "== dependency closure =="
 # Every line of `cargo tree` must be a workspace crate: atp-* or the
 # umbrella package. Anything else means a registry dependency crept in.

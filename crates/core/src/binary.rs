@@ -208,8 +208,12 @@ pub struct BinaryNode {
 impl BinaryNode {
     /// Creates a node with the given configuration.
     pub fn new(cfg: ProtocolConfig) -> Self {
+        let mut order = OrderState::new(cfg.record_log);
+        if cfg.test_bad_prefix_skip {
+            order.enable_bad_prefix_skip();
+        }
         BinaryNode {
-            order: OrderState::new(cfg.record_log),
+            order,
             cfg,
             events: EventBuf::default(),
             outstanding: VecDeque::new(),

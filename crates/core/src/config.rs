@@ -88,6 +88,11 @@ pub struct ProtocolConfig {
     /// by prefix-property assertions). Disable for figure-scale runs to keep
     /// memory flat and the event stream lean.
     pub record_log: bool,
+    /// **Test-only seeded fault** used to calibrate the DST explorer: makes
+    /// `OrderState` use an off-by-one duplicate-skip bound that corrupts the
+    /// history digest on window redelivery. Never enable outside tests.
+    #[doc(hidden)]
+    pub test_bad_prefix_skip: bool,
 }
 
 impl Default for ProtocolConfig {
@@ -106,6 +111,7 @@ impl Default for ProtocolConfig {
             regen_timeout_ticks: 0,
             satisfied_window: 0,
             record_log: true,
+            test_bad_prefix_skip: false,
         }
     }
 }
@@ -176,6 +182,14 @@ impl ProtocolConfig {
     /// Overrides the satisfied-window capacity.
     pub fn with_satisfied_window(mut self, cap: usize) -> Self {
         self.satisfied_window = cap;
+        self
+    }
+
+    /// **Test-only**: plants the off-by-one prefix-skip fault (see
+    /// [`ProtocolConfig::test_bad_prefix_skip`]).
+    #[doc(hidden)]
+    pub fn with_bad_prefix_skip(mut self, on: bool) -> Self {
+        self.test_bad_prefix_skip = on;
         self
     }
 

@@ -50,6 +50,9 @@ pub struct OrderState {
     /// Entries that arrived with `seq > applied_seq + 1` and had to be
     /// skipped (the node was down long enough to miss the carried window).
     gap_events: u64,
+    /// Test-only seeded fault: use an off-by-one duplicate-skip bound in
+    /// [`OrderState::apply`]. See [`OrderState::enable_bad_prefix_skip`].
+    bad_skip: bool,
 }
 
 impl OrderState {
@@ -62,7 +65,22 @@ impl OrderState {
             log: Vec::new(),
             record_log,
             gap_events: 0,
+            bad_skip: false,
         }
+    }
+
+    /// **Test-only seeded mutation** — do not call outside DST harnesses.
+    ///
+    /// Makes [`OrderState::apply`] skip only entries *strictly below*
+    /// `applied_seq` instead of at-or-below, so a redelivered window whose
+    /// last entry equals `applied_seq` re-chains that entry into the digest.
+    /// This is exactly the off-by-one a careless duplicate check would
+    /// introduce; it silently corrupts the digest (violating the prefix
+    /// property) without tripping any local assertion, making it the
+    /// calibration target the DST explorer must find and minimize.
+    #[doc(hidden)]
+    pub fn enable_bad_prefix_skip(&mut self) {
+        self.bad_skip = true;
     }
 
     /// Applies every entry in `entries` that directly extends the local
@@ -77,7 +95,13 @@ impl OrderState {
         // `entries` is sorted by seq: skip the already-applied prefix in
         // O(log n) instead of scanning it (the lazy-search token carries its
         // full history, so a linear skip would make possessions quadratic).
-        let start = entries.partition_point(|e| e.seq <= self.applied_seq);
+        let start = if self.bad_skip {
+            // Seeded fault: strictly-below bound re-admits the entry at
+            // exactly `applied_seq`, double-chaining it into the digest.
+            entries.partition_point(|e| e.seq < self.applied_seq)
+        } else {
+            entries.partition_point(|e| e.seq <= self.applied_seq)
+        };
         for entry in &entries[start..] {
             debug_assert!(entry.seq > self.applied_seq || entry.seq <= self.applied_seq + 1);
             if entry.seq > self.applied_seq + 1 {
@@ -250,6 +274,26 @@ mod tests {
         assert!(s.suffix_from(0, 10).is_empty());
         let off = OrderState::new(false);
         assert!(off.suffix_from(1, 10).is_empty());
+    }
+
+    #[test]
+    fn bad_prefix_skip_corrupts_digest_on_redelivery() {
+        let mut good = OrderState::new(true);
+        let mut bad = OrderState::new(true);
+        bad.enable_bad_prefix_skip();
+        let entries = [entry(1, 10), entry(2, 20)];
+        apply(&mut good, &entries);
+        apply(&mut bad, &entries);
+        // First delivery: indistinguishable.
+        assert_eq!(good.digest(), bad.digest());
+        assert!(bad.is_prefix_of(&good));
+        // Redelivered overlapping window: the faulty bound re-chains the
+        // entry at `applied_seq`, silently diverging the digest.
+        apply(&mut good, &entries);
+        apply(&mut bad, &entries);
+        assert_eq!(good.applied_seq(), bad.applied_seq());
+        assert_ne!(good.digest(), bad.digest());
+        assert!(!bad.is_prefix_of(&good));
     }
 
     #[test]

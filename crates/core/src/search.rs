@@ -166,6 +166,11 @@ impl SearchNode {
         self.departed
     }
 
+    /// Current token generation this node has witnessed.
+    pub fn generation(&self) -> u32 {
+        self.regen.generation
+    }
+
     fn witness_generation(&mut self, generation: u32, at: SimTime) {
         if self.regen.witness(generation) {
             if let Some(h) = &self.holding {
@@ -328,6 +333,24 @@ impl SearchNode {
             },
             MsgClass::Token,
         );
+        // Any other trapped obligations chase the token to its new holder.
+        // A trap only catches a token that *lands* here, and the lazy token
+        // never returns on its own — so a second gimme trapped while this
+        // node was serving would otherwise strand forever. (Stall found by
+        // the DST explorer: two gimmes reach a serving holder back-to-back;
+        // only the front trap was granted.)
+        for t in std::mem::take(&mut self.traps) {
+            self.gimme_sends += 1;
+            ctx.send(
+                trap.origin,
+                SearchMsg::Gimme {
+                    origin: t.origin,
+                    req: t.req,
+                    hops: 1,
+                },
+                MsgClass::Control,
+            );
+        }
     }
 
     fn handle_gimme(

@@ -75,6 +75,7 @@ mod harness;
 mod id;
 mod latency;
 mod node;
+mod sched;
 mod stats;
 mod time;
 mod trace;
@@ -88,6 +89,10 @@ pub use harness::{Harness, Outbound, TimerRequest};
 pub use id::{NodeId, Topology};
 pub use latency::{ClassLatency, ConstantLatency, LatencyModel, PerLinkLatency, UniformLatency};
 pub use node::Node;
+pub use sched::{
+    ClassStarve, DeliveryStrategy, Fifo, Lifo, ReadyEvent, ReadyKind, RecordedChoices,
+    SeededShuffle,
+};
 pub use stats::NetStats;
 pub use time::SimTime;
 pub use trace::{TraceEvent, TraceKind, TraceLog};

@@ -1,0 +1,193 @@
+//! Deterministic simulation-testing driver.
+//!
+//! Usage:
+//! `cargo run --release -p atp-sim --bin dst -- [--budget N] [--seed S]
+//!  [--tapes DIR] [--demo-mutation] [--write-tape PATH]`
+//!
+//! Order of business:
+//!
+//! 1. **Replay** every checked-in `*.tape` under `--tapes DIR` (sorted by
+//!    name). Benign tapes must pass; mutation tapes must still fail under
+//!    their mutation and pass without it. Any regression fails the run.
+//! 2. **Explore** `--budget` fresh `(seed, strategy)` cases per protocol
+//!    from base seed `--seed`. A violation is shrunk to a minimal tape,
+//!    printed, optionally written to `--write-tape PATH`, and fails the run.
+//! 3. With `--demo-mutation`, prove the machinery end-to-end: plant the
+//!    `bad_prefix_skip` fault and require the explorer to find and shrink
+//!    it within the same budget.
+//!
+//! Exit status: `0` all green, `1` violation / tape regression / demo miss,
+//! `2` usage error.
+
+use atp_sim::dst::{verify_tape, ExploreOutcome, Explorer, Mutation, TapeFile};
+use atp_sim::Protocol;
+use std::process::ExitCode;
+
+struct Args {
+    budget: u32,
+    seed: u64,
+    tapes: Option<String>,
+    demo_mutation: bool,
+    write_tape: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        budget: 300,
+        seed: 0,
+        tapes: None,
+        demo_mutation: false,
+        write_tape: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--budget" => {
+                args.budget = value("--budget")?
+                    .parse()
+                    .map_err(|e| format!("--budget: {e}"))?;
+            }
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--tapes" => args.tapes = Some(value("--tapes")?),
+            "--write-tape" => args.write_tape = Some(value("--write-tape")?),
+            "--demo-mutation" => args.demo_mutation = true,
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    Ok(args)
+}
+
+/// Replays every `*.tape` in `dir`; returns the number of regressions.
+fn replay_tapes(dir: &str) -> Result<u32, String> {
+    let mut paths: Vec<_> = std::fs::read_dir(dir)
+        .map_err(|e| format!("--tapes {dir}: {e}"))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "tape"))
+        .collect();
+    paths.sort();
+    if paths.is_empty() {
+        println!("tapes: none under {dir}");
+        return Ok(0);
+    }
+    let mut regressions = 0u32;
+    for path in &paths {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("{}: {e}", path.display()))?;
+        let tf = TapeFile::from_json(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        match verify_tape(&tf) {
+            Ok(()) => println!(
+                "tape {:<32} {:>6} [{}] ok — {}",
+                tf.name,
+                tf.protocol.label(),
+                tf.mutation.label(),
+                tf.note
+            ),
+            Err(reason) => {
+                println!("tape {:<32} REGRESSION: {reason}", tf.name);
+                regressions += 1;
+            }
+        }
+    }
+    Ok(regressions)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("dst: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut failed = false;
+
+    if let Some(dir) = &args.tapes {
+        match replay_tapes(dir) {
+            Ok(0) => {}
+            Ok(n) => {
+                println!("tapes: {n} regression(s)");
+                failed = true;
+            }
+            Err(e) => {
+                eprintln!("dst: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    for protocol in Protocol::ALL {
+        let start = std::time::Instant::now();
+        let explorer = Explorer::new(protocol, args.seed, Mutation::None);
+        match explorer.explore(args.budget) {
+            ExploreOutcome::Clean {
+                cases,
+                oracle_checks,
+            } => println!(
+                "explore {:>6}: clean — {cases} cases, {oracle_checks} oracle checks, {:.3}s",
+                protocol.label(),
+                start.elapsed().as_secs_f64()
+            ),
+            ExploreOutcome::Found(cx) => {
+                println!(
+                    "explore {:>6}: VIOLATION — {} (case seed {:#x}, minimized to {} draws \
+                     in {} shrink steps)",
+                    protocol.label(),
+                    cx.violation,
+                    cx.case_seed,
+                    cx.tape.len(),
+                    cx.shrink_iters
+                );
+                println!("{}", cx.case_debug);
+                if let Some(path) = &args.write_tape {
+                    let name = path
+                        .rsplit('/')
+                        .next()
+                        .unwrap_or(path)
+                        .trim_end_matches(".tape");
+                    let tf = TapeFile::from_counterexample(name, &cx);
+                    match std::fs::write(path, tf.to_json()) {
+                        Ok(()) => println!("wrote minimized tape to {path}"),
+                        Err(e) => eprintln!("dst: --write-tape {path}: {e}"),
+                    }
+                }
+                failed = true;
+            }
+        }
+    }
+
+    if args.demo_mutation {
+        let start = std::time::Instant::now();
+        let explorer = Explorer::new(Protocol::Binary, args.seed, Mutation::BadPrefixSkip);
+        match explorer.explore(args.budget) {
+            ExploreOutcome::Found(cx) => println!(
+                "demo: planted '{}' found and shrunk to {} draws ({} shrink steps, {:.3}s) — {}",
+                cx.mutation.label(),
+                cx.tape.len(),
+                cx.shrink_iters,
+                start.elapsed().as_secs_f64(),
+                cx.violation
+            ),
+            ExploreOutcome::Clean { cases, .. } => {
+                println!(
+                    "demo: planted '{}' NOT found in {cases} cases — detector has regressed",
+                    Mutation::BadPrefixSkip.label()
+                );
+                failed = true;
+            }
+        }
+    }
+
+    if failed {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

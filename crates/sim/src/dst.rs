@@ -1,0 +1,868 @@
+//! Deterministic simulation testing: adversarial schedules, per-step
+//! oracles, and shrinking replay tapes.
+//!
+//! The experiment [`runner`](crate::runner) explores exactly one FIFO
+//! interleaving per seed, and the invariant tests only look at the final
+//! state. This module closes both gaps, FoundationDB-style:
+//!
+//! 1. **Cases** — a [`DstCase`] (protocol, ring size, workload, faults,
+//!    config knobs, and a [`StrategySpec`] adversary) is generated from an
+//!    `atp_util::check::Gen` draw tape, so a case *is* its tape.
+//! 2. **Schedules** — the case's strategy is installed as the
+//!    [`DeliveryStrategy`](atp_net::DeliveryStrategy) of the
+//!    [`World`](atp_net::World), permuting same-instant events: every
+//!    explored schedule is one the real system could exhibit.
+//! 3. **Oracles** — [`run_case`] re-checks the paper's invariants after
+//!    *every* dispatched event: the prefix property across live nodes
+//!    (Definition 2 / Theorem 1), at-most-one token per regeneration
+//!    generation, zero history gaps in crash-free runs, and — for benign
+//!    cases — bounded responsiveness (Theorem 2) plus full service.
+//! 4. **Shrinking** — on a violation, [`Explorer::explore`] minimizes the
+//!    case through [`atp_util::check::shrink_tape`]; because the case is
+//!    rebuilt from the edited tape by its own generator, every shrink
+//!    candidate is a valid case. The result serializes to a `.tape` JSON
+//!    document replayed first on every later run, like `.regression`
+//!    seeds.
+//!
+//! The machinery is calibrated against a seeded fault: [`Mutation::BadPrefixSkip`]
+//! plants an off-by-one duplicate-skip bound in the node's `OrderState`
+//! (see `atp_core`), which silently corrupts history digests on window
+//! redelivery. The explorer must find it and shrink it to a minimal tape
+//! — `tests/dst.rs` asserts it does.
+
+use std::collections::VecDeque;
+
+use atp_core::{ProtocolConfig, SearchMode, TokenEvent, TrapCleanup, Want};
+use atp_net::{
+    ClassStarve, ControlDrops, Fifo, Lifo, MsgClass, NodeId, RecordedChoices, SeededShuffle,
+    SimTime, StepOutcome, UniformLatency, World, WorldConfig,
+};
+use atp_util::check::{shrink_tape, Gen};
+use atp_util::json::{self, JsonWriter};
+use atp_util::rng::{Rng, RngCore, SplitMix64};
+
+use crate::runner::{Protocol, ProtocolNode};
+
+/// Which adversarial schedule a case runs under.
+///
+/// Serializable into the case tape (it is *drawn* like everything else),
+/// and buildable into a boxed [`atp_net::DeliveryStrategy`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StrategySpec {
+    /// Engine default order.
+    Fifo,
+    /// Newest-first among ties.
+    Lifo,
+    /// Seeded random permutation of every tie group.
+    Shuffle(u64),
+    /// Defer cheap (control) traffic: searches and traps always lose ties.
+    StarveControl,
+    /// Defer the token behind simultaneous control traffic.
+    DelayToken,
+    /// Explicit choice words (`word % ready_len`), then FIFO.
+    Choices(Vec<u64>),
+}
+
+impl StrategySpec {
+    /// Short label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            StrategySpec::Fifo => "fifo",
+            StrategySpec::Lifo => "lifo",
+            StrategySpec::Shuffle(_) => "shuffle",
+            StrategySpec::StarveControl => "starve-control",
+            StrategySpec::DelayToken => "delay-token",
+            StrategySpec::Choices(_) => "choices",
+        }
+    }
+
+    fn install(&self, cfg: WorldConfig) -> WorldConfig {
+        match self {
+            StrategySpec::Fifo => cfg.strategy(Fifo),
+            StrategySpec::Lifo => cfg.strategy(Lifo),
+            StrategySpec::Shuffle(seed) => cfg.strategy(SeededShuffle::new(*seed)),
+            StrategySpec::StarveControl => cfg.strategy(ClassStarve::new(MsgClass::Control)),
+            StrategySpec::DelayToken => cfg.strategy(ClassStarve::new(MsgClass::Token)),
+            StrategySpec::Choices(words) => cfg.strategy(RecordedChoices::new(words.clone())),
+        }
+    }
+}
+
+/// An optional seeded fault planted into the protocol under test.
+///
+/// `BadPrefixSkip` is the calibration target the explorer must be able to
+/// find: a deliberately wrong duplicate-skip comparison in the ordered log
+/// (see `OrderState::enable_bad_prefix_skip` in `atp-core`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mutation {
+    /// Unmodified protocol code.
+    None,
+    /// Off-by-one prefix-skip bound in `OrderState::apply` (BinaryNode).
+    BadPrefixSkip,
+}
+
+impl Mutation {
+    /// Stable serialization label (tape files).
+    pub fn label(self) -> &'static str {
+        match self {
+            Mutation::None => "none",
+            Mutation::BadPrefixSkip => "bad_prefix_skip",
+        }
+    }
+
+    /// Parses a [`Mutation::label`] back.
+    pub fn from_label(s: &str) -> Option<Mutation> {
+        match s {
+            "none" => Some(Mutation::None),
+            "bad_prefix_skip" => Some(Mutation::BadPrefixSkip),
+            _ => None,
+        }
+    }
+}
+
+/// One fully specified simulation case.
+#[derive(Debug, Clone)]
+pub struct DstCase {
+    /// Protocol under test.
+    pub protocol: Protocol,
+    /// Ring size.
+    pub n: usize,
+    /// World seed (latency jitter, drop coin flips).
+    pub world_seed: u64,
+    /// Message latency bounds `(lo, hi)`.
+    pub latency: (u64, u64),
+    /// Control-message drop probability.
+    pub drop_p: f64,
+    /// Requests as `(tick, node, payload)`.
+    pub requests: Vec<(u64, u32, u64)>,
+    /// Optional `(crash_tick, node, recover_tick)` fault.
+    pub crash: Option<(u64, u32, u64)>,
+    /// Protocol tunables (mutation flag already applied).
+    pub cfg: ProtocolConfig,
+    /// The schedule adversary.
+    pub strategy: StrategySpec,
+}
+
+impl DstCase {
+    /// Whether the liveness-flavoured oracles apply: no faults, no drops.
+    pub fn is_benign(&self) -> bool {
+        self.crash.is_none() && self.drop_p == 0.0
+    }
+
+    /// Ticks after the last request within which every benign-case request
+    /// must be granted (the liveness oracle's bound, deliberately loose —
+    /// a violation means "stuck", not "slow").
+    pub fn response_bound(&self) -> u64 {
+        let n = self.n as u64;
+        let r = self.requests.len() as u64 + 2;
+        let idle = self.cfg.idle_pass_ticks
+            + if self.cfg.adaptive_speed {
+                self.cfg.max_idle_pass_ticks
+            } else {
+                0
+            };
+        let per_hop = self.latency.1 + self.cfg.service_ticks + idle + 2;
+        4 * r * n * per_hop + 256
+    }
+
+    /// Absolute tick at which the run stops.
+    pub fn horizon(&self) -> u64 {
+        let last_stimulus = self
+            .requests
+            .iter()
+            .map(|&(t, _, _)| t)
+            .chain(self.crash.iter().map(|&(_, _, rec)| rec))
+            .max()
+            .unwrap_or(0);
+        last_stimulus + self.response_bound() + 64
+    }
+}
+
+/// Draws a [`DstCase`] for `protocol` from `g`'s tape.
+///
+/// Total: every draw tolerates the all-zero tape (shrinking replays edited
+/// tapes whose exhausted reads return 0), where it degenerates to the
+/// smallest case: 2 nodes, one request at t=0, unit latency, FIFO.
+pub fn gen_case(g: &mut Gen, protocol: Protocol, mutation: Mutation) -> DstCase {
+    let n = g.gen_range(2..=10usize);
+    let world_seed = g.next_u64();
+    let latency = if g.gen_range(0..3u32) == 0 { (1, 3) } else { (1, 1) };
+    let drop_p = match g.gen_range(0..4u32) {
+        0 => 0.3,
+        1 => 1.0,
+        _ => 0.0,
+    };
+    let requests = g.vec(1..13, |g| {
+        (
+            g.gen_range(0..=200u64),
+            g.gen_range(0..n as u32),
+            g.gen_range(0..1000u64),
+        )
+    });
+
+    let mut cfg = ProtocolConfig::default()
+        .with_service_ticks(g.gen_range(0..=3u64))
+        .with_single_outstanding(g.gen_bool(0.5))
+        .with_serve_all_on_grant(g.gen_bool(0.5))
+        .with_search_mode(*g.pick(&[SearchMode::Delegated, SearchMode::Directed]))
+        .with_trap_cleanup(*g.pick(&[TrapCleanup::Rotation, TrapCleanup::Inverse]));
+    if g.gen_bool(0.25) {
+        cfg = cfg
+            .with_adaptive_speed(true)
+            .with_idle_pass_ticks(g.gen_range(0..=2u64));
+    }
+
+    // Crashes only together with regeneration, so the protocol is actually
+    // allowed to recover; a quarter of cases exercise the failure path.
+    let crash = if g.gen_bool(0.25) {
+        cfg = cfg.with_regeneration(cfg.effective_regen_timeout(n));
+        let at = g.gen_range(0..150u64);
+        let node = g.gen_range(0..n as u32);
+        let down_for = g.gen_range(1..120u64);
+        Some((at, node, at + down_for))
+    } else {
+        None
+    };
+
+    if mutation == Mutation::BadPrefixSkip {
+        cfg = cfg.with_bad_prefix_skip(true);
+    }
+
+    let strategy = match g.gen_range(0..6u32) {
+        0 => StrategySpec::Fifo,
+        1 => StrategySpec::Lifo,
+        2 => StrategySpec::Shuffle(g.next_u64()),
+        3 => StrategySpec::StarveControl,
+        4 => StrategySpec::DelayToken,
+        _ => StrategySpec::Choices(g.vec(1..33, |g| g.next_u64())),
+    };
+
+    DstCase {
+        protocol,
+        n,
+        world_seed,
+        latency,
+        drop_p,
+        requests,
+        crash,
+        cfg,
+        strategy,
+    }
+}
+
+/// An oracle violation: which invariant broke, where, and when.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// Two live nodes' applied histories are not prefix-ordered
+    /// (Definition 2 broken — the safety property).
+    PrefixDiverged {
+        /// First node.
+        a: NodeId,
+        /// Second node.
+        b: NodeId,
+        /// When the divergence was first observed.
+        at: SimTime,
+    },
+    /// A node skipped history entries although nothing ever crashed.
+    UnexpectedGap {
+        /// The gapped node.
+        node: NodeId,
+        /// Observation time.
+        at: SimTime,
+    },
+    /// Two live nodes hold tokens of the same generation.
+    DuplicateToken {
+        /// First holder.
+        a: NodeId,
+        /// Second holder.
+        b: NodeId,
+        /// The shared generation.
+        generation: u32,
+        /// Observation time.
+        at: SimTime,
+    },
+    /// A benign-case request was not granted within the response bound.
+    Unresponsive {
+        /// The starved node.
+        node: NodeId,
+        /// When the request was issued.
+        requested_at: SimTime,
+        /// The missed deadline.
+        deadline: SimTime,
+    },
+    /// Requests left unserved at the end of a benign run.
+    Unserved {
+        /// How many requests never got the token.
+        remaining: u64,
+    },
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            Violation::PrefixDiverged { a, b, at } => write!(
+                f,
+                "prefix property violated between node {a} and node {b} at t={}",
+                at.ticks()
+            ),
+            Violation::UnexpectedGap { node, at } => write!(
+                f,
+                "node {node} skipped history entries (gap) without any crash at t={}",
+                at.ticks()
+            ),
+            Violation::DuplicateToken {
+                a, b, generation, at,
+            } => write!(
+                f,
+                "nodes {a} and {b} both hold a generation-{generation} token at t={}",
+                at.ticks()
+            ),
+            Violation::Unresponsive {
+                node,
+                requested_at,
+                deadline,
+            } => write!(
+                f,
+                "request at node {node} (t={}) not granted by deadline t={}",
+                requested_at.ticks(),
+                deadline.ticks()
+            ),
+            Violation::Unserved { remaining } => {
+                write!(f, "{remaining} request(s) unserved at end of benign run")
+            }
+        }
+    }
+}
+
+/// Counters from a completed (violation-free) case.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CaseStats {
+    /// Events the world dispatched or consumed.
+    pub events: u64,
+    /// Total grants across all nodes.
+    pub grants: u64,
+    /// Oracle evaluations performed (one per dispatched event).
+    pub oracle_checks: u64,
+}
+
+/// Runs one case under its adversary, checking every oracle after every
+/// dispatched event. `Ok` carries run counters; `Err` the first violation.
+pub fn run_case(case: &DstCase) -> Result<CaseStats, Violation> {
+    match case.protocol {
+        Protocol::Ring => run_case_on::<atp_core::RingNode>(case),
+        Protocol::Search => run_case_on::<atp_core::SearchNode>(case),
+        Protocol::Binary => run_case_on::<atp_core::BinaryNode>(case),
+    }
+}
+
+/// Evaluates the state oracles over all live nodes. Called after every
+/// dispatched event — `O(n²)` digest compares, fine at DST ring sizes.
+///
+/// `crashed` is the node a crash was scheduled for, if any. That node is
+/// excluded from the pairwise prefix check: when a holder dies with entries
+/// only it applied, regeneration restarts the history line from the
+/// survivors' frontier, so the recovered node legitimately keeps a forked
+/// suffix (Definition 2 is "modulo regeneration epochs"). Never-crashed
+/// nodes must stay prefix-ordered unconditionally — stale-generation frames
+/// are discarded, so only one token lineage ever reaches them.
+fn check_state_oracles<N: ProtocolNode>(
+    world: &World<N>,
+    crash_free: bool,
+    crashed: Option<NodeId>,
+    at: SimTime,
+) -> Result<(), Violation> {
+    let live: Vec<(NodeId, &N)> = world
+        .nodes()
+        .filter(|&(id, _)| world.is_alive(id))
+        .collect();
+
+    // Prefix property (Definition 2): any two live histories must be
+    // prefix-ordered. Digest comparison makes each pair O(1).
+    for (i, &(ia, a)) in live.iter().enumerate() {
+        if Some(ia) == crashed {
+            continue;
+        }
+        for &(ib, b) in &live[i + 1..] {
+            if Some(ib) == crashed {
+                continue;
+            }
+            let sa = a.order_state();
+            let sb = b.order_state();
+            if !sa.is_prefix_of(sb) && !sb.is_prefix_of(sa) {
+                return Err(Violation::PrefixDiverged { a: ia, b: ib, at });
+            }
+        }
+    }
+
+    // Without crashes the carried window can never be outrun: any gap is
+    // a protocol bug, not a recovery artifact.
+    if crash_free {
+        for &(id, node) in &live {
+            if node.order_state().gap_events() > 0 {
+                return Err(Violation::UnexpectedGap { node: id, at });
+            }
+        }
+    }
+
+    // At most one live holder per token generation (Section 5: stale
+    // generations are superseded, but a *shared* generation means the
+    // mutual-exclusion core is broken).
+    let holders: Vec<(NodeId, u32)> = live
+        .iter()
+        .filter(|(_, n)| n.holds_token_now())
+        .map(|&(id, n)| (id, n.token_generation()))
+        .collect();
+    for (i, &(ia, ga)) in holders.iter().enumerate() {
+        for &(ib, gb) in &holders[i + 1..] {
+            if ga == gb {
+                return Err(Violation::DuplicateToken {
+                    a: ia,
+                    b: ib,
+                    generation: ga,
+                    at,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+fn run_case_on<N: ProtocolNode>(case: &DstCase) -> Result<CaseStats, Violation> {
+    let mut world_cfg = WorldConfig::default().seed(case.world_seed);
+    if case.latency != (1, 1) {
+        world_cfg = world_cfg.latency(UniformLatency::new(case.latency.0, case.latency.1));
+    }
+    if case.drop_p > 0.0 {
+        world_cfg = world_cfg.drops(ControlDrops::new(case.drop_p));
+    }
+    world_cfg = case.strategy.install(world_cfg);
+
+    let nodes = (0..case.n).map(|_| N::build(case.cfg)).collect();
+    let mut world: World<N> = World::from_nodes(nodes, world_cfg);
+    for &(t, node, payload) in &case.requests {
+        world.schedule_external(SimTime::from_ticks(t), NodeId::new(node), Want::new(payload));
+    }
+    if let Some((at, node, recover_at)) = case.crash {
+        world.schedule_crash(SimTime::from_ticks(at), NodeId::new(node));
+        world.schedule_recover(SimTime::from_ticks(recover_at), NodeId::new(node));
+    }
+
+    let crash_free = case.crash.is_none();
+    let crashed = case.crash.map(|(_, node, _)| NodeId::new(node));
+    let benign = case.is_benign();
+    let bound = case.response_bound();
+    let deadline = SimTime::from_ticks(case.horizon());
+
+    // Liveness bookkeeping: per-node queue of outstanding request times.
+    // `Requested` pushes, `Granted` pops the oldest; the grant deadline of
+    // the *front* request is the earliest unmet obligation.
+    let mut pending: Vec<VecDeque<SimTime>> = vec![VecDeque::new(); case.n];
+    let mut stats = CaseStats::default();
+    let mut drained: Vec<TokenEvent> = Vec::new();
+
+    loop {
+        let outcome = world.step();
+        stats.events += 1;
+        match outcome {
+            StepOutcome::Quiescent => break,
+            StepOutcome::Consumed { at } => {
+                if at > deadline {
+                    break;
+                }
+            }
+            StepOutcome::Dispatched { node, at } => {
+                drained.clear();
+                world.node_mut(node).take_events_into(&mut drained);
+                for ev in &drained {
+                    match *ev {
+                        TokenEvent::Requested { at, .. } => {
+                            pending[node.index()].push_back(at);
+                        }
+                        TokenEvent::Granted { at, .. } => {
+                            stats.grants += 1;
+                            pending[node.index()].pop_front();
+                            let _ = at;
+                        }
+                        _ => {}
+                    }
+                }
+                check_state_oracles(&world, crash_free, crashed, at)?;
+                if benign {
+                    // The oldest outstanding request anywhere must have
+                    // been granted before its deadline passed.
+                    for (i, q) in pending.iter().enumerate() {
+                        if let Some(&req_at) = q.front() {
+                            let req_deadline = req_at.saturating_add(bound);
+                            if at > req_deadline {
+                                return Err(Violation::Unresponsive {
+                                    node: NodeId::new(i as u32),
+                                    requested_at: req_at,
+                                    deadline: req_deadline,
+                                });
+                            }
+                        }
+                    }
+                }
+                stats.oracle_checks += 1;
+                if at > deadline {
+                    break;
+                }
+            }
+        }
+    }
+
+    // Drain events buffered at nodes that never dispatched again, then run
+    // the end-of-run obligations.
+    for i in 0..world.len() {
+        let id = NodeId::new(i as u32);
+        if !world.node(id).has_events() {
+            continue;
+        }
+        drained.clear();
+        world.node_mut(id).take_events_into(&mut drained);
+        for ev in &drained {
+            match *ev {
+                TokenEvent::Requested { at, .. } => pending[i].push_back(at),
+                TokenEvent::Granted { .. } => {
+                    stats.grants += 1;
+                    pending[i].pop_front();
+                }
+                _ => {}
+            }
+        }
+    }
+    check_state_oracles(&world, crash_free, crashed, world.now())?;
+    if benign {
+        let remaining: u64 = pending.iter().map(|q| q.len() as u64).sum();
+        if remaining > 0 {
+            return Err(Violation::Unserved { remaining });
+        }
+    }
+    Ok(stats)
+}
+
+/// A minimized failing schedule, ready to serialize as a `.tape` file.
+#[derive(Debug, Clone)]
+pub struct Counterexample {
+    /// Protocol the violation occurred under.
+    pub protocol: Protocol,
+    /// The mutation active during exploration.
+    pub mutation: Mutation,
+    /// Seed of the originally failing case.
+    pub case_seed: u64,
+    /// Minimized draw tape; [`replay_tape`] rebuilds the exact case.
+    pub tape: Vec<u64>,
+    /// Shrink candidates evaluated.
+    pub shrink_iters: u32,
+    /// The violation the minimized tape reproduces.
+    pub violation: Violation,
+    /// Debug rendering of the minimized case.
+    pub case_debug: String,
+}
+
+/// Result of an exploration campaign for one protocol.
+#[derive(Debug, Clone)]
+pub enum ExploreOutcome {
+    /// Every case passed every oracle.
+    Clean {
+        /// Cases executed.
+        cases: u32,
+        /// Total oracle evaluations across all cases.
+        oracle_checks: u64,
+    },
+    /// A violation was found and minimized.
+    Found(Box<Counterexample>),
+}
+
+/// Fuzzes `(seed, strategy)` pairs for one protocol under a case budget.
+#[derive(Debug, Clone)]
+pub struct Explorer {
+    /// Protocol under test.
+    pub protocol: Protocol,
+    /// Base seed of the deterministic case-seed stream.
+    pub base_seed: u64,
+    /// Seeded fault to plant (or [`Mutation::None`]).
+    pub mutation: Mutation,
+    /// Cap on shrink candidate evaluations after a find.
+    pub max_shrink_iters: u32,
+}
+
+impl Explorer {
+    /// An explorer with the default shrink budget.
+    pub fn new(protocol: Protocol, base_seed: u64, mutation: Mutation) -> Self {
+        Explorer {
+            protocol,
+            base_seed,
+            mutation,
+            max_shrink_iters: 2_000,
+        }
+    }
+
+    /// Runs up to `budget` cases; on the first violation, shrinks it to a
+    /// minimal tape and returns the counterexample.
+    pub fn explore(&self, budget: u32) -> ExploreOutcome {
+        // Stream the per-protocol case seeds from the base seed, exactly
+        // like `Check` streams its case seeds.
+        let mut sm = SplitMix64::new(self.base_seed ^ fnv1a(self.protocol.label()));
+        let mut oracle_checks = 0u64;
+        for _ in 0..budget {
+            let case_seed = sm.next_u64();
+            let mut g = Gen::from_seed(case_seed);
+            let case = gen_case(&mut g, self.protocol, self.mutation);
+            match run_case(&case) {
+                Ok(stats) => oracle_checks += stats.oracle_checks,
+                Err(first) => {
+                    let tape = g.tape().to_vec();
+                    return ExploreOutcome::Found(Box::new(self.minimize(
+                        case_seed, tape, first,
+                    )));
+                }
+            }
+        }
+        ExploreOutcome::Clean {
+            cases: budget,
+            oracle_checks,
+        }
+    }
+
+    fn minimize(&self, case_seed: u64, tape: Vec<u64>, first: Violation) -> Counterexample {
+        let protocol = self.protocol;
+        let mutation = self.mutation;
+        let (min_tape, shrink_iters) = shrink_tape(tape, self.max_shrink_iters, |cand| {
+            let mut g = Gen::from_tape(cand.to_vec());
+            let case = gen_case(&mut g, protocol, mutation);
+            run_case(&case).err().map(|_| g.tape().to_vec())
+        });
+        let mut g = Gen::from_tape(min_tape.clone());
+        let min_case = gen_case(&mut g, protocol, mutation);
+        let violation = run_case(&min_case).err().unwrap_or(first);
+        Counterexample {
+            protocol,
+            mutation,
+            case_seed,
+            tape: min_tape,
+            shrink_iters,
+            violation,
+            case_debug: format!("{min_case:#?}"),
+        }
+    }
+}
+
+/// FNV-1a over a label; namespaces the per-protocol seed streams.
+fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// A deserialized `.tape` file: a named, replayable counterexample (or a
+/// pinned benign schedule kept as a regression).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TapeFile {
+    /// Short identifier (conventionally the file stem).
+    pub name: String,
+    /// Protocol the tape drives.
+    pub protocol: Protocol,
+    /// Mutation that must be active for the tape to fail ([`Mutation::None`]
+    /// for benign regression tapes, which must *pass*).
+    pub mutation: Mutation,
+    /// Human note: what this tape reproduces.
+    pub note: String,
+    /// The case draw tape.
+    pub tape: Vec<u64>,
+}
+
+fn protocol_from_label(s: &str) -> Option<Protocol> {
+    Protocol::ALL.iter().copied().find(|p| p.label() == s)
+}
+
+impl TapeFile {
+    /// Serializes to the checked-in `.tape` JSON format.
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_obj();
+        w.key("version");
+        w.u64(1);
+        w.key("name");
+        w.str(&self.name);
+        w.key("protocol");
+        w.str(self.protocol.label());
+        w.key("mutation");
+        w.str(self.mutation.label());
+        w.key("note");
+        w.str(&self.note);
+        w.key("tape");
+        w.begin_arr();
+        for &word in &self.tape {
+            w.u64(word);
+        }
+        w.end_arr();
+        w.end_obj();
+        w.finish()
+    }
+
+    /// Parses a `.tape` document written by [`TapeFile::to_json`].
+    pub fn from_json(text: &str) -> Result<TapeFile, String> {
+        let doc = json::parse(text)?;
+        let field = |k: &str| doc.get(k).ok_or_else(|| format!("missing field '{k}'"));
+        let version = field("version")?
+            .as_u64()
+            .ok_or("'version' is not an integer")?;
+        if version != 1 {
+            return Err(format!("unsupported tape version {version}"));
+        }
+        let name = field("name")?.as_str().ok_or("'name' is not a string")?;
+        let protocol_label = field("protocol")?
+            .as_str()
+            .ok_or("'protocol' is not a string")?;
+        let protocol = protocol_from_label(protocol_label)
+            .ok_or_else(|| format!("unknown protocol '{protocol_label}'"))?;
+        let mutation_label = field("mutation")?
+            .as_str()
+            .ok_or("'mutation' is not a string")?;
+        let mutation = Mutation::from_label(mutation_label)
+            .ok_or_else(|| format!("unknown mutation '{mutation_label}'"))?;
+        let note = field("note")?.as_str().ok_or("'note' is not a string")?;
+        let tape = field("tape")?
+            .as_arr()
+            .ok_or("'tape' is not an array")?
+            .iter()
+            .map(|v| v.as_u64().ok_or("tape entry is not a u64".to_string()))
+            .collect::<Result<Vec<u64>, String>>()?;
+        Ok(TapeFile {
+            name: name.to_string(),
+            protocol,
+            mutation,
+            note: note.to_string(),
+            tape,
+        })
+    }
+
+    /// From a minimized counterexample.
+    pub fn from_counterexample(name: &str, cx: &Counterexample) -> TapeFile {
+        TapeFile {
+            name: name.to_string(),
+            protocol: cx.protocol,
+            mutation: cx.mutation,
+            note: cx.violation.to_string(),
+            tape: cx.tape.clone(),
+        }
+    }
+}
+
+/// Rebuilds the case a tape encodes and runs it under `mutation`.
+pub fn replay_tape(
+    tape: &[u64],
+    protocol: Protocol,
+    mutation: Mutation,
+) -> Result<CaseStats, Violation> {
+    let mut g = Gen::from_tape(tape.to_vec());
+    let case = gen_case(&mut g, protocol, mutation);
+    run_case(&case)
+}
+
+/// What replaying a checked-in [`TapeFile`] must establish.
+///
+/// * Mutation tapes must still **fail** under their mutation (the tape has
+///   not rotted) and must **pass** on the unmodified protocol (the real
+///   code does not share the planted bug).
+/// * Benign tapes ([`Mutation::None`]) must simply pass.
+///
+/// Returns `Err` with a human-readable reason on any regression.
+pub fn verify_tape(tf: &TapeFile) -> Result<(), String> {
+    match tf.mutation {
+        Mutation::None => replay_tape(&tf.tape, tf.protocol, Mutation::None)
+            .map(|_| ())
+            .map_err(|v| format!("benign tape '{}' now fails: {v}", tf.name)),
+        mutation => {
+            match replay_tape(&tf.tape, tf.protocol, mutation) {
+                Ok(_) => {
+                    return Err(format!(
+                        "mutation tape '{}' no longer reproduces its violation \
+                         (tape rot or oracle weakened)",
+                        tf.name
+                    ));
+                }
+                Err(_) => {}
+            }
+            replay_tape(&tf.tape, tf.protocol, Mutation::None)
+                .map(|_| ())
+                .map_err(|v| {
+                    format!(
+                        "tape '{}' fails even WITHOUT its mutation — real bug?: {v}",
+                        tf.name
+                    )
+                })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gen_case_tolerates_all_zero_tape() {
+        for protocol in Protocol::ALL {
+            let mut g = Gen::from_tape(Vec::new());
+            let case = gen_case(&mut g, protocol, Mutation::None);
+            assert_eq!(case.n, 2);
+            assert_eq!(case.requests.len(), 1);
+            assert_eq!(case.strategy, StrategySpec::Fifo);
+            assert!(run_case(&case).is_ok(), "zero case must pass");
+        }
+    }
+
+    #[test]
+    fn case_generation_is_tape_deterministic() {
+        let mut g1 = Gen::from_seed(99);
+        let case1 = gen_case(&mut g1, Protocol::Binary, Mutation::None);
+        let mut g2 = Gen::from_tape(g1.tape().to_vec());
+        let case2 = gen_case(&mut g2, Protocol::Binary, Mutation::None);
+        assert_eq!(format!("{case1:?}"), format!("{case2:?}"));
+    }
+
+    #[test]
+    fn small_clean_exploration_passes() {
+        for protocol in Protocol::ALL {
+            match Explorer::new(protocol, 7, Mutation::None).explore(12) {
+                ExploreOutcome::Clean { cases, oracle_checks } => {
+                    assert_eq!(cases, 12);
+                    assert!(oracle_checks > 0, "{}: oracles never ran", protocol.label());
+                }
+                ExploreOutcome::Found(cx) => {
+                    panic!("{}: unexpected violation: {}", protocol.label(), cx.violation)
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tape_file_roundtrip() {
+        let tf = TapeFile {
+            name: "example".into(),
+            protocol: Protocol::Binary,
+            mutation: Mutation::BadPrefixSkip,
+            note: "prefix property violated between node 0 and node 1 at t=3".into(),
+            tape: vec![0, 17, u64::MAX],
+        };
+        let parsed = TapeFile::from_json(&tf.to_json()).expect("roundtrip");
+        assert_eq!(parsed, tf);
+        assert!(TapeFile::from_json("{}").is_err());
+        assert!(TapeFile::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn violation_display_is_informative() {
+        let v = Violation::PrefixDiverged {
+            a: NodeId::new(0),
+            b: NodeId::new(3),
+            at: SimTime::from_ticks(17),
+        };
+        let s = v.to_string();
+        assert!(s.contains("prefix") && s.contains("t=17"), "{s}");
+    }
+}

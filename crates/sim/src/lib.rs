@@ -31,6 +31,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod dst;
 pub mod experiments;
 pub mod metrics;
 pub mod report;

@@ -51,6 +51,12 @@ pub trait ProtocolNode: Node<Ext = Want> + EventSource {
     fn grants_count(&self) -> u64;
     /// Length of the node's applied history prefix.
     fn applied_len(&self) -> u64;
+    /// The node's full ordered-delivery state (prefix-property oracles).
+    fn order_state(&self) -> &atp_core::OrderState;
+    /// Whether the node currently holds the token (uniqueness oracle).
+    fn holds_token_now(&self) -> bool;
+    /// Highest token generation witnessed (regeneration-epoch oracle).
+    fn token_generation(&self) -> u32;
 }
 
 impl ProtocolNode for RingNode {
@@ -62,6 +68,15 @@ impl ProtocolNode for RingNode {
     }
     fn applied_len(&self) -> u64 {
         self.order().applied_seq()
+    }
+    fn order_state(&self) -> &atp_core::OrderState {
+        self.order()
+    }
+    fn holds_token_now(&self) -> bool {
+        self.holds_token()
+    }
+    fn token_generation(&self) -> u32 {
+        self.generation()
     }
 }
 
@@ -75,6 +90,15 @@ impl ProtocolNode for SearchNode {
     fn applied_len(&self) -> u64 {
         self.order().applied_seq()
     }
+    fn order_state(&self) -> &atp_core::OrderState {
+        self.order()
+    }
+    fn holds_token_now(&self) -> bool {
+        self.holds_token()
+    }
+    fn token_generation(&self) -> u32 {
+        self.generation()
+    }
 }
 
 impl ProtocolNode for BinaryNode {
@@ -86,6 +110,15 @@ impl ProtocolNode for BinaryNode {
     }
     fn applied_len(&self) -> u64 {
         self.order().applied_seq()
+    }
+    fn order_state(&self) -> &atp_core::OrderState {
+        self.order()
+    }
+    fn holds_token_now(&self) -> bool {
+        self.holds_token()
+    }
+    fn token_generation(&self) -> u32 {
+        self.generation()
     }
 }
 

@@ -60,7 +60,9 @@ pub struct Gen {
 }
 
 impl Gen {
-    fn live(seed: u64) -> Self {
+    /// A generator drawing fresh randomness from `seed`. Every draw is
+    /// recorded; [`Gen::tape`] exposes the record for later replay.
+    pub fn from_seed(seed: u64) -> Self {
         Self {
             rng: StdRng::seed_from_u64(seed),
             replay: None,
@@ -69,13 +71,30 @@ impl Gen {
         }
     }
 
-    fn replaying(tape: Vec<u64>) -> Self {
+    /// A generator replaying `tape`; draws past the end return 0. This is
+    /// how shrunk counterexamples are rebuilt and how external harnesses
+    /// (e.g. the DST explorer) replay serialized `.tape` files.
+    pub fn from_tape(tape: Vec<u64>) -> Self {
         Self {
             rng: StdRng::seed_from_u64(0),
             replay: Some(tape),
             pos: 0,
             tape: Vec::new(),
         }
+    }
+
+    fn live(seed: u64) -> Self {
+        Self::from_seed(seed)
+    }
+
+    fn replaying(tape: Vec<u64>) -> Self {
+        Self::from_tape(tape)
+    }
+
+    /// The draws consumed so far, in order. Replaying this exact tape with
+    /// [`Gen::from_tape`] rebuilds the identical value.
+    pub fn tape(&self) -> &[u64] {
+        &self.tape
     }
 
     fn draw(&mut self) -> u64 {
@@ -222,106 +241,134 @@ impl Check {
 
     /// Shrink `tape` to a smaller one whose generated value still fails
     /// `prop`. Returns the best tape and the number of candidates tried.
-    ///
-    /// A candidate is accepted only if it is *strictly smaller* than the
-    /// current best in (length, lexicographic) order — a well-founded
-    /// descent, so shrinking terminates even without the iteration cap.
     fn shrink<T, G, P>(&self, tape: Vec<u64>, gen: &G, prop: &P) -> (Vec<u64>, u32)
     where
         T: Debug,
         G: Fn(&mut Gen) -> T,
         P: Fn(&T),
     {
-        let mut best = tape;
-        let mut iters = 0u32;
-
         // Re-running the property hundreds of times while shrinking
         // would spray panic messages; silence the hook for the duration.
         let _quiet = silence_panics();
-
-        // Evaluate a candidate tape: Some(tape-as-consumed) if the
-        // generated value still fails the property AND the consumed
-        // tape is strictly smaller than `best`.
-        let accepts = |cand: &[u64], best: &[u64], iters: &mut u32| -> Option<Vec<u64>> {
-            if *iters >= self.max_shrink_iters {
-                return None;
-            }
-            *iters += 1;
+        shrink_tape(tape, self.max_shrink_iters, |cand| {
             let mut g = Gen::replaying(cand.to_vec());
             // The generator itself may panic on a mangled tape (e.g. a
             // helper asserting its own invariant); that candidate is
             // simply invalid, not a property failure.
             let value = panic::catch_unwind(AssertUnwindSafe(|| gen(&mut g))).ok()?;
-            let used = g.tape;
-            let smaller = used.len() < best.len()
-                || (used.len() == best.len() && used.as_slice() < best);
-            if smaller && run_prop(prop, &value).is_err() {
-                Some(used)
+            if run_prop(prop, &value).is_err() {
+                Some(g.tape)
             } else {
                 None
             }
-        };
+        })
+    }
+}
 
-        let mut improved = true;
-        while improved && iters < self.max_shrink_iters {
-            improved = false;
+/// Shrinks a draw tape to a smaller one that still fails, by chunk deletion
+/// and per-draw descent toward zero.
+///
+/// `still_fails` rebuilds a value from a candidate tape and returns
+/// `Some(consumed_tape)` if that value still exhibits the failure (the
+/// consumed tape may be shorter than the candidate when the rebuilt value
+/// needed fewer draws), or `None` if the candidate passes or is invalid.
+///
+/// A candidate is accepted only if its consumed tape is *strictly smaller*
+/// than the current best in (length, lexicographic) order — a well-founded
+/// descent, so shrinking terminates even without the `max_iters` cap.
+/// Returns the best tape and the number of candidates evaluated.
+///
+/// [`Check`] shrinks through this; external harnesses with non-panicking
+/// failure evaluation (e.g. the DST schedule explorer in `atp-sim`) reuse it
+/// directly.
+pub fn shrink_tape(
+    tape: Vec<u64>,
+    max_iters: u32,
+    mut still_fails: impl FnMut(&[u64]) -> Option<Vec<u64>>,
+) -> (Vec<u64>, u32) {
+    let mut best = tape;
+    let mut iters = 0u32;
 
-            // Pass 1: delete chunks of draws, largest first. This is
-            // what removes whole elements from generated vectors.
-            for size in [8usize, 4, 2, 1] {
-                let mut i = 0;
-                while i + size <= best.len() && iters < self.max_shrink_iters {
-                    let mut cand = best.clone();
-                    cand.drain(i..i + size);
-                    if let Some(used) = accepts(&cand, &best, &mut iters) {
-                        best = used;
-                        improved = true;
-                        // Same index now holds the next chunk.
-                    } else {
-                        i += 1;
-                    }
-                }
-            }
+    // Evaluate a candidate tape: Some(tape-as-consumed) if the rebuilt
+    // value still fails AND the consumed tape is strictly smaller than
+    // `best`.
+    let mut accepts = |cand: &[u64], best: &[u64], iters: &mut u32| -> Option<Vec<u64>> {
+        if *iters >= max_iters {
+            return None;
+        }
+        *iters += 1;
+        let used = still_fails(cand)?;
+        let smaller =
+            used.len() < best.len() || (used.len() == best.len() && used.as_slice() < best);
+        if smaller {
+            Some(used)
+        } else {
+            None
+        }
+    };
 
-            // Pass 2: shrink individual draws toward zero. Zero is tried
-            // first; otherwise binary-descend between the largest known
-            // passing value and the smallest known failing one, which
-            // lands exactly on threshold counterexamples.
-            for i in 0..best.len() {
-                if iters >= self.max_shrink_iters {
-                    break;
-                }
-                let orig = best[i];
-                if orig == 0 {
-                    continue;
-                }
+    let mut improved = true;
+    while improved && iters < max_iters {
+        improved = false;
+
+        // Pass 1: delete chunks of draws, largest first. This is
+        // what removes whole elements from generated vectors.
+        for size in [8usize, 4, 2, 1] {
+            let mut i = 0;
+            while i + size <= best.len() && iters < max_iters {
                 let mut cand = best.clone();
-                cand[i] = 0;
+                cand.drain(i..i + size);
                 if let Some(used) = accepts(&cand, &best, &mut iters) {
                     best = used;
                     improved = true;
-                    continue;
-                }
-                let (mut lo, mut hi) = (0u64, orig);
-                while lo + 1 < hi && iters < self.max_shrink_iters {
-                    let mid = lo + (hi - lo) / 2;
-                    let mut cand = best.clone();
-                    if i >= cand.len() {
-                        break;
-                    }
-                    cand[i] = mid;
-                    if let Some(used) = accepts(&cand, &best, &mut iters) {
-                        best = used;
-                        improved = true;
-                        hi = mid;
-                    } else {
-                        lo = mid;
-                    }
+                    // Same index now holds the next chunk.
+                } else {
+                    i += 1;
                 }
             }
         }
-        (best, iters)
+
+        // Pass 2: shrink individual draws toward zero. Zero is tried
+        // first; otherwise binary-descend between the largest known
+        // passing value and the smallest known failing one, which
+        // lands exactly on threshold counterexamples.
+        for i in 0..best.len() {
+            // An accepted candidate's consumed tape can be *shorter* than
+            // the one it replaced (the rebuilt value needed fewer draws),
+            // so re-check the index on every iteration.
+            if iters >= max_iters || i >= best.len() {
+                break;
+            }
+            let orig = best[i];
+            if orig == 0 {
+                continue;
+            }
+            let mut cand = best.clone();
+            cand[i] = 0;
+            if let Some(used) = accepts(&cand, &best, &mut iters) {
+                best = used;
+                improved = true;
+                continue;
+            }
+            let (mut lo, mut hi) = (0u64, orig);
+            while lo + 1 < hi && iters < max_iters {
+                let mid = lo + (hi - lo) / 2;
+                let mut cand = best.clone();
+                if i >= cand.len() {
+                    break;
+                }
+                cand[i] = mid;
+                if let Some(used) = accepts(&cand, &best, &mut iters) {
+                    best = used;
+                    improved = true;
+                    hi = mid;
+                } else {
+                    lo = mid;
+                }
+            }
+        }
     }
+    (best, iters)
 }
 
 fn run_prop<T>(prop: impl Fn(&T), value: &T) -> Result<(), String> {

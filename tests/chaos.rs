@@ -7,7 +7,7 @@ use adaptive_token_passing::core::{
     BinaryNode, EventSource, ProtocolConfig, TokenEvent, Want,
 };
 use adaptive_token_passing::net::{
-    ControlDrops, NodeId, SimTime, UniformLatency, World, WorldConfig,
+    ControlDrops, NodeId, SimTime, StepOutcome, UniformLatency, World, WorldConfig,
 };
 use adaptive_token_passing::util::rng::{Rng, SeedableRng, StdRng};
 
@@ -19,16 +19,91 @@ struct Ledger {
     regenerations: u64,
 }
 
+impl Ledger {
+    fn record(&mut self, ev: &TokenEvent) {
+        match ev {
+            TokenEvent::Requested { .. } => self.requested += 1,
+            TokenEvent::Granted { .. } => self.granted += 1,
+            TokenEvent::Released { .. } => self.released += 1,
+            TokenEvent::Regenerated { .. } => self.regenerations += 1,
+            _ => {}
+        }
+    }
+}
+
 fn drain(world: &mut World<BinaryNode>, ledger: &mut Ledger) {
     for i in 0..world.len() {
         for ev in world.node_mut(NodeId::new(i as u32)).take_events() {
-            match ev {
-                TokenEvent::Requested { .. } => ledger.requested += 1,
-                TokenEvent::Granted { .. } => ledger.granted += 1,
-                TokenEvent::Released { .. } => ledger.released += 1,
-                TokenEvent::Regenerated { .. } => ledger.regenerations += 1,
-                _ => {}
+            ledger.record(&ev);
+        }
+    }
+}
+
+/// Per-step safety oracle, evaluated after **every** dispatched event, not
+/// just at the end of the run — an end-state check cannot see a transient
+/// split-brain or a divergence that later heals.
+///
+/// Crash victims are excluded from the prefix comparison: a holder that
+/// dies with entries only it applied forks history when the survivors
+/// regenerate, so their suffix may legitimately diverge until resynced (the
+/// end-state check still covers them after the quiet tail). Two holders are
+/// only split-brain when they share a token *generation*; a stale holder
+/// coexisting with a regenerated one is expected until superseded.
+fn assert_chaos_oracles(world: &World<BinaryNode>, crash_victims: &[u32], at: SimTime) {
+    let n = world.len();
+    for a in 0..n as u32 {
+        if crash_victims.contains(&a) {
+            continue;
+        }
+        for b in a + 1..n as u32 {
+            if crash_victims.contains(&b) {
+                continue;
             }
+            let oa = world.node(NodeId::new(a)).order();
+            let ob = world.node(NodeId::new(b)).order();
+            assert!(
+                oa.is_prefix_of(ob) || ob.is_prefix_of(oa),
+                "prefix property violated between n{a} and n{b} at {at}"
+            );
+        }
+    }
+    let holders: Vec<(u32, u32)> = (0..n as u32)
+        .filter(|&i| world.is_alive(NodeId::new(i)))
+        .filter(|&i| world.node(NodeId::new(i)).holds_token())
+        .map(|i| (i, world.node(NodeId::new(i)).generation()))
+        .collect();
+    for (i, &(ia, ga)) in holders.iter().enumerate() {
+        for &(ib, gb) in &holders[i + 1..] {
+            assert_ne!(
+                ga, gb,
+                "split brain: n{ia} and n{ib} both hold generation {ga} at {at}"
+            );
+        }
+    }
+}
+
+/// Steps the world until `until` (or quiescence), tallying token events and
+/// running the safety oracles after every dispatched event.
+fn step_with_oracles(
+    world: &mut World<BinaryNode>,
+    until: SimTime,
+    crash_victims: &[u32],
+    ledger: &mut Ledger,
+) {
+    loop {
+        let at = match world.step() {
+            StepOutcome::Quiescent => break,
+            StepOutcome::Consumed { at } => at,
+            StepOutcome::Dispatched { node, at } => {
+                for ev in world.node_mut(node).take_events() {
+                    ledger.record(&ev);
+                }
+                assert_chaos_oracles(world, crash_victims, at);
+                at
+            }
+        };
+        if at > until {
+            break;
         }
     }
 }
@@ -68,11 +143,18 @@ fn chaos_run_preserves_safety() {
         healthy_requests += 1;
     }
 
+    let crash_victims = [9u32, 10, 11];
     let mut ledger = Ledger::default();
-    world.run_until(SimTime::from_ticks(1_700));
-    drain(&mut world, &mut ledger);
-    // Quiet tail: let stragglers, syncs and regenerations settle.
-    world.run_for(1_500);
+    step_with_oracles(
+        &mut world,
+        SimTime::from_ticks(1_700),
+        &crash_victims,
+        &mut ledger,
+    );
+    // Quiet tail: let stragglers, syncs and regenerations settle, with the
+    // oracles still armed on every event.
+    let tail = SimTime::from_ticks(world.now().ticks() + 1_500);
+    step_with_oracles(&mut world, tail, &crash_victims, &mut ledger);
     drain(&mut world, &mut ledger);
 
     // 1. Every grant has a matching release; grants never exceed requests.

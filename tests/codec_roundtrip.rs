@@ -3,8 +3,8 @@
 //! Runs on the in-repo `atp_util::check` harness.
 
 use adaptive_token_passing::core::{
-    decode_binary_msg, encode_binary_msg, BinaryMsg, Gimme, RegenMsg, RegenReply, RequestId,
-    TokenFrame, TokenMode, VisitStamp,
+    decode_binary_msg, encode_binary_msg, BinaryMsg, CodecError, Gimme, RegenMsg, RegenReply,
+    RequestId, TokenFrame, TokenMode, VisitStamp,
 };
 use adaptive_token_passing::net::NodeId;
 use adaptive_token_passing::util::check::{Check, Gen};
@@ -132,6 +132,67 @@ fn decoder_never_panics_on_garbage() {
             let _ = decode_binary_msg(bytes);
         },
     );
+}
+
+/// Seeded byte-mutation fuzzing: corrupting a valid frame anywhere must
+/// produce a clean outcome — `Ok` of some (other) message or a structured
+/// `CodecError` — never a panic, and never an attempt to honor an absurd
+/// length prefix.
+#[test]
+fn seeded_byte_mutations_are_rejected_not_panicked_on() {
+    Check::new("seeded_byte_mutations_are_rejected_not_panicked_on").run(
+        |g| {
+            let msg = arb_msg(g);
+            let flips = g.vec(1..6, |g| {
+                (g.gen_range(0usize..4096), g.gen_range(1u8..=u8::MAX))
+            });
+            (msg, flips)
+        },
+        |(msg, flips)| {
+            let mut bytes = encode_binary_msg(msg);
+            for &(pos, mask) in flips {
+                let idx = pos % bytes.len();
+                bytes[idx] ^= mask;
+            }
+            // Must return, never panic; both outcomes are acceptable
+            // because a flip can land on a don't-care payload byte.
+            let _ = decode_binary_msg(&bytes);
+        },
+    );
+}
+
+/// An unknown tag byte is a structured rejection, not a guess.
+#[test]
+fn unknown_tags_are_bad_tag_errors() {
+    for tag in [0x00u8, 0x05, 0x0f, 0x30, 0x7f, 0xff] {
+        let mut bytes = encode_binary_msg(&BinaryMsg::Regen(RegenMsg::Rejoin));
+        bytes[0] = tag;
+        match decode_binary_msg(&bytes) {
+            Err(CodecError::BadTag(t)) => assert_eq!(t, tag),
+            other => panic!("tag {tag:#x} decoded as {other:?}"),
+        }
+    }
+}
+
+/// Inflating a length prefix to the u32 maximum must yield `Truncated`,
+/// not a 16 GiB allocation: the decoder checks `remaining` before
+/// collecting. The trail length is the final u32 of an empty-trail Gimme.
+#[test]
+fn inflated_length_prefix_is_truncated_error() {
+    let msg = BinaryMsg::Gimme(Gimme {
+        origin: NodeId::new(1),
+        req: RequestId::new(NodeId::new(1), 1),
+        origin_stamp: VisitStamp(9),
+        span: 2,
+        trail: Vec::new(),
+    });
+    let mut bytes = encode_binary_msg(&msg);
+    let len = bytes.len();
+    bytes[len - 4..].copy_from_slice(&u32::MAX.to_le_bytes());
+    assert!(matches!(
+        decode_binary_msg(&bytes),
+        Err(CodecError::Truncated)
+    ));
 }
 
 #[test]

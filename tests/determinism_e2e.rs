@@ -3,7 +3,10 @@
 //! order) must be byte-identical across reruns with the same seed, and the
 //! seed must actually matter — different seeds give different traces.
 
-use adaptive_token_passing::sim::experiments::{fairness, fig9};
+use adaptive_token_passing::sim::experiments::{
+    ablation, drops, failure, fairness, fig10, fig9, geo, latency, messages, throughput,
+    worstcase,
+};
 use adaptive_token_passing::sim::runner::{run_experiment, ExperimentSpec, Protocol};
 use adaptive_token_passing::sim::sweep::{run_points, PointSpec, WorkloadSpec};
 use adaptive_token_passing::sim::workload::GlobalPoisson;
@@ -53,17 +56,13 @@ fn protocols_produce_distinct_summaries()
     assert_ne!(ring, binary);
 }
 
-/// The parallel sweep executor must not change results: the Figure 9 series
-/// and its rendered table are byte-identical whether the sweep runs on one
+/// The parallel sweep executor must not change results: the Figure 9
+/// series values are bitwise identical whether the sweep runs on one
 /// worker or eight (the in-process equivalent of `ATP_THREADS=1` vs
 /// `ATP_THREADS=8`).
 #[test]
 fn fig9_series_is_identical_serial_vs_parallel() {
     let cfg = fig9::Config::quick();
-    let serial_table = pool::with_threads(1, || fig9::run(&cfg).render());
-    let parallel_table = pool::with_threads(8, || fig9::run(&cfg).render());
-    assert_eq!(serial_table, parallel_table, "rendered Figure 9 diverged");
-
     let serial: Vec<(usize, u64, u64)> = pool::with_threads(1, || {
         fig9::series(&cfg)
             .iter()
@@ -79,14 +78,33 @@ fn fig9_series_is_identical_serial_vs_parallel() {
     assert_eq!(serial, parallel, "Figure 9 series values diverged (bitwise)");
 }
 
-/// Same check for a table experiment that mixes workload kinds (the
-/// fairness table runs hog-and-waiter and per-node-Poisson points).
+/// Every figure/table experiment renders byte-identically on one worker
+/// and on eight — the whole reproduction is scheduling-independent, not
+/// just the two experiments that happened to be spot-checked.
 #[test]
-fn fairness_table_is_identical_serial_vs_parallel() {
-    let cfg = fairness::Config::quick();
-    let serial = pool::with_threads(1, || fairness::run(&cfg).render());
-    let parallel = pool::with_threads(8, || fairness::run(&cfg).render());
-    assert_eq!(serial, parallel, "rendered fairness table diverged");
+fn all_experiments_render_identically_serial_vs_parallel() {
+    macro_rules! check_serial_vs_parallel {
+        ($($module:ident),+ $(,)?) => {
+            $({
+                let cfg = $module::Config::quick();
+                let serial = pool::with_threads(1, || $module::run(&cfg).render());
+                let parallel = pool::with_threads(8, || $module::run(&cfg).render());
+                assert_eq!(
+                    serial,
+                    parallel,
+                    concat!(
+                        "rendered ",
+                        stringify!($module),
+                        " table diverged between 1 and 8 workers"
+                    )
+                );
+            })+
+        };
+    }
+    check_serial_vs_parallel!(
+        ablation, drops, failure, fairness, fig10, fig9, geo, latency, messages, throughput,
+        worstcase,
+    );
 }
 
 /// At the `run_points` layer: the full `RunSummary::to_json` strings — every

@@ -1,0 +1,80 @@
+//! Deterministic simulation testing: the explorer must catch a planted
+//! fault and shrink it to a small deterministic tape, and every checked-in
+//! regression tape must replay green.
+
+use adaptive_token_passing::sim::dst::{
+    replay_tape, verify_tape, ExploreOutcome, Explorer, Mutation, TapeFile,
+};
+use adaptive_token_passing::sim::Protocol;
+
+/// The headline acceptance check: plant the off-by-one duplicate skip in
+/// BinaryNode's order state and require the explorer to (a) find it within
+/// the default budget, (b) shrink it to a small tape, and (c) produce a
+/// tape that deterministically reproduces the violation.
+#[test]
+fn planted_mutation_is_found_and_shrunk_to_replayable_tape() {
+    let explorer = Explorer::new(Protocol::Binary, 0, Mutation::BadPrefixSkip);
+    let cx = match explorer.explore(300) {
+        ExploreOutcome::Found(cx) => cx,
+        ExploreOutcome::Clean { cases, .. } => {
+            panic!("planted bad_prefix_skip not detected in {cases} cases")
+        }
+    };
+    assert!(
+        cx.tape.len() <= 32,
+        "shrinker left a bloated tape ({} words)",
+        cx.tape.len()
+    );
+
+    // The minimized tape must reproduce the violation, byte-for-byte
+    // deterministically, and only under the mutation.
+    let v1 = replay_tape(&cx.tape, Protocol::Binary, Mutation::BadPrefixSkip)
+        .expect_err("minimized tape must still fail under the mutation");
+    let v2 = replay_tape(&cx.tape, Protocol::Binary, Mutation::BadPrefixSkip)
+        .expect_err("replay must be deterministic");
+    assert_eq!(v1.to_string(), v2.to_string());
+    assert_eq!(v1.to_string(), cx.violation.to_string());
+    replay_tape(&cx.tape, Protocol::Binary, Mutation::None)
+        .expect("the unmodified protocol must pass the minimized schedule");
+}
+
+/// Every tape under `tests/tapes/` replays green: benign tapes pass, and
+/// mutation tapes still reproduce their violation (no tape rot).
+#[test]
+fn checked_in_tapes_replay_green() {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/tapes");
+    let mut paths: Vec<_> = std::fs::read_dir(dir)
+        .expect("tests/tapes must exist")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "tape"))
+        .collect();
+    paths.sort();
+    assert!(
+        paths.len() >= 3,
+        "expected the checked-in regression tapes, found {}",
+        paths.len()
+    );
+    for path in paths {
+        let text = std::fs::read_to_string(&path).unwrap();
+        let tf = TapeFile::from_json(&text)
+            .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        verify_tape(&tf).unwrap_or_else(|e| panic!("{e}"));
+    }
+}
+
+/// A small clean sweep per protocol: all per-step oracles hold across
+/// adversarial strategies. (ci.sh runs the full-budget campaign.)
+#[test]
+fn oracles_hold_over_adversarial_schedules() {
+    for protocol in Protocol::ALL {
+        match Explorer::new(protocol, 7, Mutation::None).explore(40) {
+            ExploreOutcome::Clean { cases, .. } => assert_eq!(cases, 40),
+            ExploreOutcome::Found(cx) => panic!(
+                "{} violated an oracle: {}\n{}",
+                protocol.label(),
+                cx.violation,
+                cx.case_debug
+            ),
+        }
+    }
+}

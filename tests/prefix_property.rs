@@ -6,7 +6,7 @@ use adaptive_token_passing::core::{
     BinaryNode, EventSource, ProtocolConfig, RingNode, SearchNode, TokenEvent, Want,
 };
 use adaptive_token_passing::net::{
-    ControlDrops, Node, NodeId, SimTime, UniformLatency, World, WorldConfig,
+    ControlDrops, Node, NodeId, SimTime, StepOutcome, UniformLatency, World, WorldConfig,
 };
 use adaptive_token_passing::util::check::{Check, Gen};
 use adaptive_token_passing::util::rng::Rng;
@@ -93,8 +93,23 @@ where
         );
     }
     // Long enough for every protocol to serve everything (rotation covers
-    // the ring many times over).
-    world.run_until(SimTime::from_ticks(400 + 50 * plan.n as u64));
+    // the ring many times over). Stepped manually so the safety oracles run
+    // after EVERY dispatched event, not just at the end: a transient
+    // divergence that later heals would silently pass an end-state check.
+    let horizon = SimTime::from_ticks(400 + 50 * plan.n as u64);
+    loop {
+        let at = match world.step() {
+            StepOutcome::Quiescent => break,
+            StepOutcome::Consumed { at } => at,
+            StepOutcome::Dispatched { at, .. } => {
+                assert_prefix_oracle(&world, plan.n, &order, at);
+                at
+            }
+        };
+        if at > horizon {
+            break;
+        }
+    }
 
     let mut grants = 0u64;
     let mut requests = 0u64;
@@ -118,19 +133,32 @@ where
         }
     }
 
-    // Prefix property across every pair of nodes.
-    for a in 0..plan.n {
-        for b in 0..plan.n {
-            let oa = order(world.node(NodeId::new(a as u32)));
+    // Final pass over the settled end state.
+    assert_prefix_oracle(&world, plan.n, &order, world.now());
+    (grants, requests)
+}
+
+/// The per-step safety oracle: pairwise prefix property and no delivery
+/// gaps (this file runs crash-free plans only).
+fn assert_prefix_oracle<N>(
+    world: &World<N>,
+    n: usize,
+    order: impl Fn(&N) -> &adaptive_token_passing::core::OrderState,
+    at: SimTime,
+) where
+    N: Node<Ext = Want> + EventSource,
+{
+    for a in 0..n {
+        let oa = order(world.node(NodeId::new(a as u32)));
+        assert_eq!(oa.gap_events(), 0, "n{a} saw a gap without crashes at {at}");
+        for b in a + 1..n {
             let ob = order(world.node(NodeId::new(b as u32)));
             assert!(
                 oa.is_prefix_of(ob) || ob.is_prefix_of(oa),
-                "prefix property violated between n{a} and n{b}"
+                "prefix property violated between n{a} and n{b} at {at}"
             );
-            assert_eq!(oa.gap_events(), 0, "no gaps without crashes");
         }
     }
-    (grants, requests)
 }
 
 fn binary_body(plan: &Plan) {
