@@ -37,6 +37,9 @@ cmp "$OUT1" "$OUT4"
 ATP_THREADS=1 cargo run -q --release -p atp-sim --bin table_fairness -- --quick 2>/dev/null > "$OUT1"
 ATP_THREADS=4 cargo run -q --release -p atp-sim --bin table_fairness -- --quick 2>/dev/null > "$OUT4"
 cmp "$OUT1" "$OUT4"
+ATP_THREADS=1 cargo run -q --release -p atp-sim --bin table_partition -- --quick 2>/dev/null > "$OUT1"
+ATP_THREADS=4 cargo run -q --release -p atp-sim --bin table_partition -- --quick 2>/dev/null > "$OUT4"
+cmp "$OUT1" "$OUT4"
 rm -f "$OUT1" "$OUT4"
 echo "ATP_THREADS=1 and ATP_THREADS=4 outputs are byte-identical"
 
@@ -47,6 +50,13 @@ echo "== dst smoke =="
 # and prove the detector still catches a planted prefix-comparison bug.
 cargo run -q --release -p atp-sim --bin dst -- \
   --budget 210 --tapes tests/tapes --demo-mutation
+
+echo "== partition dst smoke =="
+# The heal-fencing adversary: every case splits the ring and heals it under
+# link loss/duplication; the dual-token-after-heal oracle must hold across
+# at least 100 cases per protocol. (The checked-in partition-retransmit
+# tape already replayed in the step above.)
+cargo run -q --release -p atp-sim --bin dst -- --budget 120 --partition
 
 echo "== dependency closure =="
 # Every line of `cargo tree` must be a workspace crate: atp-* or the

@@ -29,6 +29,7 @@ use atp_net::{Context, MsgClass, Node, NodeId, SimTime};
 
 use crate::config::{ProtocolConfig, SearchMode, TrapCleanup};
 use crate::event::{EventBuf, EventSource, TokenEvent, Want, WantKind};
+use crate::handoff::{decode_retransmit_timer, retransmit_timer_kind, Handoff};
 use crate::order::OrderState;
 use crate::regen::{RegenEngine, RegenMsg, RegenReply, RegenVerdict};
 use crate::token::TokenFrame;
@@ -132,7 +133,12 @@ const TIMER_SERVICE: u64 = 1;
 const TIMER_PASS: u64 = 2;
 const TIMER_REGEN: u64 = 3;
 const TIMER_INQUIRY: u64 = 4;
+// Timer kind 5 (low byte) is the retransmit timer, see `crate::handoff`.
+const TIMER_ANNOUNCE: u64 = 6;
 const INQUIRY_WINDOW: u64 = 8;
+
+/// Re-announce period for generation fencing while excluded nodes remain.
+const ANNOUNCE_PERIOD: u64 = 16;
 
 #[derive(Debug)]
 struct Outstanding {
@@ -194,6 +200,7 @@ pub struct BinaryNode {
     /// traps (fairness: locals arriving mid-possession wait a round).
     quota: usize,
     regen: RegenEngine,
+    handoff: Handoff<BinaryMsg>,
     rejoining: BTreeSet<NodeId>,
     leaving: BTreeSet<NodeId>,
     departed: bool,
@@ -224,6 +231,7 @@ impl BinaryNode {
             holding: None,
             quota: 0,
             regen: RegenEngine::new(),
+            handoff: Handoff::new(),
             rejoining: BTreeSet::new(),
             leaving: BTreeSet::new(),
             departed: false,
@@ -280,6 +288,17 @@ impl BinaryNode {
         self.probe_sends
     }
 
+    /// Token frames discarded as duplicates (watermark or double
+    /// possession) instead of forking possession.
+    pub fn duplicate_tokens_discarded(&self) -> u64 {
+        self.handoff.duplicates_discarded
+    }
+
+    /// Token frames retransmitted after an ack timeout.
+    pub fn token_retransmits(&self) -> u64 {
+        self.handoff.retransmits
+    }
+
     /// Current token generation this node believes in.
     pub fn generation(&self) -> u32 {
         self.regen.generation
@@ -294,9 +313,10 @@ impl BinaryNode {
         if self.regen.witness(generation) {
             if let Some(h) = &self.holding {
                 if h.token.generation < generation {
+                    let stale = h.token.generation;
                     self.holding = None;
                     self.events.push(TokenEvent::StaleTokenDiscarded {
-                        generation: generation - 1,
+                        generation: stale,
                         at,
                     });
                 }
@@ -321,7 +341,9 @@ impl BinaryNode {
         }
         self.witness_generation(token.generation, ctx.now());
         if self.holding.is_some() {
-            debug_assert!(false, "duplicate token at {}", ctx.id());
+            // Duplicate token of the same generation: a duplicated or
+            // retransmitted frame got past the watermark. Discard, count.
+            self.handoff.count_duplicate();
             return false;
         }
         self.last_visit = token.on_possess(ctx.id(), rotational);
@@ -340,7 +362,59 @@ impl BinaryNode {
             token,
             state: HoldState::Idle,
         });
+        self.announce_generation(ctx);
         true
+    }
+
+    /// Generation fencing: while the token lists excluded nodes, the holder
+    /// periodically tells them which generation is live, so a node isolated
+    /// during a partition cannot keep serving a superseded token after heal.
+    fn announce_generation(&mut self, ctx: &mut Context<'_, BinaryMsg>) {
+        if !self.cfg.regeneration {
+            return;
+        }
+        let Some(h) = &self.holding else { return };
+        if h.token.excluded().is_empty() {
+            return;
+        }
+        let generation = h.token.generation;
+        let targets: Vec<NodeId> = h.token.excluded().to_vec();
+        for node in targets {
+            ctx.send(
+                node,
+                BinaryMsg::Regen(RegenMsg::GenAnnounce { generation }),
+                MsgClass::Token,
+            );
+        }
+        ctx.set_timer(ANNOUNCE_PERIOD, TIMER_ANNOUNCE);
+    }
+
+    /// Stamps, records and (if acks are on) tracks an outgoing token frame.
+    fn ship_token(
+        &mut self,
+        to: NodeId,
+        mut frame: TokenFrame,
+        mode: TokenMode,
+        ctx: &mut Context<'_, BinaryMsg>,
+    ) {
+        self.last_pass = Some(to);
+        self.token_sends += 1;
+        frame.bump_transfer();
+        let generation = frame.generation;
+        let transfer_seq = frame.transfer_seq();
+        let msg = BinaryMsg::Token { frame, mode };
+        if to != ctx.id() {
+            // Self-sends (degenerate one-node ring) must pass the watermark.
+            self.handoff.observe_send(generation, transfer_seq);
+        }
+        if self.cfg.token_acks {
+            self.handoff.track(to, msg.clone(), generation, transfer_seq);
+            ctx.set_timer(
+                self.cfg.ack_backoff(0),
+                retransmit_timer_kind(transfer_seq, 0),
+            );
+        }
+        ctx.send(to, msg, MsgClass::Token);
     }
 
     fn finish_service(&mut self, req: RequestId, payload: u64, ctx: &mut Context<'_, BinaryMsg>) {
@@ -446,16 +520,7 @@ impl BinaryNode {
             return;
         };
         let succ = holding.token.next_live_successor(ctx.topology(), ctx.id());
-        self.last_pass = Some(succ);
-        self.token_sends += 1;
-        ctx.send(
-            succ,
-            BinaryMsg::Token {
-                frame: holding.token,
-                mode: TokenMode::Rotate,
-            },
-            MsgClass::Token,
-        );
+        self.ship_token(succ, holding.token, TokenMode::Rotate, ctx);
         self.maybe_restart_search(ctx);
     }
 
@@ -483,7 +548,6 @@ impl BinaryNode {
         let me = ctx.id();
         let use_inverse =
             self.cfg.trap_cleanup == TrapCleanup::Inverse && trap.trail.len() > 1;
-        self.token_sends += 1;
         if use_inverse {
             // trail = [origin, a, b, …]; reverse route: last → … → origin.
             let mut trail = trap.trail;
@@ -500,27 +564,16 @@ impl BinaryNode {
                     trail,
                 }
             };
-            self.last_pass = Some(next);
-            ctx.send(
-                next,
-                BinaryMsg::Token {
-                    frame: holding.token,
-                    mode,
-                },
-                MsgClass::Token,
-            );
+            self.ship_token(next, holding.token, mode, ctx);
         } else {
-            self.last_pass = Some(trap.origin);
-            ctx.send(
+            self.ship_token(
                 trap.origin,
-                BinaryMsg::Token {
-                    frame: holding.token,
-                    mode: TokenMode::Grant {
-                        for_req: trap.req,
-                        return_to: me,
-                    },
+                holding.token,
+                TokenMode::Grant {
+                    for_req: trap.req,
+                    return_to: me,
                 },
-                MsgClass::Token,
+                ctx,
             );
         }
         self.maybe_restart_search(ctx);
@@ -563,16 +616,7 @@ impl BinaryNode {
             self.progress(ctx);
             return;
         }
-        self.last_pass = Some(return_to);
-        self.token_sends += 1;
-        ctx.send(
-            return_to,
-            BinaryMsg::Token {
-                frame: holding.token,
-                mode: TokenMode::Return,
-            },
-            MsgClass::Token,
-        );
+        self.ship_token(return_to, holding.token, TokenMode::Return, ctx);
         self.maybe_restart_search(ctx);
     }
 
@@ -655,16 +699,7 @@ impl BinaryNode {
                         trail,
                     }
                 };
-                self.last_pass = Some(next);
-                self.token_sends += 1;
-                ctx.send(
-                    next,
-                    BinaryMsg::Token {
-                        frame: holding.token,
-                        mode,
-                    },
-                    MsgClass::Token,
-                );
+                self.ship_token(next, holding.token, mode, ctx);
             }
         }
     }
@@ -1012,6 +1047,41 @@ impl BinaryNode {
                     self.leaving.remove(&from);
                 }
             }
+            RegenMsg::TokenAck {
+                generation,
+                transfer_seq,
+            } => {
+                self.handoff.acked(generation, transfer_seq);
+            }
+            RegenMsg::GenAnnounce { generation } => {
+                if generation > self.regen.generation {
+                    // We sat out a regeneration (partition, crash): adopt the
+                    // live generation and ask the holder to readmit us.
+                    self.witness_generation(generation, ctx.now());
+                    if !self.departed {
+                        ctx.send(from, BinaryMsg::Regen(RegenMsg::Rejoin), MsgClass::Token);
+                        // Our search may have died with the old token.
+                        if self.holding.is_none() {
+                            if let Some(front) = self.outstanding.front_mut() {
+                                front.search_started = false;
+                            }
+                            self.maybe_restart_search(ctx);
+                        }
+                    }
+                    if !self.outstanding.is_empty() && self.holding.is_none() {
+                        self.arm_regen_timer(ctx);
+                    }
+                } else if generation < self.regen.generation {
+                    // The announcer is the stale one: fence it back.
+                    ctx.send(
+                        from,
+                        BinaryMsg::Regen(RegenMsg::GenAnnounce {
+                            generation: self.regen.generation,
+                        }),
+                        MsgClass::Token,
+                    );
+                }
+            }
         }
     }
 
@@ -1068,7 +1138,26 @@ impl Node for BinaryNode {
 
     fn on_message(&mut self, from: NodeId, msg: BinaryMsg, ctx: &mut Context<'_, BinaryMsg>) {
         match msg {
-            BinaryMsg::Token { frame, mode } => self.handle_token(frame, mode, ctx),
+            BinaryMsg::Token { frame, mode } => {
+                if self.cfg.token_acks {
+                    // Ack every receipt, duplicates included: the sender may
+                    // be retransmitting because our previous ack was lost.
+                    ctx.send(
+                        from,
+                        BinaryMsg::Regen(RegenMsg::TokenAck {
+                            generation: frame.generation,
+                            transfer_seq: frame.transfer_seq(),
+                        }),
+                        MsgClass::Token,
+                    );
+                }
+                if frame.generation >= self.regen.generation
+                    && !self.handoff.accept(frame.generation, frame.transfer_seq())
+                {
+                    return; // duplicate or replayed frame, counted
+                }
+                self.handle_token(frame, mode, ctx)
+            }
             BinaryMsg::Gimme(g) => self.handle_gimme(g, ctx),
             BinaryMsg::DirectedProbe { origin, req, span } => {
                 self.handle_directed_probe(origin, req, span, ctx)
@@ -1137,7 +1226,22 @@ impl Node for BinaryNode {
     }
 
     fn on_timer(&mut self, kind: u64, ctx: &mut Context<'_, BinaryMsg>) {
+        if let Some((tseq, attempt)) = decode_retransmit_timer(kind) {
+            if self.handoff.timer_due(tseq, attempt) {
+                if let Some((to, msg, tseq, next)) =
+                    self.handoff.next_attempt(self.cfg.ack_max_retries)
+                {
+                    ctx.send(to, msg, MsgClass::Token);
+                    ctx.set_timer(
+                        self.cfg.ack_backoff(next),
+                        retransmit_timer_kind(tseq, next),
+                    );
+                }
+            }
+            return;
+        }
         match kind {
+            TIMER_ANNOUNCE => self.announce_generation(ctx),
             TIMER_SERVICE => {
                 let Some(holding) = self.holding.as_mut() else {
                     return;
@@ -1240,6 +1344,8 @@ impl Node for BinaryNode {
     }
 
     fn on_recover(&mut self, ctx: &mut Context<'_, BinaryMsg>) {
+        // A retransmit from before the crash could resurrect a stale token.
+        self.handoff.clear_pending();
         if self.holding.take().is_some() {
             self.events.push(TokenEvent::StaleTokenDiscarded {
                 generation: self.regen.generation,

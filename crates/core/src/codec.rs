@@ -50,6 +50,8 @@ const TAG_REGEN_REJOIN: u8 = 0x23;
 const TAG_REGEN_LEAVE: u8 = 0x24;
 const TAG_REGEN_SYNC_REQ: u8 = 0x25;
 const TAG_REGEN_SYNC_REPLY: u8 = 0x26;
+const TAG_REGEN_TOKEN_ACK: u8 = 0x27;
+const TAG_REGEN_GEN_ANNOUNCE: u8 = 0x28;
 
 fn put_req(buf: &mut Vec<u8>, req: RequestId) {
     buf.put_u32_le(req.origin.raw());
@@ -229,6 +231,18 @@ pub fn encode_binary_msg(msg: &BinaryMsg) -> Vec<u8> {
                     buf.put_u64_le(e.round);
                 }
             }
+            RegenMsg::TokenAck {
+                generation,
+                transfer_seq,
+            } => {
+                buf.put_u8(TAG_REGEN_TOKEN_ACK);
+                buf.put_u32_le(*generation);
+                buf.put_u64_le(*transfer_seq);
+            }
+            RegenMsg::GenAnnounce { generation } => {
+                buf.put_u8(TAG_REGEN_GEN_ANNOUNCE);
+                buf.put_u32_le(*generation);
+            }
         },
     }
     buf
@@ -367,6 +381,13 @@ pub fn decode_binary_msg(bytes: &[u8]) -> Result<BinaryMsg, CodecError> {
             }
             Ok(BinaryMsg::Regen(RegenMsg::SyncReply { entries }))
         }
+        TAG_REGEN_TOKEN_ACK => Ok(BinaryMsg::Regen(RegenMsg::TokenAck {
+            generation: get_u32(&mut buf)?,
+            transfer_seq: get_u64(&mut buf)?,
+        })),
+        TAG_REGEN_GEN_ANNOUNCE => Ok(BinaryMsg::Regen(RegenMsg::GenAnnounce {
+            generation: get_u32(&mut buf)?,
+        })),
         other => Err(CodecError::BadTag(other)),
     }
 }
@@ -499,6 +520,11 @@ mod tests {
                     round: 11,
                 }],
             }),
+            BinaryMsg::Regen(RegenMsg::TokenAck {
+                generation: 0x0103,
+                transfer_seq: 77,
+            }),
+            BinaryMsg::Regen(RegenMsg::GenAnnounce { generation: 0x0201 }),
         ];
         for m in msgs {
             let d = format!("{:?}", m);

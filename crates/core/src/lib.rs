@@ -46,6 +46,7 @@ mod binary;
 mod codec;
 mod config;
 mod event;
+mod handoff;
 mod order;
 mod regen;
 mod ring;
@@ -59,8 +60,9 @@ pub use binary::{BinaryMsg, BinaryNode, Gimme, TokenMode};
 pub use codec::{decode_binary_msg, encode_binary_msg, CodecError};
 pub use config::{ProtocolConfig, SearchMode, TrapCleanup};
 pub use event::{EventSource, TokenEvent, Want};
+pub use handoff::{Handoff, PendingTransfer};
 pub use order::{HistoryDigest, OrderState};
-pub use regen::{RegenEngine, RegenMsg, RegenReply, RegenVerdict};
+pub use regen::{gen_epoch, gen_minter, make_gen, RegenEngine, RegenMsg, RegenReply, RegenVerdict};
 pub use ring::{RingMsg, RingNode};
 pub use runtime::{Cluster, ClusterConfig, ClusterHandle};
 pub use search::{SearchMsg, SearchNode};

@@ -23,10 +23,21 @@
 //!    token is lost in transit — regenerate.
 //! 4. **Regeneration.** The suspecting node asks a *deterministically chosen*
 //!    node (the first live node after the loss site in ring order) to mint
-//!    generation `g+1` carrying the longest applied history any live node
+//!    the next generation carrying the longest applied history any live node
 //!    reported. Minting is idempotent per generation, so concurrent
 //!    inquiries converge on one new token; frames from superseded
 //!    generations are discarded on receipt.
+//!
+//! ## Generation fencing across partitions
+//!
+//! Generations are packed as `(epoch << 8) | minter` (see [`make_gen`]): the
+//! high bits count regeneration rounds, the low byte identifies the minting
+//! node. Two partition sides that each regenerate concurrently therefore mint
+//! *distinct*, totally ordered generations — on heal the larger one fences
+//! the smaller via the ordinary stale-generation discard, so no two live
+//! tokens of the same generation can coexist. The holder of the surviving
+//! token keeps broadcasting [`RegenMsg::GenAnnounce`] to excluded nodes until
+//! they rejoin, which also retires any stale token still held across the cut.
 
 use std::collections::BTreeMap;
 
@@ -34,6 +45,26 @@ use atp_net::{NodeId, Topology};
 
 use crate::token::TokenFrame;
 use crate::types::{LogEntry, VisitStamp};
+
+/// Packs a regeneration epoch and the minting node into one totally ordered
+/// generation number: `(epoch << 8) | minter`. Comparing packed generations
+/// orders by epoch first, then by minter id, so concurrent regenerations on
+/// opposite sides of a partition always produce *different* generations and
+/// exactly one survives the heal.
+pub fn make_gen(epoch: u32, minter: NodeId) -> u32 {
+    (epoch << 8) | (minter.raw() & 0xff)
+}
+
+/// The regeneration-epoch part of a packed generation.
+pub fn gen_epoch(generation: u32) -> u32 {
+    generation >> 8
+}
+
+/// The minting-node part of a packed generation (low byte; only meaningful
+/// for generations > 0 — the initial token is minted as plain 0).
+pub fn gen_minter(generation: u32) -> u32 {
+    generation & 0xff
+}
 
 /// Failure-handling wire messages, embedded in each protocol's message enum.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -74,6 +105,24 @@ pub enum RegenMsg {
     SyncReply {
         /// The entries, sorted by `seq`.
         entries: Vec<LogEntry>,
+    },
+    /// Acknowledges receipt of a token frame (sent for every arriving frame,
+    /// duplicates included, when [`ProtocolConfig::token_acks`](crate::ProtocolConfig::token_acks)
+    /// is on). Clears the sender's retransmit state for that transfer.
+    TokenAck {
+        /// Generation of the acknowledged frame.
+        generation: u32,
+        /// Transfer sequence of the acknowledged frame.
+        transfer_seq: u64,
+    },
+    /// Generation fencing after a partition heal: the holder of a token with
+    /// a non-empty excluded set announces its generation to the excluded
+    /// nodes. A node that learns of a newer generation discards any stale
+    /// token it still holds and asks to rejoin; a node that knows a *newer*
+    /// generation answers with its own announce, fencing the sender instead.
+    GenAnnounce {
+        /// The announcer's token generation.
+        generation: u32,
     },
 }
 
@@ -215,7 +264,10 @@ impl RegenEngine {
             .map(|(id, r)| (*id, *r))
             .expect("replies contains at least the inquirer");
         let known_seq = replies.values().map(|r| r.applied_seq).max().unwrap_or(0);
-        let new_gen = self.generation + 1;
+        // Packed next generation: bump the epoch, stamp the minter. Two
+        // disconnected inquirers picking different minters thus mint
+        // different (totally ordered) generations — see [`make_gen`].
+        let next_gen_by = |target: NodeId| make_gen(gen_epoch(self.generation) + 1, target);
 
         // Case 1: the freshest node passed the token to someone who did not
         // answer — the holder died with the token.
@@ -225,7 +277,7 @@ impl RegenEngine {
                 self.prev_max_stamp = None;
                 return RegenVerdict::Regenerate {
                     target,
-                    new_gen,
+                    new_gen: next_gen_by(target),
                     known_seq,
                     dead: dead(),
                 };
@@ -245,7 +297,7 @@ impl RegenEngine {
             self.prev_max_stamp = None;
             return RegenVerdict::Regenerate {
                 target,
-                new_gen,
+                new_gen: next_gen_by(target),
                 known_seq,
                 dead: dead(),
             };
@@ -338,7 +390,7 @@ mod tests {
             v,
             RegenVerdict::Regenerate {
                 target: NodeId::new(3),
-                new_gen: 1,
+                new_gen: make_gen(1, NodeId::new(3)),
                 known_seq: 5,
                 dead: vec![NodeId::new(2)],
             }
@@ -364,7 +416,7 @@ mod tests {
             v,
             RegenVerdict::Regenerate {
                 target: NodeId::new(2),
-                new_gen: 1,
+                new_gen: make_gen(1, NodeId::new(2)),
                 known_seq: 5,
                 dead: vec![],
             }
@@ -395,15 +447,43 @@ mod tests {
     #[test]
     fn minting_is_idempotent_per_generation() {
         let mut e = RegenEngine::new();
-        let t1 = e.mint(1, 10, 8, vec![NodeId::new(3)]);
+        let g1 = make_gen(1, NodeId::new(3));
+        let g2 = make_gen(2, NodeId::new(1));
+        let t1 = e.mint(g1, 10, 8, vec![NodeId::new(3)]);
         assert!(t1.is_some());
         let t1 = t1.unwrap();
-        assert_eq!(t1.generation, 1);
+        assert_eq!(t1.generation, g1);
         assert_eq!(t1.committed(), 10);
         assert!(t1.is_excluded(NodeId::new(3)));
-        assert!(e.mint(1, 10, 8, vec![]).is_none());
-        assert!(e.mint(2, 12, 8, vec![]).is_some());
-        assert!(e.mint(1, 9, 8, vec![]).is_none());
+        assert!(e.mint(g1, 10, 8, vec![]).is_none());
+        assert!(e.mint(g2, 12, 8, vec![]).is_some());
+        assert!(e.mint(g1, 9, 8, vec![]).is_none());
+    }
+
+    /// Regression (message duplication): a duplicated `Please` must not mint
+    /// a second token of the same generation — the second call is a no-op.
+    #[test]
+    fn duplicated_please_mints_exactly_one_token() {
+        let mut e = RegenEngine::new();
+        let g = make_gen(1, NodeId::new(2));
+        assert!(e.mint(g, 5, 8, vec![NodeId::new(0)]).is_some());
+        assert!(
+            e.mint(g, 5, 8, vec![NodeId::new(0)]).is_none(),
+            "redelivered mint request minted a duplicate token"
+        );
+    }
+
+    #[test]
+    fn packed_generations_are_totally_ordered_by_epoch_then_minter() {
+        let a = make_gen(1, NodeId::new(2));
+        let b = make_gen(1, NodeId::new(5));
+        let c = make_gen(2, NodeId::new(0));
+        assert!(a < b && b < c, "{a} {b} {c}");
+        assert_eq!(gen_epoch(c), 2);
+        assert_eq!(gen_minter(b), 5);
+        // Concurrent partition-side regenerations from the same base epoch
+        // always disagree in the low byte, never collide.
+        assert_ne!(a, b);
     }
 
     #[test]

@@ -14,6 +14,7 @@ use atp_net::{Context, MsgClass, Node, NodeId, SimTime};
 
 use crate::config::ProtocolConfig;
 use crate::event::{EventBuf, EventSource, TokenEvent, Want, WantKind};
+use crate::handoff::{decode_retransmit_timer, retransmit_timer_kind, Handoff};
 use crate::order::OrderState;
 use crate::regen::{RegenEngine, RegenMsg, RegenReply, RegenVerdict};
 use crate::token::TokenFrame;
@@ -32,6 +33,11 @@ const TIMER_SERVICE: u64 = 1;
 const TIMER_PASS: u64 = 2;
 const TIMER_REGEN: u64 = 3;
 const TIMER_INQUIRY: u64 = 4;
+// Timer kind 5 (low byte) is the retransmit timer, see `crate::handoff`.
+const TIMER_ANNOUNCE: u64 = 6;
+
+/// Re-announce period for generation fencing while excluded nodes remain.
+const ANNOUNCE_PERIOD: u64 = 16;
 
 /// Reply-collection window for an inquiry, in ticks (2 round trips at unit
 /// delay, with slack for jittery latency models).
@@ -77,6 +83,7 @@ pub struct RingNode {
     last_pass: Option<NodeId>,
     holding: Option<Holding>,
     regen: RegenEngine,
+    handoff: Handoff<RingMsg>,
     rejoining: BTreeSet<NodeId>,
     leaving: BTreeSet<NodeId>,
     departed: bool,
@@ -99,6 +106,7 @@ impl RingNode {
             last_pass: None,
             holding: None,
             regen: RegenEngine::new(),
+            handoff: Handoff::new(),
             rejoining: BTreeSet::new(),
             leaving: BTreeSet::new(),
             departed: false,
@@ -143,6 +151,17 @@ impl RingNode {
         self.token_sends
     }
 
+    /// Token frames discarded as duplicates (watermark or double
+    /// possession) instead of forking possession.
+    pub fn duplicate_tokens_discarded(&self) -> u64 {
+        self.handoff.duplicates_discarded
+    }
+
+    /// Token frames retransmitted after an ack timeout.
+    pub fn token_retransmits(&self) -> u64 {
+        self.handoff.retransmits
+    }
+
     /// Current token generation this node believes in.
     pub fn generation(&self) -> u32 {
         self.regen.generation
@@ -153,9 +172,10 @@ impl RingNode {
             // A held token from a superseded generation is dead weight.
             if let Some(h) = &self.holding {
                 if h.token.generation < generation {
+                    let stale = h.token.generation;
                     self.holding = None;
                     self.events.push(TokenEvent::StaleTokenDiscarded {
-                        generation: self.regen.generation - 1,
+                        generation: stale,
                         at,
                     });
                 }
@@ -173,9 +193,9 @@ impl RingNode {
         }
         self.witness_generation(token.generation, ctx.now());
         if self.holding.is_some() {
-            // Duplicate token of the same generation: impossible under
-            // fail-stop + idempotent minting, but drop defensively.
-            debug_assert!(false, "duplicate token at {}", ctx.id());
+            // Duplicate token of the same generation: a duplicated or
+            // retransmitted frame got past the watermark. Discard, count.
+            self.handoff.count_duplicate();
             return;
         }
         self.last_visit = token.on_possess(ctx.id(), true);
@@ -201,7 +221,31 @@ impl RingNode {
             token,
             state: HoldState::Idle,
         });
+        self.announce_generation(ctx);
         self.progress(ctx);
+    }
+
+    /// Generation fencing: while the token lists excluded nodes, the holder
+    /// periodically tells them which generation is live, so a node isolated
+    /// during a partition cannot keep serving a superseded token after heal.
+    fn announce_generation(&mut self, ctx: &mut Context<'_, RingMsg>) {
+        if !self.cfg.regeneration {
+            return;
+        }
+        let Some(h) = &self.holding else { return };
+        if h.token.excluded().is_empty() {
+            return;
+        }
+        let generation = h.token.generation;
+        let targets: Vec<NodeId> = h.token.excluded().to_vec();
+        for node in targets {
+            ctx.send(
+                node,
+                RingMsg::Regen(RegenMsg::GenAnnounce { generation }),
+                MsgClass::Token,
+            );
+        }
+        ctx.set_timer(ANNOUNCE_PERIOD, TIMER_ANNOUNCE);
     }
 
     fn finish_service(&mut self, req: RequestId, payload: u64, ctx: &mut Context<'_, RingMsg>) {
@@ -256,13 +300,28 @@ impl RingNode {
     }
 
     fn send_token(&mut self, ctx: &mut Context<'_, RingMsg>) {
-        let Some(holding) = self.holding.take() else {
+        let Some(mut holding) = self.holding.take() else {
             return;
         };
         let succ = holding.token.next_live_successor(ctx.topology(), ctx.id());
         self.last_pass = Some(succ);
         self.token_sends += 1;
-        ctx.send(succ, RingMsg::Token(holding.token), MsgClass::Token);
+        holding.token.bump_transfer();
+        let generation = holding.token.generation;
+        let transfer_seq = holding.token.transfer_seq();
+        let msg = RingMsg::Token(holding.token);
+        if succ != ctx.id() {
+            // Self-sends (degenerate one-node ring) must pass the watermark.
+            self.handoff.observe_send(generation, transfer_seq);
+        }
+        if self.cfg.token_acks {
+            self.handoff.track(succ, msg.clone(), generation, transfer_seq);
+            ctx.set_timer(
+                self.cfg.ack_backoff(0),
+                retransmit_timer_kind(transfer_seq, 0),
+            );
+        }
+        ctx.send(succ, msg, MsgClass::Token);
     }
 
     fn my_regen_view(&self) -> RegenReply {
@@ -359,6 +418,34 @@ impl RingNode {
                     self.leaving.remove(&from);
                 }
             }
+            RegenMsg::TokenAck {
+                generation,
+                transfer_seq,
+            } => {
+                self.handoff.acked(generation, transfer_seq);
+            }
+            RegenMsg::GenAnnounce { generation } => {
+                if generation > self.regen.generation {
+                    // We sat out a regeneration (partition, crash): adopt the
+                    // live generation and ask the holder to readmit us.
+                    self.witness_generation(generation, ctx.now());
+                    if !self.departed {
+                        ctx.send(from, RingMsg::Regen(RegenMsg::Rejoin), MsgClass::Token);
+                    }
+                    if !self.outstanding.is_empty() && self.holding.is_none() {
+                        self.arm_regen_timer(ctx);
+                    }
+                } else if generation < self.regen.generation {
+                    // The announcer is the stale one: fence it back.
+                    ctx.send(
+                        from,
+                        RingMsg::Regen(RegenMsg::GenAnnounce {
+                            generation: self.regen.generation,
+                        }),
+                        MsgClass::Token,
+                    );
+                }
+            }
         }
     }
 
@@ -405,7 +492,26 @@ impl Node for RingNode {
 
     fn on_message(&mut self, from: NodeId, msg: RingMsg, ctx: &mut Context<'_, RingMsg>) {
         match msg {
-            RingMsg::Token(frame) => self.handle_token(frame, ctx),
+            RingMsg::Token(frame) => {
+                if self.cfg.token_acks {
+                    // Ack every receipt, duplicates included: the sender may
+                    // be retransmitting because our previous ack was lost.
+                    ctx.send(
+                        from,
+                        RingMsg::Regen(RegenMsg::TokenAck {
+                            generation: frame.generation,
+                            transfer_seq: frame.transfer_seq(),
+                        }),
+                        MsgClass::Token,
+                    );
+                }
+                if frame.generation >= self.regen.generation
+                    && !self.handoff.accept(frame.generation, frame.transfer_seq())
+                {
+                    return; // duplicate or replayed frame, counted
+                }
+                self.handle_token(frame, ctx)
+            }
             RingMsg::Regen(m) => self.handle_regen(from, m, ctx),
         }
     }
@@ -453,7 +559,22 @@ impl Node for RingNode {
     }
 
     fn on_timer(&mut self, kind: u64, ctx: &mut Context<'_, RingMsg>) {
+        if let Some((tseq, attempt)) = decode_retransmit_timer(kind) {
+            if self.handoff.timer_due(tseq, attempt) {
+                if let Some((to, msg, tseq, next)) =
+                    self.handoff.next_attempt(self.cfg.ack_max_retries)
+                {
+                    ctx.send(to, msg, MsgClass::Token);
+                    ctx.set_timer(
+                        self.cfg.ack_backoff(next),
+                        retransmit_timer_kind(tseq, next),
+                    );
+                }
+            }
+            return;
+        }
         match kind {
+            TIMER_ANNOUNCE => self.announce_generation(ctx),
             TIMER_SERVICE => {
                 let Some(holding) = self.holding.as_mut() else {
                     return;
@@ -541,6 +662,8 @@ impl Node for RingNode {
     }
 
     fn on_recover(&mut self, ctx: &mut Context<'_, RingMsg>) {
+        // A retransmit from before the crash could resurrect a stale token.
+        self.handoff.clear_pending();
         // Conservative: never resurrect a possibly superseded token.
         if self.holding.take().is_some() {
             self.events.push(TokenEvent::StaleTokenDiscarded {
@@ -752,5 +875,113 @@ mod tests {
             drain_all(&mut w)
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn duplicated_token_frames_are_discarded_not_double_served() {
+        use atp_net::LinkFaults;
+        // Every frame is delivered twice: the watermark must swallow the
+        // copies, possession must never fork, and service stays exact.
+        let mut w: World<RingNode> = World::from_nodes(
+            (0..4).map(|_| RingNode::new(ProtocolConfig::default())).collect(),
+            WorldConfig::default().link_faults(LinkFaults::new().duplication(1.0)),
+        );
+        for t in 0..10 {
+            w.schedule_external(SimTime::from_ticks(t * 5), NodeId::new((t % 4) as u32), Want::new(t));
+        }
+        w.run_until(SimTime::from_ticks(200));
+        let grants: u64 = (0..4).map(|i| w.node(NodeId::new(i)).grants()).sum();
+        assert_eq!(grants, 10, "each request granted exactly once");
+        let discarded: u64 = (0..4)
+            .map(|i| w.node(NodeId::new(i)).duplicate_tokens_discarded())
+            .sum();
+        assert!(discarded > 0, "duplicates must be counted, got none");
+        let holders = (0..4)
+            .filter(|i| w.node(NodeId::new(*i)).holds_token())
+            .count();
+        assert!(holders <= 1, "possession forked under duplication: {holders}");
+    }
+
+    #[test]
+    fn lost_token_recovered_by_retransmit_not_regeneration() {
+        use atp_net::LinkFaults;
+        // 10% token loss, acks on, regeneration OFF: only the ack/retransmit
+        // machinery can keep the ring alive. All requests still served.
+        let cfg = ProtocolConfig::default().with_token_acks(true);
+        let mut w: World<RingNode> = World::from_nodes(
+            (0..4).map(|_| RingNode::new(cfg)).collect(),
+            WorldConfig::default().link_faults(LinkFaults::new().loss(0.10)),
+        );
+        for t in 0..8 {
+            w.schedule_external(SimTime::from_ticks(t * 20), NodeId::new((t % 4) as u32), Want::new(t));
+        }
+        w.run_until(SimTime::from_ticks(1200));
+        let grants: u64 = (0..4).map(|i| w.node(NodeId::new(i)).grants()).sum();
+        assert_eq!(grants, 8, "retransmits must recover every lost handoff");
+        let retransmits: u64 = (0..4)
+            .map(|i| w.node(NodeId::new(i)).token_retransmits())
+            .sum();
+        assert!(retransmits > 0, "loss at 10% must trigger retransmits");
+        let events = drain_all(&mut w);
+        assert!(
+            !events.iter().any(|e| matches!(e, TokenEvent::Regenerated { .. })),
+            "recovery must come from retransmission, not regeneration"
+        );
+    }
+
+    #[test]
+    fn duplicated_mint_request_does_not_mint_two_tokens_of_same_generation() {
+        use atp_net::LinkFaults;
+        // Regression (satellite 3): with every message duplicated, the
+        // `Please` asking the target to mint a regenerated token arrives
+        // twice. Minting is keyed on generation and must stay idempotent —
+        // otherwise two same-generation tokens enter circulation and the
+        // watermark cannot tell them apart.
+        let cfg = ProtocolConfig::default()
+            .with_service_ticks(6)
+            .with_regeneration(20);
+        let mut w: World<RingNode> = World::from_nodes(
+            (0..4).map(|_| RingNode::new(cfg)).collect(),
+            WorldConfig::default().link_faults(LinkFaults::new().duplication(1.0)),
+        );
+        w.schedule_external(SimTime::ZERO, NodeId::new(2), Want::new(1));
+        w.run_until(SimTime::from_ticks(4));
+        assert!(w.node(NodeId::new(2)).holds_token(), "node 2 serving");
+        let t = w.now();
+        w.schedule_crash(t, NodeId::new(2));
+        w.schedule_external(t + 1, NodeId::new(3), Want::new(5));
+        w.run_until(SimTime::from_ticks(400));
+        let events = drain_all(&mut w);
+        let mut minted_gens: Vec<u32> = events
+            .iter()
+            .filter_map(|e| match e {
+                TokenEvent::Regenerated { generation, .. } => Some(*generation),
+                _ => None,
+            })
+            .collect();
+        assert!(!minted_gens.is_empty(), "regeneration must have happened");
+        let total = minted_gens.len();
+        minted_gens.sort_unstable();
+        minted_gens.dedup();
+        assert_eq!(
+            minted_gens.len(),
+            total,
+            "a generation was minted more than once"
+        );
+        assert_eq!(w.node(NodeId::new(3)).grants(), 1, "request served");
+    }
+
+    #[test]
+    fn token_acks_off_is_byte_identical_to_seed_behavior() {
+        // The ack machinery must be pay-for-play: with the default config the
+        // message trace is exactly the pre-ack protocol's.
+        let mut w = world(4, ProtocolConfig::default());
+        w.run_until(SimTime::from_ticks(100));
+        let sends: u64 = (0..4).map(|i| w.node(NodeId::new(i)).token_sends()).sum();
+        assert!((95..=101).contains(&sends));
+        assert_eq!(
+            (0..4).map(|i| w.node(NodeId::new(i)).token_retransmits()).sum::<u64>(),
+            0
+        );
     }
 }

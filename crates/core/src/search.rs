@@ -20,6 +20,7 @@ use atp_net::{Context, MsgClass, Node, NodeId, SimTime};
 
 use crate::config::ProtocolConfig;
 use crate::event::{EventBuf, EventSource, TokenEvent, Want, WantKind};
+use crate::handoff::{decode_retransmit_timer, retransmit_timer_kind, Handoff};
 use crate::order::OrderState;
 use crate::regen::{RegenEngine, RegenMsg, RegenReply, RegenVerdict};
 use crate::token::TokenFrame;
@@ -52,7 +53,12 @@ pub enum SearchMsg {
 const TIMER_SERVICE: u64 = 1;
 const TIMER_REGEN: u64 = 3;
 const TIMER_INQUIRY: u64 = 4;
+// Timer kind 5 (low byte) is the retransmit timer, see `crate::handoff`.
+const TIMER_ANNOUNCE: u64 = 6;
 const INQUIRY_WINDOW: u64 = 8;
+
+/// Re-announce period for generation fencing while excluded nodes remain.
+const ANNOUNCE_PERIOD: u64 = 16;
 
 #[derive(Debug)]
 struct Outstanding {
@@ -92,6 +98,7 @@ pub struct SearchNode {
     last_pass: Option<NodeId>,
     holding: Option<Holding>,
     regen: RegenEngine,
+    handoff: Handoff<SearchMsg>,
     rejoining: BTreeSet<NodeId>,
     leaving: BTreeSet<NodeId>,
     departed: bool,
@@ -116,6 +123,7 @@ impl SearchNode {
             last_pass: None,
             holding: None,
             regen: RegenEngine::new(),
+            handoff: Handoff::new(),
             rejoining: BTreeSet::new(),
             leaving: BTreeSet::new(),
             departed: false,
@@ -161,6 +169,17 @@ impl SearchNode {
         self.gimme_sends
     }
 
+    /// Token frames discarded as duplicates (watermark or double
+    /// possession) instead of forking possession.
+    pub fn duplicate_tokens_discarded(&self) -> u64 {
+        self.handoff.duplicates_discarded
+    }
+
+    /// Token frames retransmitted after an ack timeout.
+    pub fn token_retransmits(&self) -> u64 {
+        self.handoff.retransmits
+    }
+
     /// Whether this node has gracefully left the group.
     pub fn is_departed(&self) -> bool {
         self.departed
@@ -175,9 +194,10 @@ impl SearchNode {
         if self.regen.witness(generation) {
             if let Some(h) = &self.holding {
                 if h.token.generation < generation {
+                    let stale = h.token.generation;
                     self.holding = None;
                     self.events.push(TokenEvent::StaleTokenDiscarded {
-                        generation: generation - 1,
+                        generation: stale,
                         at,
                     });
                 }
@@ -195,7 +215,9 @@ impl SearchNode {
         }
         self.witness_generation(token.generation, ctx.now());
         if self.holding.is_some() {
-            debug_assert!(false, "duplicate token at {}", ctx.id());
+            // Duplicate token of the same generation: a duplicated or
+            // retransmitted frame got past the watermark. Discard, count.
+            self.handoff.count_duplicate();
             return;
         }
         self.last_visit = token.on_possess(ctx.id(), false);
@@ -226,7 +248,59 @@ impl SearchNode {
             token,
             state: HoldState::Idle,
         });
+        self.announce_generation(ctx);
         self.progress(ctx);
+    }
+
+    /// Generation fencing: while the token lists excluded nodes, the holder
+    /// periodically tells them which generation is live, so a node isolated
+    /// during a partition cannot keep serving a superseded token after heal.
+    fn announce_generation(&mut self, ctx: &mut Context<'_, SearchMsg>) {
+        if !self.cfg.regeneration {
+            return;
+        }
+        let Some(h) = &self.holding else { return };
+        if h.token.excluded().is_empty() {
+            return;
+        }
+        let generation = h.token.generation;
+        let targets: Vec<NodeId> = h.token.excluded().to_vec();
+        for node in targets {
+            ctx.send(
+                node,
+                SearchMsg::Regen(RegenMsg::GenAnnounce { generation }),
+                MsgClass::Token,
+            );
+        }
+        ctx.set_timer(ANNOUNCE_PERIOD, TIMER_ANNOUNCE);
+    }
+
+    /// Stamps, records and (if acks are on) tracks an outgoing token frame.
+    fn ship_token(
+        &mut self,
+        to: NodeId,
+        mut frame: TokenFrame,
+        grant_for: Option<RequestId>,
+        ctx: &mut Context<'_, SearchMsg>,
+    ) {
+        self.last_pass = Some(to);
+        self.token_sends += 1;
+        frame.bump_transfer();
+        let generation = frame.generation;
+        let transfer_seq = frame.transfer_seq();
+        let msg = SearchMsg::Token { frame, grant_for };
+        if to != ctx.id() {
+            // Self-sends (degenerate one-node ring) must pass the watermark.
+            self.handoff.observe_send(generation, transfer_seq);
+        }
+        if self.cfg.token_acks {
+            self.handoff.track(to, msg.clone(), generation, transfer_seq);
+            ctx.set_timer(
+                self.cfg.ack_backoff(0),
+                retransmit_timer_kind(transfer_seq, 0),
+            );
+        }
+        ctx.send(to, msg, MsgClass::Token);
     }
 
     /// Sends the held token to a trapped requester if any, otherwise to the
@@ -251,16 +325,7 @@ impl SearchNode {
             return;
         };
         let succ = holding.token.next_live_successor(ctx.topology(), ctx.id());
-        self.last_pass = Some(succ);
-        self.token_sends += 1;
-        ctx.send(
-            succ,
-            SearchMsg::Token {
-                frame: holding.token,
-                grant_for: None,
-            },
-            MsgClass::Token,
-        );
+        self.ship_token(succ, holding.token, None, ctx);
     }
 
     fn finish_service(&mut self, req: RequestId, payload: u64, ctx: &mut Context<'_, SearchMsg>) {
@@ -323,16 +388,7 @@ impl SearchNode {
         let Some(holding) = self.holding.take() else {
             return;
         };
-        self.last_pass = Some(trap.origin);
-        self.token_sends += 1;
-        ctx.send(
-            trap.origin,
-            SearchMsg::Token {
-                frame: holding.token,
-                grant_for: Some(trap.req),
-            },
-            MsgClass::Token,
-        );
+        self.ship_token(trap.origin, holding.token, Some(trap.req), ctx);
         // Any other trapped obligations chase the token to its new holder.
         // A trap only catches a token that *lands* here, and the lazy token
         // never returns on its own — so a second gimme trapped while this
@@ -500,6 +556,36 @@ impl SearchNode {
                     self.leaving.remove(&from);
                 }
             }
+            RegenMsg::TokenAck {
+                generation,
+                transfer_seq,
+            } => {
+                self.handoff.acked(generation, transfer_seq);
+            }
+            RegenMsg::GenAnnounce { generation } => {
+                if generation > self.regen.generation {
+                    // We sat out a regeneration (partition, crash): adopt the
+                    // live generation and ask the holder to readmit us.
+                    self.witness_generation(generation, ctx.now());
+                    if !self.departed {
+                        ctx.send(from, SearchMsg::Regen(RegenMsg::Rejoin), MsgClass::Token);
+                        // Our gimme walk may have died with the old token.
+                        self.resend_gimme(Some(from), ctx);
+                    }
+                    if !self.outstanding.is_empty() && self.holding.is_none() {
+                        self.arm_regen_timer(ctx);
+                    }
+                } else if generation < self.regen.generation {
+                    // The announcer is the stale one: fence it back.
+                    ctx.send(
+                        from,
+                        SearchMsg::Regen(RegenMsg::GenAnnounce {
+                            generation: self.regen.generation,
+                        }),
+                        MsgClass::Token,
+                    );
+                }
+            }
         }
     }
 
@@ -571,7 +657,26 @@ impl Node for SearchNode {
 
     fn on_message(&mut self, from: NodeId, msg: SearchMsg, ctx: &mut Context<'_, SearchMsg>) {
         match msg {
-            SearchMsg::Token { frame, .. } => self.handle_token(frame, ctx),
+            SearchMsg::Token { frame, .. } => {
+                if self.cfg.token_acks {
+                    // Ack every receipt, duplicates included: the sender may
+                    // be retransmitting because our previous ack was lost.
+                    ctx.send(
+                        from,
+                        SearchMsg::Regen(RegenMsg::TokenAck {
+                            generation: frame.generation,
+                            transfer_seq: frame.transfer_seq(),
+                        }),
+                        MsgClass::Token,
+                    );
+                }
+                if frame.generation >= self.regen.generation
+                    && !self.handoff.accept(frame.generation, frame.transfer_seq())
+                {
+                    return; // duplicate or replayed frame, counted
+                }
+                self.handle_token(frame, ctx)
+            }
             SearchMsg::Gimme { origin, req, hops } => self.handle_gimme(origin, req, hops, ctx),
             SearchMsg::Regen(m) => self.handle_regen(from, m, ctx),
         }
@@ -632,7 +737,22 @@ impl Node for SearchNode {
     }
 
     fn on_timer(&mut self, kind: u64, ctx: &mut Context<'_, SearchMsg>) {
+        if let Some((tseq, attempt)) = decode_retransmit_timer(kind) {
+            if self.handoff.timer_due(tseq, attempt) {
+                if let Some((to, msg, tseq, next)) =
+                    self.handoff.next_attempt(self.cfg.ack_max_retries)
+                {
+                    ctx.send(to, msg, MsgClass::Token);
+                    ctx.set_timer(
+                        self.cfg.ack_backoff(next),
+                        retransmit_timer_kind(tseq, next),
+                    );
+                }
+            }
+            return;
+        }
         match kind {
+            TIMER_ANNOUNCE => self.announce_generation(ctx),
             TIMER_SERVICE => {
                 let Some(holding) = self.holding.as_mut() else {
                     return;
@@ -710,6 +830,8 @@ impl Node for SearchNode {
     }
 
     fn on_recover(&mut self, ctx: &mut Context<'_, SearchMsg>) {
+        // A retransmit from before the crash could resurrect a stale token.
+        self.handoff.clear_pending();
         if self.holding.take().is_some() {
             self.events.push(TokenEvent::StaleTokenDiscarded {
                 generation: self.regen.generation,

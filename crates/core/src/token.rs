@@ -27,6 +27,10 @@ pub struct TokenFrame {
     /// Token generation; bumped on regeneration after a loss (Section 5).
     /// Frames from superseded generations are discarded on receipt.
     pub generation: u32,
+    /// Per-generation transfer counter: bumped on every token-bearing send.
+    /// Receivers keep a `(generation, transfer_seq)` watermark so duplicated
+    /// or retransmitted frames are suppressed idempotently.
+    transfer_seq: u64,
     /// Global possession counter: incremented every time a node takes the
     /// token. Doubles as the visit-stamp source for rule 6's comparison.
     visit_seq: u64,
@@ -57,6 +61,7 @@ impl TokenFrame {
     pub fn new(satisfied_cap: usize) -> Self {
         TokenFrame {
             generation: 0,
+            transfer_seq: 0,
             visit_seq: 0,
             round: 0,
             next_seq: 1,
@@ -100,6 +105,18 @@ impl TokenFrame {
     /// Whether `node` is currently excluded from the rotation.
     pub fn is_excluded(&self, node: NodeId) -> bool {
         self.excluded.contains(&node)
+    }
+
+    /// The per-generation transfer counter (see [`TokenFrame::bump_transfer`]).
+    pub fn transfer_seq(&self) -> u64 {
+        self.transfer_seq
+    }
+
+    /// Advances the transfer counter; call exactly once before every
+    /// token-bearing send so each copy in flight is uniquely identified by
+    /// `(generation, transfer_seq)`.
+    pub fn bump_transfer(&mut self) {
+        self.transfer_seq += 1;
     }
 
     /// The nodes currently excluded from the rotation.
@@ -215,6 +232,7 @@ impl TokenFrame {
     /// collections). The inverse of [`TokenFrame::decode`].
     pub fn encode(&self, buf: &mut impl atp_util::buf::BufMut) {
         buf.put_u32_le(self.generation);
+        buf.put_u64_le(self.transfer_seq);
         buf.put_u64_le(self.visit_seq);
         buf.put_u64_le(self.round);
         buf.put_u64_le(self.next_seq);
@@ -246,8 +264,9 @@ impl TokenFrame {
         fn need(buf: &impl atp_util::buf::Buf, n: usize) -> Option<()> {
             (buf.remaining() >= n).then_some(())
         }
-        need(buf, 4 + 8 + 8 + 8 + 4 + 1 + 4 + 4)?;
+        need(buf, 4 + 8 + 8 + 8 + 8 + 4 + 1 + 4 + 4)?;
         let generation = buf.get_u32_le();
+        let transfer_seq = buf.get_u64_le();
         let visit_seq = buf.get_u64_le();
         let round = buf.get_u64_le();
         let next_seq = buf.get_u64_le();
@@ -284,6 +303,7 @@ impl TokenFrame {
         }
         Some(TokenFrame {
             generation,
+            transfer_seq,
             visit_seq,
             round,
             next_seq,
@@ -360,6 +380,18 @@ mod tests {
         assert_eq!(t.carried().len(), 1);
         assert_eq!(t.carried()[0].seq, 2);
         assert_eq!(t.committed(), 2);
+    }
+
+    #[test]
+    fn transfer_seq_starts_at_zero_and_bumps() {
+        let mut t = TokenFrame::new(8);
+        assert_eq!(t.transfer_seq(), 0);
+        t.bump_transfer();
+        t.bump_transfer();
+        assert_eq!(t.transfer_seq(), 2);
+        // A regenerated frame starts a fresh transfer sequence.
+        let t2 = TokenFrame::regenerate(3, 0, 8, vec![]);
+        assert_eq!(t2.transfer_seq(), 0);
     }
 
     #[test]

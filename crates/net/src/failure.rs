@@ -10,7 +10,7 @@ use crate::id::NodeId;
 use crate::time::SimTime;
 
 /// One scheduled failure-model action.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum FailureEvent {
     /// Fail-stop the node: it stops sending, receiving and firing timers.
     Crash {
@@ -27,20 +27,36 @@ pub enum FailureEvent {
         /// The recovering node.
         node: NodeId,
     },
+    /// Split the ring into isolated groups: from `at` (inclusive) until
+    /// `heal_at` (exclusive), a message whose endpoints lie in different
+    /// groups is severed — nodes stay alive but cannot hear across the cut.
+    /// Nodes absent from every group are fully isolated for the window.
+    Partition {
+        /// When the partition takes effect.
+        at: SimTime,
+        /// When the partition heals (links work again from this instant).
+        heal_at: SimTime,
+        /// The connectivity groups; each node should appear at most once.
+        groups: Vec<Vec<NodeId>>,
+    },
 }
 
 impl FailureEvent {
-    /// When the event fires.
+    /// When the event fires (a partition "fires" when it takes effect).
     pub fn at(&self) -> SimTime {
         match *self {
-            FailureEvent::Crash { at, .. } | FailureEvent::Recover { at, .. } => at,
+            FailureEvent::Crash { at, .. }
+            | FailureEvent::Recover { at, .. }
+            | FailureEvent::Partition { at, .. } => at,
         }
     }
 
-    /// Which node the event affects.
-    pub fn node(&self) -> NodeId {
+    /// Which node the event affects (`None` for partitions, which affect
+    /// links rather than a single node).
+    pub fn node(&self) -> Option<NodeId> {
         match *self {
-            FailureEvent::Crash { node, .. } | FailureEvent::Recover { node, .. } => node,
+            FailureEvent::Crash { node, .. } | FailureEvent::Recover { node, .. } => Some(node),
+            FailureEvent::Partition { .. } => None,
         }
     }
 }
@@ -78,6 +94,21 @@ impl FailurePlan {
         self
     }
 
+    /// Splits the ring into `groups` from `at` until `heal_at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `heal_at <= at`.
+    pub fn partition_at(mut self, at: SimTime, heal_at: SimTime, groups: Vec<Vec<NodeId>>) -> Self {
+        assert!(heal_at > at, "a partition must heal after it forms");
+        self.events.push(FailureEvent::Partition {
+            at,
+            heal_at,
+            groups,
+        });
+        self
+    }
+
     /// The scheduled events, in insertion order.
     pub fn events(&self) -> &[FailureEvent] {
         &self.events
@@ -95,13 +126,30 @@ mod tests {
             node: NodeId::new(2),
         };
         assert_eq!(c.at(), SimTime::from_ticks(7));
-        assert_eq!(c.node(), NodeId::new(2));
+        assert_eq!(c.node(), Some(NodeId::new(2)));
         let r = FailureEvent::Recover {
             at: SimTime::from_ticks(9),
             node: NodeId::new(3),
         };
         assert_eq!(r.at(), SimTime::from_ticks(9));
-        assert_eq!(r.node(), NodeId::new(3));
+        assert_eq!(r.node(), Some(NodeId::new(3)));
+        let p = FailureEvent::Partition {
+            at: SimTime::from_ticks(10),
+            heal_at: SimTime::from_ticks(20),
+            groups: vec![vec![NodeId::new(0)], vec![NodeId::new(1)]],
+        };
+        assert_eq!(p.at(), SimTime::from_ticks(10));
+        assert_eq!(p.node(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "heal")]
+    fn partition_must_heal_after_forming() {
+        let _ = FailurePlan::new().partition_at(
+            SimTime::from_ticks(5),
+            SimTime::from_ticks(5),
+            vec![vec![NodeId::new(0)]],
+        );
     }
 
     #[test]

@@ -1,0 +1,225 @@
+//! Link-level fault models: loss, duplication and delay for *any* class.
+//!
+//! The [`DropModel`](crate::DropModel) family encodes the paper's asymmetry —
+//! cheap control traffic may vanish, token-bearing traffic is reliable. The
+//! models here deliberately break that remaining assumption: a
+//! [`LinkFaultModel`] can lose, **duplicate** and delay every message,
+//! token frames included. They are the adversary the ack/retransmit and
+//! duplicate-suppression machinery in `atp-core` is tested against.
+
+use atp_util::rng::{Rng, RngCore};
+use std::fmt;
+
+use crate::event::MsgClass;
+use crate::id::NodeId;
+
+/// The fate a [`LinkFaultModel`] assigns to one message in transit.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkFault {
+    /// Drop the message entirely (applies to the original copy).
+    pub lose: bool,
+    /// Deliver a second, independently delayed copy of the message.
+    pub duplicate: bool,
+    /// Extra ticks added on top of the latency model's flight time.
+    pub extra_delay: u64,
+}
+
+impl LinkFault {
+    /// No fault: deliver exactly one copy with nominal latency.
+    pub const NONE: LinkFault = LinkFault {
+        lose: false,
+        duplicate: false,
+        extra_delay: 0,
+    };
+}
+
+/// Decides, per message, whether the link loses, duplicates or delays it.
+pub trait LinkFaultModel: fmt::Debug + Send {
+    /// Returns the fault applied to the message `from → to` of class `class`.
+    fn apply(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        class: MsgClass,
+        rng: &mut dyn RngCore,
+    ) -> LinkFault;
+}
+
+/// Perfect links: never loses, duplicates or delays. Draws no randomness,
+/// so installing it leaves the engine's RNG stream untouched.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoLinkFaults;
+
+impl LinkFaultModel for NoLinkFaults {
+    fn apply(&mut self, _: NodeId, _: NodeId, _: MsgClass, _: &mut dyn RngCore) -> LinkFault {
+        LinkFault::NONE
+    }
+}
+
+/// A seeded hostile link: every message of every class is independently
+/// lost with probability `loss`, duplicated with probability `duplicate`,
+/// and delayed by up to `max_extra_delay` extra ticks with probability
+/// `delay`.
+///
+/// All three draws happen for every message (even when a probability is
+/// zero the model skips the draw, keeping `LinkFaults::default()`
+/// byte-identical to [`NoLinkFaults`]).
+///
+/// ```rust
+/// use atp_net::LinkFaults;
+/// let faults = LinkFaults::new().loss(0.1).duplication(0.2).delay(0.3, 5);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LinkFaults {
+    loss_p: f64,
+    dup_p: f64,
+    delay_p: f64,
+    max_extra_delay: u64,
+}
+
+impl LinkFaults {
+    /// A model that does nothing until probabilities are set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Loses each message with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    pub fn loss(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1]");
+        self.loss_p = p;
+        self
+    }
+
+    /// Duplicates each delivered message with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    pub fn duplication(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1]");
+        self.dup_p = p;
+        self
+    }
+
+    /// Delays each message by `1..=max_extra` additional ticks with
+    /// probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    pub fn delay(mut self, p: f64, max_extra: u64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1]");
+        self.delay_p = p;
+        self.max_extra_delay = max_extra;
+        self
+    }
+
+    /// Whether this model can ever fault a message.
+    pub fn is_active(&self) -> bool {
+        self.loss_p > 0.0 || self.dup_p > 0.0 || (self.delay_p > 0.0 && self.max_extra_delay > 0)
+    }
+
+    /// The configured loss probability.
+    pub fn loss_p(&self) -> f64 {
+        self.loss_p
+    }
+
+    /// The configured duplication probability.
+    pub fn duplication_p(&self) -> f64 {
+        self.dup_p
+    }
+}
+
+impl LinkFaultModel for LinkFaults {
+    fn apply(
+        &mut self,
+        _: NodeId,
+        _: NodeId,
+        _: MsgClass,
+        rng: &mut dyn RngCore,
+    ) -> LinkFault {
+        let lose = self.loss_p > 0.0 && rng.gen_bool(self.loss_p);
+        let duplicate = self.dup_p > 0.0 && rng.gen_bool(self.dup_p);
+        let extra_delay = if self.delay_p > 0.0 && self.max_extra_delay > 0 && rng.gen_bool(self.delay_p) {
+            rng.gen_range(1..=self.max_extra_delay)
+        } else {
+            0
+        };
+        LinkFault {
+            lose,
+            duplicate,
+            extra_delay,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atp_util::rng::{SeedableRng, StdRng};
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(5)
+    }
+
+    #[test]
+    fn no_faults_is_identity() {
+        let mut m = NoLinkFaults;
+        let mut r = rng();
+        for class in MsgClass::ALL {
+            assert_eq!(
+                m.apply(NodeId::new(0), NodeId::new(1), class, &mut r),
+                LinkFault::NONE
+            );
+        }
+    }
+
+    #[test]
+    fn default_link_faults_draw_nothing() {
+        // With all probabilities zero the model must not consume RNG words,
+        // keeping runs byte-identical to a world without the model.
+        let mut m = LinkFaults::new();
+        let mut r1 = rng();
+        let mut r2 = rng();
+        for _ in 0..10 {
+            let f = m.apply(NodeId::new(0), NodeId::new(1), MsgClass::Token, &mut r1);
+            assert_eq!(f, LinkFault::NONE);
+        }
+        use atp_util::rng::RngCore as _;
+        assert_eq!(r1.next_u64(), r2.next_u64(), "RNG stream was disturbed");
+    }
+
+    #[test]
+    fn certain_loss_and_duplication_fire() {
+        let mut m = LinkFaults::new().loss(1.0).duplication(1.0).delay(1.0, 4);
+        let mut r = rng();
+        for _ in 0..20 {
+            let f = m.apply(NodeId::new(0), NodeId::new(1), MsgClass::Token, &mut r);
+            assert!(f.lose && f.duplicate);
+            assert!((1..=4).contains(&f.extra_delay));
+        }
+    }
+
+    #[test]
+    fn rates_roughly_match() {
+        let mut m = LinkFaults::new().duplication(0.5);
+        let mut r = rng();
+        let dups = (0..2000)
+            .filter(|_| {
+                m.apply(NodeId::new(0), NodeId::new(1), MsgClass::Token, &mut r)
+                    .duplicate
+            })
+            .count();
+        assert!((800..1200).contains(&dups), "dups = {dups}");
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn rejects_invalid_probability() {
+        let _ = LinkFaults::new().loss(-0.1);
+    }
+}

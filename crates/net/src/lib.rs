@@ -71,6 +71,7 @@ mod context;
 mod drop;
 mod event;
 mod failure;
+mod fault;
 mod harness;
 mod id;
 mod latency;
@@ -85,6 +86,7 @@ pub use context::Context;
 pub use drop::{ControlDrops, DropModel, LinkDrops, NoDrops, UniformDrops};
 pub use event::MsgClass;
 pub use failure::{FailureEvent, FailurePlan};
+pub use fault::{LinkFault, LinkFaultModel, LinkFaults, NoLinkFaults};
 pub use harness::{Harness, Outbound, TimerRequest};
 pub use id::{NodeId, Topology};
 pub use latency::{ClassLatency, ConstantLatency, LatencyModel, PerLinkLatency, UniformLatency};

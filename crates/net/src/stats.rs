@@ -15,6 +15,8 @@ pub struct NetStats {
     delivered: [u64; 2],
     dropped: [u64; 2],
     dead_letter: [u64; 2],
+    duplicated: [u64; 2],
+    severed: [u64; 2],
     /// Total events dispatched (messages + timers + external + failures).
     pub events_processed: u64,
     /// Timer callbacks fired.
@@ -47,6 +49,14 @@ impl NetStats {
         self.dead_letter[Self::idx(class)] += 1;
     }
 
+    pub(crate) fn record_duplicated(&mut self, class: MsgClass) {
+        self.duplicated[Self::idx(class)] += 1;
+    }
+
+    pub(crate) fn record_severed(&mut self, class: MsgClass) {
+        self.severed[Self::idx(class)] += 1;
+    }
+
     /// Messages handed to the network, by class.
     pub fn sent(&self, class: MsgClass) -> u64 {
         self.sent[Self::idx(class)]
@@ -67,6 +77,16 @@ impl NetStats {
         self.dead_letter[Self::idx(class)]
     }
 
+    /// Extra copies injected by the link-fault model, by class.
+    pub fn duplicated(&self, class: MsgClass) -> u64 {
+        self.duplicated[Self::idx(class)]
+    }
+
+    /// Messages killed by an active partition, by class.
+    pub fn severed(&self, class: MsgClass) -> u64 {
+        self.severed[Self::idx(class)]
+    }
+
     /// Total messages sent across both classes.
     pub fn total_sent(&self) -> u64 {
         self.sent.iter().sum()
@@ -83,12 +103,14 @@ impl fmt::Display for NetStats {
         for class in MsgClass::ALL {
             writeln!(
                 f,
-                "{:<8} sent={:<10} delivered={:<10} dropped={:<8} dead={:<8}",
+                "{:<8} sent={:<10} delivered={:<10} dropped={:<8} dead={:<8} dup={:<8} severed={:<8}",
                 class.label(),
                 self.sent(class),
                 self.delivered(class),
                 self.dropped(class),
                 self.dead_letter(class),
+                self.duplicated(class),
+                self.severed(class),
             )?;
         }
         write!(
@@ -112,6 +134,11 @@ mod tests {
         s.record_delivered(MsgClass::Token);
         s.record_dropped(MsgClass::Control);
         s.record_dead_letter(MsgClass::Token);
+        s.record_duplicated(MsgClass::Token);
+        s.record_severed(MsgClass::Control);
+        assert_eq!(s.duplicated(MsgClass::Token), 1);
+        assert_eq!(s.duplicated(MsgClass::Control), 0);
+        assert_eq!(s.severed(MsgClass::Control), 1);
         assert_eq!(s.sent(MsgClass::Token), 2);
         assert_eq!(s.sent(MsgClass::Control), 1);
         assert_eq!(s.total_sent(), 3);

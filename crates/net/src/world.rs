@@ -8,6 +8,7 @@ use crate::context::{Context, Effect};
 use crate::drop::{DropModel, NoDrops};
 use crate::event::{EventKind, QueuedEvent};
 use crate::failure::{FailureEvent, FailurePlan};
+use crate::fault::{LinkFaultModel, NoLinkFaults};
 use crate::id::{NodeId, Topology};
 use crate::latency::{ConstantLatency, LatencyModel};
 use crate::node::Node;
@@ -35,6 +36,7 @@ pub struct WorldConfig {
     seed: u64,
     latency: Box<dyn LatencyModel>,
     drops: Box<dyn DropModel>,
+    link_faults: Box<dyn LinkFaultModel>,
     trace_capacity: usize,
     queue_capacity: usize,
     strategy: Option<Box<dyn DeliveryStrategy>>,
@@ -46,6 +48,7 @@ impl Default for WorldConfig {
             seed: 0,
             latency: Box::new(ConstantLatency::default()),
             drops: Box::new(NoDrops),
+            link_faults: Box::new(NoLinkFaults),
             trace_capacity: 0,
             queue_capacity: 0,
             strategy: None,
@@ -80,6 +83,13 @@ impl WorldConfig {
     /// Replaces the drop model.
     pub fn drops(mut self, model: impl DropModel + 'static) -> Self {
         self.drops = Box::new(model);
+        self
+    }
+
+    /// Replaces the link-fault model (loss / duplication / delay for any
+    /// message class, token frames included).
+    pub fn link_faults(mut self, model: impl LinkFaultModel + 'static) -> Self {
+        self.link_faults = Box::new(model);
         self
     }
 
@@ -152,6 +162,22 @@ struct Slot<N> {
     epoch: u32,
 }
 
+/// One active partition window: nodes can only communicate while their group
+/// indices match. Nodes absent from every group get a unique index each, so
+/// they are isolated for the window's duration.
+struct PartitionWindow {
+    from: SimTime,
+    until: SimTime,
+    /// `group_of[node] = group index`.
+    group_of: Vec<u32>,
+}
+
+impl PartitionWindow {
+    fn severs(&self, from: NodeId, to: NodeId, at: SimTime) -> bool {
+        at >= self.from && at < self.until && self.group_of[from.index()] != self.group_of[to.index()]
+    }
+}
+
 /// A complete simulated distributed system: `N` nodes on a logical ring over
 /// a fully connected network, an event queue, and the pluggable latency /
 /// drop / failure models.
@@ -165,6 +191,8 @@ pub struct World<N: Node> {
     seq: u64,
     latency: Box<dyn LatencyModel>,
     drops: Box<dyn DropModel>,
+    link_faults: Box<dyn LinkFaultModel>,
+    partitions: Vec<PartitionWindow>,
     rng: StdRng,
     stats: NetStats,
     trace: TraceLog,
@@ -229,6 +257,8 @@ impl<N: Node> World<N> {
             seq: 0,
             latency: config.latency,
             drops: config.drops,
+            link_faults: config.link_faults,
+            partitions: Vec::new(),
             rng: StdRng::seed_from_u64(config.seed),
             stats: NetStats::default(),
             trace: TraceLog::with_capacity(config.trace_capacity),
@@ -392,12 +422,50 @@ impl<N: Node> World<N> {
         self.push(at, EventKind::Recover { node });
     }
 
+    /// Schedules a partition window: from `at` until `heal_at`, messages
+    /// whose endpoints lie in different `groups` are severed. Nodes listed
+    /// in no group are isolated from everyone for the window.
+    ///
+    /// Severance is checked both when a message is sent and when it would be
+    /// delivered, so frames already in flight when the partition forms are
+    /// cut as well.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `heal_at <= at` or any listed node is out of range.
+    pub fn schedule_partition(&mut self, at: SimTime, heal_at: SimTime, groups: &[Vec<NodeId>]) {
+        assert!(heal_at > at, "a partition must heal after it forms");
+        // Unlisted nodes get unique group ids beyond the listed range.
+        let mut group_of: Vec<u32> = (0..self.slots.len())
+            .map(|i| (groups.len() + i) as u32)
+            .collect();
+        for (g, members) in groups.iter().enumerate() {
+            for node in members {
+                assert!(self.topology.contains(*node), "node out of range");
+                group_of[node.index()] = g as u32;
+            }
+        }
+        self.partitions.push(PartitionWindow {
+            from: at,
+            until: heal_at,
+            group_of,
+        });
+    }
+
+    /// Whether the link `from → to` is severed by an active partition at `at`.
+    pub fn is_severed(&self, from: NodeId, to: NodeId, at: SimTime) -> bool {
+        self.partitions.iter().any(|w| w.severs(from, to, at))
+    }
+
     /// Applies a whole [`FailurePlan`].
     pub fn apply_failure_plan(&mut self, plan: &FailurePlan) {
         for ev in plan.events() {
-            match *ev {
-                FailureEvent::Crash { at, node } => self.schedule_crash(at, node),
-                FailureEvent::Recover { at, node } => self.schedule_recover(at, node),
+            match ev {
+                FailureEvent::Crash { at, node } => self.schedule_crash(*at, *node),
+                FailureEvent::Recover { at, node } => self.schedule_recover(*at, *node),
+                FailureEvent::Partition { at, heal_at, groups } => {
+                    self.schedule_partition(*at, *heal_at, groups)
+                }
             }
         }
     }
@@ -433,13 +501,64 @@ impl<N: Node> World<N> {
                 } => {
                     self.stats.record_sent(class);
                     self.trace.push(self.now, TraceKind::Sent { from, to, class });
+                    // Send-time severing draws no randomness, so partition
+                    // schedules never perturb the RNG stream of the
+                    // surviving traffic.
+                    if self.is_severed(from, to, self.now) {
+                        self.stats.record_severed(class);
+                        self.trace.push(self.now, TraceKind::Lost { from, to, class });
+                        continue;
+                    }
                     if self.drops.should_drop(from, to, class, &mut self.rng) {
                         self.stats.record_dropped(class);
                         self.trace.push(self.now, TraceKind::Lost { from, to, class });
                         continue;
                     }
+                    let fault = self.link_faults.apply(from, to, class, &mut self.rng);
+                    if fault.lose {
+                        self.stats.record_dropped(class);
+                        self.trace.push(self.now, TraceKind::Lost { from, to, class });
+                        if !fault.duplicate {
+                            continue;
+                        }
+                        // Losing the original while duplicating means exactly
+                        // one (independently delayed) copy still flies.
+                        self.stats.record_duplicated(class);
+                        let flight = self.latency.sample(from, to, class, &mut self.rng);
+                        let at = self
+                            .now
+                            .saturating_add(extra_delay + fault.extra_delay + flight);
+                        self.push(
+                            at,
+                            EventKind::Deliver {
+                                from,
+                                to,
+                                msg,
+                                class,
+                            },
+                        );
+                        continue;
+                    }
+                    if fault.duplicate {
+                        self.stats.record_duplicated(class);
+                        let flight = self.latency.sample(from, to, class, &mut self.rng);
+                        let at = self
+                            .now
+                            .saturating_add(extra_delay + fault.extra_delay + flight);
+                        self.push(
+                            at,
+                            EventKind::Deliver {
+                                from,
+                                to,
+                                msg: msg.clone(),
+                                class,
+                            },
+                        );
+                    }
                     let flight = self.latency.sample(from, to, class, &mut self.rng);
-                    let at = self.now.saturating_add(extra_delay + flight);
+                    let at = self
+                        .now
+                        .saturating_add(extra_delay + fault.extra_delay + flight);
                     self.push(
                         at,
                         EventKind::Deliver {
@@ -483,6 +602,12 @@ impl<N: Node> World<N> {
                 msg,
                 class,
             } => {
+                // A frame in flight when the partition forms is cut too.
+                if self.is_severed(from, to, self.now) {
+                    self.stats.record_severed(class);
+                    self.trace.push(self.now, TraceKind::Lost { from, to, class });
+                    return StepOutcome::Consumed { at: self.now };
+                }
                 let slot = &mut self.slots[to.index()];
                 if !slot.alive {
                     self.stats.record_dead_letter(class);
@@ -839,6 +964,108 @@ mod tests {
         };
         assert_eq!(run(WorldConfig::default()), vec![1, 2, 3]);
         assert_eq!(run(WorldConfig::default().strategy(Lifo)), vec![3, 2, 1]);
+    }
+
+    #[test]
+    fn partition_severs_cross_group_and_heals() {
+        let mut w = world(4);
+        w.schedule_partition(
+            SimTime::from_ticks(5),
+            SimTime::from_ticks(15),
+            &[
+                vec![NodeId::new(0), NodeId::new(1)],
+                vec![NodeId::new(2), NodeId::new(3)],
+            ],
+        );
+        // Node 1's successor is node 2: across the cut at t=6 → severed.
+        w.schedule_external(SimTime::from_ticks(6), NodeId::new(1), 2);
+        // Node 0 → node 1 stays within the group → delivered.
+        w.schedule_external(SimTime::from_ticks(6), NodeId::new(0), 2);
+        // After heal the same link works again.
+        w.schedule_external(SimTime::from_ticks(20), NodeId::new(1), 2);
+        w.run_to_quiescence();
+        assert_eq!(w.stats().severed(MsgClass::Token), 1);
+        assert_eq!(w.node(NodeId::new(2)).received, vec![2]);
+        assert_eq!(w.node(NodeId::new(1)).received, vec![2]);
+    }
+
+    #[test]
+    fn partition_cuts_frames_already_in_flight() {
+        let mut w = world(4);
+        w.schedule_partition(
+            SimTime::from_ticks(5),
+            SimTime::from_ticks(15),
+            &[
+                vec![NodeId::new(0), NodeId::new(1)],
+                vec![NodeId::new(2), NodeId::new(3)],
+            ],
+        );
+        // Sent at t=4 (links fine), would deliver at t=5 — the instant the
+        // partition forms. Delivery-time severing must kill it.
+        w.schedule_external(SimTime::from_ticks(4), NodeId::new(1), 2);
+        w.run_to_quiescence();
+        assert_eq!(w.stats().severed(MsgClass::Token), 1);
+        assert!(w.node(NodeId::new(2)).received.is_empty());
+    }
+
+    #[test]
+    fn unlisted_nodes_are_isolated_during_partition() {
+        let mut w = world(3);
+        w.schedule_partition(
+            SimTime::from_ticks(0),
+            SimTime::from_ticks(10),
+            &[vec![NodeId::new(0), NodeId::new(1)]],
+        );
+        w.schedule_external(SimTime::from_ticks(1), NodeId::new(1), 2); // 1 → 2
+        w.run_to_quiescence();
+        assert_eq!(w.stats().severed(MsgClass::Token), 1);
+        assert!(w.node(NodeId::new(2)).received.is_empty());
+    }
+
+    #[test]
+    fn link_faults_duplicate_and_lose() {
+        use crate::fault::LinkFaults;
+        let cfg = WorldConfig::default().link_faults(LinkFaults::new().duplication(1.0));
+        let mut w: World<Echo> = World::new(2, cfg);
+        w.schedule_external(SimTime::ZERO, NodeId::new(0), 2);
+        w.run_to_quiescence();
+        assert_eq!(w.node(NodeId::new(1)).received, vec![2, 2]);
+        assert_eq!(w.stats().duplicated(MsgClass::Token), 1);
+
+        let cfg = WorldConfig::default().link_faults(LinkFaults::new().loss(1.0));
+        let mut w: World<Echo> = World::new(2, cfg);
+        w.schedule_external(SimTime::ZERO, NodeId::new(0), 2);
+        w.run_to_quiescence();
+        assert!(w.node(NodeId::new(1)).received.is_empty());
+        assert_eq!(w.stats().dropped(MsgClass::Token), 1);
+    }
+
+    #[test]
+    fn link_fault_delay_defers_delivery() {
+        use crate::fault::LinkFaults;
+        let cfg = WorldConfig::default().link_faults(LinkFaults::new().delay(1.0, 3));
+        let mut w: World<Echo> = World::new(2, cfg);
+        w.schedule_external(SimTime::ZERO, NodeId::new(0), 2);
+        w.run_to_quiescence();
+        assert_eq!(w.node(NodeId::new(1)).received, vec![2]);
+        // Constant latency 1 + extra 1..=3 → arrival in 2..=4.
+        assert!(w.now() >= SimTime::from_ticks(2) && w.now() <= SimTime::from_ticks(6));
+    }
+
+    #[test]
+    fn apply_failure_plan_schedules_partitions() {
+        let plan = FailurePlan::new().partition_at(
+            SimTime::from_ticks(2),
+            SimTime::from_ticks(8),
+            vec![vec![NodeId::new(0)], vec![NodeId::new(1)]],
+        );
+        let mut w = world(2);
+        w.apply_failure_plan(&plan);
+        assert!(w.is_severed(NodeId::new(0), NodeId::new(1), SimTime::from_ticks(2)));
+        assert!(!w.is_severed(NodeId::new(0), NodeId::new(1), SimTime::from_ticks(8)));
+        w.schedule_external(SimTime::from_ticks(3), NodeId::new(0), 2);
+        w.run_to_quiescence();
+        assert_eq!(w.stats().severed(MsgClass::Token), 1);
     }
 
     #[test]

@@ -2,7 +2,12 @@
 //!
 //! Usage:
 //! `cargo run --release -p atp-sim --bin dst -- [--budget N] [--seed S]
-//!  [--tapes DIR] [--demo-mutation] [--write-tape PATH]`
+//!  [--tapes DIR] [--demo-mutation] [--write-tape PATH] [--partition]`
+//!
+//! `--partition` restricts exploration to cases with a partition window
+//! (the heal-fencing adversary): every explored case splits the ring,
+//! heals it, and must satisfy the dual-token-after-heal oracle on top of
+//! the usual ones.
 //!
 //! Order of business:
 //!
@@ -19,7 +24,7 @@
 //! Exit status: `0` all green, `1` violation / tape regression / demo miss,
 //! `2` usage error.
 
-use atp_sim::dst::{verify_tape, ExploreOutcome, Explorer, Mutation, TapeFile};
+use atp_sim::dst::{verify_tape, ExploreOutcome, Explorer, Focus, Mutation, TapeFile};
 use atp_sim::Protocol;
 use std::process::ExitCode;
 
@@ -29,6 +34,7 @@ struct Args {
     tapes: Option<String>,
     demo_mutation: bool,
     write_tape: Option<String>,
+    focus: Focus,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -38,6 +44,7 @@ fn parse_args() -> Result<Args, String> {
         tapes: None,
         demo_mutation: false,
         write_tape: None,
+        focus: Focus::All,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -59,6 +66,7 @@ fn parse_args() -> Result<Args, String> {
             "--tapes" => args.tapes = Some(value("--tapes")?),
             "--write-tape" => args.write_tape = Some(value("--write-tape")?),
             "--demo-mutation" => args.demo_mutation = true,
+            "--partition" => args.focus = Focus::Partition,
             other => return Err(format!("unknown flag '{other}'")),
         }
     }
@@ -125,14 +133,15 @@ fn main() -> ExitCode {
 
     for protocol in Protocol::ALL {
         let start = std::time::Instant::now();
-        let explorer = Explorer::new(protocol, args.seed, Mutation::None);
+        let explorer = Explorer::new(protocol, args.seed, Mutation::None).with_focus(args.focus);
         match explorer.explore(args.budget) {
             ExploreOutcome::Clean {
                 cases,
                 oracle_checks,
             } => println!(
-                "explore {:>6}: clean — {cases} cases, {oracle_checks} oracle checks, {:.3}s",
+                "explore {:>6}{}: clean — {cases} cases, {oracle_checks} oracle checks, {:.3}s",
                 protocol.label(),
+                if args.focus == Focus::Partition { " [partition]" } else { "" },
                 start.elapsed().as_secs_f64()
             ),
             ExploreOutcome::Found(cx) => {

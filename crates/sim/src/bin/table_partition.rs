@@ -1,0 +1,22 @@
+//! Regenerates the `partition` experiment table.
+//!
+//! Usage: `cargo run --release --bin table_partition [-- --quick]`
+//!
+//! The sweep fans out over `ATP_THREADS` workers (default: all cores); the
+//! table on stdout is byte-identical at any thread count. Timing goes to
+//! stderr so stdout stays comparable across runs.
+
+use atp_sim::experiments::partition;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let config = if quick { partition::Config::quick() } else { partition::Config::paper() };
+    let start = std::time::Instant::now();
+    let table = partition::run(&config);
+    eprintln!(
+        "table_partition: {:.3}s on {} worker(s)",
+        start.elapsed().as_secs_f64(),
+        atp_util::pool::worker_count()
+    );
+    println!("{}", table.render());
+}

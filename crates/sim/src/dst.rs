@@ -34,8 +34,8 @@ use std::collections::VecDeque;
 
 use atp_core::{ProtocolConfig, SearchMode, TokenEvent, TrapCleanup, Want};
 use atp_net::{
-    ClassStarve, ControlDrops, Fifo, Lifo, MsgClass, NodeId, RecordedChoices, SeededShuffle,
-    SimTime, StepOutcome, UniformLatency, World, WorldConfig,
+    ClassStarve, ControlDrops, Fifo, Lifo, LinkFaults, MsgClass, NodeId, RecordedChoices,
+    SeededShuffle, SimTime, StepOutcome, UniformLatency, World, WorldConfig,
 };
 use atp_util::check::{shrink_tape, Gen};
 use atp_util::json::{self, JsonWriter};
@@ -141,12 +141,25 @@ pub struct DstCase {
     pub cfg: ProtocolConfig,
     /// The schedule adversary.
     pub strategy: StrategySpec,
+    /// Whole-link loss probability — token frames included (0 disables).
+    pub link_loss_p: f64,
+    /// Whole-link duplication probability (0 disables).
+    pub link_dup_p: f64,
+    /// Optional partition `(at, heal_at, split)`: the ring splits into
+    /// groups `0..split` and `split..n` at `at` and heals at `heal_at`.
+    /// Severed links deliver nothing, token frames included.
+    pub partition: Option<(u64, u64, u32)>,
 }
 
 impl DstCase {
-    /// Whether the liveness-flavoured oracles apply: no faults, no drops.
+    /// Whether the liveness-flavoured oracles apply: no faults, no drops,
+    /// no token loss, no partition. Duplication alone stays benign — a
+    /// duplicated frame must never cost liveness.
     pub fn is_benign(&self) -> bool {
-        self.crash.is_none() && self.drop_p == 0.0
+        self.crash.is_none()
+            && self.drop_p == 0.0
+            && self.link_loss_p == 0.0
+            && self.partition.is_none()
     }
 
     /// Ticks after the last request within which every benign-case request
@@ -165,6 +178,14 @@ impl DstCase {
         4 * r * n * per_hop + 256
     }
 
+    /// Fencing window after a partition heals: this many ticks past
+    /// `heal_at`, generation announcements must have superseded any stale
+    /// token, leaving at most one live holder. Deliberately loose — a
+    /// violation means fencing never converged, not that it was slow.
+    pub fn settle_ticks(&self) -> u64 {
+        256 + 32 * (self.latency.1 + 2) * self.n as u64
+    }
+
     /// Absolute tick at which the run stops.
     pub fn horizon(&self) -> u64 {
         let last_stimulus = self
@@ -172,6 +193,11 @@ impl DstCase {
             .iter()
             .map(|&(t, _, _)| t)
             .chain(self.crash.iter().map(|&(_, _, rec)| rec))
+            .chain(
+                self.partition
+                    .iter()
+                    .map(|&(_, heal, _)| heal + self.settle_ticks()),
+            )
             .max()
             .unwrap_or(0);
         last_stimulus + self.response_bound() + 64
@@ -237,6 +263,35 @@ pub fn gen_case(g: &mut Gen, protocol: Protocol, mutation: Mutation) -> DstCase 
         _ => StrategySpec::Choices(g.vec(1..33, |g| g.next_u64())),
     };
 
+    // Hostile-link extension. These draws come after everything else so
+    // that tapes recorded before the extension existed — which exhaust
+    // here and read 0 — decode to "all link faults off" and replay
+    // byte-identically.
+    let mut link_loss_p = 0.0;
+    let mut link_dup_p = 0.0;
+    match g.gen_range(0..5u32) {
+        1 => link_dup_p = 0.2,
+        2 => link_dup_p = 1.0,
+        3 => link_loss_p = 0.05,
+        4 => link_loss_p = 0.15,
+        _ => {}
+    }
+    let partition = if g.gen_range(0..3u32) > 0 {
+        let at = g.gen_range(0..120u64);
+        let hold = g.gen_range(8..=96u64);
+        let split = g.gen_range(1..n as u32);
+        Some((at, at + hold, split))
+    } else {
+        None
+    };
+    if link_loss_p > 0.0 || partition.is_some() {
+        // A lost or severed token frame needs both recovery paths armed:
+        // ack/retransmit first, regeneration as the last resort.
+        cfg = cfg
+            .with_token_acks(true)
+            .with_regeneration(cfg.effective_regen_timeout(n));
+    }
+
     DstCase {
         protocol,
         n,
@@ -247,6 +302,9 @@ pub fn gen_case(g: &mut Gen, protocol: Protocol, mutation: Mutation) -> DstCase 
         crash,
         cfg,
         strategy,
+        link_loss_p,
+        link_dup_p,
+        partition,
     }
 }
 
@@ -295,6 +353,20 @@ pub enum Violation {
         /// How many requests never got the token.
         remaining: u64,
     },
+    /// After a partition healed and the fencing window elapsed, two live
+    /// nodes still hold tokens — the stale generation was never fenced.
+    DualTokenAfterHeal {
+        /// First holder.
+        a: NodeId,
+        /// First holder's token generation.
+        gen_a: u32,
+        /// Second holder.
+        b: NodeId,
+        /// Second holder's token generation.
+        gen_b: u32,
+        /// Observation time.
+        at: SimTime,
+    },
 }
 
 impl std::fmt::Display for Violation {
@@ -330,6 +402,18 @@ impl std::fmt::Display for Violation {
             Violation::Unserved { remaining } => {
                 write!(f, "{remaining} request(s) unserved at end of benign run")
             }
+            Violation::DualTokenAfterHeal {
+                a,
+                gen_a,
+                b,
+                gen_b,
+                at,
+            } => write!(
+                f,
+                "dual token survived partition heal: node {a} (gen {gen_a}) and node {b} \
+                 (gen {gen_b}) both hold at t={}",
+                at.ticks()
+            ),
         }
     }
 }
@@ -355,22 +439,62 @@ pub fn run_case(case: &DstCase) -> Result<CaseStats, Violation> {
     }
 }
 
+/// Which state oracles apply to a case, precomputed once per run.
+#[derive(Debug, Clone, Copy)]
+struct OracleScope {
+    /// Pairwise prefix check applies. Off during/after a partition (both
+    /// sides legitimately append while split) and under probabilistic
+    /// token loss (a live node whose inquiry reply is lost is presumed
+    /// dead, so regeneration can restart the line without its entries —
+    /// the same artifact the crash exemption covers, at any node).
+    prefix: bool,
+    /// Zero-gap check applies (off whenever regeneration can restart the
+    /// history line: crashes, token loss, partitions).
+    gaps: bool,
+    /// Node excluded from the prefix check (the scheduled crash victim).
+    crashed: Option<NodeId>,
+    /// First tick at which the dual-token-after-heal oracle is armed
+    /// (`u64::MAX` when the case has no partition, or when probabilistic
+    /// token loss could legitimately delay fencing forever).
+    dual_token_from: u64,
+}
+
+impl OracleScope {
+    fn of(case: &DstCase) -> OracleScope {
+        let regen_possible =
+            case.crash.is_some() || case.link_loss_p > 0.0 || case.partition.is_some();
+        OracleScope {
+            prefix: case.partition.is_none() && case.link_loss_p == 0.0,
+            gaps: !regen_possible,
+            crashed: case.crash.map(|(_, node, _)| NodeId::new(node)),
+            dual_token_from: match case.partition {
+                // Announcements travel lossless links here (control drops
+                // never touch token-class frames), so fencing must land
+                // within the settle window.
+                Some((_, heal, _)) if case.link_loss_p == 0.0 => heal + case.settle_ticks(),
+                _ => u64::MAX,
+            },
+        }
+    }
+}
+
 /// Evaluates the state oracles over all live nodes. Called after every
 /// dispatched event — `O(n²)` digest compares, fine at DST ring sizes.
 ///
-/// `crashed` is the node a crash was scheduled for, if any. That node is
-/// excluded from the pairwise prefix check: when a holder dies with entries
-/// only it applied, regeneration restarts the history line from the
+/// `scope.crashed` is the node a crash was scheduled for, if any. That node
+/// is excluded from the pairwise prefix check: when a holder dies with
+/// entries only it applied, regeneration restarts the history line from the
 /// survivors' frontier, so the recovered node legitimately keeps a forked
 /// suffix (Definition 2 is "modulo regeneration epochs"). Never-crashed
 /// nodes must stay prefix-ordered unconditionally — stale-generation frames
 /// are discarded, so only one token lineage ever reaches them.
 fn check_state_oracles<N: ProtocolNode>(
     world: &World<N>,
-    crash_free: bool,
-    crashed: Option<NodeId>,
+    scope: OracleScope,
     at: SimTime,
 ) -> Result<(), Violation> {
+    let crash_free = scope.gaps;
+    let crashed = scope.crashed;
     let live: Vec<(NodeId, &N)> = world
         .nodes()
         .filter(|&(id, _)| world.is_alive(id))
@@ -378,18 +502,20 @@ fn check_state_oracles<N: ProtocolNode>(
 
     // Prefix property (Definition 2): any two live histories must be
     // prefix-ordered. Digest comparison makes each pair O(1).
-    for (i, &(ia, a)) in live.iter().enumerate() {
-        if Some(ia) == crashed {
-            continue;
-        }
-        for &(ib, b) in &live[i + 1..] {
-            if Some(ib) == crashed {
+    if scope.prefix {
+        for (i, &(ia, a)) in live.iter().enumerate() {
+            if Some(ia) == crashed {
                 continue;
             }
-            let sa = a.order_state();
-            let sb = b.order_state();
-            if !sa.is_prefix_of(sb) && !sb.is_prefix_of(sa) {
-                return Err(Violation::PrefixDiverged { a: ia, b: ib, at });
+            for &(ib, b) in &live[i + 1..] {
+                if Some(ib) == crashed {
+                    continue;
+                }
+                let sa = a.order_state();
+                let sb = b.order_state();
+                if !sa.is_prefix_of(sb) && !sb.is_prefix_of(sa) {
+                    return Err(Violation::PrefixDiverged { a: ia, b: ib, at });
+                }
             }
         }
     }
@@ -424,6 +550,21 @@ fn check_state_oracles<N: ProtocolNode>(
             }
         }
     }
+
+    // Partition-heal fencing: once the fencing window has elapsed, at most
+    // one live node may hold *any* token — a second holder means a stale
+    // generation survived the heal instead of being superseded.
+    if at.ticks() >= scope.dual_token_from && holders.len() >= 2 {
+        let (a, gen_a) = holders[0];
+        let (b, gen_b) = holders[1];
+        return Err(Violation::DualTokenAfterHeal {
+            a,
+            gen_a,
+            b,
+            gen_b,
+            at,
+        });
+    }
     Ok(())
 }
 
@@ -434,6 +575,13 @@ fn run_case_on<N: ProtocolNode>(case: &DstCase) -> Result<CaseStats, Violation> 
     }
     if case.drop_p > 0.0 {
         world_cfg = world_cfg.drops(ControlDrops::new(case.drop_p));
+    }
+    if case.link_loss_p > 0.0 || case.link_dup_p > 0.0 {
+        world_cfg = world_cfg.link_faults(
+            LinkFaults::new()
+                .loss(case.link_loss_p)
+                .duplication(case.link_dup_p),
+        );
     }
     world_cfg = case.strategy.install(world_cfg);
 
@@ -446,9 +594,17 @@ fn run_case_on<N: ProtocolNode>(case: &DstCase) -> Result<CaseStats, Violation> 
         world.schedule_crash(SimTime::from_ticks(at), NodeId::new(node));
         world.schedule_recover(SimTime::from_ticks(recover_at), NodeId::new(node));
     }
+    if let Some((at, heal_at, split)) = case.partition {
+        let left: Vec<NodeId> = (0..split).map(NodeId::new).collect();
+        let right: Vec<NodeId> = (split..case.n as u32).map(NodeId::new).collect();
+        world.schedule_partition(
+            SimTime::from_ticks(at),
+            SimTime::from_ticks(heal_at),
+            &[left, right],
+        );
+    }
 
-    let crash_free = case.crash.is_none();
-    let crashed = case.crash.map(|(_, node, _)| NodeId::new(node));
+    let scope = OracleScope::of(case);
     let benign = case.is_benign();
     let bound = case.response_bound();
     let deadline = SimTime::from_ticks(case.horizon());
@@ -486,7 +642,7 @@ fn run_case_on<N: ProtocolNode>(case: &DstCase) -> Result<CaseStats, Violation> 
                         _ => {}
                     }
                 }
-                check_state_oracles(&world, crash_free, crashed, at)?;
+                check_state_oracles(&world, scope, at)?;
                 if benign {
                     // The oldest outstanding request anywhere must have
                     // been granted before its deadline passed.
@@ -531,7 +687,7 @@ fn run_case_on<N: ProtocolNode>(case: &DstCase) -> Result<CaseStats, Violation> 
             }
         }
     }
-    check_state_oracles(&world, crash_free, crashed, world.now())?;
+    check_state_oracles(&world, scope, world.now())?;
     if benign {
         let remaining: u64 = pending.iter().map(|q| q.len() as u64).sum();
         if remaining > 0 {
@@ -574,6 +730,28 @@ pub enum ExploreOutcome {
     Found(Box<Counterexample>),
 }
 
+/// Which slice of the drawn fault space an [`Explorer`] runs.
+///
+/// Implemented as a filter over the one shared generator, so a kept case's
+/// tape still rebuilds it with plain [`gen_case`] — tapes stay universal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Focus {
+    /// The whole mixed case space, as drawn.
+    All,
+    /// Only cases with a partition window — the heal-fencing adversary
+    /// behind the [`Violation::DualTokenAfterHeal`] oracle.
+    Partition,
+}
+
+impl Focus {
+    fn admits(self, case: &DstCase) -> bool {
+        match self {
+            Focus::All => true,
+            Focus::Partition => case.partition.is_some(),
+        }
+    }
+}
+
 /// Fuzzes `(seed, strategy)` pairs for one protocol under a case budget.
 #[derive(Debug, Clone)]
 pub struct Explorer {
@@ -585,30 +763,49 @@ pub struct Explorer {
     pub mutation: Mutation,
     /// Cap on shrink candidate evaluations after a find.
     pub max_shrink_iters: u32,
+    /// Case filter ([`Focus::All`] runs everything drawn).
+    pub focus: Focus,
 }
 
 impl Explorer {
-    /// An explorer with the default shrink budget.
+    /// An explorer with the default shrink budget over the full case space.
     pub fn new(protocol: Protocol, base_seed: u64, mutation: Mutation) -> Self {
         Explorer {
             protocol,
             base_seed,
             mutation,
             max_shrink_iters: 2_000,
+            focus: Focus::All,
         }
     }
 
-    /// Runs up to `budget` cases; on the first violation, shrinks it to a
-    /// minimal tape and returns the counterexample.
+    /// Restricts exploration to cases admitted by `focus`.
+    pub fn with_focus(mut self, focus: Focus) -> Self {
+        self.focus = focus;
+        self
+    }
+
+    /// Runs up to `budget` admitted cases; on the first violation, shrinks
+    /// it to a minimal tape and returns the counterexample.
     pub fn explore(&self, budget: u32) -> ExploreOutcome {
         // Stream the per-protocol case seeds from the base seed, exactly
-        // like `Check` streams its case seeds.
+        // like `Check` streams its case seeds. Cases the focus rejects are
+        // skipped without running (and without counting against `budget`);
+        // the attempt cap bounds the skip overhead.
         let mut sm = SplitMix64::new(self.base_seed ^ fnv1a(self.protocol.label()));
         let mut oracle_checks = 0u64;
-        for _ in 0..budget {
+        let mut ran = 0u32;
+        let mut attempts = 0u32;
+        let max_attempts = budget.saturating_mul(8).max(budget);
+        while ran < budget && attempts < max_attempts {
+            attempts += 1;
             let case_seed = sm.next_u64();
             let mut g = Gen::from_seed(case_seed);
             let case = gen_case(&mut g, self.protocol, self.mutation);
+            if !self.focus.admits(&case) {
+                continue;
+            }
+            ran += 1;
             match run_case(&case) {
                 Ok(stats) => oracle_checks += stats.oracle_checks,
                 Err(first) => {
@@ -620,7 +817,7 @@ impl Explorer {
             }
         }
         ExploreOutcome::Clean {
-            cases: budget,
+            cases: ran,
             oracle_checks,
         }
     }
@@ -812,6 +1009,12 @@ mod tests {
             assert_eq!(case.n, 2);
             assert_eq!(case.requests.len(), 1);
             assert_eq!(case.strategy, StrategySpec::Fifo);
+            // Draws past the tape end read 0 → every link fault off, so
+            // pre-extension tapes keep decoding to the exact same case.
+            assert_eq!(case.link_loss_p, 0.0);
+            assert_eq!(case.link_dup_p, 0.0);
+            assert!(case.partition.is_none());
+            assert!(!case.cfg.token_acks);
             assert!(run_case(&case).is_ok(), "zero case must pass");
         }
     }
@@ -835,6 +1038,43 @@ mod tests {
                 }
                 ExploreOutcome::Found(cx) => {
                     panic!("{}: unexpected violation: {}", protocol.label(), cx.violation)
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn partition_focus_admits_only_partition_cases() {
+        let mut sm = SplitMix64::new(42);
+        let mut with_partition = 0u32;
+        for _ in 0..64 {
+            let mut g = Gen::from_seed(sm.next_u64());
+            let case = gen_case(&mut g, Protocol::Ring, Mutation::None);
+            if Focus::Partition.admits(&case) {
+                with_partition += 1;
+                let (at, heal, split) = case.partition.unwrap();
+                assert!(heal > at);
+                assert!(split >= 1 && (split as usize) < case.n);
+                assert!(case.cfg.token_acks, "partition cases must arm acks");
+                assert!(case.cfg.regeneration, "partition cases must arm regen");
+            }
+            assert!(Focus::All.admits(&case));
+        }
+        assert!(with_partition > 10, "partition draws too rare: {with_partition}/64");
+    }
+
+    #[test]
+    fn partition_exploration_passes() {
+        for protocol in Protocol::ALL {
+            let explorer =
+                Explorer::new(protocol, 11, Mutation::None).with_focus(Focus::Partition);
+            match explorer.explore(6) {
+                ExploreOutcome::Clean { cases, oracle_checks } => {
+                    assert!(cases >= 4, "{}: only {cases} partition cases ran", protocol.label());
+                    assert!(oracle_checks > 0);
+                }
+                ExploreOutcome::Found(cx) => {
+                    panic!("{}: unexpected violation: {}\n{}", protocol.label(), cx.violation, cx.case_debug)
                 }
             }
         }

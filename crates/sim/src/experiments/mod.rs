@@ -11,6 +11,7 @@
 //! | [`ablation`] | Section 4.4 optimizations, toggled one at a time |
 //! | [`failure`] | Section 5: token-loss recovery |
 //! | [`drops`] | Section 1's claim that cheap messages affect only performance |
+//! | [`partition`] | Section 5 under a hostile link: split/heal + loss + duplication |
 //! | [`throughput`] | The introduction's busy-system throughput claim |
 //! | [`latency`] | Robustness of the log N vs N separation to delay jitter |
 //! | [`geo`] | Distance-priced links vs the paper's unit-delay assumption |
@@ -28,5 +29,6 @@ pub mod fig9;
 pub mod geo;
 pub mod latency;
 pub mod messages;
+pub mod partition;
 pub mod throughput;
 pub mod worstcase;

@@ -5,8 +5,8 @@ use atp_core::{
     BinaryNode, EventSource, ProtocolConfig, RingNode, SearchNode, TokenEvent, Want,
 };
 use atp_net::{
-    ControlDrops, FailurePlan, LatencyModel, MsgClass, Node, NodeId, SimTime, StepOutcome,
-    UniformLatency, World, WorldConfig,
+    ControlDrops, FailurePlan, LatencyModel, LinkFaults, MsgClass, Node, NodeId, SimTime,
+    StepOutcome, UniformLatency, World, WorldConfig,
 };
 use atp_util::json::JsonWriter;
 use atp_util::rng::{SeedableRng, StdRng};
@@ -57,6 +57,10 @@ pub trait ProtocolNode: Node<Ext = Want> + EventSource {
     fn holds_token_now(&self) -> bool;
     /// Highest token generation witnessed (regeneration-epoch oracle).
     fn token_generation(&self) -> u32;
+    /// Duplicate token frames discarded by the handoff watermark.
+    fn dup_discarded_count(&self) -> u64;
+    /// Token frames re-sent by the ack/retransmit state machine.
+    fn retransmit_count(&self) -> u64;
 }
 
 impl ProtocolNode for RingNode {
@@ -77,6 +81,12 @@ impl ProtocolNode for RingNode {
     }
     fn token_generation(&self) -> u32 {
         self.generation()
+    }
+    fn dup_discarded_count(&self) -> u64 {
+        self.duplicate_tokens_discarded()
+    }
+    fn retransmit_count(&self) -> u64 {
+        self.token_retransmits()
     }
 }
 
@@ -99,6 +109,12 @@ impl ProtocolNode for SearchNode {
     fn token_generation(&self) -> u32 {
         self.generation()
     }
+    fn dup_discarded_count(&self) -> u64 {
+        self.duplicate_tokens_discarded()
+    }
+    fn retransmit_count(&self) -> u64 {
+        self.token_retransmits()
+    }
 }
 
 impl ProtocolNode for BinaryNode {
@@ -119,6 +135,12 @@ impl ProtocolNode for BinaryNode {
     }
     fn token_generation(&self) -> u32 {
         self.generation()
+    }
+    fn dup_discarded_count(&self) -> u64 {
+        self.duplicate_tokens_discarded()
+    }
+    fn retransmit_count(&self) -> u64 {
+        self.token_retransmits()
     }
 }
 
@@ -142,8 +164,12 @@ pub struct ExperimentSpec {
     /// Message latency bounds `(lo, hi)`; `(1, 1)` is the paper's unit-delay
     /// model.
     pub latency: (u64, u64),
-    /// Scripted crashes/recoveries.
+    /// Scripted crashes/recoveries (and partitions, via
+    /// [`FailurePlan::partition_at`]).
     pub failures: FailurePlan,
+    /// Whole-link fault probabilities `(loss_p, dup_p)`, applied to every
+    /// message class — token frames included. `(0, 0)` disables the model.
+    pub link_faults: (f64, f64),
 }
 
 impl ExperimentSpec {
@@ -160,6 +186,7 @@ impl ExperimentSpec {
             control_drop_p: 0.0,
             latency: (1, 1),
             failures: FailurePlan::new(),
+            link_faults: (0.0, 0.0),
         }
     }
 
@@ -172,6 +199,12 @@ impl ExperimentSpec {
     /// Overrides the seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Overrides the post-horizon grace window (straggler drain time).
+    pub fn with_grace(mut self, grace_ticks: u64) -> Self {
+        self.grace_ticks = grace_ticks;
         self
     }
 
@@ -192,6 +225,13 @@ impl ExperimentSpec {
         self.failures = failures;
         self
     }
+
+    /// Sets whole-link loss and duplication probabilities (all message
+    /// classes, token frames included).
+    pub fn with_link_faults(mut self, loss_p: f64, dup_p: f64) -> Self {
+        self.link_faults = (loss_p, dup_p);
+        self
+    }
 }
 
 /// Network-side counters of a finished run.
@@ -203,6 +243,15 @@ pub struct NetSummary {
     pub control_sent: u64,
     /// Control-class messages dropped by the loss model.
     pub control_dropped: u64,
+    /// Token-class frames lost or duplicated by the link-fault model
+    /// (losses and copies combined; 0 when the model is off).
+    pub token_faulted: u64,
+    /// Messages of any class cut by an active partition.
+    pub severed: u64,
+    /// Duplicate token frames discarded by node handoff watermarks.
+    pub dup_tokens_discarded: u64,
+    /// Token frames re-sent by the ack/retransmit state machine.
+    pub token_retransmits: u64,
     /// Total events dispatched.
     pub events: u64,
 }
@@ -217,6 +266,14 @@ impl NetSummary {
         w.u64(self.control_sent);
         w.key("control_dropped");
         w.u64(self.control_dropped);
+        w.key("token_faulted");
+        w.u64(self.token_faulted);
+        w.key("severed");
+        w.u64(self.severed);
+        w.key("dup_tokens_discarded");
+        w.u64(self.dup_tokens_discarded);
+        w.key("token_retransmits");
+        w.u64(self.token_retransmits);
         w.key("events");
         w.u64(self.events);
         w.end_obj();
@@ -301,6 +358,13 @@ fn drive<N: ProtocolNode>(
     if spec.control_drop_p > 0.0 {
         world_cfg = world_cfg.drops(ControlDrops::new(spec.control_drop_p));
     }
+    if spec.link_faults != (0.0, 0.0) {
+        world_cfg = world_cfg.link_faults(
+            LinkFaults::new()
+                .loss(spec.link_faults.0)
+                .duplication(spec.link_faults.1),
+        );
+    }
     let nodes = (0..spec.n).map(|_| N::build(spec.cfg)).collect();
     let mut world: World<N> = World::from_nodes(nodes, world_cfg);
     world.apply_failure_plan(&spec.failures);
@@ -362,6 +426,8 @@ fn drive<N: ProtocolNode>(
         }
     }
 
+    let dup_tokens_discarded: u64 = world.nodes().map(|(_, n)| n.dup_discarded_count()).sum();
+    let token_retransmits: u64 = world.nodes().map(|(_, n)| n.retransmit_count()).sum();
     let stats = world.stats();
     RunSummary {
         protocol: spec.protocol,
@@ -371,6 +437,10 @@ fn drive<N: ProtocolNode>(
             token_sent: stats.sent(MsgClass::Token),
             control_sent: stats.sent(MsgClass::Control),
             control_dropped: stats.dropped(MsgClass::Control),
+            token_faulted: stats.dropped(MsgClass::Token) + stats.duplicated(MsgClass::Token),
+            severed: stats.severed(MsgClass::Token) + stats.severed(MsgClass::Control),
+            dup_tokens_discarded,
+            token_retransmits,
             events: stats.events_processed,
         },
         duration_ticks: world.now().ticks(),

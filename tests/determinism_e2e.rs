@@ -4,8 +4,8 @@
 //! seed must actually matter — different seeds give different traces.
 
 use adaptive_token_passing::sim::experiments::{
-    ablation, drops, failure, fairness, fig10, fig9, geo, latency, messages, throughput,
-    worstcase,
+    ablation, drops, failure, fairness, fig10, fig9, geo, latency, messages, partition,
+    throughput, worstcase,
 };
 use adaptive_token_passing::sim::runner::{run_experiment, ExperimentSpec, Protocol};
 use adaptive_token_passing::sim::sweep::{run_points, PointSpec, WorkloadSpec};
@@ -102,8 +102,8 @@ fn all_experiments_render_identically_serial_vs_parallel() {
         };
     }
     check_serial_vs_parallel!(
-        ablation, drops, failure, fairness, fig10, fig9, geo, latency, messages, throughput,
-        worstcase,
+        ablation, drops, failure, fairness, fig10, fig9, geo, latency, messages, partition,
+        throughput, worstcase,
     );
 }
 

@@ -9,7 +9,9 @@ use std::collections::BTreeMap;
 use std::sync::mpsc::{channel, Receiver, Sender};
 
 use adaptive_token_passing::core::{BinaryNode, EventSource, ProtocolConfig, TokenEvent, Want};
-use adaptive_token_passing::net::{Harness, NodeId, SimTime, Topology, World, WorldConfig};
+use adaptive_token_passing::net::{
+    Harness, MsgClass, NodeId, SimTime, Topology, World, WorldConfig,
+};
 
 const N: usize = 5;
 const HORIZON: u64 = 300;
@@ -69,6 +71,13 @@ fn run_in_world() -> (Vec<Grant>, Vec<(u64, u64)>) {
 
 /// Runs the identical scenario on `Harness` nodes wired through channels.
 fn run_on_channels() -> (Vec<Grant>, Vec<(u64, u64)>) {
+    run_on_channels_with(None)
+}
+
+/// Like [`run_on_channels`], but when `dup_every_nth_token` is `Some(k)`,
+/// every `k`-th token-class frame is sent down its channel twice — a
+/// link layer that stutters. Handoff watermarks must absorb the copies.
+fn run_on_channels_with(dup_every_nth_token: Option<u64>) -> (Vec<Grant>, Vec<(u64, u64)>) {
     let cfg = ProtocolConfig::default();
     let topology = Topology::ring(N);
     let mut harnesses: Vec<Harness<BinaryNode>> = (0..N)
@@ -106,14 +115,25 @@ fn run_on_channels() -> (Vec<Grant>, Vec<(u64, u64)>) {
     // Collects a harness's pending effects: outbound messages go down the
     // destination's channel stamped with their arrival time; timers go
     // straight onto the clock.
+    let token_frames = std::cell::Cell::new(0u64);
     let route = |h: &mut Harness<BinaryNode>,
                  now: u64,
                  queue: &mut BTreeMap<(u64, u64), (usize, Event)>,
                  seq: &mut u64| {
         let from = h.id();
         for ob in h.take_outbound() {
-            txs[ob.to.index()]
-                .send((now + LINK_LATENCY + ob.hold, from, ob.msg))
+            let tx = &txs[ob.to.index()];
+            let arrival = now + LINK_LATENCY + ob.hold;
+            if ob.class == MsgClass::Token {
+                token_frames.set(token_frames.get() + 1);
+                if let Some(k) = dup_every_nth_token {
+                    if token_frames.get() % k == 0 {
+                        tx.send((arrival, from, ob.msg.clone()))
+                            .expect("receiver lives for the whole test");
+                    }
+                }
+            }
+            tx.send((arrival, from, ob.msg))
                 .expect("receiver lives for the whole test");
         }
         for t in h.take_timers() {
@@ -186,6 +206,24 @@ fn channel_transport_matches_world() {
     assert_eq!(
         world_histories, chan_histories,
         "applied histories diverged between World and the channel transport"
+    );
+}
+
+/// A stuttering link layer: every 2nd token-class frame is delivered
+/// twice. The handoff watermark must discard each copy, so grants and
+/// applied histories stay identical to the clean `World` run — duplication
+/// costs nothing, not even reordering.
+#[test]
+fn duplicated_token_frames_do_not_change_behavior() {
+    let (world_grants, world_histories) = run_in_world();
+    let (dup_grants, dup_histories) = run_on_channels_with(Some(2));
+    assert_eq!(
+        world_grants, dup_grants,
+        "granted order diverged once the transport duplicated token frames"
+    );
+    assert_eq!(
+        world_histories, dup_histories,
+        "applied histories diverged once the transport duplicated token frames"
     );
 }
 
