@@ -43,6 +43,21 @@ cmp "$OUT1" "$OUT4"
 rm -f "$OUT1" "$OUT4"
 echo "ATP_THREADS=1 and ATP_THREADS=4 outputs are byte-identical"
 
+echo "== observability smoke =="
+# Trace export must produce parseable JSON lines, and the merged metrics
+# artifact must be byte-identical across thread counts (exact registry
+# merge — sharding cannot change a single byte).
+OBS_DIR=$(mktemp -d)
+ATP_THREADS=1 cargo run -q --release -p atp-sim --bin fig9 -- --quick \
+  --trace-out "$OBS_DIR/trace.jsonl" --chrome-out "$OBS_DIR/chrome.json" \
+  --metrics-out "$OBS_DIR/metrics1.json" > /dev/null 2>&1
+cargo run -q --release -p atp-sim --bin trace_check -- "$OBS_DIR/trace.jsonl"
+ATP_THREADS=4 cargo run -q --release -p atp-sim --bin fig9 -- --quick \
+  --metrics-out "$OBS_DIR/metrics4.json" > /dev/null 2>&1
+cmp "$OBS_DIR/metrics1.json" "$OBS_DIR/metrics4.json"
+echo "metrics artifact is byte-identical at ATP_THREADS=1 and 4"
+rm -rf "$OBS_DIR"
+
 echo "== dst smoke =="
 # Deterministic simulation testing: replay every checked-in counterexample
 # tape (failing on tape rot or oracle regressions), fuzz 210 fresh

@@ -15,8 +15,9 @@
 //! `BENCH_sweep.json`; run with `--smoke` for a single untimed pass.
 
 use atp_sim::experiments::{fig10, fig9};
-use atp_sim::{run_experiment, ExperimentSpec, GlobalPoisson, Protocol};
+use atp_sim::{run_experiment, run_points_profiled, ExperimentSpec, GlobalPoisson, Protocol};
 use atp_util::bench::{black_box, Runner};
+use atp_util::json::JsonWriter;
 use atp_util::pool;
 
 fn main() {
@@ -60,4 +61,27 @@ fn main() {
     });
 
     r.finish();
+
+    // Per-phase wall-clock breakdown of the drive loop (pop / deliver /
+    // drain), emitted as one extra JSON line for BENCH_sweep.json. Wall
+    // time only ever lands here and on stderr — never in compared
+    // artifacts.
+    let (_, profile) = run_points_profiled(&fig9::points(&fig9::Config::quick()));
+    eprintln!("fig9 quick {}", profile.line());
+    let mut w = JsonWriter::new();
+    w.begin_obj();
+    w.key("suite");
+    w.str("sweep");
+    w.key("name");
+    w.str("profile_fig9_quick_phases");
+    w.key("steps");
+    w.u64(profile.steps);
+    w.key("pop_ns");
+    w.u64(profile.pop_ns);
+    w.key("deliver_ns");
+    w.u64(profile.deliver_ns);
+    w.key("drain_ns");
+    w.u64(profile.drain_ns);
+    w.end_obj();
+    println!("{}", w.finish());
 }

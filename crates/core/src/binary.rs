@@ -389,6 +389,16 @@ impl BinaryNode {
         ctx.set_timer(ANNOUNCE_PERIOD, TIMER_ANNOUNCE);
     }
 
+    /// Records one search hop for `req` in the event stream: the span
+    /// instrumentation behind Lemma 6's per-request forward count.
+    fn note_search_hop(&mut self, req: RequestId, msg: &BinaryMsg, ctx: &Context<'_, BinaryMsg>) {
+        self.events.push(TokenEvent::SearchForwarded {
+            req,
+            bytes: crate::codec::encoded_len(msg) as u64,
+            at: ctx.now(),
+        });
+    }
+
     /// Stamps, records and (if acks are on) tracks an outgoing token frame.
     fn ship_token(
         &mut self,
@@ -402,7 +412,23 @@ impl BinaryNode {
         frame.bump_transfer();
         let generation = frame.generation;
         let transfer_seq = frame.transfer_seq();
+        // A Grant or CleanupHop frame is the token travelling to serve a
+        // specific request: record the dispatch (and its wire size) so
+        // request spans can separate search time from token flight time.
+        let dispatch_req = match &mode {
+            TokenMode::Grant { for_req, .. } | TokenMode::CleanupHop { for_req, .. } => {
+                Some(*for_req)
+            }
+            TokenMode::Rotate | TokenMode::Return => None,
+        };
         let msg = BinaryMsg::Token { frame, mode };
+        if let Some(req) = dispatch_req {
+            self.events.push(TokenEvent::TokenDispatched {
+                req,
+                bytes: crate::codec::encoded_len(&msg) as u64,
+                at: ctx.now(),
+            });
+        }
         if to != ctx.id() {
             // Self-sends (degenerate one-node ring) must pass the watermark.
             self.handoff.observe_send(generation, transfer_seq);
@@ -731,17 +757,15 @@ impl BinaryNode {
                 let mut trail = g.trail;
                 trail.push(me);
                 self.gimme_sends += 1;
-                ctx.send(
-                    next,
-                    BinaryMsg::Gimme(Gimme {
-                        origin: g.origin,
-                        req: g.req,
-                        origin_stamp: g.origin_stamp,
-                        span: next_span,
-                        trail,
-                    }),
-                    MsgClass::Control,
-                );
+                let msg = BinaryMsg::Gimme(Gimme {
+                    origin: g.origin,
+                    req: g.req,
+                    origin_stamp: g.origin_stamp,
+                    span: next_span,
+                    trail,
+                });
+                self.note_search_hop(g.req, &msg, ctx);
+                ctx.send(next, msg, MsgClass::Control);
             }
             return;
         }
@@ -773,17 +797,15 @@ impl BinaryNode {
             };
             trail.push(me);
             self.gimme_sends += 1;
-            ctx.send(
-                next,
-                BinaryMsg::Gimme(Gimme {
-                    origin: g.origin,
-                    req: g.req,
-                    origin_stamp: g.origin_stamp,
-                    span: next_span,
-                    trail,
-                }),
-                MsgClass::Control,
-            );
+            let msg = BinaryMsg::Gimme(Gimme {
+                origin: g.origin,
+                req: g.req,
+                origin_stamp: g.origin_stamp,
+                span: next_span,
+                trail,
+            });
+            self.note_search_hop(g.req, &msg, ctx);
+            ctx.send(next, msg, MsgClass::Control);
         }
     }
 
@@ -816,16 +838,14 @@ impl BinaryNode {
         }
         let stamp = self.last_visit;
         self.gimme_sends += 1;
-        ctx.send(
-            origin,
-            BinaryMsg::DirectedReply {
-                probed: ctx.id(),
-                stamp,
-                req,
-                span,
-            },
-            MsgClass::Control,
-        );
+        let msg = BinaryMsg::DirectedReply {
+            probed: ctx.id(),
+            stamp,
+            req,
+            span,
+        };
+        self.note_search_hop(req, &msg, ctx);
+        ctx.send(origin, msg, MsgClass::Control);
     }
 
     fn handle_directed_reply(
@@ -852,15 +872,13 @@ impl BinaryNode {
             ctx.topology().minus(probed, next_span as u64)
         };
         self.gimme_sends += 1;
-        ctx.send(
-            next,
-            BinaryMsg::DirectedProbe {
-                origin: ctx.id(),
-                req,
-                span: next_span,
-            },
-            MsgClass::Control,
-        );
+        let msg = BinaryMsg::DirectedProbe {
+            origin: ctx.id(),
+            req,
+            span: next_span,
+        };
+        self.note_search_hop(req, &msg, ctx);
+        ctx.send(next, msg, MsgClass::Control);
     }
 
     fn handle_probe_req(&mut self, holder: NodeId, span: u32, ctx: &mut Context<'_, BinaryMsg>) {
@@ -930,32 +948,22 @@ impl BinaryNode {
         let req = out.req;
         let stamp = out.stamp_at_request;
         self.gimme_sends += 1;
-        match self.cfg.search_mode {
-            SearchMode::Delegated => {
-                ctx.send(
-                    target,
-                    BinaryMsg::Gimme(Gimme {
-                        origin: me,
-                        req,
-                        origin_stamp: stamp,
-                        span,
-                        trail: vec![me],
-                    }),
-                    MsgClass::Control,
-                );
-            }
-            SearchMode::Directed => {
-                ctx.send(
-                    target,
-                    BinaryMsg::DirectedProbe {
-                        origin: me,
-                        req,
-                        span,
-                    },
-                    MsgClass::Control,
-                );
-            }
-        }
+        let msg = match self.cfg.search_mode {
+            SearchMode::Delegated => BinaryMsg::Gimme(Gimme {
+                origin: me,
+                req,
+                origin_stamp: stamp,
+                span,
+                trail: vec![me],
+            }),
+            SearchMode::Directed => BinaryMsg::DirectedProbe {
+                origin: me,
+                req,
+                span,
+            },
+        };
+        self.note_search_hop(req, &msg, ctx);
+        ctx.send(target, msg, MsgClass::Control);
     }
 
     fn my_regen_view(&self) -> RegenReply {
@@ -1384,7 +1392,7 @@ impl EventSource for BinaryNode {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use atp_net::{ControlDrops, MsgClass, World, WorldConfig};
+    use atp_net::{LinkFaults, MsgClass, World, WorldConfig};
 
     fn world(n: usize, cfg: ProtocolConfig) -> World<BinaryNode> {
         World::from_nodes(
@@ -1515,7 +1523,7 @@ mod tests {
         let cfg = ProtocolConfig::default();
         let mut w: World<BinaryNode> = World::from_nodes(
             (0..8).map(|_| BinaryNode::new(cfg)).collect(),
-            WorldConfig::default().drops(ControlDrops::new(1.0)),
+            WorldConfig::default().link_faults(LinkFaults::control_drops(1.0)),
         );
         w.schedule_external(SimTime::from_ticks(1), NodeId::new(5), Want::new(9));
         w.run_until(SimTime::from_ticks(40));

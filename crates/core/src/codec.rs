@@ -248,6 +248,42 @@ pub fn encode_binary_msg(msg: &BinaryMsg) -> Vec<u8> {
     buf
 }
 
+/// Exact byte length [`encode_binary_msg`] would produce for `msg`,
+/// computed without allocating.
+///
+/// The span instrumentation sizes every search and token send, so this
+/// must stay in lock-step with the encoder; the
+/// `encoded_len_matches_encoder` test pins the equality for every
+/// message variant.
+pub fn encoded_len(msg: &BinaryMsg) -> usize {
+    const REQ: usize = 12; // u32 origin + u64 seq
+    match msg {
+        BinaryMsg::Token { frame, mode } => {
+            let mode_len = match mode {
+                TokenMode::Rotate | TokenMode::Return => 0,
+                TokenMode::Grant { .. } => REQ + 4,
+                TokenMode::CleanupHop { trail, .. } => REQ + 4 + 4 + 4 * trail.len(),
+            };
+            1 + mode_len + frame.encoded_len()
+        }
+        BinaryMsg::Gimme(g) => 1 + 4 + REQ + 8 + 4 + 4 + 4 * g.trail.len(),
+        BinaryMsg::DirectedProbe { .. } => 1 + 4 + REQ + 4,
+        BinaryMsg::DirectedReply { .. } => 1 + 4 + 8 + REQ + 4,
+        BinaryMsg::ProbeReq { .. } => 1 + 4 + 4,
+        BinaryMsg::ProbeHit { .. } => 1 + 4 + REQ,
+        BinaryMsg::Regen(r) => match r {
+            RegenMsg::Inquiry { .. } => 1 + 4,
+            RegenMsg::Reply(reply) => 1 + 4 + 8 + 1 + 1 + if reply.passed_to.is_some() { 4 } else { 0 } + 8,
+            RegenMsg::Please { dead, .. } => 1 + 4 + 8 + 4 + 4 * dead.len(),
+            RegenMsg::Rejoin | RegenMsg::Leave => 1,
+            RegenMsg::SyncRequest { .. } => 1 + 8,
+            RegenMsg::SyncReply { entries } => 1 + 4 + 28 * entries.len(),
+            RegenMsg::TokenAck { .. } => 1 + 4 + 8,
+            RegenMsg::GenAnnounce { .. } => 1 + 4,
+        },
+    }
+}
+
 /// Decodes a frame previously produced by [`encode_binary_msg`].
 ///
 /// # Errors
@@ -530,6 +566,111 @@ mod tests {
             let d = format!("{:?}", m);
             let back = roundtrip(m);
             assert_eq!(format!("{back:?}"), d);
+        }
+    }
+
+    #[test]
+    fn encoded_len_matches_encoder() {
+        let frame = sample_frame();
+        let mut msgs = vec![
+            BinaryMsg::Token {
+                frame: frame.clone(),
+                mode: TokenMode::Rotate,
+            },
+            BinaryMsg::Token {
+                frame: frame.clone(),
+                mode: TokenMode::Return,
+            },
+            BinaryMsg::Token {
+                frame: frame.clone(),
+                mode: TokenMode::Grant {
+                    for_req: RequestId::new(NodeId::new(2), 9),
+                    return_to: NodeId::new(4),
+                },
+            },
+            BinaryMsg::Token {
+                frame: frame.clone(),
+                mode: TokenMode::CleanupHop {
+                    for_req: RequestId::new(NodeId::new(2), 9),
+                    return_to: NodeId::new(4),
+                    trail: vec![NodeId::new(1), NodeId::new(5), NodeId::new(7)],
+                },
+            },
+            BinaryMsg::Gimme(Gimme {
+                origin: NodeId::new(7),
+                req: RequestId::new(NodeId::new(7), 3),
+                origin_stamp: VisitStamp(99),
+                span: 16,
+                trail: vec![NodeId::new(7), NodeId::new(15)],
+            }),
+            BinaryMsg::DirectedProbe {
+                origin: NodeId::new(1),
+                req: RequestId::new(NodeId::new(1), 2),
+                span: 8,
+            },
+            BinaryMsg::DirectedReply {
+                probed: NodeId::new(9),
+                stamp: VisitStamp(5),
+                req: RequestId::new(NodeId::new(1), 2),
+                span: 8,
+            },
+            BinaryMsg::ProbeReq {
+                holder: NodeId::new(0),
+                span: 32,
+            },
+            BinaryMsg::ProbeHit {
+                origin: NodeId::new(6),
+                req: RequestId::new(NodeId::new(6), 1),
+            },
+            BinaryMsg::Regen(RegenMsg::Inquiry { generation: 3 }),
+            BinaryMsg::Regen(RegenMsg::Reply(RegenReply {
+                generation: 3,
+                stamp: VisitStamp(77),
+                holder: true,
+                passed_to: Some(NodeId::new(2)),
+                applied_seq: 42,
+            })),
+            BinaryMsg::Regen(RegenMsg::Reply(RegenReply {
+                generation: 0,
+                stamp: VisitStamp::NEVER,
+                holder: false,
+                passed_to: None,
+                applied_seq: 0,
+            })),
+            BinaryMsg::Regen(RegenMsg::Please {
+                new_gen: 4,
+                known_seq: 100,
+                dead: vec![NodeId::new(3), NodeId::new(9)],
+            }),
+            BinaryMsg::Regen(RegenMsg::Rejoin),
+            BinaryMsg::Regen(RegenMsg::Leave),
+            BinaryMsg::Regen(RegenMsg::SyncRequest { from_seq: 41 }),
+            BinaryMsg::Regen(RegenMsg::SyncReply {
+                entries: vec![crate::types::LogEntry {
+                    seq: 41,
+                    origin: NodeId::new(2),
+                    payload: 9,
+                    round: 11,
+                }],
+            }),
+            BinaryMsg::Regen(RegenMsg::TokenAck {
+                generation: 0x0103,
+                transfer_seq: 77,
+            }),
+            BinaryMsg::Regen(RegenMsg::GenAnnounce { generation: 0x0201 }),
+        ];
+        // An empty token frame too, so the frame-length formula is
+        // checked at both extremes.
+        msgs.push(BinaryMsg::Token {
+            frame: TokenFrame::new(4),
+            mode: TokenMode::Rotate,
+        });
+        for m in msgs {
+            assert_eq!(
+                encoded_len(&m),
+                encode_binary_msg(&m).len(),
+                "encoded_len disagrees with encoder for {m:?}"
+            );
         }
     }
 

@@ -109,6 +109,29 @@ pub enum TokenEvent {
         /// When it was discarded.
         at: SimTime,
     },
+    /// A search message working on behalf of `req` left this node: a
+    /// Gimme send or relay, or a directed probe/reply hop.
+    ///
+    /// One event per network send, so the per-request count is exactly
+    /// the number of times the request was forwarded — the quantity
+    /// Lemma 6 bounds by O(log N) for the binary-search strategy.
+    SearchForwarded {
+        /// The request being searched for.
+        req: RequestId,
+        /// Encoded wire size of the forwarded message, in bytes.
+        bytes: u64,
+        /// When the hop was sent.
+        at: SimTime,
+    },
+    /// A token frame was shipped toward the requester to serve `req`.
+    TokenDispatched {
+        /// The request the token is travelling to serve.
+        req: RequestId,
+        /// Encoded wire size of the token frame, in bytes.
+        bytes: u64,
+        /// When the frame was sent.
+        at: SimTime,
+    },
 }
 
 impl TokenEvent {
@@ -120,7 +143,9 @@ impl TokenEvent {
             | TokenEvent::Released { at, .. }
             | TokenEvent::Delivered { at, .. }
             | TokenEvent::Regenerated { at, .. }
-            | TokenEvent::StaleTokenDiscarded { at, .. } => at,
+            | TokenEvent::StaleTokenDiscarded { at, .. }
+            | TokenEvent::SearchForwarded { at, .. }
+            | TokenEvent::TokenDispatched { at, .. } => at,
         }
     }
 }

@@ -57,7 +57,7 @@ mod token;
 mod types;
 
 pub use binary::{BinaryMsg, BinaryNode, Gimme, TokenMode};
-pub use codec::{decode_binary_msg, encode_binary_msg, CodecError};
+pub use codec::{decode_binary_msg, encode_binary_msg, encoded_len, CodecError};
 pub use config::{ProtocolConfig, SearchMode, TrapCleanup};
 pub use event::{EventSource, TokenEvent, Want};
 pub use handoff::{Handoff, PendingTransfer};

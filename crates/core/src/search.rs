@@ -275,6 +275,19 @@ impl SearchNode {
         ctx.set_timer(ANNOUNCE_PERIOD, TIMER_ANNOUNCE);
     }
 
+    /// Records one search hop for `req` in the event stream (the span
+    /// instrumentation behind per-request forward counts). `SearchMsg`
+    /// has no binary codec, so the wire size is the analytic size of a
+    /// Gimme: tag 1 + origin 4 + [`RequestId`] 12 + hops 4 = 21 bytes.
+    fn note_search_hop(&mut self, req: RequestId, ctx: &Context<'_, SearchMsg>) {
+        const GIMME_WIRE_BYTES: u64 = 21;
+        self.events.push(TokenEvent::SearchForwarded {
+            req,
+            bytes: GIMME_WIRE_BYTES,
+            at: ctx.now(),
+        });
+    }
+
     /// Stamps, records and (if acks are on) tracks an outgoing token frame.
     fn ship_token(
         &mut self,
@@ -288,6 +301,16 @@ impl SearchNode {
         frame.bump_transfer();
         let generation = frame.generation;
         let transfer_seq = frame.transfer_seq();
+        // Analytic wire size: tag 1 + frame + grant_for option tag 1
+        // (+ RequestId 12 when granting).
+        let bytes = 2 + frame.encoded_len() as u64 + if grant_for.is_some() { 12 } else { 0 };
+        if let Some(req) = grant_for {
+            self.events.push(TokenEvent::TokenDispatched {
+                req,
+                bytes,
+                at: ctx.now(),
+            });
+        }
         let msg = SearchMsg::Token { frame, grant_for };
         if to != ctx.id() {
             // Self-sends (degenerate one-node ring) must pass the watermark.
@@ -397,6 +420,7 @@ impl SearchNode {
         // only the front trap was granted.)
         for t in std::mem::take(&mut self.traps) {
             self.gimme_sends += 1;
+            self.note_search_hop(t.req, ctx);
             ctx.send(
                 trap.origin,
                 SearchMsg::Gimme {
@@ -430,6 +454,7 @@ impl SearchNode {
             if (next_hops as usize) < ctx.topology().len() {
                 let next = ctx.topology().successor(ctx.id());
                 self.gimme_sends += 1;
+                self.note_search_hop(req, ctx);
                 ctx.send(
                     next,
                     SearchMsg::Gimme {
@@ -454,6 +479,7 @@ impl SearchNode {
         if (next_hops as usize) < ctx.topology().len() {
             let next = ctx.topology().successor(ctx.id());
             self.gimme_sends += 1;
+            self.note_search_hop(req, ctx);
             ctx.send(
                 next,
                 SearchMsg::Gimme {
@@ -632,6 +658,7 @@ impl SearchNode {
         let me = ctx.id();
         let to = holder_hint.unwrap_or_else(|| ctx.topology().successor(me));
         self.gimme_sends += 1;
+        self.note_search_hop(req, ctx);
         ctx.send(
             to,
             SearchMsg::Gimme {
@@ -721,6 +748,7 @@ impl Node for SearchNode {
         if !self.cfg.single_outstanding || self.outstanding.len() == 1 {
             let next = ctx.topology().successor(ctx.id());
             self.gimme_sends += 1;
+            self.note_search_hop(req, ctx);
             ctx.send(
                 next,
                 SearchMsg::Gimme {
@@ -870,7 +898,7 @@ impl EventSource for SearchNode {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use atp_net::{ControlDrops, World, WorldConfig};
+    use atp_net::{LinkFaults, World, WorldConfig};
 
     fn world(n: usize, cfg: ProtocolConfig) -> World<SearchNode> {
         World::from_nodes(
@@ -978,7 +1006,7 @@ mod tests {
         let cfg = ProtocolConfig::default();
         let mut w: World<SearchNode> = World::from_nodes(
             (0..4).map(|_| SearchNode::new(cfg)).collect(),
-            WorldConfig::default().drops(ControlDrops::new(1.0)),
+            WorldConfig::default().link_faults(LinkFaults::control_drops(1.0)),
         );
         w.schedule_external(SimTime::ZERO, NodeId::new(2), Want::new(1));
         w.run_to_quiescence();

@@ -257,6 +257,15 @@ impl TokenFrame {
         }
     }
 
+    /// Exact byte length [`TokenFrame::encode`] would produce, computed
+    /// without encoding (observability code sizes frames per send and
+    /// must not allocate on the hot path).
+    pub fn encoded_len(&self) -> usize {
+        // Fixed header (45) + three u32 length prefixes (12), then the
+        // per-element costs of carried / satisfied / excluded.
+        57 + 28 * self.carried.len() + 12 * self.satisfied.len() + 4 * self.excluded.len()
+    }
+
     /// Deserializes a frame previously written by [`TokenFrame::encode`].
     ///
     /// Returns `None` if `buf` is truncated.

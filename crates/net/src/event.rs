@@ -13,9 +13,9 @@ use crate::time::SimTime;
 /// performance (search requests, traps, probes, cleanup hints). The system
 /// must remain safe even if **no** cheap message is ever delivered.
 ///
-/// [`DropModel`](crate::DropModel) implementations may key loss behaviour on
-/// this class; the stock [`ControlDrops`](crate::ControlDrops) model drops
-/// only [`MsgClass::Control`] traffic.
+/// [`LinkFaults`](crate::LinkFaults) keys loss behaviour on this class;
+/// its `control_drops` constructor drops only [`MsgClass::Control`]
+/// traffic.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MsgClass {
     /// Expensive, reliable: carries the token (and ordering state).

@@ -1,11 +1,31 @@
-//! Link-level fault models: loss, duplication and delay for *any* class.
+//! The unified link-fault model: loss, duplication, delay and severing.
 //!
-//! The [`DropModel`](crate::DropModel) family encodes the paper's asymmetry —
-//! cheap control traffic may vanish, token-bearing traffic is reliable. The
-//! models here deliberately break that remaining assumption: a
-//! [`LinkFaultModel`] can lose, **duplicate** and delay every message,
-//! token frames included. They are the adversary the ack/retransmit and
+//! One model covers both of the paper's communication regimes. The
+//! asymmetric regime — cheap control traffic may vanish while
+//! token-bearing traffic is reliable (*"the system remains correct even
+//! if no 'cheap' message is ever sent"*) — is [`LinkFaults::control_drops`].
+//! The hostile regime that breaks the remaining assumption — any class,
+//! token frames included, may be lost, **duplicated** or delayed — is
+//! built with the [`loss`](LinkFaults::loss) /
+//! [`duplication`](LinkFaults::duplication) / [`delay`](LinkFaults::delay)
+//! builders, and is the adversary the ack/retransmit and
 //! duplicate-suppression machinery in `atp-core` is tested against.
+//! Severed directed links (partition-style hard faults) are
+//! [`LinkFaults::sever`].
+//!
+//! ## RNG stream discipline
+//!
+//! Checked-in DST replay tapes depend on the exact per-message draw
+//! order, so [`LinkFaults::apply`] draws in a fixed sequence and *skips*
+//! every draw whose probability is zero:
+//!
+//! 1. severed-link check — never draws;
+//! 2. control-drop draw (`Control` class only) — if it fires, the
+//!    message is lost and **no further draws happen** for it;
+//! 3. loss draw, 4. duplication draw, 5. delay draw.
+//!
+//! `LinkFaults::new()` therefore leaves the engine's RNG stream
+//! untouched, byte-identical to [`NoLinkFaults`].
 
 use atp_util::rng::{Rng, RngCore};
 use std::fmt;
@@ -28,6 +48,13 @@ impl LinkFault {
     /// No fault: deliver exactly one copy with nominal latency.
     pub const NONE: LinkFault = LinkFault {
         lose: false,
+        duplicate: false,
+        extra_delay: 0,
+    };
+
+    /// Plain loss: the message vanishes, nothing else happens.
+    pub const LOST: LinkFault = LinkFault {
+        lose: true,
         duplicate: false,
         extra_delay: 0,
     };
@@ -56,25 +83,36 @@ impl LinkFaultModel for NoLinkFaults {
     }
 }
 
-/// A seeded hostile link: every message of every class is independently
-/// lost with probability `loss`, duplicated with probability `duplicate`,
-/// and delayed by up to `max_extra_delay` extra ticks with probability
-/// `delay`.
+/// The seeded, composable link-fault model.
 ///
-/// All three draws happen for every message (even when a probability is
-/// zero the model skips the draw, keeping `LinkFaults::default()`
-/// byte-identical to [`NoLinkFaults`]).
+/// Combines (in evaluation order) severed directed links, class-asymmetric
+/// control drops, uniform loss, duplication and extra delay; see the
+/// [module docs](self) for the draw-order contract. Every probability
+/// defaults to zero and a zero probability draws nothing, so the default
+/// model is behaviourally *and* RNG-stream identical to [`NoLinkFaults`].
 ///
 /// ```rust
 /// use atp_net::LinkFaults;
-/// let faults = LinkFaults::new().loss(0.1).duplication(0.2).delay(0.3, 5);
+/// // The paper's asymmetric regime: 25% of control messages vanish.
+/// let cheap_lossy = LinkFaults::control_drops(0.25);
+/// // A hostile link: every class lost 10%, duplicated 20%, delayed 30%.
+/// let hostile = LinkFaults::new().loss(0.1).duplication(0.2).delay(0.3, 5);
+/// assert!(cheap_lossy.is_active() && hostile.is_active());
+/// assert!(!LinkFaults::new().is_active());
 /// ```
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct LinkFaults {
+    control_loss_p: f64,
     loss_p: f64,
     dup_p: f64,
     delay_p: f64,
     max_extra_delay: u64,
+    severed: Vec<(NodeId, NodeId)>,
+}
+
+fn check_p(p: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1]");
+    p
 }
 
 impl LinkFaults {
@@ -83,14 +121,51 @@ impl LinkFaults {
         Self::default()
     }
 
-    /// Loses each message with probability `p`.
+    /// Drops *control* (cheap) messages with probability `p`; token
+    /// messages are never touched by this draw.
+    ///
+    /// With `p = 1.0` no cheap message is ever delivered — the degenerate
+    /// regime under which the paper still guarantees safety and
+    /// ring-level liveness.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    pub fn control_drops(p: f64) -> Self {
+        Self::new().control_loss(p)
+    }
+
+    /// Loses every message, of either class, with probability `p`.
+    ///
+    /// Token messages are part of the "expensive" plane the paper assumes
+    /// arrives correctly (or is resent); this constructor is used to
+    /// *falsify* that assumption in failure-injection tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    pub fn uniform(p: f64) -> Self {
+        Self::new().loss(p)
+    }
+
+    /// Sets the control-class drop probability (builder form of
+    /// [`LinkFaults::control_drops`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    pub fn control_loss(mut self, p: f64) -> Self {
+        self.control_loss_p = check_p(p);
+        self
+    }
+
+    /// Loses each message (any class) with probability `p`.
     ///
     /// # Panics
     ///
     /// Panics if `p` is not in `[0, 1]`.
     pub fn loss(mut self, p: f64) -> Self {
-        assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1]");
-        self.loss_p = p;
+        self.loss_p = check_p(p);
         self
     }
 
@@ -100,8 +175,7 @@ impl LinkFaults {
     ///
     /// Panics if `p` is not in `[0, 1]`.
     pub fn duplication(mut self, p: f64) -> Self {
-        assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1]");
-        self.dup_p = p;
+        self.dup_p = check_p(p);
         self
     }
 
@@ -112,18 +186,38 @@ impl LinkFaults {
     ///
     /// Panics if `p` is not in `[0, 1]`.
     pub fn delay(mut self, p: f64, max_extra: u64) -> Self {
-        assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1]");
-        self.delay_p = p;
+        self.delay_p = check_p(p);
         self.max_extra_delay = max_extra;
         self
     }
 
-    /// Whether this model can ever fault a message.
-    pub fn is_active(&self) -> bool {
-        self.loss_p > 0.0 || self.dup_p > 0.0 || (self.delay_p > 0.0 && self.max_extra_delay > 0)
+    /// Severs the directed link `from → to`: every message on it is lost,
+    /// without consuming randomness.
+    pub fn sever(mut self, from: NodeId, to: NodeId) -> Self {
+        self.severed.push((from, to));
+        self
     }
 
-    /// The configured loss probability.
+    /// Severs both directions between `a` and `b`.
+    pub fn sever_both(self, a: NodeId, b: NodeId) -> Self {
+        self.sever(a, b).sever(b, a)
+    }
+
+    /// Whether this model can ever fault a message.
+    pub fn is_active(&self) -> bool {
+        self.control_loss_p > 0.0
+            || self.loss_p > 0.0
+            || self.dup_p > 0.0
+            || (self.delay_p > 0.0 && self.max_extra_delay > 0)
+            || !self.severed.is_empty()
+    }
+
+    /// The configured control-class drop probability.
+    pub fn control_loss_p(&self) -> f64 {
+        self.control_loss_p
+    }
+
+    /// The configured any-class loss probability.
     pub fn loss_p(&self) -> f64 {
         self.loss_p
     }
@@ -132,23 +226,52 @@ impl LinkFaults {
     pub fn duplication_p(&self) -> f64 {
         self.dup_p
     }
+
+    /// The configured extra-delay probability.
+    pub fn delay_p(&self) -> f64 {
+        self.delay_p
+    }
+
+    /// The configured maximum extra delay, in ticks.
+    pub fn max_extra_delay(&self) -> u64 {
+        self.max_extra_delay
+    }
+
+    /// The severed directed links.
+    pub fn severed(&self) -> &[(NodeId, NodeId)] {
+        &self.severed
+    }
 }
 
 impl LinkFaultModel for LinkFaults {
     fn apply(
         &mut self,
-        _: NodeId,
-        _: NodeId,
-        _: MsgClass,
+        from: NodeId,
+        to: NodeId,
+        class: MsgClass,
         rng: &mut dyn RngCore,
     ) -> LinkFault {
+        // Draw order is a compatibility contract — see the module docs.
+        if self.severed.contains(&(from, to)) {
+            return LinkFault::LOST;
+        }
+        if class == MsgClass::Control
+            && self.control_loss_p > 0.0
+            && rng.gen_bool(self.control_loss_p)
+        {
+            // A control drop ends processing: the loss/dup/delay draws
+            // are skipped so tapes recorded against the former two-model
+            // pipeline (drop model, then fault model) replay unchanged.
+            return LinkFault::LOST;
+        }
         let lose = self.loss_p > 0.0 && rng.gen_bool(self.loss_p);
         let duplicate = self.dup_p > 0.0 && rng.gen_bool(self.dup_p);
-        let extra_delay = if self.delay_p > 0.0 && self.max_extra_delay > 0 && rng.gen_bool(self.delay_p) {
-            rng.gen_range(1..=self.max_extra_delay)
-        } else {
-            0
-        };
+        let extra_delay =
+            if self.delay_p > 0.0 && self.max_extra_delay > 0 && rng.gen_bool(self.delay_p) {
+                rng.gen_range(1..=self.max_extra_delay)
+            } else {
+                0
+            };
         LinkFault {
             lose,
             duplicate,
@@ -185,12 +308,54 @@ mod tests {
         let mut m = LinkFaults::new();
         let mut r1 = rng();
         let mut r2 = rng();
-        for _ in 0..10 {
-            let f = m.apply(NodeId::new(0), NodeId::new(1), MsgClass::Token, &mut r1);
-            assert_eq!(f, LinkFault::NONE);
+        for class in MsgClass::ALL {
+            for _ in 0..10 {
+                let f = m.apply(NodeId::new(0), NodeId::new(1), class, &mut r1);
+                assert_eq!(f, LinkFault::NONE);
+            }
         }
         use atp_util::rng::RngCore as _;
         assert_eq!(r1.next_u64(), r2.next_u64(), "RNG stream was disturbed");
+    }
+
+    #[test]
+    fn control_drops_spare_tokens_and_draw_only_for_control() {
+        let mut m = LinkFaults::control_drops(1.0);
+        let mut r = rng();
+        let mut untouched = rng();
+        for _ in 0..50 {
+            // Token frames pass without consuming a draw...
+            let f = m.apply(NodeId::new(0), NodeId::new(1), MsgClass::Token, &mut r);
+            assert_eq!(f, LinkFault::NONE);
+        }
+        use atp_util::rng::RngCore as _;
+        assert_eq!(r.next_u64(), untouched.next_u64(), "token frames drew RNG");
+        // ...while every control message is lost.
+        for _ in 0..50 {
+            let f = m.apply(NodeId::new(0), NodeId::new(1), MsgClass::Control, &mut r);
+            assert_eq!(f, LinkFault::LOST);
+        }
+    }
+
+    #[test]
+    fn control_drop_skips_remaining_draws() {
+        // When the control drop fires, loss/dup/delay must not draw —
+        // matching the former two-model pipeline where a dropped message
+        // never reached the fault model.
+        let mut with_faults = LinkFaults::control_drops(1.0)
+            .loss(0.5)
+            .duplication(0.5)
+            .delay(0.5, 3);
+        let mut drops_only = LinkFaults::control_drops(1.0);
+        let mut r1 = rng();
+        let mut r2 = rng();
+        for _ in 0..20 {
+            let a = with_faults.apply(NodeId::new(0), NodeId::new(1), MsgClass::Control, &mut r1);
+            let b = drops_only.apply(NodeId::new(0), NodeId::new(1), MsgClass::Control, &mut r2);
+            assert_eq!(a, b);
+        }
+        use atp_util::rng::RngCore as _;
+        assert_eq!(r1.next_u64(), r2.next_u64(), "extra draws after control drop");
     }
 
     #[test]
@@ -205,6 +370,27 @@ mod tests {
     }
 
     #[test]
+    fn uniform_loss_hits_both_classes() {
+        let mut m = LinkFaults::uniform(1.0);
+        let mut r = rng();
+        for class in MsgClass::ALL {
+            assert!(m.apply(NodeId::new(0), NodeId::new(1), class, &mut r).lose);
+        }
+    }
+
+    #[test]
+    fn severed_links_block_both_classes_without_drawing() {
+        let mut m = LinkFaults::new().sever_both(NodeId::new(0), NodeId::new(1));
+        let mut r = rng();
+        let mut untouched = rng();
+        assert!(m.apply(NodeId::new(0), NodeId::new(1), MsgClass::Token, &mut r).lose);
+        assert!(m.apply(NodeId::new(1), NodeId::new(0), MsgClass::Control, &mut r).lose);
+        assert!(!m.apply(NodeId::new(0), NodeId::new(2), MsgClass::Token, &mut r).lose);
+        use atp_util::rng::RngCore as _;
+        assert_eq!(r.next_u64(), untouched.next_u64(), "severed check drew RNG");
+    }
+
+    #[test]
     fn rates_roughly_match() {
         let mut m = LinkFaults::new().duplication(0.5);
         let mut r = rng();
@@ -215,11 +401,27 @@ mod tests {
             })
             .count();
         assert!((800..1200).contains(&dups), "dups = {dups}");
+
+        let mut m = LinkFaults::control_drops(0.5);
+        let mut r = rng();
+        let losses = (0..2000)
+            .filter(|_| {
+                m.apply(NodeId::new(0), NodeId::new(1), MsgClass::Control, &mut r)
+                    .lose
+            })
+            .count();
+        assert!((800..1200).contains(&losses), "losses = {losses}");
     }
 
     #[test]
     #[should_panic(expected = "probability")]
     fn rejects_invalid_probability() {
         let _ = LinkFaults::new().loss(-0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn rejects_invalid_control_probability() {
+        let _ = LinkFaults::control_drops(1.5);
     }
 }

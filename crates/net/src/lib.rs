@@ -15,10 +15,13 @@
 //!   matching Section 4's cost model ("zero time with rules that affect only
 //!   the local state … constant time cost with the rules that result in
 //!   message passing").
-//! * [`DropModel`] lets "cheap" control messages (search requests, probes,
-//!   hints) be lost while "expensive" token-bearing messages are delivered
-//!   reliably — the two qualitatively different communication modes of the
-//!   paper's introduction.
+//! * [`LinkFaults`] is the single fault surface: "cheap" control messages
+//!   (search requests, probes, hints) may be lost while "expensive"
+//!   token-bearing messages are delivered reliably — the two qualitatively
+//!   different communication modes of the paper's introduction
+//!   ([`LinkFaults::control_drops`]) — or any class may be lost, duplicated,
+//!   delayed, or severed per-link for the hostile regimes the recovery
+//!   machinery is tested against.
 //! * [`FailurePlan`] schedules crashes and recoveries so the Section 5
 //!   token-regeneration extension can be exercised.
 //!
@@ -68,7 +71,6 @@
 #![warn(missing_docs)]
 
 mod context;
-mod drop;
 mod event;
 mod failure;
 mod fault;
@@ -83,7 +85,6 @@ mod trace;
 mod world;
 
 pub use context::Context;
-pub use drop::{ControlDrops, DropModel, LinkDrops, NoDrops, UniformDrops};
 pub use event::MsgClass;
 pub use failure::{FailureEvent, FailurePlan};
 pub use fault::{LinkFault, LinkFaultModel, LinkFaults, NoLinkFaults};
@@ -98,4 +99,4 @@ pub use sched::{
 pub use stats::NetStats;
 pub use time::SimTime;
 pub use trace::{TraceEvent, TraceKind, TraceLog};
-pub use world::{StepOutcome, World, WorldConfig};
+pub use world::{StepOutcome, World, WorldConfig, WorldProfile};

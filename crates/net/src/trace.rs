@@ -3,6 +3,8 @@
 use std::collections::VecDeque;
 use std::fmt;
 
+use atp_util::json::JsonWriter;
+
 use crate::event::MsgClass;
 use crate::id::NodeId;
 use crate::time::SimTime;
@@ -140,6 +142,74 @@ impl TraceLog {
     pub fn is_empty(&self) -> bool {
         self.events.is_empty()
     }
+
+    /// Serializes the retained events as JSON lines, oldest first: one
+    /// standalone JSON object per line, ending with a trailing newline
+    /// when any events exist.
+    ///
+    /// Every object carries `at` (tick) and `kind`; message events add
+    /// `from`/`to`/`class`, timer events `node`/`timer_kind`, and the
+    /// node-lifecycle events `node`. Field order is fixed, so identical
+    /// runs export identical bytes.
+    pub fn to_json_lines(&self) -> String {
+        let mut out = String::new();
+        for ev in &self.events {
+            let mut w = JsonWriter::new();
+            w.begin_obj();
+            w.key("at");
+            w.u64(ev.at.ticks());
+            w.key("kind");
+            match &ev.kind {
+                TraceKind::Sent { from, to, class } => {
+                    w.str("sent");
+                    write_link(&mut w, *from, *to, *class);
+                }
+                TraceKind::Delivered { from, to, class } => {
+                    w.str("delivered");
+                    write_link(&mut w, *from, *to, *class);
+                }
+                TraceKind::Lost { from, to, class } => {
+                    w.str("lost");
+                    write_link(&mut w, *from, *to, *class);
+                }
+                TraceKind::Timer { node, kind } => {
+                    w.str("timer");
+                    w.key("node");
+                    w.u64(node.index() as u64);
+                    w.key("timer_kind");
+                    w.u64(*kind);
+                }
+                TraceKind::External { node } => {
+                    w.str("external");
+                    w.key("node");
+                    w.u64(node.index() as u64);
+                }
+                TraceKind::Crashed { node } => {
+                    w.str("crashed");
+                    w.key("node");
+                    w.u64(node.index() as u64);
+                }
+                TraceKind::Recovered { node } => {
+                    w.str("recovered");
+                    w.key("node");
+                    w.u64(node.index() as u64);
+                }
+            }
+            w.end_obj();
+            out.push_str(&w.finish());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+fn write_link(w: &mut JsonWriter, from: NodeId, to: NodeId, class: MsgClass) {
+    w.key("from");
+    w.u64(from.index() as u64);
+    w.key("to");
+    w.u64(to.index() as u64);
+    w.key("class");
+    w.str(class.label());
 }
 
 impl fmt::Display for TraceLog {
@@ -182,6 +252,54 @@ mod tests {
             },
         );
         assert!(log.is_empty());
+    }
+
+    #[test]
+    fn json_lines_parse_and_cover_every_kind() {
+        let mut log = TraceLog::with_capacity(16);
+        log.push(
+            SimTime::from_ticks(1),
+            TraceKind::Sent {
+                from: NodeId::new(0),
+                to: NodeId::new(1),
+                class: MsgClass::Token,
+            },
+        );
+        log.push(
+            SimTime::from_ticks(2),
+            TraceKind::Delivered {
+                from: NodeId::new(0),
+                to: NodeId::new(1),
+                class: MsgClass::Control,
+            },
+        );
+        log.push(
+            SimTime::from_ticks(3),
+            TraceKind::Lost {
+                from: NodeId::new(1),
+                to: NodeId::new(0),
+                class: MsgClass::Control,
+            },
+        );
+        log.push(SimTime::from_ticks(4), TraceKind::Timer { node: NodeId::new(2), kind: 9 });
+        log.push(SimTime::from_ticks(5), TraceKind::External { node: NodeId::new(2) });
+        log.push(SimTime::from_ticks(6), TraceKind::Crashed { node: NodeId::new(2) });
+        log.push(SimTime::from_ticks(7), TraceKind::Recovered { node: NodeId::new(2) });
+
+        let lines = log.to_json_lines();
+        assert!(lines.ends_with('\n'));
+        let parsed: Vec<atp_util::json::Value> = lines
+            .lines()
+            .map(|l| atp_util::json::parse(l).expect("every line is standalone JSON"))
+            .collect();
+        assert_eq!(parsed.len(), 7);
+        assert_eq!(parsed[0].get("kind").and_then(|v| v.as_str()), Some("sent"));
+        assert_eq!(parsed[0].get("at").and_then(|v| v.as_u64()), Some(1));
+        assert_eq!(parsed[0].get("class").and_then(|v| v.as_str()), Some("token"));
+        assert_eq!(parsed[3].get("timer_kind").and_then(|v| v.as_u64()), Some(9));
+        assert_eq!(parsed[6].get("node").and_then(|v| v.as_u64()), Some(2));
+        // Empty log exports the empty string.
+        assert_eq!(TraceLog::default().to_json_lines(), "");
     }
 
     #[test]

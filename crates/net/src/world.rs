@@ -1,11 +1,11 @@
 //! The discrete-event simulation engine.
 
 use std::collections::BinaryHeap;
+use std::time::Instant;
 
 use atp_util::rng::{SeedableRng, StdRng};
 
 use crate::context::{Context, Effect};
-use crate::drop::{DropModel, NoDrops};
 use crate::event::{EventKind, QueuedEvent};
 use crate::failure::{FailureEvent, FailurePlan};
 use crate::fault::{LinkFaultModel, NoLinkFaults};
@@ -17,17 +17,41 @@ use crate::stats::NetStats;
 use crate::time::SimTime;
 use crate::trace::{TraceKind, TraceLog};
 
+/// Wall-clock cost of the engine's hot path, split by phase.
+///
+/// Only collected when [`WorldConfig::profile`] is enabled; the numbers
+/// are host-dependent and must never flow into compared artifacts — they
+/// belong on stderr and in bench output.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorldProfile {
+    /// Nanoseconds spent popping / tie-breaking the event queue.
+    pub pop_ns: u64,
+    /// Nanoseconds spent dispatching events (node callbacks + effect flush).
+    pub deliver_ns: u64,
+    /// Number of [`World::step`] calls measured.
+    pub steps: u64,
+}
+
+impl WorldProfile {
+    /// Accumulates another profile into this one.
+    pub fn merge(&mut self, other: &WorldProfile) {
+        self.pop_ns += other.pop_ns;
+        self.deliver_ns += other.deliver_ns;
+        self.steps += other.steps;
+    }
+}
+
 /// Construction parameters for a [`World`].
 ///
 /// `WorldConfig::default()` gives the paper's canonical regime: unit message
 /// delay, no losses, no tracing, seed 0.
 ///
 /// ```rust
-/// use atp_net::{WorldConfig, UniformLatency, ControlDrops};
+/// use atp_net::{WorldConfig, UniformLatency, LinkFaults};
 /// let cfg = WorldConfig::default()
 ///     .seed(42)
 ///     .latency(UniformLatency::new(1, 3))
-///     .drops(ControlDrops::new(0.25))
+///     .link_faults(LinkFaults::control_drops(0.25))
 ///     .trace_capacity(1000);
 /// assert_eq!(cfg.seed_value(), 42);
 /// ```
@@ -35,11 +59,11 @@ use crate::trace::{TraceKind, TraceLog};
 pub struct WorldConfig {
     seed: u64,
     latency: Box<dyn LatencyModel>,
-    drops: Box<dyn DropModel>,
     link_faults: Box<dyn LinkFaultModel>,
     trace_capacity: usize,
     queue_capacity: usize,
     strategy: Option<Box<dyn DeliveryStrategy>>,
+    profile: bool,
 }
 
 impl Default for WorldConfig {
@@ -47,11 +71,11 @@ impl Default for WorldConfig {
         WorldConfig {
             seed: 0,
             latency: Box::new(ConstantLatency::default()),
-            drops: Box::new(NoDrops),
             link_faults: Box::new(NoLinkFaults),
             trace_capacity: 0,
             queue_capacity: 0,
             strategy: None,
+            profile: false,
         }
     }
 }
@@ -80,14 +104,9 @@ impl WorldConfig {
         self
     }
 
-    /// Replaces the drop model.
-    pub fn drops(mut self, model: impl DropModel + 'static) -> Self {
-        self.drops = Box::new(model);
-        self
-    }
-
-    /// Replaces the link-fault model (loss / duplication / delay for any
-    /// message class, token frames included).
+    /// Replaces the link-fault model (severing, class-asymmetric control
+    /// drops, loss / duplication / delay for any message class, token
+    /// frames included).
     pub fn link_faults(mut self, model: impl LinkFaultModel + 'static) -> Self {
         self.link_faults = Box::new(model);
         self
@@ -115,6 +134,14 @@ impl WorldConfig {
     /// no tie-gathering cost.
     pub fn strategy(mut self, strategy: impl DeliveryStrategy + 'static) -> Self {
         self.strategy = Some(Box::new(strategy));
+        self
+    }
+
+    /// Enables per-phase wall-clock profiling of the drive loop
+    /// (see [`WorldProfile`]). Off by default: the hot path then pays
+    /// only a branch per step.
+    pub fn profile(mut self, enabled: bool) -> Self {
+        self.profile = enabled;
         self
     }
 }
@@ -190,7 +217,6 @@ pub struct World<N: Node> {
     now: SimTime,
     seq: u64,
     latency: Box<dyn LatencyModel>,
-    drops: Box<dyn DropModel>,
     link_faults: Box<dyn LinkFaultModel>,
     partitions: Vec<PartitionWindow>,
     rng: StdRng,
@@ -199,6 +225,7 @@ pub struct World<N: Node> {
     effects: Vec<Effect<N::Msg>>,
     initialized: bool,
     strategy: Option<Box<dyn DeliveryStrategy>>,
+    profile: Option<WorldProfile>,
     /// Scratch for tie-group gathering, reused across steps.
     ready_buf: Vec<QueuedEvent<N::Msg, N::Ext>>,
     meta_buf: Vec<ReadyEvent>,
@@ -256,7 +283,6 @@ impl<N: Node> World<N> {
             now: SimTime::ZERO,
             seq: 0,
             latency: config.latency,
-            drops: config.drops,
             link_faults: config.link_faults,
             partitions: Vec::new(),
             rng: StdRng::seed_from_u64(config.seed),
@@ -265,6 +291,7 @@ impl<N: Node> World<N> {
             effects: Vec::new(),
             initialized: false,
             strategy: config.strategy,
+            profile: config.profile.then(WorldProfile::default),
             ready_buf: Vec::new(),
             meta_buf: Vec::new(),
         }
@@ -324,6 +351,12 @@ impl<N: Node> World<N> {
     /// Network statistics accumulated so far.
     pub fn stats(&self) -> &NetStats {
         &self.stats
+    }
+
+    /// Per-phase wall-clock profile of the drive loop, if enabled via
+    /// [`WorldConfig::profile`].
+    pub fn profile(&self) -> Option<&WorldProfile> {
+        self.profile.as_ref()
     }
 
     /// The bounded trace log (empty unless enabled in [`WorldConfig`]).
@@ -509,11 +542,6 @@ impl<N: Node> World<N> {
                         self.trace.push(self.now, TraceKind::Lost { from, to, class });
                         continue;
                     }
-                    if self.drops.should_drop(from, to, class, &mut self.rng) {
-                        self.stats.record_dropped(class);
-                        self.trace.push(self.now, TraceKind::Lost { from, to, class });
-                        continue;
-                    }
                     let fault = self.link_faults.apply(from, to, class, &mut self.rng);
                     if fault.lose {
                         self.stats.record_dropped(class);
@@ -589,9 +617,29 @@ impl<N: Node> World<N> {
     /// Runs `on_init` on all nodes the first time it is called.
     pub fn step(&mut self) -> StepOutcome {
         self.ensure_initialized();
-        let Some(ev) = self.pop_next() else {
-            return StepOutcome::Quiescent;
+        if self.profile.is_none() {
+            // Hot path: no timing overhead beyond this branch.
+            let Some(ev) = self.pop_next() else {
+                return StepOutcome::Quiescent;
+            };
+            return self.dispatch_event(ev);
+        }
+        let t0 = Instant::now();
+        let popped = self.pop_next();
+        let t1 = Instant::now();
+        let outcome = match popped {
+            Some(ev) => self.dispatch_event(ev),
+            None => StepOutcome::Quiescent,
         };
+        let t2 = Instant::now();
+        let p = self.profile.as_mut().expect("profiling enabled");
+        p.pop_ns += (t1 - t0).as_nanos() as u64;
+        p.deliver_ns += (t2 - t1).as_nanos() as u64;
+        p.steps += 1;
+        outcome
+    }
+
+    fn dispatch_event(&mut self, ev: QueuedEvent<N::Msg, N::Ext>) -> StepOutcome {
         debug_assert!(ev.time >= self.now, "event queue went backwards");
         self.now = ev.time;
         self.stats.events_processed += 1;
@@ -739,8 +787,8 @@ impl<N: Node> World<N> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::drop::ControlDrops;
     use crate::event::MsgClass;
+    use crate::fault::LinkFaults;
     use crate::latency::UniformLatency;
 
     /// Echo node: replies "pong" (v+1) to every odd message.
@@ -832,7 +880,7 @@ mod tests {
             let cfg = WorldConfig::default()
                 .seed(seed)
                 .latency(UniformLatency::new(1, 9))
-                .drops(ControlDrops::new(0.3));
+                .link_faults(LinkFaults::control_drops(0.3));
             let mut w: World<Echo> = World::new(4, cfg);
             for t in 0..50 {
                 w.schedule_external(SimTime::from_ticks(t), NodeId::new((t % 4) as u32), 1);

@@ -3,7 +3,7 @@
 //! harness.
 
 use atp_net::{
-    Context, ControlDrops, MsgClass, Node, NodeId, SimTime, UniformLatency, World, WorldConfig,
+    Context, LinkFaults, MsgClass, Node, NodeId, SimTime, UniformLatency, World, WorldConfig,
 };
 use atp_util::check::{Check, Gen};
 use atp_util::rng::Rng;
@@ -74,7 +74,7 @@ fn run(s: &Scenario) -> (SeenLog, u64, u64) {
     let cfg = WorldConfig::default()
         .seed(s.seed)
         .latency(UniformLatency::new(s.jitter.0, s.jitter.1))
-        .drops(ControlDrops::new(s.drop_p));
+        .link_faults(LinkFaults::control_drops(s.drop_p));
     let mut w: World<Gossip> = World::new(s.n, cfg);
     for (t, node, hops) in &s.injections {
         w.schedule_external(
@@ -110,7 +110,7 @@ fn message_conservation() {
         let cfg = WorldConfig::default()
             .seed(s.seed)
             .latency(UniformLatency::new(s.jitter.0, s.jitter.1))
-            .drops(ControlDrops::new(s.drop_p));
+            .link_faults(LinkFaults::control_drops(s.drop_p));
         let mut w: World<Gossip> = World::new(s.n, cfg);
         for (t, node, hops) in &s.injections {
             w.schedule_external(SimTime::from_ticks(*t), NodeId::new(node % s.n as u32), *hops);

@@ -2,7 +2,13 @@
 //!
 //! Usage:
 //! `cargo run --release -p atp-sim --bin dst -- [--budget N] [--seed S]
-//!  [--tapes DIR] [--demo-mutation] [--write-tape PATH] [--partition]`
+//!  [--tapes DIR] [--demo-mutation] [--write-tape PATH] [--partition]
+//!  [--trace-out FILE]`
+//!
+//! `--trace-out` (with `--tapes`) re-replays every checked-in tape with
+//! network tracing on and writes one JSON-lines document: a
+//! `{"kind":"tape",...}` header per tape followed by its world trace
+//! events. Deterministic — same tapes, same bytes.
 //!
 //! `--partition` restricts exploration to cases with a partition window
 //! (the heal-fencing adversary): every explored case splits the ring,
@@ -24,8 +30,9 @@
 //! Exit status: `0` all green, `1` violation / tape regression / demo miss,
 //! `2` usage error.
 
-use atp_sim::dst::{verify_tape, ExploreOutcome, Explorer, Focus, Mutation, TapeFile};
-use atp_sim::Protocol;
+use atp_sim::dst::{replay_tape_traced, verify_tape, ExploreOutcome, Explorer, Focus, Mutation, TapeFile};
+use atp_sim::{obs, ObsArgs, Protocol};
+use atp_util::json::JsonWriter;
 use std::process::ExitCode;
 
 struct Args {
@@ -37,7 +44,7 @@ struct Args {
     focus: Focus,
 }
 
-fn parse_args() -> Result<Args, String> {
+fn parse_args(rest: Vec<String>) -> Result<Args, String> {
     let mut args = Args {
         budget: 300,
         seed: 0,
@@ -46,7 +53,7 @@ fn parse_args() -> Result<Args, String> {
         write_tape: None,
         focus: Focus::All,
     };
-    let mut it = std::env::args().skip(1);
+    let mut it = rest.into_iter();
     while let Some(flag) = it.next() {
         let mut value = |name: &str| {
             it.next()
@@ -73,8 +80,10 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
-/// Replays every `*.tape` in `dir`; returns the number of regressions.
-fn replay_tapes(dir: &str) -> Result<u32, String> {
+/// Replays every `*.tape` in `dir`; returns the number of regressions
+/// plus, when `collect_trace` is set, a JSON-lines trace document (one
+/// `{"kind":"tape",...}` header per tape, then its world trace events).
+fn replay_tapes(dir: &str, collect_trace: bool) -> Result<(u32, String), String> {
     let mut paths: Vec<_> = std::fs::read_dir(dir)
         .map_err(|e| format!("--tapes {dir}: {e}"))?
         .filter_map(|entry| entry.ok().map(|e| e.path()))
@@ -83,9 +92,10 @@ fn replay_tapes(dir: &str) -> Result<u32, String> {
     paths.sort();
     if paths.is_empty() {
         println!("tapes: none under {dir}");
-        return Ok(0);
+        return Ok((0, String::new()));
     }
     let mut regressions = 0u32;
+    let mut trace = String::new();
     for path in &paths {
         let text = std::fs::read_to_string(path)
             .map_err(|e| format!("{}: {e}", path.display()))?;
@@ -103,26 +113,62 @@ fn replay_tapes(dir: &str) -> Result<u32, String> {
                 regressions += 1;
             }
         }
+        if collect_trace {
+            let (verdict, jsonl) =
+                replay_tape_traced(&tf.tape, tf.protocol, tf.mutation, obs::TRACE_CAPACITY);
+            let mut w = JsonWriter::new();
+            w.begin_obj();
+            w.key("kind");
+            w.str("tape");
+            w.key("name");
+            w.str(&tf.name);
+            w.key("protocol");
+            w.str(tf.protocol.label());
+            w.key("mutation");
+            w.str(tf.mutation.label());
+            w.key("violated");
+            w.bool(verdict.is_err());
+            w.end_obj();
+            trace.push_str(&w.finish());
+            trace.push('\n');
+            trace.push_str(&jsonl);
+        }
     }
-    Ok(regressions)
+    Ok((regressions, trace))
 }
 
 fn main() -> ExitCode {
-    let args = match parse_args() {
+    let obs_args = ObsArgs::parse_env();
+    let args = match parse_args(obs_args.rest.clone()) {
         Ok(a) => a,
         Err(e) => {
             eprintln!("dst: {e}");
             return ExitCode::from(2);
         }
     };
+    if (obs_args.trace_out.is_some() && args.tapes.is_none())
+        || obs_args.chrome_out.is_some()
+        || obs_args.metrics_out.is_some()
+    {
+        eprintln!("dst: only --trace-out (with --tapes) is wired up here; other obs flags ignored");
+    }
     let mut failed = false;
 
     if let Some(dir) = &args.tapes {
-        match replay_tapes(dir) {
-            Ok(0) => {}
-            Ok(n) => {
-                println!("tapes: {n} regression(s)");
-                failed = true;
+        let collect_trace = obs_args.trace_out.is_some();
+        match replay_tapes(dir, collect_trace) {
+            Ok((regressions, trace)) => {
+                if regressions > 0 {
+                    println!("tapes: {regressions} regression(s)");
+                    failed = true;
+                }
+                if let Some(path) = &obs_args.trace_out {
+                    if let Err(e) = std::fs::write(path, trace) {
+                        eprintln!("dst: --trace-out {path}: {e}");
+                        return ExitCode::from(2);
+                    }
+                    eprintln!("wrote tape replay trace: {path}");
+                }
             }
             Err(e) => {
                 eprintln!("dst: {e}");

@@ -1,22 +1,41 @@
 //! Regenerates the paper's Figure 9 data series.
 //!
-//! Usage: `cargo run --release --bin fig9 [-- --quick]`
+//! Usage: `cargo run --release --bin fig9 [-- --quick]
+//!         [--trace-out FILE] [--chrome-out FILE] [--metrics-out FILE]`
 //!
 //! The sweep fans out over `ATP_THREADS` workers (default: all cores); the
-//! table on stdout is byte-identical at any thread count. Timing goes to
-//! stderr so stdout stays comparable across runs.
+//! table on stdout is byte-identical at any thread count, and so are the
+//! observability artifacts: `--metrics-out` merges every point's registry
+//! exactly, `--trace-out`/`--chrome-out` re-run the largest BinarySearch
+//! point traced (pinned seed). Timing goes to stderr so stdout stays
+//! comparable across runs.
 
-use atp_sim::experiments::fig9;
+use atp_sim::prelude::*;
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let obs = ObsArgs::parse_env();
+    let quick = obs.rest.iter().any(|a| a == "--quick");
     let config = if quick { fig9::Config::quick() } else { fig9::Config::paper() };
     let start = std::time::Instant::now();
-    let table = fig9::run(&config);
+    let (table, summaries) = fig9::run_with_summaries(&config);
     eprintln!(
         "fig9: {:.3}s on {} worker(s)",
         start.elapsed().as_secs_f64(),
         atp_util::pool::worker_count()
     );
+    if let Err(e) = obs.write_metrics(&obs::merged_registry(&summaries)) {
+        eprintln!("fig9: --metrics-out: {e}");
+        std::process::exit(2);
+    }
+    if obs.wants_trace() {
+        let n = *config.ns.last().expect("config sweeps at least one n");
+        let spec = ExperimentSpec::new(Protocol::Binary, n, config.rounds * n as u64)
+            .with_seed(config.seed);
+        let mut wl = GlobalPoisson::new(config.mean_gap);
+        if let Err(e) = obs::run_traced_with(&obs, &spec, &mut wl) {
+            eprintln!("fig9: trace export: {e}");
+            std::process::exit(2);
+        }
+    }
     println!("{}", table.render());
 }

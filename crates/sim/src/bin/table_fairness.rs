@@ -6,10 +6,14 @@
 //! table on stdout is byte-identical at any thread count. Timing goes to
 //! stderr so stdout stays comparable across runs.
 
-use atp_sim::experiments::fairness;
+use atp_sim::prelude::*;
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let obs = ObsArgs::parse_env();
+    let quick = obs.rest.iter().any(|a| a == "--quick");
+    if obs.trace_out.is_some() || obs.chrome_out.is_some() || obs.metrics_out.is_some() {
+        eprintln!("table_fairness: obs flags are only wired up on fig9/fig10/dst; ignored");
+    }
     let config = if quick { fairness::Config::quick() } else { fairness::Config::paper() };
     let start = std::time::Instant::now();
     let table = fairness::run(&config);

@@ -33,9 +33,11 @@
 use std::collections::VecDeque;
 
 use atp_core::{ProtocolConfig, SearchMode, TokenEvent, TrapCleanup, Want};
+use std::time::Instant;
+
 use atp_net::{
-    ClassStarve, ControlDrops, Fifo, Lifo, LinkFaults, MsgClass, NodeId, RecordedChoices,
-    SeededShuffle, SimTime, StepOutcome, UniformLatency, World, WorldConfig,
+    ClassStarve, Fifo, Lifo, LinkFaults, MsgClass, NodeId, RecordedChoices, SeededShuffle,
+    SimTime, StepOutcome, UniformLatency, World, WorldConfig,
 };
 use atp_util::check::{shrink_tape, Gen};
 use atp_util::json::{self, JsonWriter};
@@ -427,15 +429,30 @@ pub struct CaseStats {
     pub grants: u64,
     /// Oracle evaluations performed (one per dispatched event).
     pub oracle_checks: u64,
+    /// Wall-clock nanoseconds spent inside oracle evaluation, measured
+    /// only when `ATP_PROFILE` is set (0 otherwise). Never enters compared
+    /// artifacts — stderr reporting only.
+    pub oracle_ns: u64,
 }
 
 /// Runs one case under its adversary, checking every oracle after every
 /// dispatched event. `Ok` carries run counters; `Err` the first violation.
 pub fn run_case(case: &DstCase) -> Result<CaseStats, Violation> {
+    run_case_traced(case, 0).0
+}
+
+/// Like [`run_case`], but the world additionally retains its last
+/// `trace_capacity` network trace events, returned as JSON lines (see
+/// [`atp_net::trace::TraceLog::to_json_lines`]) alongside the verdict —
+/// also (and especially) when the case fails an oracle.
+pub fn run_case_traced(
+    case: &DstCase,
+    trace_capacity: usize,
+) -> (Result<CaseStats, Violation>, String) {
     match case.protocol {
-        Protocol::Ring => run_case_on::<atp_core::RingNode>(case),
-        Protocol::Search => run_case_on::<atp_core::SearchNode>(case),
-        Protocol::Binary => run_case_on::<atp_core::BinaryNode>(case),
+        Protocol::Ring => run_case_on::<atp_core::RingNode>(case, trace_capacity),
+        Protocol::Search => run_case_on::<atp_core::SearchNode>(case, trace_capacity),
+        Protocol::Binary => run_case_on::<atp_core::BinaryNode>(case, trace_capacity),
     }
 }
 
@@ -568,20 +585,26 @@ fn check_state_oracles<N: ProtocolNode>(
     Ok(())
 }
 
-fn run_case_on<N: ProtocolNode>(case: &DstCase) -> Result<CaseStats, Violation> {
-    let mut world_cfg = WorldConfig::default().seed(case.world_seed);
+fn run_case_on<N: ProtocolNode>(
+    case: &DstCase,
+    trace_capacity: usize,
+) -> (Result<CaseStats, Violation>, String) {
+    let mut world_cfg = WorldConfig::default()
+        .seed(case.world_seed)
+        .trace_capacity(trace_capacity);
     if case.latency != (1, 1) {
         world_cfg = world_cfg.latency(UniformLatency::new(case.latency.0, case.latency.1));
     }
-    if case.drop_p > 0.0 {
-        world_cfg = world_cfg.drops(ControlDrops::new(case.drop_p));
-    }
-    if case.link_loss_p > 0.0 || case.link_dup_p > 0.0 {
-        world_cfg = world_cfg.link_faults(
-            LinkFaults::new()
-                .loss(case.link_loss_p)
-                .duplication(case.link_dup_p),
-        );
+    // One unified fault model. Draws at p = 0 are skipped and the control
+    // draw comes first, so the RNG stream matches the former two-model
+    // pipeline (drop model, then fault model) and checked-in replay tapes
+    // keep replaying unchanged.
+    let faults = LinkFaults::new()
+        .control_loss(case.drop_p)
+        .loss(case.link_loss_p)
+        .duplication(case.link_dup_p);
+    if faults.is_active() {
+        world_cfg = world_cfg.link_faults(faults);
     }
     world_cfg = case.strategy.install(world_cfg);
 
@@ -604,6 +627,21 @@ fn run_case_on<N: ProtocolNode>(case: &DstCase) -> Result<CaseStats, Violation> 
         );
     }
 
+    let result = drive_case(case, &mut world);
+    let trace = if trace_capacity > 0 {
+        world.trace().to_json_lines()
+    } else {
+        String::new()
+    };
+    (result, trace)
+}
+
+/// Drives a fully scheduled world to completion, checking every oracle
+/// after every dispatched event.
+fn drive_case<N: ProtocolNode>(
+    case: &DstCase,
+    world: &mut World<N>,
+) -> Result<CaseStats, Violation> {
     let scope = OracleScope::of(case);
     let benign = case.is_benign();
     let bound = case.response_bound();
@@ -615,6 +653,7 @@ fn run_case_on<N: ProtocolNode>(case: &DstCase) -> Result<CaseStats, Violation> 
     let mut pending: Vec<VecDeque<SimTime>> = vec![VecDeque::new(); case.n];
     let mut stats = CaseStats::default();
     let mut drained: Vec<TokenEvent> = Vec::new();
+    let profile = std::env::var_os("ATP_PROFILE").is_some_and(|v| v != "0");
 
     loop {
         let outcome = world.step();
@@ -642,6 +681,7 @@ fn run_case_on<N: ProtocolNode>(case: &DstCase) -> Result<CaseStats, Violation> 
                         _ => {}
                     }
                 }
+                let oracle_t0 = profile.then(Instant::now);
                 check_state_oracles(&world, scope, at)?;
                 if benign {
                     // The oldest outstanding request anywhere must have
@@ -660,6 +700,9 @@ fn run_case_on<N: ProtocolNode>(case: &DstCase) -> Result<CaseStats, Violation> 
                     }
                 }
                 stats.oracle_checks += 1;
+                if let Some(t0) = oracle_t0 {
+                    stats.oracle_ns += t0.elapsed().as_nanos() as u64;
+                }
                 if at > deadline {
                     break;
                 }
@@ -687,12 +730,16 @@ fn run_case_on<N: ProtocolNode>(case: &DstCase) -> Result<CaseStats, Violation> 
             }
         }
     }
+    let oracle_t0 = profile.then(Instant::now);
     check_state_oracles(&world, scope, world.now())?;
     if benign {
         let remaining: u64 = pending.iter().map(|q| q.len() as u64).sum();
         if remaining > 0 {
             return Err(Violation::Unserved { remaining });
         }
+    }
+    if let Some(t0) = oracle_t0 {
+        stats.oracle_ns += t0.elapsed().as_nanos() as u64;
     }
     Ok(stats)
 }
@@ -794,6 +841,7 @@ impl Explorer {
         // the attempt cap bounds the skip overhead.
         let mut sm = SplitMix64::new(self.base_seed ^ fnv1a(self.protocol.label()));
         let mut oracle_checks = 0u64;
+        let mut oracle_ns = 0u64;
         let mut ran = 0u32;
         let mut attempts = 0u32;
         let max_attempts = budget.saturating_mul(8).max(budget);
@@ -807,7 +855,10 @@ impl Explorer {
             }
             ran += 1;
             match run_case(&case) {
-                Ok(stats) => oracle_checks += stats.oracle_checks,
+                Ok(stats) => {
+                    oracle_checks += stats.oracle_checks;
+                    oracle_ns += stats.oracle_ns;
+                }
                 Err(first) => {
                     let tape = g.tape().to_vec();
                     return ExploreOutcome::Found(Box::new(self.minimize(
@@ -815,6 +866,16 @@ impl Explorer {
                     )));
                 }
             }
+        }
+        // Wall-clock is stderr-only (ATP_PROFILE), never part of the
+        // outcome — exploration results stay comparable across machines.
+        if oracle_ns > 0 {
+            eprintln!(
+                "dst {} explore: {:.1} ms oracle wall over {} checks",
+                self.protocol.label(),
+                oracle_ns as f64 / 1e6,
+                oracle_checks
+            );
         }
         ExploreOutcome::Clean {
             cases: ran,
@@ -959,6 +1020,19 @@ pub fn replay_tape(
     let mut g = Gen::from_tape(tape.to_vec());
     let case = gen_case(&mut g, protocol, mutation);
     run_case(&case)
+}
+
+/// Replays a tape with network tracing on; returns the verdict plus the
+/// world's trace as JSON lines. Deterministic: same tape, same bytes.
+pub fn replay_tape_traced(
+    tape: &[u64],
+    protocol: Protocol,
+    mutation: Mutation,
+    trace_capacity: usize,
+) -> (Result<CaseStats, Violation>, String) {
+    let mut g = Gen::from_tape(tape.to_vec());
+    let case = gen_case(&mut g, protocol, mutation);
+    run_case_traced(&case, trace_capacity)
 }
 
 /// What replaying a checked-in [`TapeFile`] must establish.

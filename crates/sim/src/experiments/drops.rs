@@ -9,7 +9,7 @@
 
 
 use crate::report::{f2, Table};
-use crate::runner::{ExperimentSpec, Protocol};
+use crate::runner::{ExperimentSpec, NetProfile, Protocol};
 use crate::sweep::{run_points, PointSpec, WorkloadSpec};
 
 /// Parameters of the loss sweep.
@@ -74,7 +74,7 @@ pub fn series(config: &Config) -> Vec<Point> {
             PointSpec::new(
                 ExperimentSpec::new(Protocol::Binary, config.n, horizon)
                     .with_seed(config.seed)
-                    .with_control_drop(p),
+                    .with_net(NetProfile::unit().control_drops(p)),
                 WorkloadSpec::global_poisson(config.mean_gap),
             )
         })

@@ -7,7 +7,7 @@
 
 
 use crate::report::{f2, Table};
-use crate::runner::{ExperimentSpec, Protocol};
+use crate::runner::{ExperimentSpec, Protocol, RunSummary};
 use crate::stats::log2;
 use crate::sweep::{run_points, PointSpec, WorkloadSpec};
 
@@ -57,10 +57,9 @@ pub struct Point {
     pub binary: f64,
 }
 
-/// Computes the Figure 10 series.
-///
-/// Two points (ring, binary) per load level, fanned out in one sweep.
-pub fn series(config: &Config) -> Vec<Point> {
+/// The sweep's point list: two points (ring, binary) per load level, in
+/// the order [`series_from`] expects them back.
+pub fn points(config: &Config) -> Vec<PointSpec> {
     let horizon = config.rounds * config.n as u64;
     let mut points = Vec::with_capacity(2 * config.gaps.len());
     for &gap in &config.gaps {
@@ -71,7 +70,12 @@ pub fn series(config: &Config) -> Vec<Point> {
             ));
         }
     }
-    let summaries = run_points(&points);
+    points
+}
+
+/// Reduces the summaries of a [`points`] sweep (in input order) to the
+/// figure's series.
+fn series_from(config: &Config, summaries: &[RunSummary]) -> Vec<Point> {
     config
         .gaps
         .iter()
@@ -84,8 +88,15 @@ pub fn series(config: &Config) -> Vec<Point> {
         .collect()
 }
 
-/// Runs the sweep and renders the figure's data as a table.
-pub fn run(config: &Config) -> Table {
+/// Computes the Figure 10 series, fanned out in one sweep.
+pub fn series(config: &Config) -> Vec<Point> {
+    series_from(config, &run_points(&points(config)))
+}
+
+/// Runs the sweep once, returning the rendered table together with the raw
+/// per-point summaries (for `--metrics-out` style observability artifacts).
+pub fn run_with_summaries(config: &Config) -> (Table, Vec<RunSummary>) {
+    let summaries = run_points(&points(config));
     let mut table = Table::new(vec!["gap", "ring", "binary"]).title(format!(
         "Figure 10 — avg responsiveness vs load, n = {} ({} rounds); log2(n) = {}, n/2 = {}",
         config.n,
@@ -93,11 +104,16 @@ pub fn run(config: &Config) -> Table {
         f2(log2(config.n)),
         config.n / 2
     ));
-    for p in series(config) {
+    for p in series_from(config, &summaries) {
         table.row(vec![f2(p.gap), f2(p.ring), f2(p.binary)]);
     }
     table.note("paper: as load decreases, ring → n/2; binary → log2(n) from below");
-    table
+    (table, summaries)
+}
+
+/// Runs the sweep and renders the figure's data as a table.
+pub fn run(config: &Config) -> Table {
+    run_with_summaries(config).0
 }
 
 #[cfg(test)]

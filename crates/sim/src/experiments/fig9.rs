@@ -8,7 +8,7 @@
 
 
 use crate::report::{f2, Table};
-use crate::runner::{ExperimentSpec, Protocol};
+use crate::runner::{ExperimentSpec, Protocol, RunSummary};
 use crate::stats::log2;
 use crate::sweep::{run_points, PointSpec, WorkloadSpec};
 
@@ -60,10 +60,9 @@ pub struct Point {
     pub log2n: f64,
 }
 
-/// Computes the Figure 9 series.
-///
-/// Two points (ring, binary) per ring size, fanned out in one sweep.
-pub fn series(config: &Config) -> Vec<Point> {
+/// The sweep's point list: two points (ring, binary) per ring size, in the
+/// order [`series_from`] expects them back.
+pub fn points(config: &Config) -> Vec<PointSpec> {
     let mut points = Vec::with_capacity(2 * config.ns.len());
     for &n in &config.ns {
         let horizon = config.rounds * n as u64;
@@ -74,7 +73,12 @@ pub fn series(config: &Config) -> Vec<Point> {
             ));
         }
     }
-    let summaries = run_points(&points);
+    points
+}
+
+/// Reduces the summaries of a [`points`] sweep (in input order) to the
+/// figure's series.
+fn series_from(config: &Config, summaries: &[RunSummary]) -> Vec<Point> {
     config
         .ns
         .iter()
@@ -88,13 +92,20 @@ pub fn series(config: &Config) -> Vec<Point> {
         .collect()
 }
 
-/// Runs the sweep and renders the figure's data as a table.
-pub fn run(config: &Config) -> Table {
+/// Computes the Figure 9 series, fanned out in one sweep.
+pub fn series(config: &Config) -> Vec<Point> {
+    series_from(config, &run_points(&points(config)))
+}
+
+/// Runs the sweep once, returning the rendered table together with the raw
+/// per-point summaries (for `--metrics-out` style observability artifacts).
+pub fn run_with_summaries(config: &Config) -> (Table, Vec<RunSummary>) {
+    let summaries = run_points(&points(config));
     let mut table = Table::new(vec!["n", "ring", "binary", "log2(n)", "gap"]).title(format!(
         "Figure 9 — avg responsiveness, fixed load (one request per ~{} ticks, {} rounds)",
         config.mean_gap, config.rounds
     ));
-    for p in series(config) {
+    for p in series_from(config, &summaries) {
         table.row(vec![
             p.n.to_string(),
             f2(p.ring),
@@ -104,7 +115,12 @@ pub fn run(config: &Config) -> Table {
         ]);
     }
     table.note("paper: ring → gap (≈10); binary bounded by log2(n)");
-    table
+    (table, summaries)
+}
+
+/// Runs the sweep and renders the figure's data as a table.
+pub fn run(config: &Config) -> Table {
+    run_with_summaries(config).0
 }
 
 #[cfg(test)]

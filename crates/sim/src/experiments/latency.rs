@@ -5,7 +5,7 @@
 
 
 use crate::report::{f2, Table};
-use crate::runner::{ExperimentSpec, Protocol};
+use crate::runner::{ExperimentSpec, NetProfile, Protocol};
 use crate::sweep::{run_points, PointSpec, WorkloadSpec};
 
 /// Parameters of the jitter sweep.
@@ -74,7 +74,7 @@ pub fn series(config: &Config) -> Vec<Point> {
             points.push(PointSpec::new(
                 ExperimentSpec::new(protocol, config.n, horizon)
                     .with_seed(config.seed)
-                    .with_latency(lo, hi),
+                    .with_net(NetProfile::unit().latency(lo, hi)),
                 WorkloadSpec::global_poisson(gap),
             ));
         }

@@ -14,7 +14,7 @@
 use atp_net::{FailurePlan, NodeId, SimTime};
 
 use crate::report::{f2, Table};
-use crate::runner::{ExperimentSpec, Protocol};
+use crate::runner::{ExperimentSpec, NetProfile, Protocol};
 use crate::sweep::{run_points, PointSpec, WorkloadSpec};
 
 /// Parameters of the partition/duplication sweep.
@@ -105,9 +105,8 @@ pub fn series(config: &Config) -> Vec<Point> {
                 ExperimentSpec::new(Protocol::Binary, config.n, horizon)
                     .with_cfg(cfg)
                     .with_seed(config.seed)
-                    .with_link_faults(p, p)
-                    .with_failures(partition_plan(config.n, horizon))
-                    .with_grace(horizon),
+                    .with_net(NetProfile::unit().link_faults(p, p).grace(horizon))
+                    .with_failures(partition_plan(config.n, horizon)),
                 WorkloadSpec::global_poisson(config.mean_gap),
             )
         })

@@ -15,6 +15,12 @@
 //! * [`sweep`] — the deterministic parallel executor: experiments express a
 //!   sweep as a flat `Vec<PointSpec>` and fan it out over
 //!   [`atp_util::pool`]; serial and parallel runs are byte-identical.
+//! * [`span`] — request-lifecycle spans reconstructed from the event
+//!   stream: per-phase tick durations and per-class message/byte counts,
+//!   directly measuring Lemma 6's "forwarded O(log N) times".
+//! * [`obs`] — the `--trace-out` / `--chrome-out` / `--metrics-out`
+//!   plumbing binaries share: JSON-lines trace export, chrome://tracing
+//!   span dumps, and exact-merge metrics registries.
 //! * [`experiments`] — one module per paper artifact (`fig9`, `fig10`,
 //!   message complexity, fairness, worst case, optimization ablation,
 //!   failure recovery), each able to render the same rows/series the paper
@@ -34,16 +40,46 @@
 pub mod dst;
 pub mod experiments;
 pub mod metrics;
+pub mod obs;
 pub mod report;
 pub mod runner;
+pub mod span;
 pub mod stats;
 pub mod sweep;
 pub mod workload;
 
 pub use metrics::Metrics;
-pub use runner::{run_experiment, run_experiment_with_latency, ExperimentSpec, Protocol, RunSummary};
-pub use sweep::{run_points, PointSpec, WorkloadSpec};
+pub use obs::ObsArgs;
+pub use runner::{
+    run_experiment, run_experiment_profiled, run_experiment_traced, ExperimentSpec, NetProfile,
+    Protocol, RunProfile, RunSummary,
+};
+pub use span::{RequestSpan, SpanCollector, SpanReport};
+pub use sweep::{run_points, run_points_profiled, PointSpec, WorkloadSpec};
 pub use workload::{
     Arrival, Bursty, GlobalPoisson, HogAndWaiter, Hotspot, PerNodePoisson, Saturated, SingleShot,
     Workload,
 };
+
+/// One-stop imports for binaries and experiment scripts.
+///
+/// `use atp_sim::prelude::*;` brings in the runner/sweep surface, the
+/// observability flags, the workload generators and every experiment
+/// module.
+pub mod prelude {
+    pub use crate::experiments::{
+        ablation, drops, failure, fairness, fig10, fig9, geo, latency, messages, partition,
+        throughput, worstcase,
+    };
+    pub use crate::obs::{self, ObsArgs};
+    pub use crate::runner::{
+        run_experiment, run_experiment_profiled, run_experiment_traced, ExperimentSpec,
+        NetProfile, Protocol, RunProfile, RunSummary,
+    };
+    pub use crate::span::{RequestSpan, SpanCollector, SpanReport};
+    pub use crate::sweep::{run_points, run_points_profiled, PointSpec, WorkloadSpec};
+    pub use crate::workload::{
+        Arrival, Bursty, GlobalPoisson, HogAndWaiter, Hotspot, PerNodePoisson, Saturated,
+        SingleShot, Workload,
+    };
+}

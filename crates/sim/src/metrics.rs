@@ -164,6 +164,9 @@ impl Metrics {
             TokenEvent::Delivered { .. } => self.deliveries += 1,
             TokenEvent::Regenerated { .. } => self.regenerations += 1,
             TokenEvent::StaleTokenDiscarded { .. } => self.stale_discards += 1,
+            // Span instrumentation: aggregated per request by
+            // `crate::span::SpanCollector`, not double-counted here.
+            TokenEvent::SearchForwarded { .. } | TokenEvent::TokenDispatched { .. } => {}
         }
     }
 

@@ -1,17 +1,21 @@
 //! Drives a protocol run: world construction, arrival injection, event
 //! collection, metric accumulation.
 
+use std::time::Instant;
+
 use atp_core::{
     BinaryNode, EventSource, ProtocolConfig, RingNode, SearchNode, TokenEvent, Want,
 };
 use atp_net::{
-    ControlDrops, FailurePlan, LatencyModel, LinkFaults, MsgClass, Node, NodeId, SimTime,
-    StepOutcome, UniformLatency, World, WorldConfig,
+    FailurePlan, LinkFaults, MsgClass, Node, NodeId, PerLinkLatency, SimTime, StepOutcome,
+    UniformLatency, World, WorldConfig,
 };
 use atp_util::json::JsonWriter;
+use atp_util::metrics::Registry;
 use atp_util::rng::{SeedableRng, StdRng};
 
 use crate::metrics::{Metrics, MetricsSummary};
+use crate::span::{RequestSpan, SpanCollector, SpanReport};
 use crate::workload::Workload;
 
 /// Which protocol an experiment runs.
@@ -144,6 +148,120 @@ impl ProtocolNode for BinaryNode {
     }
 }
 
+/// The complete network-side shape of a run: latency model, unified
+/// link-fault model and post-horizon drain window, in one typed value
+/// shared by [`ExperimentSpec`] and [`crate::sweep::PointSpec`] and
+/// serialized uniformly into every run's JSON summary.
+///
+/// This replaces the former loose spec knobs (`with_control_drop`,
+/// `with_link_faults`, `with_latency`, `with_grace`), which could drift
+/// between the runner and the sweep layer.
+#[derive(Debug, Clone)]
+pub struct NetProfile {
+    /// Uniform latency bounds `(lo, hi)`; `(1, 1)` is the paper's
+    /// unit-delay model.
+    pub latency: (u64, u64),
+    /// Optional per-link latency matrix (e.g. geographic RTTs) overriding
+    /// the uniform bounds.
+    pub matrix: Option<PerLinkLatency>,
+    /// The unified link-fault model: control drops, whole-link
+    /// loss/duplication/delay, severed pairs.
+    pub faults: LinkFaults,
+    /// Post-horizon drain window in ticks; `None` uses the canonical
+    /// `10 * n + 100`.
+    pub grace_ticks: Option<u64>,
+}
+
+impl Default for NetProfile {
+    fn default() -> Self {
+        NetProfile::unit()
+    }
+}
+
+impl NetProfile {
+    /// The paper's canonical regime: unit delays, a fault-free network,
+    /// default grace.
+    pub fn unit() -> Self {
+        NetProfile {
+            latency: (1, 1),
+            matrix: None,
+            faults: LinkFaults::new(),
+            grace_ticks: None,
+        }
+    }
+
+    /// Sets the uniform latency bounds.
+    pub fn latency(mut self, lo: u64, hi: u64) -> Self {
+        self.latency = (lo, hi);
+        self
+    }
+
+    /// Overrides message latency with a per-link matrix.
+    pub fn latency_matrix(mut self, matrix: PerLinkLatency) -> Self {
+        self.matrix = Some(matrix);
+        self
+    }
+
+    /// Replaces the whole fault model.
+    pub fn faults(mut self, faults: LinkFaults) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Sets the control-message drop probability.
+    pub fn control_drops(mut self, p: f64) -> Self {
+        self.faults = self.faults.control_loss(p);
+        self
+    }
+
+    /// Sets whole-link loss and duplication probabilities (all message
+    /// classes, token frames included).
+    pub fn link_faults(mut self, loss_p: f64, dup_p: f64) -> Self {
+        self.faults = self.faults.loss(loss_p).duplication(dup_p);
+        self
+    }
+
+    /// Overrides the post-horizon grace window (straggler drain time).
+    pub fn grace(mut self, ticks: u64) -> Self {
+        self.grace_ticks = Some(ticks);
+        self
+    }
+
+    /// The effective grace window for a ring of `n` nodes.
+    pub fn grace_for(&self, n: usize) -> u64 {
+        self.grace_ticks.unwrap_or(10 * n as u64 + 100)
+    }
+
+    /// Writes this profile as a JSON object value into `w` (fixed field
+    /// order; the latency matrix is summarized as a flag since its cells
+    /// are derived data).
+    pub fn write_json(&self, w: &mut JsonWriter) {
+        w.begin_obj();
+        w.key("latency_lo");
+        w.u64(self.latency.0);
+        w.key("latency_hi");
+        w.u64(self.latency.1);
+        w.key("per_link_matrix");
+        w.bool(self.matrix.is_some());
+        w.key("control_loss_p");
+        w.f64(self.faults.control_loss_p());
+        w.key("loss_p");
+        w.f64(self.faults.loss_p());
+        w.key("dup_p");
+        w.f64(self.faults.duplication_p());
+        w.key("delay_p");
+        w.f64(self.faults.delay_p());
+        w.key("severed_links");
+        w.u64(self.faults.severed().len() as u64);
+        w.key("grace_ticks");
+        match self.grace_ticks {
+            Some(t) => w.u64(t),
+            None => w.null(),
+        }
+        w.end_obj();
+    }
+}
+
 /// Everything one experiment run needs.
 #[derive(Debug, Clone)]
 pub struct ExperimentSpec {
@@ -155,38 +273,27 @@ pub struct ExperimentSpec {
     pub cfg: ProtocolConfig,
     /// Open-loop arrival horizon, in ticks.
     pub horizon_ticks: u64,
-    /// Extra ticks after the horizon to let stragglers finish.
-    pub grace_ticks: u64,
     /// Determinism seed (world and workload).
     pub seed: u64,
-    /// Probability of dropping each cheap (control) message.
-    pub control_drop_p: f64,
-    /// Message latency bounds `(lo, hi)`; `(1, 1)` is the paper's unit-delay
-    /// model.
-    pub latency: (u64, u64),
+    /// The network-side shape: latency, faults, grace.
+    pub net: NetProfile,
     /// Scripted crashes/recoveries (and partitions, via
     /// [`FailurePlan::partition_at`]).
     pub failures: FailurePlan,
-    /// Whole-link fault probabilities `(loss_p, dup_p)`, applied to every
-    /// message class — token frames included. `(0, 0)` disables the model.
-    pub link_faults: (f64, f64),
 }
 
 impl ExperimentSpec {
-    /// A spec in the paper's canonical regime: unit delays, no drops, no
-    /// failures, grace of `10 * n`.
+    /// A spec in the paper's canonical regime: unit delays, no faults, no
+    /// failures, grace of `10 * n + 100`.
     pub fn new(protocol: Protocol, n: usize, horizon_ticks: u64) -> Self {
         ExperimentSpec {
             protocol,
             n,
             cfg: ProtocolConfig::default().with_record_log(false),
             horizon_ticks,
-            grace_ticks: 10 * n as u64 + 100,
             seed: 0,
-            control_drop_p: 0.0,
-            latency: (1, 1),
+            net: NetProfile::unit(),
             failures: FailurePlan::new(),
-            link_faults: (0.0, 0.0),
         }
     }
 
@@ -202,34 +309,15 @@ impl ExperimentSpec {
         self
     }
 
-    /// Overrides the post-horizon grace window (straggler drain time).
-    pub fn with_grace(mut self, grace_ticks: u64) -> Self {
-        self.grace_ticks = grace_ticks;
-        self
-    }
-
-    /// Sets the control-message drop probability.
-    pub fn with_control_drop(mut self, p: f64) -> Self {
-        self.control_drop_p = p;
-        self
-    }
-
-    /// Sets the latency bounds.
-    pub fn with_latency(mut self, lo: u64, hi: u64) -> Self {
-        self.latency = (lo, hi);
+    /// Replaces the network profile.
+    pub fn with_net(mut self, net: NetProfile) -> Self {
+        self.net = net;
         self
     }
 
     /// Sets the failure plan.
     pub fn with_failures(mut self, failures: FailurePlan) -> Self {
         self.failures = failures;
-        self
-    }
-
-    /// Sets whole-link loss and duplication probabilities (all message
-    /// classes, token frames included).
-    pub fn with_link_faults(mut self, loss_p: f64, dup_p: f64) -> Self {
-        self.link_faults = (loss_p, dup_p);
         self
     }
 }
@@ -287,10 +375,15 @@ pub struct RunSummary {
     pub protocol: Protocol,
     /// Workload label.
     pub workload: String,
+    /// The network profile the run used.
+    pub net_profile: NetProfile,
     /// Protocol metrics (responsiveness, waiting, fairness, …).
     pub metrics: MetricsSummary,
     /// Network counters.
     pub net: NetSummary,
+    /// Request-lifecycle span aggregate (phase timings, forward counts,
+    /// per-class byte counters).
+    pub spans: SpanReport,
     /// Ticks simulated.
     pub duration_ticks: u64,
 }
@@ -307,70 +400,176 @@ impl RunSummary {
         w.str(self.protocol.label());
         w.key("workload");
         w.str(&self.workload);
+        w.key("net_profile");
+        self.net_profile.write_json(&mut w);
         w.key("metrics");
         self.metrics.write_json(&mut w);
         w.key("net");
         self.net.write_json(&mut w);
+        w.key("spans");
+        self.spans.write_json(&mut w);
         w.key("duration_ticks");
         w.u64(self.duration_ticks);
         w.end_obj();
         w.finish()
     }
+
+    /// Folds this run's observability counters into a metrics
+    /// [`Registry`]: span aggregates under `span.*`, network counters
+    /// under `net.*`. Registries from sweep shards merge exactly, so the
+    /// combined artifact is byte-identical at any thread count.
+    pub fn fill_registry(&self, reg: &mut Registry) {
+        self.spans.fill_registry(reg);
+        reg.counter_add("net.token.sent", self.net.token_sent);
+        reg.counter_add("net.control.sent", self.net.control_sent);
+        reg.counter_add("net.control.dropped", self.net.control_dropped);
+        reg.counter_add("net.token.faulted", self.net.token_faulted);
+        reg.counter_add("net.severed", self.net.severed);
+        reg.counter_add("net.token.dup_discarded", self.net.dup_tokens_discarded);
+        reg.counter_add("net.token.retransmits", self.net.token_retransmits);
+        reg.counter_add("net.events", self.net.events);
+        reg.counter_add("run.grants", self.metrics.grants);
+        reg.counter_add("run.requests", self.metrics.requests);
+    }
+}
+
+/// Wall-clock phase breakdown of one run's drive loop. Observability
+/// only: it is reported on stderr / into bench artifacts and never enters
+/// a compared artifact, since wall time is nondeterministic.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunProfile {
+    /// Nanoseconds spent popping events off the world's queue.
+    pub pop_ns: u64,
+    /// Nanoseconds spent delivering events (node callbacks, fault draws).
+    pub deliver_ns: u64,
+    /// Nanoseconds spent draining node event buffers into metrics/spans.
+    pub drain_ns: u64,
+    /// Events dispatched.
+    pub steps: u64,
+}
+
+impl RunProfile {
+    /// Accumulates another profile into this one.
+    pub fn merge(&mut self, other: &RunProfile) {
+        self.pop_ns += other.pop_ns;
+        self.deliver_ns += other.deliver_ns;
+        self.drain_ns += other.drain_ns;
+        self.steps += other.steps;
+    }
+
+    /// One-line human-readable rendering for stderr.
+    pub fn line(&self) -> String {
+        format!(
+            "profile: {} steps, pop {:.3}s, deliver {:.3}s, drain {:.3}s",
+            self.steps,
+            self.pop_ns as f64 / 1e9,
+            self.deliver_ns as f64 / 1e9,
+            self.drain_ns as f64 / 1e9,
+        )
+    }
+}
+
+/// Everything a traced run produces beyond its summary.
+#[derive(Debug, Clone)]
+pub struct RunArtifacts {
+    /// Every request span, in `(requested_at, req)` order.
+    pub spans: Vec<RequestSpan>,
+    /// The world's bounded network trace as JSON lines (empty unless the
+    /// run was traced).
+    pub net_trace_jsonl: String,
+    /// Wall-clock phase profile, when profiling was on.
+    pub profile: Option<RunProfile>,
+}
+
+/// Per-run drive options beyond the deterministic [`ExperimentSpec`]:
+/// wall-clock profiling and bounded network tracing. None of these affect
+/// the simulation's event stream.
+#[derive(Debug, Clone, Copy, Default)]
+struct DriveOptions {
+    profile: bool,
+    trace_capacity: usize,
 }
 
 /// Runs `spec` under `workload` and returns the summary.
 ///
 /// Fully deterministic for a given `(spec, workload)` pair.
 pub fn run_experiment(spec: &ExperimentSpec, workload: &mut dyn Workload) -> RunSummary {
-    match spec.protocol {
-        Protocol::Ring => drive::<RingNode>(spec, workload, None),
-        Protocol::Search => drive::<SearchNode>(spec, workload, None),
-        Protocol::Binary => drive::<BinaryNode>(spec, workload, None),
-    }
+    dispatch(spec, workload, DriveOptions::default()).0
 }
 
-/// Like [`run_experiment`] but with an explicit latency model (e.g. a
-/// per-link geographic matrix) overriding the spec's uniform bounds.
-pub fn run_experiment_with_latency(
+/// Like [`run_experiment`], but also measures the drive loop's wall-clock
+/// phase breakdown (queue pop / deliver / event drain).
+pub fn run_experiment_profiled(
     spec: &ExperimentSpec,
     workload: &mut dyn Workload,
-    latency: impl LatencyModel + 'static,
-) -> RunSummary {
-    let boxed: Box<dyn LatencyModel> = Box::new(latency);
+) -> (RunSummary, RunProfile) {
+    let (summary, art) = dispatch(
+        spec,
+        workload,
+        DriveOptions {
+            profile: true,
+            trace_capacity: 0,
+        },
+    );
+    (summary, art.profile.unwrap_or_default())
+}
+
+/// Like [`run_experiment`], but retains full observability artifacts: the
+/// per-request spans and the world's bounded network trace
+/// (`trace_capacity` most recent events).
+pub fn run_experiment_traced(
+    spec: &ExperimentSpec,
+    workload: &mut dyn Workload,
+    trace_capacity: usize,
+) -> (RunSummary, RunArtifacts) {
+    dispatch(
+        spec,
+        workload,
+        DriveOptions {
+            profile: false,
+            trace_capacity,
+        },
+    )
+}
+
+fn dispatch(
+    spec: &ExperimentSpec,
+    workload: &mut dyn Workload,
+    opts: DriveOptions,
+) -> (RunSummary, RunArtifacts) {
     match spec.protocol {
-        Protocol::Ring => drive::<RingNode>(spec, workload, Some(boxed)),
-        Protocol::Search => drive::<SearchNode>(spec, workload, Some(boxed)),
-        Protocol::Binary => drive::<BinaryNode>(spec, workload, Some(boxed)),
+        Protocol::Ring => drive::<RingNode>(spec, workload, opts),
+        Protocol::Search => drive::<SearchNode>(spec, workload, opts),
+        Protocol::Binary => drive::<BinaryNode>(spec, workload, opts),
     }
 }
 
 fn drive<N: ProtocolNode>(
     spec: &ExperimentSpec,
     workload: &mut dyn Workload,
-    latency_override: Option<Box<dyn LatencyModel>>,
-) -> RunSummary {
-    let mut world_cfg = WorldConfig::default().seed(spec.seed);
-    if let Some(model) = latency_override {
-        world_cfg = world_cfg.latency_boxed(model);
-    } else if spec.latency != (1, 1) {
-        world_cfg = world_cfg.latency(UniformLatency::new(spec.latency.0, spec.latency.1));
+    opts: DriveOptions,
+) -> (RunSummary, RunArtifacts) {
+    let mut world_cfg = WorldConfig::default()
+        .seed(spec.seed)
+        .profile(opts.profile)
+        .trace_capacity(opts.trace_capacity);
+    if let Some(matrix) = &spec.net.matrix {
+        world_cfg = world_cfg.latency_boxed(Box::new(matrix.clone()));
+    } else if spec.net.latency != (1, 1) {
+        world_cfg =
+            world_cfg.latency(UniformLatency::new(spec.net.latency.0, spec.net.latency.1));
     }
-    if spec.control_drop_p > 0.0 {
-        world_cfg = world_cfg.drops(ControlDrops::new(spec.control_drop_p));
-    }
-    if spec.link_faults != (0.0, 0.0) {
-        world_cfg = world_cfg.link_faults(
-            LinkFaults::new()
-                .loss(spec.link_faults.0)
-                .duplication(spec.link_faults.1),
-        );
+    // Keep the fault model uninstalled when inactive: the world then draws
+    // nothing per message, preserving the RNG stream of fault-free runs.
+    if spec.net.faults.is_active() {
+        world_cfg = world_cfg.link_faults(spec.net.faults.clone());
     }
     let nodes = (0..spec.n).map(|_| N::build(spec.cfg)).collect();
     let mut world: World<N> = World::from_nodes(nodes, world_cfg);
     world.apply_failure_plan(&spec.failures);
 
     let horizon = SimTime::from_ticks(spec.horizon_ticks);
-    let deadline = horizon.saturating_add(spec.grace_ticks);
+    let deadline = horizon.saturating_add(spec.net.grace_for(spec.n));
     let mut rng = StdRng::seed_from_u64(spec.seed ^ 0x9e37_79b9_7f4a_7c15);
     let arrivals = workload.arrivals(spec.n, horizon, &mut rng);
     world.reserve_events(arrivals.len());
@@ -379,6 +578,8 @@ fn drive<N: ProtocolNode>(
     }
 
     let mut metrics = Metrics::new(spec.n);
+    let mut spans = SpanCollector::new();
+    let mut drain_ns = 0u64;
     // One drain buffer for the whole run: each dispatch moves the node's
     // buffered events here instead of allocating a fresh Vec per step.
     let mut drained: Vec<TokenEvent> = Vec::new();
@@ -391,10 +592,12 @@ fn drive<N: ProtocolNode>(
                 }
             }
             StepOutcome::Dispatched { node, at } => {
+                let t0 = opts.profile.then(Instant::now);
                 drained.clear();
                 world.node_mut(node).take_events_into(&mut drained);
                 for ev in &drained {
                     metrics.on_event(node, ev);
+                    spans.on_event(ev);
                     if let TokenEvent::Released { .. } = ev {
                         if let Some(arr) = workload.on_release(node, at, &mut rng) {
                             if arr.at <= horizon {
@@ -402,6 +605,9 @@ fn drive<N: ProtocolNode>(
                             }
                         }
                     }
+                }
+                if let Some(t0) = t0 {
+                    drain_ns += t0.elapsed().as_nanos() as u64;
                 }
                 if at >= horizon && metrics.unserved() == 0 {
                     break;
@@ -423,15 +629,23 @@ fn drive<N: ProtocolNode>(
         world.node_mut(node).take_events_into(&mut drained);
         for ev in &drained {
             metrics.on_event(node, ev);
+            spans.on_event(ev);
         }
     }
 
     let dup_tokens_discarded: u64 = world.nodes().map(|(_, n)| n.dup_discarded_count()).sum();
     let token_retransmits: u64 = world.nodes().map(|(_, n)| n.retransmit_count()).sum();
+    let profile = world.profile().map(|p| RunProfile {
+        pop_ns: p.pop_ns,
+        deliver_ns: p.deliver_ns,
+        drain_ns,
+        steps: p.steps,
+    });
     let stats = world.stats();
-    RunSummary {
+    let summary = RunSummary {
         protocol: spec.protocol,
         workload: workload.label(),
+        net_profile: spec.net.clone(),
         metrics: metrics.summarize(),
         net: NetSummary {
             token_sent: stats.sent(MsgClass::Token),
@@ -443,8 +657,15 @@ fn drive<N: ProtocolNode>(
             token_retransmits,
             events: stats.events_processed,
         },
+        spans: spans.report(),
         duration_ticks: world.now().ticks(),
-    }
+    };
+    let artifacts = RunArtifacts {
+        spans: if opts.trace_capacity > 0 { spans.spans() } else { Vec::new() },
+        net_trace_jsonl: world.trace().to_json_lines(),
+        profile,
+    };
+    (summary, artifacts)
 }
 
 #[cfg(test)]
@@ -505,7 +726,8 @@ mod tests {
 
     #[test]
     fn control_drops_degrade_but_do_not_break_binary() {
-        let spec = ExperimentSpec::new(Protocol::Binary, 16, 5_000).with_control_drop(1.0);
+        let spec = ExperimentSpec::new(Protocol::Binary, 16, 5_000)
+            .with_net(NetProfile::unit().control_drops(1.0));
         let mut wl = GlobalPoisson::new(50.0);
         let s = run_experiment(&spec, &mut wl);
         // All searches lost: rotation still serves every request.

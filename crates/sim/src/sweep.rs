@@ -22,7 +22,7 @@ use atp_net::{NodeId, PerLinkLatency, SimTime};
 use atp_util::pool;
 
 use crate::runner::{
-    run_experiment, run_experiment_with_latency, ExperimentSpec, RunSummary,
+    run_experiment, run_experiment_profiled, ExperimentSpec, RunProfile, RunSummary,
 };
 use crate::workload::{
     Bursty, GlobalPoisson, HogAndWaiter, Hotspot, PerNodePoisson, Saturated, SingleShot, Workload,
@@ -117,50 +117,75 @@ impl WorkloadSpec {
     }
 }
 
-/// One self-contained point of a sweep: the experiment parameters (including
-/// the seed), the workload to build, and an optional per-link latency matrix
-/// overriding the spec's uniform bounds.
+/// One self-contained point of a sweep: the experiment parameters
+/// (including the seed and the network profile), plus the workload to
+/// build. Everything network-side — latency bounds, per-link matrices,
+/// faults, grace — lives in `spec.net`, the same [`crate::runner::NetProfile`]
+/// the runner consumes, so points cannot drift from the runner's knobs.
 #[derive(Debug, Clone)]
 pub struct PointSpec {
     /// Experiment parameters; `spec.seed` makes the point self-seeding.
     pub spec: ExperimentSpec,
     /// The arrival process to build for this run.
     pub workload: WorkloadSpec,
-    /// Optional per-link latency matrix (e.g. the geographic experiment).
-    pub latency_matrix: Option<PerLinkLatency>,
 }
 
 impl PointSpec {
-    /// A point with the spec's own (uniform) latency model.
+    /// A point with the spec's own network profile.
     pub fn new(spec: ExperimentSpec, workload: WorkloadSpec) -> Self {
-        PointSpec {
-            spec,
-            workload,
-            latency_matrix: None,
-        }
+        PointSpec { spec, workload }
     }
 
-    /// Overrides message latency with a per-link matrix.
+    /// Overrides message latency with a per-link matrix (shorthand for
+    /// editing `spec.net`).
     pub fn with_latency_matrix(mut self, matrix: PerLinkLatency) -> Self {
-        self.latency_matrix = Some(matrix);
+        self.spec.net = self.spec.net.clone().latency_matrix(matrix);
         self
     }
 
     /// Runs this point to completion. Pure function of `self`.
     pub fn run(&self) -> RunSummary {
         let mut wl = self.workload.build();
-        match &self.latency_matrix {
-            Some(matrix) => run_experiment_with_latency(&self.spec, wl.as_mut(), matrix.clone()),
-            None => run_experiment(&self.spec, wl.as_mut()),
-        }
+        run_experiment(&self.spec, wl.as_mut())
+    }
+
+    /// Runs this point with wall-clock phase profiling on.
+    pub fn run_profiled(&self) -> (RunSummary, RunProfile) {
+        let mut wl = self.workload.build();
+        run_experiment_profiled(&self.spec, wl.as_mut())
     }
 }
 
 /// Runs every point of the sweep, fanned out over the thread pool, and
 /// returns the summaries **in input order** — byte-identical at any thread
 /// count.
+///
+/// Setting `ATP_PROFILE=1` additionally measures each run's wall-clock
+/// phase breakdown and prints the aggregate to stderr; the returned
+/// summaries are unaffected (wall time never enters compared artifacts).
 pub fn run_points(points: &[PointSpec]) -> Vec<RunSummary> {
+    if std::env::var_os("ATP_PROFILE").is_some_and(|v| v != "0") {
+        let (summaries, profile) = run_points_profiled(points);
+        eprintln!("sweep {} points, {}", points.len(), profile.line());
+        return summaries;
+    }
     pool::par_map(points, PointSpec::run)
+}
+
+/// Runs the sweep with per-run wall-clock profiling and returns the
+/// summaries (input order, deterministic) together with the merged phase
+/// profile (wall-clock — nondeterministic, never compare it).
+pub fn run_points_profiled(points: &[PointSpec]) -> (Vec<RunSummary>, RunProfile) {
+    let results = pool::par_map(points, PointSpec::run_profiled);
+    let mut profile = RunProfile::default();
+    let summaries = results
+        .into_iter()
+        .map(|(summary, p)| {
+            profile.merge(&p);
+            summary
+        })
+        .collect();
+    (summaries, profile)
 }
 
 #[cfg(test)]

@@ -218,6 +218,11 @@ impl Value {
             _ => None,
         }
     }
+
+    /// Whether this value is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
 }
 
 /// Parse a JSON document. Rejects trailing garbage after the top-level

@@ -20,6 +20,10 @@
 //!   laws) ported over mechanically.
 //! * [`bench`] — a micro-benchmark harness (warmup, timed iterations,
 //!   median/MAD, JSON output, `--smoke` mode) replacing `criterion`.
+//! * [`metrics`] — deterministic observability primitives: counters,
+//!   gauges and HDR-style log-bucketed histograms with *exact merge*,
+//!   collected in a name-sorted [`metrics::Registry`] so parallel sweep
+//!   shards serialize byte-identically at any thread count.
 //! * [`pool`] — a scoped thread pool with an index-ordered, panic-
 //!   propagating [`pool::par_map`] (worker count from `ATP_THREADS`),
 //!   the fan-out layer under the simulator's parallel sweep executor.
@@ -36,5 +40,8 @@ pub mod buf;
 pub mod check;
 pub mod dist;
 pub mod json;
+pub mod metrics;
 pub mod pool;
 pub mod rng;
+
+pub use metrics::{LogHistogram, Registry};

@@ -12,7 +12,7 @@
 
 use adaptive_token_passing::core::{BinaryNode, ProtocolConfig, Want};
 use adaptive_token_passing::net::{
-    ControlDrops, NodeId, SimTime, UniformLatency, World, WorldConfig,
+    LinkFaults, NodeId, SimTime, UniformLatency, World, WorldConfig,
 };
 
 fn main() {
@@ -26,7 +26,7 @@ fn main() {
         WorldConfig::default()
             .seed(2024)
             .latency(UniformLatency::new(1, 4))
-            .drops(ControlDrops::new(0.3)),
+            .link_faults(LinkFaults::control_drops(0.3)),
     );
 
     // A burst of concurrent broadcasts from every node.

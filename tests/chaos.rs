@@ -7,7 +7,7 @@ use adaptive_token_passing::core::{
     BinaryNode, EventSource, ProtocolConfig, TokenEvent, Want,
 };
 use adaptive_token_passing::net::{
-    ControlDrops, NodeId, SimTime, StepOutcome, UniformLatency, World, WorldConfig,
+    LinkFaults, NodeId, SimTime, StepOutcome, UniformLatency, World, WorldConfig,
 };
 use adaptive_token_passing::util::rng::{Rng, SeedableRng, StdRng};
 
@@ -121,7 +121,7 @@ fn chaos_run_preserves_safety() {
         WorldConfig::default()
             .seed(999)
             .latency(UniformLatency::new(1, 3))
-            .drops(ControlDrops::new(0.3)),
+            .link_faults(LinkFaults::control_drops(0.3)),
     );
 
     // Fault schedule: nodes 9, 10, 11 cycle through crash/recover; nodes 7, 8
@@ -215,7 +215,7 @@ fn chaos_is_deterministic() {
             WorldConfig::default()
                 .seed(4242)
                 .latency(UniformLatency::new(1, 4))
-                .drops(ControlDrops::new(0.5)),
+                .link_faults(LinkFaults::control_drops(0.5)),
         );
         world.schedule_crash(SimTime::from_ticks(30), NodeId::new(0));
         world.schedule_recover(SimTime::from_ticks(200), NodeId::new(0));

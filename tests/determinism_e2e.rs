@@ -7,7 +7,7 @@ use adaptive_token_passing::sim::experiments::{
     ablation, drops, failure, fairness, fig10, fig9, geo, latency, messages, partition,
     throughput, worstcase,
 };
-use adaptive_token_passing::sim::runner::{run_experiment, ExperimentSpec, Protocol};
+use adaptive_token_passing::sim::runner::{run_experiment, ExperimentSpec, NetProfile, Protocol};
 use adaptive_token_passing::sim::sweep::{run_points, PointSpec, WorkloadSpec};
 use adaptive_token_passing::sim::workload::GlobalPoisson;
 use adaptive_token_passing::util::pool;
@@ -15,7 +15,7 @@ use adaptive_token_passing::util::pool;
 fn summary_json(protocol: Protocol, seed: u64) -> String {
     let spec = ExperimentSpec::new(protocol, 24, 4_000)
         .with_seed(seed)
-        .with_latency(1, 3);
+        .with_net(NetProfile::unit().latency(1, 3));
     let mut wl = GlobalPoisson::new(8.0);
     run_experiment(&spec, &mut wl).to_json()
 }
@@ -118,7 +118,7 @@ fn run_points_json_is_identical_serial_vs_parallel() {
                 PointSpec::new(
                     ExperimentSpec::new(protocol, 16, 2_000)
                         .with_seed(100 + k)
-                        .with_latency(1, 3),
+                        .with_net(NetProfile::unit().latency(1, 3)),
                     WorkloadSpec::global_poisson(6.0 + k as f64),
                 )
             })

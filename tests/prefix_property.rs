@@ -6,7 +6,7 @@ use adaptive_token_passing::core::{
     BinaryNode, EventSource, ProtocolConfig, RingNode, SearchNode, TokenEvent, Want,
 };
 use adaptive_token_passing::net::{
-    ControlDrops, Node, NodeId, SimTime, StepOutcome, UniformLatency, World, WorldConfig,
+    LinkFaults, Node, NodeId, SimTime, StepOutcome, UniformLatency, World, WorldConfig,
 };
 use adaptive_token_passing::util::check::{Check, Gen};
 use adaptive_token_passing::util::rng::Rng;
@@ -68,7 +68,7 @@ fn world_config(plan: &Plan) -> WorldConfig {
         cfg = cfg.latency(UniformLatency::new(1, 3));
     }
     if plan.drop_p > 0.0 {
-        cfg = cfg.drops(ControlDrops::new(plan.drop_p));
+        cfg = cfg.link_faults(LinkFaults::control_drops(plan.drop_p));
     }
     cfg
 }
