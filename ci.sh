@@ -73,6 +73,30 @@ echo "== partition dst smoke =="
 # tape already replayed in the step above.)
 cargo run -q --release -p atp-sim --bin dst -- --budget 120 --partition
 
+echo "== protocol conformance =="
+# Every protocol variant through the same (seed x strategy x fault profile)
+# matrix: identical oracle verdicts cell by cell, grant totality on benign
+# cells.
+cargo test -q --test protocol_conformance
+
+echo "== naimi dst sweep =="
+# The path-reversal competitor alone, at full budget: 210 fresh adversarial
+# cases (Fifo/Lifo/shuffle/class-starve schedules, faults included) plus a
+# partition-focused run, all oracle-clean. The sweep itself must also be
+# deterministic across worker counts: the explorer output is compared
+# byte-for-byte at ATP_THREADS=1 and 4.
+NAIMI1=$(mktemp) NAIMI4=$(mktemp)
+ATP_THREADS=1 cargo run -q --release -p atp-sim --bin dst -- \
+  --budget 210 --protocol naimi | tee "$NAIMI1"
+ATP_THREADS=4 cargo run -q --release -p atp-sim --bin dst -- \
+  --budget 210 --protocol naimi > "$NAIMI4"
+cmp <(grep -o 'clean — [0-9]* cases, [0-9]* oracle checks' "$NAIMI1") \
+    <(grep -o 'clean — [0-9]* cases, [0-9]* oracle checks' "$NAIMI4")
+rm -f "$NAIMI1" "$NAIMI4"
+cargo run -q --release -p atp-sim --bin dst -- \
+  --budget 100 --partition --protocol naimi
+echo "naimi sweep clean and byte-identical across thread counts"
+
 echo "== dependency closure =="
 # Every line of `cargo tree` must be a workspace crate: atp-* or the
 # umbrella package. Anything else means a registry dependency crept in.

@@ -1,15 +1,19 @@
-//! Wire encoding for [`BinaryMsg`], so the protocol can cross a real network.
+//! Wire encoding for [`BinaryMsg`] and [`NaimiMsg`], so the protocols can
+//! cross a real network.
 //!
 //! The simulated transports move Rust values; a deployment moves bytes. This
 //! module defines a compact little-endian framing for every System
-//! BinarySearch message. Round-tripping is exact:
-//! `decode_binary_msg(encode_binary_msg(m)) == m` for every message.
+//! BinarySearch and Naimi–Tréhel message. Round-tripping is exact:
+//! `decode_binary_msg(encode_binary_msg(m)) == m` for every message, and
+//! likewise for the Naimi pair. The regeneration sub-protocol shares one
+//! encoding (tags `0x20..=0x28`) across both framings.
 
 use atp_util::buf::{Buf, BufMut};
 
 use atp_net::NodeId;
 
 use crate::binary::{BinaryMsg, Gimme, TokenMode};
+use crate::naimi::NaimiMsg;
 use crate::regen::{RegenMsg, RegenReply};
 use crate::token::TokenFrame;
 use crate::types::{RequestId, VisitStamp};
@@ -52,6 +56,56 @@ const TAG_REGEN_SYNC_REQ: u8 = 0x25;
 const TAG_REGEN_SYNC_REPLY: u8 = 0x26;
 const TAG_REGEN_TOKEN_ACK: u8 = 0x27;
 const TAG_REGEN_GEN_ANNOUNCE: u8 = 0x28;
+const TAG_NAIMI_REQUEST: u8 = 0x40;
+const TAG_NAIMI_TOKEN_LAZY: u8 = 0x41;
+const TAG_NAIMI_TOKEN_GRANT: u8 = 0x42;
+
+/// Every tag byte [`decode_binary_msg`] accepts, in ascending order.
+///
+/// Negative tests derive their "unknown tag" corpus from the complement of
+/// this list, so a frame added to the codec without extending the list (or
+/// vice versa) fails the exhaustiveness tests instead of silently dodging
+/// fuzz coverage.
+pub fn known_binary_tags() -> &'static [u8] {
+    &[
+        TAG_TOKEN_ROTATE,
+        TAG_TOKEN_GRANT,
+        TAG_TOKEN_CLEANUP,
+        TAG_TOKEN_RETURN,
+        TAG_GIMME,
+        TAG_DIRECTED_PROBE,
+        TAG_DIRECTED_REPLY,
+        TAG_PROBE_REQ,
+        TAG_PROBE_HIT,
+        TAG_REGEN_INQUIRY,
+        TAG_REGEN_REPLY,
+        TAG_REGEN_PLEASE,
+        TAG_REGEN_REJOIN,
+        TAG_REGEN_LEAVE,
+        TAG_REGEN_SYNC_REQ,
+        TAG_REGEN_SYNC_REPLY,
+        TAG_REGEN_TOKEN_ACK,
+        TAG_REGEN_GEN_ANNOUNCE,
+    ]
+}
+
+/// Every tag byte [`decode_naimi_msg`] accepts, in ascending order.
+pub fn known_naimi_tags() -> &'static [u8] {
+    &[
+        TAG_REGEN_INQUIRY,
+        TAG_REGEN_REPLY,
+        TAG_REGEN_PLEASE,
+        TAG_REGEN_REJOIN,
+        TAG_REGEN_LEAVE,
+        TAG_REGEN_SYNC_REQ,
+        TAG_REGEN_SYNC_REPLY,
+        TAG_REGEN_TOKEN_ACK,
+        TAG_REGEN_GEN_ANNOUNCE,
+        TAG_NAIMI_REQUEST,
+        TAG_NAIMI_TOKEN_LAZY,
+        TAG_NAIMI_TOKEN_GRANT,
+    ]
+}
 
 fn put_req(buf: &mut Vec<u8>, req: RequestId) {
     buf.put_u32_le(req.origin.raw());
@@ -102,6 +156,155 @@ fn get_u8(buf: &mut impl Buf) -> Result<u8, CodecError> {
         return Err(CodecError::Truncated);
     }
     Ok(buf.get_u8())
+}
+
+/// Encodes a regeneration message (tag + body). Shared by the BinarySearch
+/// and Naimi framings: the failure-handling sub-protocol is identical, so
+/// its bytes are too.
+fn put_regen_msg(buf: &mut Vec<u8>, r: &RegenMsg) {
+    match r {
+        RegenMsg::Inquiry { generation } => {
+            buf.put_u8(TAG_REGEN_INQUIRY);
+            buf.put_u32_le(*generation);
+        }
+        RegenMsg::Reply(reply) => {
+            buf.put_u8(TAG_REGEN_REPLY);
+            buf.put_u32_le(reply.generation);
+            buf.put_u64_le(reply.stamp.value());
+            buf.put_u8(reply.holder as u8);
+            match reply.passed_to {
+                Some(n) => {
+                    buf.put_u8(1);
+                    buf.put_u32_le(n.raw());
+                }
+                None => buf.put_u8(0),
+            }
+            buf.put_u64_le(reply.applied_seq);
+        }
+        RegenMsg::Please {
+            new_gen,
+            known_seq,
+            dead,
+        } => {
+            buf.put_u8(TAG_REGEN_PLEASE);
+            buf.put_u32_le(*new_gen);
+            buf.put_u64_le(*known_seq);
+            put_trail(buf, dead);
+        }
+        RegenMsg::Rejoin => {
+            buf.put_u8(TAG_REGEN_REJOIN);
+        }
+        RegenMsg::Leave => {
+            buf.put_u8(TAG_REGEN_LEAVE);
+        }
+        RegenMsg::SyncRequest { from_seq } => {
+            buf.put_u8(TAG_REGEN_SYNC_REQ);
+            buf.put_u64_le(*from_seq);
+        }
+        RegenMsg::SyncReply { entries } => {
+            buf.put_u8(TAG_REGEN_SYNC_REPLY);
+            buf.put_u32_le(entries.len() as u32);
+            for e in entries {
+                buf.put_u64_le(e.seq);
+                buf.put_u32_le(e.origin.raw());
+                buf.put_u64_le(e.payload);
+                buf.put_u64_le(e.round);
+            }
+        }
+        RegenMsg::TokenAck {
+            generation,
+            transfer_seq,
+        } => {
+            buf.put_u8(TAG_REGEN_TOKEN_ACK);
+            buf.put_u32_le(*generation);
+            buf.put_u64_le(*transfer_seq);
+        }
+        RegenMsg::GenAnnounce { generation } => {
+            buf.put_u8(TAG_REGEN_GEN_ANNOUNCE);
+            buf.put_u32_le(*generation);
+        }
+    }
+}
+
+/// Decodes the body of a regeneration message whose `tag` is one of
+/// `0x20..=0x28`; returns `Ok(None)` for any other tag so callers fall
+/// through to their own frames.
+fn get_regen_msg(tag: u8, buf: &mut impl Buf) -> Result<Option<RegenMsg>, CodecError> {
+    Ok(Some(match tag {
+        TAG_REGEN_INQUIRY => RegenMsg::Inquiry {
+            generation: get_u32(buf)?,
+        },
+        TAG_REGEN_REPLY => {
+            let generation = get_u32(buf)?;
+            let stamp = VisitStamp(get_u64(buf)?);
+            let holder = get_u8(buf)? != 0;
+            let passed_to = if get_u8(buf)? != 0 {
+                Some(NodeId::new(get_u32(buf)?))
+            } else {
+                None
+            };
+            let applied_seq = get_u64(buf)?;
+            RegenMsg::Reply(RegenReply {
+                generation,
+                stamp,
+                holder,
+                passed_to,
+                applied_seq,
+            })
+        }
+        TAG_REGEN_PLEASE => {
+            let new_gen = get_u32(buf)?;
+            let known_seq = get_u64(buf)?;
+            let dead = get_trail(buf)?;
+            RegenMsg::Please {
+                new_gen,
+                known_seq,
+                dead,
+            }
+        }
+        TAG_REGEN_REJOIN => RegenMsg::Rejoin,
+        TAG_REGEN_LEAVE => RegenMsg::Leave,
+        TAG_REGEN_SYNC_REQ => RegenMsg::SyncRequest {
+            from_seq: get_u64(buf)?,
+        },
+        TAG_REGEN_SYNC_REPLY => {
+            let n = get_u32(buf)? as usize;
+            let mut entries = Vec::with_capacity(n.min(1 << 16));
+            for _ in 0..n {
+                entries.push(crate::types::LogEntry {
+                    seq: get_u64(buf)?,
+                    origin: NodeId::new(get_u32(buf)?),
+                    payload: get_u64(buf)?,
+                    round: get_u64(buf)?,
+                });
+            }
+            RegenMsg::SyncReply { entries }
+        }
+        TAG_REGEN_TOKEN_ACK => RegenMsg::TokenAck {
+            generation: get_u32(buf)?,
+            transfer_seq: get_u64(buf)?,
+        },
+        TAG_REGEN_GEN_ANNOUNCE => RegenMsg::GenAnnounce {
+            generation: get_u32(buf)?,
+        },
+        _ => return Ok(None),
+    }))
+}
+
+/// Exact encoded length of a regeneration message (tag + body).
+fn regen_encoded_len(r: &RegenMsg) -> usize {
+    match r {
+        RegenMsg::Inquiry { .. } => 1 + 4,
+        RegenMsg::Reply(reply) => {
+            1 + 4 + 8 + 1 + 1 + if reply.passed_to.is_some() { 4 } else { 0 } + 8
+        }
+        RegenMsg::Please { dead, .. } => 1 + 4 + 8 + 4 + 4 * dead.len(),
+        RegenMsg::Rejoin | RegenMsg::Leave => 1,
+        RegenMsg::SyncRequest { .. } => 1 + 8,
+        RegenMsg::SyncReply { entries } => 1 + 4 + 28 * entries.len(),
+        RegenMsg::TokenAck { .. } => 1 + 4 + 8,
+        RegenMsg::GenAnnounce { .. } => 1 + 4,
+    }
 }
 
 /// Encodes a [`BinaryMsg`] into a standalone byte frame.
@@ -182,68 +385,7 @@ pub fn encode_binary_msg(msg: &BinaryMsg) -> Vec<u8> {
             buf.put_u32_le(origin.raw());
             put_req(&mut buf, *req);
         }
-        BinaryMsg::Regen(r) => match r {
-            RegenMsg::Inquiry { generation } => {
-                buf.put_u8(TAG_REGEN_INQUIRY);
-                buf.put_u32_le(*generation);
-            }
-            RegenMsg::Reply(reply) => {
-                buf.put_u8(TAG_REGEN_REPLY);
-                buf.put_u32_le(reply.generation);
-                buf.put_u64_le(reply.stamp.value());
-                buf.put_u8(reply.holder as u8);
-                match reply.passed_to {
-                    Some(n) => {
-                        buf.put_u8(1);
-                        buf.put_u32_le(n.raw());
-                    }
-                    None => buf.put_u8(0),
-                }
-                buf.put_u64_le(reply.applied_seq);
-            }
-            RegenMsg::Please {
-                new_gen,
-                known_seq,
-                dead,
-            } => {
-                buf.put_u8(TAG_REGEN_PLEASE);
-                buf.put_u32_le(*new_gen);
-                buf.put_u64_le(*known_seq);
-                put_trail(&mut buf, dead);
-            }
-            RegenMsg::Rejoin => {
-                buf.put_u8(TAG_REGEN_REJOIN);
-            }
-            RegenMsg::Leave => {
-                buf.put_u8(TAG_REGEN_LEAVE);
-            }
-            RegenMsg::SyncRequest { from_seq } => {
-                buf.put_u8(TAG_REGEN_SYNC_REQ);
-                buf.put_u64_le(*from_seq);
-            }
-            RegenMsg::SyncReply { entries } => {
-                buf.put_u8(TAG_REGEN_SYNC_REPLY);
-                buf.put_u32_le(entries.len() as u32);
-                for e in entries {
-                    buf.put_u64_le(e.seq);
-                    buf.put_u32_le(e.origin.raw());
-                    buf.put_u64_le(e.payload);
-                    buf.put_u64_le(e.round);
-                }
-            }
-            RegenMsg::TokenAck {
-                generation,
-                transfer_seq,
-            } => {
-                buf.put_u8(TAG_REGEN_TOKEN_ACK);
-                buf.put_u32_le(*generation);
-                buf.put_u64_le(*transfer_seq);
-            }
-            RegenMsg::GenAnnounce { generation } => {
-                buf.put_u8(TAG_REGEN_GEN_ANNOUNCE);
-                buf.put_u32_le(*generation);
-            }
-        },
+        BinaryMsg::Regen(r) => put_regen_msg(&mut buf, r),
     }
     buf
 }
@@ -271,16 +413,7 @@ pub fn encoded_len(msg: &BinaryMsg) -> usize {
         BinaryMsg::DirectedReply { .. } => 1 + 4 + 8 + REQ + 4,
         BinaryMsg::ProbeReq { .. } => 1 + 4 + 4,
         BinaryMsg::ProbeHit { .. } => 1 + 4 + REQ,
-        BinaryMsg::Regen(r) => match r {
-            RegenMsg::Inquiry { .. } => 1 + 4,
-            RegenMsg::Reply(reply) => 1 + 4 + 8 + 1 + 1 + if reply.passed_to.is_some() { 4 } else { 0 } + 8,
-            RegenMsg::Please { dead, .. } => 1 + 4 + 8 + 4 + 4 * dead.len(),
-            RegenMsg::Rejoin | RegenMsg::Leave => 1,
-            RegenMsg::SyncRequest { .. } => 1 + 8,
-            RegenMsg::SyncReply { entries } => 1 + 4 + 28 * entries.len(),
-            RegenMsg::TokenAck { .. } => 1 + 4 + 8,
-            RegenMsg::GenAnnounce { .. } => 1 + 4,
-        },
+        BinaryMsg::Regen(r) => regen_encoded_len(r),
     }
 }
 
@@ -368,63 +501,116 @@ pub fn decode_binary_msg(bytes: &[u8]) -> Result<BinaryMsg, CodecError> {
             let req = get_req(&mut buf)?;
             Ok(BinaryMsg::ProbeHit { origin, req })
         }
-        TAG_REGEN_INQUIRY => Ok(BinaryMsg::Regen(RegenMsg::Inquiry {
-            generation: get_u32(&mut buf)?,
-        })),
-        TAG_REGEN_REPLY => {
-            let generation = get_u32(&mut buf)?;
-            let stamp = VisitStamp(get_u64(&mut buf)?);
-            let holder = get_u8(&mut buf)? != 0;
-            let passed_to = if get_u8(&mut buf)? != 0 {
-                Some(NodeId::new(get_u32(&mut buf)?))
-            } else {
-                None
-            };
-            let applied_seq = get_u64(&mut buf)?;
-            Ok(BinaryMsg::Regen(RegenMsg::Reply(RegenReply {
-                generation,
-                stamp,
-                holder,
-                passed_to,
-                applied_seq,
-            })))
+        other => match get_regen_msg(other, &mut buf)? {
+            Some(r) => Ok(BinaryMsg::Regen(r)),
+            None => Err(CodecError::BadTag(other)),
+        },
+    }
+}
+
+/// Encodes a [`NaimiMsg`] into a standalone byte frame.
+///
+/// # Examples
+///
+/// ```rust
+/// use atp_core::{encode_naimi_msg, decode_naimi_msg, NaimiMsg, RequestId};
+/// use atp_net::NodeId;
+///
+/// let msg = NaimiMsg::Request {
+///     origin: NodeId::new(3),
+///     req: RequestId::new(NodeId::new(3), 7),
+///     attempt: 0,
+///     hops: 1,
+/// };
+/// let bytes = encode_naimi_msg(&msg);
+/// let back = decode_naimi_msg(&bytes)?;
+/// assert!(matches!(back, NaimiMsg::Request { .. }));
+/// # Ok::<(), atp_core::CodecError>(())
+/// ```
+pub fn encode_naimi_msg(msg: &NaimiMsg) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(64);
+    match msg {
+        NaimiMsg::Request {
+            origin,
+            req,
+            attempt,
+            hops,
+        } => {
+            buf.put_u8(TAG_NAIMI_REQUEST);
+            buf.put_u32_le(origin.raw());
+            put_req(&mut buf, *req);
+            buf.put_u32_le(*attempt);
+            buf.put_u32_le(*hops);
         }
-        TAG_REGEN_PLEASE => {
-            let new_gen = get_u32(&mut buf)?;
-            let known_seq = get_u64(&mut buf)?;
-            let dead = get_trail(&mut buf)?;
-            Ok(BinaryMsg::Regen(RegenMsg::Please {
-                new_gen,
-                known_seq,
-                dead,
-            }))
-        }
-        TAG_REGEN_REJOIN => Ok(BinaryMsg::Regen(RegenMsg::Rejoin)),
-        TAG_REGEN_LEAVE => Ok(BinaryMsg::Regen(RegenMsg::Leave)),
-        TAG_REGEN_SYNC_REQ => Ok(BinaryMsg::Regen(RegenMsg::SyncRequest {
-            from_seq: get_u64(&mut buf)?,
-        })),
-        TAG_REGEN_SYNC_REPLY => {
-            let n = get_u32(&mut buf)? as usize;
-            let mut entries = Vec::with_capacity(n.min(1 << 16));
-            for _ in 0..n {
-                entries.push(crate::types::LogEntry {
-                    seq: get_u64(&mut buf)?,
-                    origin: NodeId::new(get_u32(&mut buf)?),
-                    payload: get_u64(&mut buf)?,
-                    round: get_u64(&mut buf)?,
-                });
+        NaimiMsg::Token { frame, grant_for } => {
+            match grant_for {
+                Some(req) => {
+                    buf.put_u8(TAG_NAIMI_TOKEN_GRANT);
+                    put_req(&mut buf, *req);
+                }
+                None => buf.put_u8(TAG_NAIMI_TOKEN_LAZY),
             }
-            Ok(BinaryMsg::Regen(RegenMsg::SyncReply { entries }))
+            frame.encode(&mut buf);
         }
-        TAG_REGEN_TOKEN_ACK => Ok(BinaryMsg::Regen(RegenMsg::TokenAck {
-            generation: get_u32(&mut buf)?,
-            transfer_seq: get_u64(&mut buf)?,
-        })),
-        TAG_REGEN_GEN_ANNOUNCE => Ok(BinaryMsg::Regen(RegenMsg::GenAnnounce {
-            generation: get_u32(&mut buf)?,
-        })),
-        other => Err(CodecError::BadTag(other)),
+        NaimiMsg::Regen(r) => put_regen_msg(&mut buf, r),
+    }
+    buf
+}
+
+/// Exact byte length [`encode_naimi_msg`] would produce for `msg`,
+/// computed without allocating.
+pub fn naimi_encoded_len(msg: &NaimiMsg) -> usize {
+    const REQ: usize = 12; // u32 origin + u64 seq
+    match msg {
+        NaimiMsg::Request { .. } => 1 + 4 + REQ + 4 + 4,
+        NaimiMsg::Token { frame, grant_for } => {
+            1 + if grant_for.is_some() { REQ } else { 0 } + frame.encoded_len()
+        }
+        NaimiMsg::Regen(r) => regen_encoded_len(r),
+    }
+}
+
+/// Decodes a frame previously produced by [`encode_naimi_msg`].
+///
+/// # Errors
+///
+/// Returns [`CodecError::Truncated`] if the buffer is too short and
+/// [`CodecError::BadTag`] on an unrecognized tag byte.
+pub fn decode_naimi_msg(bytes: &[u8]) -> Result<NaimiMsg, CodecError> {
+    let mut buf: &[u8] = bytes;
+    let tag = get_u8(&mut buf)?;
+    match tag {
+        TAG_NAIMI_REQUEST => {
+            let origin = NodeId::new(get_u32(&mut buf)?);
+            let req = get_req(&mut buf)?;
+            let attempt = get_u32(&mut buf)?;
+            let hops = get_u32(&mut buf)?;
+            Ok(NaimiMsg::Request {
+                origin,
+                req,
+                attempt,
+                hops,
+            })
+        }
+        TAG_NAIMI_TOKEN_LAZY => {
+            let frame = TokenFrame::decode(&mut buf).ok_or(CodecError::Truncated)?;
+            Ok(NaimiMsg::Token {
+                frame,
+                grant_for: None,
+            })
+        }
+        TAG_NAIMI_TOKEN_GRANT => {
+            let req = get_req(&mut buf)?;
+            let frame = TokenFrame::decode(&mut buf).ok_or(CodecError::Truncated)?;
+            Ok(NaimiMsg::Token {
+                frame,
+                grant_for: Some(req),
+            })
+        }
+        other => match get_regen_msg(other, &mut buf)? {
+            Some(r) => Ok(NaimiMsg::Regen(r)),
+            None => Err(CodecError::BadTag(other)),
+        },
     }
 }
 
@@ -670,6 +856,125 @@ mod tests {
                 encoded_len(&m),
                 encode_binary_msg(&m).len(),
                 "encoded_len disagrees with encoder for {m:?}"
+            );
+        }
+    }
+
+    fn naimi_samples() -> Vec<NaimiMsg> {
+        vec![
+            NaimiMsg::Request {
+                origin: NodeId::new(5),
+                req: RequestId::new(NodeId::new(5), 8),
+                attempt: 2,
+                hops: 3,
+            },
+            NaimiMsg::Token {
+                frame: sample_frame(),
+                grant_for: None,
+            },
+            NaimiMsg::Token {
+                frame: sample_frame(),
+                grant_for: Some(RequestId::new(NodeId::new(1), 4)),
+            },
+            NaimiMsg::Token {
+                frame: TokenFrame::new(4),
+                grant_for: None,
+            },
+            NaimiMsg::Regen(RegenMsg::Inquiry { generation: 9 }),
+            NaimiMsg::Regen(RegenMsg::Reply(RegenReply {
+                generation: 9,
+                stamp: VisitStamp(31),
+                holder: true,
+                passed_to: Some(NodeId::new(6)),
+                applied_seq: 17,
+            })),
+            NaimiMsg::Regen(RegenMsg::Please {
+                new_gen: 10,
+                known_seq: 55,
+                dead: vec![NodeId::new(0)],
+            }),
+            NaimiMsg::Regen(RegenMsg::Rejoin),
+            NaimiMsg::Regen(RegenMsg::Leave),
+            NaimiMsg::Regen(RegenMsg::SyncRequest { from_seq: 3 }),
+            NaimiMsg::Regen(RegenMsg::SyncReply {
+                entries: vec![crate::types::LogEntry {
+                    seq: 3,
+                    origin: NodeId::new(4),
+                    payload: 12,
+                    round: 2,
+                }],
+            }),
+            NaimiMsg::Regen(RegenMsg::TokenAck {
+                generation: 1,
+                transfer_seq: 44,
+            }),
+            NaimiMsg::Regen(RegenMsg::GenAnnounce { generation: 2 }),
+        ]
+    }
+
+    #[test]
+    fn naimi_messages_roundtrip() {
+        for m in naimi_samples() {
+            let d = format!("{m:?}");
+            let back = decode_naimi_msg(&encode_naimi_msg(&m)).expect("roundtrip");
+            assert_eq!(format!("{back:?}"), d);
+        }
+    }
+
+    #[test]
+    fn naimi_encoded_len_matches_encoder() {
+        for m in naimi_samples() {
+            assert_eq!(
+                naimi_encoded_len(&m),
+                encode_naimi_msg(&m).len(),
+                "naimi_encoded_len disagrees with encoder for {m:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn naimi_truncated_input_is_rejected() {
+        let msg = NaimiMsg::Token {
+            frame: sample_frame(),
+            grant_for: Some(RequestId::new(NodeId::new(1), 4)),
+        };
+        let bytes = encode_naimi_msg(&msg);
+        for cut in [0, 1, 5, bytes.len() - 1] {
+            assert!(decode_naimi_msg(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn naimi_unknown_tag_is_rejected() {
+        // Binary-only tags are foreign to the Naimi framing and vice versa.
+        match decode_naimi_msg(&[TAG_GIMME, 0, 0, 0, 0]) {
+            Err(CodecError::BadTag(t)) => assert_eq!(t, TAG_GIMME),
+            other => panic!("expected BadTag, got {other:?}"),
+        }
+        match decode_binary_msg(&[TAG_NAIMI_REQUEST, 0, 0, 0, 0]) {
+            Err(CodecError::BadTag(t)) => assert_eq!(t, TAG_NAIMI_REQUEST),
+            other => panic!("expected BadTag, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn known_tag_lists_match_the_decoders() {
+        // Every listed tag must be recognized (anything but BadTag), and
+        // every unlisted tag must be BadTag — the lists are the decoders.
+        for tag in 0u8..=u8::MAX {
+            let bin = decode_binary_msg(&[tag]);
+            let listed = known_binary_tags().contains(&tag);
+            assert_eq!(
+                !matches!(bin, Err(CodecError::BadTag(_))),
+                listed,
+                "binary decoder disagrees with known_binary_tags for {tag:#x}"
+            );
+            let nai = decode_naimi_msg(&[tag]);
+            let listed = known_naimi_tags().contains(&tag);
+            assert_eq!(
+                !matches!(nai, Err(CodecError::BadTag(_))),
+                listed,
+                "naimi decoder disagrees with known_naimi_tags for {tag:#x}"
             );
         }
     }

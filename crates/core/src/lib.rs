@@ -14,8 +14,9 @@
 //! | [`RingNode`] | Message-Passing + rule 3′ | O(N) (Lemma 4) |
 //! | [`SearchNode`] | Search, cyclic restriction | O(N) (Lemma 5) |
 //! | [`BinaryNode`] | BinarySearch | O(log N) (Theorem 2) |
+//! | [`NaimiNode`] | — (Naimi–Tréhel competitor) | O(log N) average (Lavault) |
 //!
-//! All three expose the same interface: they implement
+//! All of them expose the same interface: they implement
 //! [`atp_net::Node`] (message-driven state machines), accept [`Want`]
 //! stimuli ("this node now requires the token"), and report observable
 //! behaviour through [`EventSource`].
@@ -47,6 +48,7 @@ mod codec;
 mod config;
 mod event;
 mod handoff;
+mod naimi;
 mod order;
 mod regen;
 mod ring;
@@ -57,10 +59,14 @@ mod token;
 mod types;
 
 pub use binary::{BinaryMsg, BinaryNode, Gimme, TokenMode};
-pub use codec::{decode_binary_msg, encode_binary_msg, encoded_len, CodecError};
+pub use codec::{
+    decode_binary_msg, decode_naimi_msg, encode_binary_msg, encode_naimi_msg, encoded_len,
+    known_binary_tags, known_naimi_tags, naimi_encoded_len, CodecError,
+};
 pub use config::{ProtocolConfig, SearchMode, TrapCleanup};
 pub use event::{EventSource, TokenEvent, Want};
 pub use handoff::{Handoff, PendingTransfer};
+pub use naimi::{NaimiMsg, NaimiNode};
 pub use order::{HistoryDigest, OrderState};
 pub use regen::{gen_epoch, gen_minter, make_gen, RegenEngine, RegenMsg, RegenReply, RegenVerdict};
 pub use ring::{RingMsg, RingNode};

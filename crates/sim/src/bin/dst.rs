@@ -3,7 +3,11 @@
 //! Usage:
 //! `cargo run --release -p atp-sim --bin dst -- [--budget N] [--seed S]
 //!  [--tapes DIR] [--demo-mutation] [--write-tape PATH] [--partition]
-//!  [--trace-out FILE]`
+//!  [--protocol LABEL] [--trace-out FILE]`
+//!
+//! `--protocol` restricts exploration to one protocol (by its label:
+//! `ring`, `search`, `binary`, `naimi`); tape replay is unaffected — every
+//! checked-in tape still replays regardless of its protocol.
 //!
 //! `--trace-out` (with `--tapes`) re-replays every checked-in tape with
 //! network tracing on and writes one JSON-lines document: a
@@ -42,6 +46,7 @@ struct Args {
     demo_mutation: bool,
     write_tape: Option<String>,
     focus: Focus,
+    protocol: Option<Protocol>,
 }
 
 fn parse_args(rest: Vec<String>) -> Result<Args, String> {
@@ -52,6 +57,7 @@ fn parse_args(rest: Vec<String>) -> Result<Args, String> {
         demo_mutation: false,
         write_tape: None,
         focus: Focus::All,
+        protocol: None,
     };
     let mut it = rest.into_iter();
     while let Some(flag) = it.next() {
@@ -74,6 +80,20 @@ fn parse_args(rest: Vec<String>) -> Result<Args, String> {
             "--write-tape" => args.write_tape = Some(value("--write-tape")?),
             "--demo-mutation" => args.demo_mutation = true,
             "--partition" => args.focus = Focus::Partition,
+            "--protocol" => {
+                let label = value("--protocol")?;
+                args.protocol = Some(
+                    Protocol::ALL
+                        .into_iter()
+                        .find(|p| p.label() == label)
+                        .ok_or_else(|| {
+                            format!(
+                                "--protocol: unknown '{label}' (expected one of: {})",
+                                Protocol::ALL.map(|p| p.label()).join(", ")
+                            )
+                        })?,
+                );
+            }
             other => return Err(format!("unknown flag '{other}'")),
         }
     }
@@ -178,6 +198,9 @@ fn main() -> ExitCode {
     }
 
     for protocol in Protocol::ALL {
+        if args.protocol.is_some_and(|only| only != protocol) {
+            continue;
+        }
         let start = std::time::Instant::now();
         let explorer = Explorer::new(protocol, args.seed, Mutation::None).with_focus(args.focus);
         match explorer.explore(args.budget) {

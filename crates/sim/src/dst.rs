@@ -453,6 +453,7 @@ pub fn run_case_traced(
         Protocol::Ring => run_case_on::<atp_core::RingNode>(case, trace_capacity),
         Protocol::Search => run_case_on::<atp_core::SearchNode>(case, trace_capacity),
         Protocol::Binary => run_case_on::<atp_core::BinaryNode>(case, trace_capacity),
+        Protocol::Naimi => run_case_on::<atp_core::NaimiNode>(case, trace_capacity),
     }
 }
 

@@ -107,7 +107,12 @@ pub fn series(config: &Config) -> Vec<Scenario> {
         .recover_at(SimTime::from_ticks(400), NodeId::new(0))
         .recover_at(SimTime::from_ticks(400), NodeId::new(1));
 
-    for protocol in [Protocol::Ring, Protocol::Binary, Protocol::Search] {
+    for protocol in [
+        Protocol::Ring,
+        Protocol::Binary,
+        Protocol::Search,
+        Protocol::Naimi,
+    ] {
         for (name, plan) in [
             ("crash-holder", &crash_holder),
             ("crash-bystander", &crash_bystander),
@@ -166,7 +171,7 @@ mod tests {
     #[test]
     fn every_scenario_is_eventually_served() {
         let points = series(&Config::quick());
-        assert_eq!(points.len(), 9);
+        assert_eq!(points.len(), 12);
         for s in &points {
             assert!(
                 s.served,
@@ -189,18 +194,25 @@ mod tests {
                 );
             }
         }
-        // For the lazy search protocol a bystander crash never touches the
-        // token at node 0.
-        let search_bystander = points
-            .iter()
-            .find(|s| s.name == "crash-bystander" && s.protocol == Protocol::Search)
-            .unwrap();
-        assert_eq!(search_bystander.regenerations, 0);
+        // For the lazy protocols a bystander crash never touches the token
+        // at node 0.
+        for lazy in [Protocol::Search, Protocol::Naimi] {
+            let bystander = points
+                .iter()
+                .find(|s| s.name == "crash-bystander" && s.protocol == lazy)
+                .unwrap();
+            assert_eq!(
+                bystander.regenerations,
+                0,
+                "{}: bystander crash should not regenerate",
+                lazy.label()
+            );
+        }
     }
 
     #[test]
     fn table_renders() {
         let t = run(&Config::quick());
-        assert_eq!(t.len(), 9);
+        assert_eq!(t.len(), 12);
     }
 }

@@ -157,6 +157,6 @@ mod tests {
     #[test]
     fn table_renders() {
         let t = run(&Config::quick());
-        assert_eq!(t.len(), 3);
+        assert_eq!(t.len(), Protocol::ALL.len());
     }
 }

@@ -55,15 +55,17 @@ pub struct Point {
     pub ring: f64,
     /// Mean responsiveness of System BinarySearch.
     pub binary: f64,
+    /// Mean responsiveness of Naimi–Tréhel path reversal.
+    pub naimi: f64,
 }
 
-/// The sweep's point list: two points (ring, binary) per load level, in
-/// the order [`series_from`] expects them back.
+/// The sweep's point list: three points (ring, binary, naimi) per load
+/// level, in the order [`series_from`] expects them back.
 pub fn points(config: &Config) -> Vec<PointSpec> {
     let horizon = config.rounds * config.n as u64;
-    let mut points = Vec::with_capacity(2 * config.gaps.len());
+    let mut points = Vec::with_capacity(3 * config.gaps.len());
     for &gap in &config.gaps {
-        for protocol in [Protocol::Ring, Protocol::Binary] {
+        for protocol in [Protocol::Ring, Protocol::Binary, Protocol::Naimi] {
             points.push(PointSpec::new(
                 ExperimentSpec::new(protocol, config.n, horizon).with_seed(config.seed),
                 WorkloadSpec::global_poisson(gap),
@@ -79,11 +81,12 @@ fn series_from(config: &Config, summaries: &[RunSummary]) -> Vec<Point> {
     config
         .gaps
         .iter()
-        .zip(summaries.chunks_exact(2))
-        .map(|(&gap, pair)| Point {
+        .zip(summaries.chunks_exact(3))
+        .map(|(&gap, trio)| Point {
             gap,
-            ring: pair[0].metrics.responsiveness.mean,
-            binary: pair[1].metrics.responsiveness.mean,
+            ring: trio[0].metrics.responsiveness.mean,
+            binary: trio[1].metrics.responsiveness.mean,
+            naimi: trio[2].metrics.responsiveness.mean,
         })
         .collect()
 }
@@ -97,7 +100,7 @@ pub fn series(config: &Config) -> Vec<Point> {
 /// per-point summaries (for `--metrics-out` style observability artifacts).
 pub fn run_with_summaries(config: &Config) -> (Table, Vec<RunSummary>) {
     let summaries = run_points(&points(config));
-    let mut table = Table::new(vec!["gap", "ring", "binary"]).title(format!(
+    let mut table = Table::new(vec!["gap", "ring", "binary", "naimi"]).title(format!(
         "Figure 10 — avg responsiveness vs load, n = {} ({} rounds); log2(n) = {}, n/2 = {}",
         config.n,
         config.rounds,
@@ -105,9 +108,9 @@ pub fn run_with_summaries(config: &Config) -> (Table, Vec<RunSummary>) {
         config.n / 2
     ));
     for p in series_from(config, &summaries) {
-        table.row(vec![f2(p.gap), f2(p.ring), f2(p.binary)]);
+        table.row(vec![f2(p.gap), f2(p.ring), f2(p.binary), f2(p.naimi)]);
     }
-    table.note("paper: as load decreases, ring → n/2; binary → log2(n) from below");
+    table.note("paper: as load decreases, ring → n/2; binary → log2(n) from below; naimi stays logarithmic");
     (table, summaries)
 }
 
@@ -138,6 +141,14 @@ mod tests {
             lightest.binary < lightest.ring / 2.0,
             "binary {} should decisively beat ring {}",
             lightest.binary,
+            lightest.ring
+        );
+        // Path reversal routes a lone request straight at the holder — at
+        // light load it must beat the ring's n/2 wait decisively too.
+        assert!(
+            lightest.naimi < lightest.ring / 2.0,
+            "naimi {} should decisively beat ring {}",
+            lightest.naimi,
             lightest.ring
         );
         // At saturation both protocols are busy and grants are frequent, so

@@ -56,17 +56,22 @@ pub struct Point {
     pub ring: f64,
     /// Mean responsiveness of System BinarySearch.
     pub binary: f64,
+    /// Mean responsiveness of Naimi–Tréhel path reversal.
+    pub naimi: f64,
+    /// Average request-forwarding hops per grant under path reversal —
+    /// the quantity Lavault's analysis bounds by O(log N).
+    pub naimi_hops: f64,
     /// The `log₂ n` reference the paper's curve is bounded by.
     pub log2n: f64,
 }
 
-/// The sweep's point list: two points (ring, binary) per ring size, in the
-/// order [`series_from`] expects them back.
+/// The sweep's point list: three points (ring, binary, naimi) per ring
+/// size, in the order [`series_from`] expects them back.
 pub fn points(config: &Config) -> Vec<PointSpec> {
-    let mut points = Vec::with_capacity(2 * config.ns.len());
+    let mut points = Vec::with_capacity(3 * config.ns.len());
     for &n in &config.ns {
         let horizon = config.rounds * n as u64;
-        for protocol in [Protocol::Ring, Protocol::Binary] {
+        for protocol in [Protocol::Ring, Protocol::Binary, Protocol::Naimi] {
             points.push(PointSpec::new(
                 ExperimentSpec::new(protocol, n, horizon).with_seed(config.seed),
                 WorkloadSpec::global_poisson(config.mean_gap),
@@ -82,12 +87,18 @@ fn series_from(config: &Config, summaries: &[RunSummary]) -> Vec<Point> {
     config
         .ns
         .iter()
-        .zip(summaries.chunks_exact(2))
-        .map(|(&n, pair)| Point {
-            n,
-            ring: pair[0].metrics.responsiveness.mean,
-            binary: pair[1].metrics.responsiveness.mean,
-            log2n: log2(n),
+        .zip(summaries.chunks_exact(3))
+        .map(|(&n, trio)| {
+            let naimi = &trio[2];
+            let grants = naimi.metrics.grants.max(1);
+            Point {
+                n,
+                ring: trio[0].metrics.responsiveness.mean,
+                binary: trio[1].metrics.responsiveness.mean,
+                naimi: naimi.metrics.responsiveness.mean,
+                naimi_hops: naimi.spans.search_msgs as f64 / grants as f64,
+                log2n: log2(n),
+            }
         })
         .collect()
 }
@@ -101,7 +112,16 @@ pub fn series(config: &Config) -> Vec<Point> {
 /// per-point summaries (for `--metrics-out` style observability artifacts).
 pub fn run_with_summaries(config: &Config) -> (Table, Vec<RunSummary>) {
     let summaries = run_points(&points(config));
-    let mut table = Table::new(vec!["n", "ring", "binary", "log2(n)", "gap"]).title(format!(
+    let mut table = Table::new(vec![
+        "n",
+        "ring",
+        "binary",
+        "naimi",
+        "log2(n)",
+        "naimi-hops",
+        "gap",
+    ])
+    .title(format!(
         "Figure 9 — avg responsiveness, fixed load (one request per ~{} ticks, {} rounds)",
         config.mean_gap, config.rounds
     ));
@@ -110,11 +130,13 @@ pub fn run_with_summaries(config: &Config) -> (Table, Vec<RunSummary>) {
             p.n.to_string(),
             f2(p.ring),
             f2(p.binary),
+            f2(p.naimi),
             f2(p.log2n),
+            f2(p.naimi_hops),
             f2(config.mean_gap),
         ]);
     }
-    table.note("paper: ring → gap (≈10); binary bounded by log2(n)");
+    table.note("paper: ring → gap (≈10); binary bounded by log2(n); naimi hops O(log n) avg");
     (table, summaries)
 }
 
@@ -138,6 +160,15 @@ mod tests {
                 "n={}: binary {} vs log2 {}",
                 p.n,
                 p.binary,
+                p.log2n
+            );
+            // …and Naimi's average request path sits in the same
+            // logarithmic envelope (Lavault's average-case bound).
+            assert!(
+                p.naimi_hops <= 2.5 * p.log2n + 2.0,
+                "n={}: naimi hops {} vs log2 {}",
+                p.n,
+                p.naimi_hops,
                 p.log2n
             );
         }

@@ -62,8 +62,10 @@ impl Config {
 pub struct Point {
     /// Per-link loss/duplication probability.
     pub fault_p: f64,
-    /// Mean responsiveness of System BinarySearch under this fault rate.
-    pub binary: f64,
+    /// Protocol measured.
+    pub protocol: Protocol,
+    /// Mean responsiveness under this fault rate.
+    pub resp: f64,
     /// Requests that went unserved within the run's grace window.
     pub unserved: usize,
     /// Token frames re-sent by the ack/retransmit machinery.
@@ -90,34 +92,39 @@ fn partition_plan(n: usize, horizon: u64) -> FailurePlan {
     )
 }
 
-/// Computes the sweep series — one point per fault rate.
+/// Protocols the sweep compares: the paper's contribution and the
+/// path-reversal competitor, both on the same hostile link layer.
+const PROTOCOLS: [Protocol; 2] = [Protocol::Binary, Protocol::Naimi];
+
+/// Computes the sweep series — one point per (fault rate, protocol).
 pub fn series(config: &Config) -> Vec<Point> {
     let horizon = config.rounds * config.n as u64;
-    let points: Vec<PointSpec> = config
-        .fault_ps
-        .iter()
-        .map(|&p| {
+    let mut labels = Vec::new();
+    let mut points = Vec::new();
+    for &p in &config.fault_ps {
+        for protocol in PROTOCOLS {
             let cfg = atp_core::ProtocolConfig::default()
                 .with_record_log(false)
                 .with_token_acks(true);
             let cfg = cfg.with_regeneration(cfg.effective_regen_timeout(config.n));
-            PointSpec::new(
-                ExperimentSpec::new(Protocol::Binary, config.n, horizon)
+            labels.push((p, protocol));
+            points.push(PointSpec::new(
+                ExperimentSpec::new(protocol, config.n, horizon)
                     .with_cfg(cfg)
                     .with_seed(config.seed)
                     .with_net(NetProfile::unit().link_faults(p, p).grace(horizon))
                     .with_failures(partition_plan(config.n, horizon)),
                 WorkloadSpec::global_poisson(config.mean_gap),
-            )
-        })
-        .collect();
-    config
-        .fault_ps
-        .iter()
+            ));
+        }
+    }
+    labels
+        .into_iter()
         .zip(run_points(&points))
-        .map(|(&p, s)| Point {
+        .map(|((p, protocol), s)| Point {
             fault_p: p,
-            binary: s.metrics.responsiveness.mean,
+            protocol,
+            resp: s.metrics.responsiveness.mean,
             unserved: s.metrics.unserved,
             retransmits: s.net.token_retransmits,
             dup_discarded: s.net.dup_tokens_discarded,
@@ -130,20 +137,22 @@ pub fn series(config: &Config) -> Vec<Point> {
 pub fn run(config: &Config) -> Table {
     let mut table = Table::new(vec![
         "fault-p",
-        "binary-resp",
+        "protocol",
+        "resp",
         "unserved",
         "retransmits",
         "dup-discarded",
         "severed",
     ])
     .title(format!(
-        "Partition & duplication — BinarySearch, n = {}, gap = {}, split/heal scripted",
+        "Partition & duplication — Binary vs Naimi, n = {}, gap = {}, split/heal scripted",
         config.n, config.mean_gap
     ));
     for p in series(config) {
         table.row(vec![
             f2(p.fault_p),
-            f2(p.binary),
+            p.protocol.label().to_string(),
+            f2(p.resp),
             p.unserved.to_string(),
             p.retransmits.to_string(),
             p.dup_discarded.to_string(),
@@ -161,30 +170,52 @@ mod tests {
     #[test]
     fn clean_partition_heals_and_serves() {
         let points = series(&Config::quick());
-        let clean = points.first().unwrap();
-        assert_eq!(clean.fault_p, 0.0);
-        assert!(clean.severed > 0, "partition never cut a frame");
-        assert_eq!(
-            clean.unserved, 0,
-            "fault-free split/heal must serve every request"
-        );
+        for protocol in PROTOCOLS {
+            let clean = points
+                .iter()
+                .find(|p| p.protocol == protocol)
+                .unwrap();
+            assert_eq!(clean.fault_p, 0.0);
+            assert!(
+                clean.severed > 0,
+                "{}: partition never cut a frame",
+                protocol.label()
+            );
+            assert_eq!(
+                clean.unserved,
+                0,
+                "{}: fault-free split/heal must serve every request",
+                protocol.label()
+            );
+        }
     }
 
     #[test]
     fn faults_engage_recovery_machinery() {
         let points = series(&Config::quick());
-        let faulty = points.last().unwrap();
-        assert!(faulty.fault_p > 0.0);
-        assert!(faulty.retransmits > 0, "losses never triggered a retransmit");
-        assert!(
-            faulty.dup_discarded > 0,
-            "duplicated frames never hit a watermark"
-        );
+        for protocol in PROTOCOLS {
+            let faulty = points
+                .iter()
+                .rev()
+                .find(|p| p.protocol == protocol)
+                .unwrap();
+            assert!(faulty.fault_p > 0.0);
+            assert!(
+                faulty.retransmits > 0,
+                "{}: losses never triggered a retransmit",
+                protocol.label()
+            );
+            assert!(
+                faulty.dup_discarded > 0,
+                "{}: duplicated frames never hit a watermark",
+                protocol.label()
+            );
+        }
     }
 
     #[test]
     fn table_renders() {
         let t = run(&Config::quick());
-        assert_eq!(t.len(), 3);
+        assert_eq!(t.len(), 6);
     }
 }

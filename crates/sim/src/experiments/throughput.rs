@@ -160,6 +160,6 @@ mod tests {
     #[test]
     fn table_renders() {
         let t = run(&Config::quick());
-        assert_eq!(t.len(), 2 * 3);
+        assert_eq!(t.len(), 2 * Protocol::ALL.len());
     }
 }

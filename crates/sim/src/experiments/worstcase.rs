@@ -53,6 +53,9 @@ pub struct Point {
     pub search_worst: u64,
     /// Worst observed waiting time, System BinarySearch (Theorem 2).
     pub binary_worst: u64,
+    /// Worst observed waiting time, Naimi–Tréhel path reversal (O(N)
+    /// worst case along a degenerate chain, O(log N) on average).
+    pub naimi_worst: u64,
     /// `log₂ n` reference.
     pub log2n: f64,
 }
@@ -114,6 +117,7 @@ pub fn series(config: &Config) -> Vec<Point> {
                 ring_worst: per_protocol[0],
                 search_worst: per_protocol[1],
                 binary_worst: per_protocol[2],
+                naimi_worst: per_protocol[3],
                 log2n: log2(n),
             }
         })
@@ -122,18 +126,27 @@ pub fn series(config: &Config) -> Vec<Point> {
 
 /// Runs the sweep and renders the table.
 pub fn run(config: &Config) -> Table {
-    let mut table = Table::new(vec!["n", "ring-worst", "search-worst", "binary-worst", "log2(n)"])
-        .title("Lemmas 4/5 / Theorem 2 — worst-case responsiveness (single request, idle ring)");
+    let mut table = Table::new(vec![
+        "n",
+        "ring-worst",
+        "search-worst",
+        "binary-worst",
+        "naimi-worst",
+        "log2(n)",
+    ])
+    .title("Lemmas 4/5 / Theorem 2 — worst-case responsiveness (single request, idle ring)");
     for p in series(config) {
         table.row(vec![
             p.n.to_string(),
             p.ring_worst.to_string(),
             p.search_worst.to_string(),
             p.binary_worst.to_string(),
+            p.naimi_worst.to_string(),
             f2(p.log2n),
         ]);
     }
     table.note("paper: ring and linear search grow linearly in N; binary stays O(log N)");
+    table.note("naimi: a lone request on an idle tree reaches the root directly");
     table
 }
 

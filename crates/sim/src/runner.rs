@@ -4,7 +4,7 @@
 use std::time::Instant;
 
 use atp_core::{
-    BinaryNode, EventSource, ProtocolConfig, RingNode, SearchNode, TokenEvent, Want,
+    BinaryNode, EventSource, NaimiNode, ProtocolConfig, RingNode, SearchNode, TokenEvent, Want,
 };
 use atp_net::{
     FailurePlan, LinkFaults, MsgClass, Node, NodeId, PerLinkLatency, SimTime, StepOutcome,
@@ -28,11 +28,19 @@ pub enum Protocol {
     Search,
     /// System BinarySearch — the paper's contribution.
     Binary,
+    /// Naimi–Tréhel path reversal — the standard O(log N)-average
+    /// dynamic-tree competitor the paper's protocol is measured against.
+    Naimi,
 }
 
 impl Protocol {
     /// All protocols, for sweep tables.
-    pub const ALL: [Protocol; 3] = [Protocol::Ring, Protocol::Search, Protocol::Binary];
+    pub const ALL: [Protocol; 4] = [
+        Protocol::Ring,
+        Protocol::Search,
+        Protocol::Binary,
+        Protocol::Naimi,
+    ];
 
     /// Short label for report rows.
     pub fn label(self) -> &'static str {
@@ -40,6 +48,7 @@ impl Protocol {
             Protocol::Ring => "ring",
             Protocol::Search => "search",
             Protocol::Binary => "binary",
+            Protocol::Naimi => "naimi",
         }
     }
 }
@@ -97,6 +106,33 @@ impl ProtocolNode for RingNode {
 impl ProtocolNode for SearchNode {
     fn build(cfg: ProtocolConfig) -> Self {
         SearchNode::new(cfg)
+    }
+    fn grants_count(&self) -> u64 {
+        self.grants()
+    }
+    fn applied_len(&self) -> u64 {
+        self.order().applied_seq()
+    }
+    fn order_state(&self) -> &atp_core::OrderState {
+        self.order()
+    }
+    fn holds_token_now(&self) -> bool {
+        self.holds_token()
+    }
+    fn token_generation(&self) -> u32 {
+        self.generation()
+    }
+    fn dup_discarded_count(&self) -> u64 {
+        self.duplicate_tokens_discarded()
+    }
+    fn retransmit_count(&self) -> u64 {
+        self.token_retransmits()
+    }
+}
+
+impl ProtocolNode for NaimiNode {
+    fn build(cfg: ProtocolConfig) -> Self {
+        NaimiNode::new(cfg)
     }
     fn grants_count(&self) -> u64 {
         self.grants()
@@ -541,6 +577,7 @@ fn dispatch(
         Protocol::Ring => drive::<RingNode>(spec, workload, opts),
         Protocol::Search => drive::<SearchNode>(spec, workload, opts),
         Protocol::Binary => drive::<BinaryNode>(spec, workload, opts),
+        Protocol::Naimi => drive::<NaimiNode>(spec, workload, opts),
     }
 }
 
@@ -740,6 +777,7 @@ mod tests {
         assert_eq!(Protocol::Ring.label(), "ring");
         assert_eq!(Protocol::Search.label(), "search");
         assert_eq!(Protocol::Binary.label(), "binary");
-        assert_eq!(Protocol::ALL.len(), 3);
+        assert_eq!(Protocol::Naimi.label(), "naimi");
+        assert_eq!(Protocol::ALL.len(), 4);
     }
 }

@@ -1,17 +1,20 @@
 //! `Harness` hosts the same protocol nodes outside a `World`. This test
 //! builds a hand-rolled transport — one mpsc channel per node as the link
 //! layer, a single clock merging arrivals, timers and stimuli — hosts a
-//! ring of `BinaryNode`s on it, and cross-checks the outcome against the
+//! ring of protocol nodes on it, and cross-checks the outcome against the
 //! identical scenario run inside `World`: same grant order, same applied
-//! histories.
+//! histories. The harness is generic over every `ProtocolNode`; the
+//! adaptive binary search and the Naimi–Tréhel path-reversal protocol both
+//! run it, pinned to the same seed and request script.
 
 use std::collections::BTreeMap;
 use std::sync::mpsc::{channel, Receiver, Sender};
 
-use adaptive_token_passing::core::{BinaryNode, EventSource, ProtocolConfig, TokenEvent, Want};
+use adaptive_token_passing::core::{BinaryNode, NaimiNode, ProtocolConfig, TokenEvent, Want};
 use adaptive_token_passing::net::{
     Harness, MsgClass, NodeId, SimTime, Topology, World, WorldConfig,
 };
+use adaptive_token_passing::sim::runner::ProtocolNode;
 
 const N: usize = 5;
 const HORIZON: u64 = 300;
@@ -19,14 +22,9 @@ const HORIZON: u64 = 300;
 const LINK_LATENCY: u64 = 1;
 
 /// What the channel transport routes to a node.
-enum Event {
-    Msg {
-        from: NodeId,
-        msg: <BinaryNode as adaptive_token_passing::net::Node>::Msg,
-    },
-    Timer {
-        kind: u64,
-    },
+enum Event<M> {
+    Msg { from: NodeId, msg: M },
+    Timer { kind: u64 },
     Ext(Want),
 }
 
@@ -47,10 +45,10 @@ fn drain_grants(events: Vec<TokenEvent>, grants: &mut Vec<Grant>) {
 }
 
 /// Runs the scenario on `World` (the canonical engine).
-fn run_in_world() -> (Vec<Grant>, Vec<(u64, u64)>) {
+fn run_in_world<P: ProtocolNode>() -> (Vec<Grant>, Vec<(u64, u64)>) {
     let cfg = ProtocolConfig::default();
-    let mut world: World<BinaryNode> = World::from_nodes(
-        (0..N).map(|_| BinaryNode::new(cfg)).collect(),
+    let mut world: World<P> = World::from_nodes(
+        (0..N).map(|_| P::build(cfg)).collect(),
         WorldConfig::default().seed(7),
     );
     for (t, node, payload) in requests() {
@@ -62,7 +60,7 @@ fn run_in_world() -> (Vec<Grant>, Vec<(u64, u64)>) {
     for i in 0..N {
         let id = NodeId::new(i as u32);
         drain_grants(world.node_mut(id).take_events(), &mut grants);
-        let order = world.node(id).order();
+        let order = world.node(id).order_state();
         histories.push((order.applied_seq(), order.digest().0));
     }
     grants.sort_unstable();
@@ -70,35 +68,46 @@ fn run_in_world() -> (Vec<Grant>, Vec<(u64, u64)>) {
 }
 
 /// Runs the identical scenario on `Harness` nodes wired through channels.
-fn run_on_channels() -> (Vec<Grant>, Vec<(u64, u64)>) {
-    run_on_channels_with(None)
+fn run_on_channels<P: ProtocolNode>() -> (Vec<Grant>, Vec<(u64, u64)>)
+where
+    P::Msg: Clone,
+{
+    run_on_channels_with::<P>(None)
 }
 
 /// Like [`run_on_channels`], but when `dup_every_nth_token` is `Some(k)`,
 /// every `k`-th token-class frame is sent down its channel twice — a
 /// link layer that stutters. Handoff watermarks must absorb the copies.
-fn run_on_channels_with(dup_every_nth_token: Option<u64>) -> (Vec<Grant>, Vec<(u64, u64)>) {
+fn run_on_channels_with<P: ProtocolNode>(
+    dup_every_nth_token: Option<u64>,
+) -> (Vec<Grant>, Vec<(u64, u64)>)
+where
+    P::Msg: Clone,
+{
     let cfg = ProtocolConfig::default();
     let topology = Topology::ring(N);
-    let mut harnesses: Vec<Harness<BinaryNode>> = (0..N)
-        .map(|i| Harness::new(NodeId::new(i as u32), topology, BinaryNode::new(cfg), 7))
+    let mut harnesses: Vec<Harness<P>> = (0..N)
+        .map(|i| Harness::new(NodeId::new(i as u32), topology, P::build(cfg), 7))
         .collect();
 
     // One channel per node: the link layer. Senders are cloned per peer in
     // a real deployment; a single router end suffices here.
-    let (txs, rxs): (Vec<Sender<(u64, NodeId, _)>>, Vec<Receiver<(u64, NodeId, _)>>) =
-        (0..N).map(|_| channel()).unzip();
+    #[allow(clippy::type_complexity)]
+    let (txs, rxs): (
+        Vec<Sender<(u64, NodeId, P::Msg)>>,
+        Vec<Receiver<(u64, NodeId, P::Msg)>>,
+    ) = (0..N).map(|_| channel()).unzip();
 
     // The clock: a totally ordered (time, seq) queue, exactly the order a
     // `World` heap would pop. Externals enter first (they are scheduled
     // before the first step), then init effects, then everything routed.
-    let mut queue: BTreeMap<(u64, u64), (usize, Event)> = BTreeMap::new();
+    let mut queue: BTreeMap<(u64, u64), (usize, Event<P::Msg>)> = BTreeMap::new();
     let mut seq = 0u64;
-    let push = |queue: &mut BTreeMap<(u64, u64), (usize, Event)>,
+    let push = |queue: &mut BTreeMap<(u64, u64), (usize, Event<P::Msg>)>,
                     seq: &mut u64,
                     at: u64,
                     dest: usize,
-                    ev: Event| {
+                    ev: Event<P::Msg>| {
         queue.insert((at, *seq), (dest, ev));
         *seq += 1;
     };
@@ -116,9 +125,9 @@ fn run_on_channels_with(dup_every_nth_token: Option<u64>) -> (Vec<Grant>, Vec<(u
     // destination's channel stamped with their arrival time; timers go
     // straight onto the clock.
     let token_frames = std::cell::Cell::new(0u64);
-    let route = |h: &mut Harness<BinaryNode>,
+    let route = |h: &mut Harness<P>,
                  now: u64,
-                 queue: &mut BTreeMap<(u64, u64), (usize, Event)>,
+                 queue: &mut BTreeMap<(u64, u64), (usize, Event<P::Msg>)>,
                  seq: &mut u64| {
         let from = h.id();
         for ob in h.take_outbound() {
@@ -144,7 +153,7 @@ fn run_on_channels_with(dup_every_nth_token: Option<u64>) -> (Vec<Grant>, Vec<(u
 
     // Drains the links into the clock. Channels preserve send order, so
     // stamping seq at drain time keeps the global order deterministic.
-    let drain_links = |queue: &mut BTreeMap<(u64, u64), (usize, Event)>, seq: &mut u64| {
+    let drain_links = |queue: &mut BTreeMap<(u64, u64), (usize, Event<P::Msg>)>, seq: &mut u64| {
         for (i, rx) in rxs.iter().enumerate() {
             while let Ok((arrival, from, msg)) = rx.try_recv() {
                 queue.insert((arrival, *seq), (i, Event::Msg { from, msg }));
@@ -181,18 +190,21 @@ fn run_on_channels_with(dup_every_nth_token: Option<u64>) -> (Vec<Grant>, Vec<(u
     let mut histories = Vec::new();
     for h in harnesses.iter_mut() {
         drain_grants(h.node_mut().take_events(), &mut grants);
-        let order = h.node().order();
+        let order = h.node().order_state();
         histories.push((order.applied_seq(), order.digest().0));
     }
     grants.sort_unstable();
     (grants, histories)
 }
 
-/// The same nodes, the same schedule, two transports: behavior must agree.
-#[test]
-fn channel_transport_matches_world() {
-    let (world_grants, world_histories) = run_in_world();
-    let (chan_grants, chan_histories) = run_on_channels();
+/// The generic body of the cross-transport check, shared by the per-protocol
+/// tests below.
+fn check_channel_transport_matches_world<P: ProtocolNode>()
+where
+    P::Msg: Clone,
+{
+    let (world_grants, world_histories) = run_in_world::<P>();
+    let (chan_grants, chan_histories) = run_on_channels::<P>();
 
     assert_eq!(
         world_grants.len(),
@@ -209,14 +221,12 @@ fn channel_transport_matches_world() {
     );
 }
 
-/// A stuttering link layer: every 2nd token-class frame is delivered
-/// twice. The handoff watermark must discard each copy, so grants and
-/// applied histories stay identical to the clean `World` run — duplication
-/// costs nothing, not even reordering.
-#[test]
-fn duplicated_token_frames_do_not_change_behavior() {
-    let (world_grants, world_histories) = run_in_world();
-    let (dup_grants, dup_histories) = run_on_channels_with(Some(2));
+fn check_duplicated_tokens_change_nothing<P: ProtocolNode>()
+where
+    P::Msg: Clone,
+{
+    let (world_grants, world_histories) = run_in_world::<P>();
+    let (dup_grants, dup_histories) = run_on_channels_with::<P>(Some(2));
     assert_eq!(
         world_grants, dup_grants,
         "granted order diverged once the transport duplicated token frames"
@@ -227,11 +237,11 @@ fn duplicated_token_frames_do_not_change_behavior() {
     );
 }
 
-/// The channel transport alone: every request granted exactly once and all
-/// histories prefix-consistent (equal digests at equal lengths).
-#[test]
-fn channel_transport_preserves_safety() {
-    let (grants, histories) = run_on_channels();
+fn check_channel_transport_preserves_safety<P: ProtocolNode>()
+where
+    P::Msg: Clone,
+{
+    let (grants, histories) = run_on_channels::<P>();
     assert_eq!(grants.len(), requests().len());
     let max = histories.iter().map(|&(len, _)| len).max().unwrap();
     let digest_of_longest = histories
@@ -244,4 +254,46 @@ fn channel_transport_preserves_safety() {
             assert_eq!(digest, digest_of_longest, "diverged history at frontier");
         }
     }
+}
+
+/// The same nodes, the same schedule, two transports: behavior must agree.
+#[test]
+fn channel_transport_matches_world() {
+    check_channel_transport_matches_world::<BinaryNode>();
+}
+
+/// A stuttering link layer: every 2nd token-class frame is delivered
+/// twice. The handoff watermark must discard each copy, so grants and
+/// applied histories stay identical to the clean `World` run — duplication
+/// costs nothing, not even reordering.
+#[test]
+fn duplicated_token_frames_do_not_change_behavior() {
+    check_duplicated_tokens_change_nothing::<BinaryNode>();
+}
+
+/// The channel transport alone: every request granted exactly once and all
+/// histories prefix-consistent (equal digests at equal lengths).
+#[test]
+fn channel_transport_preserves_safety() {
+    check_channel_transport_preserves_safety::<BinaryNode>();
+}
+
+/// Naimi–Tréhel over the channel transport: path-reversal forwarding and
+/// lazy token shipping must behave identically inside and outside `World`.
+#[test]
+fn naimi_channel_transport_matches_world() {
+    check_channel_transport_matches_world::<NaimiNode>();
+}
+
+/// Naimi under a stuttering link: a duplicated token frame at the *new*
+/// probable owner must be absorbed by the handoff watermark, not re-grant.
+#[test]
+fn naimi_duplicated_token_frames_do_not_change_behavior() {
+    check_duplicated_tokens_change_nothing::<NaimiNode>();
+}
+
+/// Naimi safety on the channel transport alone.
+#[test]
+fn naimi_channel_transport_preserves_safety() {
+    check_channel_transport_preserves_safety::<NaimiNode>();
 }
