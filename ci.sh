@@ -26,6 +26,11 @@ echo "== sweep bench artifact =="
 grep '^{"suite":"sweep"' "$BENCH_LOG" > BENCH_sweep.json
 rm -f "$BENCH_LOG"
 test -s BENCH_sweep.json
+# The artifact must carry the scheduler microbenches (wheel vs heap churn)
+# and the bounded large-N scaling point the smoke run emits.
+grep -q '"name":"sched_wheel_churn_1k_pending"' BENCH_sweep.json
+grep -q '"name":"sched_heap_churn_100k_pending"' BENCH_sweep.json
+grep -q '"name":"fig9_large_binary_n10000"' BENCH_sweep.json
 echo "wrote BENCH_sweep.json ($(wc -l < BENCH_sweep.json) entries)"
 
 echo "== parallel determinism smoke =="
@@ -42,6 +47,17 @@ ATP_THREADS=4 cargo run -q --release -p atp-sim --bin table_partition -- --quick
 cmp "$OUT1" "$OUT4"
 rm -f "$OUT1" "$OUT4"
 echo "ATP_THREADS=1 and ATP_THREADS=4 outputs are byte-identical"
+
+echo "== large-n smoke =="
+# One Figure-9 point at N=10k (4 token rounds, sub-second): pushes the
+# timer wheel through its overflow/cascade machinery at scale, and the
+# rendered table must stay byte-identical across worker counts.
+LN1=$(mktemp) LN4=$(mktemp)
+ATP_THREADS=1 cargo run -q --release -p atp-sim --bin fig9 -- --n 10000 2>/dev/null > "$LN1"
+ATP_THREADS=4 cargo run -q --release -p atp-sim --bin fig9 -- --n 10000 2>/dev/null > "$LN4"
+cmp "$LN1" "$LN4"
+rm -f "$LN1" "$LN4"
+echo "large-n (N=10k) table is byte-identical at ATP_THREADS=1 and 4"
 
 echo "== observability smoke =="
 # Trace export must produce parseable JSON lines, and the merged metrics
@@ -63,8 +79,20 @@ echo "== dst smoke =="
 # tape (failing on tape rot or oracle regressions), fuzz 210 fresh
 # (seed, strategy) cases per protocol under adversarial delivery orders,
 # and prove the detector still catches a planted prefix-comparison bug.
+# Every tape on disk must actually replay (ok line per tape) — this is
+# what proves the timer-wheel scheduler reproduces the recorded schedules
+# byte-for-byte.
+DST_LOG=$(mktemp)
 cargo run -q --release -p atp-sim --bin dst -- \
-  --budget 210 --tapes tests/tapes --demo-mutation
+  --budget 210 --tapes tests/tapes --demo-mutation | tee "$DST_LOG"
+TAPES_ON_DISK=$(ls tests/tapes/*.tape | wc -l)
+TAPES_REPLAYED=$(grep -c '^tape .* ok — ' "$DST_LOG")
+rm -f "$DST_LOG"
+if [ "$TAPES_REPLAYED" -ne "$TAPES_ON_DISK" ]; then
+  echo "tape replay mismatch: $TAPES_REPLAYED replayed, $TAPES_ON_DISK on disk" >&2
+  exit 1
+fi
+echo "all $TAPES_REPLAYED checked-in tapes replayed against the wheel scheduler"
 
 echo "== partition dst smoke =="
 # The heal-fencing adversary: every case splits the ring and heals it under

@@ -60,7 +60,7 @@ fn main() {
         frame.append(NodeId::new(i % 8), i as u64);
     }
     let msg = BinaryMsg::Token {
-        frame,
+        frame: Box::new(frame),
         mode: TokenMode::Rotate,
     };
     let bytes = encode_binary_msg(&msg);

@@ -83,9 +83,13 @@ pub struct Gimme {
 #[derive(Debug, Clone)]
 pub enum BinaryMsg {
     /// A token frame in some travel mode (always `MsgClass::Token`).
+    ///
+    /// Boxed: the frame is by far the largest message payload, and keeping
+    /// it behind a pointer makes every enqueue/move of a `BinaryMsg` a
+    /// small fixed-size copy instead of a ~150-byte memcpy.
     Token {
         /// The frame.
-        frame: TokenFrame,
+        frame: Box<TokenFrame>,
         /// Travel mode.
         mode: TokenMode,
     },
@@ -177,7 +181,7 @@ enum HoldState {
 
 #[derive(Debug)]
 struct Holding {
-    token: TokenFrame,
+    token: Box<TokenFrame>,
     state: HoldState,
 }
 
@@ -328,7 +332,7 @@ impl BinaryNode {
     /// and dropped.
     fn possess(
         &mut self,
-        mut token: TokenFrame,
+        mut token: Box<TokenFrame>,
         rotational: bool,
         ctx: &mut Context<'_, BinaryMsg>,
     ) -> bool {
@@ -356,8 +360,10 @@ impl BinaryNode {
             token.exclude(node);
         }
         // Rotation cleanup: drop traps for already-satisfied requests.
-        let frame_ref = &token;
-        self.traps.retain(|t| !frame_ref.is_satisfied(&t.req));
+        if !self.traps.is_empty() {
+            let frame_ref = &token;
+            self.traps.retain(|t| !frame_ref.is_satisfied(&t.req));
+        }
         self.holding = Some(Holding {
             token,
             state: HoldState::Idle,
@@ -403,7 +409,7 @@ impl BinaryNode {
     fn ship_token(
         &mut self,
         to: NodeId,
-        mut frame: TokenFrame,
+        mut frame: Box<TokenFrame>,
         mode: TokenMode,
         ctx: &mut Context<'_, BinaryMsg>,
     ) {
@@ -648,7 +654,7 @@ impl BinaryNode {
 
     fn handle_token(
         &mut self,
-        frame: TokenFrame,
+        frame: Box<TokenFrame>,
         mode: TokenMode,
         ctx: &mut Context<'_, BinaryMsg>,
     ) {
@@ -1021,7 +1027,7 @@ impl BinaryNode {
                         generation: new_gen,
                         at: ctx.now(),
                     });
-                    self.handle_token(token, TokenMode::Rotate, ctx);
+                    self.handle_token(Box::new(token), TokenMode::Rotate, ctx);
                 }
             }
             RegenMsg::SyncRequest { from_seq } => {
@@ -1139,7 +1145,7 @@ impl Node for BinaryNode {
 
     fn on_init(&mut self, ctx: &mut Context<'_, BinaryMsg>) {
         if ctx.id().index() == 0 {
-            let token = TokenFrame::new(self.cfg.effective_window(ctx.topology().len()));
+            let token = Box::new(TokenFrame::new(self.cfg.effective_window(ctx.topology().len())));
             self.handle_token(token, TokenMode::Rotate, ctx);
         }
     }
@@ -1326,7 +1332,7 @@ impl Node for BinaryNode {
                                     generation: new_gen,
                                     at: ctx.now(),
                                 });
-                                self.handle_token(token, TokenMode::Rotate, ctx);
+                                self.handle_token(Box::new(token), TokenMode::Rotate, ctx);
                             }
                         } else {
                             ctx.send(

@@ -433,13 +433,13 @@ pub fn decode_binary_msg(bytes: &[u8]) -> Result<BinaryMsg, CodecError> {
             } else {
                 TokenMode::Return
             };
-            let frame = TokenFrame::decode(&mut buf).ok_or(CodecError::Truncated)?;
+            let frame = Box::new(TokenFrame::decode(&mut buf).ok_or(CodecError::Truncated)?);
             Ok(BinaryMsg::Token { frame, mode })
         }
         TAG_TOKEN_GRANT => {
             let for_req = get_req(&mut buf)?;
             let return_to = NodeId::new(get_u32(&mut buf)?);
-            let frame = TokenFrame::decode(&mut buf).ok_or(CodecError::Truncated)?;
+            let frame = Box::new(TokenFrame::decode(&mut buf).ok_or(CodecError::Truncated)?);
             Ok(BinaryMsg::Token {
                 frame,
                 mode: TokenMode::Grant { for_req, return_to },
@@ -449,7 +449,7 @@ pub fn decode_binary_msg(bytes: &[u8]) -> Result<BinaryMsg, CodecError> {
             let for_req = get_req(&mut buf)?;
             let return_to = NodeId::new(get_u32(&mut buf)?);
             let trail = get_trail(&mut buf)?;
-            let frame = TokenFrame::decode(&mut buf).ok_or(CodecError::Truncated)?;
+            let frame = Box::new(TokenFrame::decode(&mut buf).ok_or(CodecError::Truncated)?);
             Ok(BinaryMsg::Token {
                 frame,
                 mode: TokenMode::CleanupHop {
@@ -593,7 +593,7 @@ pub fn decode_naimi_msg(bytes: &[u8]) -> Result<NaimiMsg, CodecError> {
             })
         }
         TAG_NAIMI_TOKEN_LAZY => {
-            let frame = TokenFrame::decode(&mut buf).ok_or(CodecError::Truncated)?;
+            let frame = Box::new(TokenFrame::decode(&mut buf).ok_or(CodecError::Truncated)?);
             Ok(NaimiMsg::Token {
                 frame,
                 grant_for: None,
@@ -601,7 +601,7 @@ pub fn decode_naimi_msg(bytes: &[u8]) -> Result<NaimiMsg, CodecError> {
         }
         TAG_NAIMI_TOKEN_GRANT => {
             let req = get_req(&mut buf)?;
-            let frame = TokenFrame::decode(&mut buf).ok_or(CodecError::Truncated)?;
+            let frame = Box::new(TokenFrame::decode(&mut buf).ok_or(CodecError::Truncated)?);
             Ok(NaimiMsg::Token {
                 frame,
                 grant_for: Some(req),
@@ -622,14 +622,14 @@ mod tests {
         decode_binary_msg(&encode_binary_msg(&msg)).expect("roundtrip")
     }
 
-    fn sample_frame() -> TokenFrame {
+    fn sample_frame() -> Box<TokenFrame> {
         let mut t = TokenFrame::new(4);
         t.on_possess(NodeId::new(0), true);
         t.append(NodeId::new(0), 11);
         t.on_possess(NodeId::new(1), true);
         t.append(NodeId::new(1), 22);
         t.mark_satisfied(RequestId::new(NodeId::new(1), 1));
-        t
+        Box::new(t)
     }
 
     #[test]
@@ -848,7 +848,7 @@ mod tests {
         // An empty token frame too, so the frame-length formula is
         // checked at both extremes.
         msgs.push(BinaryMsg::Token {
-            frame: TokenFrame::new(4),
+            frame: Box::new(TokenFrame::new(4)),
             mode: TokenMode::Rotate,
         });
         for m in msgs {
@@ -877,7 +877,7 @@ mod tests {
                 grant_for: Some(RequestId::new(NodeId::new(1), 4)),
             },
             NaimiMsg::Token {
-                frame: TokenFrame::new(4),
+                frame: Box::new(TokenFrame::new(4)),
                 grant_for: None,
             },
             NaimiMsg::Regen(RegenMsg::Inquiry { generation: 9 }),

@@ -44,10 +44,12 @@ pub enum NaimiMsg {
         /// Hops taken so far (TTL safety net for fault-time pointer loops).
         hops: u32,
     },
-    /// The token, sent directly to a requester or minted at start.
+    /// The token, sent directly to a requester or minted at start. The
+    /// frame is boxed so moving a `NaimiMsg` through the event queue
+    /// copies a pointer, not the frame.
     Token {
         /// The frame itself.
-        frame: TokenFrame,
+        frame: Box<TokenFrame>,
         /// The request this transfer satisfies (`None` for the initial
         /// placement / regeneration / departure handoff).
         grant_for: Option<RequestId>,
@@ -94,7 +96,7 @@ enum HoldState {
 
 #[derive(Debug)]
 struct Holding {
-    token: TokenFrame,
+    token: Box<TokenFrame>,
     state: HoldState,
 }
 
@@ -237,7 +239,7 @@ impl NaimiNode {
         }
     }
 
-    fn handle_token(&mut self, mut token: TokenFrame, ctx: &mut Context<'_, NaimiMsg>) {
+    fn handle_token(&mut self, mut token: Box<TokenFrame>, ctx: &mut Context<'_, NaimiMsg>) {
         if token.generation < self.regen.generation {
             self.events.push(TokenEvent::StaleTokenDiscarded {
                 generation: token.generation,
@@ -257,8 +259,10 @@ impl NaimiNode {
         self.maybe_request_sync(ctx);
         // Drop queued successors whose requests were satisfied elsewhere
         // (a resend raced the original through a different path).
-        let frame_ref = &token;
-        self.waiting.retain(|w| !frame_ref.is_satisfied(&w.req));
+        if !self.waiting.is_empty() {
+            let frame_ref = &token;
+            self.waiting.retain(|w| !frame_ref.is_satisfied(&w.req));
+        }
         for node in std::mem::take(&mut self.rejoining) {
             token.readmit(node);
         }
@@ -342,7 +346,7 @@ impl NaimiNode {
     fn ship_token(
         &mut self,
         to: NodeId,
-        mut frame: TokenFrame,
+        mut frame: Box<TokenFrame>,
         grant_for: Option<RequestId>,
         ctx: &mut Context<'_, NaimiMsg>,
     ) {
@@ -597,7 +601,7 @@ impl NaimiNode {
                         generation: new_gen,
                         at: ctx.now(),
                     });
-                    self.handle_token(token, ctx);
+                    self.handle_token(Box::new(token), ctx);
                 }
             }
             RegenMsg::SyncRequest { from_seq } => {
@@ -738,7 +742,7 @@ impl Node for NaimiNode {
     fn on_init(&mut self, ctx: &mut Context<'_, NaimiMsg>) {
         if ctx.id().index() == 0 {
             let token = TokenFrame::new(self.cfg.effective_window(ctx.topology().len()));
-            self.handle_token(token, ctx);
+            self.handle_token(Box::new(token), ctx);
         } else {
             // Everyone initially believes node 0 owns the token.
             self.last = Some(NodeId::new(0));
@@ -898,7 +902,7 @@ impl Node for NaimiNode {
                                     generation: new_gen,
                                     at: ctx.now(),
                                 });
-                                self.handle_token(token, ctx);
+                                self.handle_token(Box::new(token), ctx);
                             }
                         } else {
                             ctx.send(

@@ -11,7 +11,7 @@ use crate::event::{EventBuf, TokenEvent};
 use crate::types::LogEntry;
 use atp_net::SimTime;
 
-/// Chained digest over a history prefix (FNV-1a over entry fields).
+/// Chained digest over a history prefix (multiply-fold over entry words).
 ///
 /// Two nodes whose `(applied_seq, digest)` pairs agree have byte-identical
 /// prefixes with overwhelming probability; a node with smaller `applied_seq`
@@ -25,13 +25,17 @@ impl HistoryDigest {
 
     /// Extends the digest with one entry.
     pub fn chain(self, entry: &LogEntry) -> HistoryDigest {
-        const PRIME: u64 = 0x0000_0100_0000_01B3;
+        // One multiply-fold round per entry word instead of byte-serial
+        // FNV over all 24 bytes: the dependency chain shrinks ~8x, which
+        // matters because every possession re-chains the carried window
+        // (this showed up as the single hottest instruction stream in
+        // drive-loop profiles). Digests are compared only within a run,
+        // so the value change is invisible to checked-in artifacts.
+        const K: u64 = 0x9e37_79b9_7f4a_7c15;
         let mut h = self.0;
         for word in [entry.seq, entry.origin.raw() as u64, entry.payload] {
-            for byte in word.to_le_bytes() {
-                h ^= byte as u64;
-                h = h.wrapping_mul(PRIME);
-            }
+            h = (h ^ word).wrapping_mul(K);
+            h ^= h >> 32;
         }
         HistoryDigest(h)
     }
@@ -92,6 +96,13 @@ impl OrderState {
     /// window (crash recovery) and increments the gap counter instead of
     /// violating the prefix invariant.
     pub(crate) fn apply(&mut self, entries: &[LogEntry], at: SimTime, events: &mut EventBuf) {
+        // Fast path: the whole carried window is already applied — the
+        // common case when a circulating token revisits a caught-up node.
+        // (Skipped under the seeded fault, which re-admits the boundary
+        // entry on purpose.)
+        if !self.bad_skip && entries.last().is_none_or(|e| e.seq <= self.applied_seq) {
+            return;
+        }
         // `entries` is sorted by seq: skip the already-applied prefix in
         // O(log n) instead of scanning it (the lazy-search token carries its
         // full history, so a linear skip would make possessions quadratic).

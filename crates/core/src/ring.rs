@@ -23,8 +23,9 @@ use crate::types::{RequestId, VisitStamp};
 /// Messages of the ring protocol.
 #[derive(Debug, Clone)]
 pub enum RingMsg {
-    /// The circulating token (always `MsgClass::Token`).
-    Token(TokenFrame),
+    /// The circulating token (always `MsgClass::Token`). Boxed so moving a
+    /// `RingMsg` through the event queue copies a pointer, not the frame.
+    Token(Box<TokenFrame>),
     /// Failure-handling traffic (Section 5).
     Regen(RegenMsg),
 }
@@ -62,7 +63,7 @@ enum HoldState {
 
 #[derive(Debug)]
 struct Holding {
-    token: TokenFrame,
+    token: Box<TokenFrame>,
     state: HoldState,
 }
 
@@ -183,7 +184,7 @@ impl RingNode {
         }
     }
 
-    fn handle_token(&mut self, mut token: TokenFrame, ctx: &mut Context<'_, RingMsg>) {
+    fn handle_token(&mut self, mut token: Box<TokenFrame>, ctx: &mut Context<'_, RingMsg>) {
         if token.generation < self.regen.generation {
             self.events.push(TokenEvent::StaleTokenDiscarded {
                 generation: token.generation,
@@ -384,7 +385,7 @@ impl RingNode {
                         at: ctx.now(),
                     });
                     self.witness_generation(new_gen, ctx.now());
-                    self.handle_token(token, ctx);
+                    self.handle_token(Box::new(token), ctx);
                 }
             }
             RegenMsg::SyncRequest { from_seq } => {
@@ -485,7 +486,7 @@ impl Node for RingNode {
 
     fn on_init(&mut self, ctx: &mut Context<'_, RingMsg>) {
         if ctx.id().index() == 0 {
-            let token = TokenFrame::new(self.cfg.effective_window(ctx.topology().len()));
+            let token = Box::new(TokenFrame::new(self.cfg.effective_window(ctx.topology().len())));
             self.handle_token(token, ctx);
         }
     }
@@ -640,7 +641,7 @@ impl Node for RingNode {
                                     generation: new_gen,
                                     at: ctx.now(),
                                 });
-                                self.handle_token(token, ctx);
+                                self.handle_token(Box::new(token), ctx);
                             }
                         } else {
                             ctx.send(

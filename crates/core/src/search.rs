@@ -29,10 +29,12 @@ use crate::types::{RequestId, VisitStamp};
 /// Messages of the lazy-token search protocol.
 #[derive(Debug, Clone)]
 pub enum SearchMsg {
-    /// The token, sent directly to a requester or minted at start.
+    /// The token, sent directly to a requester or minted at start. The
+    /// frame is boxed so moving a `SearchMsg` through the event queue
+    /// copies a pointer, not the frame.
     Token {
         /// The frame itself.
-        frame: TokenFrame,
+        frame: Box<TokenFrame>,
         /// The request this transfer satisfies (`None` for the initial
         /// placement / regeneration).
         grant_for: Option<RequestId>,
@@ -81,7 +83,7 @@ enum HoldState {
 
 #[derive(Debug)]
 struct Holding {
-    token: TokenFrame,
+    token: Box<TokenFrame>,
     state: HoldState,
 }
 
@@ -205,7 +207,7 @@ impl SearchNode {
         }
     }
 
-    fn handle_token(&mut self, mut token: TokenFrame, ctx: &mut Context<'_, SearchMsg>) {
+    fn handle_token(&mut self, mut token: Box<TokenFrame>, ctx: &mut Context<'_, SearchMsg>) {
         if token.generation < self.regen.generation {
             self.events.push(TokenEvent::StaleTokenDiscarded {
                 generation: token.generation,
@@ -226,8 +228,10 @@ impl SearchNode {
         // Purge traps whose requests were satisfied elsewhere; without this
         // the lingering copies left along every gimme walk accumulate
         // forever under sustained load.
-        let frame_ref = &token;
-        self.traps.retain(|t| !frame_ref.is_satisfied(&t.req));
+        if !self.traps.is_empty() {
+            let frame_ref = &token;
+            self.traps.retain(|t| !frame_ref.is_satisfied(&t.req));
+        }
         for node in std::mem::take(&mut self.rejoining) {
             token.readmit(node);
         }
@@ -292,7 +296,7 @@ impl SearchNode {
     fn ship_token(
         &mut self,
         to: NodeId,
-        mut frame: TokenFrame,
+        mut frame: Box<TokenFrame>,
         grant_for: Option<RequestId>,
         ctx: &mut Context<'_, SearchMsg>,
     ) {
@@ -547,7 +551,7 @@ impl SearchNode {
                         generation: new_gen,
                         at: ctx.now(),
                     });
-                    self.handle_token(token, ctx);
+                    self.handle_token(Box::new(token), ctx);
                 }
             }
             RegenMsg::SyncRequest { from_seq } => {
@@ -678,7 +682,7 @@ impl Node for SearchNode {
     fn on_init(&mut self, ctx: &mut Context<'_, SearchMsg>) {
         if ctx.id().index() == 0 {
             let token = TokenFrame::new(self.cfg.effective_window(ctx.topology().len()));
-            self.handle_token(token, ctx);
+            self.handle_token(Box::new(token), ctx);
         }
     }
 
@@ -835,7 +839,7 @@ impl Node for SearchNode {
                                     generation: new_gen,
                                     at: ctx.now(),
                                 });
-                                self.handle_token(token, ctx);
+                                self.handle_token(Box::new(token), ctx);
                             }
                         } else {
                             ctx.send(

@@ -214,7 +214,13 @@ impl TokenFrame {
     /// Drops carried entries older than the previous round.
     fn gc(&mut self) {
         let keep_from = self.round.saturating_sub(1);
-        self.carried.retain(|e| e.round >= keep_from);
+        // Entries are appended in round order, so the victims are exactly
+        // a prefix: locate it by bisection and drop it in one move instead
+        // of predicate-scanning the whole window every possession.
+        let cut = self.carried.partition_point(|e| e.round < keep_from);
+        if cut > 0 {
+            self.carried.drain(..cut);
+        }
     }
 
     /// Keeps only the `keep` most recent carried entries.

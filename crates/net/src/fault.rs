@@ -70,6 +70,15 @@ pub trait LinkFaultModel: fmt::Debug + Send {
         class: MsgClass,
         rng: &mut dyn RngCore,
     ) -> LinkFault;
+
+    /// Whether [`apply`](Self::apply) is a guaranteed no-op that also never
+    /// draws randomness. The engine checks this once at construction and
+    /// skips the per-send virtual call entirely when `true` — which is
+    /// stream-neutral precisely because an inert model draws nothing.
+    /// Defaults to `false` (models must opt in).
+    fn is_inert(&self) -> bool {
+        false
+    }
 }
 
 /// Perfect links: never loses, duplicates or delays. Draws no randomness,
@@ -80,6 +89,10 @@ pub struct NoLinkFaults;
 impl LinkFaultModel for NoLinkFaults {
     fn apply(&mut self, _: NodeId, _: NodeId, _: MsgClass, _: &mut dyn RngCore) -> LinkFault {
         LinkFault::NONE
+    }
+
+    fn is_inert(&self) -> bool {
+        true
     }
 }
 
@@ -277,6 +290,13 @@ impl LinkFaultModel for LinkFaults {
             duplicate,
             extra_delay,
         }
+    }
+
+    fn is_inert(&self) -> bool {
+        // Exactly the inverse of `is_active`: every draw above is guarded
+        // by the same conditions, so an inactive model never faults *and*
+        // never touches the RNG.
+        !self.is_active()
     }
 }
 

@@ -21,6 +21,15 @@ pub trait LatencyModel: fmt::Debug + Send {
     /// Returns the delay in ticks for a message `from → to` of class `class`.
     fn sample(&mut self, from: NodeId, to: NodeId, class: MsgClass, rng: &mut dyn RngCore)
         -> u64;
+
+    /// `Some(d)` when every message takes exactly `d` ticks regardless of
+    /// endpoints, class and randomness. The engine checks this once at
+    /// construction and computes delivery times without the per-send
+    /// virtual call — stream-neutral because such a model draws nothing.
+    /// Defaults to `None` (models must opt in).
+    fn constant_delay(&self) -> Option<u64> {
+        None
+    }
 }
 
 /// Every message takes exactly `delay` ticks — the paper's unit-delay model
@@ -55,6 +64,10 @@ impl Default for ConstantLatency {
 impl LatencyModel for ConstantLatency {
     fn sample(&mut self, _: NodeId, _: NodeId, _: MsgClass, _: &mut dyn RngCore) -> u64 {
         self.delay
+    }
+
+    fn constant_delay(&self) -> Option<u64> {
+        Some(self.delay)
     }
 }
 

@@ -82,6 +82,7 @@ mod sched;
 mod stats;
 mod time;
 mod trace;
+pub mod wheel;
 mod world;
 
 pub use context::Context;
@@ -99,4 +100,5 @@ pub use sched::{
 pub use stats::NetStats;
 pub use time::SimTime;
 pub use trace::{TraceEvent, TraceKind, TraceLog};
+pub use wheel::{SchedStats, TimerWheel};
 pub use world::{StepOutcome, World, WorldConfig, WorldProfile};

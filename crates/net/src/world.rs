@@ -1,12 +1,12 @@
 //! The discrete-event simulation engine.
 
-use std::collections::BinaryHeap;
 use std::time::Instant;
 
 use atp_util::rng::{SeedableRng, StdRng};
 
 use crate::context::{Context, Effect};
 use crate::event::{EventKind, QueuedEvent};
+use crate::wheel::{SchedStats, TimerWheel};
 use crate::failure::{FailureEvent, FailurePlan};
 use crate::fault::{LinkFaultModel, NoLinkFaults};
 use crate::id::{NodeId, Topology};
@@ -213,11 +213,18 @@ impl PartitionWindow {
 pub struct World<N: Node> {
     slots: Vec<Slot<N>>,
     topology: Topology,
-    queue: BinaryHeap<QueuedEvent<N::Msg, N::Ext>>,
+    queue: TimerWheel<EventKind<N::Msg, N::Ext>>,
     now: SimTime,
     seq: u64,
     latency: Box<dyn LatencyModel>,
     link_faults: Box<dyn LinkFaultModel>,
+    /// Cached [`LatencyModel::constant_delay`] — `Some` lets the send path
+    /// skip the latency virtual call (stream-neutral: such models draw
+    /// nothing).
+    const_delay: Option<u64>,
+    /// Cached [`LinkFaultModel::is_inert`] — `true` skips the fault
+    /// virtual call per send (stream-neutral for the same reason).
+    faults_inert: bool,
     partitions: Vec<PartitionWindow>,
     rng: StdRng,
     stats: NetStats,
@@ -279,9 +286,11 @@ impl<N: Node> World<N> {
                 })
                 .collect(),
             topology,
-            queue: BinaryHeap::with_capacity(queue_capacity),
+            queue: TimerWheel::with_capacity(queue_capacity),
             now: SimTime::ZERO,
             seq: 0,
+            const_delay: config.latency.constant_delay(),
+            faults_inert: config.link_faults.is_inert(),
             latency: config.latency,
             link_faults: config.link_faults,
             partitions: Vec::new(),
@@ -382,39 +391,56 @@ impl<N: Node> World<N> {
         self.queue.capacity()
     }
 
+    /// Scheduler-internal counters: wheel cascades, overflow promotions,
+    /// slot-arena bytes reused vs. allocated. Always collected (they are
+    /// plain integer adds on paths that already touch the counters' cache
+    /// lines); surfaced through `ATP_PROFILE` by drivers.
+    pub fn sched_stats(&self) -> SchedStats {
+        *self.queue.stats()
+    }
+
     fn push(&mut self, time: SimTime, kind: EventKind<N::Msg, N::Ext>) {
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(QueuedEvent { time, seq, kind });
+        self.queue.push(time.ticks(), seq, kind);
+    }
+
+    fn pop_queued(&mut self) -> Option<QueuedEvent<N::Msg, N::Ext>> {
+        let (ticks, seq, kind) = self.queue.pop()?;
+        Some(QueuedEvent {
+            time: SimTime::from_ticks(ticks),
+            seq,
+            kind,
+        })
     }
 
     /// Pops the next event to dispatch. Without a strategy this is the
-    /// plain heap pop; with one, all events tied for the earliest instant
+    /// plain wheel pop; with one, all events tied for the earliest instant
     /// are gathered (in `seq` order) and the strategy picks which fires.
     /// Unchosen events are re-queued with their original sequence numbers,
     /// so the strategy is consulted afresh for every dispatch.
     fn pop_next(&mut self) -> Option<QueuedEvent<N::Msg, N::Ext>> {
         if self.strategy.is_none() {
-            return self.queue.pop();
+            return self.pop_queued();
         }
-        let first = self.queue.pop()?;
-        if self.queue.peek().is_none_or(|next| next.time != first.time) {
+        let first = self.pop_queued()?;
+        if self.queue.peek_time() != Some(first.time.ticks()) {
             return Some(first); // no tie: nothing to choose between
         }
         let mut ready = std::mem::take(&mut self.ready_buf);
         let time = first.time;
         ready.push(first);
-        while self.queue.peek().is_some_and(|next| next.time == time) {
-            ready.push(self.queue.pop().expect("peeked event vanished"));
+        while self.queue.peek_time() == Some(time.ticks()) {
+            ready.push(self.pop_queued().expect("peeked event vanished"));
         }
-        // Heap pops at one instant come out in `seq` order already.
+        // Wheel pops at one instant come out in `seq` order already.
         let mut metas = std::mem::take(&mut self.meta_buf);
         metas.extend(ready.iter().map(ready_meta));
         let strategy = self.strategy.as_mut().expect("checked above");
         let idx = strategy.choose(time, &metas).min(ready.len() - 1);
         let chosen = ready.swap_remove(idx);
         for ev in ready.drain(..) {
-            self.queue.push(ev);
+            self.queue.push(ev.time.ticks(), ev.seq, ev.kind);
         }
         metas.clear();
         self.ready_buf = ready;
@@ -522,9 +548,11 @@ impl<N: Node> World<N> {
     }
 
     fn flush_effects(&mut self, from: NodeId) {
-        let effects = std::mem::take(&mut self.effects);
+        // Drain rather than consume: the scratch vector's capacity is
+        // retained across dispatches, so steady state allocates nothing.
+        let mut effects = std::mem::take(&mut self.effects);
         let epoch = self.slots[from.index()].epoch;
-        for eff in effects {
+        for eff in effects.drain(..) {
             match eff {
                 Effect::Send {
                     to,
@@ -541,6 +569,24 @@ impl<N: Node> World<N> {
                         self.stats.record_severed(class);
                         self.trace.push(self.now, TraceKind::Lost { from, to, class });
                         continue;
+                    }
+                    // Devirtualized fast path: inert faults + constant
+                    // latency describe the paper's canonical regime, and
+                    // both hooks guarantee no RNG draws are being skipped.
+                    if self.faults_inert {
+                        if let Some(d) = self.const_delay {
+                            let at = self.now.saturating_add(extra_delay + d);
+                            self.push(
+                                at,
+                                EventKind::Deliver {
+                                    from,
+                                    to,
+                                    msg,
+                                    class,
+                                },
+                            );
+                            continue;
+                        }
                     }
                     let fault = self.link_faults.apply(from, to, class, &mut self.rng);
                     if fault.lose {
@@ -610,6 +656,7 @@ impl<N: Node> World<N> {
                 }
             }
         }
+        self.effects = effects;
     }
 
     /// Dispatches the single earliest pending event.
@@ -755,8 +802,8 @@ impl<N: Node> World<N> {
     /// Events exactly at `deadline` are processed.
     pub fn run_until(&mut self, deadline: SimTime) {
         self.ensure_initialized();
-        while let Some(ev) = self.queue.peek() {
-            if ev.time > deadline {
+        while let Some(ticks) = self.queue.peek_time() {
+            if ticks > deadline.ticks() {
                 break;
             }
             self.step();

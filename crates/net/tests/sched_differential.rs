@@ -1,0 +1,174 @@
+//! Differential check: [`TimerWheel`] against a reference `BinaryHeap`
+//! min-queue on `(time, seq)`.
+//!
+//! The wheel replaced the engine's binary heap; its one contract is that
+//! pops come out in **exactly** the heap's `(time, seq)` order, so every
+//! DST tape and golden trace replays byte-identically. This suite drives
+//! both structures through seeded random workloads — including the
+//! strategy-shaped "pop a whole tie group, re-queue the unchosen entries
+//! with their original seqs" pattern, which is the only way old sequence
+//! numbers ever re-enter the queue — and asserts the pop streams match.
+//!
+//! A [`DeliveryStrategy`](atp_net::DeliveryStrategy) is, from the queue's
+//! point of view, nothing but an index choice within one tie group; the
+//! generator draws that index uniformly, which subsumes `Fifo` (first),
+//! `Lifo` (last), `SeededShuffle` and `ClassStarve` (anything between).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use atp_net::wheel::TimerWheel;
+use atp_util::check::{Check, Gen};
+use atp_util::rng::Rng;
+
+/// Reference model: the exact structure the engine used before the wheel.
+#[derive(Default)]
+struct RefHeap {
+    heap: BinaryHeap<Reverse<(u64, u64, u32)>>,
+}
+
+impl RefHeap {
+    fn push(&mut self, time: u64, seq: u64, item: u32) {
+        self.heap.push(Reverse((time, seq, item)));
+    }
+
+    fn pop(&mut self) -> Option<(u64, u64, u32)> {
+        self.heap.pop().map(|Reverse(e)| e)
+    }
+
+    fn peek_time(&self) -> Option<u64> {
+        self.heap.peek().map(|Reverse((t, _, _))| *t)
+    }
+}
+
+/// One generated workload: slot count for the wheel plus a script of ops.
+#[derive(Debug)]
+struct Workload {
+    slots: usize,
+    ops: Vec<Op>,
+}
+
+#[derive(Debug)]
+enum Op {
+    /// Push at `now + offset` (keeps the engine invariant: never behind
+    /// the last pop).
+    Push { offset: u64 },
+    /// Pop once and compare.
+    Pop,
+    /// Strategy tie dispatch: drain the head instant's whole tie group,
+    /// deliver the entry at `choose % group_len`, re-queue the rest with
+    /// their original seqs.
+    TieRequeue { choose: u64 },
+}
+
+fn gen_workload(g: &mut Gen) -> Workload {
+    // Small slot counts force wraparound and overflow cascades; the
+    // default size exercises the common path.
+    let slots = *g.pick(&[2usize, 8, 64, 1024]);
+    let ops = g.vec(1..200, |g| match g.gen_range(0..10u32) {
+        // Push-heavy mix, offsets spanning in-window and overflow, with
+        // bursts at offset 0 to build tie groups at one instant.
+        0..=4 => Op::Push {
+            offset: match g.gen_range(0..4u32) {
+                0 => 0,
+                1 => g.gen_range(0..4u64),
+                2 => g.gen_range(0..3 * slots as u64 + 8),
+                _ => g.gen_range(0..16u64),
+            },
+        },
+        5..=7 => Op::Pop,
+        _ => Op::TieRequeue {
+            choose: g.gen_range(0..8u64),
+        },
+    });
+    Workload { slots, ops }
+}
+
+fn run_differential(w: &Workload) {
+    let mut wheel: TimerWheel<u32> = TimerWheel::with_slots_and_capacity(w.slots, 0);
+    let mut heap = RefHeap::default();
+    let mut seq = 0u64;
+    let mut item = 0u32;
+    let mut now = 0u64;
+    for op in &w.ops {
+        match op {
+            Op::Push { offset } => {
+                wheel.push(now + offset, seq, item);
+                heap.push(now + offset, seq, item);
+                seq += 1;
+                item += 1;
+            }
+            Op::Pop => {
+                let a = wheel.pop();
+                let b = heap.pop();
+                assert_eq!(a, b, "pop diverged after {seq} pushes");
+                if let Some((t, _, _)) = a {
+                    now = t;
+                }
+            }
+            Op::TieRequeue { choose } => {
+                // Mimic World::pop_next with a strategy installed: gather
+                // the full tie group at the head instant from both
+                // structures, compare, deliver one, re-queue the rest.
+                let Some(head) = wheel.peek_time() else {
+                    assert_eq!(heap.peek_time(), None);
+                    continue;
+                };
+                assert_eq!(Some(head), heap.peek_time());
+                let mut group = Vec::new();
+                while wheel.peek_time() == Some(head) {
+                    let a = wheel.pop().expect("peeked entry vanished");
+                    let b = heap.pop().expect("reference out of sync");
+                    assert_eq!(a, b, "tie-group pop diverged");
+                    group.push(a);
+                }
+                now = head;
+                let idx = (*choose as usize) % group.len();
+                group.remove(idx); // delivered
+                for (t, s, v) in group {
+                    // Unchosen entries return with their original seqs —
+                    // the one path that pushes old seqs into the wheel.
+                    wheel.push(t, s, v);
+                    heap.push(t, s, v);
+                }
+            }
+        }
+    }
+    // Full drain must agree too.
+    loop {
+        let a = wheel.pop();
+        let b = heap.pop();
+        assert_eq!(a, b, "drain diverged");
+        if a.is_none() {
+            break;
+        }
+    }
+    assert!(wheel.is_empty());
+}
+
+#[test]
+fn wheel_matches_reference_heap_on_random_workloads() {
+    Check::new("sched_differential::wheel_vs_heap")
+        .cases(256)
+        .run(gen_workload, run_differential);
+}
+
+/// Deterministic spot-checks of the three fixed strategy shapes (first,
+/// last, middle) over one dense tie group, on the smallest wheel.
+#[test]
+fn tie_requeue_matches_for_fixed_strategy_shapes() {
+    for choose in [0u64, 1, 2, 3, 7] {
+        let ops = vec![
+            Op::Push { offset: 0 },
+            Op::Push { offset: 0 },
+            Op::Push { offset: 0 },
+            Op::Push { offset: 1 },
+            Op::TieRequeue { choose },
+            Op::Push { offset: 0 },
+            Op::TieRequeue { choose },
+            Op::Pop,
+            Op::Pop,
+        ];
+        run_differential(&Workload { slots: 2, ops });
+    }
+}

@@ -1,7 +1,11 @@
 //! Regenerates the paper's Figure 9 data series.
 //!
-//! Usage: `cargo run --release --bin fig9 [-- --quick]
+//! Usage: `cargo run --release --bin fig9 [-- --quick] [--n N]
 //!         [--trace-out FILE] [--chrome-out FILE] [--metrics-out FILE]`
+//!
+//! `--n N` replaces the sweep with a single point at ring size `N` over 4
+//! token rounds — the bounded large-N smoke CI runs at N=10k to exercise
+//! the timer wheel's overflow/cascade machinery at scale.
 //!
 //! The sweep fans out over `ATP_THREADS` workers (default: all cores); the
 //! table on stdout is byte-identical at any thread count, and so are the
@@ -15,7 +19,22 @@ use atp_sim::prelude::*;
 fn main() {
     let obs = ObsArgs::parse_env();
     let quick = obs.rest.iter().any(|a| a == "--quick");
-    let config = if quick { fig9::Config::quick() } else { fig9::Config::paper() };
+    let single_n = obs
+        .rest
+        .iter()
+        .position(|a| a == "--n")
+        .and_then(|i| obs.rest.get(i + 1))
+        .map(|v| v.parse::<usize>().unwrap_or_else(|_| {
+            eprintln!("fig9: --n expects a ring size, got {v:?}");
+            std::process::exit(2);
+        }));
+    let config = if let Some(n) = single_n {
+        fig9::Config { ns: vec![n], mean_gap: 10.0, rounds: 4, seed: 9 }
+    } else if quick {
+        fig9::Config::quick()
+    } else {
+        fig9::Config::paper()
+    };
     let start = std::time::Instant::now();
     let (table, summaries) = fig9::run_with_summaries(&config);
     eprintln!(

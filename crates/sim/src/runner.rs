@@ -7,8 +7,8 @@ use atp_core::{
     BinaryNode, EventSource, NaimiNode, ProtocolConfig, RingNode, SearchNode, TokenEvent, Want,
 };
 use atp_net::{
-    FailurePlan, LinkFaults, MsgClass, Node, NodeId, PerLinkLatency, SimTime, StepOutcome,
-    UniformLatency, World, WorldConfig,
+    FailurePlan, LinkFaults, MsgClass, Node, NodeId, PerLinkLatency, SchedStats, SimTime,
+    StepOutcome, UniformLatency, World, WorldConfig,
 };
 use atp_util::json::JsonWriter;
 use atp_util::metrics::Registry;
@@ -482,6 +482,11 @@ pub struct RunProfile {
     pub drain_ns: u64,
     /// Events dispatched.
     pub steps: u64,
+    /// Scheduler internals: timer-wheel cascades, overflow promotions and
+    /// slot-arena byte reuse. Unlike the `*_ns` fields these counters are
+    /// deterministic, but they stay profile-only: they describe the
+    /// engine, not the protocol under test.
+    pub sched: SchedStats,
 }
 
 impl RunProfile {
@@ -491,16 +496,22 @@ impl RunProfile {
         self.deliver_ns += other.deliver_ns;
         self.drain_ns += other.drain_ns;
         self.steps += other.steps;
+        self.sched.merge(&other.sched);
     }
 
     /// One-line human-readable rendering for stderr.
     pub fn line(&self) -> String {
         format!(
-            "profile: {} steps, pop {:.3}s, deliver {:.3}s, drain {:.3}s",
+            "profile: {} steps, pop {:.3}s, deliver {:.3}s, drain {:.3}s, \
+             sched {} cascades / {} promotions, arena {}B reused / {}B alloc",
             self.steps,
             self.pop_ns as f64 / 1e9,
             self.deliver_ns as f64 / 1e9,
             self.drain_ns as f64 / 1e9,
+            self.sched.cascades,
+            self.sched.overflow_promotions,
+            self.sched.arena_bytes_reused,
+            self.sched.arena_bytes_allocated,
         )
     }
 }
@@ -677,6 +688,7 @@ fn drive<N: ProtocolNode>(
         deliver_ns: p.deliver_ns,
         drain_ns,
         steps: p.steps,
+        sched: world.sched_stats(),
     });
     let stats = world.stats();
     let summary = RunSummary {

@@ -15,8 +15,6 @@
 //! [`LogHistogram`]s, so sweep shards combine byte-identically at any
 //! `ATP_THREADS` setting.
 
-use std::collections::BTreeMap;
-
 use atp_core::{RequestId, TokenEvent};
 use atp_net::SimTime;
 use atp_util::json::JsonWriter;
@@ -110,13 +108,32 @@ fn opt_time(w: &mut JsonWriter, t: Option<SimTime>) {
 /// undercount forwards.
 #[derive(Debug, Clone, Default)]
 pub struct SpanCollector {
-    spans: BTreeMap<RequestId, RequestSpan>,
+    /// Spans indexed `[origin][seq]`. Every protocol numbers each node's
+    /// requests densely from zero, so a two-level vector gives O(1) access
+    /// per event where a `BTreeMap<RequestId, _>` paid a pointer-chasing
+    /// probe on the dispatch hot path (it dominated drive-loop profiles).
+    by_origin: Vec<Vec<Option<RequestSpan>>>,
 }
 
 impl SpanCollector {
     /// An empty collector.
     pub fn new() -> Self {
         SpanCollector::default()
+    }
+
+    /// The span slot for `req`, created (with `requested_at = at`) on
+    /// first touch.
+    fn slot(&mut self, req: RequestId, at: SimTime) -> &mut RequestSpan {
+        let origin = req.origin.index();
+        if origin >= self.by_origin.len() {
+            self.by_origin.resize_with(origin + 1, Vec::new);
+        }
+        let row = &mut self.by_origin[origin];
+        let seq = req.seq as usize;
+        if seq >= row.len() {
+            row.resize(seq + 1, None);
+        }
+        row[seq].get_or_insert_with(|| RequestSpan::new(req, at))
     }
 
     /// Feeds one protocol event into the collector.
@@ -127,28 +144,25 @@ impl SpanCollector {
     pub fn on_event(&mut self, ev: &TokenEvent) {
         match *ev {
             TokenEvent::Requested { req, at } => {
-                self.spans.entry(req).or_insert_with(|| RequestSpan::new(req, at)).requested_at =
-                    at;
+                self.slot(req, at).requested_at = at;
             }
             TokenEvent::SearchForwarded { req, bytes, at } => {
-                let s = self.spans.entry(req).or_insert_with(|| RequestSpan::new(req, at));
+                let s = self.slot(req, at);
                 s.forwards += 1;
                 s.search_bytes += bytes;
             }
             TokenEvent::TokenDispatched { req, bytes, at } => {
-                let s = self.spans.entry(req).or_insert_with(|| RequestSpan::new(req, at));
+                let s = self.slot(req, at);
                 // First dispatch wins: a retransmitted frame re-dispatches
                 // the same request but the span records the original send.
                 s.dispatched_at.get_or_insert(at);
                 s.token_bytes += bytes;
             }
             TokenEvent::Granted { req, at } => {
-                let s = self.spans.entry(req).or_insert_with(|| RequestSpan::new(req, at));
-                s.granted_at.get_or_insert(at);
+                self.slot(req, at).granted_at.get_or_insert(at);
             }
             TokenEvent::Released { req, at } => {
-                let s = self.spans.entry(req).or_insert_with(|| RequestSpan::new(req, at));
-                s.released_at.get_or_insert(at);
+                self.slot(req, at).released_at.get_or_insert(at);
             }
             TokenEvent::Delivered { .. }
             | TokenEvent::Regenerated { .. }
@@ -156,10 +170,15 @@ impl SpanCollector {
         }
     }
 
+    /// Every span created so far, in `(origin, seq)` storage order.
+    fn iter(&self) -> impl Iterator<Item = &RequestSpan> {
+        self.by_origin.iter().flatten().filter_map(|s| s.as_ref())
+    }
+
     /// All spans, ordered by `(requested_at, req)` — deterministic and
     /// chronological for export.
     pub fn spans(&self) -> Vec<RequestSpan> {
-        let mut out: Vec<RequestSpan> = self.spans.values().copied().collect();
+        let mut out: Vec<RequestSpan> = self.iter().copied().collect();
         out.sort_by_key(|s| (s.requested_at, s.req.origin.index(), s.req.seq));
         out
     }
@@ -167,7 +186,7 @@ impl SpanCollector {
     /// Folds every span into the aggregate report.
     pub fn report(&self) -> SpanReport {
         let mut r = SpanReport::default();
-        for s in self.spans.values() {
+        for s in self.iter() {
             if s.is_closed() {
                 r.closed += 1;
             } else {

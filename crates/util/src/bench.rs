@@ -94,6 +94,10 @@ pub struct Runner {
     /// Target wall time for one timed sample, used for calibration.
     target_sample_ns: u64,
     samples: u32,
+    /// Sample floor honoured even in smoke mode (default 1). Suites whose
+    /// results gate regressions set this so a `--smoke` CI pass still
+    /// records a median over warmed samples instead of one cold run.
+    min_samples: u32,
     results: Vec<Summary>,
 }
 
@@ -114,8 +118,18 @@ impl Runner {
             smoke,
             target_sample_ns: 5_000_000, // 5ms per timed sample
             samples: 25,
+            min_samples: 1,
             results: Vec::new(),
         }
+    }
+
+    /// Raises the smoke-mode sample floor: even under `--smoke`, every
+    /// benchmark runs one warmup iteration followed by `n` timed
+    /// single-iteration samples, so the recorded median is warm and has a
+    /// spread. Full (non-smoke) runs are unaffected.
+    pub fn min_samples(mut self, n: u32) -> Self {
+        self.min_samples = n.max(1);
+        self
     }
 
     /// True when running in smoke mode (single iteration, no stats).
@@ -128,19 +142,33 @@ impl Runner {
     /// optimized away.
     pub fn bench<T>(&mut self, name: &str, mut f: impl FnMut() -> T) {
         if self.smoke {
-            let start = Instant::now();
+            if self.min_samples <= 1 {
+                let start = Instant::now();
+                black_box(f());
+                let ns = start.elapsed().as_nanos() as f64;
+                self.results.push(Summary {
+                    name: name.to_string(),
+                    median_ns: ns,
+                    mad_ns: 0.0,
+                    mean_ns: ns,
+                    min_ns: ns,
+                    max_ns: ns,
+                    samples: 1,
+                    batch: 1,
+                });
+                return;
+            }
+            // Sample floor: one warmup, then `min_samples` timed
+            // single-iteration samples — a warm median at smoke cost.
             black_box(f());
-            let ns = start.elapsed().as_nanos() as f64;
-            self.results.push(Summary {
-                name: name.to_string(),
-                median_ns: ns,
-                mad_ns: 0.0,
-                mean_ns: ns,
-                min_ns: ns,
-                max_ns: ns,
-                samples: 1,
-                batch: 1,
-            });
+            let mut per_iter: Vec<f64> = Vec::with_capacity(self.min_samples as usize);
+            for _ in 0..self.min_samples {
+                let start = Instant::now();
+                black_box(f());
+                per_iter.push(start.elapsed().as_nanos() as f64);
+            }
+            self.results
+                .push(summarize(name, &mut per_iter, self.min_samples, 1));
             return;
         }
 
@@ -166,23 +194,8 @@ impl Runner {
             per_iter.push(start.elapsed().as_nanos() as f64 / batch as f64);
         }
 
-        per_iter.sort_by(|a, b| a.total_cmp(b));
-        let median = median_sorted(&per_iter);
-        let mut devs: Vec<f64> = per_iter.iter().map(|x| (x - median).abs()).collect();
-        devs.sort_by(|a, b| a.total_cmp(b));
-        let mad = median_sorted(&devs);
-        let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
-
-        self.results.push(Summary {
-            name: name.to_string(),
-            median_ns: median,
-            mad_ns: mad,
-            mean_ns: mean,
-            min_ns: per_iter[0],
-            max_ns: per_iter[per_iter.len() - 1],
-            samples: self.samples,
-            batch,
-        });
+        self.results
+            .push(summarize(name, &mut per_iter, self.samples, batch));
     }
 
     /// The results collected so far.
@@ -222,6 +235,26 @@ impl Runner {
     }
 }
 
+/// Robust statistics over one benchmark's per-iteration timings.
+fn summarize(name: &str, per_iter: &mut [f64], samples: u32, batch: u64) -> Summary {
+    per_iter.sort_by(|a, b| a.total_cmp(b));
+    let median = median_sorted(per_iter);
+    let mut devs: Vec<f64> = per_iter.iter().map(|x| (x - median).abs()).collect();
+    devs.sort_by(|a, b| a.total_cmp(b));
+    let mad = median_sorted(&devs);
+    let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+    Summary {
+        name: name.to_string(),
+        median_ns: median,
+        mad_ns: mad,
+        mean_ns: mean,
+        min_ns: per_iter[0],
+        max_ns: per_iter[per_iter.len() - 1],
+        samples,
+        batch,
+    }
+}
+
 fn median_sorted(xs: &[f64]) -> f64 {
     let n = xs.len();
     if n == 0 {
@@ -245,6 +278,18 @@ mod tests {
         r.bench("counted", || calls += 1);
         assert_eq!(calls, 1);
         assert_eq!(r.results()[0].samples, 1);
+    }
+
+    #[test]
+    fn smoke_min_samples_floor_warms_and_samples() {
+        let mut calls = 0u32;
+        let mut r = Runner::new("t", true).min_samples(5);
+        r.bench("counted", || calls += 1);
+        // 1 warmup + 5 timed samples.
+        assert_eq!(calls, 6);
+        let s = &r.results()[0];
+        assert_eq!(s.samples, 5);
+        assert!(s.min_ns <= s.median_ns && s.median_ns <= s.max_ns);
     }
 
     #[test]

@@ -100,18 +100,18 @@ fn regen_msg_for_tag(tag: u8, g: &mut Gen) -> RegenMsg {
 fn binary_msg_for_tag(tag: u8, g: &mut Gen) -> BinaryMsg {
     match tag {
         0x01 => BinaryMsg::Token {
-            frame: arb_frame(g),
+            frame: Box::new(arb_frame(g)),
             mode: TokenMode::Rotate,
         },
         0x02 => BinaryMsg::Token {
-            frame: arb_frame(g),
+            frame: Box::new(arb_frame(g)),
             mode: TokenMode::Grant {
                 for_req: arb_req(g),
                 return_to: arb_node(g),
             },
         },
         0x03 => BinaryMsg::Token {
-            frame: arb_frame(g),
+            frame: Box::new(arb_frame(g)),
             mode: TokenMode::CleanupHop {
                 for_req: arb_req(g),
                 return_to: arb_node(g),
@@ -119,7 +119,7 @@ fn binary_msg_for_tag(tag: u8, g: &mut Gen) -> BinaryMsg {
             },
         },
         0x04 => BinaryMsg::Token {
-            frame: arb_frame(g),
+            frame: Box::new(arb_frame(g)),
             mode: TokenMode::Return,
         },
         0x10 => BinaryMsg::Gimme(Gimme {
@@ -162,11 +162,11 @@ fn naimi_msg_for_tag(tag: u8, g: &mut Gen) -> NaimiMsg {
             hops: g.gen_range(0u32..64),
         },
         0x41 => NaimiMsg::Token {
-            frame: arb_frame(g),
+            frame: Box::new(arb_frame(g)),
             grant_for: None,
         },
         0x42 => NaimiMsg::Token {
-            frame: arb_frame(g),
+            frame: Box::new(arb_frame(g)),
             grant_for: Some(arb_req(g)),
         },
         regen => NaimiMsg::Regen(regen_msg_for_tag(regen, g)),
