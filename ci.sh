@@ -125,6 +125,19 @@ cargo run -q --release -p atp-sim --bin dst -- \
   --budget 100 --partition --protocol naimi
 echo "naimi sweep clean and byte-identical across thread counts"
 
+echo "== tcp loopback smoke =="
+# Real sockets, deterministic outcome: the pinned reference script runs
+# over loopback TCP (N=5, 5 requests, a few hundred virtual ticks) for
+# every protocol family and the grant order + history digests must be
+# byte-identical to the same script inside the deterministic World. The
+# binary exits non-zero on any divergence, frame loss, decode error, or
+# leaked thread; the whole matrix stays under a few seconds.
+for proto in ring search binary naimi; do
+  cargo run -q --release -p atp-sim --bin cluster -- \
+    --conform --protocol "$proto" --transport tcp
+done
+echo "all four protocols conform to World over loopback TCP"
+
 echo "== dependency closure =="
 # Every line of `cargo tree` must be a workspace crate: atp-* or the
 # umbrella package. Anything else means a registry dependency crept in.

@@ -1,12 +1,13 @@
-//! Wire encoding for [`BinaryMsg`] and [`NaimiMsg`], so the protocols can
+//! Wire encoding for every protocol message family, so the protocols can
 //! cross a real network.
 //!
 //! The simulated transports move Rust values; a deployment moves bytes. This
-//! module defines a compact little-endian framing for every System
-//! BinarySearch and Naimi–Tréhel message. Round-tripping is exact:
-//! `decode_binary_msg(encode_binary_msg(m)) == m` for every message, and
-//! likewise for the Naimi pair. The regeneration sub-protocol shares one
-//! encoding (tags `0x20..=0x28`) across both framings.
+//! module defines a compact little-endian framing for every System Ring,
+//! System Search, System BinarySearch and Naimi–Tréhel message.
+//! Round-tripping is exact: `decode_binary_msg(encode_binary_msg(m)) == m`
+//! for every message, and likewise for the other three pairs. The
+//! regeneration sub-protocol shares one encoding (tags `0x20..=0x28`)
+//! across all four framings.
 
 use atp_util::buf::{Buf, BufMut};
 
@@ -15,6 +16,8 @@ use atp_net::NodeId;
 use crate::binary::{BinaryMsg, Gimme, TokenMode};
 use crate::naimi::NaimiMsg;
 use crate::regen::{RegenMsg, RegenReply};
+use crate::ring::RingMsg;
+use crate::search::SearchMsg;
 use crate::token::TokenFrame;
 use crate::types::{RequestId, VisitStamp};
 
@@ -56,6 +59,10 @@ const TAG_REGEN_SYNC_REQ: u8 = 0x25;
 const TAG_REGEN_SYNC_REPLY: u8 = 0x26;
 const TAG_REGEN_TOKEN_ACK: u8 = 0x27;
 const TAG_REGEN_GEN_ANNOUNCE: u8 = 0x28;
+const TAG_RING_TOKEN: u8 = 0x30;
+const TAG_SEARCH_TOKEN_LAZY: u8 = 0x38;
+const TAG_SEARCH_TOKEN_GRANT: u8 = 0x39;
+const TAG_SEARCH_GIMME: u8 = 0x3a;
 const TAG_NAIMI_REQUEST: u8 = 0x40;
 const TAG_NAIMI_TOKEN_LAZY: u8 = 0x41;
 const TAG_NAIMI_TOKEN_GRANT: u8 = 0x42;
@@ -86,6 +93,40 @@ pub fn known_binary_tags() -> &'static [u8] {
         TAG_REGEN_SYNC_REPLY,
         TAG_REGEN_TOKEN_ACK,
         TAG_REGEN_GEN_ANNOUNCE,
+    ]
+}
+
+/// Every tag byte [`decode_ring_msg`] accepts, in ascending order.
+pub fn known_ring_tags() -> &'static [u8] {
+    &[
+        TAG_REGEN_INQUIRY,
+        TAG_REGEN_REPLY,
+        TAG_REGEN_PLEASE,
+        TAG_REGEN_REJOIN,
+        TAG_REGEN_LEAVE,
+        TAG_REGEN_SYNC_REQ,
+        TAG_REGEN_SYNC_REPLY,
+        TAG_REGEN_TOKEN_ACK,
+        TAG_REGEN_GEN_ANNOUNCE,
+        TAG_RING_TOKEN,
+    ]
+}
+
+/// Every tag byte [`decode_search_msg`] accepts, in ascending order.
+pub fn known_search_tags() -> &'static [u8] {
+    &[
+        TAG_REGEN_INQUIRY,
+        TAG_REGEN_REPLY,
+        TAG_REGEN_PLEASE,
+        TAG_REGEN_REJOIN,
+        TAG_REGEN_LEAVE,
+        TAG_REGEN_SYNC_REQ,
+        TAG_REGEN_SYNC_REPLY,
+        TAG_REGEN_TOKEN_ACK,
+        TAG_REGEN_GEN_ANNOUNCE,
+        TAG_SEARCH_TOKEN_LAZY,
+        TAG_SEARCH_TOKEN_GRANT,
+        TAG_SEARCH_GIMME,
     ]
 }
 
@@ -503,6 +544,125 @@ pub fn decode_binary_msg(bytes: &[u8]) -> Result<BinaryMsg, CodecError> {
         }
         other => match get_regen_msg(other, &mut buf)? {
             Some(r) => Ok(BinaryMsg::Regen(r)),
+            None => Err(CodecError::BadTag(other)),
+        },
+    }
+}
+
+/// Encodes a [`RingMsg`] into a standalone byte frame.
+pub fn encode_ring_msg(msg: &RingMsg) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(64);
+    match msg {
+        RingMsg::Token(frame) => {
+            buf.put_u8(TAG_RING_TOKEN);
+            frame.encode(&mut buf);
+        }
+        RingMsg::Regen(r) => put_regen_msg(&mut buf, r),
+    }
+    buf
+}
+
+/// Exact byte length [`encode_ring_msg`] would produce for `msg`,
+/// computed without allocating.
+pub fn ring_encoded_len(msg: &RingMsg) -> usize {
+    match msg {
+        RingMsg::Token(frame) => 1 + frame.encoded_len(),
+        RingMsg::Regen(r) => regen_encoded_len(r),
+    }
+}
+
+/// Decodes a frame previously produced by [`encode_ring_msg`].
+///
+/// # Errors
+///
+/// Returns [`CodecError::Truncated`] if the buffer is too short and
+/// [`CodecError::BadTag`] on an unrecognized tag byte.
+pub fn decode_ring_msg(bytes: &[u8]) -> Result<RingMsg, CodecError> {
+    let mut buf: &[u8] = bytes;
+    let tag = get_u8(&mut buf)?;
+    match tag {
+        TAG_RING_TOKEN => {
+            let frame = Box::new(TokenFrame::decode(&mut buf).ok_or(CodecError::Truncated)?);
+            Ok(RingMsg::Token(frame))
+        }
+        other => match get_regen_msg(other, &mut buf)? {
+            Some(r) => Ok(RingMsg::Regen(r)),
+            None => Err(CodecError::BadTag(other)),
+        },
+    }
+}
+
+/// Encodes a [`SearchMsg`] into a standalone byte frame.
+pub fn encode_search_msg(msg: &SearchMsg) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(64);
+    match msg {
+        SearchMsg::Token { frame, grant_for } => {
+            match grant_for {
+                Some(req) => {
+                    buf.put_u8(TAG_SEARCH_TOKEN_GRANT);
+                    put_req(&mut buf, *req);
+                }
+                None => buf.put_u8(TAG_SEARCH_TOKEN_LAZY),
+            }
+            frame.encode(&mut buf);
+        }
+        SearchMsg::Gimme { origin, req, hops } => {
+            buf.put_u8(TAG_SEARCH_GIMME);
+            buf.put_u32_le(origin.raw());
+            put_req(&mut buf, *req);
+            buf.put_u32_le(*hops);
+        }
+        SearchMsg::Regen(r) => put_regen_msg(&mut buf, r),
+    }
+    buf
+}
+
+/// Exact byte length [`encode_search_msg`] would produce for `msg`,
+/// computed without allocating.
+pub fn search_encoded_len(msg: &SearchMsg) -> usize {
+    const REQ: usize = 12; // u32 origin + u64 seq
+    match msg {
+        SearchMsg::Token { frame, grant_for } => {
+            1 + if grant_for.is_some() { REQ } else { 0 } + frame.encoded_len()
+        }
+        SearchMsg::Gimme { .. } => 1 + 4 + REQ + 4,
+        SearchMsg::Regen(r) => regen_encoded_len(r),
+    }
+}
+
+/// Decodes a frame previously produced by [`encode_search_msg`].
+///
+/// # Errors
+///
+/// Returns [`CodecError::Truncated`] if the buffer is too short and
+/// [`CodecError::BadTag`] on an unrecognized tag byte.
+pub fn decode_search_msg(bytes: &[u8]) -> Result<SearchMsg, CodecError> {
+    let mut buf: &[u8] = bytes;
+    let tag = get_u8(&mut buf)?;
+    match tag {
+        TAG_SEARCH_TOKEN_LAZY => {
+            let frame = Box::new(TokenFrame::decode(&mut buf).ok_or(CodecError::Truncated)?);
+            Ok(SearchMsg::Token {
+                frame,
+                grant_for: None,
+            })
+        }
+        TAG_SEARCH_TOKEN_GRANT => {
+            let req = get_req(&mut buf)?;
+            let frame = Box::new(TokenFrame::decode(&mut buf).ok_or(CodecError::Truncated)?);
+            Ok(SearchMsg::Token {
+                frame,
+                grant_for: Some(req),
+            })
+        }
+        TAG_SEARCH_GIMME => {
+            let origin = NodeId::new(get_u32(&mut buf)?);
+            let req = get_req(&mut buf)?;
+            let hops = get_u32(&mut buf)?;
+            Ok(SearchMsg::Gimme { origin, req, hops })
+        }
+        other => match get_regen_msg(other, &mut buf)? {
+            Some(r) => Ok(SearchMsg::Regen(r)),
             None => Err(CodecError::BadTag(other)),
         },
     }
@@ -976,7 +1136,117 @@ mod tests {
                 listed,
                 "naimi decoder disagrees with known_naimi_tags for {tag:#x}"
             );
+            let ring = decode_ring_msg(&[tag]);
+            let listed = known_ring_tags().contains(&tag);
+            assert_eq!(
+                !matches!(ring, Err(CodecError::BadTag(_))),
+                listed,
+                "ring decoder disagrees with known_ring_tags for {tag:#x}"
+            );
+            let sea = decode_search_msg(&[tag]);
+            let listed = known_search_tags().contains(&tag);
+            assert_eq!(
+                !matches!(sea, Err(CodecError::BadTag(_))),
+                listed,
+                "search decoder disagrees with known_search_tags for {tag:#x}"
+            );
         }
+    }
+
+    fn ring_samples() -> Vec<RingMsg> {
+        vec![
+            RingMsg::Token(sample_frame()),
+            RingMsg::Token(Box::new(TokenFrame::new(4))),
+            RingMsg::Regen(RegenMsg::Inquiry { generation: 6 }),
+            RingMsg::Regen(RegenMsg::Reply(RegenReply {
+                generation: 6,
+                stamp: VisitStamp(12),
+                holder: false,
+                passed_to: None,
+                applied_seq: 4,
+            })),
+            RingMsg::Regen(RegenMsg::Please {
+                new_gen: 7,
+                known_seq: 2,
+                dead: vec![NodeId::new(2)],
+            }),
+            RingMsg::Regen(RegenMsg::TokenAck {
+                generation: 7,
+                transfer_seq: 5,
+            }),
+            RingMsg::Regen(RegenMsg::GenAnnounce { generation: 7 }),
+        ]
+    }
+
+    fn search_samples() -> Vec<SearchMsg> {
+        vec![
+            SearchMsg::Token {
+                frame: sample_frame(),
+                grant_for: None,
+            },
+            SearchMsg::Token {
+                frame: sample_frame(),
+                grant_for: Some(RequestId::new(NodeId::new(3), 2)),
+            },
+            SearchMsg::Token {
+                frame: Box::new(TokenFrame::new(4)),
+                grant_for: None,
+            },
+            SearchMsg::Gimme {
+                origin: NodeId::new(6),
+                req: RequestId::new(NodeId::new(6), 9),
+                hops: 4,
+            },
+            SearchMsg::Regen(RegenMsg::SyncRequest { from_seq: 1 }),
+            SearchMsg::Regen(RegenMsg::SyncReply {
+                entries: vec![crate::types::LogEntry {
+                    seq: 1,
+                    origin: NodeId::new(0),
+                    payload: 5,
+                    round: 1,
+                }],
+            }),
+            SearchMsg::Regen(RegenMsg::Rejoin),
+            SearchMsg::Regen(RegenMsg::Leave),
+        ]
+    }
+
+    #[test]
+    fn ring_messages_roundtrip_and_len_matches() {
+        for m in ring_samples() {
+            let bytes = encode_ring_msg(&m);
+            assert_eq!(ring_encoded_len(&m), bytes.len(), "len for {m:?}");
+            let back = decode_ring_msg(&bytes).expect("roundtrip");
+            assert_eq!(format!("{back:?}"), format!("{m:?}"));
+        }
+    }
+
+    #[test]
+    fn search_messages_roundtrip_and_len_matches() {
+        for m in search_samples() {
+            let bytes = encode_search_msg(&m);
+            assert_eq!(search_encoded_len(&m), bytes.len(), "len for {m:?}");
+            let back = decode_search_msg(&bytes).expect("roundtrip");
+            assert_eq!(format!("{back:?}"), format!("{m:?}"));
+        }
+    }
+
+    #[test]
+    fn ring_and_search_truncated_inputs_are_rejected() {
+        let ring_bytes = encode_ring_msg(&RingMsg::Token(sample_frame()));
+        let search_bytes = encode_search_msg(&SearchMsg::Token {
+            frame: sample_frame(),
+            grant_for: Some(RequestId::new(NodeId::new(1), 4)),
+        });
+        for cut in [0, 1, 5] {
+            assert!(decode_ring_msg(&ring_bytes[..cut]).is_err(), "ring cut {cut}");
+            assert!(
+                decode_search_msg(&search_bytes[..cut]).is_err(),
+                "search cut {cut}"
+            );
+        }
+        assert!(decode_ring_msg(&ring_bytes[..ring_bytes.len() - 1]).is_err());
+        assert!(decode_search_msg(&search_bytes[..search_bytes.len() - 1]).is_err());
     }
 
     #[test]

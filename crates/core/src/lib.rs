@@ -57,11 +57,14 @@ mod search;
 mod service;
 mod token;
 mod types;
+mod wire;
 
 pub use binary::{BinaryMsg, BinaryNode, Gimme, TokenMode};
 pub use codec::{
-    decode_binary_msg, decode_naimi_msg, encode_binary_msg, encode_naimi_msg, encoded_len,
-    known_binary_tags, known_naimi_tags, naimi_encoded_len, CodecError,
+    decode_binary_msg, decode_naimi_msg, decode_ring_msg, decode_search_msg, encode_binary_msg,
+    encode_naimi_msg, encode_ring_msg, encode_search_msg, encoded_len, known_binary_tags,
+    known_naimi_tags, known_ring_tags, known_search_tags, naimi_encoded_len, ring_encoded_len,
+    search_encoded_len, CodecError,
 };
 pub use config::{ProtocolConfig, SearchMode, TrapCleanup};
 pub use event::{EventSource, TokenEvent, Want};
@@ -75,3 +78,4 @@ pub use search::{SearchMsg, SearchNode};
 pub use service::{Delivery, Lease, ServiceError, TokenService};
 pub use token::TokenFrame;
 pub use types::{Grant, LogEntry, RequestId, VisitStamp};
+pub use wire::WireProtocol;

@@ -1,24 +1,26 @@
-//! A real multi-threaded deployment of System BinarySearch.
+//! A real multi-threaded deployment of the token-passing protocols.
 //!
 //! Each node runs on its own OS thread, hosted by [`atp_net::Harness`];
-//! messages travel as **encoded byte frames** (see [`crate::codec`]) over
-//! `std::sync::mpsc` channels, so the exact on-the-wire protocol is
-//! exercised.
-//! Ticks are mapped to wall-clock time through
-//! [`ClusterConfig::tick`].
+//! messages travel as **encoded byte frames** (see [`crate::codec`]) over a
+//! pluggable byte [`Transport`] — in-process mpsc channels by default
+//! ([`Cluster::start`]), or real loopback TCP sockets
+//! ([`Cluster::start_on`] with [`atp_net::TcpTransport`]). The exact
+//! on-the-wire protocol is exercised either way. Ticks are mapped to
+//! wall-clock time through [`ClusterConfig::tick`].
 //!
-//! This is the deployment path for applications that want a distributed
-//! mutex or totally-ordered broadcast inside one process (e.g. sharded
-//! services coordinating over an in-process bus); swapping the channel layer
-//! for sockets requires no protocol changes because framing is already
-//! byte-exact.
+//! The cluster is generic over `P:` [`WireProtocol`], defaulting to System
+//! BinarySearch; any of the four protocol families deploys unchanged.
+//!
+//! Inbound frames are **untrusted network input**: frames that fail to
+//! decode are counted ([`Cluster::decode_errors`]) and dropped, never
+//! panicked on — a peer speaking garbage cannot take a node down.
 //!
 //! ```rust
 //! use atp_core::{Cluster, ClusterConfig, TokenEvent};
 //! use atp_net::NodeId;
 //! use std::time::Duration;
 //!
-//! let cluster = Cluster::start(ClusterConfig::new(4));
+//! let cluster: Cluster = Cluster::start(ClusterConfig::new(4));
 //! cluster.request(NodeId::new(2), 42);
 //! let granted = cluster.await_grant(NodeId::new(2), Duration::from_secs(5));
 //! assert!(granted);
@@ -26,18 +28,21 @@
 //! ```
 
 use std::collections::BinaryHeap;
-use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use atp_net::{Harness, MsgClass, NodeId, SimTime, Topology};
+use atp_net::{
+    ChanTransport, CloseReport, Endpoint, Harness, MsgClass, NodeId, SimTime, Topology, Transport,
+};
 use atp_util::rng::{Rng, SeedableRng, StdRng};
 
 use crate::binary::BinaryNode;
-use crate::codec::{decode_binary_msg, encode_binary_msg};
 use crate::config::ProtocolConfig;
-use crate::event::{EventSource, TokenEvent, Want};
+use crate::event::{TokenEvent, Want};
+use crate::wire::WireProtocol;
 
 /// Configuration for a threaded [`Cluster`].
 #[derive(Debug, Clone)]
@@ -101,8 +106,10 @@ impl ClusterConfig {
     }
 }
 
-enum Envelope {
-    Net { from: NodeId, frame: Vec<u8> },
+/// Out-of-band control messages to one node thread (the data plane is the
+/// transport; this channel carries only what a real deployment would get
+/// from its local host).
+enum Control {
     External(Want),
     Shutdown,
 }
@@ -140,7 +147,7 @@ impl Ord for DueEntry {
 #[derive(Debug, Clone)]
 pub struct ClusterHandle {
     node: NodeId,
-    tx: Sender<Envelope>,
+    tx: Sender<Control>,
 }
 
 impl ClusterHandle {
@@ -152,68 +159,104 @@ impl ClusterHandle {
     /// Makes the node ready: it will acquire the token and broadcast
     /// `payload`. Watch the cluster's event stream for the grant.
     pub fn want(&self, payload: u64) {
-        let _ = self.tx.send(Envelope::External(Want::new(payload)));
+        let _ = self.tx.send(Control::External(Want::new(payload)));
     }
 }
 
 /// A running multi-threaded token-passing cluster.
-pub struct Cluster {
-    senders: Vec<Sender<Envelope>>,
+pub struct Cluster<P: WireProtocol = BinaryNode> {
+    senders: Vec<Sender<Control>>,
     events_rx: Receiver<(NodeId, TokenEvent)>,
-    threads: Vec<JoinHandle<()>>,
+    threads: Vec<JoinHandle<CloseReport>>,
     grants: Arc<Mutex<Vec<u64>>>,
+    decode_errors: Arc<AtomicU64>,
+    frames_lost: Arc<AtomicU64>,
+    _protocol: std::marker::PhantomData<P>,
 }
 
-impl std::fmt::Debug for Cluster {
+impl<P: WireProtocol> std::fmt::Debug for Cluster<P> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Cluster")
+            .field("protocol", &P::LABEL)
             .field("n", &self.senders.len())
             .field("grants", &*self.grants.lock().unwrap())
             .finish()
     }
 }
 
-impl Cluster {
-    /// Starts `config.n` node threads and mints the token at node 0.
+impl<P: WireProtocol> Cluster<P> {
+    /// Starts `config.n` node threads over in-process channels and mints
+    /// the token at node 0.
     ///
     /// # Panics
     ///
     /// Panics if `config.n == 0`.
     pub fn start(config: ClusterConfig) -> Self {
+        Cluster::start_on::<ChanTransport>(config).expect("channel transport is infallible")
+    }
+
+    /// Starts the cluster on an arbitrary byte transport (e.g.
+    /// [`atp_net::TcpTransport`] for real loopback sockets).
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport construction failures (socket binds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.n == 0`.
+    pub fn start_on<T: Transport>(config: ClusterConfig) -> std::io::Result<Self> {
         assert!(config.n > 0, "cluster needs at least one node");
         let topology = Topology::ring(config.n);
+        let endpoints = T::endpoints(config.n)?;
         let (events_tx, events_rx) = channel();
         let mut senders = Vec::with_capacity(config.n);
         let mut receivers = Vec::with_capacity(config.n);
         for _ in 0..config.n {
-            let (tx, rx) = channel::<Envelope>();
+            let (tx, rx) = channel::<Control>();
             senders.push(tx);
             receivers.push(rx);
         }
-        let senders = senders;
         let grants = Arc::new(Mutex::new(vec![0u64; config.n]));
+        let decode_errors = Arc::new(AtomicU64::new(0));
+        let frames_lost = Arc::new(AtomicU64::new(0));
         let mut threads = Vec::with_capacity(config.n);
-        for (i, rx) in receivers.into_iter().enumerate() {
+        for (i, (rx, endpoint)) in receivers.into_iter().zip(endpoints).enumerate() {
             let id = NodeId::new(i as u32);
             let cfg = config.protocol;
             let tick = config.tick;
             let seed = config.seed.wrapping_add(i as u64);
             let drop_p = config.control_drop_p;
-            let peers = senders.clone();
             let events_tx = events_tx.clone();
             let grants = Arc::clone(&grants);
+            let decode_errors = Arc::clone(&decode_errors);
+            let frames_lost = Arc::clone(&frames_lost);
             threads.push(std::thread::spawn(move || {
-                node_main(
-                    id, topology, cfg, tick, seed, drop_p, rx, peers, events_tx, grants,
-                );
+                node_main::<P, T::Endpoint>(
+                    id,
+                    topology,
+                    cfg,
+                    tick,
+                    seed,
+                    drop_p,
+                    rx,
+                    endpoint,
+                    events_tx,
+                    grants,
+                    decode_errors,
+                    frames_lost,
+                )
             }));
         }
-        Cluster {
+        Ok(Cluster {
             senders,
             events_rx,
             threads,
             grants,
-        }
+            decode_errors,
+            frames_lost,
+            _protocol: std::marker::PhantomData,
+        })
     }
 
     /// Number of nodes.
@@ -271,21 +314,35 @@ impl Cluster {
         self.grants.lock().unwrap().clone()
     }
 
-    /// Stops every node thread and waits for them to exit.
-    pub fn shutdown(mut self) {
+    /// Inbound frames that failed to decode (and were dropped). Nonzero
+    /// means a peer — or an interloper — sent bytes that are not valid
+    /// protocol frames; the protocol's retransmit machinery covers any
+    /// real frame mangled in transit.
+    pub fn decode_errors(&self) -> u64 {
+        self.decode_errors.load(Ordering::Relaxed)
+    }
+
+    /// Frames the transport dropped (unreachable peers, severed streams),
+    /// summed over all nodes.
+    pub fn frames_lost(&self) -> u64 {
+        self.frames_lost.load(Ordering::Relaxed)
+    }
+
+    /// Stops every node thread, waits for them to exit, and returns each
+    /// node's transport teardown report (assert
+    /// [`CloseReport::is_clean`] to prove no thread leaked).
+    pub fn shutdown(mut self) -> Vec<CloseReport> {
         for tx in &self.senders {
-            let _ = tx.send(Envelope::Shutdown);
+            let _ = tx.send(Control::Shutdown);
         }
-        for t in self.threads.drain(..) {
-            let _ = t.join();
-        }
+        self.threads.drain(..).map(|t| t.join().unwrap_or_default()).collect()
     }
 }
 
-impl Drop for Cluster {
+impl<P: WireProtocol> Drop for Cluster<P> {
     fn drop(&mut self) {
         for tx in &self.senders {
-            let _ = tx.send(Envelope::Shutdown);
+            let _ = tx.send(Control::Shutdown);
         }
         for t in self.threads.drain(..) {
             let _ = t.join();
@@ -294,33 +351,35 @@ impl Drop for Cluster {
 }
 
 #[allow(clippy::too_many_arguments)]
-fn node_main(
+fn node_main<P: WireProtocol, E: Endpoint>(
     id: NodeId,
     topology: Topology,
     cfg: ProtocolConfig,
     tick: Duration,
     seed: u64,
     control_drop_p: f64,
-    rx: Receiver<Envelope>,
-    peers: Vec<Sender<Envelope>>,
+    rx: Receiver<Control>,
+    mut endpoint: E,
     events_tx: Sender<(NodeId, TokenEvent)>,
     grants: Arc<Mutex<Vec<u64>>>,
-) {
+    decode_errors: Arc<AtomicU64>,
+    frames_lost: Arc<AtomicU64>,
+) -> CloseReport {
     let mut drop_rng = StdRng::seed_from_u64(seed ^ 0xD0D0_CACA);
     let start = Instant::now();
     let ticks_now = |start: Instant| -> SimTime {
         let t = start.elapsed().as_nanos() / tick.as_nanos().max(1);
         SimTime::from_ticks(t as u64)
     };
-    let mut harness = Harness::new(id, topology, BinaryNode::new(cfg), seed);
+    let mut harness = Harness::new(id, topology, P::build(cfg), seed);
     let mut heap: BinaryHeap<DueEntry> = BinaryHeap::new();
     let mut seq = 0u64;
     harness.init(ticks_now(start));
 
     loop {
         // Flush effects of the last dispatch. Events go out *before* any
-        // outbound frames: once the token frame is on a peer's channel, that
-        // peer can grant and publish its event, so publishing our own events
+        // outbound frames: once the token frame is on the wire, the receiver
+        // can grant and publish its event, so publishing our own events
         // first is what keeps the merged event stream causally ordered
         // (Released always observed before the next Granted).
         for ev in harness.node_mut().take_events() {
@@ -329,6 +388,7 @@ fn node_main(
             }
             let _ = events_tx.send((id, ev));
         }
+        let mut staged = false;
         for ob in harness.take_outbound() {
             if control_drop_p > 0.0
                 && ob.class == MsgClass::Control
@@ -336,9 +396,10 @@ fn node_main(
             {
                 continue; // the cheap channel lost it
             }
-            let frame = encode_binary_msg(&ob.msg);
+            let frame = P::encode_msg(&ob.msg);
             if ob.hold == 0 {
-                let _ = peers[ob.to.index()].send(Envelope::Net { from: id, frame });
+                endpoint.stage(ob.to, &frame);
+                staged = true;
             } else {
                 seq += 1;
                 heap.push(DueEntry {
@@ -347,6 +408,9 @@ fn node_main(
                     what: Due::Send { to: ob.to, frame },
                 });
             }
+        }
+        if staged {
+            endpoint.flush();
         }
         for t in harness.take_timers() {
             seq += 1;
@@ -364,46 +428,66 @@ fn node_main(
                 match entry.what {
                     Due::Timer { kind } => harness.fire_timer(ticks_now(start), kind),
                     Due::Send { to, frame } => {
-                        let _ = peers[to.index()].send(Envelope::Net { from: id, frame });
+                        endpoint.stage(to, &frame);
+                        endpoint.flush();
                     }
                 }
                 continue;
             }
         }
 
-        // Wait for the next message or the next due entry.
+        // Control plane first (non-blocking), then block on the data plane
+        // until the next due entry (capped so control stays responsive).
+        match rx.try_recv() {
+            Ok(Control::External(want)) => {
+                harness.external(ticks_now(start), want);
+                continue;
+            }
+            Ok(Control::Shutdown) | Err(TryRecvError::Disconnected) => break,
+            Err(TryRecvError::Empty) => {}
+        }
         let wait = heap
             .peek()
             .map(|e| e.at.saturating_duration_since(now))
-            .unwrap_or(Duration::from_millis(50));
-        match rx.recv_timeout(wait) {
-            Ok(Envelope::Net { from, frame }) => match decode_binary_msg(&frame) {
+            .unwrap_or(Duration::from_millis(5))
+            .min(Duration::from_millis(5));
+        if let Some((from, frame)) = endpoint.recv_timeout(wait) {
+            match P::decode_msg(&frame) {
                 Ok(msg) => harness.deliver(ticks_now(start), from, msg),
-                Err(err) => debug_assert!(false, "undecodable frame: {err}"),
-            },
-            Ok(Envelope::External(want)) => harness.external(ticks_now(start), want),
-            Ok(Envelope::Shutdown) => break,
-            Err(RecvTimeoutError::Timeout) => {}
-            Err(RecvTimeoutError::Disconnected) => break,
+                // Untrusted bytes: count and drop, never panic. The sender's
+                // retransmit layer re-covers anything that mattered.
+                Err(_) => {
+                    decode_errors.fetch_add(1, Ordering::Relaxed);
+                }
+            }
         }
     }
+    let report = endpoint.close();
+    frames_lost.fetch_add(endpoint.frames_lost(), Ordering::Relaxed);
+    report
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use atp_net::ChanEndpoint;
+
+    use crate::naimi::NaimiNode;
+    use crate::ring::RingNode;
+    use crate::search::SearchNode;
 
     #[test]
     fn cluster_grants_a_request() {
-        let cluster = Cluster::start(ClusterConfig::new(3).with_tick(Duration::from_micros(200)));
+        let cluster: Cluster = Cluster::start(ClusterConfig::new(3).with_tick(Duration::from_micros(200)));
         cluster.request(NodeId::new(1), 7);
         assert!(cluster.await_grant(NodeId::new(1), Duration::from_secs(10)));
+        assert_eq!(cluster.decode_errors(), 0);
         cluster.shutdown();
     }
 
     #[test]
     fn cluster_serves_concurrent_requesters() {
-        let cluster = Cluster::start(ClusterConfig::new(4).with_tick(Duration::from_micros(200)));
+        let cluster: Cluster = Cluster::start(ClusterConfig::new(4).with_tick(Duration::from_micros(200)));
         for i in 0..4 {
             cluster.request(NodeId::new(i), i as u64);
         }
@@ -425,7 +509,7 @@ mod tests {
     #[test]
     fn cluster_survives_total_cheap_loss() {
         // All search traffic lost: the rotating token still serves.
-        let cluster = Cluster::start(
+        let cluster: Cluster = Cluster::start(
             ClusterConfig::new(3)
                 .with_tick(Duration::from_micros(200))
                 .with_control_drop(1.0),
@@ -437,12 +521,117 @@ mod tests {
 
     #[test]
     fn handles_are_cloneable_and_attributed() {
-        let cluster = Cluster::start(ClusterConfig::new(2).with_tick(Duration::from_micros(200)));
+        let cluster: Cluster = Cluster::start(ClusterConfig::new(2).with_tick(Duration::from_micros(200)));
         let h = cluster.handle(NodeId::new(1));
         let h2 = h.clone();
         assert_eq!(h2.node(), NodeId::new(1));
         h2.want(5);
         assert!(cluster.await_grant(NodeId::new(1), Duration::from_secs(10)));
         cluster.shutdown();
+    }
+
+    #[test]
+    fn every_protocol_deploys_on_channels() {
+        fn serve_one<P: WireProtocol>() {
+            let cluster: Cluster<P> =
+                Cluster::start(ClusterConfig::new(3).with_tick(Duration::from_micros(200)));
+            cluster.request(NodeId::new(2), 1);
+            assert!(
+                cluster.await_grant(NodeId::new(2), Duration::from_secs(15)),
+                "{} never granted",
+                P::LABEL
+            );
+            for report in cluster.shutdown() {
+                assert!(report.is_clean());
+            }
+        }
+        serve_one::<RingNode>();
+        serve_one::<SearchNode>();
+        serve_one::<BinaryNode>();
+        serve_one::<NaimiNode>();
+    }
+
+    /// A transport that delivers byte soup alongside real traffic: node 0's
+    /// endpoint yields a stream of undecodable frames before every real
+    /// receive. The cluster must count them and keep serving — the
+    /// network-facing decode path never panics on garbage.
+    struct GarbageChanTransport;
+
+    struct GarbageEndpoint {
+        inner: ChanEndpoint,
+        garbage_left: u32,
+    }
+
+    impl Endpoint for GarbageEndpoint {
+        fn id(&self) -> NodeId {
+            self.inner.id()
+        }
+        fn stage(&mut self, to: NodeId, frame: &[u8]) {
+            self.inner.stage(to, frame);
+        }
+        fn flush(&mut self) {
+            self.inner.flush();
+        }
+        fn recv_timeout(&mut self, timeout: Duration) -> Option<(NodeId, Vec<u8>)> {
+            if self.garbage_left > 0 {
+                self.garbage_left -= 1;
+                // 0xff is no protocol's tag; a valid sender id keeps the
+                // blame on the payload.
+                return Some((NodeId::new(1), vec![0xff, 0xee, 0xdd]));
+            }
+            self.inner.recv_timeout(timeout)
+        }
+        fn frames_lost(&self) -> u64 {
+            self.inner.frames_lost()
+        }
+        fn close(&mut self) -> CloseReport {
+            self.inner.close()
+        }
+    }
+
+    impl Transport for GarbageChanTransport {
+        type Endpoint = GarbageEndpoint;
+        fn label() -> &'static str {
+            "chan+garbage"
+        }
+        fn endpoints(n: usize) -> std::io::Result<Vec<GarbageEndpoint>> {
+            Ok(ChanTransport::endpoints(n)?
+                .into_iter()
+                .enumerate()
+                .map(|(i, inner)| GarbageEndpoint {
+                    inner,
+                    garbage_left: if i == 0 { 10 } else { 0 },
+                })
+                .collect())
+        }
+    }
+
+    #[test]
+    fn garbage_frames_are_counted_and_service_continues() {
+        let cluster: Cluster = Cluster::start_on::<GarbageChanTransport>(
+            ClusterConfig::new(3).with_tick(Duration::from_micros(200)),
+        )
+        .expect("channel transport is infallible");
+        cluster.request(NodeId::new(2), 42);
+        assert!(
+            cluster.await_grant(NodeId::new(2), Duration::from_secs(15)),
+            "garbage frames must not stall the cluster"
+        );
+        assert_eq!(cluster.decode_errors(), 10, "every garbage frame counted");
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn cluster_runs_over_tcp_loopback() {
+        let cluster: Cluster<BinaryNode> = Cluster::start_on::<atp_net::TcpTransport>(
+            ClusterConfig::new(3).with_tick(Duration::from_micros(500)),
+        )
+        .expect("bind loopback");
+        cluster.request(NodeId::new(1), 7);
+        assert!(cluster.await_grant(NodeId::new(1), Duration::from_secs(20)));
+        assert_eq!(cluster.decode_errors(), 0);
+        for report in cluster.shutdown() {
+            assert!(report.is_clean(), "leaked threads: {report:?}");
+        }
     }
 }

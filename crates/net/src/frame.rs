@@ -1,0 +1,310 @@
+//! Length-prefixed byte framing for stream transports.
+//!
+//! A TCP socket is a byte stream: message boundaries do not survive the
+//! trip. This module restores them with the cheapest possible scheme — a
+//! little-endian `u32` payload-length prefix — and a **streaming decoder**
+//! that accepts arbitrary read chunks: one byte at a time, torn across a
+//! length prefix, torn mid-payload, or many frames per read all decode to
+//! the identical frame sequence.
+//!
+//! Everything a [`FrameDecoder`] consumes is network-controlled input, so
+//! there are no panics on malformed data: an absurd declared length is a
+//! typed [`FrameError::Oversized`] (never an allocation), and a stream
+//! that ends mid-prefix or mid-frame is reported by [`FrameDecoder::finish`]
+//! as [`FrameError::TruncatedPrefix`] / [`FrameError::TruncatedFrame`].
+//!
+//! ```rust
+//! use atp_net::frame::{write_frame, FrameDecoder};
+//!
+//! let mut wire = Vec::new();
+//! write_frame(&mut wire, b"hello");
+//! write_frame(&mut wire, b"world");
+//!
+//! let mut dec = FrameDecoder::new();
+//! // Feed the stream one byte at a time — the frames still come out whole.
+//! let mut frames = Vec::new();
+//! for b in &wire {
+//!     dec.push(std::slice::from_ref(b));
+//!     while let Some(f) = dec.next_frame().unwrap() {
+//!         frames.push(f);
+//!     }
+//! }
+//! assert_eq!(frames, vec![b"hello".to_vec(), b"world".to_vec()]);
+//! assert!(dec.finish().is_ok());
+//! ```
+
+/// Byte length of the `u32` length prefix.
+pub const FRAME_HEADER_LEN: usize = 4;
+
+/// Default cap on a declared payload length. Generous for this protocol
+/// family (the largest frame is a token carrying a bounded history window)
+/// while keeping a hostile 4 GiB length prefix from ever allocating.
+pub const MAX_FRAME_LEN: u32 = 1 << 24; // 16 MiB
+
+/// Why a byte stream failed to frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameError {
+    /// A length prefix declared a payload larger than the decoder's cap.
+    Oversized {
+        /// The declared payload length.
+        declared: u32,
+        /// The decoder's configured maximum.
+        max: u32,
+    },
+    /// The stream ended inside a length prefix (`got < 4` bytes of it).
+    TruncatedPrefix {
+        /// Prefix bytes that did arrive.
+        got: usize,
+    },
+    /// The stream ended inside a frame body (mid-frame disconnect).
+    TruncatedFrame {
+        /// The declared payload length.
+        declared: u32,
+        /// Payload bytes that did arrive.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Oversized { declared, max } => {
+                write!(f, "declared frame length {declared} exceeds cap {max}")
+            }
+            FrameError::TruncatedPrefix { got } => {
+                write!(f, "stream ended inside a length prefix ({got}/4 bytes)")
+            }
+            FrameError::TruncatedFrame { declared, got } => {
+                write!(f, "stream ended inside a frame ({got}/{declared} bytes)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Appends `payload` to `out` as one length-prefixed frame.
+///
+/// Writers batch by calling this repeatedly on one buffer and flushing the
+/// buffer to the socket in a single `write_all`.
+///
+/// # Panics
+///
+/// Panics if `payload` exceeds [`MAX_FRAME_LEN`] — frame size is
+/// sender-controlled, so an oversized local frame is a programming error,
+/// not a network condition.
+pub fn write_frame(out: &mut Vec<u8>, payload: &[u8]) {
+    assert!(
+        payload.len() <= MAX_FRAME_LEN as usize,
+        "frame payload {} exceeds MAX_FRAME_LEN {}",
+        payload.len(),
+        MAX_FRAME_LEN
+    );
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+}
+
+/// Streaming frame reassembler: feed it whatever the socket returns, take
+/// out whole frames.
+#[derive(Debug)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    /// Consumed prefix of `buf`; compacted periodically so a long-lived
+    /// connection does not grow its buffer without bound.
+    start: usize,
+    max_frame: u32,
+}
+
+impl Default for FrameDecoder {
+    fn default() -> Self {
+        FrameDecoder::new()
+    }
+}
+
+impl FrameDecoder {
+    /// A decoder with the default [`MAX_FRAME_LEN`] cap.
+    pub fn new() -> Self {
+        FrameDecoder::with_max_frame(MAX_FRAME_LEN)
+    }
+
+    /// A decoder rejecting declared lengths above `max_frame`.
+    pub fn with_max_frame(max_frame: u32) -> Self {
+        FrameDecoder {
+            buf: Vec::new(),
+            start: 0,
+            max_frame,
+        }
+    }
+
+    /// Appends raw stream bytes (any chunking, including single bytes).
+    pub fn push(&mut self, bytes: &[u8]) {
+        // Compact before growing: everything before `start` is dead.
+        if self.start > 0 && (self.start >= self.buf.len() || self.start > 4096) {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Unconsumed bytes currently buffered.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// Takes the next complete frame, if one has fully arrived.
+    ///
+    /// `Ok(None)` means "need more bytes"; call [`FrameDecoder::push`] and
+    /// retry. An [`FrameError::Oversized`] declaration is permanent: the
+    /// stream is unframeable from that point and should be dropped.
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, FrameError> {
+        let avail = self.buf.len() - self.start;
+        if avail < FRAME_HEADER_LEN {
+            return Ok(None);
+        }
+        let declared = u32::from_le_bytes(
+            self.buf[self.start..self.start + FRAME_HEADER_LEN]
+                .try_into()
+                .expect("4-byte slice"),
+        );
+        if declared > self.max_frame {
+            return Err(FrameError::Oversized {
+                declared,
+                max: self.max_frame,
+            });
+        }
+        let need = FRAME_HEADER_LEN + declared as usize;
+        if avail < need {
+            return Ok(None);
+        }
+        let body_start = self.start + FRAME_HEADER_LEN;
+        let frame = self.buf[body_start..body_start + declared as usize].to_vec();
+        self.start += need;
+        Ok(Some(frame))
+    }
+
+    /// End-of-stream check: a cleanly framed stream ends exactly on a
+    /// frame boundary. Leftover bytes mean the peer disconnected mid-prefix
+    /// or mid-frame.
+    pub fn finish(&self) -> Result<(), FrameError> {
+        let avail = self.buf.len() - self.start;
+        if avail == 0 {
+            return Ok(());
+        }
+        if avail < FRAME_HEADER_LEN {
+            return Err(FrameError::TruncatedPrefix { got: avail });
+        }
+        let declared = u32::from_le_bytes(
+            self.buf[self.start..self.start + FRAME_HEADER_LEN]
+                .try_into()
+                .expect("4-byte slice"),
+        );
+        Err(FrameError::TruncatedFrame {
+            declared,
+            got: avail - FRAME_HEADER_LEN,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frames_of(dec: &mut FrameDecoder) -> Vec<Vec<u8>> {
+        let mut out = Vec::new();
+        while let Some(f) = dec.next_frame().expect("well-formed") {
+            out.push(f);
+        }
+        out
+    }
+
+    #[test]
+    fn whole_stream_decodes_in_one_push() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"");
+        write_frame(&mut wire, b"a");
+        write_frame(&mut wire, &[7u8; 300]);
+        let mut dec = FrameDecoder::new();
+        dec.push(&wire);
+        let frames = frames_of(&mut dec);
+        assert_eq!(frames.len(), 3);
+        assert_eq!(frames[0], b"");
+        assert_eq!(frames[1], b"a");
+        assert_eq!(frames[2], vec![7u8; 300]);
+        assert!(dec.finish().is_ok());
+        assert_eq!(dec.buffered(), 0);
+    }
+
+    #[test]
+    fn single_byte_reads_reassemble_exactly() {
+        let mut wire = Vec::new();
+        for i in 0..5u8 {
+            write_frame(&mut wire, &vec![i; i as usize * 3]);
+        }
+        let mut dec = FrameDecoder::new();
+        let mut frames = Vec::new();
+        for b in &wire {
+            dec.push(std::slice::from_ref(b));
+            frames.extend(frames_of(&mut dec));
+        }
+        assert_eq!(frames.len(), 5);
+        for (i, f) in frames.iter().enumerate() {
+            assert_eq!(*f, vec![i as u8; i * 3]);
+        }
+        assert!(dec.finish().is_ok());
+    }
+
+    #[test]
+    fn oversized_declaration_is_typed_error_not_allocation() {
+        let mut dec = FrameDecoder::with_max_frame(16);
+        dec.push(&17u32.to_le_bytes());
+        match dec.next_frame() {
+            Err(FrameError::Oversized { declared: 17, max: 16 }) => {}
+            other => panic!("expected Oversized, got {other:?}"),
+        }
+        // u32::MAX with the default cap: still a typed error.
+        let mut dec = FrameDecoder::new();
+        dec.push(&u32::MAX.to_le_bytes());
+        assert!(matches!(dec.next_frame(), Err(FrameError::Oversized { .. })));
+    }
+
+    #[test]
+    fn eof_mid_prefix_and_mid_frame_are_distinguished() {
+        let mut dec = FrameDecoder::new();
+        dec.push(&[1, 0]);
+        assert_eq!(dec.next_frame(), Ok(None));
+        assert_eq!(dec.finish(), Err(FrameError::TruncatedPrefix { got: 2 }));
+
+        let mut dec = FrameDecoder::new();
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &[9u8; 10]);
+        dec.push(&wire[..wire.len() - 3]);
+        assert_eq!(dec.next_frame(), Ok(None));
+        assert_eq!(
+            dec.finish(),
+            Err(FrameError::TruncatedFrame { declared: 10, got: 7 })
+        );
+    }
+
+    #[test]
+    fn compaction_keeps_buffer_bounded() {
+        let mut dec = FrameDecoder::new();
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &[3u8; 2048]);
+        for _ in 0..100 {
+            dec.push(&wire);
+            assert_eq!(frames_of(&mut dec).len(), 1);
+        }
+        assert!(dec.buf.len() < 3 * wire.len(), "buffer grew without bound");
+    }
+
+    #[test]
+    fn errors_display() {
+        assert!(FrameError::Oversized { declared: 9, max: 4 }
+            .to_string()
+            .contains("exceeds cap"));
+        assert!(FrameError::TruncatedPrefix { got: 1 }.to_string().contains("prefix"));
+        assert!(FrameError::TruncatedFrame { declared: 8, got: 2 }
+            .to_string()
+            .contains("2/8"));
+    }
+}

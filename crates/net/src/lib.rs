@@ -74,14 +74,17 @@ mod context;
 mod event;
 mod failure;
 mod fault;
+pub mod frame;
 mod harness;
 mod id;
 mod latency;
 mod node;
 mod sched;
 mod stats;
+pub mod tcp;
 mod time;
 mod trace;
+mod transport;
 pub mod wheel;
 mod world;
 
@@ -98,7 +101,9 @@ pub use sched::{
     SeededShuffle,
 };
 pub use stats::NetStats;
+pub use tcp::{TcpEndpoint, TcpTransport};
 pub use time::SimTime;
+pub use transport::{ChanEndpoint, ChanTransport, CloseReport, Endpoint, Transport};
 pub use trace::{TraceEvent, TraceKind, TraceLog};
 pub use wheel::{SchedStats, TimerWheel};
 pub use world::{StepOutcome, World, WorldConfig, WorldProfile};

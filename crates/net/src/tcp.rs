@@ -1,0 +1,483 @@
+//! Real-socket transport backend: length-prefixed frames over loopback TCP.
+//!
+//! [`TcpTransport`] implements [`Transport`](crate::transport::Transport)
+//! with nothing beyond `std::net` — no async runtime, no external crates.
+//! Each node's [`TcpEndpoint`] owns:
+//!
+//! * a loopback listener plus one **accept thread** that spawns a reader
+//!   thread per inbound connection (peers identify themselves with a
+//!   4-byte hello, then stream [`frame`](crate::frame)-framed payloads
+//!   into the endpoint's inbox);
+//! * a lazy **writer link** per peer: sends are staged into a per-peer
+//!   batch buffer and leave in one `write_all` per flush, over a
+//!   connection established on first use and re-established with
+//!   exponential backoff after failures. Frames that cannot be delivered
+//!   even after reconnecting are *lost, counted, and forgotten* — exactly
+//!   the contract the protocols' ack/retransmit machinery is built for.
+//!
+//! Teardown is explicit and verifiable: [`TcpEndpoint::close`] severs
+//! every socket, wakes the accept loop, and joins all background threads
+//! with a deadline, reporting spawned/joined counts so tests can assert
+//! no thread leaks.
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::frame::{write_frame, FrameDecoder};
+use crate::id::NodeId;
+use crate::transport::{CloseReport, Endpoint, Transport};
+
+/// Reconnect attempts per flush before the staged frames are declared lost.
+const CONNECT_ATTEMPTS: u32 = 5;
+/// Backoff base: attempt `k` sleeps `BACKOFF_BASE << k` before retrying.
+const BACKOFF_BASE: Duration = Duration::from_millis(1);
+/// How long [`TcpEndpoint::close`] waits for background threads to confirm
+/// exit before declaring a leak.
+const JOIN_DEADLINE: Duration = Duration::from_secs(5);
+/// Socket read buffer size for reader threads.
+const READ_CHUNK: usize = 64 * 1024;
+
+/// The `std::net` loopback backend.
+#[derive(Debug)]
+pub struct TcpTransport;
+
+impl Transport for TcpTransport {
+    type Endpoint = TcpEndpoint;
+
+    fn label() -> &'static str {
+        "tcp"
+    }
+
+    fn endpoints(n: usize) -> std::io::Result<Vec<TcpEndpoint>> {
+        let listeners = (0..n)
+            .map(|_| TcpListener::bind(("127.0.0.1", 0)))
+            .collect::<std::io::Result<Vec<_>>>()?;
+        let addrs = listeners
+            .iter()
+            .map(|l| l.local_addr())
+            .collect::<std::io::Result<Vec<_>>>()?;
+        listeners
+            .into_iter()
+            .enumerate()
+            .map(|(i, listener)| TcpEndpoint::start(NodeId::new(i as u32), addrs.clone(), listener))
+            .collect()
+    }
+}
+
+/// State shared between an endpoint and its background threads.
+#[derive(Debug)]
+struct Shared {
+    /// Ring size; inbound hellos outside `0..n` are rejected.
+    n: usize,
+    shutting_down: AtomicBool,
+    /// Frames dropped: unreachable peers, unframeable inbound streams.
+    lost: AtomicU64,
+    /// Inbound connections whose stream ended mid-frame (peer died while
+    /// transmitting).
+    torn_streams: AtomicU64,
+    /// Background threads ever spawned (accept + readers).
+    spawned: AtomicUsize,
+    /// Live sockets, severed wholesale at close/kill time.
+    streams: Mutex<Vec<TcpStream>>,
+    /// Reader thread handles, joined at close.
+    readers: Mutex<Vec<JoinHandle<()>>>,
+    /// Completion signals: every background thread sends one () on exit.
+    done_tx: Sender<()>,
+}
+
+/// Writer side of one peer link.
+#[derive(Debug)]
+struct PeerLink {
+    addr: SocketAddr,
+    stream: Option<TcpStream>,
+    /// Batched, already frame-prefixed bytes awaiting flush.
+    wbuf: Vec<u8>,
+    /// Frames inside `wbuf` (loss accounting).
+    wbuf_frames: u64,
+}
+
+/// One node's TCP attachment. See the module docs for the thread model.
+#[derive(Debug)]
+pub struct TcpEndpoint {
+    id: NodeId,
+    links: Vec<PeerLink>,
+    inbox: Receiver<(NodeId, Vec<u8>)>,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    done_rx: Receiver<()>,
+    close_report: Option<CloseReport>,
+}
+
+impl TcpEndpoint {
+    fn start(
+        id: NodeId,
+        addrs: Vec<SocketAddr>,
+        listener: TcpListener,
+    ) -> std::io::Result<Self> {
+        let (inbox_tx, inbox) = channel();
+        let (done_tx, done_rx) = channel();
+        let shared = Arc::new(Shared {
+            n: addrs.len(),
+            shutting_down: AtomicBool::new(false),
+            lost: AtomicU64::new(0),
+            torn_streams: AtomicU64::new(0),
+            spawned: AtomicUsize::new(0),
+            streams: Mutex::new(Vec::new()),
+            readers: Mutex::new(Vec::new()),
+            done_tx,
+        });
+        let links = addrs
+            .iter()
+            .map(|&addr| PeerLink {
+                addr,
+                stream: None,
+                wbuf: Vec::new(),
+                wbuf_frames: 0,
+            })
+            .collect();
+        let accept = spawn_accept(Arc::clone(&shared), listener, inbox_tx);
+        Ok(TcpEndpoint {
+            id,
+            links,
+            inbox,
+            shared,
+            accept: Some(accept),
+            done_rx,
+            close_report: None,
+        })
+    }
+
+    /// The address this endpoint's listener is bound to.
+    pub fn addr(&self) -> SocketAddr {
+        self.links[self.id.index()].addr
+    }
+
+    /// Inbound connections that ended mid-frame (peer death during a send).
+    pub fn torn_streams(&self) -> u64 {
+        self.shared.torn_streams.load(Ordering::Relaxed)
+    }
+
+    /// Violently severs every live socket this endpoint owns — writer links
+    /// and accepted inbound connections alike — without shutting the
+    /// endpoint down. The listener keeps accepting, so subsequent flushes
+    /// reconnect with backoff; anything in flight at the cut is lost.
+    ///
+    /// This is the fault-injection hook the recovery tests use to model
+    /// "the node's sockets died but the process survived".
+    pub fn kill_connections(&mut self) {
+        for link in &mut self.links {
+            if let Some(s) = link.stream.take() {
+                let _ = s.shutdown(Shutdown::Both);
+            }
+        }
+        let mut streams = self.shared.streams.lock().expect("stream registry");
+        for s in streams.drain(..) {
+            let _ = s.shutdown(Shutdown::Both);
+        }
+    }
+
+    /// Flushes one link: connect (or reconnect) with backoff, then a single
+    /// batched write. Returns `false` if the staged frames were lost.
+    fn flush_link(link: &mut PeerLink, connector: impl Fn(SocketAddr) -> Option<TcpStream>) -> bool {
+        if link.wbuf.is_empty() {
+            return true;
+        }
+        // Two passes: an existing stream may be stale (peer reset since the
+        // last flush) — on failure, force a fresh connection and retry once.
+        for fresh in [false, true] {
+            if fresh {
+                if let Some(s) = link.stream.take() {
+                    let _ = s.shutdown(Shutdown::Both);
+                }
+            }
+            if link.stream.is_none() {
+                link.stream = connector(link.addr);
+            }
+            let Some(stream) = link.stream.as_mut() else {
+                continue;
+            };
+            if stream.write_all(&link.wbuf).is_ok() {
+                link.wbuf.clear();
+                link.wbuf_frames = 0;
+                return true;
+            }
+        }
+        link.stream = None;
+        link.wbuf.clear();
+        link.wbuf_frames = 0;
+        false
+    }
+}
+
+impl Endpoint for TcpEndpoint {
+    fn id(&self) -> NodeId {
+        self.id
+    }
+
+    fn stage(&mut self, to: NodeId, frame: &[u8]) {
+        let link = &mut self.links[to.index()];
+        write_frame(&mut link.wbuf, frame);
+        link.wbuf_frames += 1;
+    }
+
+    fn flush(&mut self) {
+        // Split-borrow dance: `connect` needs &self fields, links need &mut.
+        let id = self.id;
+        for i in 0..self.links.len() {
+            let link = &mut self.links[i];
+            if link.wbuf.is_empty() {
+                continue;
+            }
+            let addr_count = link.wbuf_frames;
+            let connector = |addr| {
+                for attempt in 0..CONNECT_ATTEMPTS {
+                    if attempt > 0 {
+                        std::thread::sleep(BACKOFF_BASE * (1 << (attempt - 1)));
+                    }
+                    if let Ok(mut stream) = TcpStream::connect(addr) {
+                        let _ = stream.set_nodelay(true);
+                        if stream.write_all(&id.raw().to_le_bytes()).is_ok() {
+                            return Some(stream);
+                        }
+                    }
+                }
+                None
+            };
+            if !TcpEndpoint::flush_link(link, connector) {
+                self.shared.lost.fetch_add(addr_count, Ordering::Relaxed);
+            }
+        }
+    }
+
+    fn recv_timeout(&mut self, timeout: Duration) -> Option<(NodeId, Vec<u8>)> {
+        match self.inbox.recv_timeout(timeout) {
+            Ok(m) => Some(m),
+            Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => None,
+        }
+    }
+
+    fn frames_lost(&self) -> u64 {
+        self.shared.lost.load(Ordering::Relaxed)
+    }
+
+    fn close(&mut self) -> CloseReport {
+        if let Some(report) = self.close_report {
+            return report;
+        }
+        self.shared.shutting_down.store(true, Ordering::SeqCst);
+        // Sever every socket: readers unblock with an error/EOF.
+        self.kill_connections();
+        // Wake the blocking accept() with a throwaway connection.
+        let _ = TcpStream::connect(self.addr());
+
+        let spawned = self.shared.spawned.load(Ordering::SeqCst);
+        let deadline = std::time::Instant::now() + JOIN_DEADLINE;
+        let mut confirmed = 0usize;
+        while confirmed < spawned {
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                break;
+            }
+            match self.done_rx.recv_timeout(deadline - now) {
+                Ok(()) => confirmed += 1,
+                Err(_) => break,
+            }
+        }
+        let mut joined = 0usize;
+        if confirmed == spawned {
+            // Every thread signaled exit: joins are immediate and safe.
+            if let Some(h) = self.accept.take() {
+                if h.join().is_ok() {
+                    joined += 1;
+                }
+            }
+            let handles: Vec<_> = self.shared.readers.lock().expect("reader registry").drain(..).collect();
+            for h in handles {
+                if h.join().is_ok() {
+                    joined += 1;
+                }
+            }
+        }
+        let report = CloseReport {
+            threads_spawned: spawned,
+            threads_joined: joined,
+        };
+        self.close_report = Some(report);
+        report
+    }
+}
+
+impl Drop for TcpEndpoint {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+fn spawn_accept(
+    shared: Arc<Shared>,
+    listener: TcpListener,
+    inbox_tx: Sender<(NodeId, Vec<u8>)>,
+) -> JoinHandle<()> {
+    shared.spawned.fetch_add(1, Ordering::SeqCst);
+    let shared_for_thread = Arc::clone(&shared);
+    std::thread::spawn(move || {
+        let shared = shared_for_thread;
+        loop {
+            let conn = listener.accept();
+            if shared.shutting_down.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok((stream, _)) = conn else { continue };
+            let _ = stream.set_nodelay(true);
+            if let Ok(clone) = stream.try_clone() {
+                shared.streams.lock().expect("stream registry").push(clone);
+            }
+            shared.spawned.fetch_add(1, Ordering::SeqCst);
+            let reader_shared = Arc::clone(&shared);
+            let reader_tx = inbox_tx.clone();
+            let handle = std::thread::spawn(move || {
+                read_loop(&reader_shared, stream, reader_tx);
+                let _ = reader_shared.done_tx.send(());
+            });
+            shared.readers.lock().expect("reader registry").push(handle);
+        }
+        let _ = shared.done_tx.send(());
+    })
+}
+
+/// Pumps one inbound connection: 4-byte hello, then framed payloads until
+/// EOF or error. Malformed input never panics — the stream is dropped and
+/// the damage is counted.
+fn read_loop(shared: &Shared, mut stream: TcpStream, inbox: Sender<(NodeId, Vec<u8>)>) {
+    let mut hello = [0u8; 4];
+    if stream.read_exact(&mut hello).is_err() {
+        return; // disconnected before identifying (e.g. the close() wake-up)
+    }
+    let from_raw = u32::from_le_bytes(hello);
+    if from_raw as usize >= shared.n {
+        shared.lost.fetch_add(1, Ordering::Relaxed);
+        return; // not a ring member; refuse the stream
+    }
+    let from = NodeId::new(from_raw);
+    let mut decoder = FrameDecoder::new();
+    let mut chunk = vec![0u8; READ_CHUNK];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => {
+                // Clean EOF only if the stream ended on a frame boundary.
+                if decoder.finish().is_err() {
+                    shared.torn_streams.fetch_add(1, Ordering::Relaxed);
+                    shared.lost.fetch_add(1, Ordering::Relaxed);
+                }
+                return;
+            }
+            Ok(got) => {
+                decoder.push(&chunk[..got]);
+                loop {
+                    match decoder.next_frame() {
+                        Ok(Some(frame)) => {
+                            if inbox.send((from, frame)).is_err() {
+                                return; // endpoint gone
+                            }
+                        }
+                        Ok(None) => break,
+                        Err(_) => {
+                            // Unframeable stream (oversized declaration):
+                            // poison — sever and count.
+                            shared.lost.fetch_add(1, Ordering::Relaxed);
+                            let _ = stream.shutdown(Shutdown::Both);
+                            return;
+                        }
+                    }
+                }
+            }
+            Err(_) => {
+                if decoder.finish().is_err() {
+                    shared.torn_streams.fetch_add(1, Ordering::Relaxed);
+                    shared.lost.fetch_add(1, Ordering::Relaxed);
+                }
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_cross_loopback_in_order() {
+        let mut eps = TcpTransport::endpoints(2).expect("bind loopback");
+        let mut b = eps.pop().expect("two endpoints");
+        let mut a = eps.pop().expect("two endpoints");
+        a.stage(b.id(), b"first");
+        a.stage(b.id(), b"second");
+        a.flush();
+        assert_eq!(
+            b.recv_timeout(Duration::from_secs(5)),
+            Some((NodeId::new(0), b"first".to_vec()))
+        );
+        assert_eq!(
+            b.recv_timeout(Duration::from_secs(5)),
+            Some((NodeId::new(1 - 1), b"second".to_vec()))
+        );
+        assert_eq!(a.frames_lost() + b.frames_lost(), 0);
+        assert!(a.close().is_clean());
+        assert!(b.close().is_clean());
+    }
+
+    #[test]
+    fn killed_connections_reconnect_on_next_flush() {
+        let mut eps = TcpTransport::endpoints(2).expect("bind loopback");
+        let mut b = eps.pop().expect("two endpoints");
+        let mut a = eps.pop().expect("two endpoints");
+        a.stage(b.id(), b"before");
+        a.flush();
+        assert!(b.recv_timeout(Duration::from_secs(5)).is_some());
+        a.kill_connections();
+        b.kill_connections();
+        a.stage(b.id(), b"after");
+        a.flush();
+        assert_eq!(
+            b.recv_timeout(Duration::from_secs(5)).map(|(_, f)| f),
+            Some(b"after".to_vec())
+        );
+        assert!(a.close().is_clean());
+        assert!(b.close().is_clean());
+    }
+
+    #[test]
+    fn close_is_idempotent_and_joins_everything() {
+        let mut eps = TcpTransport::endpoints(3).expect("bind loopback");
+        // Open some real connections first.
+        let (first, rest) = eps.split_at_mut(1);
+        first[0].stage(NodeId::new(1), b"x");
+        first[0].stage(NodeId::new(2), b"y");
+        first[0].flush();
+        assert!(rest[0].recv_timeout(Duration::from_secs(5)).is_some());
+        assert!(rest[1].recv_timeout(Duration::from_secs(5)).is_some());
+        for ep in eps.iter_mut() {
+            let r1 = ep.close();
+            assert!(r1.is_clean(), "leaked threads: {r1:?}");
+            assert_eq!(ep.close(), r1);
+        }
+    }
+
+    #[test]
+    fn foreign_hello_is_refused() {
+        let mut eps = TcpTransport::endpoints(2).expect("bind loopback");
+        let addr = eps[1].addr();
+        let mut rogue = TcpStream::connect(addr).expect("connect");
+        rogue.write_all(&99u32.to_le_bytes()).expect("hello");
+        let mut payload = Vec::new();
+        write_frame(&mut payload, b"evil");
+        rogue.write_all(&payload).expect("frame");
+        assert!(eps[1].recv_timeout(Duration::from_millis(300)).is_none());
+    }
+}

@@ -1,0 +1,203 @@
+//! Real-transport cluster runner: hosts one of the four token-passing
+//! protocols on OS threads over loopback TCP (or in-process channels) and
+//! measures wall-clock service behavior.
+//!
+//! Usage:
+//!   cargo run --release --bin cluster -- \
+//!       [--protocol ring|search|binary|naimi] [--n N] [--requests K] \
+//!       [--transport tcp|chan] [--tick-us U] [--seed S] [--conform]
+//!
+//! Default mode is a closed-loop benchmark: requests are issued one at a
+//! time round-robin across the nodes, each timed from submission to grant;
+//! the report gives throughput and latency percentiles.
+//!
+//! `--conform` instead runs the deterministic conformance check used by CI:
+//! the pinned reference script is driven over the chosen transport and the
+//! outcome (grant order + per-node history digests) must be identical to
+//! the same script inside the deterministic `World`. Exit status 1 on any
+//! divergence, loss, decode error, or leaked thread.
+
+use std::time::{Duration, Instant};
+
+use atp_core::{
+    BinaryNode, Cluster, ClusterConfig, NaimiNode, RingNode, SearchNode, WireProtocol,
+};
+use atp_net::{ChanTransport, NodeId, TcpTransport, Transport};
+use atp_sim::cluster::{run_in_world, run_on_transport, ClusterScript};
+use atp_sim::runner::ProtocolNode;
+
+struct Args {
+    protocol: String,
+    transport: String,
+    n: usize,
+    requests: u64,
+    tick_us: u64,
+    seed: u64,
+    conform: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        protocol: "binary".into(),
+        transport: "tcp".into(),
+        n: 8,
+        requests: 200,
+        tick_us: 200,
+        seed: 7,
+        conform: false,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let value = |i: &mut usize, flag: &str| -> String {
+        *i += 1;
+        argv.get(*i).cloned().unwrap_or_else(|| {
+            eprintln!("cluster: {flag} expects a value");
+            std::process::exit(2);
+        })
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--protocol" => args.protocol = value(&mut i, "--protocol"),
+            "--transport" => args.transport = value(&mut i, "--transport"),
+            "--n" => args.n = parse_num(&value(&mut i, "--n"), "--n"),
+            "--requests" => args.requests = parse_num(&value(&mut i, "--requests"), "--requests"),
+            "--tick-us" => args.tick_us = parse_num(&value(&mut i, "--tick-us"), "--tick-us"),
+            "--seed" => args.seed = parse_num(&value(&mut i, "--seed"), "--seed"),
+            "--conform" => args.conform = true,
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: cluster [--protocol ring|search|binary|naimi] [--n N] \
+                     [--requests K] [--transport tcp|chan] [--tick-us U] [--seed S] [--conform]"
+                );
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("cluster: unknown flag {other:?} (try --help)");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    args
+}
+
+fn parse_num<T: std::str::FromStr>(v: &str, flag: &str) -> T {
+    v.parse().unwrap_or_else(|_| {
+        eprintln!("cluster: {flag} expects a number, got {v:?}");
+        std::process::exit(2);
+    })
+}
+
+fn main() {
+    let args = parse_args();
+    match args.protocol.as_str() {
+        "ring" => dispatch::<RingNode>(&args),
+        "search" => dispatch::<SearchNode>(&args),
+        "binary" => dispatch::<BinaryNode>(&args),
+        "naimi" => dispatch::<NaimiNode>(&args),
+        other => {
+            eprintln!("cluster: unknown protocol {other:?} (ring|search|binary|naimi)");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn dispatch<P: ProtocolNode>(args: &Args) {
+    match (args.conform, args.transport.as_str()) {
+        (true, "tcp") => conform::<P, TcpTransport>(args),
+        (true, "chan") => conform::<P, ChanTransport>(args),
+        (false, "tcp") => bench::<P, TcpTransport>(args),
+        (false, "chan") => bench::<P, ChanTransport>(args),
+        (_, other) => {
+            eprintln!("cluster: unknown transport {other:?} (tcp|chan)");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// The CI smoke path: pinned script, real transport, byte-exact comparison
+/// against the deterministic engine.
+fn conform<P: ProtocolNode, T: Transport>(args: &Args) {
+    let script = ClusterScript::reference(args.seed);
+    let world = run_in_world::<P>(&script);
+    let (real, stats) = run_on_transport::<P, T>(&script).unwrap_or_else(|e| {
+        eprintln!("cluster: transport setup failed: {e}");
+        std::process::exit(1);
+    });
+    let ok = world == real && world.grants.len() == script.requests.len() && stats.is_clean();
+    println!(
+        "conform protocol={} transport={} seed={} grants={} lost={} decode_errors={} {}",
+        P::LABEL,
+        T::label(),
+        args.seed,
+        real.grants.len(),
+        stats.frames_lost,
+        stats.decode_errors,
+        if ok { "OK" } else { "DIVERGED" }
+    );
+    if !ok {
+        eprintln!("world: {world:?}");
+        eprintln!("real:  {real:?}");
+        eprintln!("stats: {stats:?}");
+        std::process::exit(1);
+    }
+}
+
+/// Closed-loop wall-clock benchmark: one outstanding request at a time,
+/// issued round-robin, each timed submission → grant.
+fn bench<P: WireProtocol, T: Transport>(args: &Args) {
+    let config = ClusterConfig::new(args.n)
+        .with_tick(Duration::from_micros(args.tick_us))
+        .with_seed(args.seed);
+    let cluster: Cluster<P> = Cluster::start_on::<T>(config).unwrap_or_else(|e| {
+        eprintln!("cluster: transport setup failed: {e}");
+        std::process::exit(1);
+    });
+    let mut latencies = Vec::with_capacity(args.requests as usize);
+    let start = Instant::now();
+    for k in 0..args.requests {
+        let node = NodeId::new((k % args.n as u64) as u32);
+        let issued = Instant::now();
+        cluster.request(node, k);
+        if !cluster.await_grant(node, Duration::from_secs(30)) {
+            eprintln!("cluster: request {k} to node {node:?} timed out");
+            std::process::exit(1);
+        }
+        latencies.push(issued.elapsed());
+    }
+    let elapsed = start.elapsed();
+    let decode_errors = cluster.decode_errors();
+    let reports = cluster.shutdown();
+    let clean = reports.iter().all(|r| r.is_clean());
+
+    latencies.sort_unstable();
+    let pct = |p: f64| -> Duration {
+        let idx = ((latencies.len() as f64) * p).ceil() as usize;
+        latencies[idx.clamp(1, latencies.len()) - 1]
+    };
+    println!(
+        "cluster protocol={} transport={} n={} requests={} tick_us={}",
+        P::LABEL,
+        T::label(),
+        args.n,
+        args.requests,
+        args.tick_us
+    );
+    println!(
+        "served {} requests in {:.3}s  ({:.1} req/s)",
+        args.requests,
+        elapsed.as_secs_f64(),
+        args.requests as f64 / elapsed.as_secs_f64()
+    );
+    println!(
+        "latency p50 {:.3}ms  p90 {:.3}ms  p99 {:.3}ms  max {:.3}ms",
+        pct(0.50).as_secs_f64() * 1e3,
+        pct(0.90).as_secs_f64() * 1e3,
+        pct(0.99).as_secs_f64() * 1e3,
+        latencies.last().expect("requests > 0").as_secs_f64() * 1e3
+    );
+    println!("decode_errors={decode_errors} clean_shutdown={clean}");
+    if !clean {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,409 @@
+//! Transport-generic conformance harness: the same protocol nodes, the same
+//! request script, run over a *real* byte transport and cross-checked
+//! against the deterministic [`World`] — identical grant order, identical
+//! applied histories.
+//!
+//! ## How determinism survives real sockets
+//!
+//! A TCP loopback mesh delivers frames in whatever order the kernel's
+//! scheduler lands them; replaying a `World` schedule on top of that looks
+//! hopeless until the *driver* owns the clock. Here a single driver thread
+//! hosts every node in an [`atp_net::Harness`] and keeps a virtual clock —
+//! a totally ordered `(tick, seq)` queue, exactly the order a `World` heap
+//! would pop. Every outbound frame is wrapped in a 16-byte envelope
+//! `[arrival_tick u64][seq u64]` **assigned by the driver at send time**,
+//! shipped through the transport as opaque bytes, and re-inserted into the
+//! clock wherever it lands. Landing-order races cannot affect the schedule
+//! because the schedule is decided before the bytes leave.
+//!
+//! The seq-assignment order replicates the original channel harness (which
+//! was proven grant-identical to `World`): externals first, then per
+//! dispatch its timers, then its sends in destination-major order.
+//!
+//! Loss is tolerated, not assumed away: the driver counts frames in flight
+//! and, when a fault hook severs sockets mid-run, declares stragglers lost
+//! after a real-time grace period — at which point the protocols'
+//! ack/retransmit machinery (driven by timer entries already in the clock)
+//! must recover on its own.
+
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+use atp_core::{ProtocolConfig, TokenEvent, Want};
+use atp_net::{
+    CloseReport, Endpoint, Harness, MsgClass, NodeId, SimTime, Topology, Transport, World,
+    WorldConfig,
+};
+
+use crate::runner::ProtocolNode;
+
+/// Byte length of the driver's `[arrival_tick][seq]` envelope prefix.
+const ENVELOPE_LEN: usize = 16;
+
+/// A pinned scenario: ring size, request script, horizon — everything both
+/// engines need to run the identical workload.
+#[derive(Debug, Clone)]
+pub struct ClusterScript {
+    /// Ring size.
+    pub n: usize,
+    /// Stop dispatching once the virtual clock passes this tick.
+    pub horizon: u64,
+    /// Per-hop message latency in ticks. Matches `WorldConfig`'s default
+    /// constant-latency model when set to 1.
+    pub link_latency: u64,
+    /// `(tick, node, payload)` external requests.
+    pub requests: Vec<(u64, u32, u64)>,
+    /// World / harness RNG seed.
+    pub seed: u64,
+}
+
+impl ClusterScript {
+    /// The shared five-node scenario used across the conformance suite:
+    /// spaced requests plus one same-instant pair.
+    pub fn reference(seed: u64) -> Self {
+        ClusterScript {
+            n: 5,
+            horizon: 300,
+            link_latency: 1,
+            requests: vec![(5, 1, 11), (20, 3, 33), (45, 0, 55), (70, 4, 77), (70, 2, 99)],
+            seed,
+        }
+    }
+}
+
+/// A grant, normalized for cross-transport comparison:
+/// `(granted_at_tick, origin, origin_seq)`.
+pub type GrantRec = (u64, u32, u64);
+
+/// What one engine run produced, in cross-checkable form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunOutcome {
+    /// All grants, sorted.
+    pub grants: Vec<GrantRec>,
+    /// Per node: `(applied_seq, history digest)`.
+    pub histories: Vec<(u64, u64)>,
+}
+
+/// Transport-run extras that have no `World` counterpart.
+#[derive(Debug, Clone, Default)]
+pub struct TransportStats {
+    /// Frames the driver gave up waiting for (severed links, transport
+    /// loss). Zero on a healthy transport.
+    pub frames_lost: u64,
+    /// Inbound frames rejected by the envelope parser or the protocol
+    /// codec. Zero unless the transport corrupts bytes.
+    pub decode_errors: u64,
+    /// Per-endpoint teardown reports (thread-leak accounting).
+    pub close_reports: Vec<CloseReport>,
+}
+
+impl TransportStats {
+    /// True when nothing was lost, nothing was undecodable, and every
+    /// endpoint joined all of its threads.
+    pub fn is_clean(&self) -> bool {
+        self.frames_lost == 0
+            && self.decode_errors == 0
+            && self.close_reports.iter().all(CloseReport::is_clean)
+    }
+}
+
+/// Knobs for the transport-side driver.
+pub struct DriverOptions<E> {
+    /// When `Some(k)`, every `k`-th token-class frame is transmitted twice —
+    /// a stuttering link layer the handoff watermark must absorb.
+    pub dup_every_nth_token: Option<u64>,
+    /// How long the driver waits without progress for in-flight frames
+    /// before declaring them lost.
+    pub loss_grace: Duration,
+    /// Invoked once per dispatched clock entry with the endpoints and the
+    /// current virtual tick — the fault-injection hook (sever sockets at a
+    /// chosen tick; default does nothing).
+    #[allow(clippy::type_complexity)]
+    pub fault_hook: Option<Box<dyn FnMut(&mut [E], u64)>>,
+}
+
+impl<E> Default for DriverOptions<E> {
+    fn default() -> Self {
+        DriverOptions {
+            dup_every_nth_token: None,
+            loss_grace: Duration::from_secs(5),
+            fault_hook: None,
+        }
+    }
+}
+
+fn drain_grants(events: Vec<TokenEvent>, grants: &mut Vec<GrantRec>) {
+    for ev in events {
+        if let TokenEvent::Granted { req, at } = ev {
+            grants.push((at.ticks(), req.origin.raw(), req.seq));
+        }
+    }
+}
+
+/// Runs the script inside the canonical deterministic [`World`].
+pub fn run_in_world<P: ProtocolNode>(script: &ClusterScript) -> RunOutcome {
+    let cfg = ProtocolConfig::default();
+    let mut world: World<P> = World::from_nodes(
+        (0..script.n).map(|_| P::build(cfg)).collect(),
+        WorldConfig::default().seed(script.seed),
+    );
+    for &(t, node, payload) in &script.requests {
+        world.schedule_external(SimTime::from_ticks(t), NodeId::new(node), Want::new(payload));
+    }
+    world.run_until(SimTime::from_ticks(script.horizon));
+    let mut grants = Vec::new();
+    let mut histories = Vec::new();
+    for i in 0..script.n {
+        let id = NodeId::new(i as u32);
+        drain_grants(world.node_mut(id).take_events(), &mut grants);
+        let order = world.node(id).order_state();
+        histories.push((order.applied_seq(), order.digest().0));
+    }
+    grants.sort_unstable();
+    RunOutcome { grants, histories }
+}
+
+/// Builds a `T` mesh and runs the script over it with default options.
+///
+/// # Errors
+///
+/// Propagates transport construction failures (socket binds).
+pub fn run_on_transport<P: ProtocolNode, T: Transport>(
+    script: &ClusterScript,
+) -> std::io::Result<(RunOutcome, TransportStats)> {
+    let endpoints = T::endpoints(script.n)?;
+    Ok(run_on_endpoints::<P, T::Endpoint>(
+        script,
+        endpoints,
+        DriverOptions::default(),
+    ))
+}
+
+enum ClockEntry {
+    Deliver { from: NodeId, bytes: Vec<u8> },
+    Timer { kind: u64 },
+    Ext(Want),
+}
+
+/// Runs the script over pre-built endpoints — the full driver.
+///
+/// The virtual clock dispatches exactly one entry at a time; after each
+/// dispatch the resulting sends are enveloped, transmitted, and awaited
+/// back before the next pop, so the transport is a *physically real but
+/// logically transparent* link layer.
+pub fn run_on_endpoints<P: ProtocolNode, E: Endpoint>(
+    script: &ClusterScript,
+    mut endpoints: Vec<E>,
+    mut opts: DriverOptions<E>,
+) -> (RunOutcome, TransportStats) {
+    assert_eq!(endpoints.len(), script.n, "one endpoint per node");
+    let cfg = ProtocolConfig::default();
+    let topology = Topology::ring(script.n);
+    let mut harnesses: Vec<Harness<P>> = (0..script.n)
+        .map(|i| Harness::new(NodeId::new(i as u32), topology, P::build(cfg), script.seed))
+        .collect();
+
+    let mut queue: BTreeMap<(u64, u64), (usize, ClockEntry)> = BTreeMap::new();
+    let mut seq = 0u64;
+    let mut inflight = 0u64;
+    let mut stats = TransportStats::default();
+    let mut token_frames = 0u64;
+
+    for &(t, node, payload) in &script.requests {
+        queue.insert((t, seq), (node as usize, ClockEntry::Ext(Want::new(payload))));
+        seq += 1;
+    }
+
+    // Collects one harness's pending effects. Timers go straight onto the
+    // clock; sends are returned (dest, arrival, bytes) in emit order for
+    // the caller to sequence and transmit.
+    let collect = |h: &mut Harness<P>,
+                   now: u64,
+                   queue: &mut BTreeMap<(u64, u64), (usize, ClockEntry)>,
+                   seq: &mut u64,
+                   token_frames: &mut u64,
+                   dup_every: Option<u64>,
+                   sends: &mut Vec<(usize, usize, u64, Vec<u8>)>| {
+        let from = h.id();
+        for ob in h.take_outbound() {
+            let arrival = now + script.link_latency + ob.hold;
+            let bytes = P::encode_msg(&ob.msg);
+            if ob.class == MsgClass::Token {
+                *token_frames += 1;
+                if let Some(k) = dup_every {
+                    if *token_frames % k == 0 {
+                        // The stuttered copy precedes the original, exactly
+                        // as the reference channel harness sent it.
+                        sends.push((from.index(), ob.to.index(), arrival, bytes.clone()));
+                    }
+                }
+            }
+            sends.push((from.index(), ob.to.index(), arrival, bytes));
+        }
+        for t in h.take_timers() {
+            queue.insert((now + t.delay, *seq), (from.index(), ClockEntry::Timer { kind: t.kind }));
+            *seq += 1;
+        }
+    };
+
+    // Sequences buffered sends destination-major (replicating the reference
+    // harness's drain order), envelopes them, and pushes them into the
+    // transport.
+    let transmit = |sends: &mut Vec<(usize, usize, u64, Vec<u8>)>,
+                    seq: &mut u64,
+                    inflight: &mut u64,
+                    endpoints: &mut Vec<E>| {
+        sends.sort_by_key(|&(_, dest, _, _)| dest);
+        let mut touched = [false; 64];
+        let mut touched_large = Vec::new();
+        for (src, dest, arrival, bytes) in sends.drain(..) {
+            let mut framed = Vec::with_capacity(ENVELOPE_LEN + bytes.len());
+            framed.extend_from_slice(&arrival.to_le_bytes());
+            framed.extend_from_slice(&seq.to_le_bytes());
+            framed.extend_from_slice(&bytes);
+            *seq += 1;
+            *inflight += 1;
+            endpoints[src].stage(NodeId::new(dest as u32), &framed);
+            if src < touched.len() {
+                touched[src] = true;
+            } else {
+                touched_large.push(src);
+            }
+        }
+        for (i, t) in touched.iter().enumerate() {
+            if *t {
+                endpoints[i].flush();
+            }
+        }
+        for i in touched_large {
+            endpoints[i].flush();
+        }
+    };
+
+    // Pulls transported frames back into the clock until nothing is in
+    // flight (or the loss grace expires — severed links lose frames; the
+    // schedule was fixed at send time, so stragglers cannot reorder it).
+    let await_inflight = |queue: &mut BTreeMap<(u64, u64), (usize, ClockEntry)>,
+                          inflight: &mut u64,
+                          endpoints: &mut Vec<E>,
+                          stats: &mut TransportStats| {
+        let mut last_progress = Instant::now();
+        while *inflight > 0 {
+            let mut progressed = false;
+            for (i, ep) in endpoints.iter_mut().enumerate() {
+                while let Some((from, framed)) = ep.recv_timeout(Duration::ZERO) {
+                    progressed = true;
+                    if framed.len() < ENVELOPE_LEN {
+                        stats.decode_errors += 1;
+                        *inflight = inflight.saturating_sub(1);
+                        continue;
+                    }
+                    let at = u64::from_le_bytes(framed[..8].try_into().expect("8 bytes"));
+                    let s = u64::from_le_bytes(framed[8..16].try_into().expect("8 bytes"));
+                    queue.insert(
+                        (at, s),
+                        (
+                            i,
+                            ClockEntry::Deliver {
+                                from,
+                                bytes: framed[ENVELOPE_LEN..].to_vec(),
+                            },
+                        ),
+                    );
+                    *inflight -= 1;
+                }
+            }
+            if progressed {
+                last_progress = Instant::now();
+            } else if last_progress.elapsed() > opts.loss_grace {
+                stats.frames_lost += *inflight;
+                *inflight = 0;
+            } else {
+                // Nothing landed yet (real sockets have real latency):
+                // yield briefly instead of burning the core.
+                std::thread::sleep(Duration::from_micros(100));
+            }
+        }
+    };
+
+    // Init all nodes, then sequence their minted-token sends dest-major —
+    // the same order the reference harness's first drain produced.
+    let mut sends = Vec::new();
+    for h in harnesses.iter_mut() {
+        h.init(SimTime::ZERO);
+        collect(
+            h,
+            0,
+            &mut queue,
+            &mut seq,
+            &mut token_frames,
+            opts.dup_every_nth_token,
+            &mut sends,
+        );
+    }
+    transmit(&mut sends, &mut seq, &mut inflight, &mut endpoints);
+    await_inflight(&mut queue, &mut inflight, &mut endpoints, &mut stats);
+
+    let mut grants = Vec::new();
+    while let Some((&(at, key_seq), _)) = queue.iter().next() {
+        if at > script.horizon {
+            break;
+        }
+        if let Some(hook) = opts.fault_hook.as_mut() {
+            hook(&mut endpoints, at);
+        }
+        let (dest, ev) = queue.remove(&(at, key_seq)).expect("key just observed");
+        let h = &mut harnesses[dest];
+        let now = SimTime::from_ticks(at);
+        match ev {
+            ClockEntry::Deliver { from, bytes } => match P::decode_msg(&bytes) {
+                Ok(msg) => h.deliver(now, from, msg),
+                Err(_) => {
+                    stats.decode_errors += 1;
+                    continue;
+                }
+            },
+            ClockEntry::Timer { kind } => h.fire_timer(now, kind),
+            ClockEntry::Ext(want) => h.external(now, want),
+        }
+        collect(
+            h,
+            at,
+            &mut queue,
+            &mut seq,
+            &mut token_frames,
+            opts.dup_every_nth_token,
+            &mut sends,
+        );
+        transmit(&mut sends, &mut seq, &mut inflight, &mut endpoints);
+        await_inflight(&mut queue, &mut inflight, &mut endpoints, &mut stats);
+    }
+
+    let mut histories = Vec::new();
+    for h in harnesses.iter_mut() {
+        drain_grants(h.node_mut().take_events(), &mut grants);
+        let order = h.node().order_state();
+        histories.push((order.applied_seq(), order.digest().0));
+    }
+    grants.sort_unstable();
+    stats.close_reports = endpoints.iter_mut().map(Endpoint::close).collect();
+    (RunOutcome { grants, histories }, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atp_core::BinaryNode;
+    use atp_net::ChanTransport;
+
+    #[test]
+    fn reference_script_matches_world_over_channels() {
+        let script = ClusterScript::reference(7);
+        let world = run_in_world::<BinaryNode>(&script);
+        assert_eq!(world.grants.len(), script.requests.len());
+        let (chan, stats) =
+            run_on_transport::<BinaryNode, ChanTransport>(&script).expect("infallible");
+        assert_eq!(world, chan);
+        assert!(stats.is_clean(), "{stats:?}");
+    }
+}

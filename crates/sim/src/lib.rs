@@ -37,6 +37,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cluster;
 pub mod dst;
 pub mod experiments;
 pub mod metrics;
@@ -48,6 +49,10 @@ pub mod stats;
 pub mod sweep;
 pub mod workload;
 
+pub use cluster::{
+    run_in_world, run_on_endpoints, run_on_transport, ClusterScript, DriverOptions, GrantRec,
+    RunOutcome, TransportStats,
+};
 pub use metrics::Metrics;
 pub use obs::ObsArgs;
 pub use runner::{

@@ -4,10 +4,10 @@
 use std::time::Instant;
 
 use atp_core::{
-    BinaryNode, EventSource, NaimiNode, ProtocolConfig, RingNode, SearchNode, TokenEvent, Want,
+    BinaryNode, NaimiNode, ProtocolConfig, RingNode, SearchNode, TokenEvent, Want, WireProtocol,
 };
 use atp_net::{
-    FailurePlan, LinkFaults, MsgClass, Node, NodeId, PerLinkLatency, SchedStats, SimTime,
+    FailurePlan, LinkFaults, MsgClass, NodeId, PerLinkLatency, SchedStats, SimTime,
     StepOutcome, UniformLatency, World, WorldConfig,
 };
 use atp_util::json::JsonWriter;
@@ -57,15 +57,11 @@ impl Protocol {
 ///
 /// Implemented for the three node types of `atp-core`; the runner is generic
 /// over this so new protocol variants plug in without touching experiments.
-pub trait ProtocolNode: Node<Ext = Want> + EventSource {
-    /// Constructs a node with the given configuration.
-    fn build(cfg: ProtocolConfig) -> Self;
+pub trait ProtocolNode: WireProtocol {
     /// Grants received so far (cross-checks the metrics stream).
     fn grants_count(&self) -> u64;
     /// Length of the node's applied history prefix.
     fn applied_len(&self) -> u64;
-    /// The node's full ordered-delivery state (prefix-property oracles).
-    fn order_state(&self) -> &atp_core::OrderState;
     /// Whether the node currently holds the token (uniqueness oracle).
     fn holds_token_now(&self) -> bool;
     /// Highest token generation witnessed (regeneration-epoch oracle).
@@ -77,17 +73,11 @@ pub trait ProtocolNode: Node<Ext = Want> + EventSource {
 }
 
 impl ProtocolNode for RingNode {
-    fn build(cfg: ProtocolConfig) -> Self {
-        RingNode::new(cfg)
-    }
     fn grants_count(&self) -> u64 {
         self.grants()
     }
     fn applied_len(&self) -> u64 {
         self.order().applied_seq()
-    }
-    fn order_state(&self) -> &atp_core::OrderState {
-        self.order()
     }
     fn holds_token_now(&self) -> bool {
         self.holds_token()
@@ -104,17 +94,11 @@ impl ProtocolNode for RingNode {
 }
 
 impl ProtocolNode for SearchNode {
-    fn build(cfg: ProtocolConfig) -> Self {
-        SearchNode::new(cfg)
-    }
     fn grants_count(&self) -> u64 {
         self.grants()
     }
     fn applied_len(&self) -> u64 {
         self.order().applied_seq()
-    }
-    fn order_state(&self) -> &atp_core::OrderState {
-        self.order()
     }
     fn holds_token_now(&self) -> bool {
         self.holds_token()
@@ -131,17 +115,11 @@ impl ProtocolNode for SearchNode {
 }
 
 impl ProtocolNode for NaimiNode {
-    fn build(cfg: ProtocolConfig) -> Self {
-        NaimiNode::new(cfg)
-    }
     fn grants_count(&self) -> u64 {
         self.grants()
     }
     fn applied_len(&self) -> u64 {
         self.order().applied_seq()
-    }
-    fn order_state(&self) -> &atp_core::OrderState {
-        self.order()
     }
     fn holds_token_now(&self) -> bool {
         self.holds_token()
@@ -158,17 +136,11 @@ impl ProtocolNode for NaimiNode {
 }
 
 impl ProtocolNode for BinaryNode {
-    fn build(cfg: ProtocolConfig) -> Self {
-        BinaryNode::new(cfg)
-    }
     fn grants_count(&self) -> u64 {
         self.grants()
     }
     fn applied_len(&self) -> u64 {
         self.order().applied_seq()
-    }
-    fn order_state(&self) -> &atp_core::OrderState {
-        self.order()
     }
     fn holds_token_now(&self) -> bool {
         self.holds_token()

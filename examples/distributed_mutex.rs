@@ -27,7 +27,7 @@ fn main() {
                 .with_adaptive_speed(true)
                 .with_max_idle_pass_ticks(64),
         );
-    let cluster = Cluster::start(cfg);
+    let cluster: Cluster = Cluster::start(cfg);
 
     // Every node asks for the critical section several times.
     for round in 0..requests_per_node {

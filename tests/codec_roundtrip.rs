@@ -2,187 +2,33 @@
 //! round-trips exactly, and arbitrary byte soup never panics the decoder.
 //! Runs on the in-repo `atp_util::check` harness.
 //!
-//! The fuzz corpus is driven by the codec's own exhaustive tag lists
-//! ([`known_binary_tags`] / [`known_naimi_tags`]): for every listed tag
-//! there is exactly one generator arm, and [`corpus_covers_every_known_tag`]
-//! proves each arm emits its tag. A message type added to the codec without
-//! a generator arm panics the corpus immediately — new frames cannot dodge
-//! mutation and truncation coverage.
+//! The fuzz corpus lives in `tests/common/corpus.rs` (shared with the
+//! streaming-framer tests) and is driven by the codec's own exhaustive tag
+//! lists: for every listed tag of every framing there is exactly one
+//! generator arm, and [`corpus_covers_every_known_tag`] proves each arm
+//! emits its tag. A message type added to the codec without a generator arm
+//! panics the corpus immediately — new frames cannot dodge mutation and
+//! truncation coverage.
+
+#[path = "common/corpus.rs"]
+mod corpus;
 
 use adaptive_token_passing::core::{
-    decode_binary_msg, decode_naimi_msg, encode_binary_msg, encode_naimi_msg, known_binary_tags,
-    known_naimi_tags, naimi_encoded_len, BinaryMsg, CodecError, Gimme, LogEntry, NaimiMsg,
-    RegenMsg, RegenReply, RequestId, TokenFrame, TokenMode, VisitStamp,
+    decode_binary_msg, decode_naimi_msg, decode_ring_msg, decode_search_msg, encode_binary_msg,
+    encode_naimi_msg, encode_ring_msg, encode_search_msg, known_binary_tags, known_naimi_tags,
+    known_ring_tags, known_search_tags, naimi_encoded_len, ring_encoded_len, search_encoded_len,
+    BinaryMsg, CodecError, Gimme, RequestId, VisitStamp,
 };
 use adaptive_token_passing::net::NodeId;
 use adaptive_token_passing::util::check::{Check, Gen};
 use adaptive_token_passing::util::rng::Rng;
-
-fn arb_node(g: &mut Gen) -> NodeId {
-    NodeId::new(g.gen_range(0u32..1024))
-}
-
-fn arb_req(g: &mut Gen) -> RequestId {
-    let n = arb_node(g);
-    RequestId::new(n, g.gen_range(0..u64::MAX))
-}
-
-fn arb_stamp(g: &mut Gen) -> VisitStamp {
-    VisitStamp(g.gen_range(0..u64::MAX))
-}
-
-fn arb_frame(g: &mut Gen) -> TokenFrame {
-    let cap = g.gen_range(1usize..6);
-    let appends = g.vec(0..8, |g| (arb_node(g), g.gen_range(0u64..100)));
-    let satisfied = g.vec(0..6, |g| (arb_node(g), g.gen_range(0u64..50)));
-    let excluded = g.vec(0..4, arb_node);
-    let mut frame = TokenFrame::new(cap);
-    for (origin, payload) in appends {
-        frame.on_possess(origin, true);
-        frame.append(origin, payload);
-    }
-    for (origin, seq) in satisfied {
-        frame.mark_satisfied(RequestId::new(origin, seq));
-    }
-    for node in excluded {
-        frame.exclude(node);
-    }
-    frame
-}
-
-/// The regen frame behind one of the shared `0x20`-block tags.
-fn regen_msg_for_tag(tag: u8, g: &mut Gen) -> RegenMsg {
-    match tag {
-        0x20 => RegenMsg::Inquiry {
-            generation: g.gen_range(0u32..100),
-        },
-        0x21 => RegenMsg::Reply(RegenReply {
-            generation: g.gen_range(0u32..100),
-            stamp: arb_stamp(g),
-            holder: g.gen_bool(0.5),
-            passed_to: if g.gen_bool(0.5) {
-                Some(arb_node(g))
-            } else {
-                None
-            },
-            applied_seq: g.gen_range(0u64..10_000),
-        }),
-        0x22 => RegenMsg::Please {
-            new_gen: g.gen_range(0u32..100),
-            known_seq: g.gen_range(0u64..10_000),
-            dead: g.vec(0..5, arb_node),
-        },
-        0x23 => RegenMsg::Rejoin,
-        0x24 => RegenMsg::Leave,
-        0x25 => RegenMsg::SyncRequest {
-            from_seq: g.gen_range(0u64..10_000),
-        },
-        0x26 => RegenMsg::SyncReply {
-            entries: g.vec(0..6, |g| LogEntry {
-                seq: g.gen_range(0u64..10_000),
-                origin: arb_node(g),
-                payload: g.gen_range(0u64..1000),
-                round: g.gen_range(0u64..500),
-            }),
-        },
-        0x27 => RegenMsg::TokenAck {
-            generation: g.gen_range(0u32..100),
-            transfer_seq: g.gen_range(0u64..10_000),
-        },
-        0x28 => RegenMsg::GenAnnounce {
-            generation: g.gen_range(0u32..100),
-        },
-        other => panic!("no regen generator for tag {other:#04x} — codec grew a frame the fuzz corpus does not cover"),
-    }
-}
-
-/// One [`BinaryMsg`] that encodes to exactly `tag`.
-fn binary_msg_for_tag(tag: u8, g: &mut Gen) -> BinaryMsg {
-    match tag {
-        0x01 => BinaryMsg::Token {
-            frame: Box::new(arb_frame(g)),
-            mode: TokenMode::Rotate,
-        },
-        0x02 => BinaryMsg::Token {
-            frame: Box::new(arb_frame(g)),
-            mode: TokenMode::Grant {
-                for_req: arb_req(g),
-                return_to: arb_node(g),
-            },
-        },
-        0x03 => BinaryMsg::Token {
-            frame: Box::new(arb_frame(g)),
-            mode: TokenMode::CleanupHop {
-                for_req: arb_req(g),
-                return_to: arb_node(g),
-                trail: g.vec(0..6, arb_node),
-            },
-        },
-        0x04 => BinaryMsg::Token {
-            frame: Box::new(arb_frame(g)),
-            mode: TokenMode::Return,
-        },
-        0x10 => BinaryMsg::Gimme(Gimme {
-            origin: arb_node(g),
-            req: arb_req(g),
-            origin_stamp: arb_stamp(g),
-            span: g.gen_range(0u32..4096),
-            trail: g.vec(0..8, arb_node),
-        }),
-        0x11 => BinaryMsg::DirectedProbe {
-            origin: arb_node(g),
-            req: arb_req(g),
-            span: g.gen_range(0u32..4096),
-        },
-        0x12 => BinaryMsg::DirectedReply {
-            probed: arb_node(g),
-            stamp: arb_stamp(g),
-            req: arb_req(g),
-            span: g.gen_range(0u32..4096),
-        },
-        0x13 => BinaryMsg::ProbeReq {
-            holder: arb_node(g),
-            span: g.gen_range(0u32..4096),
-        },
-        0x14 => BinaryMsg::ProbeHit {
-            origin: arb_node(g),
-            req: arb_req(g),
-        },
-        regen => BinaryMsg::Regen(regen_msg_for_tag(regen, g)),
-    }
-}
-
-/// One [`NaimiMsg`] that encodes to exactly `tag`.
-fn naimi_msg_for_tag(tag: u8, g: &mut Gen) -> NaimiMsg {
-    match tag {
-        0x40 => NaimiMsg::Request {
-            origin: arb_node(g),
-            req: arb_req(g),
-            attempt: g.gen_range(0u32..16),
-            hops: g.gen_range(0u32..64),
-        },
-        0x41 => NaimiMsg::Token {
-            frame: Box::new(arb_frame(g)),
-            grant_for: None,
-        },
-        0x42 => NaimiMsg::Token {
-            frame: Box::new(arb_frame(g)),
-            grant_for: Some(arb_req(g)),
-        },
-        regen => NaimiMsg::Regen(regen_msg_for_tag(regen, g)),
-    }
-}
-
-fn arb_msg(g: &mut Gen) -> BinaryMsg {
-    binary_msg_for_tag(*g.pick(known_binary_tags()), g)
-}
-
-fn arb_naimi_msg(g: &mut Gen) -> NaimiMsg {
-    naimi_msg_for_tag(*g.pick(known_naimi_tags()), g)
-}
+use corpus::{
+    arb_msg, arb_naimi_msg, arb_ring_msg, arb_search_msg, binary_msg_for_tag, naimi_msg_for_tag,
+    ring_msg_for_tag, search_msg_for_tag,
+};
 
 /// Every generator arm produces the tag it claims, for the entire known
-/// tag list of both framings. This is the anchor that makes the fuzz
+/// tag list of all four framings. This is the anchor that makes the fuzz
 /// corpus exhaustive: `known_*_tags()` is asserted against the decoders in
 /// the codec's own unit tests, and here against the generators.
 #[test]
@@ -195,6 +41,14 @@ fn corpus_covers_every_known_tag() {
     for &tag in known_naimi_tags() {
         let bytes = encode_naimi_msg(&naimi_msg_for_tag(tag, &mut g));
         assert_eq!(bytes[0], tag, "naimi generator for {tag:#04x} drifted");
+    }
+    for &tag in known_ring_tags() {
+        let bytes = encode_ring_msg(&ring_msg_for_tag(tag, &mut g));
+        assert_eq!(bytes[0], tag, "ring generator for {tag:#04x} drifted");
+    }
+    for &tag in known_search_tags() {
+        let bytes = encode_search_msg(&search_msg_for_tag(tag, &mut g));
+        assert_eq!(bytes[0], tag, "search generator for {tag:#04x} drifted");
     }
 }
 
@@ -220,12 +74,34 @@ fn every_naimi_message_roundtrips() {
 }
 
 #[test]
+fn every_ring_message_roundtrips() {
+    Check::new("every_ring_message_roundtrips").run(arb_ring_msg, |msg| {
+        let bytes = encode_ring_msg(msg);
+        assert_eq!(bytes.len(), ring_encoded_len(msg));
+        let back = decode_ring_msg(&bytes).expect("decode");
+        assert_eq!(format!("{msg:?}"), format!("{back:?}"));
+    });
+}
+
+#[test]
+fn every_search_message_roundtrips() {
+    Check::new("every_search_message_roundtrips").run(arb_search_msg, |msg| {
+        let bytes = encode_search_msg(msg);
+        assert_eq!(bytes.len(), search_encoded_len(msg));
+        let back = decode_search_msg(&bytes).expect("decode");
+        assert_eq!(format!("{msg:?}"), format!("{back:?}"));
+    });
+}
+
+#[test]
 fn decoder_never_panics_on_garbage() {
     Check::new("decoder_never_panics_on_garbage").run(
         |g| g.vec(0..256, |g| g.gen_range(0u8..=u8::MAX)),
         |bytes| {
             let _ = decode_binary_msg(bytes);
             let _ = decode_naimi_msg(bytes);
+            let _ = decode_ring_msg(bytes);
+            let _ = decode_search_msg(bytes);
         },
     );
 }
@@ -233,15 +109,16 @@ fn decoder_never_panics_on_garbage() {
 /// Seeded byte-mutation fuzzing: corrupting a valid frame anywhere must
 /// produce a clean outcome — `Ok` of some (other) message or a structured
 /// `CodecError` — never a panic, and never an attempt to honor an absurd
-/// length prefix. Runs over the exhaustive corpora of both framings.
+/// length prefix. Runs over the exhaustive corpora of all four framings.
 #[test]
 fn seeded_byte_mutations_are_rejected_not_panicked_on() {
     Check::new("seeded_byte_mutations_are_rejected_not_panicked_on").run(
         |g| {
-            let bytes = if g.gen_bool(0.5) {
-                encode_binary_msg(&arb_msg(g))
-            } else {
-                encode_naimi_msg(&arb_naimi_msg(g))
+            let bytes = match g.gen_range(0u32..4) {
+                0 => encode_binary_msg(&arb_msg(g)),
+                1 => encode_naimi_msg(&arb_naimi_msg(g)),
+                2 => encode_ring_msg(&arb_ring_msg(g)),
+                _ => encode_search_msg(&arb_search_msg(g)),
             };
             let flips = g.vec(1..6, |g| {
                 (g.gen_range(0usize..4096), g.gen_range(1u8..=u8::MAX))
@@ -258,19 +135,23 @@ fn seeded_byte_mutations_are_rejected_not_panicked_on() {
             // because a flip can land on a don't-care payload byte.
             let _ = decode_binary_msg(&bytes);
             let _ = decode_naimi_msg(&bytes);
+            let _ = decode_ring_msg(&bytes);
+            let _ = decode_search_msg(&bytes);
         },
     );
 }
 
 /// Every tag *outside* a decoder's known list is a structured rejection,
 /// not a guess — for all 256 tag bytes, derived from the lists themselves.
-/// The naimi tags are unknown to the binary decoder and vice versa.
+/// Each framing's tags are unknown to every other framing's decoder.
 #[test]
 fn unknown_tags_are_bad_tag_errors() {
     let mut g = Gen::from_seed(0xbad_7a6);
     // A long valid payload, so rejection is attributable to the tag alone.
     let mut binary_bytes = encode_binary_msg(&binary_msg_for_tag(0x10, &mut g));
     let mut naimi_bytes = encode_naimi_msg(&naimi_msg_for_tag(0x40, &mut g));
+    let mut ring_bytes = encode_ring_msg(&ring_msg_for_tag(0x30, &mut g));
+    let mut search_bytes = encode_search_msg(&search_msg_for_tag(0x3a, &mut g));
     for tag in 0u8..=u8::MAX {
         if !known_binary_tags().contains(&tag) {
             binary_bytes[0] = tag;
@@ -284,6 +165,20 @@ fn unknown_tags_are_bad_tag_errors() {
             match decode_naimi_msg(&naimi_bytes) {
                 Err(CodecError::BadTag(t)) => assert_eq!(t, tag),
                 other => panic!("naimi: tag {tag:#04x} decoded as {other:?}"),
+            }
+        }
+        if !known_ring_tags().contains(&tag) {
+            ring_bytes[0] = tag;
+            match decode_ring_msg(&ring_bytes) {
+                Err(CodecError::BadTag(t)) => assert_eq!(t, tag),
+                other => panic!("ring: tag {tag:#04x} decoded as {other:?}"),
+            }
+        }
+        if !known_search_tags().contains(&tag) {
+            search_bytes[0] = tag;
+            match decode_search_msg(&search_bytes) {
+                Err(CodecError::BadTag(t)) => assert_eq!(t, tag),
+                other => panic!("search: tag {tag:#04x} decoded as {other:?}"),
             }
         }
     }

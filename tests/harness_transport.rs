@@ -1,265 +1,83 @@
-//! `Harness` hosts the same protocol nodes outside a `World`. This test
-//! builds a hand-rolled transport — one mpsc channel per node as the link
-//! layer, a single clock merging arrivals, timers and stimuli — hosts a
-//! ring of protocol nodes on it, and cross-checks the outcome against the
-//! identical scenario run inside `World`: same grant order, same applied
-//! histories. The harness is generic over every `ProtocolNode`; the
-//! adaptive binary search and the Naimi–Tréhel path-reversal protocol both
-//! run it, pinned to the same seed and request script.
+//! `Harness` hosts the same protocol nodes outside a `World`. This suite
+//! runs the shared reference scenario through `atp_sim::cluster` — the
+//! transport-generic conformance driver — over the in-process channel
+//! backend, and cross-checks the outcome against the identical scenario
+//! run inside `World`: same grant order, same applied histories. All four
+//! protocol families run it, pinned to the same seed and request script;
+//! `tests/tcp_transport.rs` runs the same driver over real loopback
+//! sockets.
 
-use std::collections::BTreeMap;
-use std::sync::mpsc::{channel, Receiver, Sender};
-
-use adaptive_token_passing::core::{BinaryNode, NaimiNode, ProtocolConfig, TokenEvent, Want};
-use adaptive_token_passing::net::{
-    Harness, MsgClass, NodeId, SimTime, Topology, World, WorldConfig,
+use adaptive_token_passing::net::ChanTransport;
+use adaptive_token_passing::sim::cluster::{
+    run_in_world, run_on_endpoints, run_on_transport, ClusterScript, DriverOptions,
 };
 use adaptive_token_passing::sim::runner::ProtocolNode;
+use atp_core::{BinaryNode, NaimiNode, RingNode, SearchNode};
+use atp_net::Transport;
 
-const N: usize = 5;
-const HORIZON: u64 = 300;
-/// Matches `ConstantLatency::default()`, the `WorldConfig` default.
-const LINK_LATENCY: u64 = 1;
-
-/// What the channel transport routes to a node.
-enum Event<M> {
-    Msg { from: NodeId, msg: M },
-    Timer { kind: u64 },
-    Ext(Want),
-}
-
-/// The shared scenario: spaced requests plus one same-instant pair.
-fn requests() -> Vec<(u64, u32, u64)> {
-    vec![(5, 1, 11), (20, 3, 33), (45, 0, 55), (70, 4, 77), (70, 2, 99)]
-}
-
-/// A grant, normalized for cross-transport comparison.
-type Grant = (u64, u32, u64); // (granted_at, origin, origin_seq)
-
-fn drain_grants(events: Vec<TokenEvent>, grants: &mut Vec<Grant>) {
-    for ev in events {
-        if let TokenEvent::Granted { req, at } = ev {
-            grants.push((at.ticks(), req.origin.raw(), req.seq));
-        }
-    }
-}
-
-/// Runs the scenario on `World` (the canonical engine).
-fn run_in_world<P: ProtocolNode>() -> (Vec<Grant>, Vec<(u64, u64)>) {
-    let cfg = ProtocolConfig::default();
-    let mut world: World<P> = World::from_nodes(
-        (0..N).map(|_| P::build(cfg)).collect(),
-        WorldConfig::default().seed(7),
-    );
-    for (t, node, payload) in requests() {
-        world.schedule_external(SimTime::from_ticks(t), NodeId::new(node), Want::new(payload));
-    }
-    world.run_until(SimTime::from_ticks(HORIZON));
-    let mut grants = Vec::new();
-    let mut histories = Vec::new();
-    for i in 0..N {
-        let id = NodeId::new(i as u32);
-        drain_grants(world.node_mut(id).take_events(), &mut grants);
-        let order = world.node(id).order_state();
-        histories.push((order.applied_seq(), order.digest().0));
-    }
-    grants.sort_unstable();
-    (grants, histories)
-}
-
-/// Runs the identical scenario on `Harness` nodes wired through channels.
-fn run_on_channels<P: ProtocolNode>() -> (Vec<Grant>, Vec<(u64, u64)>)
-where
-    P::Msg: Clone,
-{
-    run_on_channels_with::<P>(None)
-}
-
-/// Like [`run_on_channels`], but when `dup_every_nth_token` is `Some(k)`,
-/// every `k`-th token-class frame is sent down its channel twice — a
-/// link layer that stutters. Handoff watermarks must absorb the copies.
-fn run_on_channels_with<P: ProtocolNode>(
-    dup_every_nth_token: Option<u64>,
-) -> (Vec<Grant>, Vec<(u64, u64)>)
-where
-    P::Msg: Clone,
-{
-    let cfg = ProtocolConfig::default();
-    let topology = Topology::ring(N);
-    let mut harnesses: Vec<Harness<P>> = (0..N)
-        .map(|i| Harness::new(NodeId::new(i as u32), topology, P::build(cfg), 7))
-        .collect();
-
-    // One channel per node: the link layer. Senders are cloned per peer in
-    // a real deployment; a single router end suffices here.
-    #[allow(clippy::type_complexity)]
-    let (txs, rxs): (
-        Vec<Sender<(u64, NodeId, P::Msg)>>,
-        Vec<Receiver<(u64, NodeId, P::Msg)>>,
-    ) = (0..N).map(|_| channel()).unzip();
-
-    // The clock: a totally ordered (time, seq) queue, exactly the order a
-    // `World` heap would pop. Externals enter first (they are scheduled
-    // before the first step), then init effects, then everything routed.
-    let mut queue: BTreeMap<(u64, u64), (usize, Event<P::Msg>)> = BTreeMap::new();
-    let mut seq = 0u64;
-    let push = |queue: &mut BTreeMap<(u64, u64), (usize, Event<P::Msg>)>,
-                    seq: &mut u64,
-                    at: u64,
-                    dest: usize,
-                    ev: Event<P::Msg>| {
-        queue.insert((at, *seq), (dest, ev));
-        *seq += 1;
-    };
-    for (t, node, payload) in requests() {
-        push(
-            &mut queue,
-            &mut seq,
-            t,
-            node as usize,
-            Event::Ext(Want::new(payload)),
-        );
-    }
-
-    // Collects a harness's pending effects: outbound messages go down the
-    // destination's channel stamped with their arrival time; timers go
-    // straight onto the clock.
-    let token_frames = std::cell::Cell::new(0u64);
-    let route = |h: &mut Harness<P>,
-                 now: u64,
-                 queue: &mut BTreeMap<(u64, u64), (usize, Event<P::Msg>)>,
-                 seq: &mut u64| {
-        let from = h.id();
-        for ob in h.take_outbound() {
-            let tx = &txs[ob.to.index()];
-            let arrival = now + LINK_LATENCY + ob.hold;
-            if ob.class == MsgClass::Token {
-                token_frames.set(token_frames.get() + 1);
-                if let Some(k) = dup_every_nth_token {
-                    if token_frames.get() % k == 0 {
-                        tx.send((arrival, from, ob.msg.clone()))
-                            .expect("receiver lives for the whole test");
-                    }
-                }
-            }
-            tx.send((arrival, from, ob.msg))
-                .expect("receiver lives for the whole test");
-        }
-        for t in h.take_timers() {
-            queue.insert((now + t.delay, *seq), (from.index(), Event::Timer { kind: t.kind }));
-            *seq += 1;
-        }
-    };
-
-    // Drains the links into the clock. Channels preserve send order, so
-    // stamping seq at drain time keeps the global order deterministic.
-    let drain_links = |queue: &mut BTreeMap<(u64, u64), (usize, Event<P::Msg>)>, seq: &mut u64| {
-        for (i, rx) in rxs.iter().enumerate() {
-            while let Ok((arrival, from, msg)) = rx.try_recv() {
-                queue.insert((arrival, *seq), (i, Event::Msg { from, msg }));
-                *seq += 1;
-            }
-        }
-    };
-
-    for h in harnesses.iter_mut() {
-        h.init(SimTime::ZERO);
-        route(h, 0, &mut queue, &mut seq);
-    }
-    // Before the clock starts, pull the init-time sends (the minted token)
-    // off the links — otherwise the first pop could run ahead of them.
-    drain_links(&mut queue, &mut seq);
-
-    let mut grants = Vec::new();
-    while let Some((&(at, key_seq), _)) = queue.iter().next() {
-        if at > HORIZON {
-            break;
-        }
-        let (dest, ev) = queue.remove(&(at, key_seq)).expect("key just observed");
-        let h = &mut harnesses[dest];
-        let now = SimTime::from_ticks(at);
-        match ev {
-            Event::Msg { from, msg } => h.deliver(now, from, msg),
-            Event::Timer { kind } => h.fire_timer(now, kind),
-            Event::Ext(want) => h.external(now, want),
-        }
-        route(h, at, &mut queue, &mut seq);
-        drain_links(&mut queue, &mut seq);
-    }
-
-    let mut histories = Vec::new();
-    for h in harnesses.iter_mut() {
-        drain_grants(h.node_mut().take_events(), &mut grants);
-        let order = h.node().order_state();
-        histories.push((order.applied_seq(), order.digest().0));
-    }
-    grants.sort_unstable();
-    (grants, histories)
-}
-
-/// The generic body of the cross-transport check, shared by the per-protocol
-/// tests below.
-fn check_channel_transport_matches_world<P: ProtocolNode>()
-where
-    P::Msg: Clone,
-{
-    let (world_grants, world_histories) = run_in_world::<P>();
-    let (chan_grants, chan_histories) = run_on_channels::<P>();
-
+/// The generic body of the cross-transport check, shared by the
+/// per-protocol tests below.
+fn check_channel_transport_matches_world<P: ProtocolNode>() {
+    let script = ClusterScript::reference(7);
+    let world = run_in_world::<P>(&script);
     assert_eq!(
-        world_grants.len(),
-        requests().len(),
+        world.grants.len(),
+        script.requests.len(),
         "world must grant every request within the horizon"
     );
+    let (chan, stats) = run_on_transport::<P, ChanTransport>(&script).expect("infallible");
     assert_eq!(
-        world_grants, chan_grants,
-        "granted order diverged between World and the channel transport"
+        world, chan,
+        "behavior diverged between World and the channel transport"
     );
-    assert_eq!(
-        world_histories, chan_histories,
-        "applied histories diverged between World and the channel transport"
-    );
+    assert!(stats.is_clean(), "transport not clean: {stats:?}");
 }
 
-fn check_duplicated_tokens_change_nothing<P: ProtocolNode>()
-where
-    P::Msg: Clone,
-{
-    let (world_grants, world_histories) = run_in_world::<P>();
-    let (dup_grants, dup_histories) = run_on_channels_with::<P>(Some(2));
-    assert_eq!(
-        world_grants, dup_grants,
-        "granted order diverged once the transport duplicated token frames"
+fn check_duplicated_tokens_change_nothing<P: ProtocolNode>() {
+    let script = ClusterScript::reference(7);
+    let world = run_in_world::<P>(&script);
+    let endpoints = ChanTransport::endpoints(script.n).expect("infallible");
+    let (dup, stats) = run_on_endpoints::<P, _>(
+        &script,
+        endpoints,
+        DriverOptions {
+            dup_every_nth_token: Some(2),
+            ..DriverOptions::default()
+        },
     );
     assert_eq!(
-        world_histories, dup_histories,
-        "applied histories diverged once the transport duplicated token frames"
+        world, dup,
+        "behavior diverged once the transport duplicated token frames"
     );
+    assert!(stats.is_clean(), "transport not clean: {stats:?}");
 }
 
-fn check_channel_transport_preserves_safety<P: ProtocolNode>()
-where
-    P::Msg: Clone,
-{
-    let (grants, histories) = run_on_channels::<P>();
-    assert_eq!(grants.len(), requests().len());
-    let max = histories.iter().map(|&(len, _)| len).max().unwrap();
-    let digest_of_longest = histories
+fn check_channel_transport_preserves_safety<P: ProtocolNode>() {
+    let script = ClusterScript::reference(7);
+    let (run, _) = run_on_transport::<P, ChanTransport>(&script).expect("infallible");
+    assert_eq!(run.grants.len(), script.requests.len());
+    let max = run.histories.iter().map(|&(len, _)| len).max().unwrap();
+    let digest_of_longest = run
+        .histories
         .iter()
         .find(|&&(len, _)| len == max)
         .map(|&(_, d)| d)
         .unwrap();
-    for &(len, digest) in &histories {
+    for &(len, digest) in &run.histories {
         if len == max {
             assert_eq!(digest, digest_of_longest, "diverged history at frontier");
         }
     }
 }
 
-/// The same nodes, the same schedule, two transports: behavior must agree.
+/// The same nodes, the same schedule, two engines: behavior must agree —
+/// for every protocol family.
 #[test]
 fn channel_transport_matches_world() {
+    check_channel_transport_matches_world::<RingNode>();
+    check_channel_transport_matches_world::<SearchNode>();
     check_channel_transport_matches_world::<BinaryNode>();
+    check_channel_transport_matches_world::<NaimiNode>();
 }
 
 /// A stuttering link layer: every 2nd token-class frame is delivered
@@ -278,15 +96,9 @@ fn channel_transport_preserves_safety() {
     check_channel_transport_preserves_safety::<BinaryNode>();
 }
 
-/// Naimi–Tréhel over the channel transport: path-reversal forwarding and
-/// lazy token shipping must behave identically inside and outside `World`.
-#[test]
-fn naimi_channel_transport_matches_world() {
-    check_channel_transport_matches_world::<NaimiNode>();
-}
-
-/// Naimi under a stuttering link: a duplicated token frame at the *new*
-/// probable owner must be absorbed by the handoff watermark, not re-grant.
+/// Naimi–Tréhel under a stuttering link: a duplicated token frame at the
+/// *new* probable owner must be absorbed by the handoff watermark, not
+/// re-grant.
 #[test]
 fn naimi_duplicated_token_frames_do_not_change_behavior() {
     check_duplicated_tokens_change_nothing::<NaimiNode>();

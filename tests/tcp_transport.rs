@@ -1,0 +1,115 @@
+//! The conformance driver of `tests/harness_transport.rs`, now over real
+//! loopback TCP sockets: length-prefixed frames, one accept thread plus
+//! one reader thread per connection, reconnect-with-backoff — and still
+//! grant-for-grant identical to the deterministic `World`, because the
+//! driver assigns every frame's virtual arrival before the bytes leave.
+//!
+//! Three layers of assurance:
+//! * a seed × protocol matrix (all four families, two seeds) must match
+//!   `World` exactly and tear down without leaking a thread;
+//! * severing every socket mid-run must not lose a single request — the
+//!   ack/retransmit machinery re-drives the handoff over fresh
+//!   connections;
+//! * shutdown is idempotent and accounts for every spawned thread.
+
+use adaptive_token_passing::net::{TcpEndpoint, TcpTransport, Transport};
+use adaptive_token_passing::sim::cluster::{
+    run_in_world, run_on_endpoints, run_on_transport, ClusterScript, DriverOptions,
+};
+use adaptive_token_passing::sim::runner::ProtocolNode;
+use atp_core::{BinaryNode, NaimiNode, RingNode, SearchNode};
+use std::time::Duration;
+
+fn check_tcp_matches_world<P: ProtocolNode>(seed: u64) {
+    let script = ClusterScript::reference(seed);
+    let world = run_in_world::<P>(&script);
+    assert_eq!(
+        world.grants.len(),
+        script.requests.len(),
+        "world must grant every request within the horizon"
+    );
+    let (tcp, stats) = run_on_transport::<P, TcpTransport>(&script).expect("loopback bind");
+    assert_eq!(
+        world, tcp,
+        "behavior diverged between World and loopback TCP"
+    );
+    assert!(stats.is_clean(), "transport not clean: {stats:?}");
+}
+
+/// The full matrix: every protocol family, two seeds, real sockets, and
+/// the outcome must be byte-for-byte what the deterministic engine says.
+#[test]
+fn tcp_loopback_matches_world_for_every_protocol() {
+    for seed in [7, 1003] {
+        check_tcp_matches_world::<RingNode>(seed);
+        check_tcp_matches_world::<SearchNode>(seed);
+        check_tcp_matches_world::<BinaryNode>(seed);
+        check_tcp_matches_world::<NaimiNode>(seed);
+    }
+}
+
+/// Sever every TCP connection mid-run. Frames on the wire at that instant
+/// are gone; the driver declares them lost after the grace period and the
+/// protocol's ack/retransmit timers (already on the virtual clock) must
+/// re-drive the token over freshly reconnected sockets. Every request
+/// still gets granted exactly once, histories stay prefix-consistent, and
+/// teardown still joins every thread.
+#[test]
+fn severed_sockets_recover_with_zero_unserved_requests() {
+    let mut script = ClusterScript::reference(7);
+    // Leave the retransmit machinery room to re-drive lost handoffs.
+    script.horizon = 2_000;
+    let endpoints = TcpTransport::endpoints(script.n).expect("loopback bind");
+    let mut severed = false;
+    let opts: DriverOptions<TcpEndpoint> = DriverOptions {
+        dup_every_nth_token: None,
+        loss_grace: Duration::from_millis(750),
+        fault_hook: Some(Box::new(move |eps: &mut [TcpEndpoint], at: u64| {
+            if !severed && at >= 25 {
+                severed = true;
+                for ep in eps.iter_mut() {
+                    ep.kill_connections();
+                }
+            }
+        })),
+    };
+    let (run, stats) = run_on_endpoints::<BinaryNode, _>(&script, endpoints, opts);
+    assert_eq!(
+        run.grants.len(),
+        script.requests.len(),
+        "unserved requests after socket kill: {run:?} ({stats:?})"
+    );
+    // Exactly-once: origin/seq pairs are unique even though retransmits
+    // re-sent token frames.
+    let mut keys: Vec<_> = run.grants.iter().map(|&(_, o, s)| (o, s)).collect();
+    keys.sort_unstable();
+    keys.dedup();
+    assert_eq!(keys.len(), script.requests.len(), "a request granted twice");
+    // Histories agree wherever they are equally long.
+    let max = run.histories.iter().map(|&(len, _)| len).max().unwrap();
+    let frontier: Vec<_> = run.histories.iter().filter(|&&(l, _)| l == max).collect();
+    assert!(frontier.windows(2).all(|w| w[0].1 == w[1].1));
+    // Faults may lose frames (that is the point), but never leak threads.
+    assert_eq!(stats.decode_errors, 0, "{stats:?}");
+    for report in &stats.close_reports {
+        assert!(report.is_clean(), "thread leak after faults: {report:?}");
+    }
+}
+
+/// Clean shutdown accounting: a healthy run joins every spawned thread
+/// within the close deadline, and closing again is a no-op that reports
+/// the same numbers.
+#[test]
+fn tcp_shutdown_joins_every_thread() {
+    let script = ClusterScript::reference(7);
+    let (_, stats) =
+        run_on_transport::<BinaryNode, TcpTransport>(&script).expect("loopback bind");
+    assert_eq!(stats.close_reports.len(), script.n);
+    for report in &stats.close_reports {
+        assert!(report.is_clean(), "leaked threads: {report:?}");
+        assert!(
+            report.threads_spawned > 0,
+            "a TCP endpoint that spawned no threads never accepted a connection"
+        );
+    }
+}
