@@ -138,6 +138,26 @@ for proto in ring search binary naimi; do
 done
 echo "all four protocols conform to World over loopback TCP"
 
+echo "== chaos recovery smoke =="
+# Crash–restart recovery under wire-level chaos: every protocol family runs
+# the pinned kill/restart × corruption matrix (warm and cold restarts, up to
+# two victims, ~1% byte corruption under the CRC32 framing) over loopback
+# TCP. The binary exits non-zero unless every scenario ends with zero
+# unserved requests, no duplicate grants, no same-generation dual
+# possession, every injected fault accounted for by its detector, and a
+# clean thread teardown. The schedule-deterministic stdout must also be
+# byte-identical across worker counts.
+CH1=$(mktemp) CH4=$(mktemp)
+for proto in ring search binary naimi; do
+  ATP_THREADS=1 cargo run -q --release -p atp-sim --bin cluster -- \
+    --chaos --protocol "$proto" --transport tcp 2>/dev/null > "$CH1"
+  ATP_THREADS=4 cargo run -q --release -p atp-sim --bin cluster -- \
+    --chaos --protocol "$proto" --transport tcp 2>/dev/null > "$CH4"
+  cmp "$CH1" "$CH4"
+done
+rm -f "$CH1" "$CH4"
+echo "chaos recovery matrix clean and byte-identical at ATP_THREADS=1 and 4"
+
 echo "== dependency closure =="
 # Every line of `cargo tree` must be a workspace crate: atp-* or the
 # umbrella package. Anything else means a registry dependency crept in.

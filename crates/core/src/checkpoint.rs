@@ -1,0 +1,299 @@
+//! Durable node state for crash–restart recovery.
+//!
+//! The paper's Section 5 recovery story assumes a restarted node comes
+//! back with *some* persistent state — its history prefix, its request
+//! numbering, its generation watermark — and catches the rest up through
+//! the rejoin/sync sub-protocol. [`Checkpoint`] is exactly that durable
+//! core, shared by all four protocol nodes:
+//!
+//! * the ordered-delivery state (`applied_seq`, digest, and the applied
+//!   log when `record_log` is on) — the prefix-property invariant must
+//!   survive a restart;
+//! * `next_req_seq` — restarting at 0 would mint duplicate
+//!   `(origin, seq)` request ids that every other node dedups away;
+//! * `last_visit` — the circulation stamp rule 6 and the regeneration
+//!   inquiry compare;
+//! * the witnessed `generation` and the handoff `watermark` — so replays
+//!   of pre-crash transfers cannot re-enter after the restart.
+//!
+//! Everything else (held token, traps, pending transfers, outstanding
+//! requests) is deliberately *volatile*: `on_recover` discards a held
+//! token as possibly superseded, and the regeneration machinery re-creates
+//! whatever the ring still needs.
+//!
+//! The encoding follows the message codec's conventions (little-endian,
+//! length-prefixed lists, typed [`CodecError`]s on malformed input) so a
+//! checkpoint travels over the same wire infrastructure as any frame.
+
+use atp_net::NodeId;
+use atp_util::buf::{Buf, BufMut};
+
+use crate::codec::CodecError;
+use crate::order::{HistoryDigest, OrderState};
+use crate::types::{LogEntry, VisitStamp};
+
+/// Checkpoint protocol tag: [`crate::RingNode`].
+pub const CKPT_RING: u8 = 0;
+/// Checkpoint protocol tag: [`crate::SearchNode`].
+pub const CKPT_SEARCH: u8 = 1;
+/// Checkpoint protocol tag: [`crate::BinaryNode`].
+pub const CKPT_BINARY: u8 = 2;
+/// Checkpoint protocol tag: [`crate::NaimiNode`].
+pub const CKPT_NAIMI: u8 = 3;
+
+/// The durable state of one protocol node, as captured by
+/// `checkpoint()` and consumed by `from_checkpoint` on the node types
+/// (or generically via [`crate::WireProtocol`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Checkpoint {
+    /// Which protocol wrote this checkpoint (`CKPT_*`); restoring into a
+    /// different node type is refused.
+    pub protocol: u8,
+    /// Highest token generation the node had witnessed.
+    pub generation: u32,
+    /// Next local request sequence number.
+    pub next_req_seq: u64,
+    /// Last circulation stamp at which the node saw the token.
+    pub last_visit: u64,
+    /// Handoff duplicate-suppression watermark `(generation, transfer_seq)`.
+    pub watermark: Option<(u32, u64)>,
+    /// Length of the applied history prefix.
+    pub applied_seq: u64,
+    /// Chained digest of the applied prefix.
+    pub digest: u64,
+    /// The applied entries themselves (empty when logs were off).
+    pub log: Vec<LogEntry>,
+}
+
+impl Checkpoint {
+    /// Captures the shared durable core from a node's parts. Internal —
+    /// nodes call this from their `checkpoint()` methods.
+    pub(crate) fn capture(
+        protocol: u8,
+        order: &OrderState,
+        next_req_seq: u64,
+        last_visit: VisitStamp,
+        generation: u32,
+        watermark: Option<(u32, u64)>,
+    ) -> Checkpoint {
+        Checkpoint {
+            protocol,
+            generation,
+            next_req_seq,
+            last_visit: last_visit.value(),
+            watermark,
+            applied_seq: order.applied_seq(),
+            digest: order.digest().0,
+            log: order.log().to_vec(),
+        }
+    }
+
+    /// Rebuilds the ordered-delivery state this checkpoint describes.
+    pub(crate) fn restore_order(&self, record_log: bool) -> OrderState {
+        OrderState::restore(
+            record_log,
+            self.applied_seq,
+            HistoryDigest(self.digest),
+            self.log.clone(),
+        )
+    }
+
+    /// The checkpointed visit stamp.
+    pub(crate) fn visit_stamp(&self) -> VisitStamp {
+        VisitStamp(self.last_visit)
+    }
+
+    /// Serializes into `buf` (codec conventions: little-endian, `u32`
+    /// length prefix on the log).
+    pub fn encode(&self, buf: &mut impl BufMut) {
+        buf.put_u8(self.protocol);
+        buf.put_u32_le(self.generation);
+        buf.put_u64_le(self.next_req_seq);
+        buf.put_u64_le(self.last_visit);
+        match self.watermark {
+            Some((g, t)) => {
+                buf.put_u8(1);
+                buf.put_u32_le(g);
+                buf.put_u64_le(t);
+            }
+            None => buf.put_u8(0),
+        }
+        buf.put_u64_le(self.applied_seq);
+        buf.put_u64_le(self.digest);
+        buf.put_u32_le(self.log.len() as u32);
+        for e in &self.log {
+            buf.put_u64_le(e.seq);
+            buf.put_u32_le(e.origin.raw());
+            buf.put_u64_le(e.payload);
+            buf.put_u64_le(e.round);
+        }
+    }
+
+    /// Exact byte length [`Checkpoint::encode`] produces.
+    pub fn encoded_len(&self) -> usize {
+        let watermark = if self.watermark.is_some() { 1 + 4 + 8 } else { 1 };
+        1 + 4 + 8 + 8 + watermark + 8 + 8 + 4 + self.log.len() * 28
+    }
+
+    /// Deserializes a checkpoint previously produced by
+    /// [`Checkpoint::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Typed [`CodecError`]s on truncated input or an unknown protocol
+    /// tag — checkpoint bytes come off a disk or a wire and are untrusted.
+    pub fn decode(buf: &mut impl Buf) -> Result<Checkpoint, CodecError> {
+        let protocol = get_u8(buf)?;
+        if protocol > CKPT_NAIMI {
+            return Err(CodecError::BadTag(protocol));
+        }
+        let generation = get_u32(buf)?;
+        let next_req_seq = get_u64(buf)?;
+        let last_visit = get_u64(buf)?;
+        let watermark = match get_u8(buf)? {
+            0 => None,
+            1 => Some((get_u32(buf)?, get_u64(buf)?)),
+            other => return Err(CodecError::BadTag(other)),
+        };
+        let applied_seq = get_u64(buf)?;
+        let digest = get_u64(buf)?;
+        let n = get_u32(buf)? as usize;
+        let mut log = Vec::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            log.push(LogEntry {
+                seq: get_u64(buf)?,
+                origin: NodeId::new(get_u32(buf)?),
+                payload: get_u64(buf)?,
+                round: get_u64(buf)?,
+            });
+        }
+        Ok(Checkpoint {
+            protocol,
+            generation,
+            next_req_seq,
+            last_visit,
+            watermark,
+            applied_seq,
+            digest,
+            log,
+        })
+    }
+
+    /// Convenience: encodes into a fresh byte vector.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(self.encoded_len());
+        self.encode(&mut buf);
+        buf
+    }
+
+    /// Convenience: decodes from a byte slice.
+    ///
+    /// # Errors
+    ///
+    /// See [`Checkpoint::decode`].
+    pub fn from_bytes(mut bytes: &[u8]) -> Result<Checkpoint, CodecError> {
+        Self::decode(&mut bytes)
+    }
+}
+
+fn get_u8(buf: &mut impl Buf) -> Result<u8, CodecError> {
+    if buf.remaining() < 1 {
+        return Err(CodecError::Truncated);
+    }
+    Ok(buf.get_u8())
+}
+
+fn get_u32(buf: &mut impl Buf) -> Result<u32, CodecError> {
+    if buf.remaining() < 4 {
+        return Err(CodecError::Truncated);
+    }
+    Ok(buf.get_u32_le())
+}
+
+fn get_u64(buf: &mut impl Buf) -> Result<u64, CodecError> {
+    if buf.remaining() < 8 {
+        return Err(CodecError::Truncated);
+    }
+    Ok(buf.get_u64_le())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Checkpoint {
+        Checkpoint {
+            protocol: CKPT_BINARY,
+            generation: 0x0203,
+            next_req_seq: 7,
+            last_visit: 41,
+            watermark: Some((0x0203, 19)),
+            applied_seq: 2,
+            digest: HistoryDigest::EMPTY
+                .chain(&LogEntry { seq: 1, origin: NodeId::new(3), payload: 55, round: 1 })
+                .chain(&LogEntry { seq: 2, origin: NodeId::new(0), payload: 66, round: 1 })
+                .0,
+            log: vec![
+                LogEntry { seq: 1, origin: NodeId::new(3), payload: 55, round: 1 },
+                LogEntry { seq: 2, origin: NodeId::new(0), payload: 66, round: 1 },
+            ],
+        }
+    }
+
+    #[test]
+    fn roundtrips_and_len_matches() {
+        for ck in [
+            sample(),
+            Checkpoint { watermark: None, log: Vec::new(), ..sample() },
+        ] {
+            let bytes = ck.to_bytes();
+            assert_eq!(bytes.len(), ck.encoded_len());
+            assert_eq!(Checkpoint::from_bytes(&bytes).expect("roundtrip"), ck);
+        }
+    }
+
+    #[test]
+    fn truncation_is_typed_at_every_cut() {
+        let bytes = sample().to_bytes();
+        for cut in 0..bytes.len() {
+            assert_eq!(
+                Checkpoint::from_bytes(&bytes[..cut]),
+                Err(CodecError::Truncated),
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_protocol_and_watermark_tags_are_rejected() {
+        let mut bytes = sample().to_bytes();
+        bytes[0] = 9;
+        assert_eq!(Checkpoint::from_bytes(&bytes), Err(CodecError::BadTag(9)));
+        let mut bytes = sample().to_bytes();
+        bytes[1 + 4 + 8 + 8] = 7; // the watermark flag byte
+        assert_eq!(Checkpoint::from_bytes(&bytes), Err(CodecError::BadTag(7)));
+    }
+
+    #[test]
+    fn restore_order_rebuilds_the_digest_chain() {
+        let ck = sample();
+        let order = ck.restore_order(true);
+        assert_eq!(order.applied_seq(), 2);
+        assert_eq!(order.digest().0, ck.digest);
+        assert_eq!(order.log(), ck.log.as_slice());
+        // Per-length digests work again after restore.
+        assert!(order.digest_at(1).is_some());
+        // Logs-off restore keeps the pair but no per-length digests.
+        let bare = Checkpoint { log: Vec::new(), ..ck }.restore_order(false);
+        assert_eq!(bare.applied_seq(), 2);
+        assert!(bare.digest_at(1).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "checkpoint digest does not match")]
+    fn corrupt_log_cannot_restore_silently() {
+        let mut ck = sample();
+        ck.log[0].payload ^= 1;
+        let _ = ck.restore_order(true);
+    }
+}

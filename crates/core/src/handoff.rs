@@ -156,6 +156,20 @@ impl<M> Handoff<M> {
         Some((p.to, p.msg.clone(), p.transfer_seq, p.attempt))
     }
 
+    /// The current duplicate-suppression watermark, if any frame was ever
+    /// accepted or sent. Checkpointed so a restarted node cannot be fooled
+    /// by replays of pre-crash transfers.
+    pub fn watermark(&self) -> Option<(u32, u64)> {
+        self.watermark
+    }
+
+    /// Restores a checkpointed watermark (only ever moves it forward).
+    pub fn restore_watermark(&mut self, watermark: Option<(u32, u64)>) {
+        if watermark > self.watermark {
+            self.watermark = watermark;
+        }
+    }
+
     /// Drops any pending transfer (crash recovery: the frame's fate is
     /// unknowable and a stale retransmit could resurrect a superseded token).
     pub fn clear_pending(&mut self) {

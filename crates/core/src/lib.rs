@@ -44,6 +44,7 @@
 #![warn(missing_docs)]
 
 mod binary;
+mod checkpoint;
 mod codec;
 mod config;
 mod event;
@@ -60,6 +61,7 @@ mod types;
 mod wire;
 
 pub use binary::{BinaryMsg, BinaryNode, Gimme, TokenMode};
+pub use checkpoint::{Checkpoint, CKPT_BINARY, CKPT_NAIMI, CKPT_RING, CKPT_SEARCH};
 pub use codec::{
     decode_binary_msg, decode_naimi_msg, decode_ring_msg, decode_search_msg, encode_binary_msg,
     encode_naimi_msg, encode_ring_msg, encode_search_msg, encoded_len, known_binary_tags,

@@ -73,6 +73,40 @@ impl OrderState {
         }
     }
 
+    /// Rebuilds a local history from checkpointed durable state.
+    ///
+    /// With `record_log` on and a non-empty `log`, the digest chain is
+    /// recomputed entry by entry — the checkpoint's `digest` is then
+    /// required to match, so a corrupted checkpoint cannot silently fork
+    /// the prefix property. With logs off (or an empty log), the
+    /// `(applied_seq, digest)` pair is restored verbatim and per-length
+    /// digests stay unavailable, exactly as after a live run without logs.
+    pub fn restore(
+        record_log: bool,
+        applied_seq: u64,
+        digest: HistoryDigest,
+        log: Vec<LogEntry>,
+    ) -> Self {
+        let mut state = OrderState::new(record_log);
+        if record_log && !log.is_empty() {
+            let mut chained = HistoryDigest::EMPTY;
+            for entry in &log {
+                chained = chained.chain(entry);
+                state.digests.push(chained);
+            }
+            assert_eq!(chained, digest, "checkpoint digest does not match its log");
+            assert_eq!(
+                log.last().map(|e| e.seq),
+                Some(applied_seq),
+                "checkpoint applied_seq does not match its log"
+            );
+            state.log = log;
+        }
+        state.applied_seq = applied_seq;
+        state.digest = digest;
+        state
+    }
+
     /// **Test-only seeded mutation** — do not call outside DST harnesses.
     ///
     /// Makes [`OrderState::apply`] skip only entries *strictly below*

@@ -12,6 +12,7 @@ use std::collections::{BTreeSet, VecDeque};
 
 use atp_net::{Context, MsgClass, Node, NodeId, SimTime};
 
+use crate::checkpoint::{Checkpoint, CKPT_RING};
 use crate::config::ProtocolConfig;
 use crate::event::{EventBuf, EventSource, TokenEvent, Want, WantKind};
 use crate::handoff::{decode_retransmit_timer, retransmit_timer_kind, Handoff};
@@ -125,6 +126,32 @@ impl RingNode {
     /// The node's applied history (local prefix of `H`).
     pub fn order(&self) -> &OrderState {
         &self.order
+    }
+
+    /// Captures the node's durable state for crash–restart recovery.
+    pub fn checkpoint(&self) -> Checkpoint {
+        Checkpoint::capture(
+            CKPT_RING,
+            &self.order,
+            self.next_req_seq,
+            self.last_visit,
+            self.regen.generation,
+            self.handoff.watermark(),
+        )
+    }
+
+    /// Rebuilds a node from a checkpoint (warm restart). Volatile state —
+    /// held token, pending transfers, outstanding requests — starts empty;
+    /// drive the restarted node through `on_recover`, never `on_init`.
+    pub fn from_checkpoint(cfg: ProtocolConfig, ck: &Checkpoint) -> Self {
+        assert_eq!(ck.protocol, CKPT_RING, "checkpoint from a different protocol");
+        let mut node = RingNode::new(cfg);
+        node.order = ck.restore_order(cfg.record_log);
+        node.next_req_seq = ck.next_req_seq;
+        node.last_visit = ck.visit_stamp();
+        node.regen.witness(ck.generation);
+        node.handoff.restore_watermark(ck.watermark);
+        node
     }
 
     /// Total grants this node has received.

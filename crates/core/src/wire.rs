@@ -9,6 +9,7 @@
 //! harnesses and the `cluster` binary all host `P: WireProtocol` without
 //! knowing which of the four systems they are running.
 
+use crate::checkpoint::Checkpoint;
 use crate::codec::{
     decode_binary_msg, decode_naimi_msg, decode_ring_msg, decode_search_msg, encode_binary_msg,
     encode_naimi_msg, encode_ring_msg, encode_search_msg, encoded_len, naimi_encoded_len,
@@ -49,6 +50,15 @@ pub trait WireProtocol: atp_net::Node<Ext = Want> + EventSource + Send + 'static
 
     /// The node's full ordered-delivery state (grant-order conformance).
     fn order_state(&self) -> &OrderState;
+
+    /// Captures the node's durable state for crash–restart recovery; the
+    /// result serializes through [`Checkpoint::encode`] like any frame.
+    fn checkpoint(&self) -> Checkpoint;
+
+    /// Rebuilds a node from a checkpoint (warm restart). Pair with the
+    /// host's recover path (`on_recover`), never with `on_init` — a
+    /// re-initialized node would mint a token the ring already has.
+    fn restore(cfg: ProtocolConfig, ck: &Checkpoint) -> Self;
 }
 
 impl WireProtocol for RingNode {
@@ -68,6 +78,12 @@ impl WireProtocol for RingNode {
     }
     fn order_state(&self) -> &OrderState {
         self.order()
+    }
+    fn checkpoint(&self) -> Checkpoint {
+        RingNode::checkpoint(self)
+    }
+    fn restore(cfg: ProtocolConfig, ck: &Checkpoint) -> Self {
+        RingNode::from_checkpoint(cfg, ck)
     }
 }
 
@@ -89,6 +105,12 @@ impl WireProtocol for SearchNode {
     fn order_state(&self) -> &OrderState {
         self.order()
     }
+    fn checkpoint(&self) -> Checkpoint {
+        SearchNode::checkpoint(self)
+    }
+    fn restore(cfg: ProtocolConfig, ck: &Checkpoint) -> Self {
+        SearchNode::from_checkpoint(cfg, ck)
+    }
 }
 
 impl WireProtocol for BinaryNode {
@@ -109,6 +131,12 @@ impl WireProtocol for BinaryNode {
     fn order_state(&self) -> &OrderState {
         self.order()
     }
+    fn checkpoint(&self) -> Checkpoint {
+        BinaryNode::checkpoint(self)
+    }
+    fn restore(cfg: ProtocolConfig, ck: &Checkpoint) -> Self {
+        BinaryNode::from_checkpoint(cfg, ck)
+    }
 }
 
 impl WireProtocol for NaimiNode {
@@ -128,6 +156,12 @@ impl WireProtocol for NaimiNode {
     }
     fn order_state(&self) -> &OrderState {
         self.order()
+    }
+    fn checkpoint(&self) -> Checkpoint {
+        NaimiNode::checkpoint(self)
+    }
+    fn restore(cfg: ProtocolConfig, ck: &Checkpoint) -> Self {
+        NaimiNode::from_checkpoint(cfg, ck)
     }
 }
 

@@ -1,11 +1,19 @@
-//! Length-prefixed byte framing for stream transports.
+//! Length-prefixed, checksummed byte framing for stream transports.
 //!
 //! A TCP socket is a byte stream: message boundaries do not survive the
 //! trip. This module restores them with the cheapest possible scheme — a
-//! little-endian `u32` payload-length prefix — and a **streaming decoder**
-//! that accepts arbitrary read chunks: one byte at a time, torn across a
-//! length prefix, torn mid-payload, or many frames per read all decode to
-//! the identical frame sequence.
+//! little-endian `u32` payload-length prefix, a payload, and a CRC32
+//! trailer — and a **streaming decoder** that accepts arbitrary read
+//! chunks: one byte at a time, torn across a length prefix, torn
+//! mid-payload, or many frames per read all decode to the identical frame
+//! sequence.
+//!
+//! The trailer is what turns "a corrupted byte on the wire" from a silent
+//! garbage decode at the protocol codec into a typed, countable event at
+//! the framing layer: every payload is followed by its IEEE CRC32, and a
+//! mismatch is [`FrameError::BadChecksum`] — the connection is poisoned
+//! from that point and should be reset, exactly like an oversized
+//! declaration.
 //!
 //! Everything a [`FrameDecoder`] consumes is network-controlled input, so
 //! there are no panics on malformed data: an absurd declared length is a
@@ -36,10 +44,40 @@
 /// Byte length of the `u32` length prefix.
 pub const FRAME_HEADER_LEN: usize = 4;
 
+/// Byte length of the CRC32 trailer following every payload.
+pub const FRAME_TRAILER_LEN: usize = 4;
+
 /// Default cap on a declared payload length. Generous for this protocol
 /// family (the largest frame is a token carrying a bounded history window)
 /// while keeping a hostile 4 GiB length prefix from ever allocating.
 pub const MAX_FRAME_LEN: u32 = 1 << 24; // 16 MiB
+
+/// IEEE CRC32 lookup table (reflected polynomial 0xEDB88320), built at
+/// compile time so the hot path is one table load per byte.
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// IEEE CRC32 of `bytes` (the checksum carried in every frame trailer).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ b as u32) & 0xff) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
 
 /// Why a byte stream failed to frame.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -56,12 +94,23 @@ pub enum FrameError {
         /// Prefix bytes that did arrive.
         got: usize,
     },
-    /// The stream ended inside a frame body (mid-frame disconnect).
+    /// The stream ended inside a frame body or its trailer (mid-frame
+    /// disconnect).
     TruncatedFrame {
         /// The declared payload length.
         declared: u32,
-        /// Payload bytes that did arrive.
+        /// Payload bytes that did arrive (capped at `declared`; a frame
+        /// missing only trailer bytes reports `got == declared`).
         got: usize,
+    },
+    /// The payload's CRC32 did not match the trailer: a byte was corrupted
+    /// in flight. The stream is poisoned from this frame on — reset the
+    /// connection.
+    BadChecksum {
+        /// The checksum the trailer carried.
+        expected: u32,
+        /// The checksum the received payload hashes to.
+        got: u32,
     },
 }
 
@@ -77,13 +126,16 @@ impl std::fmt::Display for FrameError {
             FrameError::TruncatedFrame { declared, got } => {
                 write!(f, "stream ended inside a frame ({got}/{declared} bytes)")
             }
+            FrameError::BadChecksum { expected, got } => {
+                write!(f, "frame checksum mismatch (trailer {expected:#010x}, payload hashes to {got:#010x})")
+            }
         }
     }
 }
 
 impl std::error::Error for FrameError {}
 
-/// Appends `payload` to `out` as one length-prefixed frame.
+/// Appends `payload` to `out` as one length-prefixed, CRC32-trailed frame.
 ///
 /// Writers batch by calling this repeatedly on one buffer and flushing the
 /// buffer to the socket in a single `write_all`.
@@ -102,6 +154,7 @@ pub fn write_frame(out: &mut Vec<u8>, payload: &[u8]) {
     );
     out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
     out.extend_from_slice(payload);
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
 }
 
 /// Streaming frame reassembler: feed it whatever the socket returns, take
@@ -147,15 +200,23 @@ impl FrameDecoder {
     }
 
     /// Unconsumed bytes currently buffered.
-    pub fn buffered(&self) -> usize {
+    pub fn buffered_len(&self) -> usize {
         self.buf.len() - self.start
     }
 
-    /// Takes the next complete frame, if one has fully arrived.
+    /// Unconsumed bytes currently buffered (alias of
+    /// [`FrameDecoder::buffered_len`]).
+    pub fn buffered(&self) -> usize {
+        self.buffered_len()
+    }
+
+    /// Takes the next complete frame, if one has fully arrived and its
+    /// checksum verifies.
     ///
     /// `Ok(None)` means "need more bytes"; call [`FrameDecoder::push`] and
-    /// retry. An [`FrameError::Oversized`] declaration is permanent: the
-    /// stream is unframeable from that point and should be dropped.
+    /// retry. An [`FrameError::Oversized`] declaration or a
+    /// [`FrameError::BadChecksum`] is permanent: the stream is unframeable
+    /// (or corrupt) from that point and should be dropped.
     pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, FrameError> {
         let avail = self.buf.len() - self.start;
         if avail < FRAME_HEADER_LEN {
@@ -172,12 +233,22 @@ impl FrameDecoder {
                 max: self.max_frame,
             });
         }
-        let need = FRAME_HEADER_LEN + declared as usize;
+        let need = FRAME_HEADER_LEN + declared as usize + FRAME_TRAILER_LEN;
         if avail < need {
             return Ok(None);
         }
         let body_start = self.start + FRAME_HEADER_LEN;
-        let frame = self.buf[body_start..body_start + declared as usize].to_vec();
+        let body_end = body_start + declared as usize;
+        let expected = u32::from_le_bytes(
+            self.buf[body_end..body_end + FRAME_TRAILER_LEN]
+                .try_into()
+                .expect("4-byte slice"),
+        );
+        let got = crc32(&self.buf[body_start..body_end]);
+        if got != expected {
+            return Err(FrameError::BadChecksum { expected, got });
+        }
+        let frame = self.buf[body_start..body_end].to_vec();
         self.start += need;
         Ok(Some(frame))
     }
@@ -200,7 +271,7 @@ impl FrameDecoder {
         );
         Err(FrameError::TruncatedFrame {
             declared,
-            got: avail - FRAME_HEADER_LEN,
+            got: (avail - FRAME_HEADER_LEN).min(declared as usize),
         })
     }
 }
@@ -218,6 +289,12 @@ mod tests {
     }
 
     #[test]
+    fn crc32_matches_the_ieee_check_value() {
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
     fn whole_stream_decodes_in_one_push() {
         let mut wire = Vec::new();
         write_frame(&mut wire, b"");
@@ -231,7 +308,7 @@ mod tests {
         assert_eq!(frames[1], b"a");
         assert_eq!(frames[2], vec![7u8; 300]);
         assert!(dec.finish().is_ok());
-        assert_eq!(dec.buffered(), 0);
+        assert_eq!(dec.buffered_len(), 0);
     }
 
     #[test]
@@ -268,6 +345,34 @@ mod tests {
     }
 
     #[test]
+    fn corrupted_byte_is_a_bad_checksum_not_a_garbage_frame() {
+        let payload = [9u8; 32];
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &payload);
+        // Flip one byte at every payload offset: each must surface as a
+        // typed checksum mismatch, never as a successfully decoded frame.
+        for off in 0..payload.len() {
+            let mut corrupt = wire.clone();
+            corrupt[FRAME_HEADER_LEN + off] ^= 0x40;
+            let mut dec = FrameDecoder::new();
+            dec.push(&corrupt);
+            match dec.next_frame() {
+                Err(FrameError::BadChecksum { expected, got }) => assert_ne!(expected, got),
+                other => panic!("offset {off}: expected BadChecksum, got {other:?}"),
+            }
+            // Poison is sticky: the stream stays corrupt.
+            assert!(matches!(dec.next_frame(), Err(FrameError::BadChecksum { .. })));
+        }
+        // A corrupted trailer byte is equally detected.
+        let mut corrupt = wire.clone();
+        let last = corrupt.len() - 1;
+        corrupt[last] ^= 0x01;
+        let mut dec = FrameDecoder::new();
+        dec.push(&corrupt);
+        assert!(matches!(dec.next_frame(), Err(FrameError::BadChecksum { .. })));
+    }
+
+    #[test]
     fn eof_mid_prefix_and_mid_frame_are_distinguished() {
         let mut dec = FrameDecoder::new();
         dec.push(&[1, 0]);
@@ -277,11 +382,23 @@ mod tests {
         let mut dec = FrameDecoder::new();
         let mut wire = Vec::new();
         write_frame(&mut wire, &[9u8; 10]);
-        dec.push(&wire[..wire.len() - 3]);
+        // Cut inside the payload: 4 (prefix) + 10 (payload) + 4 (crc) = 18
+        // on the wire; stopping 7 short leaves 7 payload bytes.
+        dec.push(&wire[..wire.len() - 7]);
         assert_eq!(dec.next_frame(), Ok(None));
         assert_eq!(
             dec.finish(),
             Err(FrameError::TruncatedFrame { declared: 10, got: 7 })
+        );
+
+        // Cut inside the trailer: the payload arrived whole but the frame
+        // is still incomplete.
+        let mut dec = FrameDecoder::new();
+        dec.push(&wire[..wire.len() - 2]);
+        assert_eq!(dec.next_frame(), Ok(None));
+        assert_eq!(
+            dec.finish(),
+            Err(FrameError::TruncatedFrame { declared: 10, got: 10 })
         );
     }
 
@@ -306,5 +423,8 @@ mod tests {
         assert!(FrameError::TruncatedFrame { declared: 8, got: 2 }
             .to_string()
             .contains("2/8"));
+        assert!(FrameError::BadChecksum { expected: 1, got: 2 }
+            .to_string()
+            .contains("checksum mismatch"));
     }
 }

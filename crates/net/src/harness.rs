@@ -140,6 +140,15 @@ impl<N: Node> Harness<N> {
         self.dispatch(now, |n, ctx| n.on_init(ctx));
     }
 
+    /// Brings a restarted node back up through [`Node::on_recover`] instead
+    /// of `on_init` — the path a crash–restart supervisor must take, since
+    /// re-running `on_init` would re-mint tokens the ring already has.
+    /// Marks the harness initialized so no later delivery triggers init.
+    pub fn recover(&mut self, now: SimTime) {
+        self.initialized = true;
+        self.dispatch(now, |n, ctx| n.on_recover(ctx));
+    }
+
     /// Delivers a message from `from` to the hosted node.
     pub fn deliver(&mut self, now: SimTime, from: NodeId, msg: N::Msg) {
         self.init(now);

@@ -70,6 +70,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 mod context;
 mod event;
 mod failure;
@@ -88,6 +89,7 @@ mod transport;
 pub mod wheel;
 mod world;
 
+pub use chaos::{ChaosConfig, ChaosCounters, ChaosEndpoint};
 pub use context::Context;
 pub use event::MsgClass;
 pub use failure::{FailureEvent, FailurePlan};
@@ -101,7 +103,7 @@ pub use sched::{
     SeededShuffle,
 };
 pub use stats::NetStats;
-pub use tcp::{TcpEndpoint, TcpTransport};
+pub use tcp::{FlushError, TcpEndpoint, TcpTransport};
 pub use time::SimTime;
 pub use transport::{ChanEndpoint, ChanTransport, CloseReport, Endpoint, Transport};
 pub use trace::{TraceEvent, TraceKind, TraceLog};

@@ -28,7 +28,7 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use crate::frame::{write_frame, FrameDecoder};
+use crate::frame::{write_frame, FrameDecoder, FrameError};
 use crate::id::NodeId;
 use crate::transport::{CloseReport, Endpoint, Transport};
 
@@ -45,6 +45,36 @@ const READ_CHUNK: usize = 64 * 1024;
 /// The `std::net` loopback backend.
 #[derive(Debug)]
 pub struct TcpTransport;
+
+/// Typed report from [`TcpEndpoint::try_flush`]: which peers could not be
+/// reached even after the reconnect policy, and how many staged frames
+/// each failure cost. `flush()` used to swallow this silently — now every
+/// writer-side drop is both typed here and counted in
+/// [`TcpEndpoint::dropped_frames`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlushError {
+    /// `(peer, frames dropped)` for every unreachable peer this flush.
+    pub failures: Vec<(NodeId, u64)>,
+}
+
+impl FlushError {
+    /// Total frames dropped across all failed peers.
+    pub fn dropped(&self) -> u64 {
+        self.failures.iter().map(|&(_, n)| n).sum()
+    }
+}
+
+impl std::fmt::Display for FlushError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "flush dropped {} frame(s) to unreachable peer(s):", self.dropped())?;
+        for (peer, n) in &self.failures {
+            write!(f, " {}x{}", peer.raw(), n)?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for FlushError {}
 
 impl Transport for TcpTransport {
     type Endpoint = TcpEndpoint;
@@ -77,6 +107,12 @@ struct Shared {
     shutting_down: AtomicBool,
     /// Frames dropped: unreachable peers, unframeable inbound streams.
     lost: AtomicU64,
+    /// Writer-side subset of `lost`: staged frames discarded because the
+    /// peer stayed unreachable through every reconnect attempt.
+    dropped_frames: AtomicU64,
+    /// Inbound frames rejected by the CRC32 trailer check (each one also
+    /// severs its connection, so a poisoned stream cannot deliver garbage).
+    bad_checksums: AtomicU64,
     /// Inbound connections whose stream ended mid-frame (peer died while
     /// transmitting).
     torn_streams: AtomicU64,
@@ -125,6 +161,8 @@ impl TcpEndpoint {
             n: addrs.len(),
             shutting_down: AtomicBool::new(false),
             lost: AtomicU64::new(0),
+            dropped_frames: AtomicU64::new(0),
+            bad_checksums: AtomicU64::new(0),
             torn_streams: AtomicU64::new(0),
             spawned: AtomicUsize::new(0),
             streams: Mutex::new(Vec::new()),
@@ -160,6 +198,59 @@ impl TcpEndpoint {
     /// Inbound connections that ended mid-frame (peer death during a send).
     pub fn torn_streams(&self) -> u64 {
         self.shared.torn_streams.load(Ordering::Relaxed)
+    }
+
+    /// Staged frames discarded on the writer side because the peer stayed
+    /// unreachable through every reconnect attempt. A subset of
+    /// [`Endpoint::frames_lost`].
+    pub fn dropped_frames(&self) -> u64 {
+        self.shared.dropped_frames.load(Ordering::Relaxed)
+    }
+
+    /// Inbound frames whose CRC32 trailer did not match — wire corruption
+    /// detected and the carrying connection reset.
+    pub fn bad_checksums(&self) -> u64 {
+        self.shared.bad_checksums.load(Ordering::Relaxed)
+    }
+
+    /// Like [`Endpoint::flush`], but reports which peers dropped frames
+    /// instead of swallowing the failure. The `dropped_frames` and
+    /// `frames_lost` counters advance either way.
+    pub fn try_flush(&mut self) -> Result<(), FlushError> {
+        // Split-borrow dance: `connect` needs &self fields, links need &mut.
+        let id = self.id;
+        let mut failures = Vec::new();
+        for i in 0..self.links.len() {
+            let link = &mut self.links[i];
+            if link.wbuf.is_empty() {
+                continue;
+            }
+            let addr_count = link.wbuf_frames;
+            let connector = |addr| {
+                for attempt in 0..CONNECT_ATTEMPTS {
+                    if attempt > 0 {
+                        std::thread::sleep(BACKOFF_BASE * (1 << (attempt - 1)));
+                    }
+                    if let Ok(mut stream) = TcpStream::connect(addr) {
+                        let _ = stream.set_nodelay(true);
+                        if stream.write_all(&id.raw().to_le_bytes()).is_ok() {
+                            return Some(stream);
+                        }
+                    }
+                }
+                None
+            };
+            if !TcpEndpoint::flush_link(link, connector) {
+                self.shared.lost.fetch_add(addr_count, Ordering::Relaxed);
+                self.shared.dropped_frames.fetch_add(addr_count, Ordering::Relaxed);
+                failures.push((NodeId::new(i as u32), addr_count));
+            }
+        }
+        if failures.is_empty() {
+            Ok(())
+        } else {
+            Err(FlushError { failures })
+        }
     }
 
     /// Violently severs every live socket this endpoint owns — writer links
@@ -226,32 +317,9 @@ impl Endpoint for TcpEndpoint {
     }
 
     fn flush(&mut self) {
-        // Split-borrow dance: `connect` needs &self fields, links need &mut.
-        let id = self.id;
-        for i in 0..self.links.len() {
-            let link = &mut self.links[i];
-            if link.wbuf.is_empty() {
-                continue;
-            }
-            let addr_count = link.wbuf_frames;
-            let connector = |addr| {
-                for attempt in 0..CONNECT_ATTEMPTS {
-                    if attempt > 0 {
-                        std::thread::sleep(BACKOFF_BASE * (1 << (attempt - 1)));
-                    }
-                    if let Ok(mut stream) = TcpStream::connect(addr) {
-                        let _ = stream.set_nodelay(true);
-                        if stream.write_all(&id.raw().to_le_bytes()).is_ok() {
-                            return Some(stream);
-                        }
-                    }
-                }
-                None
-            };
-            if !TcpEndpoint::flush_link(link, connector) {
-                self.shared.lost.fetch_add(addr_count, Ordering::Relaxed);
-            }
-        }
+        // Drops are typed and counted by try_flush; the trait-level contract
+        // stays best-effort.
+        let _ = self.try_flush();
     }
 
     fn recv_timeout(&mut self, timeout: Duration) -> Option<(NodeId, Vec<u8>)> {
@@ -263,6 +331,10 @@ impl Endpoint for TcpEndpoint {
 
     fn frames_lost(&self) -> u64 {
         self.shared.lost.load(Ordering::Relaxed)
+    }
+
+    fn sever(&mut self) {
+        self.kill_connections();
     }
 
     fn close(&mut self) -> CloseReport {
@@ -386,9 +458,14 @@ fn read_loop(shared: &Shared, mut stream: TcpStream, inbox: Sender<(NodeId, Vec<
                             }
                         }
                         Ok(None) => break,
-                        Err(_) => {
-                            // Unframeable stream (oversized declaration):
-                            // poison — sever and count.
+                        Err(e) => {
+                            // Unframeable stream: poison — sever and count.
+                            // Checksum mismatches get their own counter so
+                            // chaos campaigns can account for every injected
+                            // corruption.
+                            if matches!(e, FrameError::BadChecksum { .. }) {
+                                shared.bad_checksums.fetch_add(1, Ordering::Relaxed);
+                            }
                             shared.lost.fetch_add(1, Ordering::Relaxed);
                             let _ = stream.shutdown(Shutdown::Both);
                             return;
@@ -467,6 +544,29 @@ mod tests {
             assert!(r1.is_clean(), "leaked threads: {r1:?}");
             assert_eq!(ep.close(), r1);
         }
+    }
+
+    #[test]
+    fn corrupted_wire_byte_is_counted_and_the_stream_severed() {
+        let mut eps = TcpTransport::endpoints(2).expect("bind loopback");
+        let addr = eps[1].addr();
+        let mut peer = TcpStream::connect(addr).expect("connect");
+        peer.write_all(&0u32.to_le_bytes()).expect("hello");
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"good");
+        write_frame(&mut wire, b"mangled");
+        let last = wire.len() - 1;
+        wire[last] ^= 0xff; // corrupt the second frame's CRC trailer
+        peer.write_all(&wire).expect("frames");
+        // The intact frame arrives; the corrupted one is detected, counted,
+        // and the connection is reset instead of delivering garbage.
+        assert_eq!(
+            eps[1].recv_timeout(Duration::from_secs(5)),
+            Some((NodeId::new(0), b"good".to_vec()))
+        );
+        assert!(eps[1].recv_timeout(Duration::from_millis(300)).is_none());
+        assert_eq!(eps[1].bad_checksums(), 1);
+        assert_eq!(eps[1].frames_lost(), 1);
     }
 
     #[test]

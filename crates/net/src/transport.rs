@@ -66,6 +66,13 @@ pub trait Endpoint: Send {
     /// undecodable stream). Zero on a healthy transport.
     fn frames_lost(&self) -> u64;
 
+    /// Fault-injection hook: violently severs the endpoint's live
+    /// connections *without* shutting it down, as if the process's sockets
+    /// all died at once. Subsequent traffic re-establishes links through
+    /// the backend's normal reconnect policy. Backends with no severable
+    /// state (in-process channels) treat this as a no-op.
+    fn sever(&mut self) {}
+
     /// Shuts the endpoint down and joins its background machinery.
     /// Idempotent; returns what was cleaned up.
     fn close(&mut self) -> CloseReport;

@@ -16,14 +16,28 @@
 //! outcome (grant order + per-node history digests) must be identical to
 //! the same script inside the deterministic `World`. Exit status 1 on any
 //! divergence, loss, decode error, or leaked thread.
+//!
+//! `--chaos` runs the crash–restart recovery campaign: seeded kill/restart
+//! schedules (warm and cold, up to two victims) combined with ~1% wire-level
+//! byte corruption injected under the CRC32 framing. Every scenario must end
+//! with zero unserved requests, no duplicate grants, no same-generation dual
+//! possession, every injected fault accounted for by its detector, and a
+//! clean thread teardown. The printed report is deterministic so CI can diff
+//! it across thread counts. Exit status 1 on any violation.
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use atp_core::{
-    BinaryNode, Cluster, ClusterConfig, NaimiNode, RingNode, SearchNode, WireProtocol,
+    BinaryNode, Cluster, ClusterConfig, NaimiNode, ProtocolConfig, RingNode, SearchNode,
+    WireProtocol,
 };
-use atp_net::{ChanTransport, NodeId, TcpTransport, Transport};
-use atp_sim::cluster::{run_in_world, run_on_transport, ClusterScript};
+use atp_net::{
+    ChanTransport, ChaosConfig, ChaosCounters, ChaosEndpoint, NodeId, TcpTransport, Transport,
+};
+use atp_sim::cluster::{
+    run_in_world, run_on_endpoints, run_on_transport, ClusterScript, CrashEvent, DriverOptions,
+};
 use atp_sim::runner::ProtocolNode;
 
 struct Args {
@@ -34,6 +48,7 @@ struct Args {
     tick_us: u64,
     seed: u64,
     conform: bool,
+    chaos: bool,
 }
 
 fn parse_args() -> Args {
@@ -45,6 +60,7 @@ fn parse_args() -> Args {
         tick_us: 200,
         seed: 7,
         conform: false,
+        chaos: false,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -64,10 +80,12 @@ fn parse_args() -> Args {
             "--tick-us" => args.tick_us = parse_num(&value(&mut i, "--tick-us"), "--tick-us"),
             "--seed" => args.seed = parse_num(&value(&mut i, "--seed"), "--seed"),
             "--conform" => args.conform = true,
+            "--chaos" => args.chaos = true,
             "--help" | "-h" => {
                 eprintln!(
                     "usage: cluster [--protocol ring|search|binary|naimi] [--n N] \
-                     [--requests K] [--transport tcp|chan] [--tick-us U] [--seed S] [--conform]"
+                     [--requests K] [--transport tcp|chan] [--tick-us U] [--seed S] \
+                     [--conform] [--chaos]"
                 );
                 std::process::exit(0);
             }
@@ -103,12 +121,14 @@ fn main() {
 }
 
 fn dispatch<P: ProtocolNode>(args: &Args) {
-    match (args.conform, args.transport.as_str()) {
-        (true, "tcp") => conform::<P, TcpTransport>(args),
-        (true, "chan") => conform::<P, ChanTransport>(args),
-        (false, "tcp") => bench::<P, TcpTransport>(args),
-        (false, "chan") => bench::<P, ChanTransport>(args),
-        (_, other) => {
+    match (args.chaos, args.conform, args.transport.as_str()) {
+        (true, _, "tcp") => chaos::<P, TcpTransport>(args),
+        (true, _, "chan") => chaos::<P, ChanTransport>(args),
+        (false, true, "tcp") => conform::<P, TcpTransport>(args),
+        (false, true, "chan") => conform::<P, ChanTransport>(args),
+        (false, false, "tcp") => bench::<P, TcpTransport>(args),
+        (false, false, "chan") => bench::<P, ChanTransport>(args),
+        (_, _, other) => {
             eprintln!("cluster: unknown transport {other:?} (tcp|chan)");
             std::process::exit(2);
         }
@@ -139,6 +159,160 @@ fn conform<P: ProtocolNode, T: Transport>(args: &Args) {
         eprintln!("world: {world:?}");
         eprintln!("real:  {real:?}");
         eprintln!("stats: {stats:?}");
+        std::process::exit(1);
+    }
+}
+
+/// One crash–restart scenario of the chaos campaign.
+struct ChaosScenario {
+    name: &'static str,
+    crashes: Vec<CrashEvent>,
+    /// Requests appended to the reference script (late traffic that must
+    /// survive the outage windows).
+    extra_requests: Vec<(u64, u32, u64)>,
+}
+
+/// The pinned kill/restart × corruption matrix. Victims are chosen so no
+/// crash ever swallows an already-dispatched, not-yet-granted request of
+/// its own (a dead process forgets what it wanted; the environment only
+/// re-presents requests the supervisor never delivered).
+fn chaos_scenarios() -> Vec<ChaosScenario> {
+    vec![
+        // Node 3 takes the idle token down with it shortly after its own
+        // grant; recovery needs full Section-5 regeneration.
+        ChaosScenario {
+            name: "warm-token-loss",
+            crashes: vec![CrashEvent { node: 3, at: 40, restart_at: 110, warm: true }],
+            extra_requests: vec![],
+        },
+        // Node 4 is cold-restarted across its own request window: the
+        // request defers past the outage and is served by the new life.
+        ChaosScenario {
+            name: "cold-defer",
+            crashes: vec![CrashEvent { node: 4, at: 60, restart_at: 130, warm: false }],
+            extra_requests: vec![],
+        },
+        // Two victims: the first crash forces regeneration, the second
+        // kills the regenerated token after node 1's late grant. The gap
+        // between node 1's request (160) and its crash (260) spans a full
+        // regen-timeout resend cycle, so even a corrupted request frame is
+        // re-driven and granted before the axe falls.
+        ChaosScenario {
+            name: "double-crash",
+            crashes: vec![
+                CrashEvent { node: 3, at: 40, restart_at: 110, warm: true },
+                CrashEvent { node: 1, at: 260, restart_at: 330, warm: true },
+            ],
+            extra_requests: vec![(160, 1, 111), (280, 0, 121), (360, 2, 131)],
+        },
+    ]
+}
+
+/// The crash–restart recovery campaign: each pinned scenario runs the
+/// supervisor-driven script through [`ChaosEndpoint`]-wrapped transport
+/// endpoints injecting ~1% byte corruption (plus mid-frame cuts in the
+/// two-victim scenario), then checks every recovery oracle.
+fn chaos<P: ProtocolNode, T: Transport>(args: &Args) {
+    let mut failed = false;
+    for (idx, scenario) in chaos_scenarios().into_iter().enumerate() {
+        let mut script = ClusterScript::reference(args.seed);
+        script.cfg = ProtocolConfig::default()
+            .with_regeneration(0)
+            .with_token_acks(true);
+        script.horizon = 600;
+        script.requests.extend(scenario.extra_requests.iter().copied());
+
+        let raw = T::endpoints(script.n).unwrap_or_else(|e| {
+            eprintln!("cluster: transport setup failed: {e}");
+            std::process::exit(1);
+        });
+        let mut chaos_cfg = ChaosConfig::new(args.seed ^ ((idx as u64 + 1) << 32))
+            .corrupt(10)
+            .protect(16);
+        if scenario.crashes.len() > 1 {
+            chaos_cfg = chaos_cfg.truncate(3).disconnect(3);
+        }
+        let endpoints: Vec<ChaosEndpoint<T::Endpoint>> = raw
+            .into_iter()
+            .map(|ep| ChaosEndpoint::new(ep, chaos_cfg))
+            .collect();
+        let counters: Vec<Arc<ChaosCounters>> =
+            endpoints.iter().map(ChaosEndpoint::counters).collect();
+        let opts = DriverOptions {
+            crashes: scenario.crashes.clone(),
+            check_oracles: true,
+            // Writes buffered into a connection the crash just killed
+            // vanish inside the kernel; they would have been discarded as
+            // dead-node traffic anyway, so don't wait long for them.
+            loss_grace: Duration::from_millis(750),
+            ..DriverOptions::default()
+        };
+        let (out, stats) = run_on_endpoints::<P, _>(&script, endpoints, opts);
+
+        let sum = |f: fn(&ChaosCounters) -> u64| -> u64 { counters.iter().map(|c| f(c)).sum() };
+        let injected = sum(|c| c.injected_corruptions.load(std::sync::atomic::Ordering::Relaxed))
+            + sum(|c| c.injected_truncations.load(std::sync::atomic::Ordering::Relaxed))
+            + sum(|c| c.injected_disconnects.load(std::sync::atomic::Ordering::Relaxed));
+        let accounted = ChaosCounters::all_accounted_for(&counters);
+        let clean_close = stats.close_reports.iter().all(|r| r.is_clean());
+        let all_restarted = stats.crash_records.iter().all(|r| r.restarted_at.is_some());
+        let unserved = script.requests.len() as i64 - out.grants.len() as i64;
+        // `frames_lost` is deliberately absent: physical loss only happens
+        // on links into the crashed node (whose traffic the supervisor
+        // discards regardless), and its exact count is a kernel-timing
+        // race — unlike everything asserted here.
+        let ok = unserved == 0
+            && out.duplicate_grants() == 0
+            && stats.dual_possession == 0
+            && accounted
+            && clean_close
+            && all_restarted;
+        failed |= !ok;
+
+        // stdout carries only schedule-deterministic fields so CI can diff
+        // it across thread counts; timing-sensitive tallies go to stderr.
+        println!(
+            "chaos protocol={} transport={} scenario={} seed={} requests={} grants={} \
+             unserved={} dup_grants={} dual_possession={} deferred={} accounted={} \
+             clean_close={} restarted={} {}",
+            P::LABEL,
+            T::label(),
+            scenario.name,
+            args.seed,
+            script.requests.len(),
+            out.grants.len(),
+            unserved,
+            out.duplicate_grants(),
+            stats.dual_possession,
+            stats.requests_deferred,
+            accounted,
+            clean_close,
+            all_restarted,
+            if ok { "OK" } else { "FAILED" }
+        );
+        eprintln!(
+            "  detail injected={} decode_errors={} lost={} discarded={}",
+            injected, stats.decode_errors, stats.frames_lost, stats.entries_discarded
+        );
+        for rec in &stats.crash_records {
+            eprintln!(
+                "  crash node={} warm={} crashed_at={} restarted_at={:?} gen_before={} \
+                 regenerated_at={:?} first_grant_after={:?}",
+                rec.node,
+                rec.warm,
+                rec.crashed_at,
+                rec.restarted_at,
+                rec.generation_before,
+                rec.regenerated_at,
+                rec.first_grant_after
+            );
+        }
+        if !ok {
+            eprintln!("outcome: {out:?}");
+            eprintln!("stats:   {stats:?}");
+        }
+    }
+    if failed {
         std::process::exit(1);
     }
 }

@@ -29,7 +29,7 @@
 use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
-use atp_core::{ProtocolConfig, TokenEvent, Want};
+use atp_core::{Checkpoint, ProtocolConfig, TokenEvent, Want};
 use atp_net::{
     CloseReport, Endpoint, Harness, MsgClass, NodeId, SimTime, Topology, Transport, World,
     WorldConfig,
@@ -55,6 +55,10 @@ pub struct ClusterScript {
     pub requests: Vec<(u64, u32, u64)>,
     /// World / harness RNG seed.
     pub seed: u64,
+    /// Protocol configuration every node is built (or restored) with.
+    /// Crash–restart campaigns need regeneration + token acks enabled; the
+    /// conformance reference keeps the default so both engines agree.
+    pub cfg: ProtocolConfig,
 }
 
 impl ClusterScript {
@@ -67,6 +71,7 @@ impl ClusterScript {
             link_latency: 1,
             requests: vec![(5, 1, 11), (20, 3, 33), (45, 0, 55), (70, 4, 77), (70, 2, 99)],
             seed,
+            cfg: ProtocolConfig::default(),
         }
     }
 }
@@ -84,6 +89,61 @@ pub struct RunOutcome {
     pub histories: Vec<(u64, u64)>,
 }
 
+impl RunOutcome {
+    /// Number of `(origin, seq)` request identities granted more than once —
+    /// the mutual-exclusion ledger's double-service count. Zero on every
+    /// correct run, crash–restart or not.
+    pub fn duplicate_grants(&self) -> usize {
+        let mut ids: Vec<(u32, u64)> = self.grants.iter().map(|&(_, o, s)| (o, s)).collect();
+        ids.sort_unstable();
+        ids.windows(2).filter(|w| w[0] == w[1]).count()
+    }
+}
+
+/// One scheduled node failure for the crash–restart supervisor.
+///
+/// At (the first dispatch boundary at or after) `at`, the victim's durable
+/// state is captured, its transport endpoint is severed, and its harness is
+/// discarded; at `restart_at` a fresh process takes its place — warm
+/// (restored from the crash-time [`Checkpoint`]) or cold (empty history) —
+/// and rejoins through the protocol's own recovery path (`on_recover`).
+#[derive(Debug, Clone, Copy)]
+pub struct CrashEvent {
+    /// Victim node index.
+    pub node: u32,
+    /// Virtual tick at (or after) which the victim crashes.
+    pub at: u64,
+    /// Virtual tick at (or after) which it restarts; clamped to after the
+    /// crash. Restarts past the horizon never happen.
+    pub restart_at: u64,
+    /// Warm restart (restore from checkpoint) vs cold (fresh node).
+    pub warm: bool,
+}
+
+/// What actually happened to one scheduled crash — the measured recovery
+/// timeline backing the fault-model experiments.
+#[derive(Debug, Clone)]
+pub struct CrashRecord {
+    /// Victim node index.
+    pub node: u32,
+    /// Dispatch boundary at which the crash took effect.
+    pub crashed_at: u64,
+    /// Dispatch boundary at which the restart took effect (`None` if the
+    /// run ended first).
+    pub restarted_at: Option<u64>,
+    /// Whether the restart was warm.
+    pub warm: bool,
+    /// Highest token generation witnessed anywhere just before the crash.
+    pub generation_before: u32,
+    /// First tick at which a higher generation was witnessed — i.e. when
+    /// Section 5 regeneration replaced a token lost in the crash. `None`
+    /// when the crash killed no token (nothing needed regenerating).
+    pub regenerated_at: Option<u64>,
+    /// First grant anywhere strictly after the crash tick — service
+    /// resumption. Filled in post-run from the grant ledger.
+    pub first_grant_after: Option<u64>,
+}
+
 /// Transport-run extras that have no `World` counterpart.
 #[derive(Debug, Clone, Default)]
 pub struct TransportStats {
@@ -95,6 +155,17 @@ pub struct TransportStats {
     pub decode_errors: u64,
     /// Per-endpoint teardown reports (thread-leak accounting).
     pub close_reports: Vec<CloseReport>,
+    /// Queued deliveries/timers discarded because their destination was
+    /// crashed — a dead process receives nothing.
+    pub entries_discarded: u64,
+    /// External requests re-queued to after their target's restart.
+    pub requests_deferred: u64,
+    /// Dispatch boundaries at which two live nodes held tokens of the
+    /// *same* generation — the at-most-one-token-per-generation oracle.
+    /// Any non-zero value is a safety violation.
+    pub dual_possession: u64,
+    /// Per-crash recovery timelines (empty when no crashes were scheduled).
+    pub crash_records: Vec<CrashRecord>,
 }
 
 impl TransportStats {
@@ -120,6 +191,12 @@ pub struct DriverOptions<E> {
     /// chosen tick; default does nothing).
     #[allow(clippy::type_complexity)]
     pub fault_hook: Option<Box<dyn FnMut(&mut [E], u64)>>,
+    /// Scheduled crash–restart events the supervisor executes at dispatch
+    /// boundaries. Empty by default.
+    pub crashes: Vec<CrashEvent>,
+    /// Sample the token-possession oracle after every dispatch even when no
+    /// crashes are scheduled (always sampled when `crashes` is non-empty).
+    pub check_oracles: bool,
 }
 
 impl<E> Default for DriverOptions<E> {
@@ -128,6 +205,8 @@ impl<E> Default for DriverOptions<E> {
             dup_every_nth_token: None,
             loss_grace: Duration::from_secs(5),
             fault_hook: None,
+            crashes: Vec::new(),
+            check_oracles: false,
         }
     }
 }
@@ -142,7 +221,7 @@ fn drain_grants(events: Vec<TokenEvent>, grants: &mut Vec<GrantRec>) {
 
 /// Runs the script inside the canonical deterministic [`World`].
 pub fn run_in_world<P: ProtocolNode>(script: &ClusterScript) -> RunOutcome {
-    let cfg = ProtocolConfig::default();
+    let cfg = script.cfg;
     let mut world: World<P> = World::from_nodes(
         (0..script.n).map(|_| P::build(cfg)).collect(),
         WorldConfig::default().seed(script.seed),
@@ -197,7 +276,7 @@ pub fn run_on_endpoints<P: ProtocolNode, E: Endpoint>(
     mut opts: DriverOptions<E>,
 ) -> (RunOutcome, TransportStats) {
     assert_eq!(endpoints.len(), script.n, "one endpoint per node");
-    let cfg = ProtocolConfig::default();
+    let cfg = script.cfg;
     let topology = Topology::ring(script.n);
     let mut harnesses: Vec<Harness<P>> = (0..script.n)
         .map(|i| Harness::new(NodeId::new(i as u32), topology, P::build(cfg), script.seed))
@@ -208,6 +287,17 @@ pub fn run_on_endpoints<P: ProtocolNode, E: Endpoint>(
     let mut inflight = 0u64;
     let mut stats = TransportStats::default();
     let mut token_frames = 0u64;
+
+    // Crash–restart supervisor state. Events take effect at dispatch
+    // boundaries (inflight is always zero there, so a sever loses nothing
+    // that the schedule still counts on).
+    let mut plan: Vec<CrashEvent> = opts.crashes.clone();
+    plan.sort_by_key(|c| (c.at, c.node));
+    let mut plan_idx = 0usize;
+    let mut pending_restarts: BTreeMap<(u64, u32), bool> = BTreeMap::new();
+    let mut dead = vec![false; script.n];
+    let mut checkpoints: Vec<Option<Checkpoint>> = vec![None; script.n];
+    let oracles = opts.check_oracles || !plan.is_empty();
 
     for &(t, node, payload) in &script.requests {
         queue.insert((t, seq), (node as usize, ClockEntry::Ext(Want::new(payload))));
@@ -349,10 +439,130 @@ pub fn run_on_endpoints<P: ProtocolNode, E: Endpoint>(
         if at > script.horizon {
             break;
         }
+
+        // Restarts due at or before this boundary: a fresh process replaces
+        // the dead harness and rejoins via the recovery path (never
+        // `on_init` — a re-initialized node would mint a second token).
+        while let Some((&(rt, node), &warm)) = pending_restarts.iter().next() {
+            if rt > at {
+                break;
+            }
+            pending_restarts.remove(&(rt, node));
+            let v = node as usize;
+            let rebuilt = if warm {
+                match checkpoints[v].as_ref() {
+                    Some(ck) => P::restore(cfg, ck),
+                    None => P::build(cfg),
+                }
+            } else {
+                P::build(cfg)
+            };
+            harnesses[v] = Harness::new(NodeId::new(node), topology, rebuilt, script.seed);
+            harnesses[v].recover(SimTime::from_ticks(at));
+            dead[v] = false;
+            if let Some(rec) = stats
+                .crash_records
+                .iter_mut()
+                .rev()
+                .find(|r| r.node == node && r.restarted_at.is_none())
+            {
+                rec.restarted_at = Some(at);
+            }
+            collect(
+                &mut harnesses[v],
+                at,
+                &mut queue,
+                &mut seq,
+                &mut token_frames,
+                opts.dup_every_nth_token,
+                &mut sends,
+            );
+            transmit(&mut sends, &mut seq, &mut inflight, &mut endpoints);
+            await_inflight(&mut queue, &mut inflight, &mut endpoints, &mut stats);
+        }
+
+        // Crashes due at or before this boundary: capture durable state,
+        // sever the socket mesh, purge everything addressed to the corpse.
+        while plan_idx < plan.len() && plan[plan_idx].at <= at {
+            let ev = plan[plan_idx];
+            plan_idx += 1;
+            let v = ev.node as usize;
+            if v >= script.n || dead[v] {
+                continue;
+            }
+            let gen_before = harnesses
+                .iter()
+                .map(|h| h.node().token_generation())
+                .max()
+                .unwrap_or(0);
+            let h = &mut harnesses[v];
+            drain_grants(h.node_mut().take_events(), &mut grants);
+            checkpoints[v] = Some(h.node().checkpoint());
+            endpoints[v].sever();
+            dead[v] = true;
+            let restart_at = ev.restart_at.max(at + 1);
+            pending_restarts.insert((restart_at, ev.node), ev.warm);
+            stats.crash_records.push(CrashRecord {
+                node: ev.node,
+                crashed_at: at,
+                restarted_at: None,
+                warm: ev.warm,
+                generation_before: gen_before,
+                regenerated_at: None,
+                first_grant_after: None,
+            });
+            // Frames and timers already queued for the victim die with it;
+            // external requests belong to the environment and are
+            // re-presented once the node is back.
+            let doomed: Vec<(u64, u64)> = queue
+                .iter()
+                .filter(|(_, (dest, _))| *dest == v)
+                .map(|(k, _)| *k)
+                .collect();
+            for k in doomed {
+                let (dest, entry) = queue.remove(&k).expect("key just observed");
+                match entry {
+                    ClockEntry::Ext(want) => {
+                        queue.insert((restart_at.max(k.0), seq), (dest, ClockEntry::Ext(want)));
+                        seq += 1;
+                        stats.requests_deferred += 1;
+                    }
+                    _ => stats.entries_discarded += 1,
+                }
+            }
+        }
+
         if let Some(hook) = opts.fault_hook.as_mut() {
             hook(&mut endpoints, at);
         }
-        let (dest, ev) = queue.remove(&(at, key_seq)).expect("key just observed");
+        // The entry may itself have been purged or deferred by a crash that
+        // just took effect.
+        let Some((dest, ev)) = queue.remove(&(at, key_seq)) else {
+            continue;
+        };
+        if dead[dest] {
+            // Addressed to the corpse after the crash boundary (peers keep
+            // transmitting until the protocol notices): defer externals,
+            // drop the rest.
+            match ev {
+                ClockEntry::Ext(want) => {
+                    let rt = pending_restarts
+                        .iter()
+                        .find(|((_, n), _)| *n as usize == dest)
+                        .map(|(&(t, _), _)| t);
+                    match rt {
+                        Some(rt) => {
+                            queue.insert((rt, seq), (dest, ClockEntry::Ext(want)));
+                            seq += 1;
+                            stats.requests_deferred += 1;
+                        }
+                        None => stats.entries_discarded += 1,
+                    }
+                }
+                _ => stats.entries_discarded += 1,
+            }
+            continue;
+        }
         let h = &mut harnesses[dest];
         let now = SimTime::from_ticks(at);
         match ev {
@@ -377,6 +587,29 @@ pub fn run_on_endpoints<P: ProtocolNode, E: Endpoint>(
         );
         transmit(&mut sends, &mut seq, &mut inflight, &mut endpoints);
         await_inflight(&mut queue, &mut inflight, &mut endpoints, &mut stats);
+
+        // Token-possession oracle: two live holders of the same generation
+        // is a mutual-exclusion breach no later check could reconstruct.
+        if oracles {
+            let mut gens: Vec<u32> = Vec::new();
+            let mut max_gen = 0u32;
+            for (i, h) in harnesses.iter().enumerate() {
+                let g = h.node().token_generation();
+                max_gen = max_gen.max(g);
+                if !dead[i] && h.node().holds_token_now() {
+                    gens.push(g);
+                }
+            }
+            gens.sort_unstable();
+            if gens.windows(2).any(|w| w[0] == w[1]) {
+                stats.dual_possession += 1;
+            }
+            for rec in stats.crash_records.iter_mut() {
+                if rec.regenerated_at.is_none() && max_gen > rec.generation_before {
+                    rec.regenerated_at = Some(at);
+                }
+            }
+        }
     }
 
     let mut histories = Vec::new();
@@ -386,6 +619,9 @@ pub fn run_on_endpoints<P: ProtocolNode, E: Endpoint>(
         histories.push((order.applied_seq(), order.digest().0));
     }
     grants.sort_unstable();
+    for rec in stats.crash_records.iter_mut() {
+        rec.first_grant_after = grants.iter().map(|g| g.0).find(|&t| t > rec.crashed_at);
+    }
     stats.close_reports = endpoints.iter_mut().map(Endpoint::close).collect();
     (RunOutcome { grants, histories }, stats)
 }
@@ -395,6 +631,85 @@ mod tests {
     use super::*;
     use atp_core::BinaryNode;
     use atp_net::ChanTransport;
+
+    /// Kill the node most likely to be sitting on the idle token (node 3,
+    /// shortly after its grant), warm-restart it later, and require the
+    /// full recovery story: Section-5 regeneration replaces the token, all
+    /// scripted requests are still served exactly once, and no two live
+    /// nodes ever hold same-generation tokens.
+    #[test]
+    fn crash_restart_supervisor_recovers_over_channels() {
+        let mut script = ClusterScript::reference(7);
+        script.cfg = ProtocolConfig::default()
+            .with_regeneration(0)
+            .with_token_acks(true);
+        script.horizon = 400;
+        let endpoints = ChanTransport::endpoints(script.n).expect("infallible");
+        let opts = DriverOptions {
+            crashes: vec![CrashEvent {
+                node: 3,
+                at: 40,
+                restart_at: 110,
+                warm: true,
+            }],
+            ..DriverOptions::default()
+        };
+        let (out, stats) = run_on_endpoints::<BinaryNode, _>(&script, endpoints, opts);
+        assert_eq!(
+            out.grants.len(),
+            script.requests.len(),
+            "every scripted request must be served despite the crash: {:?}",
+            out.grants
+        );
+        assert_eq!(out.duplicate_grants(), 0, "{:?}", out.grants);
+        assert_eq!(stats.dual_possession, 0);
+        assert_eq!(stats.frames_lost, 0);
+        let rec = &stats.crash_records[0];
+        assert_eq!(rec.node, 3);
+        assert!(rec.restarted_at.is_some(), "{rec:?}");
+        assert!(
+            rec.regenerated_at.is_some(),
+            "the token died with node 3, so regeneration must have fired: {rec:?}"
+        );
+        assert!(
+            rec.first_grant_after.is_some(),
+            "service must resume after the crash: {rec:?}"
+        );
+    }
+
+    /// A cold restart rejoins with empty history; requests deferred past
+    /// the outage are still served and histories stay consistent on the
+    /// survivors.
+    #[test]
+    fn cold_restart_defers_requests_into_the_new_life() {
+        let mut script = ClusterScript::reference(7);
+        script.cfg = ProtocolConfig::default()
+            .with_regeneration(0)
+            .with_token_acks(true);
+        script.horizon = 400;
+        // Node 4's only request arrives at 70, inside its outage window —
+        // the supervisor must hold it until the cold process is back.
+        let endpoints = ChanTransport::endpoints(script.n).expect("infallible");
+        let opts = DriverOptions {
+            crashes: vec![CrashEvent {
+                node: 4,
+                at: 60,
+                restart_at: 130,
+                warm: false,
+            }],
+            ..DriverOptions::default()
+        };
+        let (out, stats) = run_on_endpoints::<BinaryNode, _>(&script, endpoints, opts);
+        assert_eq!(out.grants.len(), script.requests.len(), "{:?}", out.grants);
+        assert_eq!(out.duplicate_grants(), 0, "{:?}", out.grants);
+        assert_eq!(stats.dual_possession, 0);
+        assert!(stats.requests_deferred >= 1, "{stats:?}");
+        assert!(
+            out.grants.iter().any(|&(t, origin, _)| origin == 4 && t >= 130),
+            "node 4's deferred request must be granted after its restart: {:?}",
+            out.grants
+        );
+    }
 
     #[test]
     fn reference_script_matches_world_over_channels() {

@@ -50,8 +50,8 @@ pub mod sweep;
 pub mod workload;
 
 pub use cluster::{
-    run_in_world, run_on_endpoints, run_on_transport, ClusterScript, DriverOptions, GrantRec,
-    RunOutcome, TransportStats,
+    run_in_world, run_on_endpoints, run_on_transport, ClusterScript, CrashEvent, CrashRecord,
+    DriverOptions, GrantRec, RunOutcome, TransportStats,
 };
 pub use metrics::Metrics;
 pub use obs::ObsArgs;

@@ -23,8 +23,8 @@ use adaptive_token_passing::net::NodeId;
 use adaptive_token_passing::util::check::{Check, Gen};
 use adaptive_token_passing::util::rng::Rng;
 use corpus::{
-    arb_msg, arb_naimi_msg, arb_ring_msg, arb_search_msg, binary_msg_for_tag, naimi_msg_for_tag,
-    ring_msg_for_tag, search_msg_for_tag,
+    arb_msg, arb_naimi_msg, arb_ring_msg, arb_search_msg, binary_msg_for_tag, corrupt_one_byte,
+    naimi_msg_for_tag, ring_msg_for_tag, search_msg_for_tag,
 };
 
 /// Every generator arm produces the tag it claims, for the entire known
@@ -218,6 +218,98 @@ fn truncation_always_errors_or_decodes_prefix_free() {
             }
         }
     });
+}
+
+/// Ring-framing corrupted-byte negatives, over every ring tag arm: a
+/// seeded single-byte flip must yield a structured error or a clean
+/// decode of some *other* frame — and a flipped tag byte can never decode
+/// back to the original message.
+#[test]
+fn ring_byte_corruption_is_rejected_or_reinterpreted_never_honored() {
+    Check::new("ring_byte_corruption_is_rejected_or_reinterpreted_never_honored").run(
+        |g| {
+            let msg = arb_ring_msg(g);
+            let mut bytes = encode_ring_msg(&msg);
+            let (idx, _) = corrupt_one_byte(&mut bytes, g);
+            (format!("{msg:?}"), bytes, idx)
+        },
+        |(original, bytes, idx)| match decode_ring_msg(bytes) {
+            Ok(other) => {
+                if *idx == 0 {
+                    assert_ne!(
+                        &format!("{other:?}"),
+                        original,
+                        "a flipped tag byte decoded back to the original ring message"
+                    );
+                }
+            }
+            Err(e) => assert!(
+                matches!(e, CodecError::BadTag(_) | CodecError::Truncated),
+                "unstructured ring decode error: {e:?}"
+            ),
+        },
+    );
+}
+
+/// Search-framing corrupted-byte negatives, over every search tag arm —
+/// same contract as the ring case.
+#[test]
+fn search_byte_corruption_is_rejected_or_reinterpreted_never_honored() {
+    Check::new("search_byte_corruption_is_rejected_or_reinterpreted_never_honored").run(
+        |g| {
+            let msg = arb_search_msg(g);
+            let mut bytes = encode_search_msg(&msg);
+            let (idx, _) = corrupt_one_byte(&mut bytes, g);
+            (format!("{msg:?}"), bytes, idx)
+        },
+        |(original, bytes, idx)| match decode_search_msg(bytes) {
+            Ok(other) => {
+                if *idx == 0 {
+                    assert_ne!(
+                        &format!("{other:?}"),
+                        original,
+                        "a flipped tag byte decoded back to the original search message"
+                    );
+                }
+            }
+            Err(e) => assert!(
+                matches!(e, CodecError::BadTag(_) | CodecError::Truncated),
+                "unstructured search decode error: {e:?}"
+            ),
+        },
+    );
+}
+
+#[test]
+fn ring_truncation_always_errors_or_decodes_prefix_free() {
+    Check::new("ring_truncation_always_errors_or_decodes_prefix_free").run(
+        arb_ring_msg,
+        |msg| {
+            let bytes = encode_ring_msg(msg);
+            if bytes.len() > 1 {
+                let cut = &bytes[..bytes.len() - 1];
+                if let Ok(other) = decode_ring_msg(cut) {
+                    assert_ne!(format!("{msg:?}"), format!("{other:?}"));
+                }
+            }
+        },
+    );
+}
+
+#[test]
+fn search_truncation_always_errors_or_decodes_prefix_free() {
+    Check::new("search_truncation_always_errors_or_decodes_prefix_free").run(
+        arb_search_msg,
+        |msg| {
+            let bytes = encode_search_msg(msg);
+            if bytes.len() > 1 {
+                let cut = &bytes[..bytes.len() - 1];
+                if let Ok(other) = decode_search_msg(cut) {
+                    assert_ne!(format!("{msg:?}"), format!("{other:?}"));
+                }
+            }
+        },
+    );
 }
 
 #[test]

@@ -219,6 +219,18 @@ pub fn arb_search_msg(g: &mut Gen) -> SearchMsg {
     search_msg_for_tag(*g.pick(known_search_tags()), g)
 }
 
+/// Flips one seeded byte of `bytes` in place (the XOR mask is never zero,
+/// so the frame always differs) and reports where. Shared by the
+/// per-framing corrupted-byte negative tests: position 0 is the tag, so
+/// callers can tell "reinterpreted as another variant" from "don't-care
+/// payload byte".
+pub fn corrupt_one_byte(bytes: &mut [u8], g: &mut Gen) -> (usize, u8) {
+    let idx = g.gen_range(0..bytes.len() as u64) as usize;
+    let mask = g.gen_range(1u8..=u8::MAX);
+    bytes[idx] ^= mask;
+    (idx, mask)
+}
+
 /// One encoded frame for every `(framing, tag)` pair — the exhaustive
 /// tag-driven corpus as bytes, for tests that operate below the codec
 /// (streaming framer splits, envelope handling).

@@ -11,7 +11,7 @@
 mod corpus;
 
 use adaptive_token_passing::net::frame::{
-    write_frame, FrameDecoder, FrameError, FRAME_HEADER_LEN, MAX_FRAME_LEN,
+    write_frame, FrameDecoder, FrameError, FRAME_HEADER_LEN, FRAME_TRAILER_LEN, MAX_FRAME_LEN,
 };
 use adaptive_token_passing::util::check::{Check, Gen};
 use adaptive_token_passing::util::rng::Rng;
@@ -159,13 +159,15 @@ fn oversized_declared_length_is_rejected_without_panic() {
 }
 
 /// Mid-frame disconnect: tear the stream at every byte inside the final
-/// frame's payload; `finish` must report the exact shortfall.
+/// frame's payload and CRC trailer; `finish` must report the exact
+/// shortfall (capped at the declared length once only trailer bytes are
+/// missing).
 #[test]
 fn mid_frame_disconnect_is_typed_error() {
     let (wire, expect) = corpus_wire(0xd15c);
     let last = expect.last().expect("non-empty corpus");
-    let last_total = FRAME_HEADER_LEN + last.len();
-    let body_start = wire.len() - last.len();
+    let last_total = FRAME_HEADER_LEN + last.len() + FRAME_TRAILER_LEN;
+    let body_start = wire.len() - last.len() - FRAME_TRAILER_LEN;
     for cut in body_start..wire.len() {
         let mut dec = FrameDecoder::new();
         dec.push(&wire[..cut]);
@@ -175,9 +177,51 @@ fn mid_frame_disconnect_is_typed_error() {
             dec.finish(),
             Err(FrameError::TruncatedFrame {
                 declared: last.len() as u32,
-                got: cut - (wire.len() - last_total) - FRAME_HEADER_LEN,
+                got: (cut - (wire.len() - last_total) - FRAME_HEADER_LEN).min(last.len()),
             }),
             "cut at {cut}"
         );
+    }
+}
+
+/// Wire-level corruption detection: flip one byte inside any frame's
+/// payload or trailer region of the corpus stream and the decoder must
+/// stop with a typed [`FrameError::BadChecksum`] at that frame — earlier
+/// frames still decode, and nothing ever panics or yields garbage bytes
+/// as a "successful" frame.
+#[test]
+fn corrupted_byte_anywhere_is_a_typed_bad_checksum() {
+    let (wire, expect) = corpus_wire(0xcc32);
+    // Walk the stream frame by frame, corrupting one payload byte and one
+    // trailer byte of each frame in turn.
+    let mut frame_start = 0usize;
+    for (idx, frame) in expect.iter().enumerate() {
+        let body = frame_start + FRAME_HEADER_LEN;
+        let trailer = body + frame.len();
+        let offsets = if frame.is_empty() {
+            vec![trailer, trailer + FRAME_TRAILER_LEN - 1]
+        } else {
+            vec![body, body + frame.len() / 2, trailer, trailer + FRAME_TRAILER_LEN - 1]
+        };
+        for off in offsets {
+            let mut corrupt = wire.clone();
+            corrupt[off] ^= 0x80;
+            let mut dec = FrameDecoder::new();
+            dec.push(&corrupt);
+            let mut got = Vec::new();
+            let err = loop {
+                match dec.next_frame() {
+                    Ok(Some(f)) => got.push(f),
+                    Ok(None) => panic!("frame {idx} offset {off}: corruption undetected"),
+                    Err(e) => break e,
+                }
+            };
+            assert!(
+                matches!(err, FrameError::BadChecksum { .. }),
+                "frame {idx} offset {off}: expected BadChecksum, got {err:?}"
+            );
+            assert_eq!(got, expect[..idx], "frame {idx}: earlier frames must survive");
+        }
+        frame_start += FRAME_HEADER_LEN + frame.len() + FRAME_TRAILER_LEN;
     }
 }

@@ -12,7 +12,7 @@
 //!   connections;
 //! * shutdown is idempotent and accounts for every spawned thread.
 
-use adaptive_token_passing::net::{TcpEndpoint, TcpTransport, Transport};
+use adaptive_token_passing::net::{Endpoint, NodeId, TcpEndpoint, TcpTransport, Transport};
 use adaptive_token_passing::sim::cluster::{
     run_in_world, run_on_endpoints, run_on_transport, ClusterScript, DriverOptions,
 };
@@ -72,6 +72,7 @@ fn severed_sockets_recover_with_zero_unserved_requests() {
                 }
             }
         })),
+        ..DriverOptions::default()
     };
     let (run, stats) = run_on_endpoints::<BinaryNode, _>(&script, endpoints, opts);
     assert_eq!(
@@ -94,6 +95,58 @@ fn severed_sockets_recover_with_zero_unserved_requests() {
     for report in &stats.close_reports {
         assert!(report.is_clean(), "thread leak after faults: {report:?}");
     }
+}
+
+/// Close racing an in-flight reconnect backoff: node 0's endpoint is torn
+/// down on another thread *while* node 1 is inside `try_flush`'s
+/// connect-with-backoff loop toward it. The flush must fail with the typed
+/// [`FlushError`] (never hang, never panic), the failed frames must land in
+/// the `dropped_frames` counter, and both close reports must still account
+/// for every spawned thread.
+#[test]
+fn close_racing_reconnect_backoff_keeps_thread_accounting_clean() {
+    let mut eps = TcpTransport::endpoints(2).expect("loopback bind");
+    let mut b = eps.pop().expect("endpoint 1");
+    let mut a = eps.pop().expect("endpoint 0");
+
+    // Prime the B→A link so a live writer connection exists before the race.
+    b.stage(NodeId::new(0), b"prime");
+    b.flush();
+    assert!(
+        a.recv_timeout(Duration::from_secs(2)).is_some(),
+        "primed frame must arrive"
+    );
+
+    // Tear down A concurrently with B's flush attempts. B's writes first
+    // hit the dying connection, then the reconnect loop finds the listener
+    // gone and burns through its backoff schedule.
+    let closer = std::thread::spawn(move || a.close());
+    let mut flush_err = None;
+    for round in 0..10_000u32 {
+        b.stage(NodeId::new(0), &round.to_le_bytes());
+        if let Err(e) = b.try_flush() {
+            flush_err = Some(e);
+            break;
+        }
+    }
+    let report_a = closer.join().expect("closer thread must not panic");
+
+    let err = flush_err.expect("flushing to a closed peer must eventually fail");
+    assert!(err.dropped() >= 1, "{err:?}");
+    assert!(
+        err.failures.iter().any(|&(id, n)| id == NodeId::new(0) && n >= 1),
+        "failure must name the unreachable peer: {err:?}"
+    );
+    assert!(
+        b.dropped_frames() >= err.dropped(),
+        "dropped_frames counter must cover the typed failure: {} < {}",
+        b.dropped_frames(),
+        err.dropped()
+    );
+
+    let report_b = b.close();
+    assert!(report_a.is_clean(), "node 0 leaked threads: {report_a:?}");
+    assert!(report_b.is_clean(), "node 1 leaked threads: {report_b:?}");
 }
 
 /// Clean shutdown accounting: a healthy run joins every spawned thread
