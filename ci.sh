@@ -31,6 +31,7 @@ test -s BENCH_sweep.json
 grep -q '"name":"sched_wheel_churn_1k_pending"' BENCH_sweep.json
 grep -q '"name":"sched_heap_churn_100k_pending"' BENCH_sweep.json
 grep -q '"name":"fig9_large_binary_n10000"' BENCH_sweep.json
+grep -q '"name":"fig_shards_quick"' BENCH_sweep.json
 echo "wrote BENCH_sweep.json ($(wc -l < BENCH_sweep.json) entries)"
 
 echo "== parallel determinism smoke =="
@@ -44,6 +45,9 @@ ATP_THREADS=4 cargo run -q --release -p atp-sim --bin table_fairness -- --quick 
 cmp "$OUT1" "$OUT4"
 ATP_THREADS=1 cargo run -q --release -p atp-sim --bin table_partition -- --quick 2>/dev/null > "$OUT1"
 ATP_THREADS=4 cargo run -q --release -p atp-sim --bin table_partition -- --quick 2>/dev/null > "$OUT4"
+cmp "$OUT1" "$OUT4"
+ATP_THREADS=1 cargo run -q --release -p atp-sim --bin table_shards -- --quick --shards 4 2>/dev/null > "$OUT1"
+ATP_THREADS=4 cargo run -q --release -p atp-sim --bin table_shards -- --quick --shards 4 2>/dev/null > "$OUT4"
 cmp "$OUT1" "$OUT4"
 rm -f "$OUT1" "$OUT4"
 echo "ATP_THREADS=1 and ATP_THREADS=4 outputs are byte-identical"
@@ -100,6 +104,13 @@ echo "== partition dst smoke =="
 # at least 100 cases per protocol. (The checked-in partition-retransmit
 # tape already replayed in the step above.)
 cargo run -q --release -p atp-sim --bin dst -- --budget 120 --partition
+
+echo "== shard dst smoke =="
+# The sharded multi-token plane: 100 fresh key-addressed cases per protocol
+# (random K/N, crash and partition faults in one shard), each checked
+# against the per-shard state oracles and the cross-shard isolation oracle
+# — a fault in shard i must never block a grant in shard j.
+cargo run -q --release -p atp-sim --bin dst -- --budget 100 --shard-dst
 
 echo "== protocol conformance =="
 # Every protocol variant through the same (seed x strategy x fault profile)

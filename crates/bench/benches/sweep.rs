@@ -26,7 +26,7 @@ use std::collections::BinaryHeap;
 use std::time::Instant;
 
 use atp_net::TimerWheel;
-use atp_sim::experiments::{fig10, fig9};
+use atp_sim::experiments::{fig10, fig9, shards};
 use atp_sim::{
     run_experiment, run_experiment_profiled, run_points_profiled, ExperimentSpec, GlobalPoisson,
     Protocol,
@@ -215,6 +215,38 @@ fn main() {
     w.u64(profile.sched.arena_bytes_reused);
     w.key("arena_bytes_allocated");
     w.u64(profile.sched.arena_bytes_allocated);
+    w.end_obj();
+    println!("{}", w.finish());
+
+    // Sharded-plane artifact: aggregate throughput at K = 1 vs K = 4 on
+    // the quick preset (binary protocol). The recorded speedup is the
+    // acceptance number — ci.sh greps this line into BENCH_sweep.json.
+    let shard_cfg = shards::Config::quick();
+    let shard_points = shards::series(&shard_cfg);
+    let shard_tp = |k: u16| {
+        shard_points
+            .iter()
+            .find(|p| p.shards == k && p.protocol == Protocol::Binary)
+            .map_or(0.0, |p| p.grants_per_kilotick)
+    };
+    let mut w = JsonWriter::new();
+    w.begin_obj();
+    w.key("suite");
+    w.str("sweep");
+    w.key("name");
+    w.str("fig_shards_quick");
+    w.key("n");
+    w.u64(shard_cfg.n as u64);
+    w.key("k1_grants_per_ktick");
+    w.f64(shard_tp(1));
+    w.key("k4_grants_per_ktick");
+    w.f64(shard_tp(4));
+    w.key("k4_speedup");
+    w.f64(if shard_tp(1) > 0.0 {
+        shard_tp(4) / shard_tp(1)
+    } else {
+        0.0
+    });
     w.end_obj();
     println!("{}", w.finish());
 

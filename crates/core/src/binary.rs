@@ -1175,7 +1175,8 @@ impl Node for BinaryNode {
     type Ext = Want;
 
     fn on_init(&mut self, ctx: &mut Context<'_, BinaryMsg>) {
-        if ctx.id().index() == 0 {
+        let holder = self.cfg.effective_initial_holder(ctx.topology().len());
+        if ctx.id().index() == holder as usize {
             let token = Box::new(TokenFrame::new(self.cfg.effective_window(ctx.topology().len())));
             self.handle_token(token, TokenMode::Rotate, ctx);
         }

@@ -66,6 +66,7 @@ const TAG_SEARCH_GIMME: u8 = 0x3a;
 const TAG_NAIMI_REQUEST: u8 = 0x40;
 const TAG_NAIMI_TOKEN_LAZY: u8 = 0x41;
 const TAG_NAIMI_TOKEN_GRANT: u8 = 0x42;
+const TAG_SHARD_ENVELOPE: u8 = 0x50;
 
 /// Every tag byte [`decode_binary_msg`] accepts, in ascending order.
 ///
@@ -146,6 +147,50 @@ pub fn known_naimi_tags() -> &'static [u8] {
         TAG_NAIMI_TOKEN_LAZY,
         TAG_NAIMI_TOKEN_GRANT,
     ]
+}
+
+/// Every tag byte [`decode_shard_frame`] accepts.
+pub fn known_shard_tags() -> &'static [u8] {
+    &[TAG_SHARD_ENVELOPE]
+}
+
+/// Wraps an already-encoded protocol frame in a shard envelope so one
+/// byte stream can multiplex `K` independent protocol instances: tag,
+/// little-endian shard id, inner frame.
+pub fn encode_shard_frame(shard: u16, inner: &[u8]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(shard_frame_encoded_len(inner.len()));
+    buf.put_u8(TAG_SHARD_ENVELOPE);
+    buf.put_slice(&shard.to_le_bytes());
+    buf.put_slice(inner);
+    buf
+}
+
+/// Exact byte length [`encode_shard_frame`] produces for an inner frame
+/// of `inner_len` bytes.
+pub fn shard_frame_encoded_len(inner_len: usize) -> usize {
+    3 + inner_len
+}
+
+/// Splits a shard envelope into `(shard id, inner frame bytes)`. The
+/// inner frame is *not* decoded — the host routes it to the shard's
+/// protocol instance, whose own decoder treats it as untrusted input.
+///
+/// # Errors
+///
+/// Returns [`CodecError::BadTag`] for a non-envelope frame and
+/// [`CodecError::Truncated`] when the shard id is cut short.
+pub fn decode_shard_frame(bytes: &[u8]) -> Result<(u16, &[u8]), CodecError> {
+    let Some((&tag, rest)) = bytes.split_first() else {
+        return Err(CodecError::Truncated);
+    };
+    if tag != TAG_SHARD_ENVELOPE {
+        return Err(CodecError::BadTag(tag));
+    }
+    if rest.len() < 2 {
+        return Err(CodecError::Truncated);
+    }
+    let shard = u16::from_le_bytes([rest[0], rest[1]]);
+    Ok((shard, &rest[2..]))
 }
 
 fn put_req(buf: &mut Vec<u8>, req: RequestId) {

@@ -97,6 +97,11 @@ pub struct ProtocolConfig {
     /// Capacity of the token's satisfied-request window used by rotation
     /// cleanup; `0` selects `2 * N` at token creation.
     pub satisfied_window: usize,
+    /// The node that mints the initial token in `on_init` (the shard's
+    /// *home* in the sharded plane; consistent-hash placement picks it).
+    /// Values outside the topology wrap modulo `N`, so the default `0`
+    /// reproduces the historical single-token behaviour exactly.
+    pub initial_holder: u32,
     /// Nodes retain their full applied history and emit
     /// [`TokenEvent::Delivered`](crate::TokenEvent::Delivered) events (needed
     /// by prefix-property assertions). Disable for figure-scale runs to keep
@@ -128,6 +133,7 @@ impl Default for ProtocolConfig {
             ack_backoff_cap_ticks: 64,
             regen_timeout_ticks: 0,
             satisfied_window: 0,
+            initial_holder: 0,
             record_log: true,
             test_bad_prefix_skip: false,
         }
@@ -225,6 +231,21 @@ impl ProtocolConfig {
     pub fn with_satisfied_window(mut self, cap: usize) -> Self {
         self.satisfied_window = cap;
         self
+    }
+
+    /// Sets which node mints the initial token (wraps modulo `N`).
+    pub fn with_initial_holder(mut self, node: u32) -> Self {
+        self.initial_holder = node;
+        self
+    }
+
+    /// The effective initial token holder for a topology of `n` nodes.
+    pub fn effective_initial_holder(&self, n: usize) -> u32 {
+        if n == 0 {
+            0
+        } else {
+            self.initial_holder % n as u32
+        }
     }
 
     /// **Test-only**: plants the off-by-one prefix-skip fault (see

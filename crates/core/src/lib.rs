@@ -55,6 +55,7 @@ mod regen;
 mod ring;
 mod runtime;
 mod search;
+mod shard;
 mod service;
 mod token;
 mod types;
@@ -63,10 +64,11 @@ mod wire;
 pub use binary::{BinaryMsg, BinaryNode, Gimme, TokenMode};
 pub use checkpoint::{Checkpoint, CKPT_BINARY, CKPT_NAIMI, CKPT_RING, CKPT_SEARCH};
 pub use codec::{
-    decode_binary_msg, decode_naimi_msg, decode_ring_msg, decode_search_msg, encode_binary_msg,
-    encode_naimi_msg, encode_ring_msg, encode_search_msg, encoded_len, known_binary_tags,
-    known_naimi_tags, known_ring_tags, known_search_tags, naimi_encoded_len, ring_encoded_len,
-    search_encoded_len, CodecError,
+    decode_binary_msg, decode_naimi_msg, decode_ring_msg, decode_search_msg, decode_shard_frame,
+    encode_binary_msg, encode_naimi_msg, encode_ring_msg, encode_search_msg, encode_shard_frame,
+    encoded_len, known_binary_tags, known_naimi_tags, known_ring_tags, known_search_tags,
+    known_shard_tags, naimi_encoded_len, ring_encoded_len, search_encoded_len,
+    shard_frame_encoded_len, CodecError,
 };
 pub use config::{ProtocolConfig, SearchMode, TrapCleanup};
 pub use event::{EventSource, TokenEvent, Want};
@@ -75,8 +77,11 @@ pub use naimi::{NaimiMsg, NaimiNode};
 pub use order::{HistoryDigest, OrderState};
 pub use regen::{gen_epoch, gen_minter, make_gen, RegenEngine, RegenMsg, RegenReply, RegenVerdict};
 pub use ring::{RingMsg, RingNode};
-pub use runtime::{Cluster, ClusterConfig, ClusterHandle};
+pub use runtime::{
+    Cluster, ClusterConfig, ClusterHandle, ShardedCluster, ShardedClusterConfig,
+};
 pub use search::{SearchMsg, SearchNode};
+pub use shard::{Ring as ShardRing, RingPosition, ShardId, ShardMap, ShardMove, DEFAULT_PROBES};
 pub use service::{Delivery, Lease, ServiceError, TokenService};
 pub use token::TokenFrame;
 pub use types::{Grant, LogEntry, RequestId, VisitStamp};

@@ -768,12 +768,13 @@ impl Node for NaimiNode {
     type Ext = Want;
 
     fn on_init(&mut self, ctx: &mut Context<'_, NaimiMsg>) {
-        if ctx.id().index() == 0 {
+        let holder = self.cfg.effective_initial_holder(ctx.topology().len());
+        if ctx.id().index() == holder as usize {
             let token = TokenFrame::new(self.cfg.effective_window(ctx.topology().len()));
             self.handle_token(Box::new(token), ctx);
         } else {
-            // Everyone initially believes node 0 owns the token.
-            self.last = Some(NodeId::new(0));
+            // Everyone initially believes the configured holder owns the token.
+            self.last = Some(NodeId::new(holder));
         }
     }
 

@@ -512,7 +512,8 @@ impl Node for RingNode {
     type Ext = Want;
 
     fn on_init(&mut self, ctx: &mut Context<'_, RingMsg>) {
-        if ctx.id().index() == 0 {
+        let holder = self.cfg.effective_initial_holder(ctx.topology().len());
+        if ctx.id().index() == holder as usize {
             let token = Box::new(TokenFrame::new(self.cfg.effective_window(ctx.topology().len())));
             self.handle_token(token, ctx);
         }

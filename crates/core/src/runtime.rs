@@ -42,6 +42,7 @@ use atp_util::rng::{Rng, SeedableRng, StdRng};
 use crate::binary::BinaryNode;
 use crate::config::ProtocolConfig;
 use crate::event::{TokenEvent, Want};
+use crate::shard::{ShardId, ShardMap};
 use crate::wire::WireProtocol;
 
 /// Configuration for a threaded [`Cluster`].
@@ -467,6 +468,414 @@ fn node_main<P: WireProtocol, E: Endpoint>(
     report
 }
 
+/// Configuration for a [`ShardedCluster`].
+#[derive(Debug, Clone)]
+pub struct ShardedClusterConfig {
+    /// Number of nodes (threads).
+    pub n: usize,
+    /// Number of shards `K` (independent tokens).
+    pub shards: u16,
+    /// Protocol tunables applied to every shard; each shard's
+    /// `initial_holder` is overridden with its consistent-hash home.
+    pub protocol: ProtocolConfig,
+    /// Wall-clock duration of one simulated tick.
+    pub tick: Duration,
+    /// RNG seed base (node `i`, shard `s` uses `seed + i` namespaced by `s`).
+    pub seed: u64,
+}
+
+impl ShardedClusterConfig {
+    /// Sensible defaults for `n` nodes and `k` shards.
+    pub fn new(n: usize, shards: u16) -> Self {
+        ShardedClusterConfig {
+            n,
+            shards,
+            protocol: ProtocolConfig::default()
+                .with_adaptive_speed(true)
+                .with_max_idle_pass_ticks(64),
+            tick: Duration::from_millis(1),
+            seed: 0,
+        }
+    }
+
+    /// Overrides the protocol configuration.
+    pub fn with_protocol(mut self, protocol: ProtocolConfig) -> Self {
+        self.protocol = protocol;
+        self
+    }
+
+    /// Overrides the tick duration.
+    pub fn with_tick(mut self, tick: Duration) -> Self {
+        self.tick = tick;
+        self
+    }
+
+    /// Overrides the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+enum ShardControl {
+    External(ShardId, Want),
+    Shutdown,
+}
+
+/// A running multi-token cluster: `K` independent instances of protocol
+/// `P` multiplexed over one transport, with **key-addressed** requests.
+///
+/// Callers no longer pick a node: [`ShardedCluster::request`] hashes the
+/// key to a shard ([`ShardMap::shard_of_key`]), and the `Want` enters at
+/// the shard's consistent-hash home node. On the wire every frame is a
+/// [`crate::encode_shard_frame`] envelope; each node thread demuxes by
+/// shard id into one [`Harness`] per shard, so a frame from shard *i*
+/// can never perturb shard *j*.
+///
+/// ```rust
+/// use atp_core::{ShardedCluster, ShardedClusterConfig};
+/// use std::time::Duration;
+///
+/// let cluster: ShardedCluster = ShardedCluster::start(
+///     ShardedClusterConfig::new(3, 4).with_tick(Duration::from_micros(200)),
+/// );
+/// cluster.request(0xfeed, 42); // key-addressed: no NodeId in sight
+/// assert!(cluster.await_grant(0xfeed, Duration::from_secs(10)));
+/// cluster.shutdown();
+/// ```
+pub struct ShardedCluster<P: WireProtocol = BinaryNode> {
+    map: ShardMap,
+    senders: Vec<Sender<ShardControl>>,
+    events_rx: Receiver<(ShardId, NodeId, TokenEvent)>,
+    threads: Vec<JoinHandle<CloseReport>>,
+    grants: Arc<Mutex<Vec<u64>>>,
+    decode_errors: Arc<AtomicU64>,
+    _protocol: std::marker::PhantomData<P>,
+}
+
+impl<P: WireProtocol> std::fmt::Debug for ShardedCluster<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedCluster")
+            .field("protocol", &P::LABEL)
+            .field("n", &self.senders.len())
+            .field("shards", &self.map.shards())
+            .finish()
+    }
+}
+
+impl<P: WireProtocol> ShardedCluster<P> {
+    /// Starts `config.n` node threads over in-process channels, each
+    /// hosting `config.shards` protocol instances.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.n == 0` or `config.shards == 0`.
+    pub fn start(config: ShardedClusterConfig) -> Self {
+        ShardedCluster::start_on::<ChanTransport>(config).expect("channel transport is infallible")
+    }
+
+    /// Starts the sharded cluster on an arbitrary byte transport.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport construction failures (socket binds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.n == 0` or `config.shards == 0`.
+    pub fn start_on<T: Transport>(config: ShardedClusterConfig) -> std::io::Result<Self> {
+        assert!(config.n > 0, "cluster needs at least one node");
+        let map = ShardMap::new(config.shards, config.n);
+        let topology = Topology::ring(config.n);
+        let endpoints = T::endpoints(config.n)?;
+        let (events_tx, events_rx) = channel();
+        let mut senders = Vec::with_capacity(config.n);
+        let mut receivers = Vec::with_capacity(config.n);
+        for _ in 0..config.n {
+            let (tx, rx) = channel::<ShardControl>();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        let grants = Arc::new(Mutex::new(vec![0u64; config.shards as usize]));
+        let decode_errors = Arc::new(AtomicU64::new(0));
+        let mut threads = Vec::with_capacity(config.n);
+        for (i, (rx, endpoint)) in receivers.into_iter().zip(endpoints).enumerate() {
+            let id = NodeId::new(i as u32);
+            let map = map.clone();
+            let cfg = config.protocol;
+            let tick = config.tick;
+            let seed = config.seed.wrapping_add(i as u64);
+            let events_tx = events_tx.clone();
+            let grants = Arc::clone(&grants);
+            let decode_errors = Arc::clone(&decode_errors);
+            threads.push(std::thread::spawn(move || {
+                sharded_node_main::<P, T::Endpoint>(
+                    id,
+                    topology,
+                    map,
+                    cfg,
+                    tick,
+                    seed,
+                    rx,
+                    endpoint,
+                    events_tx,
+                    grants,
+                    decode_errors,
+                )
+            }));
+        }
+        Ok(ShardedCluster {
+            map,
+            senders,
+            events_rx,
+            threads,
+            grants,
+            decode_errors,
+            _protocol: std::marker::PhantomData,
+        })
+    }
+
+    /// The placement table (key → shard → home node).
+    pub fn map(&self) -> &ShardMap {
+        &self.map
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Always `false`: clusters have at least one node.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Key-addressed request: hashes `key` to a shard and makes that
+    /// shard's ring acquire its token to broadcast `payload`. Returns the
+    /// shard the key routed to.
+    pub fn request(&self, key: u64, payload: u64) -> ShardId {
+        let shard = self.map.shard_of_key(key);
+        let home = self.map.home(shard);
+        let _ = self.senders[home.index()].send(ShardControl::External(shard, Want::new(payload)));
+        shard
+    }
+
+    /// The merged event stream of all shards on all nodes.
+    pub fn events(&self) -> &Receiver<(ShardId, NodeId, TokenEvent)> {
+        &self.events_rx
+    }
+
+    /// Blocks until `key`'s shard reports a grant, or `timeout` elapses.
+    pub fn await_grant(&self, key: u64, timeout: Duration) -> bool {
+        let shard = self.map.shard_of_key(key);
+        let deadline = Instant::now() + timeout;
+        loop {
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            match self.events_rx.recv_timeout(deadline - now) {
+                Ok((s, _, TokenEvent::Granted { .. })) if s == shard => return true,
+                Ok(_) => continue,
+                Err(_) => return false,
+            }
+        }
+    }
+
+    /// Per-shard grant counters observed so far.
+    pub fn grants(&self) -> Vec<u64> {
+        self.grants.lock().unwrap().clone()
+    }
+
+    /// Inbound frames that failed to decode (bad envelope, unknown shard
+    /// id, or inner-frame garbage), summed over all nodes.
+    pub fn decode_errors(&self) -> u64 {
+        self.decode_errors.load(Ordering::Relaxed)
+    }
+
+    /// Stops every node thread and returns each node's transport
+    /// teardown report.
+    pub fn shutdown(mut self) -> Vec<CloseReport> {
+        for tx in &self.senders {
+            let _ = tx.send(ShardControl::Shutdown);
+        }
+        self.threads.drain(..).map(|t| t.join().unwrap_or_default()).collect()
+    }
+}
+
+impl<P: WireProtocol> Drop for ShardedCluster<P> {
+    fn drop(&mut self) {
+        for tx in &self.senders {
+            let _ = tx.send(ShardControl::Shutdown);
+        }
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+enum ShardDue {
+    Timer { shard: ShardId, kind: u64 },
+    Send { to: NodeId, frame: Vec<u8> },
+}
+
+struct ShardDueEntry {
+    at: Instant,
+    seq: u64,
+    what: ShardDue,
+}
+
+impl PartialEq for ShardDueEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for ShardDueEntry {}
+impl PartialOrd for ShardDueEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for ShardDueEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Min-heap by (at, seq).
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn sharded_node_main<P: WireProtocol, E: Endpoint>(
+    id: NodeId,
+    topology: Topology,
+    map: ShardMap,
+    cfg: ProtocolConfig,
+    tick: Duration,
+    seed: u64,
+    rx: Receiver<ShardControl>,
+    mut endpoint: E,
+    events_tx: Sender<(ShardId, NodeId, TokenEvent)>,
+    grants: Arc<Mutex<Vec<u64>>>,
+    decode_errors: Arc<AtomicU64>,
+) -> CloseReport {
+    let start = Instant::now();
+    let ticks_now = |start: Instant| -> SimTime {
+        let t = start.elapsed().as_nanos() / tick.as_nanos().max(1);
+        SimTime::from_ticks(t as u64)
+    };
+    // One protocol instance per shard, each with its own token home, its
+    // own generation space (shards never share frames), and a
+    // shard-namespaced RNG seed.
+    let k = map.shards();
+    let mut harnesses: Vec<Harness<P>> = (0..k)
+        .map(|s| {
+            let shard_cfg = cfg.with_initial_holder(map.owner(ShardId(s)));
+            Harness::new(
+                id,
+                topology,
+                P::build(shard_cfg),
+                seed ^ (u64::from(s) << 32),
+            )
+        })
+        .collect();
+    let mut heap: BinaryHeap<ShardDueEntry> = BinaryHeap::new();
+    let mut seq = 0u64;
+    let now0 = ticks_now(start);
+    for h in harnesses.iter_mut() {
+        h.init(now0);
+    }
+
+    loop {
+        // Flush effects of the last dispatch, shard by shard; events
+        // before frames, as in the single-token runtime.
+        let mut staged = false;
+        for (s, harness) in harnesses.iter_mut().enumerate() {
+            let shard = ShardId(s as u16);
+            for ev in harness.node_mut().take_events() {
+                if matches!(ev, TokenEvent::Granted { .. }) {
+                    grants.lock().unwrap()[shard.index()] += 1;
+                }
+                let _ = events_tx.send((shard, id, ev));
+            }
+            for ob in harness.take_outbound() {
+                let frame = crate::codec::encode_shard_frame(shard.0, &P::encode_msg(&ob.msg));
+                if ob.hold == 0 {
+                    endpoint.stage(ob.to, &frame);
+                    staged = true;
+                } else {
+                    seq += 1;
+                    heap.push(ShardDueEntry {
+                        at: Instant::now() + tick * ob.hold as u32,
+                        seq,
+                        what: ShardDue::Send { to: ob.to, frame },
+                    });
+                }
+            }
+            for t in harness.take_timers() {
+                seq += 1;
+                heap.push(ShardDueEntry {
+                    at: Instant::now() + tick * t.delay as u32,
+                    seq,
+                    what: ShardDue::Timer {
+                        shard,
+                        kind: t.kind,
+                    },
+                });
+            }
+        }
+        if staged {
+            endpoint.flush();
+        }
+        // Fire overdue entries.
+        let now = Instant::now();
+        if let Some(head) = heap.peek() {
+            if head.at <= now {
+                let entry = heap.pop().expect("peeked");
+                match entry.what {
+                    ShardDue::Timer { shard, kind } => {
+                        harnesses[shard.index()].fire_timer(ticks_now(start), kind)
+                    }
+                    ShardDue::Send { to, frame } => {
+                        endpoint.stage(to, &frame);
+                        endpoint.flush();
+                    }
+                }
+                continue;
+            }
+        }
+
+        match rx.try_recv() {
+            Ok(ShardControl::External(shard, want)) => {
+                harnesses[shard.index()].external(ticks_now(start), want);
+                continue;
+            }
+            Ok(ShardControl::Shutdown) | Err(TryRecvError::Disconnected) => break,
+            Err(TryRecvError::Empty) => {}
+        }
+        let wait = heap
+            .peek()
+            .map(|e| e.at.saturating_duration_since(now))
+            .unwrap_or(Duration::from_millis(5))
+            .min(Duration::from_millis(5));
+        if let Some((from, frame)) = endpoint.recv_timeout(wait) {
+            // Untrusted network input, two layers deep: a bad envelope,
+            // an out-of-range shard id, or inner garbage each count and
+            // drop — one shard's garbage never reaches another's state.
+            match crate::codec::decode_shard_frame(&frame) {
+                Ok((s, inner)) if (s as usize) < harnesses.len() => match P::decode_msg(inner) {
+                    Ok(msg) => harnesses[s as usize].deliver(ticks_now(start), from, msg),
+                    Err(_) => {
+                        decode_errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                },
+                _ => {
+                    decode_errors.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+    endpoint.close()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -619,6 +1028,54 @@ mod tests {
         );
         assert_eq!(cluster.decode_errors(), 10, "every garbage frame counted");
         cluster.shutdown();
+    }
+
+    #[test]
+    fn sharded_cluster_serves_keys_across_shards() {
+        let cluster: ShardedCluster = ShardedCluster::start(
+            ShardedClusterConfig::new(3, 4).with_tick(Duration::from_micros(200)),
+        );
+        // Enough distinct keys to hit more than one shard.
+        let keys: Vec<u64> = (0..6).map(|i| 0x1000 + 7 * i).collect();
+        let mut shards_hit = std::collections::BTreeSet::new();
+        for &key in &keys {
+            shards_hit.insert(cluster.request(key, key));
+        }
+        assert!(shards_hit.len() > 1, "keys all hashed to one shard");
+        // await_grant discards other shards' events, so tally the merged
+        // stream directly: every request must produce a grant.
+        let deadline = Instant::now() + Duration::from_secs(30);
+        let mut granted = 0usize;
+        while granted < keys.len() && Instant::now() < deadline {
+            if let Ok((_, _, TokenEvent::Granted { .. })) =
+                cluster.events().recv_timeout(Duration::from_millis(500))
+            {
+                granted += 1;
+            }
+        }
+        assert_eq!(granted, keys.len(), "not every key was granted");
+        assert_eq!(cluster.decode_errors(), 0);
+        let grants = cluster.grants();
+        assert_eq!(grants.len(), 4, "one counter per shard");
+        assert_eq!(grants.iter().sum::<u64>(), keys.len() as u64);
+        for report in cluster.shutdown() {
+            assert!(report.is_clean());
+        }
+    }
+
+    #[test]
+    fn sharded_cluster_runs_over_tcp_loopback() {
+        let cluster: ShardedCluster<NaimiNode> =
+            ShardedCluster::start_on::<atp_net::TcpTransport>(
+                ShardedClusterConfig::new(3, 2).with_tick(Duration::from_micros(500)),
+            )
+            .expect("bind loopback");
+        cluster.request(99, 1);
+        assert!(cluster.await_grant(99, Duration::from_secs(20)));
+        assert_eq!(cluster.decode_errors(), 0);
+        for report in cluster.shutdown() {
+            assert!(report.is_clean(), "leaked threads: {report:?}");
+        }
     }
 
     #[test]

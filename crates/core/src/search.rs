@@ -708,7 +708,8 @@ impl Node for SearchNode {
     type Ext = Want;
 
     fn on_init(&mut self, ctx: &mut Context<'_, SearchMsg>) {
-        if ctx.id().index() == 0 {
+        let holder = self.cfg.effective_initial_holder(ctx.topology().len());
+        if ctx.id().index() == holder as usize {
             let token = TokenFrame::new(self.cfg.effective_window(ctx.topology().len()));
             self.handle_token(Box::new(token), ctx);
         }

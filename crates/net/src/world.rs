@@ -529,6 +529,26 @@ impl<N: Node> World<N> {
         }
     }
 
+    /// Runs every node's `on_init` now if that has not happened yet.
+    ///
+    /// [`World::step`] and [`World::run_until`] call this implicitly; an
+    /// external driver stepping several worlds in lockstep (the sharded
+    /// plane) calls it explicitly so all worlds are initialized before
+    /// the first cross-world scheduling decision is made from
+    /// [`World::next_event_time`].
+    pub fn init(&mut self) {
+        self.ensure_initialized();
+    }
+
+    /// The virtual time of the earliest pending event, if any.
+    ///
+    /// This is the lockstep-driver primitive: a multi-world host steps
+    /// whichever world is earliest, keeping one shared virtual clock
+    /// without ever running a world ahead of its siblings.
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        self.queue.peek_time().map(SimTime::from_ticks)
+    }
+
     fn ensure_initialized(&mut self) {
         if self.initialized {
             return;

@@ -2,14 +2,16 @@
 //! protocols on OS threads over loopback TCP (or in-process channels) and
 //! measures wall-clock service behavior.
 //!
-//! Usage:
-//!   cargo run --release --bin cluster -- \
-//!       [--protocol ring|search|binary|naimi] [--n N] [--requests K] \
-//!       [--transport tcp|chan] [--tick-us U] [--seed S] [--conform]
+//! Flags are declared once through `atp_sim::cli::Parser`; `--help`
+//! prints the generated usage, which therefore can never drift from the
+//! parser.
 //!
 //! Default mode is a closed-loop benchmark: requests are issued one at a
 //! time round-robin across the nodes, each timed from submission to grant;
-//! the report gives throughput and latency percentiles.
+//! the report gives throughput and latency percentiles. With `--shards K`
+//! (K > 1) the benchmark runs the sharded plane instead: requests are
+//! key-addressed (`--key-dist uniform|zipf`), routed by hash to their
+//! shard's protocol instance.
 //!
 //! `--conform` instead runs the deterministic conformance check used by CI:
 //! the pinned reference script is driven over the chosen transport and the
@@ -29,19 +31,20 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use atp_core::{
-    BinaryNode, Cluster, ClusterConfig, NaimiNode, ProtocolConfig, RingNode, SearchNode,
-    WireProtocol,
+    Cluster, ClusterConfig, ProtocolConfig, ShardedCluster, ShardedClusterConfig, WireProtocol,
 };
 use atp_net::{
     ChanTransport, ChaosConfig, ChaosCounters, ChaosEndpoint, NodeId, TcpTransport, Transport,
 };
+use atp_sim::cli::Parser;
 use atp_sim::cluster::{
     run_in_world, run_on_endpoints, run_on_transport, ClusterScript, CrashEvent, DriverOptions,
 };
-use atp_sim::runner::ProtocolNode;
+use atp_sim::runner::{Protocol, ProtocolNode, ProtocolVisitor};
+use atp_sim::KeyDist;
 
 struct Args {
-    protocol: String,
+    protocol: Protocol,
     transport: String,
     n: usize,
     requests: u64,
@@ -49,83 +52,64 @@ struct Args {
     seed: u64,
     conform: bool,
     chaos: bool,
+    shards: u16,
+    key_dist: KeyDist,
 }
 
 fn parse_args() -> Args {
-    let mut args = Args {
-        protocol: "binary".into(),
-        transport: "tcp".into(),
-        n: 8,
-        requests: 200,
-        tick_us: 200,
-        seed: 7,
-        conform: false,
-        chaos: false,
-    };
-    let argv: Vec<String> = std::env::args().skip(1).collect();
-    let mut i = 0;
-    let value = |i: &mut usize, flag: &str| -> String {
-        *i += 1;
-        argv.get(*i).cloned().unwrap_or_else(|| {
-            eprintln!("cluster: {flag} expects a value");
-            std::process::exit(2);
-        })
-    };
-    while i < argv.len() {
-        match argv[i].as_str() {
-            "--protocol" => args.protocol = value(&mut i, "--protocol"),
-            "--transport" => args.transport = value(&mut i, "--transport"),
-            "--n" => args.n = parse_num(&value(&mut i, "--n"), "--n"),
-            "--requests" => args.requests = parse_num(&value(&mut i, "--requests"), "--requests"),
-            "--tick-us" => args.tick_us = parse_num(&value(&mut i, "--tick-us"), "--tick-us"),
-            "--seed" => args.seed = parse_num(&value(&mut i, "--seed"), "--seed"),
-            "--conform" => args.conform = true,
-            "--chaos" => args.chaos = true,
-            "--help" | "-h" => {
-                eprintln!(
-                    "usage: cluster [--protocol ring|search|binary|naimi] [--n N] \
-                     [--requests K] [--transport tcp|chan] [--tick-us U] [--seed S] \
-                     [--conform] [--chaos]"
-                );
-                std::process::exit(0);
-            }
-            other => {
-                eprintln!("cluster: unknown flag {other:?} (try --help)");
-                std::process::exit(2);
-            }
-        }
-        i += 1;
-    }
-    args
-}
-
-fn parse_num<T: std::str::FromStr>(v: &str, flag: &str) -> T {
-    v.parse().unwrap_or_else(|_| {
-        eprintln!("cluster: {flag} expects a number, got {v:?}");
+    let parser = Parser::new("cluster")
+        .flag("--protocol", "ring|search|binary|naimi", "protocol to host")
+        .flag("--transport", "tcp|chan", "wire transport")
+        .flag("--n", "N", "node count")
+        .flag("--requests", "K", "closed-loop request count")
+        .flag("--tick-us", "U", "timer tick in microseconds")
+        .flag("--seed", "S", "determinism seed")
+        .switch("--conform", "run the deterministic CI conformance check")
+        .switch("--chaos", "run the crash-restart chaos campaign")
+        .shard_flags();
+    let m = parser.parse_or_exit(std::env::args().skip(1).collect());
+    let bail = |e: String| -> ! {
+        eprintln!("cluster: {e}");
         std::process::exit(2);
-    })
+    };
+    Args {
+        protocol: m.protocol(Protocol::Binary).unwrap_or_else(|e| bail(e)),
+        transport: m.get_str("--transport", "tcp"),
+        n: m.get_num("--n", 8).unwrap_or_else(|e| bail(e)),
+        requests: m.get_num("--requests", 200).unwrap_or_else(|e| bail(e)),
+        tick_us: m.get_num("--tick-us", 200).unwrap_or_else(|e| bail(e)),
+        seed: m.get_num("--seed", 7).unwrap_or_else(|e| bail(e)),
+        conform: m.has("--conform"),
+        chaos: m.has("--chaos"),
+        shards: m.shards(1).unwrap_or_else(|e| bail(e)),
+        key_dist: m.key_dist(KeyDist::Uniform).unwrap_or_else(|e| bail(e)),
+    }
 }
 
 fn main() {
     let args = parse_args();
-    match args.protocol.as_str() {
-        "ring" => dispatch::<RingNode>(&args),
-        "search" => dispatch::<SearchNode>(&args),
-        "binary" => dispatch::<BinaryNode>(&args),
-        "naimi" => dispatch::<NaimiNode>(&args),
-        other => {
-            eprintln!("cluster: unknown protocol {other:?} (ring|search|binary|naimi)");
-            std::process::exit(2);
+    struct Run<'a>(&'a Args);
+    impl ProtocolVisitor for Run<'_> {
+        type Out = ();
+        fn run<P: ProtocolNode>(self) {
+            dispatch::<P>(self.0);
         }
     }
+    args.protocol.dispatch(Run(&args));
 }
 
 fn dispatch<P: ProtocolNode>(args: &Args) {
+    if args.shards > 1 && (args.chaos || args.conform) {
+        eprintln!("cluster: --shards only applies to the benchmark mode");
+        std::process::exit(2);
+    }
     match (args.chaos, args.conform, args.transport.as_str()) {
         (true, _, "tcp") => chaos::<P, TcpTransport>(args),
         (true, _, "chan") => chaos::<P, ChanTransport>(args),
         (false, true, "tcp") => conform::<P, TcpTransport>(args),
         (false, true, "chan") => conform::<P, ChanTransport>(args),
+        (false, false, "tcp") if args.shards > 1 => sharded_bench::<P, TcpTransport>(args),
+        (false, false, "chan") if args.shards > 1 => sharded_bench::<P, ChanTransport>(args),
         (false, false, "tcp") => bench::<P, TcpTransport>(args),
         (false, false, "chan") => bench::<P, ChanTransport>(args),
         (_, _, other) => {
@@ -371,6 +355,74 @@ fn bench<P: WireProtocol, T: Transport>(args: &Args) {
         latencies.last().expect("requests > 0").as_secs_f64() * 1e3
     );
     println!("decode_errors={decode_errors} clean_shutdown={clean}");
+    if !clean {
+        std::process::exit(1);
+    }
+}
+
+/// Key-addressed closed-loop benchmark on the sharded plane: one
+/// outstanding request at a time, each drawn from `--key-dist`, routed by
+/// hash to its shard's ring and timed submission → grant.
+fn sharded_bench<P: WireProtocol, T: Transport>(args: &Args) {
+    use atp_util::rng::{SeedableRng, StdRng};
+
+    let config = ShardedClusterConfig::new(args.n, args.shards)
+        .with_tick(Duration::from_micros(args.tick_us))
+        .with_seed(args.seed);
+    let cluster: ShardedCluster<P> = ShardedCluster::start_on::<T>(config).unwrap_or_else(|e| {
+        eprintln!("cluster: transport setup failed: {e}");
+        std::process::exit(1);
+    });
+    let mut rng = StdRng::seed_from_u64(args.seed);
+    let mut latencies = Vec::with_capacity(args.requests as usize);
+    let start = Instant::now();
+    for k in 0..args.requests {
+        let key = args.key_dist.draw(&mut rng, 4 * args.n.max(1));
+        let issued = Instant::now();
+        cluster.request(key, k);
+        if !cluster.await_grant(key, Duration::from_secs(30)) {
+            eprintln!("cluster: request {k} for key {key:#x} timed out");
+            std::process::exit(1);
+        }
+        latencies.push(issued.elapsed());
+    }
+    let elapsed = start.elapsed();
+    let per_shard = cluster.grants();
+    let decode_errors = cluster.decode_errors();
+    let reports = cluster.shutdown();
+    let clean = reports.iter().all(|r| r.is_clean());
+
+    latencies.sort_unstable();
+    let pct = |p: f64| -> Duration {
+        let idx = ((latencies.len() as f64) * p).ceil() as usize;
+        latencies[idx.clamp(1, latencies.len()) - 1]
+    };
+    println!(
+        "cluster protocol={} transport={} n={} shards={} key_dist={} requests={} tick_us={}",
+        P::LABEL,
+        T::label(),
+        args.n,
+        args.shards,
+        args.key_dist.label(),
+        args.requests,
+        args.tick_us
+    );
+    println!(
+        "served {} requests in {:.3}s  ({:.1} req/s)",
+        args.requests,
+        elapsed.as_secs_f64(),
+        args.requests as f64 / elapsed.as_secs_f64()
+    );
+    println!(
+        "latency p50 {:.3}ms  p90 {:.3}ms  p99 {:.3}ms  max {:.3}ms",
+        pct(0.50).as_secs_f64() * 1e3,
+        pct(0.90).as_secs_f64() * 1e3,
+        pct(0.99).as_secs_f64() * 1e3,
+        latencies.last().expect("requests > 0").as_secs_f64() * 1e3
+    );
+    println!(
+        "per_shard_grants={per_shard:?} decode_errors={decode_errors} clean_shutdown={clean}"
+    );
     if !clean {
         std::process::exit(1);
     }

@@ -1,13 +1,18 @@
 //! Deterministic simulation-testing driver.
 //!
-//! Usage:
-//! `cargo run --release -p atp-sim --bin dst -- [--budget N] [--seed S]
-//!  [--tapes DIR] [--demo-mutation] [--write-tape PATH] [--partition]
-//!  [--protocol LABEL] [--trace-out FILE]`
+//! Flags are declared once through `atp_sim::cli::Parser`; `--help`
+//! prints the generated usage. `--trace-out FILE` additionally comes from
+//! the shared observability surface (`ObsArgs`).
 //!
 //! `--protocol` restricts exploration to one protocol (by its label:
 //! `ring`, `search`, `binary`, `naimi`); tape replay is unaffected — every
 //! checked-in tape still replays regardless of its protocol.
+//!
+//! `--shard-dst` additionally explores the sharded multi-token plane:
+//! `--budget` fresh key-addressed cases per protocol, each checked against
+//! the per-shard state oracles and the cross-shard isolation oracle (a
+//! crash or partition in shard *i* must never block or delay grants in
+//! shard *j*).
 //!
 //! `--trace-out` (with `--tapes`) re-replays every checked-in tape with
 //! network tracing on and writes one JSON-lines document: a
@@ -34,7 +39,9 @@
 //! Exit status: `0` all green, `1` violation / tape regression / demo miss,
 //! `2` usage error.
 
+use atp_sim::cli::Parser;
 use atp_sim::dst::{replay_tape_traced, verify_tape, ExploreOutcome, Explorer, Focus, Mutation, TapeFile};
+use atp_sim::shard::{ShardExploreOutcome, ShardExplorer};
 use atp_sim::{obs, ObsArgs, Protocol};
 use atp_util::json::JsonWriter;
 use std::process::ExitCode;
@@ -47,57 +54,37 @@ struct Args {
     write_tape: Option<String>,
     focus: Focus,
     protocol: Option<Protocol>,
+    shard_dst: bool,
 }
 
 fn parse_args(rest: Vec<String>) -> Result<Args, String> {
-    let mut args = Args {
-        budget: 300,
-        seed: 0,
-        tapes: None,
-        demo_mutation: false,
-        write_tape: None,
-        focus: Focus::All,
-        protocol: None,
-    };
-    let mut it = rest.into_iter();
-    while let Some(flag) = it.next() {
-        let mut value = |name: &str| {
-            it.next()
-                .ok_or_else(|| format!("{name} requires a value"))
-        };
-        match flag.as_str() {
-            "--budget" => {
-                args.budget = value("--budget")?
-                    .parse()
-                    .map_err(|e| format!("--budget: {e}"))?;
-            }
-            "--seed" => {
-                args.seed = value("--seed")?
-                    .parse()
-                    .map_err(|e| format!("--seed: {e}"))?;
-            }
-            "--tapes" => args.tapes = Some(value("--tapes")?),
-            "--write-tape" => args.write_tape = Some(value("--write-tape")?),
-            "--demo-mutation" => args.demo_mutation = true,
-            "--partition" => args.focus = Focus::Partition,
-            "--protocol" => {
-                let label = value("--protocol")?;
-                args.protocol = Some(
-                    Protocol::ALL
-                        .into_iter()
-                        .find(|p| p.label() == label)
-                        .ok_or_else(|| {
-                            format!(
-                                "--protocol: unknown '{label}' (expected one of: {})",
-                                Protocol::ALL.map(|p| p.label()).join(", ")
-                            )
-                        })?,
-                );
-            }
-            other => return Err(format!("unknown flag '{other}'")),
-        }
-    }
-    Ok(args)
+    let parser = Parser::new("dst")
+        .flag("--budget", "N", "fresh cases to explore per protocol")
+        .flag("--seed", "S", "base seed of the case-seed stream")
+        .flag("--tapes", "DIR", "replay every *.tape under DIR first")
+        .flag("--write-tape", "PATH", "write a found counterexample's minimized tape")
+        .flag("--protocol", "ring|search|binary|naimi", "explore only this protocol")
+        .switch("--demo-mutation", "plant bad_prefix_skip and require the explorer to find it")
+        .switch("--partition", "explore only cases with a partition window")
+        .switch("--shard-dst", "also explore the sharded plane with isolation oracles");
+    let m = parser.parse(rest)?;
+    Ok(Args {
+        budget: m.get_num("--budget", 300)?,
+        seed: m.get_num("--seed", 0)?,
+        tapes: m.get("--tapes").map(str::to_string),
+        demo_mutation: m.has("--demo-mutation"),
+        write_tape: m.get("--write-tape").map(str::to_string),
+        focus: if m.has("--partition") {
+            Focus::Partition
+        } else {
+            Focus::All
+        },
+        protocol: match m.get("--protocol") {
+            None => None,
+            Some(_) => Some(m.protocol(Protocol::Binary)?),
+        },
+        shard_dst: m.has("--shard-dst"),
+    })
 }
 
 /// Replays every `*.tape` in `dir`; returns the number of regressions
@@ -237,6 +224,38 @@ fn main() -> ExitCode {
                     }
                 }
                 failed = true;
+            }
+        }
+    }
+
+    if args.shard_dst {
+        for protocol in Protocol::ALL {
+            if args.protocol.is_some_and(|only| only != protocol) {
+                continue;
+            }
+            let start = std::time::Instant::now();
+            match ShardExplorer::new(protocol, args.seed).explore(args.budget) {
+                ShardExploreOutcome::Clean {
+                    cases,
+                    oracle_checks,
+                } => println!(
+                    "shard-dst {:>6}: clean — {cases} cases, {oracle_checks} oracle checks, {:.3}s",
+                    protocol.label(),
+                    start.elapsed().as_secs_f64()
+                ),
+                ShardExploreOutcome::Found(cx) => {
+                    println!(
+                        "shard-dst {:>6}: VIOLATION — {} (case seed {:#x}, minimized to {} draws \
+                         in {} shrink steps)",
+                        protocol.label(),
+                        cx.violation,
+                        cx.case_seed,
+                        cx.tape.len(),
+                        cx.shrink_iters
+                    );
+                    println!("{}", cx.case_debug);
+                    failed = true;
+                }
             }
         }
     }

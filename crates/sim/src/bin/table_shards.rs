@@ -1,0 +1,53 @@
+//! Regenerates the sharded-plane tables: aggregate saturation throughput
+//! vs shard count, and the rebalance cost of one membership change.
+//!
+//! Usage: `cargo run --release --bin table_shards [-- --quick]
+//! [--shards K] [--key-dist uniform|zipf]`
+//!
+//! `--shards K` narrows the sweep to K ∈ {1, K} (the CI smoke runs
+//! `--shards 4`); `--key-dist zipf` skews the key stream so the hot
+//! keys' shards carry most of the load. The sweep fans out over
+//! `ATP_THREADS` workers; stdout is byte-identical at any thread count.
+
+use atp_sim::cli::Parser;
+use atp_sim::prelude::*;
+
+fn main() {
+    let obs = ObsArgs::parse_env();
+    let parser = Parser::new("table_shards")
+        .switch("--quick", "seconds-scale preset")
+        .shard_flags();
+    let m = parser.parse_or_exit(obs.rest.clone());
+    if obs.trace_out.is_some() || obs.chrome_out.is_some() || obs.metrics_out.is_some() {
+        eprintln!("table_shards: obs flags are only wired up on fig9/fig10/dst; ignored");
+    }
+
+    let mut config = if m.has("--quick") {
+        shards::Config::quick()
+    } else {
+        shards::Config::paper()
+    };
+    if m.get("--shards").is_some() {
+        match m.shards(1) {
+            Ok(k) => config.shard_counts = if k == 1 { vec![1] } else { vec![1, k] },
+            Err(e) => {
+                eprintln!("table_shards: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+    config.key_dist = m.key_dist(config.key_dist).unwrap_or_else(|e| {
+        eprintln!("table_shards: {e}");
+        std::process::exit(2);
+    });
+
+    let start = std::time::Instant::now();
+    let table = shards::run(&config);
+    eprintln!(
+        "table_shards: {:.3}s on {} worker(s)",
+        start.elapsed().as_secs_f64(),
+        atp_util::pool::worker_count()
+    );
+    println!("{}", table.render());
+    println!("{}", shards::rebalance_table(&config).render());
+}

@@ -78,7 +78,7 @@ impl StrategySpec {
         }
     }
 
-    fn install(&self, cfg: WorldConfig) -> WorldConfig {
+    pub(crate) fn install(&self, cfg: WorldConfig) -> WorldConfig {
         match self {
             StrategySpec::Fifo => cfg.strategy(Fifo),
             StrategySpec::Lifo => cfg.strategy(Lifo),
@@ -449,17 +449,25 @@ pub fn run_case_traced(
     case: &DstCase,
     trace_capacity: usize,
 ) -> (Result<CaseStats, Violation>, String) {
-    match case.protocol {
-        Protocol::Ring => run_case_on::<atp_core::RingNode>(case, trace_capacity),
-        Protocol::Search => run_case_on::<atp_core::SearchNode>(case, trace_capacity),
-        Protocol::Binary => run_case_on::<atp_core::BinaryNode>(case, trace_capacity),
-        Protocol::Naimi => run_case_on::<atp_core::NaimiNode>(case, trace_capacity),
+    struct RunCase<'a> {
+        case: &'a DstCase,
+        trace_capacity: usize,
     }
+    impl crate::runner::ProtocolVisitor for RunCase<'_> {
+        type Out = (Result<CaseStats, Violation>, String);
+        fn run<N: ProtocolNode>(self) -> Self::Out {
+            run_case_on::<N>(self.case, self.trace_capacity)
+        }
+    }
+    case.protocol.dispatch(RunCase {
+        case,
+        trace_capacity,
+    })
 }
 
 /// Which state oracles apply to a case, precomputed once per run.
 #[derive(Debug, Clone, Copy)]
-struct OracleScope {
+pub(crate) struct OracleScope {
     /// Pairwise prefix check applies. Off during/after a partition (both
     /// sides legitimately append while split) and under probabilistic
     /// token loss (a live node whose inquiry reply is lost is presumed
@@ -478,6 +486,41 @@ struct OracleScope {
 }
 
 impl OracleScope {
+    /// A scope with every oracle armed and no exemptions — what a benign
+    /// (fault-free) case, e.g. one shard of a sharded-plane case with the
+    /// fault injected elsewhere, must satisfy.
+    pub(crate) fn benign() -> OracleScope {
+        OracleScope {
+            prefix: true,
+            gaps: true,
+            crashed: None,
+            dual_token_from: u64::MAX,
+        }
+    }
+
+    /// A scope for a shard carrying a crash fault: prefix/gap oracles
+    /// relax exactly as a single-token crash case does.
+    pub(crate) fn with_crash(victim: NodeId) -> OracleScope {
+        OracleScope {
+            prefix: true,
+            gaps: false,
+            crashed: Some(victim),
+            dual_token_from: u64::MAX,
+        }
+    }
+
+    /// A scope for a shard carrying a partition fault: both sides append
+    /// while split and regeneration may restart the line, so prefix and
+    /// gap oracles relax; token uniqueness per generation still applies.
+    pub(crate) fn with_partition() -> OracleScope {
+        OracleScope {
+            prefix: false,
+            gaps: false,
+            crashed: None,
+            dual_token_from: u64::MAX,
+        }
+    }
+
     fn of(case: &DstCase) -> OracleScope {
         let regen_possible =
             case.crash.is_some() || case.link_loss_p > 0.0 || case.partition.is_some();
@@ -506,7 +549,7 @@ impl OracleScope {
 /// suffix (Definition 2 is "modulo regeneration epochs"). Never-crashed
 /// nodes must stay prefix-ordered unconditionally — stale-generation frames
 /// are discarded, so only one token lineage ever reaches them.
-fn check_state_oracles<N: ProtocolNode>(
+pub(crate) fn check_state_oracles<N: ProtocolNode>(
     world: &World<N>,
     scope: OracleScope,
     at: SimTime,
@@ -908,7 +951,7 @@ impl Explorer {
 }
 
 /// FNV-1a over a label; namespaces the per-protocol seed streams.
-fn fnv1a(s: &str) -> u64 {
+pub(crate) fn fnv1a(s: &str) -> u64 {
     let mut h = 0xcbf2_9ce4_8422_2325u64;
     for b in s.bytes() {
         h ^= b as u64;
@@ -932,10 +975,6 @@ pub struct TapeFile {
     pub note: String,
     /// The case draw tape.
     pub tape: Vec<u64>,
-}
-
-fn protocol_from_label(s: &str) -> Option<Protocol> {
-    Protocol::ALL.iter().copied().find(|p| p.label() == s)
 }
 
 impl TapeFile {
@@ -977,7 +1016,7 @@ impl TapeFile {
         let protocol_label = field("protocol")?
             .as_str()
             .ok_or("'protocol' is not a string")?;
-        let protocol = protocol_from_label(protocol_label)
+        let protocol = Protocol::from_label(protocol_label)
             .ok_or_else(|| format!("unknown protocol '{protocol_label}'"))?;
         let mutation_label = field("mutation")?
             .as_str()

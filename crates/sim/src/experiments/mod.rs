@@ -15,6 +15,7 @@
 //! | [`throughput`] | The introduction's busy-system throughput claim |
 //! | [`latency`] | Robustness of the log N vs N separation to delay jitter |
 //! | [`geo`] | Distance-priced links vs the paper's unit-delay assumption |
+//! | [`shards`] | Sharded multi-token plane: aggregate throughput vs K, rebalance cost |
 //!
 //! Every experiment has a `Config` with two presets: `Config::paper()` (full
 //! scale, used by the figure binaries and the bench harness) and
@@ -30,5 +31,6 @@ pub mod geo;
 pub mod latency;
 pub mod messages;
 pub mod partition;
+pub mod shards;
 pub mod throughput;
 pub mod worstcase;

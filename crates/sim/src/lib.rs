@@ -37,6 +37,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cli;
 pub mod cluster;
 pub mod dst;
 pub mod experiments;
@@ -44,6 +45,7 @@ pub mod metrics;
 pub mod obs;
 pub mod report;
 pub mod runner;
+pub mod shard;
 pub mod span;
 pub mod stats;
 pub mod sweep;
@@ -59,6 +61,7 @@ pub use runner::{
     run_experiment, run_experiment_profiled, run_experiment_traced, ExperimentSpec, NetProfile,
     Protocol, RunProfile, RunSummary,
 };
+pub use shard::{KeyDist, ShardPlaneSpec, ShardSummary};
 pub use span::{RequestSpan, SpanCollector, SpanReport};
 pub use sweep::{run_points, run_points_profiled, PointSpec, WorkloadSpec};
 pub use workload::{
@@ -74,13 +77,14 @@ pub use workload::{
 pub mod prelude {
     pub use crate::experiments::{
         ablation, drops, failure, fairness, fig10, fig9, geo, latency, messages, partition,
-        throughput, worstcase,
+        shards, throughput, worstcase,
     };
     pub use crate::obs::{self, ObsArgs};
     pub use crate::runner::{
         run_experiment, run_experiment_profiled, run_experiment_traced, ExperimentSpec,
         NetProfile, Protocol, RunProfile, RunSummary,
     };
+    pub use crate::shard::{KeyDist, ShardPlaneSpec, ShardSummary};
     pub use crate::span::{RequestSpan, SpanCollector, SpanReport};
     pub use crate::sweep::{run_points, run_points_profiled, PointSpec, WorkloadSpec};
     pub use crate::workload::{

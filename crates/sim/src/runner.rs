@@ -51,6 +51,40 @@ impl Protocol {
             Protocol::Naimi => "naimi",
         }
     }
+
+    /// Parses a [`Protocol::label`] string, as accepted by every CLI flag
+    /// and tape file. The canonical inverse of `label`: a new protocol
+    /// added to [`Protocol::ALL`] is parseable everywhere at once.
+    pub fn from_label(s: &str) -> Option<Protocol> {
+        Protocol::ALL.into_iter().find(|p| p.label() == s)
+    }
+
+    /// Monomorphizes `visitor` over this protocol's node type.
+    ///
+    /// This is the **single** label-to-node-type dispatch point in the
+    /// workspace: the experiment runner, the DST engine and the cluster
+    /// binary all hand a [`ProtocolVisitor`] to this method, so a new
+    /// protocol variant fails to compile here rather than silently
+    /// dodging one of the hosts.
+    pub fn dispatch<V: ProtocolVisitor>(self, visitor: V) -> V::Out {
+        match self {
+            Protocol::Ring => visitor.run::<RingNode>(),
+            Protocol::Search => visitor.run::<SearchNode>(),
+            Protocol::Binary => visitor.run::<BinaryNode>(),
+            Protocol::Naimi => visitor.run::<NaimiNode>(),
+        }
+    }
+}
+
+/// One generic computation over a protocol's node type, for
+/// [`Protocol::dispatch`]. Implementations get the concrete
+/// [`ProtocolNode`] as a type parameter and may consume captured state
+/// (`self` is taken by value).
+pub trait ProtocolVisitor {
+    /// The dispatch result.
+    type Out;
+    /// Runs the computation with `N` bound to the protocol's node type.
+    fn run<N: ProtocolNode>(self) -> Self::Out;
 }
 
 /// A protocol node the experiment runner can host.
@@ -556,12 +590,22 @@ fn dispatch(
     workload: &mut dyn Workload,
     opts: DriveOptions,
 ) -> (RunSummary, RunArtifacts) {
-    match spec.protocol {
-        Protocol::Ring => drive::<RingNode>(spec, workload, opts),
-        Protocol::Search => drive::<SearchNode>(spec, workload, opts),
-        Protocol::Binary => drive::<BinaryNode>(spec, workload, opts),
-        Protocol::Naimi => drive::<NaimiNode>(spec, workload, opts),
+    struct Drive<'a> {
+        spec: &'a ExperimentSpec,
+        workload: &'a mut dyn Workload,
+        opts: DriveOptions,
     }
+    impl ProtocolVisitor for Drive<'_> {
+        type Out = (RunSummary, RunArtifacts);
+        fn run<N: ProtocolNode>(self) -> Self::Out {
+            drive::<N>(self.spec, self.workload, self.opts)
+        }
+    }
+    spec.protocol.dispatch(Drive {
+        spec,
+        workload,
+        opts,
+    })
 }
 
 fn drive<N: ProtocolNode>(

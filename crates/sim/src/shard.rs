@@ -1,0 +1,930 @@
+//! The sharded multi-token plane: K independent protocol instances on a
+//! consistent-hash ring, driven in lockstep on one virtual clock.
+//!
+//! A single token serializes every grant; the plane splits the key space
+//! into `K` shards (see [`atp_core::ShardMap`]) and runs one full
+//! protocol instance — its own token, generation space, and history line
+//! — per shard, over the same `n` nodes. Requests are **key-addressed**:
+//! a client asks for a key, the key hashes to a shard, and the request
+//! enters that shard's instance. Shards never exchange frames, so
+//! aggregate saturation throughput scales with `K` until per-node work
+//! (every node participates in all `K` instances) becomes the bottleneck.
+//!
+//! Two drivers live here:
+//!
+//! 1. [`ShardPlaneSpec::run`] — a closed-loop saturation workload for the
+//!    `table_shards` experiment: a fixed client population draws keys
+//!    from a [`KeyDist`], each client re-issuing (possibly into a
+//!    different shard) as soon as its previous grant is released.
+//! 2. [`run_shard_case`] / [`ShardExplorer`] — deterministic simulation
+//!    testing of the plane itself. Each shard's world is checked against
+//!    the single-token state oracles after every dispatched event, and a
+//!    **cross-shard isolation oracle** demands that a fault injected into
+//!    shard *i* (crash or partition) never blocks or even delays grants
+//!    past the response bound in any other shard.
+//!
+//! Determinism: the K worlds advance in lockstep — always step the world
+//! with the earliest pending event, ties broken by lowest shard id — so
+//! every client draw happens at a globally ordered instant and a spec
+//! replays byte-identically regardless of host parallelism.
+
+use std::collections::VecDeque;
+
+use atp_core::{ProtocolConfig, ShardId, ShardMap, TokenEvent, Want};
+use atp_net::{NodeId, SimTime, StepOutcome, World, WorldConfig};
+use atp_util::dist::zipf;
+use atp_util::rng::{Rng, RngCore, SeedableRng, SplitMix64, StdRng};
+
+use crate::dst::{check_state_oracles, OracleScope, StrategySpec, Violation};
+use crate::runner::{Protocol, ProtocolNode, ProtocolVisitor};
+
+/// Key popularity distribution for key-addressed request streams.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KeyDist {
+    /// Every key in the universe equally likely.
+    Uniform,
+    /// Zipf(s = 1.0): rank 0 is the hottest key — the classic skew that
+    /// concentrates load on whichever shard the hot keys hash to.
+    Zipf,
+}
+
+impl KeyDist {
+    /// Stable label (`--key-dist` flag values, report rows).
+    pub fn label(self) -> &'static str {
+        match self {
+            KeyDist::Uniform => "uniform",
+            KeyDist::Zipf => "zipf",
+        }
+    }
+
+    /// Parses a [`KeyDist::label`] back.
+    pub fn from_label(s: &str) -> Option<KeyDist> {
+        match s {
+            "uniform" => Some(KeyDist::Uniform),
+            "zipf" => Some(KeyDist::Zipf),
+            _ => None,
+        }
+    }
+
+    /// Draws a key from `0..universe`.
+    pub fn draw(self, rng: &mut dyn RngCore, universe: usize) -> u64 {
+        match self {
+            KeyDist::Uniform => rng.next_u64() % universe as u64,
+            KeyDist::Zipf => zipf(rng, universe, 1.0) as u64,
+        }
+    }
+}
+
+/// The node a key's requests enter at — a pure function of the key, so a
+/// key always arrives at the same replica (client-side affinity), spread
+/// uniformly over the ring.
+fn entry_node(key: u64, n: usize) -> NodeId {
+    NodeId::new((SplitMix64::new(key ^ 0xe17a_90dd_c0de_5eed).next_u64() % n as u64) as u32)
+}
+
+// ---------------------------------------------------------------------------
+// Closed-loop saturation plane (the `table_shards` experiment driver)
+// ---------------------------------------------------------------------------
+
+/// One sharded-plane run: protocol, geometry, workload.
+#[derive(Debug, Clone)]
+pub struct ShardPlaneSpec {
+    /// Protocol every shard runs.
+    pub protocol: Protocol,
+    /// Nodes in the plane; every node participates in every shard.
+    pub n: usize,
+    /// Independent token shards.
+    pub shards: u16,
+    /// Seed for world schedules and client key draws.
+    pub seed: u64,
+    /// Per-shard protocol tunables (`initial_holder` is overridden with
+    /// the shard's consistent-hash owner).
+    pub cfg: ProtocolConfig,
+    /// Measured window in ticks; grants after this instant don't count.
+    pub horizon: u64,
+    /// Closed-loop client population (each has exactly one request in
+    /// flight).
+    pub clients: usize,
+    /// Distinct keys clients draw from.
+    pub key_universe: usize,
+    /// Key popularity.
+    pub key_dist: KeyDist,
+    /// Ticks between a client's release and its next request (min 1).
+    pub think_ticks: u64,
+}
+
+impl ShardPlaneSpec {
+    /// A saturation spec with the defaults the experiment tables use.
+    pub fn new(protocol: Protocol, n: usize, shards: u16) -> Self {
+        ShardPlaneSpec {
+            protocol,
+            n,
+            shards,
+            seed: 7,
+            // A nonzero critical section puts the run in the saturation
+            // regime: with free service the token batch-serves whole
+            // queues per visit and never becomes the bottleneck, so
+            // shard count would measure nothing.
+            cfg: ProtocolConfig::default().with_service_ticks(2),
+            horizon: 10_000,
+            clients: 4 * n,
+            key_universe: 256,
+            key_dist: KeyDist::Uniform,
+            think_ticks: 1,
+        }
+    }
+
+    /// Overrides the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Overrides the measured horizon.
+    pub fn with_horizon(mut self, ticks: u64) -> Self {
+        self.horizon = ticks;
+        self
+    }
+
+    /// Overrides the client population.
+    pub fn with_clients(mut self, clients: usize) -> Self {
+        self.clients = clients;
+        self
+    }
+
+    /// Overrides the key distribution.
+    pub fn with_key_dist(mut self, dist: KeyDist) -> Self {
+        self.key_dist = dist;
+        self
+    }
+
+    /// Runs the plane to its horizon and reports per-shard counters.
+    pub fn run(&self) -> ShardSummary {
+        struct RunPlane<'a>(&'a ShardPlaneSpec);
+        impl ProtocolVisitor for RunPlane<'_> {
+            type Out = ShardSummary;
+            fn run<N: ProtocolNode>(self) -> Self::Out {
+                drive_plane::<N>(self.0)
+            }
+        }
+        self.protocol.dispatch(RunPlane(self))
+    }
+}
+
+/// Counters from a completed plane run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardSummary {
+    /// Shard count the run used.
+    pub shards: u16,
+    /// Node count.
+    pub n: usize,
+    /// Measured window in ticks.
+    pub horizon: u64,
+    /// Grants inside the window, per shard.
+    pub grants: Vec<u64>,
+    /// Events each shard's world dispatched or consumed.
+    pub events: Vec<u64>,
+    /// Requests issued (initial population + closed-loop re-issues).
+    pub issued: u64,
+    /// Consistent-hash owner of each shard (token home).
+    pub owners: Vec<u32>,
+}
+
+impl ShardSummary {
+    /// Grants across all shards inside the window.
+    pub fn total_grants(&self) -> u64 {
+        self.grants.iter().sum()
+    }
+
+    /// Aggregate saturation throughput, grants per 1000 ticks.
+    pub fn throughput_per_ktick(&self) -> f64 {
+        self.total_grants() as f64 * 1000.0 / self.horizon as f64
+    }
+}
+
+fn drive_plane<N: ProtocolNode>(spec: &ShardPlaneSpec) -> ShardSummary {
+    assert!(spec.n > 0 && spec.shards > 0 && spec.horizon > 0);
+    let k = spec.shards as usize;
+    let map = ShardMap::new(spec.shards, spec.n);
+    let think = spec.think_ticks.max(1);
+
+    let mut worlds: Vec<World<N>> = (0..k)
+        .map(|s| {
+            let sid = ShardId(s as u16);
+            let cfg = spec.cfg.with_initial_holder(map.owner(sid));
+            let nodes = (0..spec.n).map(|_| N::build(cfg)).collect();
+            let wc = WorldConfig::default().seed(spec.seed ^ ((s as u64) << 32));
+            let mut w = World::from_nodes(nodes, wc);
+            w.init();
+            w
+        })
+        .collect();
+
+    // One shared client RNG: draws happen at globally ordered instants
+    // (the lockstep loop below), so the stream is schedule-deterministic.
+    let mut rng = StdRng::seed_from_u64(spec.seed ^ 0x0c11_e4f5_1a7e_u64);
+    // FIFO of clients with a request outstanding at (shard, entry node);
+    // a release at that pair completes the front client's request.
+    let mut pending: Vec<Vec<VecDeque<u64>>> = vec![vec![VecDeque::new(); spec.n]; k];
+    let mut summary = ShardSummary {
+        shards: spec.shards,
+        n: spec.n,
+        horizon: spec.horizon,
+        grants: vec![0; k],
+        events: vec![0; k],
+        issued: 0,
+        owners: map.owners().to_vec(),
+    };
+
+    let deadline = SimTime::from_ticks(spec.horizon);
+    // Issue with explicit world access so the borrow checker lets the
+    // main loop re-issue while holding per-world state.
+    let issue = |worlds: &mut Vec<World<N>>,
+                     pending: &mut Vec<Vec<VecDeque<u64>>>,
+                     rng: &mut StdRng,
+                     issued: &mut u64,
+                     client: u64,
+                     at: u64| {
+        let key = spec.key_dist.draw(rng, spec.key_universe);
+        let sid = map.shard_of_key(key);
+        let entry = entry_node(key, spec.n);
+        worlds[sid.index()].schedule_external(SimTime::from_ticks(at), entry, Want::new(client));
+        pending[sid.index()][entry.index()].push_back(client);
+        *issued += 1;
+    };
+
+    for c in 0..spec.clients as u64 {
+        issue(
+            &mut worlds,
+            &mut pending,
+            &mut rng,
+            &mut summary.issued,
+            c,
+            1 + c % 4,
+        );
+    }
+
+    let mut drained: Vec<TokenEvent> = Vec::new();
+    loop {
+        // Lockstep: earliest pending event across all shards, lowest
+        // shard id on ties. Every world's clock stays at or behind this
+        // frontier, so a re-issue at `at + think` is in every world's
+        // future.
+        let mut best: Option<(SimTime, usize)> = None;
+        for (s, w) in worlds.iter().enumerate() {
+            if let Some(t) = w.next_event_time() {
+                if best.is_none_or(|(bt, _)| t < bt) {
+                    best = Some((t, s));
+                }
+            }
+        }
+        let Some((t, s)) = best else { break };
+        if t > deadline {
+            break;
+        }
+        summary.events[s] += 1;
+        match worlds[s].step() {
+            StepOutcome::Quiescent | StepOutcome::Consumed { .. } => {}
+            StepOutcome::Dispatched { node, at } => {
+                drained.clear();
+                worlds[s].node_mut(node).take_events_into(&mut drained);
+                for ev in &drained {
+                    match *ev {
+                        TokenEvent::Granted { at, .. } => {
+                            if at <= deadline {
+                                summary.grants[s] += 1;
+                            }
+                        }
+                        TokenEvent::Released { at, .. } => {
+                            if let Some(client) = pending[s][node.index()].pop_front() {
+                                let next_at = at.ticks() + think;
+                                if next_at <= spec.horizon {
+                                    issue(
+                                        &mut worlds,
+                                        &mut pending,
+                                        &mut rng,
+                                        &mut summary.issued,
+                                        client,
+                                        next_at,
+                                    );
+                                }
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                let _ = at;
+            }
+        }
+    }
+    summary
+}
+
+// ---------------------------------------------------------------------------
+// Sharded-plane DST: per-shard state oracles + cross-shard isolation
+// ---------------------------------------------------------------------------
+
+/// A fault injected into exactly one shard of a plane case.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardFault {
+    /// Crash `node` in `shard`'s instance at `at`, recover at `recover_at`.
+    Crash {
+        /// Faulted shard.
+        shard: ShardId,
+        /// Crash victim.
+        node: u32,
+        /// Crash instant.
+        at: u64,
+        /// Recovery instant.
+        recover_at: u64,
+    },
+    /// Partition `shard`'s instance into `0..split` / `split..n` over
+    /// `[at, heal_at)`.
+    Partition {
+        /// Faulted shard.
+        shard: ShardId,
+        /// Partition instant.
+        at: u64,
+        /// Heal instant.
+        heal_at: u64,
+        /// Boundary node index.
+        split: u32,
+    },
+}
+
+impl ShardFault {
+    /// The shard the fault lands in.
+    pub fn shard(&self) -> ShardId {
+        match *self {
+            ShardFault::Crash { shard, .. } | ShardFault::Partition { shard, .. } => shard,
+        }
+    }
+}
+
+/// One fully specified sharded-plane simulation case.
+#[derive(Debug, Clone)]
+pub struct ShardDstCase {
+    /// Protocol every shard runs.
+    pub protocol: Protocol,
+    /// Nodes in the plane.
+    pub n: usize,
+    /// Shard count.
+    pub shards: u16,
+    /// Base world seed (namespaced per shard).
+    pub world_seed: u64,
+    /// Key-addressed requests as `(tick, key, payload)`.
+    pub requests: Vec<(u64, u64, u64)>,
+    /// At most one fault, always confined to one shard.
+    pub fault: Option<ShardFault>,
+    /// Protocol tunables shared by all shards (the faulted shard
+    /// additionally gets its recovery knobs armed).
+    pub cfg: ProtocolConfig,
+    /// Schedule adversary, installed in every shard's world.
+    pub strategy: StrategySpec,
+}
+
+impl ShardDstCase {
+    /// Ticks within which every request routed to a fault-free shard must
+    /// be granted. Deliberately loose — a violation means the fault in
+    /// another shard *stuck* this one, not that it was slow.
+    pub fn response_bound(&self) -> u64 {
+        let n = self.n as u64;
+        let r = self.requests.len() as u64 + 2;
+        let idle = self.cfg.idle_pass_ticks
+            + if self.cfg.adaptive_speed {
+                self.cfg.max_idle_pass_ticks
+            } else {
+                0
+            };
+        let per_hop = 1 + self.cfg.service_ticks + idle + 2;
+        4 * r * n * per_hop + 256
+    }
+
+    /// Absolute tick at which the run stops.
+    pub fn horizon(&self) -> u64 {
+        let last_stimulus = self
+            .requests
+            .iter()
+            .map(|&(t, _, _)| t)
+            .chain(self.fault.iter().map(|f| match *f {
+                ShardFault::Crash { recover_at, .. } => recover_at,
+                ShardFault::Partition { heal_at, .. } => heal_at,
+            }))
+            .max()
+            .unwrap_or(0);
+        last_stimulus + self.response_bound() + 64
+    }
+}
+
+/// Draws a [`ShardDstCase`] for `protocol` from `g`'s tape.
+///
+/// Independent of [`crate::dst::gen_case`] — the single-token draw order
+/// is frozen by checked-in tapes and must never change; the shard space
+/// gets its own generator. Total over the all-zero tape: 2 nodes, 1
+/// shard, one request at t=0, no fault, FIFO.
+pub fn gen_shard_case(g: &mut atp_util::check::Gen, protocol: Protocol) -> ShardDstCase {
+    let n = g.gen_range(2..=6usize);
+    let shards = g.gen_range(1..=5u32) as u16;
+    let world_seed = g.next_u64();
+    let requests = g.vec(1..17, |g| {
+        (
+            g.gen_range(0..=160u64),
+            g.gen_range(0..=0xFFFFu64),
+            g.gen_range(0..1000u64),
+        )
+    });
+
+    let mut cfg = ProtocolConfig::default()
+        .with_service_ticks(g.gen_range(0..=2u64))
+        .with_single_outstanding(g.gen_bool(0.5))
+        .with_serve_all_on_grant(g.gen_bool(0.5));
+    if g.gen_bool(0.25) {
+        cfg = cfg
+            .with_adaptive_speed(true)
+            .with_idle_pass_ticks(g.gen_range(0..=2u64));
+    }
+
+    // Faults only make sense with a bystander shard to observe isolation.
+    let fault = if shards >= 2 && g.gen_bool(0.5) {
+        let shard = ShardId(g.gen_range(0..u32::from(shards)) as u16);
+        let at = g.gen_range(0..120u64);
+        if g.gen_bool(0.5) {
+            Some(ShardFault::Crash {
+                shard,
+                node: g.gen_range(0..n as u32),
+                at,
+                recover_at: at + g.gen_range(1..100u64),
+            })
+        } else {
+            Some(ShardFault::Partition {
+                shard,
+                at,
+                heal_at: at + g.gen_range(8..=80u64),
+                split: g.gen_range(1..n as u32),
+            })
+        }
+    } else {
+        None
+    };
+
+    let strategy = match g.gen_range(0..4u32) {
+        0 => StrategySpec::Fifo,
+        1 => StrategySpec::Lifo,
+        2 => StrategySpec::Shuffle(g.next_u64()),
+        _ => StrategySpec::Choices(g.vec(1..17, |g| g.next_u64())),
+    };
+
+    ShardDstCase {
+        protocol,
+        n,
+        shards,
+        world_seed,
+        requests,
+        fault,
+        cfg,
+        strategy,
+    }
+}
+
+/// An oracle violation in a sharded-plane case.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardViolation {
+    /// A single-shard state or liveness oracle broke inside one shard.
+    State {
+        /// The shard whose world violated.
+        shard: ShardId,
+        /// The underlying single-token violation.
+        violation: Violation,
+    },
+    /// Cross-shard isolation broke: requests routed to a fault-free shard
+    /// were never granted, although the case's only fault lives in a
+    /// *different* shard.
+    IsolationBlocked {
+        /// The starved fault-free shard.
+        shard: ShardId,
+        /// Requests left unserved there.
+        remaining: u64,
+    },
+}
+
+impl std::fmt::Display for ShardViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardViolation::State { shard, violation } => {
+                write!(f, "[{shard}] {violation}")
+            }
+            ShardViolation::IsolationBlocked { shard, remaining } => write!(
+                f,
+                "isolation broken: fault-free shard {shard} left {remaining} request(s) unserved"
+            ),
+        }
+    }
+}
+
+/// Counters from a violation-free sharded case.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ShardCaseStats {
+    /// Events across all shard worlds.
+    pub events: u64,
+    /// Grants across all shard worlds.
+    pub grants: u64,
+    /// Oracle evaluations (one per dispatched event).
+    pub oracle_checks: u64,
+}
+
+/// Runs one sharded case, checking per-shard state oracles after every
+/// dispatched event and the isolation oracle at the end.
+pub fn run_shard_case(case: &ShardDstCase) -> Result<ShardCaseStats, ShardViolation> {
+    struct RunCase<'a>(&'a ShardDstCase);
+    impl ProtocolVisitor for RunCase<'_> {
+        type Out = Result<ShardCaseStats, ShardViolation>;
+        fn run<N: ProtocolNode>(self) -> Self::Out {
+            run_shard_case_on::<N>(self.0)
+        }
+    }
+    case.protocol.dispatch(RunCase(case))
+}
+
+fn run_shard_case_on<N: ProtocolNode>(case: &ShardDstCase) -> Result<ShardCaseStats, ShardViolation> {
+    let n = case.n;
+    let k = case.shards as usize;
+    let map = ShardMap::new(case.shards, n);
+    let faulted = case.fault.map(|f| f.shard());
+
+    let mut worlds: Vec<World<N>> = Vec::with_capacity(k);
+    let mut scopes: Vec<OracleScope> = Vec::with_capacity(k);
+    for s in 0..k {
+        let sid = ShardId(s as u16);
+        let mut cfg = case.cfg.with_initial_holder(map.owner(sid));
+        let scope = match case.fault {
+            Some(ShardFault::Crash { shard, node, .. }) if shard == sid => {
+                cfg = cfg.with_regeneration(cfg.effective_regen_timeout(n));
+                OracleScope::with_crash(NodeId::new(node))
+            }
+            Some(ShardFault::Partition { shard, .. }) if shard == sid => {
+                cfg = cfg
+                    .with_token_acks(true)
+                    .with_regeneration(cfg.effective_regen_timeout(n));
+                OracleScope::with_partition()
+            }
+            _ => OracleScope::benign(),
+        };
+        let wc = case
+            .strategy
+            .install(WorldConfig::default().seed(case.world_seed ^ ((s as u64) << 32)));
+        let nodes = (0..n).map(|_| N::build(cfg)).collect();
+        let mut w = World::from_nodes(nodes, wc);
+        w.init();
+        worlds.push(w);
+        scopes.push(scope);
+    }
+
+    for &(t, key, payload) in &case.requests {
+        let sid = map.shard_of_key(key);
+        worlds[sid.index()].schedule_external(
+            SimTime::from_ticks(t),
+            entry_node(key, n),
+            Want::new(payload),
+        );
+    }
+    match case.fault {
+        Some(ShardFault::Crash {
+            shard,
+            node,
+            at,
+            recover_at,
+        }) => {
+            let w = &mut worlds[shard.index()];
+            w.schedule_crash(SimTime::from_ticks(at), NodeId::new(node));
+            w.schedule_recover(SimTime::from_ticks(recover_at), NodeId::new(node));
+        }
+        Some(ShardFault::Partition {
+            shard,
+            at,
+            heal_at,
+            split,
+        }) => {
+            let left: Vec<NodeId> = (0..split).map(NodeId::new).collect();
+            let right: Vec<NodeId> = (split..n as u32).map(NodeId::new).collect();
+            worlds[shard.index()].schedule_partition(
+                SimTime::from_ticks(at),
+                SimTime::from_ticks(heal_at),
+                &[left, right],
+            );
+        }
+        None => {}
+    }
+
+    let bound = case.response_bound();
+    let deadline = SimTime::from_ticks(case.horizon());
+    let mut pending: Vec<Vec<VecDeque<SimTime>>> = vec![vec![VecDeque::new(); n]; k];
+    let mut stats = ShardCaseStats::default();
+    let mut drained: Vec<TokenEvent> = Vec::new();
+
+    let drain_one = |s: usize,
+                     node: NodeId,
+                     worlds: &mut Vec<World<N>>,
+                     pending: &mut Vec<Vec<VecDeque<SimTime>>>,
+                     drained: &mut Vec<TokenEvent>,
+                     stats: &mut ShardCaseStats| {
+        drained.clear();
+        worlds[s].node_mut(node).take_events_into(drained);
+        for ev in drained.iter() {
+            match *ev {
+                TokenEvent::Requested { at, .. } => pending[s][node.index()].push_back(at),
+                TokenEvent::Granted { .. } => {
+                    stats.grants += 1;
+                    pending[s][node.index()].pop_front();
+                }
+                _ => {}
+            }
+        }
+    };
+
+    loop {
+        let mut best: Option<(SimTime, usize)> = None;
+        for (s, w) in worlds.iter().enumerate() {
+            if let Some(t) = w.next_event_time() {
+                if best.is_none_or(|(bt, _)| t < bt) {
+                    best = Some((t, s));
+                }
+            }
+        }
+        let Some((t, s)) = best else { break };
+        if t > deadline {
+            break;
+        }
+        stats.events += 1;
+        match worlds[s].step() {
+            StepOutcome::Quiescent | StepOutcome::Consumed { .. } => {}
+            StepOutcome::Dispatched { node, at } => {
+                drain_one(s, node, &mut worlds, &mut pending, &mut drained, &mut stats);
+                let sid = ShardId(s as u16);
+                check_state_oracles(&worlds[s], scopes[s], at)
+                    .map_err(|violation| ShardViolation::State { shard: sid, violation })?;
+                stats.oracle_checks += 1;
+                // Isolation, liveness half: a fault elsewhere must not
+                // even *delay* this shard past the response bound.
+                if Some(sid) != faulted {
+                    for (i, q) in pending[s].iter().enumerate() {
+                        if let Some(&req_at) = q.front() {
+                            let req_deadline = req_at.saturating_add(bound);
+                            if at > req_deadline {
+                                return Err(ShardViolation::State {
+                                    shard: sid,
+                                    violation: Violation::Unresponsive {
+                                        node: NodeId::new(i as u32),
+                                        requested_at: req_at,
+                                        deadline: req_deadline,
+                                    },
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Drain events buffered at nodes that never dispatched again, then
+    // run end-of-run obligations per shard.
+    for s in 0..k {
+        for i in 0..n {
+            let id = NodeId::new(i as u32);
+            if worlds[s].node(id).has_events() {
+                drain_one(s, id, &mut worlds, &mut pending, &mut drained, &mut stats);
+            }
+        }
+        let sid = ShardId(s as u16);
+        let now = worlds[s].now();
+        check_state_oracles(&worlds[s], scopes[s], now)
+            .map_err(|violation| ShardViolation::State { shard: sid, violation })?;
+        if Some(sid) != faulted {
+            let remaining: u64 = pending[s].iter().map(|q| q.len() as u64).sum();
+            if remaining > 0 {
+                return Err(ShardViolation::IsolationBlocked {
+                    shard: sid,
+                    remaining,
+                });
+            }
+        }
+    }
+    Ok(stats)
+}
+
+/// A minimized failing sharded schedule.
+#[derive(Debug, Clone)]
+pub struct ShardCounterexample {
+    /// Protocol the violation occurred under.
+    pub protocol: Protocol,
+    /// Seed of the originally failing case.
+    pub case_seed: u64,
+    /// Minimized draw tape; [`gen_shard_case`] rebuilds the exact case.
+    pub tape: Vec<u64>,
+    /// Shrink candidates evaluated.
+    pub shrink_iters: u32,
+    /// The violation the minimized tape reproduces.
+    pub violation: ShardViolation,
+    /// Debug rendering of the minimized case.
+    pub case_debug: String,
+}
+
+/// Result of a sharded exploration campaign for one protocol.
+#[derive(Debug, Clone)]
+pub enum ShardExploreOutcome {
+    /// Every case passed every oracle.
+    Clean {
+        /// Cases executed.
+        cases: u32,
+        /// Total oracle evaluations.
+        oracle_checks: u64,
+    },
+    /// A violation was found and minimized.
+    Found(Box<ShardCounterexample>),
+}
+
+/// Fuzzes sharded-plane cases for one protocol under a case budget.
+#[derive(Debug, Clone)]
+pub struct ShardExplorer {
+    /// Protocol under test.
+    pub protocol: Protocol,
+    /// Base seed of the deterministic case-seed stream.
+    pub base_seed: u64,
+    /// Cap on shrink candidate evaluations after a find.
+    pub max_shrink_iters: u32,
+}
+
+impl ShardExplorer {
+    /// An explorer with the default shrink budget.
+    pub fn new(protocol: Protocol, base_seed: u64) -> Self {
+        ShardExplorer {
+            protocol,
+            base_seed,
+            max_shrink_iters: 2_000,
+        }
+    }
+
+    /// Runs `budget` cases; on the first violation, shrinks it to a
+    /// minimal tape and returns the counterexample.
+    pub fn explore(&self, budget: u32) -> ShardExploreOutcome {
+        let mut sm =
+            SplitMix64::new(self.base_seed ^ crate::dst::fnv1a("shard") ^ crate::dst::fnv1a(self.protocol.label()));
+        let mut oracle_checks = 0u64;
+        for _ in 0..budget {
+            let case_seed = sm.next_u64();
+            let mut g = atp_util::check::Gen::from_seed(case_seed);
+            let case = gen_shard_case(&mut g, self.protocol);
+            match run_shard_case(&case) {
+                Ok(stats) => oracle_checks += stats.oracle_checks,
+                Err(first) => {
+                    let tape = g.tape().to_vec();
+                    return ShardExploreOutcome::Found(Box::new(self.minimize(
+                        case_seed, tape, first,
+                    )));
+                }
+            }
+        }
+        ShardExploreOutcome::Clean {
+            cases: budget,
+            oracle_checks,
+        }
+    }
+
+    fn minimize(
+        &self,
+        case_seed: u64,
+        tape: Vec<u64>,
+        first: ShardViolation,
+    ) -> ShardCounterexample {
+        let protocol = self.protocol;
+        let (min_tape, shrink_iters) =
+            atp_util::check::shrink_tape(tape, self.max_shrink_iters, |cand| {
+                let mut g = atp_util::check::Gen::from_tape(cand.to_vec());
+                let case = gen_shard_case(&mut g, protocol);
+                run_shard_case(&case).err().map(|_| g.tape().to_vec())
+            });
+        let mut g = atp_util::check::Gen::from_tape(min_tape.clone());
+        let min_case = gen_shard_case(&mut g, protocol);
+        let violation = run_shard_case(&min_case).err().unwrap_or(first);
+        ShardCounterexample {
+            protocol,
+            case_seed,
+            tape: min_tape,
+            shrink_iters,
+            violation,
+            case_debug: format!("{min_case:#?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plane_serves_every_shard_and_replays_identically() {
+        let spec = ShardPlaneSpec::new(Protocol::Binary, 6, 4)
+            .with_horizon(4_000)
+            .with_clients(24);
+        let a = spec.run();
+        assert_eq!(a.grants.len(), 4);
+        assert!(
+            a.grants.iter().all(|&g| g > 0),
+            "every shard must serve under a uniform key stream: {:?}",
+            a.grants
+        );
+        assert!(a.issued > 24, "closed loop must re-issue");
+        let b = spec.run();
+        assert_eq!(a, b, "plane runs must be deterministic");
+    }
+
+    #[test]
+    fn aggregate_throughput_scales_with_shard_count() {
+        // Enough clients that no shard ever idles waiting for the key
+        // stream to swing back to it — K=1 is already saturated, so the
+        // extra population only matters for the sharded run.
+        let one = ShardPlaneSpec::new(Protocol::Binary, 8, 1)
+            .with_horizon(6_000)
+            .with_clients(96)
+            .run();
+        let four = ShardPlaneSpec::new(Protocol::Binary, 8, 4)
+            .with_horizon(6_000)
+            .with_clients(96)
+            .run();
+        let (t1, t4) = (one.throughput_per_ktick(), four.throughput_per_ktick());
+        assert!(
+            t4 >= 3.0 * t1,
+            "K=4 must give >= 3x the K=1 aggregate throughput, got {t1:.1} -> {t4:.1}"
+        );
+    }
+
+    #[test]
+    fn zipf_keys_still_reach_every_shard() {
+        let s = ShardPlaneSpec::new(Protocol::Naimi, 5, 3)
+            .with_horizon(4_000)
+            .with_clients(20)
+            .with_key_dist(KeyDist::Zipf)
+            .run();
+        assert!(s.total_grants() > 0);
+        assert!(
+            s.grants.iter().filter(|&&g| g > 0).count() >= 2,
+            "zipf stream should still hit multiple shards: {:?}",
+            s.grants
+        );
+    }
+
+    #[test]
+    fn crash_in_one_shard_never_blocks_the_others() {
+        // Hand-built case: requests spread over 4 shards, crash in the
+        // shard key 0 routes to. Every oracle must hold.
+        let map = ShardMap::new(4, 5);
+        let faulted = map.shard_of_key(0);
+        let case = ShardDstCase {
+            protocol: Protocol::Binary,
+            n: 5,
+            shards: 4,
+            world_seed: 11,
+            requests: (0..12u64).map(|i| (4 * i, i % 6, i)).collect(),
+            fault: Some(ShardFault::Crash {
+                shard: faulted,
+                node: map.owner(faulted),
+                at: 10,
+                recover_at: 60,
+            }),
+            cfg: ProtocolConfig::default(),
+            strategy: StrategySpec::Fifo,
+        };
+        let stats = run_shard_case(&case).expect("isolation must hold");
+        assert!(stats.grants > 0);
+        assert!(stats.oracle_checks > 0);
+    }
+
+    #[test]
+    fn explorer_is_clean_across_all_protocols() {
+        for protocol in Protocol::ALL {
+            match ShardExplorer::new(protocol, 0xA11CE).explore(25) {
+                ShardExploreOutcome::Clean { cases, .. } => assert_eq!(cases, 25),
+                ShardExploreOutcome::Found(cx) => {
+                    panic!("{}: {}\n{}", protocol.label(), cx.violation, cx.case_debug)
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shard_cases_shrink_and_replay_from_their_tapes() {
+        let mut g = atp_util::check::Gen::from_seed(99);
+        let case = gen_shard_case(&mut g, Protocol::Ring);
+        let tape = g.tape().to_vec();
+        let mut g2 = atp_util::check::Gen::from_tape(tape);
+        let replayed = gen_shard_case(&mut g2, Protocol::Ring);
+        assert_eq!(format!("{case:?}"), format!("{replayed:?}"));
+        // The all-zero tape is the minimal total case.
+        let mut g0 = atp_util::check::Gen::from_tape(vec![]);
+        let smallest = gen_shard_case(&mut g0, Protocol::Ring);
+        assert_eq!(smallest.n, 2);
+        assert_eq!(smallest.shards, 1);
+        assert!(smallest.fault.is_none());
+        run_shard_case(&smallest).expect("minimal case is benign");
+    }
+}

@@ -57,6 +57,27 @@ pub fn poisson(rng: &mut dyn RngCore, lambda: f64) -> u64 {
     }
 }
 
+/// Zipf-distributed rank in `0..n` with exponent `s` (inverse-CDF over
+/// the exact normalized mass function).
+///
+/// Rank 0 is the hottest item. `s = 0` degenerates to uniform; `s ≈ 1`
+/// is the classic web-caching skew. Runtime is `O(n)` per draw — fine
+/// for the small `n` (key-universe buckets, shard counts) the workload
+/// generators use.
+pub fn zipf(rng: &mut dyn RngCore, n: usize, s: f64) -> usize {
+    assert!(n > 0, "zipf: n must be positive");
+    assert!(s >= 0.0, "zipf: exponent s={s} must be non-negative");
+    let norm: f64 = (1..=n).map(|k| 1.0 / (k as f64).powf(s)).sum();
+    let mut u = unit_f64(rng.next_u64()) * norm;
+    for k in 1..=n {
+        u -= 1.0 / (k as f64).powf(s);
+        if u <= 0.0 {
+            return k - 1;
+        }
+    }
+    n - 1
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -85,6 +106,25 @@ mod tests {
         let sum: u64 = (0..n).map(|_| poisson(&mut rng, 6.0)).sum();
         let mean = sum as f64 / n as f64;
         assert!((5.8..6.2).contains(&mean), "mean={mean}");
+    }
+
+    #[test]
+    fn zipf_is_skewed_and_in_range() {
+        let mut rng = StdRng::seed_from_u64(15);
+        let n = 16;
+        let mut counts = vec![0u32; n];
+        for _ in 0..20_000 {
+            counts[zipf(&mut rng, n, 1.0)] += 1;
+        }
+        assert!(counts[0] > counts[n - 1] * 4, "rank 0 must dominate: {counts:?}");
+        assert!(counts.iter().all(|&c| c > 0), "every rank reachable");
+        // s = 0 is uniform: the head cannot dominate.
+        let mut flat = vec![0u32; n];
+        for _ in 0..20_000 {
+            flat[zipf(&mut rng, n, 0.0)] += 1;
+        }
+        let (min, max) = (flat.iter().min().unwrap(), flat.iter().max().unwrap());
+        assert!(max - min < 20_000 / n as u32, "uniform-ish: {flat:?}");
     }
 
     #[test]
